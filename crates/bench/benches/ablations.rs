@@ -1,0 +1,113 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * **BF-based G-FIB vs exact replica** — the §III-D.2 space/time
+//!   trade-off: query cost of the bloom bank against an exact
+//!   `BTreeMap<MacAddr, SwitchId>` replica (which would need per-host
+//!   state, exactly what the paper avoids), plus their storage footprint
+//!   printed once.
+//! * **IncUpdate vs full IniGroup** — the incremental-update claim: repair
+//!   cost after a traffic shift, merge/split versus partition-from-scratch.
+//! * **Serial vs parallel IncUpdate** — Appendix B's parallel merge/split.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lazyctrl_net::{MacAddr, SwitchId};
+use lazyctrl_partition::{mlkp, MlkpConfig, Sgi, SgiConfig, WeightedGraph};
+use lazyctrl_switch::{build_gfib_update, Gfib};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn ablation_gfib_vs_exact(c: &mut Criterion) {
+    let peers = 45usize; // the paper's 46-switch example
+    let hosts = 24u64;
+
+    let mut gfib = Gfib::new();
+    let mut exact: BTreeMap<MacAddr, SwitchId> = BTreeMap::new();
+    for p in 0..peers {
+        let macs: Vec<MacAddr> = (0..hosts)
+            .map(|h| MacAddr::for_host(((p as u64) << 32) | h))
+            .collect();
+        for &m in &macs {
+            exact.insert(m, SwitchId::new(p as u32));
+        }
+        gfib.apply_update(&build_gfib_update(SwitchId::new(p as u32), 1, macs));
+    }
+    let exact_bytes = exact.len() * (6 + 4);
+    println!(
+        "[ablation] G-FIB storage: bloom {} B vs exact ≥ {} B for {} hosts",
+        gfib.storage_bytes(),
+        exact_bytes,
+        exact.len()
+    );
+
+    let present = MacAddr::for_host((7u64 << 32) | 3);
+    let absent = MacAddr::for_host(999_999_999);
+    let mut group = c.benchmark_group("ablation_gfib");
+    group.bench_function("bloom_query_present", |b| b.iter(|| gfib.query(present)));
+    group.bench_function("bloom_query_absent", |b| b.iter(|| gfib.query(absent)));
+    group.bench_function("exact_query_present", |b| b.iter(|| exact.get(&present)));
+    group.bench_function("exact_query_absent", |b| b.iter(|| exact.get(&absent)));
+    group.finish();
+}
+
+fn dc_graph(n: usize, seed: u64) -> WeightedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = WeightedGraph::new(n);
+    let cluster = 12;
+    for c in 0..n.div_ceil(cluster) {
+        let base = c * cluster;
+        for i in 0..cluster {
+            for j in (i + 1)..cluster {
+                let (u, v) = (base + i, base + j);
+                if u < n && v < n && rng.gen_bool(0.5) {
+                    g.add_edge(u, v, 1.0 + rng.gen::<f64>() * 20.0);
+                }
+            }
+        }
+    }
+    g
+}
+
+fn ablation_incupdate_vs_full(c: &mut Criterion) {
+    let n = 272;
+    let g = dc_graph(n, 7);
+    let base = Sgi::ini_group(
+        g.clone(),
+        SgiConfig::new(46).with_thresholds(0.0, 0.0).with_seed(1),
+    );
+    let mut shifted = g.clone();
+    for i in 0..8 {
+        shifted.add_edge(i, n / 2 + i, 500.0);
+    }
+    let mut group = c.benchmark_group("ablation_regroup");
+    group.sample_size(10);
+    group.bench_function("incremental_repair", |b| {
+        b.iter(|| {
+            let mut sgi = base.clone();
+            sgi.set_intensity(shifted.clone());
+            sgi.inc_update(f64::INFINITY)
+        })
+    });
+    group.bench_function("full_inigroup", |b| {
+        b.iter(|| {
+            mlkp(
+                &shifted,
+                &MlkpConfig::new(n.div_ceil(46))
+                    .with_max_part_weight(46.0)
+                    .with_seed(1),
+            )
+        })
+    });
+    group.bench_function("parallel_repair_4", |b| {
+        b.iter(|| {
+            let mut sgi = base.clone();
+            sgi.set_intensity(shifted.clone());
+            sgi.par_inc_update(f64::INFINITY, 4)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation_gfib_vs_exact, ablation_incupdate_vs_full);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Microbenchmarks for the G-FIB substrate: bloom insert/query at the
+//! paper's §V-D geometry, and full G-FIB candidate queries at several
+//! group sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lazyctrl_bloom::{BloomFilter, CountingBloomFilter};
+use lazyctrl_net::{MacAddr, SwitchId};
+use lazyctrl_switch::{build_gfib_update, Gfib};
+
+fn bench_filter_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom");
+    // The paper's example filter: 2048 bytes, 7 hashes, ~24 hosts.
+    group.bench_function("insert", |b| {
+        let mut bf = BloomFilter::new(2048 * 8, 7);
+        let mut i = 0u64;
+        b.iter(|| {
+            bf.insert(MacAddr::for_host(i).octets());
+            i += 1;
+        })
+    });
+    group.bench_function("query_hit", |b| {
+        let mut bf = BloomFilter::new(2048 * 8, 7);
+        for h in 0..24 {
+            bf.insert(MacAddr::for_host(h).octets());
+        }
+        b.iter(|| bf.contains(MacAddr::for_host(7).octets()))
+    });
+    group.bench_function("query_miss", |b| {
+        let mut bf = BloomFilter::new(2048 * 8, 7);
+        for h in 0..24 {
+            bf.insert(MacAddr::for_host(h).octets());
+        }
+        b.iter(|| bf.contains(MacAddr::for_host(999_999).octets()))
+    });
+    group.bench_function("counting_insert_remove", |b| {
+        let mut cbf = CountingBloomFilter::new(2048 * 8, 7);
+        let mut i = 0u64;
+        b.iter(|| {
+            cbf.insert(MacAddr::for_host(i).octets());
+            cbf.remove(MacAddr::for_host(i).octets());
+            i += 1;
+        })
+    });
+    group.finish();
+}
+
+fn bench_gfib_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gfib_query");
+    for &peers in &[9usize, 45, 91] {
+        let mut gfib = Gfib::new();
+        for p in 0..peers {
+            let macs: Vec<MacAddr> = (0..24)
+                .map(|h| MacAddr::for_host(((p as u64) << 32) | h))
+                .collect();
+            gfib.apply_update(&build_gfib_update(SwitchId::new(p as u32), 1, macs));
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(peers), &peers, |b, _| {
+            let target = MacAddr::for_host((3u64 << 32) | 7);
+            b.iter(|| gfib.query(target))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter_ops, bench_gfib_query);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Microbenchmarks behind Fig. 6(b): size-constrained MLkP (`IniGroup`)
+//! and the merge/split refinement (`IncUpdate`) at several group size
+//! limits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lazyctrl_partition::{mlkp, MlkpConfig, Sgi, SgiConfig, WeightedGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A clustered intensity graph shaped like a multi-tenant DC: `n` switches,
+/// dense tenant neighbourhoods, sparse global chatter.
+fn dc_graph(n: usize, seed: u64) -> WeightedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = WeightedGraph::new(n);
+    let cluster = 12;
+    for c in 0..n.div_ceil(cluster) {
+        let base = c * cluster;
+        for i in 0..cluster {
+            for j in (i + 1)..cluster {
+                let (u, v) = (base + i, base + j);
+                if u < n && v < n && rng.gen_bool(0.5) {
+                    g.add_edge(u, v, 1.0 + rng.gen::<f64>() * 20.0);
+                }
+            }
+        }
+    }
+    for _ in 0..n {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            g.add_edge(u, v, 0.2);
+        }
+    }
+    g
+}
+
+fn bench_inigroup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inigroup");
+    group.sample_size(10);
+    for &n in &[272usize, 680] {
+        let g = dc_graph(n, 42);
+        for &limit in &[23usize, 46, 92] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), limit),
+                &limit,
+                |b, &limit| {
+                    b.iter(|| {
+                        mlkp(
+                            &g,
+                            &MlkpConfig::new(n.div_ceil(limit))
+                                .with_max_part_weight(limit as f64)
+                                .with_seed(1),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_incupdate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incupdate");
+    group.sample_size(10);
+    let n = 272;
+    let g = dc_graph(n, 42);
+    let base = Sgi::ini_group(
+        g.clone(),
+        SgiConfig::new(46).with_thresholds(0.0, 0.0).with_seed(1),
+    );
+    // Shifted intensity: two clusters start talking.
+    let mut shifted = g.clone();
+    for i in 0..8 {
+        shifted.add_edge(i, n / 2 + i, 500.0);
+    }
+    group.bench_function("merge_split_round", |b| {
+        b.iter(|| {
+            let mut sgi = base.clone();
+            sgi.set_intensity(shifted.clone());
+            sgi.inc_update(f64::INFINITY)
+        })
+    });
+    group.bench_function("par_merge_split_2", |b| {
+        b.iter(|| {
+            let mut sgi = base.clone();
+            sgi.set_intensity(shifted.clone());
+            sgi.par_inc_update(f64::INFINITY, 2)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inigroup, bench_incupdate);
+criterion_main!(benches);

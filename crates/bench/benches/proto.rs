@@ -1,0 +1,93 @@
+//! Wire-protocol throughput: encode/decode of the hot control messages
+//! (PacketIn, FlowMod, LfibSync) and codec framing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lazyctrl_net::{MacAddr, PortNo, SwitchId, TenantId};
+use lazyctrl_proto::codec::MessageCodec;
+use lazyctrl_proto::{
+    Action, FlowMatch, FlowModCommand, FlowModMsg, LazyMsg, LfibEntry, LfibSyncMsg, Message,
+    OfMessage, PacketInMsg, PacketInReason,
+};
+
+fn packet_in() -> Message {
+    Message::of(
+        7,
+        OfMessage::PacketIn(PacketInMsg {
+            buffer_id: u32::MAX,
+            in_port: PortNo::new(3),
+            reason: PacketInReason::NoMatch,
+            data: vec![0xAA; 64],
+        }),
+    )
+}
+
+fn flow_mod() -> Message {
+    Message::of(
+        8,
+        OfMessage::FlowMod(FlowModMsg {
+            command: FlowModCommand::Add,
+            flow_match: FlowMatch::to_dst(MacAddr::for_host(42)),
+            priority: 10,
+            idle_timeout: 30,
+            hard_timeout: 0,
+            cookie: 1,
+            actions: vec![Action::Encap {
+                remote: SwitchId::new(9).underlay_ip(),
+                key: 3,
+            }],
+        }),
+    )
+}
+
+fn lfib_sync(entries: usize) -> Message {
+    Message::lazy(
+        9,
+        LazyMsg::LfibSync(LfibSyncMsg {
+            origin: SwitchId::new(1),
+            epoch: 2,
+            entries: (0..entries as u64)
+                .map(|h| LfibEntry {
+                    mac: MacAddr::for_host(h),
+                    tenant: TenantId::new(1),
+                    port: PortNo::new(1),
+                })
+                .collect(),
+            removed: vec![],
+        }),
+    )
+}
+
+fn bench_roundtrips(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proto_roundtrip");
+    for (name, msg) in [
+        ("packet_in", packet_in()),
+        ("flow_mod", flow_mod()),
+        ("lfib_sync_24", lfib_sync(24)),
+        ("lfib_sync_512", lfib_sync(512)),
+    ] {
+        let wire = msg.encode();
+        group.bench_function(format!("encode/{name}"), |b| b.iter(|| msg.encode()));
+        group.bench_function(format!("decode/{name}"), |b| {
+            b.iter(|| Message::decode(&wire).expect("valid frame"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut stream = Vec::new();
+    for _ in 0..64 {
+        stream.extend(packet_in().encode());
+        stream.extend(flow_mod().encode());
+    }
+    c.bench_function("codec_drain_128_msgs", |b| {
+        b.iter(|| {
+            let mut codec = MessageCodec::new();
+            codec.feed(&stream);
+            codec.drain().expect("clean stream").len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_roundtrips, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Regenerates **Fig. 7** — controller workload over the day, five curves:
+//! OpenFlow, LazyCtrl static/dynamic on the real trace, LazyCtrl
+//! static/dynamic on the expanded trace.
+//!
+//! Paper shape: LazyCtrl cuts controller workload by 61–82%; on the real
+//! trace static ≈ dynamic; on the expanded trace (locality eroding over
+//! hours 8–24) dynamic holds the line while static degrades.
+//!
+//! ```sh
+//! cargo run --release -p lazyctrl-bench --bin repro_fig7
+//! ```
+
+use lazyctrl_bench::{expanded_trace, real_trace, render_table, Scale};
+use lazyctrl_core::{ControlMode, Experiment, ExperimentConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 7 — controller workload over 24 h (scale: {})\n", scale.label());
+
+    let real = real_trace(scale);
+    let expanded = expanded_trace(&real);
+    let group_limit = (real.topology.num_switches / 4).max(4);
+
+    let runs = [
+        ("openflow", ControlMode::Baseline, &real),
+        ("lazy-static/real", ControlMode::LazyStatic, &real),
+        ("lazy-dynamic/real", ControlMode::LazyDynamic, &real),
+        ("lazy-static/exp", ControlMode::LazyStatic, &expanded),
+        ("lazy-dynamic/exp", ControlMode::LazyDynamic, &expanded),
+    ];
+
+    let mut reports = Vec::new();
+    for (label, mode, trace) in runs {
+        let cfg = ExperimentConfig::new(mode)
+            .with_group_size_limit(group_limit)
+            .with_seed(7);
+        let report = Experiment::new((*trace).clone(), cfg).run();
+        eprintln!(
+            "[{label}] total={} packet_ins={}",
+            report.controller_messages, report.packet_ins
+        );
+        reports.push((label, report));
+    }
+
+    // Per-2h workload table (the plotted series).
+    let buckets = reports
+        .iter()
+        .map(|(_, r)| r.workload_rps.len())
+        .max()
+        .unwrap_or(0);
+    let mut rows = Vec::new();
+    for b in 0..buckets {
+        let hour = b as f64 * 2.0;
+        let mut row = vec![format!("{hour:.0}-{:.0}", hour + 2.0)];
+        for (_, r) in &reports {
+            row.push(
+                r.workload_rps
+                    .iter()
+                    .find(|p| (p.hour - hour).abs() < 0.5)
+                    .map(|p| format!("{:.2}", p.value))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("hours")
+        .chain(reports.iter().map(|(l, _)| *l))
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+
+    let baseline_mean = reports[0].1.mean_workload_rps();
+    println!("mean workload (rps): baseline {baseline_mean:.2}");
+    for (label, r) in &reports[1..] {
+        println!(
+            "  {label:<18} {:.2}  (reduction {:.0}%)",
+            r.mean_workload_rps(),
+            r.workload_reduction_vs(&reports[0].1) * 100.0
+        );
+    }
+    println!("\nreproduction target: every LazyCtrl curve far below OpenFlow");
+    println!("(paper: 61–82% reduction); on the expanded trace the dynamic");
+    println!("variant outperforms the static one over hours 8–24.");
+}

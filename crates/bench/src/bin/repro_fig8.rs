@@ -1,0 +1,58 @@
+//! Regenerates **Fig. 8** — switch grouping update frequency (updates per
+//! hour) under dynamic LazyCtrl, on the real and expanded traces.
+//!
+//! Paper shape: ~10 updates/hour on the real trace (stable locality); up
+//! to ~34 updates/hour on the expanded trace as fresh host pairs keep
+//! eroding the grouping after hour 8.
+//!
+//! ```sh
+//! cargo run --release -p lazyctrl-bench --bin repro_fig8
+//! ```
+
+use lazyctrl_bench::{expanded_trace, real_trace, render_table, Scale};
+use lazyctrl_core::{ControlMode, Experiment, ExperimentConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 8 — grouping updates per hour (scale: {})\n", scale.label());
+
+    let real = real_trace(scale);
+    let expanded = expanded_trace(&real);
+    let group_limit = (real.topology.num_switches / 4).max(4);
+
+    let mut series = Vec::new();
+    for (label, trace) in [("real", &real), ("expanded", &expanded)] {
+        let cfg = ExperimentConfig::new(ControlMode::LazyDynamic)
+            .with_group_size_limit(group_limit)
+            .with_seed(8);
+        let report = Experiment::new((*trace).clone(), cfg).run();
+        eprintln!(
+            "[{label}] total updates: {:.0}",
+            report.updates_per_hour.iter().map(|p| p.value).sum::<f64>()
+        );
+        series.push((label, report.updates_per_hour));
+    }
+
+    let hours = series
+        .iter()
+        .flat_map(|(_, s)| s.iter().map(|p| p.hour as u64))
+        .max()
+        .unwrap_or(0);
+    let mut rows = Vec::new();
+    for h in 0..=hours {
+        let mut row = vec![format!("{h}")];
+        for (_, s) in &series {
+            row.push(
+                s.iter()
+                    .find(|p| (p.hour - h as f64).abs() < 0.5)
+                    .map(|p| format!("{:.0}", p.value))
+                    .unwrap_or_else(|| "0".into()),
+            );
+        }
+        rows.push(row);
+    }
+    println!("{}", render_table(&["hour", "real", "expanded"], &rows));
+    println!("reproduction target: low, steady update rate on the real trace;");
+    println!("clearly higher rate on the expanded trace during hours 8–24");
+    println!("(paper: ≈10/h real, up to 34/h expanded).");
+}

@@ -1,0 +1,159 @@
+//! Shared harness for the reproduction binaries (`repro-*`) and Criterion
+//! benches: trace construction at a chosen scale, and table rendering.
+//!
+//! Every binary honours the `LAZYCTRL_SCALE` environment variable:
+//!
+//! * `quick` (default) — laptop-scale versions of each experiment
+//!   (40–340 switches, 10⁵-ish flows); minutes end to end;
+//! * `paper` — the paper's full topology sizes (272 switches / 6509 hosts
+//!   for the real trace, 2713 / 65090 for Syn-A/B/C); slower but the same
+//!   code path.
+//!
+//! Absolute numbers scale with flow counts; the *shapes* the paper reports
+//! (orderings, ratios, crossovers) are the reproduction target — see
+//! `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lazyctrl_trace::expand::expand;
+use lazyctrl_trace::realistic::{generate as generate_real, RealTraceConfig};
+use lazyctrl_trace::synthetic::{generate as generate_syn, SyntheticConfig};
+use lazyctrl_trace::Trace;
+
+/// Which scale the harness runs at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop-scale (default).
+    Quick,
+    /// The paper's topology sizes.
+    Paper,
+}
+
+impl Scale {
+    /// Reads `LAZYCTRL_SCALE` (`quick`/`paper`); defaults to quick.
+    pub fn from_env() -> Scale {
+        match std::env::var("LAZYCTRL_SCALE").as_deref() {
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+/// The "real" trace surrogate at the chosen scale.
+pub fn real_trace(scale: Scale) -> Trace {
+    let cfg = match scale {
+        Scale::Quick => {
+            let mut cfg = RealTraceConfig::small();
+            cfg.num_flows = 120_000;
+            cfg
+        }
+        Scale::Paper => RealTraceConfig::default(),
+    };
+    generate_real(&cfg)
+}
+
+/// The §V-D expanded trace: +30% flows among fresh pairs in hours 8–24.
+pub fn expanded_trace(base: &Trace) -> Trace {
+    expand(base, 0.30, 8.0, 24.0, 0xE0A)
+}
+
+/// Syn-A/B/C at the chosen scale.
+pub fn synthetic_traces(scale: Scale) -> Vec<Trace> {
+    [
+        SyntheticConfig::syn_a(),
+        SyntheticConfig::syn_b(),
+        SyntheticConfig::syn_c(),
+    ]
+    .into_iter()
+    .map(|cfg| {
+        let cfg = match scale {
+            Scale::Quick => cfg.scaled_down(8),
+            Scale::Paper => cfg,
+        };
+        generate_syn(&cfg)
+    })
+    .collect()
+}
+
+/// Renders an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_to_quick() {
+        // Do not mutate the environment (tests run in parallel); just
+        // check the default path when the var is absent or garbage.
+        if std::env::var("LAZYCTRL_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Quick);
+        }
+        assert_eq!(Scale::Quick.label(), "quick");
+        assert_eq!(Scale::Paper.label(), "paper");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2".into()],
+            ],
+        );
+        assert!(t.contains("name"));
+        assert!(t.contains("long-name"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn quick_traces_have_expected_shape() {
+        let real = real_trace(Scale::Quick);
+        assert_eq!(real.topology.num_switches, 40);
+        assert_eq!(real.num_flows(), 120_000);
+        let syn = synthetic_traces(Scale::Quick);
+        assert_eq!(syn.len(), 3);
+        assert_eq!(syn[0].name, "syn-a");
+        let exp = expanded_trace(&real);
+        assert!(exp.num_flows() > real.num_flows());
+    }
+}

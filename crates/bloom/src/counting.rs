@@ -1,0 +1,231 @@
+//! Counting Bloom filter: supports removals.
+//!
+//! The switch that *owns* an L-FIB keeps a counting filter so VM departures
+//! (migration, teardown — §III-D.3 live state dissemination) can withdraw an
+//! address without rebuilding the filter from scratch. Peers receive the
+//! exported plain [`BloomFilter`] snapshot, which is what travels in
+//! `GfibUpdate` messages.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{hashing, BloomFilter};
+
+/// A Bloom filter with 8-bit saturating counters instead of bits.
+///
+/// # Example
+///
+/// ```
+/// use lazyctrl_bloom::CountingBloomFilter;
+///
+/// let mut cbf = CountingBloomFilter::with_capacity(100, 0.01);
+/// cbf.insert(b"vm-a");
+/// assert!(cbf.contains(b"vm-a"));
+/// cbf.remove(b"vm-a");
+/// assert!(!cbf.contains(b"vm-a"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CountingBloomFilter {
+    counters: Vec<u8>,
+    m: u64,
+    k: u32,
+    items: u64,
+}
+
+impl CountingBloomFilter {
+    /// Creates a filter with `m_slots` counters and `k` hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m_slots` or `k` is zero.
+    pub fn new(m_slots: u64, k: u32) -> Self {
+        assert!(m_slots > 0, "filter must have at least one slot");
+        assert!(k > 0, "filter must use at least one hash");
+        CountingBloomFilter {
+            counters: vec![0; m_slots as usize],
+            m: m_slots,
+            k,
+            items: 0,
+        }
+    }
+
+    /// Sizes the filter like [`BloomFilter::with_capacity`] (same slot
+    /// count, counters instead of bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < target_fp < 1` and `expected_items > 0`.
+    pub fn with_capacity(expected_items: u64, target_fp: f64) -> Self {
+        let proto = BloomFilter::with_capacity(expected_items, target_fp);
+        CountingBloomFilter::new(proto.num_bits(), proto.num_hashes())
+    }
+
+    /// Number of counter slots.
+    pub fn num_slots(&self) -> u64 {
+        self.m
+    }
+
+    /// Number of hash functions.
+    pub fn num_hashes(&self) -> u32 {
+        self.k
+    }
+
+    /// Net number of items (inserts minus removals).
+    pub fn len(&self) -> u64 {
+        self.items
+    }
+
+    /// True if no items are present.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Inserts a key, saturating counters at 255.
+    pub fn insert<K: AsRef<[u8]>>(&mut self, key: K) {
+        for idx in hashing::indexes(key.as_ref(), self.k, self.m) {
+            let c = &mut self.counters[idx as usize];
+            *c = c.saturating_add(1);
+        }
+        self.items += 1;
+    }
+
+    /// Tests membership (same semantics as a plain Bloom filter).
+    pub fn contains<K: AsRef<[u8]>>(&self, key: K) -> bool {
+        hashing::indexes(key.as_ref(), self.k, self.m).all(|idx| self.counters[idx as usize] > 0)
+    }
+
+    /// Removes one occurrence of a key.
+    ///
+    /// Removing a key that was never inserted can corrupt unrelated
+    /// memberships (standard counting-filter caveat), so this returns
+    /// `false` and does nothing when any probe counter is already zero.
+    pub fn remove<K: AsRef<[u8]>>(&mut self, key: K) -> bool {
+        let key = key.as_ref();
+        if !self.contains(key) {
+            return false;
+        }
+        for idx in hashing::indexes(key, self.k, self.m) {
+            let c = &mut self.counters[idx as usize];
+            // Saturated counters must stay saturated: decrementing one
+            // would under-count other keys sharing the slot.
+            if *c != u8::MAX {
+                *c -= 1;
+            }
+        }
+        self.items = self.items.saturating_sub(1);
+        true
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.counters.fill(0);
+        self.items = 0;
+    }
+
+    /// Exports a plain [`BloomFilter`] snapshot with identical geometry —
+    /// the artifact shipped to peers in `GfibUpdate`.
+    pub fn to_bloom(&self) -> BloomFilter {
+        // Reconstruct bit-level state directly from the counters.
+        let words = self.m.div_ceil(64) as usize;
+        let mut bits = vec![0u64; words];
+        for (i, &c) in self.counters.iter().enumerate() {
+            if c > 0 {
+                bits[i / 64] |= 1 << (i % 64);
+            }
+        }
+        let mut bytes = Vec::with_capacity(words * 8);
+        for w in &bits {
+            bytes.extend_from_slice(&w.to_be_bytes());
+        }
+        BloomFilter::from_bytes(&bytes, self.m, self.k, self.items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_cycle() {
+        let mut cbf = CountingBloomFilter::with_capacity(50, 0.01);
+        for i in 0u32..50 {
+            cbf.insert(i.to_be_bytes());
+        }
+        assert_eq!(cbf.len(), 50);
+        for i in 0u32..50 {
+            assert!(cbf.contains(i.to_be_bytes()));
+        }
+        for i in 0u32..25 {
+            assert!(cbf.remove(i.to_be_bytes()));
+        }
+        for i in 0u32..25 {
+            assert!(!cbf.contains(i.to_be_bytes()), "key {i} lingered");
+        }
+        for i in 25u32..50 {
+            assert!(cbf.contains(i.to_be_bytes()), "key {i} lost by removal");
+        }
+        assert_eq!(cbf.len(), 25);
+    }
+
+    #[test]
+    fn removing_absent_key_is_refused() {
+        let mut cbf = CountingBloomFilter::new(1024, 4);
+        assert!(!cbf.remove(b"ghost"));
+        assert_eq!(cbf.len(), 0);
+    }
+
+    #[test]
+    fn double_insert_requires_double_remove() {
+        let mut cbf = CountingBloomFilter::new(1024, 4);
+        cbf.insert(b"dup");
+        cbf.insert(b"dup");
+        assert!(cbf.remove(b"dup"));
+        assert!(cbf.contains(b"dup"), "one copy should remain");
+        assert!(cbf.remove(b"dup"));
+        assert!(!cbf.contains(b"dup"));
+    }
+
+    #[test]
+    fn exported_bloom_matches_membership() {
+        let mut cbf = CountingBloomFilter::with_capacity(200, 0.01);
+        for i in 0u32..200 {
+            cbf.insert(i.to_be_bytes());
+        }
+        for i in 0u32..100 {
+            cbf.remove(i.to_be_bytes());
+        }
+        let bf = cbf.to_bloom();
+        assert_eq!(bf.num_bits(), cbf.num_slots());
+        assert_eq!(bf.num_hashes(), cbf.num_hashes());
+        for i in 100u32..200 {
+            assert!(bf.contains(i.to_be_bytes()), "exported filter lost {i}");
+        }
+        // Removed keys should mostly be gone (false positives possible).
+        let lingering = (0u32..100)
+            .filter(|i| bf.contains(i.to_be_bytes()))
+            .count();
+        assert!(lingering < 10, "{lingering} removed keys still positive");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut cbf = CountingBloomFilter::new(128, 2);
+        cbf.insert(b"a");
+        cbf.clear();
+        assert!(cbf.is_empty());
+        assert!(!cbf.contains(b"a"));
+    }
+
+    #[test]
+    fn saturated_counters_never_underflow() {
+        let mut cbf = CountingBloomFilter::new(1, 1);
+        // Everything hashes to slot 0 with m=1; saturate it.
+        for i in 0u32..300 {
+            cbf.insert(i.to_be_bytes());
+        }
+        // Counter is pinned at 255; removals must not drop it to zero.
+        for i in 0u32..300 {
+            cbf.remove(i.to_be_bytes());
+        }
+        assert!(cbf.contains(b"anything"), "saturated slot must stay set");
+    }
+}

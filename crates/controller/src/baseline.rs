@@ -1,0 +1,299 @@
+//! The comparison controller: standard OpenFlow reactive control, modelled
+//! on Floodlight's `learning-switch` module (§V-A "normal mode", §V-D
+//! "standard OpenFlow control (with the original Floodlight
+//! implementation)").
+//!
+//! Every first packet of every flow reaches this controller; it learns
+//! source locations from `PacketIn`s, floods unknown destinations, and once
+//! both endpoints are known installs an `Encap` rule on the ingress switch
+//! so the flow's remaining packets ride the underlay directly.
+
+use lazyctrl_net::{EthernetFrame, MacAddr, PortNo, SwitchId, TenantId};
+use lazyctrl_proto::{
+    Action, FlowMatch, FlowModCommand, FlowModMsg, Message, OfMessage, PacketInMsg, PacketOutMsg,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::lazy::ControllerOutput;
+use crate::WorkloadMeter;
+
+/// Floodlight-style reactive learning controller.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineController {
+    switches: Vec<SwitchId>,
+    hosts: std::collections::BTreeMap<MacAddr, (SwitchId, PortNo)>,
+    meter: WorkloadMeter,
+    flow_idle_timeout_s: u16,
+    xid: u32,
+}
+
+impl BaselineController {
+    /// Creates the controller managing the given switches.
+    pub fn new(switches: Vec<SwitchId>) -> Self {
+        BaselineController {
+            switches,
+            hosts: std::collections::BTreeMap::new(),
+            meter: WorkloadMeter::new(),
+            flow_idle_timeout_s: 30,
+            xid: 0,
+        }
+    }
+
+    /// The workload meter (for experiment harnesses).
+    pub fn meter(&self) -> &WorkloadMeter {
+        &self.meter
+    }
+
+    /// Number of learned host locations.
+    pub fn known_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    fn next_xid(&mut self) -> u32 {
+        self.xid = self.xid.wrapping_add(1);
+        self.xid
+    }
+
+    /// Handles a message from a switch on the control link.
+    pub fn handle_message(
+        &mut self,
+        now_ns: u64,
+        from: SwitchId,
+        msg: &Message,
+    ) -> Vec<ControllerOutput> {
+        self.meter.record(now_ns);
+        match &msg.body {
+            lazyctrl_proto::MessageBody::Of(OfMessage::PacketIn(pi)) => {
+                self.handle_packet_in(now_ns, from, pi)
+            }
+            lazyctrl_proto::MessageBody::Of(OfMessage::Hello) => {
+                let xid = self.next_xid();
+                vec![ControllerOutput::ToSwitch(from, Message::of(xid, OfMessage::Hello))]
+            }
+            lazyctrl_proto::MessageBody::Of(OfMessage::EchoRequest(data)) => {
+                let xid = self.next_xid();
+                vec![ControllerOutput::ToSwitch(
+                    from,
+                    Message::of(xid, OfMessage::EchoReply(data.clone())),
+                )]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn handle_packet_in(
+        &mut self,
+        _now_ns: u64,
+        from: SwitchId,
+        pi: &PacketInMsg,
+    ) -> Vec<ControllerOutput> {
+        let Ok(frame) = EthernetFrame::decode(&pi.data) else {
+            return Vec::new();
+        };
+        // Learn the source.
+        self.hosts.insert(frame.src, (from, pi.in_port));
+
+        let mut out = Vec::new();
+        match self.hosts.get(&frame.dst).copied() {
+            Some((dst_switch, dst_port)) => {
+                // Known destination: install the forwarding rule on the
+                // ingress switch, then release the packet.
+                let tenant = frame.vlan.map(|t| t.vid()).unwrap_or(TenantId::NONE);
+                let actions = if dst_switch == from {
+                    vec![Action::Output(dst_port)]
+                } else {
+                    vec![Action::Encap {
+                        remote: dst_switch.underlay_ip(),
+                        key: 0,
+                    }]
+                };
+                let _ = tenant;
+                let xid = self.next_xid();
+                out.push(ControllerOutput::ToSwitch(
+                    from,
+                    Message::of(
+                        xid,
+                        OfMessage::FlowMod(FlowModMsg {
+                            command: FlowModCommand::Add,
+                            flow_match: FlowMatch::to_dst(frame.dst),
+                            priority: 10,
+                            idle_timeout: self.flow_idle_timeout_s,
+                            hard_timeout: 0,
+                            cookie: 0,
+                            actions: actions.clone(),
+                        }),
+                    ),
+                ));
+                let xid = self.next_xid();
+                out.push(ControllerOutput::ToSwitch(
+                    from,
+                    Message::of(
+                        xid,
+                        OfMessage::PacketOut(PacketOutMsg {
+                            buffer_id: pi.buffer_id,
+                            in_port: pi.in_port,
+                            actions,
+                            data: pi.data.clone(),
+                        }),
+                    ),
+                ));
+            }
+            None => {
+                // Unknown destination: flood. The learning switch relays
+                // the packet to every other switch for local flooding.
+                let switches = self.switches.clone();
+                for s in switches {
+                    if s == from {
+                        continue;
+                    }
+                    let xid = self.next_xid();
+                    out.push(ControllerOutput::ToSwitch(
+                        s,
+                        Message::of(
+                            xid,
+                            OfMessage::PacketOut(PacketOutMsg {
+                                buffer_id: u32::MAX,
+                                in_port: PortNo::NONE,
+                                actions: vec![Action::Output(PortNo::FLOOD)],
+                                data: pi.data.clone(),
+                            }),
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazyctrl_net::{EtherType, HostId};
+    use lazyctrl_proto::PacketInReason;
+
+    fn packet_in(src: u32, dst: u32) -> PacketInMsg {
+        let frame = EthernetFrame::new(
+            HostId::new(src).mac(),
+            HostId::new(dst).mac(),
+            EtherType::IPV4,
+            vec![0; 20],
+        );
+        PacketInMsg {
+            buffer_id: u32::MAX,
+            in_port: PortNo::new(1),
+            reason: PacketInReason::NoMatch,
+            data: frame.encode(),
+        }
+    }
+
+    fn switches(n: u32) -> Vec<SwitchId> {
+        (0..n).map(SwitchId::new).collect()
+    }
+
+    #[test]
+    fn unknown_destination_floods_everywhere_else() {
+        let mut c = BaselineController::new(switches(4));
+        let msg = Message::of(1, OfMessage::PacketIn(packet_in(10, 20)));
+        let out = c.handle_message(0, SwitchId::new(0), &msg);
+        // Flood relayed to the 3 other switches.
+        assert_eq!(out.len(), 3);
+        for o in &out {
+            let ControllerOutput::ToSwitch(s, m) = o else {
+                panic!("unexpected output {o:?}")
+            };
+            assert_ne!(*s, SwitchId::new(0));
+            assert!(matches!(
+                &m.body,
+                lazyctrl_proto::MessageBody::Of(OfMessage::PacketOut(_))
+            ));
+        }
+        assert_eq!(c.known_hosts(), 1, "source learned");
+    }
+
+    #[test]
+    fn known_destination_installs_encap_rule() {
+        let mut c = BaselineController::new(switches(4));
+        // Teach the controller where host 20 lives (its own traffic from S2).
+        let _ = c.handle_message(
+            0,
+            SwitchId::new(2),
+            &Message::of(1, OfMessage::PacketIn(packet_in(20, 10))),
+        );
+        // Now host 10 on S0 talks to 20.
+        let out = c.handle_message(
+            1,
+            SwitchId::new(0),
+            &Message::of(2, OfMessage::PacketIn(packet_in(10, 20))),
+        );
+        assert_eq!(out.len(), 2, "FlowMod + PacketOut: {out:?}");
+        let ControllerOutput::ToSwitch(s, m) = &out[0] else {
+            panic!()
+        };
+        assert_eq!(*s, SwitchId::new(0));
+        match &m.body {
+            lazyctrl_proto::MessageBody::Of(OfMessage::FlowMod(fm)) => {
+                assert_eq!(fm.command, FlowModCommand::Add);
+                assert_eq!(
+                    fm.actions,
+                    vec![Action::Encap {
+                        remote: SwitchId::new(2).underlay_ip(),
+                        key: 0
+                    }]
+                );
+                assert_eq!(fm.idle_timeout, 30);
+            }
+            other => panic!("expected FlowMod, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_switch_destination_outputs_port() {
+        let mut c = BaselineController::new(switches(2));
+        let mut pi = packet_in(20, 10);
+        pi.in_port = PortNo::new(7);
+        let _ = c.handle_message(0, SwitchId::new(0), &Message::of(1, OfMessage::PacketIn(pi)));
+        let out = c.handle_message(
+            1,
+            SwitchId::new(0),
+            &Message::of(2, OfMessage::PacketIn(packet_in(10, 20))),
+        );
+        let ControllerOutput::ToSwitch(_, m) = &out[0] else {
+            panic!()
+        };
+        match &m.body {
+            lazyctrl_proto::MessageBody::Of(OfMessage::FlowMod(fm)) => {
+                assert_eq!(fm.actions, vec![Action::Output(PortNo::new(7))]);
+            }
+            other => panic!("expected FlowMod, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_message_counts_as_workload() {
+        let mut c = BaselineController::new(switches(2));
+        for i in 0..5u64 {
+            let _ = c.handle_message(
+                i * 1_000_000,
+                SwitchId::new(0),
+                &Message::of(1, OfMessage::PacketIn(packet_in(10, 20))),
+            );
+        }
+        assert_eq!(c.meter().total(), 5);
+    }
+
+    #[test]
+    fn echo_is_answered() {
+        let mut c = BaselineController::new(switches(1));
+        let out = c.handle_message(
+            0,
+            SwitchId::new(0),
+            &Message::of(9, OfMessage::EchoRequest(vec![7])),
+        );
+        assert!(matches!(
+            &out[0],
+            ControllerOutput::ToSwitch(_, m)
+                if matches!(&m.body, lazyctrl_proto::MessageBody::Of(OfMessage::EchoReply(d)) if d == &vec![7])
+        ));
+    }
+}

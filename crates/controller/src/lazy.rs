@@ -1,0 +1,709 @@
+//! The LazyCtrl central controller (§III-B.2, §IV-B).
+//!
+//! Handles only what the local control groups cannot: inter-group flow
+//! setup (from the C-LIB), ARP relay scoped by tenant information,
+//! grouping adaptation (SGI under the paper's triggers), failover, and
+//! group-size bargaining. The goal is to *stay lazy*: every message
+//! processed here is counted by the workload meter — the quantity Fig. 7
+//! shows dropping 61–82% below the baseline controller.
+
+use lazyctrl_net::{EthernetFrame, Packet, PortNo, SwitchId, TenantId};
+use lazyctrl_partition::bargain::{negotiate, BargainConfig, BargainOutcome};
+use lazyctrl_partition::WeightedGraph;
+use lazyctrl_proto::{
+    Action, BargainMsg, FlowMatch, FlowModCommand, FlowModMsg, LazyMsg, Message, MessageBody,
+    OfMessage, PacketInMsg, PacketInReason, PacketOutMsg,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::failover::{FailureDetector, FailureKind, RecoveryAction};
+use crate::grouping::{GroupingManager, RegroupDecision, RegroupTriggers};
+use crate::tenant::TenantDirectory;
+use crate::{Clib, HostLocation, WorkloadMeter};
+
+/// Timers the controller asks its driver to arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ControllerTimer {
+    /// Periodic keep-alive to every switch (hub of the wheel).
+    KeepAlive,
+    /// Periodic regrouping trigger check.
+    RegroupCheck,
+}
+
+/// Effects the controller wants performed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllerOutput {
+    /// Send to a switch on its control link.
+    ToSwitch(SwitchId, Message),
+    /// Arm a timer after the given delay (ns).
+    SetTimer(ControllerTimer, u64),
+}
+
+/// Configuration of the lazy controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LazyConfig {
+    /// Peer-sync interval pushed to switches (ms).
+    pub sync_interval_ms: u32,
+    /// Keep-alive interval (ms).
+    pub keepalive_interval_ms: u32,
+    /// Group size limit (switches per LCG).
+    pub group_size_limit: usize,
+    /// Regrouping triggers.
+    pub triggers: RegroupTriggers,
+    /// Enable incremental regrouping ("dynamic" in Fig. 7); when false the
+    /// bootstrap grouping stays frozen ("static").
+    pub dynamic_updates: bool,
+    /// Enable tenant ARP blocking (§III-D.3).
+    pub enable_arp_blocking: bool,
+    /// Preload temporary tunnel rules around regroupings (Appendix B,
+    /// "preload for seamless grouping update"): flows between a moved
+    /// switch and its former peers keep flowing from rules instead of
+    /// punting while the G-FIBs converge.
+    pub enable_preload: bool,
+    /// Idle timeout for installed inter-group rules (s).
+    pub flow_idle_timeout_s: u16,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for LazyConfig {
+    fn default() -> Self {
+        LazyConfig {
+            sync_interval_ms: 1_000,
+            keepalive_interval_ms: 1_000,
+            group_size_limit: 46,
+            triggers: RegroupTriggers::default(),
+            dynamic_updates: true,
+            enable_arp_blocking: true,
+            enable_preload: true,
+            flow_idle_timeout_s: 30,
+            seed: 0x1a2b,
+        }
+    }
+}
+
+/// The hybrid controller.
+#[derive(Debug)]
+pub struct LazyController {
+    cfg: LazyConfig,
+    switches: Vec<SwitchId>,
+    clib: Clib,
+    grouping: GroupingManager,
+    tenants: TenantDirectory,
+    failover: FailureDetector,
+    meter: WorkloadMeter,
+    xid: u32,
+    armed: std::collections::BTreeSet<ControllerTimer>,
+}
+
+impl LazyController {
+    /// Creates a controller for the given switches.
+    pub fn new(switches: Vec<SwitchId>, cfg: LazyConfig) -> Self {
+        let grouping = GroupingManager::new(
+            switches.len(),
+            cfg.group_size_limit,
+            cfg.triggers,
+            cfg.seed,
+        );
+        LazyController {
+            cfg,
+            switches,
+            clib: Clib::new(),
+            grouping,
+            tenants: TenantDirectory::new(),
+            failover: FailureDetector::new(),
+            meter: WorkloadMeter::new(),
+            xid: 0,
+            armed: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// The workload meter.
+    pub fn meter(&self) -> &WorkloadMeter {
+        &self.meter
+    }
+
+    /// The grouping manager (for experiment harnesses).
+    pub fn grouping(&self) -> &GroupingManager {
+        &self.grouping
+    }
+
+    /// The C-LIB.
+    pub fn clib(&self) -> &Clib {
+        &self.clib
+    }
+
+    /// The failure detector.
+    pub fn failover(&self) -> &FailureDetector {
+        &self.failover
+    }
+
+    fn next_xid(&mut self) -> u32 {
+        self.xid = self.xid.wrapping_add(1);
+        self.xid
+    }
+
+    /// Negotiates the group size limit with the switches before grouping
+    /// (Appendix C). Returns the transcript; the agreed limit replaces
+    /// `cfg.group_size_limit`.
+    pub fn negotiate_group_size(&mut self, min_limit: u32, max_limit: u32) -> BargainOutcome {
+        let outcome = negotiate(&BargainConfig::new(min_limit, max_limit));
+        self.cfg.group_size_limit = outcome.agreed_limit as usize;
+        self.grouping = GroupingManager::new(
+            self.switches.len(),
+            self.cfg.group_size_limit,
+            self.cfg.triggers,
+            self.cfg.seed,
+        );
+        outcome
+    }
+
+    /// `IniGroup` + setup phase: computes the initial grouping from a
+    /// bootstrap intensity graph (the paper uses the first hour of
+    /// traffic), pushes `GroupAssign` to every switch, and arms timers.
+    pub fn bootstrap(&mut self, now_ns: u64, graph: WeightedGraph) -> Vec<ControllerOutput> {
+        let assignments = self.grouping.bootstrap(
+            now_ns,
+            graph,
+            self.cfg.sync_interval_ms,
+            self.cfg.keepalive_interval_ms,
+        );
+        let mut out: Vec<ControllerOutput> = assignments
+            .into_iter()
+            .map(|(s, ga)| {
+                let xid = self.next_xid();
+                ControllerOutput::ToSwitch(s, Message::lazy(xid, LazyMsg::GroupAssign(ga)))
+            })
+            .collect();
+        for (timer, delay_ms) in [
+            (ControllerTimer::KeepAlive, self.cfg.keepalive_interval_ms),
+            (ControllerTimer::RegroupCheck, 10_000),
+        ] {
+            if self.armed.insert(timer) {
+                out.push(ControllerOutput::SetTimer(timer, delay_ms as u64 * 1_000_000));
+            }
+        }
+        out
+    }
+
+    /// Handles a message arriving on a control or state link.
+    pub fn handle_message(
+        &mut self,
+        now_ns: u64,
+        from: SwitchId,
+        msg: &Message,
+    ) -> Vec<ControllerOutput> {
+        self.meter.record(now_ns);
+        // Any sign of life from a switch we believed dead means it rebooted:
+        // trigger the §III-E.3 comeback resync.
+        let mut out = Vec::new();
+        if self.failover.mark_recovered(from) {
+            out.extend(self.resync_group_of(from));
+        }
+        match &msg.body {
+            MessageBody::Of(OfMessage::PacketIn(pi)) => {
+                out.extend(self.handle_packet_in(now_ns, from, pi));
+            }
+            MessageBody::Of(OfMessage::Hello) => {
+                let xid = self.next_xid();
+                out.push(ControllerOutput::ToSwitch(from, Message::of(xid, OfMessage::Hello)));
+            }
+            MessageBody::Of(OfMessage::EchoRequest(data)) => {
+                let xid = self.next_xid();
+                out.push(ControllerOutput::ToSwitch(
+                    from,
+                    Message::of(xid, OfMessage::EchoReply(data.clone())),
+                ));
+            }
+            MessageBody::Lazy(LazyMsg::LfibSync(sync)) => {
+                self.clib.apply_sync(sync);
+            }
+            MessageBody::Lazy(LazyMsg::StateReport(report)) => {
+                self.grouping.absorb_report(report);
+            }
+            MessageBody::Lazy(LazyMsg::WheelReport(report)) => {
+                if let Some(kind) = self.failover.observe(now_ns, report) {
+                    out.extend(self.apply_recovery(kind));
+                }
+            }
+            MessageBody::Lazy(LazyMsg::Bargain(offer)) => {
+                out.extend(self.handle_bargain(from, offer));
+            }
+            _ => {}
+        }
+        out
+    }
+
+    /// Handles a controller timer.
+    pub fn on_timer(&mut self, now_ns: u64, timer: ControllerTimer) -> Vec<ControllerOutput> {
+        match timer {
+            ControllerTimer::KeepAlive => {
+                let mut out: Vec<ControllerOutput> = Vec::with_capacity(self.switches.len() + 1);
+                for i in 0..self.switches.len() {
+                    let s = self.switches[i];
+                    let xid = self.next_xid();
+                    out.push(ControllerOutput::ToSwitch(
+                        s,
+                        Message::lazy(
+                            xid,
+                            LazyMsg::KeepAlive(lazyctrl_proto::KeepAliveMsg {
+                                from: SwitchId::CONTROLLER,
+                                seq: xid as u64,
+                            }),
+                        ),
+                    ));
+                }
+                out.push(ControllerOutput::SetTimer(
+                    ControllerTimer::KeepAlive,
+                    self.cfg.keepalive_interval_ms as u64 * 1_000_000,
+                ));
+                out
+            }
+            ControllerTimer::RegroupCheck => {
+                let mut out = Vec::new();
+                if self.cfg.dynamic_updates {
+                    let rate = self.meter.rate_rps(now_ns);
+                    let decision = self.grouping.check(now_ns, rate);
+                    if decision != RegroupDecision::None {
+                        let assignments = self.grouping.update(
+                            now_ns,
+                            decision,
+                            rate,
+                            self.cfg.sync_interval_ms,
+                            self.cfg.keepalive_interval_ms,
+                        );
+                        for (s, ga) in assignments {
+                            let xid = self.next_xid();
+                            out.push(ControllerOutput::ToSwitch(
+                                s,
+                                Message::lazy(xid, LazyMsg::GroupAssign(ga)),
+                            ));
+                        }
+                        if self.cfg.enable_preload {
+                            out.extend(self.preload_for_moves());
+                        }
+                        out.extend(self.refresh_arp_blocking());
+                    }
+                }
+                out.push(ControllerOutput::SetTimer(
+                    ControllerTimer::RegroupCheck,
+                    10_000_000_000,
+                ));
+                out
+            }
+        }
+    }
+
+    /// Re-evaluates tenant confinement and pushes `BlockArp` deltas
+    /// (§III-D.3).
+    pub fn refresh_arp_blocking(&mut self) -> Vec<ControllerOutput> {
+        if !self.cfg.enable_arp_blocking {
+            return Vec::new();
+        }
+        let grouping = &self.grouping;
+        self.tenants
+            .rebuild(&self.clib, |s| grouping.group_of(s));
+        let (to_block, to_unblock) = self.tenants.block_delta();
+        let mut out = Vec::new();
+        for (tenant, block) in to_block
+            .into_iter()
+            .map(|t| (t, true))
+            .chain(to_unblock.into_iter().map(|t| (t, false)))
+        {
+            // Blocking applies on the switches of the single hosting group.
+            for group in self.tenants.groups_of(tenant) {
+                for s in self.grouping.members(group) {
+                    let xid = self.next_xid();
+                    out.push(ControllerOutput::ToSwitch(
+                        s,
+                        Message::lazy(xid, LazyMsg::BlockArp { tenant, block }),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    fn handle_packet_in(
+        &mut self,
+        _now_ns: u64,
+        from: SwitchId,
+        pi: &PacketInMsg,
+    ) -> Vec<ControllerOutput> {
+        // A false-positive report carries a full encapsulated packet; the
+        // corrective rule goes on the *sender* switch (Fig. 5 line 28+).
+        if pi.reason == PacketInReason::FalsePositive {
+            return self.handle_false_positive(pi);
+        }
+        let Ok(frame) = EthernetFrame::decode(&pi.data) else {
+            return Vec::new();
+        };
+        let tenant = frame.vlan.map(|t| t.vid()).unwrap_or(TenantId::NONE);
+        // Learn the source into the C-LIB (PacketIns carry fresh truth).
+        self.clib.learn(
+            frame.src,
+            HostLocation {
+                switch: from,
+                port: pi.in_port,
+                tenant,
+            },
+        );
+
+        if frame.is_flood() {
+            // An escalated ARP request: relay to the designated switches of
+            // all *other* groups hosting this tenant (§III-D.3 level iii).
+            return self.relay_arp(from, tenant, &pi.data);
+        }
+
+        match self.clib.locate(frame.dst) {
+            Some(loc) if loc.switch != from => {
+                // Inter-group flow setup: Encap rule + packet release.
+                self.grouping.note_punt(from, loc.switch);
+                self.install_intergroup_rule(from, frame.dst, loc, pi)
+            }
+            Some(loc) => {
+                // Same-switch destination the switch failed to resolve
+                // (e.g. right after migration): point it back locally.
+                let xid = self.next_xid();
+                vec![ControllerOutput::ToSwitch(
+                    from,
+                    Message::of(
+                        xid,
+                        OfMessage::PacketOut(PacketOutMsg {
+                            buffer_id: pi.buffer_id,
+                            in_port: pi.in_port,
+                            actions: vec![Action::Output(loc.port)],
+                            data: pi.data.clone(),
+                        }),
+                    ),
+                )]
+            }
+            None => {
+                // Unknown destination: scoped relay, like the ARP path.
+                self.relay_arp(from, tenant, &pi.data)
+            }
+        }
+    }
+
+    fn install_intergroup_rule(
+        &mut self,
+        from: SwitchId,
+        dst: lazyctrl_net::MacAddr,
+        loc: HostLocation,
+        pi: &PacketInMsg,
+    ) -> Vec<ControllerOutput> {
+        // Tunnel keys carry the *receiver's* group epoch so untouched
+        // groups keep accepting the traffic across global regroupings.
+        let epoch = self.grouping.epoch_of_switch(loc.switch);
+        let actions = vec![Action::Encap {
+            remote: loc.switch.underlay_ip(),
+            key: epoch,
+        }];
+        let mut out = Vec::new();
+        let xid = self.next_xid();
+        out.push(ControllerOutput::ToSwitch(
+            from,
+            Message::of(
+                xid,
+                OfMessage::FlowMod(FlowModMsg {
+                    command: FlowModCommand::Add,
+                    flow_match: FlowMatch::to_dst(dst),
+                    priority: 10,
+                    idle_timeout: self.cfg.flow_idle_timeout_s,
+                    hard_timeout: 0,
+                    cookie: epoch as u64,
+                    actions: actions.clone(),
+                }),
+            ),
+        ));
+        let xid = self.next_xid();
+        out.push(ControllerOutput::ToSwitch(
+            from,
+            Message::of(
+                xid,
+                OfMessage::PacketOut(PacketOutMsg {
+                    buffer_id: pi.buffer_id,
+                    in_port: pi.in_port,
+                    actions,
+                    data: pi.data.clone(),
+                }),
+            ),
+        ));
+        out
+    }
+
+    fn handle_false_positive(&mut self, pi: &PacketInMsg) -> Vec<ControllerOutput> {
+        let Ok(Packet::Encapsulated(encap)) = Packet::decode(&pi.data) else {
+            return Vec::new();
+        };
+        let Some(sender) = SwitchId::from_underlay_ip(encap.header.src) else {
+            return Vec::new();
+        };
+        let Some(loc) = self.clib.locate(encap.inner.dst) else {
+            return Vec::new();
+        };
+        let epoch = self.grouping.epoch_of_switch(loc.switch);
+        let xid = self.next_xid();
+        vec![ControllerOutput::ToSwitch(
+            sender,
+            Message::of(
+                xid,
+                OfMessage::FlowMod(FlowModMsg {
+                    command: FlowModCommand::Add,
+                    flow_match: FlowMatch::to_dst(encap.inner.dst),
+                    priority: 20, // outranks the G-FIB path
+                    idle_timeout: self.cfg.flow_idle_timeout_s,
+                    hard_timeout: 0,
+                    cookie: epoch as u64,
+                    actions: vec![Action::Encap {
+                        remote: loc.switch.underlay_ip(),
+                        key: epoch,
+                    }],
+                }),
+            ),
+        )]
+    }
+
+    /// Relays an unresolved (typically ARP) frame to the designated
+    /// switches of every other group hosting the tenant.
+    fn relay_arp(&mut self, from: SwitchId, tenant: TenantId, data: &[u8]) -> Vec<ControllerOutput> {
+        let from_group = self.grouping.group_of(from);
+        let mut targets: Vec<SwitchId> = Vec::new();
+        if tenant.is_none() {
+            // No tenant scoping possible: all designated switches.
+            if let Some(n) = self.grouping.num_groups() {
+                for g in 0..n {
+                    if Some(g) != from_group {
+                        targets.extend(self.grouping.designated_of(g));
+                    }
+                }
+            }
+        } else {
+            let mut groups: Vec<usize> = self
+                .clib
+                .switches_of_tenant(tenant)
+                .into_iter()
+                .filter_map(|s| self.grouping.group_of(s))
+                .collect();
+            groups.sort_unstable();
+            groups.dedup();
+            for g in groups {
+                if Some(g) != from_group {
+                    targets.extend(self.grouping.designated_of(g));
+                }
+            }
+        }
+        targets
+            .into_iter()
+            .map(|s| {
+                let xid = self.next_xid();
+                ControllerOutput::ToSwitch(
+                    s,
+                    Message::of(
+                        xid,
+                        OfMessage::PacketOut(PacketOutMsg {
+                            buffer_id: u32::MAX,
+                            in_port: PortNo::NONE,
+                            actions: vec![Action::Output(PortNo::FLOOD)],
+                            data: data.to_vec(),
+                        }),
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    fn apply_recovery(&mut self, kind: FailureKind) -> Vec<ControllerOutput> {
+        let failed = match kind {
+            FailureKind::ControlLink(s)
+            | FailureKind::PeerLinkUp(s)
+            | FailureKind::PeerLinkDown(s)
+            | FailureKind::Switch(s) => s,
+        };
+        let group = self.grouping.group_of(failed);
+        let is_designated = group
+            .and_then(|g| self.grouping.designated_of(g))
+            .map(|d| d == failed)
+            .unwrap_or(false);
+        let ring_prev = group
+            .map(|g| {
+                let mut members = self.grouping.members(g);
+                members.sort_unstable();
+                let i = members.iter().position(|&s| s == failed).unwrap_or(0);
+                members[(i + members.len() - 1) % members.len().max(1)]
+            })
+            .unwrap_or(failed);
+        let plan = FailureDetector::plan_recovery(kind, ring_prev, is_designated, group.unwrap_or(0));
+        let mut out = Vec::new();
+        for action in plan {
+            if let RecoveryAction::ReselectDesignated { group, old } = action {
+                // Push fresh assignments with the next-lowest member as
+                // designated (the backup takes over).
+                let mut members = self.grouping.members(group);
+                members.sort_unstable();
+                members.retain(|&s| s != old);
+                if members.is_empty() {
+                    continue;
+                }
+                let designated = members[0];
+                let epoch = self.grouping.epoch_of_group(group);
+                let n = members.len();
+                for (i, &me) in members.iter().enumerate() {
+                    let xid = self.next_xid();
+                    out.push(ControllerOutput::ToSwitch(
+                        me,
+                        Message::lazy(
+                            xid,
+                            LazyMsg::GroupAssign(lazyctrl_proto::GroupAssignMsg {
+                                group: lazyctrl_net::GroupId::new(group as u32),
+                                epoch,
+                                members: members.clone(),
+                                designated,
+                                backups: members.iter().copied().skip(1).take(1).collect(),
+                                ring_prev: members[(i + n - 1) % n],
+                                ring_next: members[(i + 1) % n],
+                                sync_interval_ms: self.cfg.sync_interval_ms,
+                                keepalive_interval_ms: self.cfg.keepalive_interval_ms,
+                                group_size_limit: self.cfg.group_size_limit as u32,
+                            }),
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// §III-E.3 comeback: when a rebooted switch returns, re-push its
+    /// group's assignment to force a state resync.
+    fn resync_group_of(&mut self, switch: SwitchId) -> Vec<ControllerOutput> {
+        let Some(group) = self.grouping.group_of(switch) else {
+            return Vec::new();
+        };
+        let mut members = self.grouping.members(group);
+        members.sort_unstable();
+        let Some(designated) = members.first().copied() else {
+            return Vec::new();
+        };
+        let epoch = self.grouping.epoch_of_group(group);
+        let n = members.len();
+        members
+            .iter()
+            .enumerate()
+            .map(|(i, &me)| {
+                let xid = self.next_xid();
+                ControllerOutput::ToSwitch(
+                    me,
+                    Message::lazy(
+                        xid,
+                        LazyMsg::GroupAssign(lazyctrl_proto::GroupAssignMsg {
+                            group: lazyctrl_net::GroupId::new(group as u32),
+                            epoch,
+                            members: members.clone(),
+                            designated,
+                            backups: members.iter().copied().skip(1).take(1).collect(),
+                            ring_prev: members[(i + n - 1) % n],
+                            ring_next: members[(i + 1) % n],
+                            sync_interval_ms: self.cfg.sync_interval_ms,
+                            keepalive_interval_ms: self.cfg.keepalive_interval_ms,
+                            group_size_limit: self.cfg.group_size_limit as u32,
+                        }),
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    /// Appendix B preload: for every switch moved between groups, install
+    /// temporary tunnel rules (normal idle timeout) so traffic between the
+    /// moved switch and its former peers keeps flowing from the flow table
+    /// instead of punting while G-FIBs converge.
+    fn preload_for_moves(&mut self) -> Vec<ControllerOutput> {
+        let moves = self.grouping.take_last_moves();
+        let mut out = Vec::new();
+        for (moved, old_group, _new_group) in moves {
+            // Former peers = current members of the old group.
+            let former_peers = self.grouping.members(old_group);
+            let moved_epoch = self.grouping.epoch_of_switch(moved);
+            let hosts_behind_moved = self.clib.hosts_on(moved);
+            for peer in former_peers {
+                if peer == moved {
+                    continue;
+                }
+                let peer_epoch = self.grouping.epoch_of_switch(peer);
+                // Rules on the former peer towards the moved switch's hosts.
+                for (mac, _) in &hosts_behind_moved {
+                    let xid = self.next_xid();
+                    out.push(ControllerOutput::ToSwitch(
+                        peer,
+                        Message::of(
+                            xid,
+                            OfMessage::FlowMod(FlowModMsg {
+                                command: FlowModCommand::Add,
+                                flow_match: FlowMatch::to_dst(*mac),
+                                priority: 10,
+                                idle_timeout: self.cfg.flow_idle_timeout_s,
+                                hard_timeout: 0,
+                                cookie: moved_epoch as u64,
+                                actions: vec![Action::Encap {
+                                    remote: moved.underlay_ip(),
+                                    key: moved_epoch,
+                                }],
+                            }),
+                        ),
+                    ));
+                }
+                // Rules on the moved switch towards the former peer's hosts.
+                for (mac, _) in self.clib.hosts_on(peer) {
+                    let xid = self.next_xid();
+                    out.push(ControllerOutput::ToSwitch(
+                        moved,
+                        Message::of(
+                            xid,
+                            OfMessage::FlowMod(FlowModMsg {
+                                command: FlowModCommand::Add,
+                                flow_match: FlowMatch::to_dst(mac),
+                                priority: 10,
+                                idle_timeout: self.cfg.flow_idle_timeout_s,
+                                hard_timeout: 0,
+                                cookie: peer_epoch as u64,
+                                actions: vec![Action::Encap {
+                                    remote: peer.underlay_ip(),
+                                    key: peer_epoch,
+                                }],
+                            }),
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    fn handle_bargain(&mut self, from: SwitchId, offer: &BargainMsg) -> Vec<ControllerOutput> {
+        // The controller accepts offers at or above its planning floor and
+        // counters below it (the full alternating-offers game runs in
+        // `negotiate_group_size`; this is the online responder).
+        let floor = (self.cfg.group_size_limit / 2).max(1) as u32;
+        let xid = self.next_xid();
+        let reply = if offer.proposed_limit >= floor {
+            BargainMsg {
+                round: offer.round + 1,
+                from_controller: true,
+                proposed_limit: offer.proposed_limit,
+                accept: true,
+            }
+        } else {
+            BargainMsg {
+                round: offer.round + 1,
+                from_controller: true,
+                proposed_limit: floor,
+                accept: false,
+            }
+        };
+        vec![ControllerOutput::ToSwitch(
+            from,
+            Message::lazy(xid, LazyMsg::Bargain(reply)),
+        )]
+    }
+}

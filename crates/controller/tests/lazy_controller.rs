@@ -1,0 +1,320 @@
+//! Behavioural tests for the LazyCtrl controller: bootstrap, inter-group
+//! flow setup, ARP relay scoping, failover reaction, and laziness (what it
+//! does *not* have to handle).
+
+use lazyctrl_controller::{ControllerOutput, ControllerTimer, LazyConfig, LazyController};
+use lazyctrl_net::{
+    EthernetFrame, EtherType, HostId, PortNo, SwitchId, TenantId, VlanTag,
+};
+use lazyctrl_partition::WeightedGraph;
+use lazyctrl_proto::{
+    Action, LazyMsg, LfibEntry, LfibSyncMsg, Message, MessageBody, OfMessage, PacketInMsg,
+    PacketInReason, WheelLoss, WheelReportMsg,
+};
+
+/// Two natural 4-switch clusters.
+fn bootstrap_graph() -> WeightedGraph {
+    let mut g = WeightedGraph::new(8);
+    for c in 0..2 {
+        let b = c * 4;
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                g.add_edge(b + i, b + j, 10.0);
+            }
+        }
+    }
+    g.add_edge(3, 4, 0.2);
+    g
+}
+
+fn controller() -> (LazyController, Vec<ControllerOutput>) {
+    let switches: Vec<SwitchId> = (0..8).map(SwitchId::new).collect();
+    let cfg = LazyConfig {
+        group_size_limit: 4,
+        ..LazyConfig::default()
+    };
+    let mut c = LazyController::new(switches, cfg);
+    let out = c.bootstrap(0, bootstrap_graph());
+    (c, out)
+}
+
+fn frame(src: u32, dst: u32, tenant: u16) -> EthernetFrame {
+    EthernetFrame::tagged(
+        HostId::new(src).mac(),
+        HostId::new(dst).mac(),
+        VlanTag::for_tenant(TenantId::new(tenant)),
+        EtherType::IPV4,
+        vec![0; 24],
+    )
+}
+
+fn packet_in(src: u32, dst: u32, tenant: u16) -> PacketInMsg {
+    PacketInMsg {
+        buffer_id: u32::MAX,
+        in_port: PortNo::new(1),
+        reason: PacketInReason::NoMatch,
+        data: frame(src, dst, tenant).encode(),
+    }
+}
+
+fn lfib_sync(origin: u32, hosts: &[(u32, u16)]) -> Message {
+    Message::lazy(
+        1,
+        LazyMsg::LfibSync(LfibSyncMsg {
+            origin: SwitchId::new(origin),
+            epoch: 1,
+            entries: hosts
+                .iter()
+                .map(|&(h, t)| LfibEntry {
+                    mac: HostId::new(h).mac(),
+                    tenant: TenantId::new(t),
+                    port: PortNo::new(1),
+                })
+                .collect(),
+            removed: vec![],
+        }),
+    )
+}
+
+#[test]
+fn bootstrap_groups_the_clusters_and_arms_timers() {
+    let (c, out) = controller();
+    // Eight GroupAssign messages plus two timers.
+    let assigns = out
+        .iter()
+        .filter(|o| {
+            matches!(o, ControllerOutput::ToSwitch(_, m)
+                if matches!(m.body, MessageBody::Lazy(LazyMsg::GroupAssign(_))))
+        })
+        .count();
+    assert_eq!(assigns, 8);
+    assert!(out
+        .iter()
+        .any(|o| matches!(o, ControllerOutput::SetTimer(ControllerTimer::KeepAlive, _))));
+    assert!(out
+        .iter()
+        .any(|o| matches!(o, ControllerOutput::SetTimer(ControllerTimer::RegroupCheck, _))));
+    // The clusters map to distinct groups.
+    assert_eq!(
+        c.grouping().group_of(SwitchId::new(0)),
+        c.grouping().group_of(SwitchId::new(3))
+    );
+    assert_ne!(
+        c.grouping().group_of(SwitchId::new(0)),
+        c.grouping().group_of(SwitchId::new(4))
+    );
+}
+
+#[test]
+fn intergroup_packet_in_installs_encap_rule() {
+    let (mut c, _) = controller();
+    // C-LIB learns host 20 on switch 5 (group 1) via a state-link sync.
+    let _ = c.handle_message(0, SwitchId::new(5), &lfib_sync(5, &[(20, 7)]));
+    // Switch 0 (group 0) punts a flow towards host 20.
+    let msg = Message::of(1, OfMessage::PacketIn(packet_in(10, 20, 7)));
+    let out = c.handle_message(1, SwitchId::new(0), &msg);
+    assert_eq!(out.len(), 2, "FlowMod + PacketOut: {out:?}");
+    let ControllerOutput::ToSwitch(s, m) = &out[0] else {
+        panic!()
+    };
+    assert_eq!(*s, SwitchId::new(0));
+    match &m.body {
+        MessageBody::Of(OfMessage::FlowMod(fm)) => {
+            assert_eq!(
+                fm.actions,
+                vec![Action::Encap {
+                    remote: SwitchId::new(5).underlay_ip(),
+                    key: c.grouping().epoch(),
+                }]
+            );
+        }
+        other => panic!("expected FlowMod, got {other:?}"),
+    }
+    // The source host was learned into the C-LIB from the PacketIn.
+    assert!(c.clib().locate(HostId::new(10).mac()).is_some());
+}
+
+#[test]
+fn arp_relay_is_scoped_to_tenant_groups() {
+    let (mut c, _) = controller();
+    // Tenant 7 has hosts behind switches 1 (group 0) and 5 (group 1);
+    // tenant 8 only behind switch 2 (group 0).
+    let _ = c.handle_message(0, SwitchId::new(1), &lfib_sync(1, &[(11, 7)]));
+    let _ = c.handle_message(0, SwitchId::new(5), &lfib_sync(5, &[(20, 7)]));
+    let _ = c.handle_message(0, SwitchId::new(2), &lfib_sync(2, &[(30, 8)]));
+
+    // An escalated ARP broadcast from group 0 for tenant 7: relayed to the
+    // designated switch of group 1 only.
+    let mut arp = packet_in(11, 0, 7);
+    let mut f = frame(11, 0, 7);
+    f.dst = lazyctrl_net::MacAddr::BROADCAST;
+    arp.data = f.encode();
+    let out = c.handle_message(1, SwitchId::new(0), &Message::of(2, OfMessage::PacketIn(arp)));
+    assert_eq!(out.len(), 1, "one designated relay: {out:?}");
+    let ControllerOutput::ToSwitch(s, _) = &out[0] else {
+        panic!()
+    };
+    let designated_g1 = c
+        .grouping()
+        .designated_of(c.grouping().group_of(SwitchId::new(5)).unwrap())
+        .unwrap();
+    assert_eq!(*s, designated_g1);
+
+    // Same for tenant 8 (entirely in group 0): nothing to relay.
+    let mut arp = packet_in(30, 0, 8);
+    let mut f = frame(30, 0, 8);
+    f.dst = lazyctrl_net::MacAddr::BROADCAST;
+    arp.data = f.encode();
+    let out = c.handle_message(2, SwitchId::new(0), &Message::of(3, OfMessage::PacketIn(arp)));
+    assert!(out.is_empty(), "tenant confined to the origin group: {out:?}");
+}
+
+#[test]
+fn false_positive_report_corrects_the_sender() {
+    let (mut c, _) = controller();
+    let _ = c.handle_message(0, SwitchId::new(5), &lfib_sync(5, &[(20, 7)]));
+    // Switch 6 received a mis-forwarded tunnel packet from switch 0.
+    let encap = lazyctrl_net::EncapsulatedFrame::new(
+        lazyctrl_net::EncapHeader::new(
+            SwitchId::new(0).underlay_ip(),
+            SwitchId::new(6).underlay_ip(),
+            TenantId::new(7),
+            1,
+        ),
+        frame(10, 20, 7),
+    );
+    let pi = PacketInMsg {
+        buffer_id: u32::MAX,
+        in_port: PortNo::NONE,
+        reason: PacketInReason::FalsePositive,
+        data: encap.encode(),
+    };
+    let out = c.handle_message(1, SwitchId::new(6), &Message::of(4, OfMessage::PacketIn(pi)));
+    assert_eq!(out.len(), 1);
+    let ControllerOutput::ToSwitch(s, m) = &out[0] else {
+        panic!()
+    };
+    assert_eq!(*s, SwitchId::new(0), "corrective rule goes to the sender");
+    match &m.body {
+        MessageBody::Of(OfMessage::FlowMod(fm)) => {
+            assert_eq!(fm.priority, 20, "must outrank the G-FIB path");
+            assert!(matches!(fm.actions[0], Action::Encap { remote, .. }
+                if remote == SwitchId::new(5).underlay_ip()));
+        }
+        other => panic!("expected FlowMod, got {other:?}"),
+    }
+}
+
+#[test]
+fn keepalive_timer_probes_every_switch() {
+    let (mut c, _) = controller();
+    let out = c.on_timer(1_000_000_000, ControllerTimer::KeepAlive);
+    let probes = out
+        .iter()
+        .filter(|o| {
+            matches!(o, ControllerOutput::ToSwitch(_, m)
+                if matches!(m.body, MessageBody::Lazy(LazyMsg::KeepAlive(_))))
+        })
+        .count();
+    assert_eq!(probes, 8);
+    assert!(out
+        .iter()
+        .any(|o| matches!(o, ControllerOutput::SetTimer(ControllerTimer::KeepAlive, _))));
+}
+
+#[test]
+fn dead_switch_triggers_designated_reselection() {
+    let (mut c, _) = controller();
+    let victim = c.grouping().designated_of(0).unwrap();
+    // Both ring neighbours report silence.
+    let up = WheelReportMsg {
+        reporter: SwitchId::new(99),
+        missing: victim,
+        loss: WheelLoss::Upstream,
+    };
+    let down = WheelReportMsg {
+        reporter: SwitchId::new(98),
+        missing: victim,
+        loss: WheelLoss::Downstream,
+    };
+    let _ = c.handle_message(0, SwitchId::new(99), &Message::lazy(1, LazyMsg::WheelReport(up)));
+    let out = c.handle_message(
+        1,
+        SwitchId::new(98),
+        &Message::lazy(2, LazyMsg::WheelReport(down)),
+    );
+    // The group re-forms without the victim.
+    let assigns: Vec<_> = out
+        .iter()
+        .filter_map(|o| match o {
+            ControllerOutput::ToSwitch(s, m) => match &m.body {
+                MessageBody::Lazy(LazyMsg::GroupAssign(ga)) => Some((s, ga)),
+                _ => None,
+            },
+            _ => None,
+        })
+        .collect();
+    assert!(!assigns.is_empty(), "reselection must reassign: {out:?}");
+    for (_, ga) in &assigns {
+        assert!(!ga.members.contains(&victim));
+        assert_ne!(ga.designated, victim);
+    }
+    assert_eq!(c.failover().down_switches(), vec![victim]);
+    // The victim comes back: any message from it triggers a resync.
+    let hello = Message::of(9, OfMessage::Hello);
+    let out = c.handle_message(10, victim, &hello);
+    assert!(
+        out.iter().any(|o| matches!(o, ControllerOutput::ToSwitch(_, m)
+            if matches!(m.body, MessageBody::Lazy(LazyMsg::GroupAssign(_))))),
+        "comeback must resync the group: {out:?}"
+    );
+    assert!(c.failover().down_switches().is_empty());
+}
+
+#[test]
+fn workload_counts_every_message() {
+    let (mut c, _) = controller();
+    for i in 0..10u64 {
+        let _ = c.handle_message(
+            i,
+            SwitchId::new(0),
+            &Message::of(1, OfMessage::PacketIn(packet_in(10, 20, 7))),
+        );
+    }
+    assert_eq!(c.meter().total(), 10);
+}
+
+#[test]
+fn bargaining_sets_the_group_size() {
+    let switches: Vec<SwitchId> = (0..8).map(SwitchId::new).collect();
+    let mut c = LazyController::new(switches, LazyConfig::default());
+    let outcome = c.negotiate_group_size(20, 100);
+    assert!((20..=100).contains(&outcome.agreed_limit));
+    assert!(!outcome.transcript.is_empty());
+}
+
+#[test]
+fn static_mode_never_regroups() {
+    let switches: Vec<SwitchId> = (0..8).map(SwitchId::new).collect();
+    let cfg = LazyConfig {
+        group_size_limit: 4,
+        dynamic_updates: false,
+        ..LazyConfig::default()
+    };
+    let mut c = LazyController::new(switches, cfg);
+    let _ = c.bootstrap(0, bootstrap_graph());
+    let updates_before = c.grouping().updates_applied();
+    // Hammer the regroup timer far past every trigger.
+    for i in 1..10u64 {
+        let out = c.on_timer(i * 600_000_000_000, ControllerTimer::RegroupCheck);
+        let assigns = out
+            .iter()
+            .filter(|o| {
+                matches!(o, ControllerOutput::ToSwitch(_, m)
+                    if matches!(m.body, MessageBody::Lazy(LazyMsg::GroupAssign(_))))
+            })
+            .count();
+        assert_eq!(assigns, 0, "static mode must not reassign");
+    }
+    assert_eq!(c.grouping().updates_applied(), updates_before);
+}

@@ -1,0 +1,170 @@
+//! Experiment configuration.
+
+use lazyctrl_controller::RegroupTriggers;
+use lazyctrl_sim::LatencyModel;
+use serde::{Deserialize, Serialize};
+
+/// Which control plane runs the data center.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ControlMode {
+    /// Standard OpenFlow reactive control (Floodlight learning switch) —
+    /// the paper's "normal mode" baseline.
+    Baseline,
+    /// LazyCtrl with the bootstrap grouping frozen for the whole run
+    /// ("static" in Fig. 7).
+    LazyStatic,
+    /// LazyCtrl with incremental regrouping enabled ("dynamic").
+    LazyDynamic,
+}
+
+impl ControlMode {
+    /// True for the two LazyCtrl variants.
+    pub fn is_lazy(self) -> bool {
+        !matches!(self, ControlMode::Baseline)
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ControlMode::Baseline => "openflow",
+            ControlMode::LazyStatic => "lazyctrl-static",
+            ControlMode::LazyDynamic => "lazyctrl-dynamic",
+        }
+    }
+}
+
+/// Full configuration of one experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Control plane under test.
+    pub mode: ControlMode,
+    /// Switches per local control group.
+    pub group_size_limit: usize,
+    /// Hours of leading traffic used to build the bootstrap intensity
+    /// graph ("the initial grouping is done based on the first-hour
+    /// traffic pattern", §V-D).
+    pub bootstrap_hours: f64,
+    /// Peer-sync interval pushed to switches (ms). Large default keeps the
+    /// 24 h runs fast; the sync traffic itself never touches the
+    /// controller's PacketIn path.
+    pub sync_interval_ms: u32,
+    /// Wheel keep-alive interval (ms).
+    pub keepalive_interval_ms: u32,
+    /// Emit explicit ARP request/reply exchanges for fresh host pairs.
+    /// Costs events; the cold-cache scenario turns it on.
+    pub emit_arp: bool,
+    /// Destination hosts send one response frame per fresh pair (drives
+    /// reverse-path learning, as real hosts would).
+    pub responses: bool,
+    /// Latency model for all four channel classes.
+    pub latency: LatencyModel,
+    /// Regrouping triggers (dynamic mode only).
+    pub triggers: RegroupTriggers,
+    /// Report G-FIB false positives to the controller for corrective rules.
+    pub report_false_positives: bool,
+    /// Preload temporary tunnel rules around regroupings (Appendix B).
+    pub preload: bool,
+    /// Record every delivered flow's (src, dst, emit-time, latency) tuple.
+    /// Memory-heavy; only the micro scenarios enable it.
+    pub record_flow_latencies: bool,
+    /// Stop the run after this many hours of virtual time (None = whole
+    /// trace).
+    pub horizon_hours: Option<f64>,
+    /// Workload/latency series bucket width in hours (paper plots use 2 h).
+    pub bucket_hours: f64,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// A paper-shaped default configuration for the given mode.
+    pub fn new(mode: ControlMode) -> Self {
+        ExperimentConfig {
+            mode,
+            group_size_limit: 46,
+            bootstrap_hours: 1.0,
+            sync_interval_ms: 300_000,
+            keepalive_interval_ms: 60_000,
+            emit_arp: false,
+            responses: true,
+            latency: LatencyModel::default(),
+            triggers: RegroupTriggers::default(),
+            report_false_positives: true,
+            preload: true,
+            record_flow_latencies: false,
+            horizon_hours: None,
+            bucket_hours: 2.0,
+            seed: 0xE1,
+        }
+    }
+
+    /// Sets the group size limit.
+    pub fn with_group_size_limit(mut self, limit: usize) -> Self {
+        self.group_size_limit = limit;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Restricts the run to the first `hours` of the trace.
+    pub fn with_horizon_hours(mut self, hours: f64) -> Self {
+        self.horizon_hours = Some(hours);
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical values (zero group size, non-positive bucket).
+    pub fn validate(&self) {
+        assert!(self.group_size_limit > 0, "group size limit must be positive");
+        assert!(self.bucket_hours > 0.0, "bucket width must be positive");
+        assert!(
+            self.bootstrap_hours >= 0.0,
+            "bootstrap window cannot be negative"
+        );
+        assert!(self.sync_interval_ms > 0, "sync interval must be positive");
+        assert!(
+            self.keepalive_interval_ms > 0,
+            "keepalive interval must be positive"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_kind() {
+        assert_eq!(ControlMode::Baseline.label(), "openflow");
+        assert!(!ControlMode::Baseline.is_lazy());
+        assert!(ControlMode::LazyStatic.is_lazy());
+        assert!(ControlMode::LazyDynamic.is_lazy());
+    }
+
+    #[test]
+    fn builder_chain() {
+        let cfg = ExperimentConfig::new(ControlMode::LazyDynamic)
+            .with_group_size_limit(10)
+            .with_seed(42)
+            .with_horizon_hours(2.0);
+        cfg.validate();
+        assert_eq!(cfg.group_size_limit, 10);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.horizon_hours, Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "group size limit")]
+    fn zero_group_size_rejected() {
+        ExperimentConfig::new(ControlMode::Baseline)
+            .with_group_size_limit(0)
+            .validate();
+    }
+}

@@ -1,0 +1,168 @@
+//! The experiment driver: trace in, report out.
+
+use lazyctrl_sim::{run, EventQueue, SimTime};
+use lazyctrl_trace::Trace;
+
+use crate::report::SeriesPoint;
+use crate::world::{DataCenterWorld, Ev};
+use crate::{ExperimentConfig, ExperimentReport};
+
+/// One end-to-end run of a control plane over a trace.
+#[derive(Debug)]
+pub struct Experiment {
+    trace: Trace,
+    cfg: ExperimentConfig,
+}
+
+impl Experiment {
+    /// Prepares an experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration or an inconsistent trace.
+    pub fn new(trace: Trace, cfg: ExperimentConfig) -> Self {
+        cfg.validate();
+        trace.validate();
+        Experiment { trace, cfg }
+    }
+
+    /// Runs the simulation to completion and collects the report.
+    pub fn run(self) -> ExperimentReport {
+        self.run_detailed().report
+    }
+
+    /// Like [`Experiment::run`], but also returns the per-flow latency log
+    /// (enable `record_flow_latencies` in the config to populate it).
+    pub fn run_detailed(self) -> DetailedRun {
+        let Experiment { trace, cfg } = self;
+        let trace_name = trace.name.clone();
+        let mode = cfg.mode;
+        let horizon = cfg
+            .horizon_hours
+            .map(|h| SimTime::from_nanos((h * 3.6e12) as u64))
+            .unwrap_or(SimTime::from_nanos(trace.duration_ns + 3_600_000_000_000));
+
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        // Schedule every flow arrival up front (they're already sorted).
+        for (i, f) in trace.flows.iter().enumerate() {
+            if SimTime::from_nanos(f.time_ns) > horizon {
+                break;
+            }
+            queue.schedule(SimTime::from_nanos(f.time_ns), Ev::FlowArrival(i));
+        }
+
+        let mut world = DataCenterWorld::new(trace, cfg);
+        {
+            // Bootstrap needs a scheduler; run a tiny prologue through the
+            // kernel by scheduling from a scratch queue.
+            let mut sched_queue = std::mem::take(&mut queue);
+            let mut sched = scheduler_for(&mut sched_queue);
+            world.bootstrap(&mut sched);
+            queue = sched_queue;
+        }
+
+        run(&mut world, &mut queue, horizon);
+
+        // ---- Collect ----
+        let bucket_hours = world.cfg.bucket_hours;
+        let series = |name: &str| -> Vec<SeriesPoint> {
+            world
+                .metrics
+                .series(name)
+                .map(|s| {
+                    s.rates()
+                        .into_iter()
+                        .map(|(t, v)| SeriesPoint {
+                            hour: t.as_secs_f64() / 3600.0,
+                            value: v,
+                        })
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let workload_rps = series("workload");
+        let latency_ms: Vec<SeriesPoint> = world
+            .metrics
+            .series("latency_ms")
+            .map(|s| {
+                s.means()
+                    .into_iter()
+                    .map(|(t, v)| SeriesPoint {
+                        hour: t.as_secs_f64() / 3600.0,
+                        value: v,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let updates_per_hour: Vec<SeriesPoint> = world
+            .metrics
+            .series("regroup_updates")
+            .map(|s| {
+                s.sums()
+                    .into_iter()
+                    .map(|(t, v)| SeriesPoint {
+                        hour: t.as_secs_f64() / 3600.0,
+                        value: v,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mean_latency_ms = world
+            .metrics
+            .histogram("latency_all_ms")
+            .and_then(|h| h.mean())
+            .unwrap_or(0.0);
+        let max_gfib_bytes = world
+            .switches
+            .iter()
+            .map(|s| s.gfib().storage_bytes() as u64)
+            .max()
+            .unwrap_or(0);
+        let lazy = world.controller.lazy();
+        let final_winter = lazy.and_then(|c| c.grouping().winter());
+        let num_groups = lazy.and_then(|c| c.grouping().num_groups());
+
+        let _ = bucket_hours;
+        let report = ExperimentReport {
+            mode: mode.label().to_owned(),
+            trace: trace_name,
+            workload_rps,
+            latency_ms,
+            updates_per_hour,
+            controller_messages: world.metrics.counter("controller_messages"),
+            packet_ins: world.metrics.counter("packet_ins"),
+            flows_started: world.metrics.counter("flows_started"),
+            delivered_flows: world.metrics.counter("delivered_flows"),
+            mean_latency_ms,
+            final_winter,
+            max_gfib_bytes,
+            num_groups,
+        };
+        DetailedRun {
+            report,
+            flow_latencies: std::mem::take(&mut world.flow_latencies),
+            counters: world
+                .metrics
+                .counters()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        }
+    }
+}
+
+/// A report plus the raw per-flow latency log.
+#[derive(Debug, Clone)]
+pub struct DetailedRun {
+    /// The aggregate report.
+    pub report: ExperimentReport,
+    /// `((src host, dst host, emit ns), latency ms)` per delivered flow.
+    pub flow_latencies: Vec<((u32, u32, u64), f64)>,
+    /// All metric counters at end of run, sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// Builds a scheduler over a queue (free function to satisfy borrowck in
+/// the bootstrap prologue).
+fn scheduler_for<E>(queue: &mut EventQueue<E>) -> lazyctrl_sim::Scheduler<'_, E> {
+    lazyctrl_sim::Scheduler::over(queue)
+}

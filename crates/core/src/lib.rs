@@ -1,0 +1,49 @@
+//! End-to-end LazyCtrl experiments: the simulated data center that wires
+//! edge switches, a controller, latency-modelled links and a traffic trace
+//! into one deterministic discrete-event run.
+//!
+//! This crate is the equivalent of the paper's prototype testbed (§V-A):
+//! where the authors replayed their trace across 272 virtual Open vSwitch
+//! instances and a Floodlight controller, [`Experiment`] replays a
+//! [`Trace`](lazyctrl_trace::Trace) through [`EdgeSwitch`] state machines
+//! and a [`BaselineController`]/[`LazyController`], measuring exactly what
+//! the paper measures:
+//!
+//! * controller workload over time (Fig. 7),
+//! * grouping update frequency (Fig. 8),
+//! * steady-state forwarding latency (Fig. 9),
+//! * cold-cache latency (§V-E) via [`scenarios::cold_cache`],
+//! * G-FIB storage (§V-D).
+//!
+//! # Example
+//!
+//! ```
+//! use lazyctrl_core::{ControlMode, Experiment, ExperimentConfig};
+//! use lazyctrl_trace::realistic::{generate, RealTraceConfig};
+//!
+//! let mut cfg = RealTraceConfig::small();
+//! cfg.num_flows = 2_000; // keep the doctest fast
+//! let trace = generate(&cfg);
+//! let report = Experiment::new(
+//!     trace,
+//!     ExperimentConfig::new(ControlMode::LazyDynamic).with_group_size_limit(10),
+//! )
+//! .run();
+//! assert!(report.delivered_flows > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod experiment;
+mod report;
+pub mod scenarios;
+mod world;
+
+pub use config::{ControlMode, ExperimentConfig};
+pub use experiment::{DetailedRun, Experiment};
+pub use report::{ExperimentReport, SeriesPoint};
+
+pub use lazyctrl_controller::{BaselineController, LazyController};
+pub use lazyctrl_switch::EdgeSwitch;

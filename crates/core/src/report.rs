@@ -1,0 +1,119 @@
+//! Experiment results in the shapes the paper plots.
+
+use serde::{Deserialize, Serialize};
+
+/// One point of a time series: (hour-of-trace, value).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Start of the bucket, in hours since trace start.
+    pub hour: f64,
+    /// The bucket's value (rps, ms, updates, ...).
+    pub value: f64,
+}
+
+/// Everything one run measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Label of the control mode ("openflow", "lazyctrl-static", ...).
+    pub mode: String,
+    /// Trace name.
+    pub trace: String,
+    /// Controller workload per bucket, requests/sec (Fig. 7's y-axis).
+    pub workload_rps: Vec<SeriesPoint>,
+    /// Mean first-packet forwarding latency per bucket, ms (Fig. 9).
+    pub latency_ms: Vec<SeriesPoint>,
+    /// Grouping updates per hour (Fig. 8).
+    pub updates_per_hour: Vec<SeriesPoint>,
+    /// Total messages the controller processed.
+    pub controller_messages: u64,
+    /// Total `PacketIn`s among them.
+    pub packet_ins: u64,
+    /// Flow arrivals driven.
+    pub flows_started: u64,
+    /// First packets confirmed delivered.
+    pub delivered_flows: u64,
+    /// Overall mean first-packet latency (ms).
+    pub mean_latency_ms: f64,
+    /// Final normalized inter-group intensity (lazy modes).
+    pub final_winter: Option<f64>,
+    /// Largest per-switch G-FIB footprint at end of run (bytes).
+    pub max_gfib_bytes: u64,
+    /// Number of local control groups at end of run (lazy modes).
+    pub num_groups: Option<usize>,
+}
+
+impl ExperimentReport {
+    /// Mean controller workload over the run (requests/sec).
+    pub fn mean_workload_rps(&self) -> f64 {
+        if self.workload_rps.is_empty() {
+            return 0.0;
+        }
+        self.workload_rps.iter().map(|p| p.value).sum::<f64>() / self.workload_rps.len() as f64
+    }
+
+    /// Workload reduction of `self` relative to `baseline`, in `[0, 1]`
+    /// (the paper's headline 61–82%).
+    pub fn workload_reduction_vs(&self, baseline: &ExperimentReport) -> f64 {
+        let base = baseline.mean_workload_rps();
+        if base == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.mean_workload_rps() / base
+    }
+
+    /// Renders a compact text table of the workload series (one row per
+    /// bucket), for the repro binaries.
+    pub fn workload_table(&self) -> String {
+        let mut out = String::from("hour_bucket  workload_rps\n");
+        for p in &self.workload_rps {
+            out.push_str(&format!("{:>6.1}       {:>10.2}\n", p.hour, p.value));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(vals: &[f64]) -> ExperimentReport {
+        ExperimentReport {
+            mode: "test".into(),
+            trace: "t".into(),
+            workload_rps: vals
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| SeriesPoint {
+                    hour: i as f64 * 2.0,
+                    value: v,
+                })
+                .collect(),
+            latency_ms: vec![],
+            updates_per_hour: vec![],
+            controller_messages: 0,
+            packet_ins: 0,
+            flows_started: 0,
+            delivered_flows: 0,
+            mean_latency_ms: 0.0,
+            final_winter: None,
+            max_gfib_bytes: 0,
+            num_groups: None,
+        }
+    }
+
+    #[test]
+    fn mean_and_reduction() {
+        let base = report(&[100.0, 200.0]);
+        let lazy = report(&[30.0, 30.0]);
+        assert_eq!(base.mean_workload_rps(), 150.0);
+        assert!((lazy.workload_reduction_vs(&base) - 0.8).abs() < 1e-12);
+        assert_eq!(report(&[]).mean_workload_rps(), 0.0);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = report(&[5.0]).workload_table();
+        assert!(t.contains("workload_rps"));
+        assert!(t.contains("5.00"));
+    }
+}

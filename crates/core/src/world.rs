@@ -1,0 +1,596 @@
+//! The simulated data center: switches + controller + links as one
+//! [`World`] for the discrete-event kernel.
+
+use std::collections::HashSet;
+
+use lazyctrl_controller::{
+    BaselineController, ControllerOutput, ControllerTimer, LazyConfig, LazyController,
+};
+use lazyctrl_net::{
+    EncapsulatedFrame, EthernetFrame, EtherType, HostId, MacAddr, PortNo, SwitchId, TenantId,
+    VlanTag,
+};
+use lazyctrl_proto::{LazyMsg, Message, MessageBody};
+use lazyctrl_sim::{
+    ChannelClass, LatencyModel, LinkId, LinkState, MetricsSink, Scheduler, SimDuration, SimTime,
+    World,
+};
+use lazyctrl_switch::{EdgeSwitch, SwitchOutput, SwitchTimer};
+use lazyctrl_trace::Trace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{ControlMode, ExperimentConfig};
+
+/// Events driving the simulated data center.
+#[derive(Debug)]
+pub(crate) enum Ev {
+    /// The i-th flow of the trace starts: its first packet enters the
+    /// ingress switch.
+    FlowArrival(usize),
+    /// A synthetic frame (ARP reply, response flow) enters a switch from a
+    /// local host.
+    LocalFrame {
+        /// The ingress switch.
+        switch: SwitchId,
+        /// Ingress port.
+        port: PortNo,
+        /// The frame.
+        frame: EthernetFrame,
+    },
+    /// An encapsulated packet crosses the underlay.
+    TunnelArrive {
+        /// The egress switch.
+        to: SwitchId,
+        /// The packet.
+        packet: EncapsulatedFrame,
+    },
+    /// A control-channel message reaches a switch.
+    MsgToSwitch {
+        /// Receiving switch.
+        to: SwitchId,
+        /// Sender (`SwitchId::CONTROLLER` for the controller).
+        from: SwitchId,
+        /// The message.
+        msg: Message,
+    },
+    /// A message reaches the controller.
+    MsgToController {
+        /// Sending switch.
+        from: SwitchId,
+        /// The message.
+        msg: Message,
+    },
+    /// A switch timer fires.
+    SwitchTimer {
+        /// The switch.
+        switch: SwitchId,
+        /// Which timer.
+        timer: SwitchTimer,
+    },
+    /// A controller timer fires.
+    ControllerTimer(ControllerTimer),
+}
+
+/// Either controller flavour behind one dispatch surface.
+pub(crate) enum AnyController {
+    Baseline(BaselineController),
+    Lazy(Box<LazyController>),
+}
+
+impl AnyController {
+    fn handle_message(&mut self, now_ns: u64, from: SwitchId, msg: &Message) -> Vec<ControllerOutput> {
+        match self {
+            AnyController::Baseline(c) => c.handle_message(now_ns, from, msg),
+            AnyController::Lazy(c) => c.handle_message(now_ns, from, msg),
+        }
+    }
+
+    fn on_timer(&mut self, now_ns: u64, timer: ControllerTimer) -> Vec<ControllerOutput> {
+        match self {
+            AnyController::Baseline(_) => Vec::new(),
+            AnyController::Lazy(c) => c.on_timer(now_ns, timer),
+        }
+    }
+
+    fn service_time_ns(&self, now_ns: u64) -> u64 {
+        match self {
+            AnyController::Baseline(c) => c.meter().service_time_ns(now_ns),
+            AnyController::Lazy(c) => c.meter().service_time_ns(now_ns),
+        }
+    }
+
+    pub(crate) fn lazy(&self) -> Option<&LazyController> {
+        match self {
+            AnyController::Lazy(c) => Some(c),
+            AnyController::Baseline(_) => None,
+        }
+    }
+}
+
+/// The composed simulation state.
+pub(crate) struct DataCenterWorld {
+    pub(crate) cfg: ExperimentConfig,
+    pub(crate) trace: Trace,
+    pub(crate) switches: Vec<EdgeSwitch>,
+    pub(crate) controller: AnyController,
+    pub(crate) links: LinkState,
+    latency: LatencyModel,
+    rng: StdRng,
+    pub(crate) metrics: MetricsSink,
+    /// Port of each host on its switch.
+    host_port: Vec<PortNo>,
+    /// Host-level pairs that have exchanged traffic (for fresh-pair logic).
+    seen_pairs: HashSet<(u32, u32)>,
+    /// Pairs whose response frame has been generated.
+    responded: HashSet<(u32, u32)>,
+    workload_bucket: SimDuration,
+    /// Cache of updates_applied to detect regroup events.
+    last_updates_applied: u64,
+    /// Per-flow latency log: ((src host, dst host, emit ns), latency ms).
+    pub(crate) flow_latencies: Vec<((u32, u32, u64), f64)>,
+}
+
+impl DataCenterWorld {
+    pub(crate) fn new(trace: Trace, cfg: ExperimentConfig) -> Self {
+        cfg.validate();
+        let n = trace.topology.num_switches;
+        let mut switches: Vec<EdgeSwitch> = (0..n)
+            .map(|i| {
+                let mut sw = EdgeSwitch::new(SwitchId::new(i as u32));
+                sw.report_false_positives = cfg.report_false_positives;
+                sw.datapath_learning = cfg.mode.is_lazy();
+                sw
+            })
+            .collect();
+
+        // Host → port mapping (dense per switch), and bootstrap L-FIB
+        // population for lazy modes: the paper's hosts announce themselves
+        // via ARP broadcast at bootstrap (§III-D.3 live dissemination).
+        let mut next_port = vec![1u16; n];
+        let mut host_port = Vec::with_capacity(trace.topology.num_hosts());
+        for h in 0..trace.topology.num_hosts() {
+            let host = HostId::new(h as u32);
+            let s = trace.topology.switch_of(host);
+            let port = PortNo::new(next_port[s.index()]);
+            next_port[s.index()] += 1;
+            host_port.push(port);
+            if cfg.mode.is_lazy() {
+                let frame = gratuitous_announcement(host, trace.topology.tenant_of(host));
+                // Learning only; the announcement itself produces no output
+                // before group assignment.
+                let _ = switches[s.index()].handle_local_frame(0, port, frame);
+            }
+        }
+
+        let ids: Vec<SwitchId> = (0..n as u32).map(SwitchId::new).collect();
+        let controller = match cfg.mode {
+            ControlMode::Baseline => AnyController::Baseline(BaselineController::new(ids)),
+            mode => {
+                let lazy_cfg = LazyConfig {
+                    sync_interval_ms: cfg.sync_interval_ms,
+                    keepalive_interval_ms: cfg.keepalive_interval_ms,
+                    group_size_limit: cfg.group_size_limit,
+                    triggers: cfg.triggers,
+                    dynamic_updates: mode == ControlMode::LazyDynamic,
+                    enable_arp_blocking: true,
+                    enable_preload: cfg.preload,
+                    flow_idle_timeout_s: 30,
+                    seed: cfg.seed,
+                };
+                AnyController::Lazy(Box::new(LazyController::new(ids, lazy_cfg)))
+            }
+        };
+
+        let workload_bucket = SimDuration::from_secs_f64(cfg.bucket_hours * 3600.0);
+        DataCenterWorld {
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0x57a7e),
+            latency: cfg.latency.clone(),
+            cfg,
+            trace,
+            switches,
+            controller,
+            links: LinkState::new(),
+            metrics: MetricsSink::new(),
+            host_port,
+            seen_pairs: HashSet::new(),
+            responded: HashSet::new(),
+            workload_bucket,
+            last_updates_applied: 0,
+            flow_latencies: Vec::new(),
+        }
+    }
+
+    /// Runs the lazy controller's bootstrap (IniGroup from the leading
+    /// window of the trace) and dispatches its outputs at t=0.
+    pub(crate) fn bootstrap(&mut self, sched: &mut Scheduler<'_, Ev>) {
+        let AnyController::Lazy(controller) = &mut self.controller else {
+            return;
+        };
+        let window_ns = (self.cfg.bootstrap_hours * 3.6e12) as u64;
+        let graph = if window_ns == 0 {
+            lazyctrl_partition::WeightedGraph::new(self.trace.topology.num_switches)
+        } else {
+            lazyctrl_trace::IntensityMatrix::from_trace_window(
+                &self.trace,
+                0,
+                window_ns.max(1),
+            )
+            .to_graph()
+        };
+        let outputs = controller.bootstrap(0, graph);
+        self.dispatch_controller_outputs(SimTime::ZERO, outputs, sched);
+    }
+
+    pub(crate) fn port_of(&self, host: HostId) -> PortNo {
+        self.host_port[host.index()]
+    }
+
+    /// Builds a flow's first packet; the emission timestamp rides in the
+    /// payload so delivery latency is measured exactly, with no ambiguity
+    /// when copies are dropped or pairs repeat.
+    fn frame_for_flow(&self, src: HostId, dst: HostId, emit_ns: u64) -> EthernetFrame {
+        EthernetFrame::tagged(
+            src.mac(),
+            dst.mac(),
+            VlanTag::for_tenant(self.trace.topology.tenant_of(src)),
+            EtherType::IPV4,
+            emit_ns.to_be_bytes().to_vec(),
+        )
+    }
+
+    fn note_emission(&mut self, _now: SimTime, _frame: &EthernetFrame) {
+        self.metrics.count("frames_emitted", 1);
+    }
+
+    fn note_delivery(&mut self, now: SimTime, frame: &EthernetFrame) {
+        // The emission timestamp rides in the payload (see
+        // `frame_for_flow`), so the sample is exact per delivered packet.
+        if frame.ethertype != EtherType::IPV4 || frame.payload.len() != 8 {
+            return;
+        }
+        let emit_ns = u64::from_be_bytes(frame.payload[..8].try_into().expect("8 bytes"));
+        if emit_ns > now.as_nanos() {
+            return;
+        }
+        let ms = (now.as_nanos() - emit_ns) as f64 / 1e6;
+        self.metrics
+            .series_mut("latency_ms", self.workload_bucket)
+            .record(now, ms);
+        self.metrics.histogram_mut("latency_all_ms").record(ms);
+        self.metrics.count("delivered_flows", 1);
+        if self.cfg.record_flow_latencies {
+            if let (Some(s), Some(d)) = (frame.src.host_id(), frame.dst.host_id()) {
+                self.flow_latencies.push(((s as u32, d as u32, emit_ns), ms));
+            }
+        }
+    }
+
+    /// Applies per-switch outputs: schedule deliveries with channel
+    /// latencies, record local deliveries, arm timers.
+    fn dispatch_switch_outputs(
+        &mut self,
+        now: SimTime,
+        from: SwitchId,
+        outputs: Vec<SwitchOutput>,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
+        for out in outputs {
+            match out {
+                SwitchOutput::ToController(msg) => {
+                    let link = LinkId::new(from.0, SwitchId::CONTROLLER.0, ChannelClass::Control);
+                    if self.links.delivers(link, &mut self.rng) {
+                        let delay = self.latency.sample(ChannelClass::Control, &mut self.rng);
+                        sched.schedule_in(now, delay, Ev::MsgToController { from, msg });
+                    }
+                }
+                SwitchOutput::ToState(msg) => {
+                    let link = LinkId::new(from.0, SwitchId::CONTROLLER.0, ChannelClass::State);
+                    if self.links.delivers(link, &mut self.rng) {
+                        let delay = self.latency.sample(ChannelClass::State, &mut self.rng);
+                        sched.schedule_in(now, delay, Ev::MsgToController { from, msg });
+                    }
+                }
+                SwitchOutput::ToPeer(to, msg) => {
+                    let link = LinkId::new(from.0, to.0, ChannelClass::Peer);
+                    if self.links.delivers(link, &mut self.rng) {
+                        let delay = self.latency.sample(ChannelClass::Peer, &mut self.rng);
+                        sched.schedule_in(now, delay, Ev::MsgToSwitch { to, from, msg });
+                    }
+                }
+                SwitchOutput::Tunnel(to, packet) => {
+                    let link = LinkId::new(from.0, to.0, ChannelClass::Data);
+                    if self.links.delivers(link, &mut self.rng) {
+                        let delay = self.latency.sample(ChannelClass::Data, &mut self.rng);
+                        sched.schedule_in(now, delay, Ev::TunnelArrive { to, packet });
+                    }
+                }
+                SwitchOutput::DeliverLocal(_port, frame) => {
+                    self.note_delivery(now, &frame);
+                    self.maybe_respond(now, &frame, sched);
+                }
+                SwitchOutput::FloodLocal(frame) => {
+                    self.handle_flood(now, from, frame, sched);
+                }
+                SwitchOutput::SetTimer(timer, delay_ns) => {
+                    sched.schedule_in(
+                        now,
+                        SimDuration::from_nanos(delay_ns),
+                        Ev::SwitchTimer {
+                            switch: from,
+                            timer,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// A local flood: unicast frames reach their host if it lives here;
+    /// ARP requests draw a reply from the target host if it lives here.
+    fn handle_flood(
+        &mut self,
+        now: SimTime,
+        at: SwitchId,
+        frame: EthernetFrame,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
+        if frame.dst.is_unicast() {
+            if let Some(h) = frame.dst.host_id() {
+                let host = HostId::new(h as u32);
+                if (host.index()) < self.trace.topology.num_hosts()
+                    && self.trace.topology.switch_of(host) == at
+                {
+                    self.note_delivery(now, &frame);
+                    self.maybe_respond(now, &frame, sched);
+                }
+            }
+            return;
+        }
+        // Broadcast: ARP requests get answered by a local target.
+        let Some(arp) = lazyctrl_net::Packet::Plain(frame.clone()).as_arp() else {
+            return;
+        };
+        if arp.op != lazyctrl_net::ArpOp::Request {
+            return;
+        }
+        let Some(target) = HostId::from_ip(arp.target_ip) else {
+            return;
+        };
+        if target.index() >= self.trace.topology.num_hosts()
+            || self.trace.topology.switch_of(target) != at
+        {
+            return;
+        }
+        let reply = lazyctrl_net::ArpPacket::reply_to(&arp, target.mac());
+        let reply_frame = EthernetFrame::tagged(
+            target.mac(),
+            arp.sender_mac,
+            VlanTag::for_tenant(self.trace.topology.tenant_of(target)),
+            EtherType::ARP,
+            reply.encode(),
+        );
+        let port = self.port_of(target);
+        // Host think time ≈ 100 µs.
+        sched.schedule_in(
+            now,
+            SimDuration::from_micros(100),
+            Ev::LocalFrame {
+                switch: at,
+                port,
+                frame: reply_frame,
+            },
+        );
+    }
+
+    /// First delivery of a fresh pair triggers the destination's response
+    /// frame (reverse-path learning).
+    fn maybe_respond(&mut self, now: SimTime, frame: &EthernetFrame, sched: &mut Scheduler<'_, Ev>) {
+        if !self.cfg.responses {
+            return;
+        }
+        let (Some(s), Some(d)) = (frame.src.host_id(), frame.dst.host_id()) else {
+            return;
+        };
+        if frame.ethertype != EtherType::IPV4 {
+            return;
+        }
+        let key = ((s as u32).min(d as u32), (s as u32).max(d as u32));
+        if !self.responded.insert(key) {
+            return;
+        }
+        let dst_host = HostId::new(d as u32);
+        if dst_host.index() >= self.trace.topology.num_hosts() {
+            return;
+        }
+        let emit = now + SimDuration::from_micros(200);
+        let response = self.frame_for_flow(dst_host, HostId::new(s as u32), emit.as_nanos());
+        let at = self.trace.topology.switch_of(dst_host);
+        let port = self.port_of(dst_host);
+        self.note_emission(emit, &response);
+        sched.schedule_in(
+            now,
+            SimDuration::from_micros(200),
+            Ev::LocalFrame {
+                switch: at,
+                port,
+                frame: response,
+            },
+        );
+    }
+
+    fn dispatch_controller_outputs(
+        &mut self,
+        now: SimTime,
+        outputs: Vec<ControllerOutput>,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
+        // Model controller processing: outputs leave after the current
+        // service time (M/M/1-style, load dependent).
+        let service = SimDuration::from_nanos(self.controller.service_time_ns(now.as_nanos()));
+        for out in outputs {
+            match out {
+                ControllerOutput::ToSwitch(to, msg) => {
+                    let link = LinkId::new(SwitchId::CONTROLLER.0, to.0, ChannelClass::Control);
+                    if self.links.delivers(link, &mut self.rng) {
+                        let delay =
+                            service + self.latency.sample(ChannelClass::Control, &mut self.rng);
+                        sched.schedule_in(
+                            now,
+                            delay,
+                            Ev::MsgToSwitch {
+                                to,
+                                from: SwitchId::CONTROLLER,
+                                msg,
+                            },
+                        );
+                    }
+                }
+                ControllerOutput::SetTimer(timer, delay_ns) => {
+                    sched.schedule_in(
+                        now,
+                        SimDuration::from_nanos(delay_ns),
+                        Ev::ControllerTimer(timer),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Record a regroup event when the grouping manager advanced.
+    fn track_regroups(&mut self, now: SimTime) {
+        if let Some(lazy) = self.controller.lazy() {
+            let updates = lazy.grouping().updates_applied();
+            if updates > self.last_updates_applied {
+                let delta = updates - self.last_updates_applied;
+                self.metrics
+                    .series_mut("regroup_updates", SimDuration::from_secs(3600))
+                    .record(now, delta as f64);
+                self.last_updates_applied = updates;
+            }
+        }
+    }
+}
+
+/// Builds the gratuitous announcement frame a host sends at boot.
+fn gratuitous_announcement(host: HostId, tenant: TenantId) -> EthernetFrame {
+    let arp = lazyctrl_net::ArpPacket::request(host.mac(), host.ip(), host.ip());
+    EthernetFrame::tagged(
+        host.mac(),
+        MacAddr::BROADCAST,
+        VlanTag::for_tenant(tenant),
+        EtherType::ARP,
+        arp.encode(),
+    )
+}
+
+impl World for DataCenterWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, event: Ev, sched: &mut Scheduler<'_, Ev>) {
+        match event {
+            Ev::FlowArrival(i) => {
+                let flow = self.trace.flows[i];
+                let (src, dst) = (flow.src, flow.dst);
+                let at = self.trace.topology.switch_of(src);
+                let port = self.port_of(src);
+                let pair = (src.0.min(dst.0), src.0.max(dst.0));
+                let fresh = self.seen_pairs.insert(pair);
+                self.metrics.count("flows_started", 1);
+
+                if fresh && self.cfg.emit_arp {
+                    // Fresh pair: the source ARPs for the destination first.
+                    let arp = lazyctrl_net::ArpPacket::request(src.mac(), src.ip(), dst.ip());
+                    let arp_frame = EthernetFrame::tagged(
+                        src.mac(),
+                        MacAddr::BROADCAST,
+                        VlanTag::for_tenant(self.trace.topology.tenant_of(src)),
+                        EtherType::ARP,
+                        arp.encode(),
+                    );
+                    let outs = self.switches[at.index()].handle_local_frame(
+                        now.as_nanos(),
+                        port,
+                        arp_frame,
+                    );
+                    self.dispatch_switch_outputs(now, at, outs, sched);
+                    // The data packet follows shortly after resolution.
+                    let emit = now + SimDuration::from_millis(1);
+                    let frame = self.frame_for_flow(src, dst, emit.as_nanos());
+                    self.note_emission(emit, &frame);
+                    sched.schedule_in(
+                        now,
+                        SimDuration::from_millis(1),
+                        Ev::LocalFrame {
+                            switch: at,
+                            port,
+                            frame,
+                        },
+                    );
+                } else {
+                    let frame = self.frame_for_flow(src, dst, now.as_nanos());
+                    self.note_emission(now, &frame);
+                    let outs =
+                        self.switches[at.index()]
+                            .handle_local_frame(now.as_nanos(), port, frame);
+                    self.dispatch_switch_outputs(now, at, outs, sched);
+                }
+            }
+            Ev::LocalFrame { switch, port, frame } => {
+                let outs =
+                    self.switches[switch.index()].handle_local_frame(now.as_nanos(), port, frame);
+                self.dispatch_switch_outputs(now, switch, outs, sched);
+            }
+            Ev::TunnelArrive { to, packet } => {
+                let is_flood = packet.inner.is_flood();
+                let outs = self.switches[to.index()].handle_tunnel_packet(now.as_nanos(), packet);
+                if outs.is_empty() && !is_flood {
+                    self.metrics.count("tunnel_drops", 1);
+                }
+                self.dispatch_switch_outputs(now, to, outs, sched);
+            }
+            Ev::MsgToSwitch { to, from, msg } => {
+                let sw = &mut self.switches[to.index()];
+                let outs = if from == SwitchId::CONTROLLER {
+                    sw.handle_control_message(now.as_nanos(), &msg)
+                } else {
+                    sw.handle_peer_message(now.as_nanos(), from, &msg)
+                };
+                self.dispatch_switch_outputs(now, to, outs, sched);
+            }
+            Ev::MsgToController { from, msg } => {
+                self.metrics
+                    .series_mut("workload", self.workload_bucket)
+                    .increment(now);
+                self.metrics.count("controller_messages", 1);
+                if let MessageBody::Of(lazyctrl_proto::OfMessage::PacketIn(pi)) = &msg.body {
+                    self.metrics.count("packet_ins", 1);
+                    if pi.reason == lazyctrl_proto::PacketInReason::FalsePositive {
+                        self.metrics.count("fp_reports", 1);
+                    }
+                }
+                if matches!(msg.body, MessageBody::Lazy(LazyMsg::StateReport(_))) {
+                    self.metrics.count("state_reports", 1);
+                }
+                if matches!(msg.body, MessageBody::Lazy(LazyMsg::LfibSync(_))) {
+                    self.metrics.count("lfib_syncs", 1);
+                }
+                if matches!(msg.body, MessageBody::Lazy(LazyMsg::WheelReport(_))) {
+                    self.metrics.count("wheel_reports", 1);
+                }
+                let outs = self.controller.handle_message(now.as_nanos(), from, &msg);
+                self.dispatch_controller_outputs(now, outs, sched);
+                self.track_regroups(now);
+            }
+            Ev::SwitchTimer { switch, timer } => {
+                let outs = self.switches[switch.index()].on_timer(now.as_nanos(), timer);
+                self.dispatch_switch_outputs(now, switch, outs, sched);
+            }
+            Ev::ControllerTimer(timer) => {
+                let outs = self.controller.on_timer(now.as_nanos(), timer);
+                self.dispatch_controller_outputs(now, outs, sched);
+                self.track_regroups(now);
+            }
+        }
+    }
+}

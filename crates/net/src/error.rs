@@ -1,0 +1,86 @@
+use std::fmt;
+
+/// Errors produced while parsing or constructing packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The buffer ended before the fixed-size header was complete.
+    Truncated {
+        /// What was being parsed when the buffer ran out.
+        what: &'static str,
+        /// Bytes required to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A field held a value the parser does not understand.
+    InvalidField {
+        /// Which field was invalid.
+        field: &'static str,
+        /// The offending value, widened to `u64` for display.
+        value: u64,
+    },
+    /// A textual address failed to parse.
+    InvalidAddress(String),
+    /// The payload exceeds the maximum frame size.
+    Oversized {
+        /// Encoded length of the frame.
+        len: usize,
+        /// Maximum permitted length.
+        max: usize,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Truncated {
+                what,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated {what}: needed {needed} bytes, only {available} available"
+            ),
+            NetError::InvalidField { field, value } => {
+                write!(f, "invalid value {value:#x} for field {field}")
+            }
+            NetError::InvalidAddress(s) => write!(f, "invalid address syntax: {s:?}"),
+            NetError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds maximum of {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = NetError::Truncated {
+            what: "ethernet header",
+            needed: 14,
+            available: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("ethernet header"));
+        assert!(s.contains("14"));
+        assert!(s.contains('3'));
+
+        let e = NetError::InvalidField {
+            field: "arp.oper",
+            value: 9,
+        };
+        assert!(e.to_string().contains("arp.oper"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetError>();
+    }
+}

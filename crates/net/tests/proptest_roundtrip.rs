@@ -1,0 +1,129 @@
+//! Property tests: every packet type round-trips through its wire format,
+//! and the decoders never panic on arbitrary bytes.
+
+use std::net::Ipv4Addr;
+
+use lazyctrl_net::{
+    ArpOp, ArpPacket, EncapHeader, EncapsulatedFrame, EtherType, EthernetFrame, MacAddr, Packet,
+    TenantId, VlanTag,
+};
+use proptest::prelude::*;
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr::new)
+}
+
+fn arb_ipv4() -> impl Strategy<Value = Ipv4Addr> {
+    any::<[u8; 4]>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_tenant() -> impl Strategy<Value = TenantId> {
+    (0u16..=0x0fff).prop_map(TenantId::new)
+}
+
+fn arb_vlan() -> impl Strategy<Value = VlanTag> {
+    (arb_tenant(), 0u8..=7).prop_map(|(t, pcp)| VlanTag::new(t, pcp))
+}
+
+fn arb_ethertype() -> impl Strategy<Value = EtherType> {
+    // Exclude the VLAN TPID itself: a payload ethertype of 0x8100 would be
+    // re-interpreted as a (different) tagged frame, which real switches also
+    // cannot distinguish.
+    any::<u16>()
+        .prop_filter("not the vlan tpid", |v| *v != 0x8100)
+        .prop_map(EtherType)
+}
+
+fn arb_frame() -> impl Strategy<Value = EthernetFrame> {
+    (
+        arb_mac(),
+        arb_mac(),
+        proptest::option::of(arb_vlan()),
+        arb_ethertype(),
+        proptest::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(|(src, dst, vlan, ethertype, payload)| EthernetFrame {
+            src,
+            dst,
+            vlan,
+            ethertype,
+            payload,
+        })
+}
+
+fn arb_arp() -> impl Strategy<Value = ArpPacket> {
+    (
+        prop_oneof![Just(ArpOp::Request), Just(ArpOp::Reply)],
+        arb_mac(),
+        arb_ipv4(),
+        arb_mac(),
+        arb_ipv4(),
+    )
+        .prop_map(|(op, sender_mac, sender_ip, target_mac, target_ip)| ArpPacket {
+            op,
+            sender_mac,
+            sender_ip,
+            target_mac,
+            target_ip,
+        })
+}
+
+fn arb_encap() -> impl Strategy<Value = EncapsulatedFrame> {
+    (arb_ipv4(), arb_ipv4(), arb_tenant(), any::<u32>(), arb_frame()).prop_map(
+        |(src, dst, tenant, key, inner)| {
+            EncapsulatedFrame::new(EncapHeader::new(src, dst, tenant, key), inner)
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn ethernet_round_trips(frame in arb_frame()) {
+        let wire = frame.encode();
+        let back = EthernetFrame::decode(&wire).unwrap();
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn arp_round_trips(arp in arb_arp()) {
+        let back = ArpPacket::decode(&arp.encode()).unwrap();
+        prop_assert_eq!(back, arp);
+    }
+
+    #[test]
+    fn encap_round_trips(pkt in arb_encap()) {
+        let back = EncapsulatedFrame::decode(&pkt.encode()).unwrap();
+        prop_assert_eq!(back, pkt);
+    }
+
+    #[test]
+    fn packet_enum_round_trips(pkt in prop_oneof![
+        arb_frame().prop_map(Packet::Plain),
+        arb_encap().prop_map(Packet::Encapsulated),
+    ]) {
+        // A plain frame whose first four bytes collide with the encap magic
+        // is legitimately ambiguous on the wire; the generator makes this
+        // astronomically unlikely, but guard anyway.
+        let wire = pkt.encode();
+        if wire[0..4] == [0x4c, 0x5a, 0x43, 0x54] && pkt.kind() == lazyctrl_net::PacketKind::Plain {
+            return Ok(());
+        }
+        let back = Packet::decode(&wire).unwrap();
+        prop_assert_eq!(back, pkt);
+    }
+
+    #[test]
+    fn decoders_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = EthernetFrame::decode(&bytes);
+        let _ = ArpPacket::decode(&bytes);
+        let _ = EncapsulatedFrame::decode(&bytes);
+        let _ = Packet::decode(&bytes);
+    }
+
+    #[test]
+    fn mac_display_parse_round_trips(mac in arb_mac()) {
+        let s = mac.to_string();
+        let back: MacAddr = s.parse().unwrap();
+        prop_assert_eq!(back, mac);
+    }
+}

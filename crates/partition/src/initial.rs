@@ -1,0 +1,189 @@
+//! Initial partitioning of the coarsest graph: recursive bisection by
+//! greedy graph growing.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{Partition, WeightedGraph};
+
+/// Partitions `graph` into `k` parts by recursive bisection.
+///
+/// Each bisection grows a region from a seed vertex, repeatedly absorbing
+/// the outside vertex most strongly connected to the region, until the
+/// region reaches its target weight. Classic greedy graph growing (GGGP).
+pub(crate) fn initial_partition<R: Rng>(
+    graph: &WeightedGraph,
+    k: usize,
+    rng: &mut R,
+) -> Partition {
+    let n = graph.num_vertices();
+    let mut part = Partition::single_group(n);
+    if k <= 1 || n == 0 {
+        return part;
+    }
+    // Work queue of (bucket vertices, parts this bucket must become, group id).
+    let all: Vec<usize> = (0..n).collect();
+    let mut queue: Vec<(Vec<usize>, usize, usize)> = vec![(all, k.min(n), 0)];
+    while let Some((bucket, parts, gid)) = queue.pop() {
+        if parts <= 1 || bucket.len() <= 1 {
+            continue;
+        }
+        let k1 = parts.div_ceil(2);
+        let k2 = parts - k1;
+        let bucket_weight: f64 = bucket.iter().map(|&v| graph.vertex_weight(v)).sum();
+        let target = bucket_weight * (k1 as f64) / (parts as f64);
+        let (side_a, side_b) = grow_bisection(graph, &bucket, target, rng);
+        // side_a keeps gid; side_b gets a new group id.
+        let new_gid = part.add_group();
+        for &v in &side_b {
+            part.assign(v, new_gid);
+        }
+        queue.push((side_a, k1, gid));
+        queue.push((side_b, k2, new_gid));
+    }
+    part
+}
+
+/// Splits `bucket` into two sides, the first weighing approximately
+/// `target`. Grows from a random seed by maximum connectivity.
+pub(crate) fn grow_bisection<R: Rng>(
+    graph: &WeightedGraph,
+    bucket: &[usize],
+    target: f64,
+    rng: &mut R,
+) -> (Vec<usize>, Vec<usize>) {
+    debug_assert!(bucket.len() >= 2, "cannot bisect fewer than 2 vertices");
+    let in_bucket: std::collections::HashSet<usize> = bucket.iter().copied().collect();
+    let mut grown: Vec<usize> = Vec::new();
+    let mut in_grown: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    // connectivity[i] = weight from bucket[i] into the grown set
+    let mut conn: std::collections::BTreeMap<usize, f64> =
+        bucket.iter().map(|&v| (v, 0.0)).collect();
+
+    let seed = *bucket.choose(rng).expect("bucket not empty");
+    let mut grown_weight = 0.0;
+
+    let absorb = |v: usize,
+                      grown: &mut Vec<usize>,
+                      in_grown: &mut std::collections::HashSet<usize>,
+                      conn: &mut std::collections::BTreeMap<usize, f64>,
+                      grown_weight: &mut f64| {
+        grown.push(v);
+        in_grown.insert(v);
+        *grown_weight += graph.vertex_weight(v);
+        conn.remove(&v);
+        for &(u, w) in graph.neighbors(v) {
+            if in_bucket.contains(&u) && !in_grown.contains(&u) {
+                *conn.entry(u).or_insert(0.0) += w;
+            }
+        }
+    };
+
+    absorb(seed, &mut grown, &mut in_grown, &mut conn, &mut grown_weight);
+
+    while grown_weight < target && grown.len() < bucket.len() - 1 {
+        // Strongest-connected candidate; fall back to any remaining vertex
+        // (disconnected bucket) — pick the heaviest to converge fast.
+        let next = conn
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
+            .map(|(&v, _)| v)
+            .expect("candidates remain");
+        // Stop early if overshooting the target badly and we already have
+        // something: keeps sides closer to balanced.
+        let vw = graph.vertex_weight(next);
+        if grown_weight + vw > target && (grown_weight + vw - target) > (target - grown_weight) {
+            break;
+        }
+        absorb(next, &mut grown, &mut in_grown, &mut conn, &mut grown_weight);
+    }
+
+    let rest: Vec<usize> = bucket
+        .iter()
+        .copied()
+        .filter(|v| !in_grown.contains(v))
+        .collect();
+    (grown, rest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn bisection_respects_target_roughly() {
+        let mut g = WeightedGraph::new(10);
+        for i in 0..9 {
+            g.add_edge(i, i + 1, 1.0);
+        }
+        let bucket: Vec<usize> = (0..10).collect();
+        let (a, b) = grow_bisection(&g, &bucket, 5.0, &mut rng());
+        assert_eq!(a.len() + b.len(), 10);
+        assert!(!a.is_empty() && !b.is_empty());
+        assert!((3..=7).contains(&a.len()), "unbalanced side: {}", a.len());
+    }
+
+    #[test]
+    fn k_parts_cover_all_vertices() {
+        let mut g = WeightedGraph::new(12);
+        for i in 0..11 {
+            g.add_edge(i, i + 1, 1.0);
+        }
+        for k in [2usize, 3, 4, 6] {
+            let p = initial_partition(&g, k, &mut rng());
+            assert_eq!(p.num_groups(), k);
+            let groups = p.groups();
+            let total: usize = groups.iter().map(Vec::len).sum();
+            assert_eq!(total, 12);
+            for (gi, members) in groups.iter().enumerate() {
+                assert!(!members.is_empty(), "group {gi} empty for k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_one_is_identity() {
+        let g = WeightedGraph::new(5);
+        let p = initial_partition(&g, 1, &mut rng());
+        assert_eq!(p.num_groups(), 1);
+        assert_eq!(p.members(0).len(), 5);
+    }
+
+    #[test]
+    fn clusters_stay_together() {
+        // Two K4s joined by one weak edge; a 2-way split should cut it.
+        let mut g = WeightedGraph::new(8);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                g.add_edge(i, j, 10.0);
+                g.add_edge(i + 4, j + 4, 10.0);
+            }
+        }
+        g.add_edge(3, 4, 0.5);
+        let p = initial_partition(&g, 2, &mut rng());
+        let cut = crate::metrics::edge_cut(&g, &p);
+        assert_eq!(cut, 0.5, "expected the bridge to be the only cut edge");
+    }
+
+    #[test]
+    fn disconnected_graph_still_partitions() {
+        let g = WeightedGraph::new(6); // no edges at all
+        let p = initial_partition(&g, 3, &mut rng());
+        assert_eq!(p.num_groups(), 3);
+        let total: usize = p.groups().iter().map(Vec::len).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn k_exceeding_n_caps_at_n() {
+        let g = WeightedGraph::new(3);
+        let p = initial_partition(&g, 10, &mut rng());
+        assert!(p.num_groups() <= 3);
+    }
+}

@@ -1,0 +1,124 @@
+//! Heavy-edge matching (HEM) for the coarsening phase.
+//!
+//! Visits vertices in random order and matches each unmatched vertex with
+//! the unmatched neighbour connected by the heaviest edge — the matching
+//! strategy from the multilevel k-way scheme of Karypis & Kumar. Pairs whose
+//! combined vertex weight would exceed `max_pair_weight` are skipped so that
+//! coarse vertices never outgrow the group size limit.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::WeightedGraph;
+
+/// Computes a heavy-edge matching.
+///
+/// Returns `match_of` where `match_of[v]` is `v`'s partner, or `v` itself if
+/// unmatched. The relation is symmetric.
+pub(crate) fn heavy_edge_matching<R: Rng>(
+    graph: &WeightedGraph,
+    max_pair_weight: f64,
+    rng: &mut R,
+) -> Vec<usize> {
+    let n = graph.num_vertices();
+    let mut match_of: Vec<usize> = (0..n).collect();
+    let mut matched = vec![false; n];
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+
+    for &u in &order {
+        if matched[u] {
+            continue;
+        }
+        let uw = graph.vertex_weight(u);
+        let mut best: Option<(usize, f64)> = None;
+        for &(v, w) in graph.neighbors(u) {
+            if matched[v] || v == u {
+                continue;
+            }
+            if uw + graph.vertex_weight(v) > max_pair_weight {
+                continue;
+            }
+            match best {
+                Some((_, bw)) if bw >= w => {}
+                _ => best = Some((v, w)),
+            }
+        }
+        if let Some((v, _)) = best {
+            matched[u] = true;
+            matched[v] = true;
+            match_of[u] = v;
+            match_of[v] = u;
+        }
+    }
+    match_of
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn assert_valid_matching(g: &WeightedGraph, m: &[usize]) {
+        for (u, &p) in m.iter().enumerate() {
+            assert_eq!(m[p], u, "matching not symmetric at {u}");
+            if p != u {
+                assert!(
+                    g.edge_weight(u, p) > 0.0 || g.neighbors(u).iter().any(|&(v, _)| v == p),
+                    "matched non-adjacent pair ({u},{p})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_heavy_edges_first() {
+        // Every vertex's heaviest incident edge points at its designated
+        // partner, so HEM must recover {0,1} and {2,3} regardless of the
+        // random visiting order.
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 100.0);
+        g.add_edge(2, 3, 50.0);
+        g.add_edge(0, 2, 1.0);
+        g.add_edge(1, 3, 1.0);
+        let m = heavy_edge_matching(&g, f64::INFINITY, &mut rng());
+        assert_valid_matching(&g, &m);
+        assert_eq!(m[0], 1, "heavy edge 0-1 must be matched");
+        assert_eq!(m[2], 3, "heavy edge 2-3 must be matched");
+    }
+
+    #[test]
+    fn respects_pair_weight_cap() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(0, 1, 5.0);
+        g.set_vertex_weight(0, 3.0);
+        g.set_vertex_weight(1, 3.0);
+        let m = heavy_edge_matching(&g, 5.0, &mut rng());
+        assert_eq!(m[0], 0, "pair exceeding cap must not match");
+        assert_eq!(m[1], 1);
+    }
+
+    #[test]
+    fn isolated_vertices_stay_unmatched() {
+        let g = WeightedGraph::new(4);
+        let m = heavy_edge_matching(&g, f64::INFINITY, &mut rng());
+        assert_eq!(m, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn matching_on_path_covers_most_vertices() {
+        let mut g = WeightedGraph::new(10);
+        for i in 0..9 {
+            g.add_edge(i, i + 1, 1.0);
+        }
+        let m = heavy_edge_matching(&g, f64::INFINITY, &mut rng());
+        assert_valid_matching(&g, &m);
+        let matched = m.iter().enumerate().filter(|(u, &p)| *u != p).count();
+        assert!(matched >= 6, "path matching too sparse: {matched}/10");
+    }
+}

@@ -1,0 +1,215 @@
+//! Stoer–Wagner global minimum cut.
+//!
+//! The paper's `IncUpdate` merges the two most-changed groups and re-splits
+//! them along a minimum cut, citing Stoer & Wagner (§III-C.2, reference 29).
+//! This is the textbook O(V³) maximum-adjacency-search implementation; the
+//! merge/split step only ever runs it on a two-group subgraph, so V is
+//! bounded by twice the group size limit.
+
+use crate::WeightedGraph;
+
+/// Result of a global minimum cut computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinCut {
+    /// Total weight crossing the cut.
+    pub weight: f64,
+    /// Side assignment: `true` for vertices in the separated subset.
+    pub side: Vec<bool>,
+}
+
+/// Computes the global minimum cut of `graph`.
+///
+/// Returns `None` for graphs with fewer than 2 vertices. Disconnected
+/// graphs yield a zero-weight cut separating one component.
+pub fn stoer_wagner(graph: &WeightedGraph) -> Option<MinCut> {
+    let n = graph.num_vertices();
+    if n < 2 {
+        return None;
+    }
+    // Dense weight matrix; merged vertices accumulate rows/columns.
+    let mut w = vec![vec![0.0f64; n]; n];
+    for u in 0..n {
+        for &(v, wt) in graph.neighbors(u) {
+            w[u][v] = wt; // symmetric; set from both endpoints
+        }
+    }
+    // merged[v] = original vertices currently folded into v.
+    let mut merged: Vec<Vec<usize>> = (0..n).map(|v| vec![v]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+
+    let mut best_weight = f64::INFINITY;
+    let mut best_side: Vec<bool> = Vec::new();
+
+    while active.len() > 1 {
+        // Maximum adjacency search from active[0].
+        let m = active.len();
+        let mut in_a = vec![false; m];
+        let mut conn: Vec<f64> = active.iter().map(|&v| w[active[0]][v]).collect();
+        in_a[0] = true;
+        let mut order = vec![0usize]; // indexes into `active`
+        for _ in 1..m {
+            let mut best_i = usize::MAX;
+            let mut best_c = f64::NEG_INFINITY;
+            for i in 0..m {
+                if !in_a[i] && conn[i] > best_c {
+                    best_c = conn[i];
+                    best_i = i;
+                }
+            }
+            in_a[best_i] = true;
+            order.push(best_i);
+            let vb = active[best_i];
+            for i in 0..m {
+                if !in_a[i] {
+                    conn[i] += w[vb][active[i]];
+                }
+            }
+        }
+        // Cut-of-the-phase: last added vertex against the rest.
+        let last_i = *order.last().expect("order non-empty");
+        let last = active[last_i];
+        let cut_weight: f64 = active
+            .iter()
+            .filter(|&&v| v != last)
+            .map(|&v| w[last][v])
+            .sum();
+        if cut_weight < best_weight {
+            best_weight = cut_weight;
+            let mut side = vec![false; n];
+            for &orig in &merged[last] {
+                side[orig] = true;
+            }
+            best_side = side;
+        }
+        // Merge the last two vertices of the phase.
+        let prev_i = order[order.len() - 2];
+        let prev = active[prev_i];
+        for i in 0..m {
+            let v = active[i];
+            if v != last && v != prev {
+                w[prev][v] += w[last][v];
+                w[v][prev] = w[prev][v];
+            }
+        }
+        let absorbed = std::mem::take(&mut merged[last]);
+        merged[prev].extend(absorbed);
+        active.remove(last_i);
+    }
+
+    Some(MinCut {
+        weight: best_weight,
+        side: best_side,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_vertex_cut_is_the_edge() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(0, 1, 3.5);
+        let cut = stoer_wagner(&g).unwrap();
+        assert_eq!(cut.weight, 3.5);
+        assert_ne!(cut.side[0], cut.side[1]);
+    }
+
+    #[test]
+    fn bridge_is_found() {
+        // Two triangles joined by one light edge.
+        let mut g = WeightedGraph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(u, v, 10.0);
+        }
+        g.add_edge(2, 3, 1.0);
+        let cut = stoer_wagner(&g).unwrap();
+        assert_eq!(cut.weight, 1.0);
+        let left: Vec<bool> = (0..3).map(|v| cut.side[v]).collect();
+        let right: Vec<bool> = (3..6).map(|v| cut.side[v]).collect();
+        assert!(left.iter().all(|&s| s == left[0]));
+        assert!(right.iter().all(|&s| s == right[0]));
+        assert_ne!(left[0], right[0]);
+    }
+
+    #[test]
+    fn wikipedia_style_example() {
+        // Known instance: 8-vertex graph from the Stoer–Wagner paper, min
+        // cut weight 4 separating {3,4,7,8} (1-indexed).
+        let edges = [
+            (0, 1, 2.0),
+            (0, 4, 3.0),
+            (1, 2, 3.0),
+            (1, 4, 2.0),
+            (1, 5, 2.0),
+            (2, 3, 4.0),
+            (2, 6, 2.0),
+            (3, 6, 2.0),
+            (3, 7, 2.0),
+            (4, 5, 3.0),
+            (5, 6, 1.0),
+            (6, 7, 3.0),
+        ];
+        let mut g = WeightedGraph::new(8);
+        for (u, v, w) in edges {
+            g.add_edge(u, v, w);
+        }
+        let cut = stoer_wagner(&g).unwrap();
+        assert_eq!(cut.weight, 4.0);
+    }
+
+    #[test]
+    fn disconnected_graph_has_zero_cut() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 5.0);
+        g.add_edge(2, 3, 5.0);
+        let cut = stoer_wagner(&g).unwrap();
+        assert_eq!(cut.weight, 0.0);
+        assert_ne!(cut.side[0], cut.side[2]);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert!(stoer_wagner(&WeightedGraph::new(0)).is_none());
+        assert!(stoer_wagner(&WeightedGraph::new(1)).is_none());
+        let cut = stoer_wagner(&WeightedGraph::new(2)).unwrap();
+        assert_eq!(cut.weight, 0.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..20 {
+            let n = rng.gen_range(3..9);
+            let mut g = WeightedGraph::new(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(0.7) {
+                        g.add_edge(u, v, rng.gen_range(1..10) as f64);
+                    }
+                }
+            }
+            let sw = stoer_wagner(&g).unwrap();
+            // Brute force over all non-trivial bipartitions.
+            let mut best = f64::INFINITY;
+            for mask in 1..(1u32 << n) - 1 {
+                let mut cut = 0.0;
+                for u in 0..n {
+                    for &(v, w) in g.neighbors(u) {
+                        if u < v && ((mask >> u) & 1) != ((mask >> v) & 1) {
+                            cut += w;
+                        }
+                    }
+                }
+                best = best.min(cut);
+            }
+            assert!(
+                (sw.weight - best).abs() < 1e-9,
+                "trial {trial}: stoer-wagner {} != brute {best}",
+                sw.weight
+            );
+        }
+    }
+}

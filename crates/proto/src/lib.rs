@@ -1,0 +1,62 @@
+//! OpenFlow-like control protocol for LazyCtrl, with the paper's vendor
+//! extensions.
+//!
+//! The paper’s prototype "extends the OpenFlow protocol" (§IV): the control
+//! link speaks OpenFlow 1.0-style messages (`Hello`, `Echo`, `PacketIn`,
+//! `PacketOut`, `FlowMod`, ...) extended with switch-grouping messages, and
+//! `FlowMod` gains an **Encap** action that makes a switch tunnel matching
+//! packets to a remote edge switch over the IP underlay.
+//!
+//! No maintained OpenFlow crate is available offline, so this crate
+//! hand-rolls the wire protocol (per the reproduction plan in `DESIGN.md`):
+//! every message has an exact binary encoding over [`bytes`], a streaming
+//! [`codec::MessageCodec`] for framing, and round-trip/fuzz tests.
+//!
+//! Three logical channels carry these messages (§III-B.3):
+//!
+//! * **control link** — controller ⟷ every switch (`PacketIn`, `FlowMod`,
+//!   `GroupAssign`, ...),
+//! * **state link** — controller ⟷ designated switch (`StateReport`,
+//!   `LfibSync` snapshots),
+//! * **peer link** — designated switch ⟷ group members (`LfibSync`,
+//!   `GfibUpdate`, `KeepAlive`).
+//!
+//! # Example
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use lazyctrl_proto::{codec::MessageCodec, Message, OfMessage};
+//!
+//! let hello = Message::of(1, OfMessage::Hello);
+//! let mut codec = MessageCodec::new();
+//! codec.feed(&hello.encode());
+//! let decoded = codec.next_message()?.expect("one full frame fed");
+//! assert_eq!(decoded, hello);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actions;
+pub mod codec;
+mod error;
+pub mod flow_match;
+mod header;
+pub mod messages;
+mod wire;
+
+pub use actions::Action;
+pub use error::ProtoError;
+pub use flow_match::FlowMatch;
+pub use header::{MsgType, OFP_HEADER_LEN, PROTO_VERSION};
+pub use messages::{
+    BargainMsg, EchoKind, ErrorCode, FlowModCommand, FlowModMsg, GfibUpdateMsg, GroupAssignMsg,
+    KeepAliveMsg, LazyMsg, LfibEntry, LfibSyncMsg, Message, MessageBody, OfMessage, PacketInMsg,
+    PacketInReason, PacketOutMsg, StateReportMsg, SwitchStats, WheelLoss, WheelReportMsg,
+};
+
+/// Result alias used across the protocol layer.
+pub type Result<T> = std::result::Result<T, ProtoError>;

@@ -1,0 +1,229 @@
+//! Control-protocol messages: the OpenFlow 1.0-style subset plus the
+//! LazyCtrl vendor extension family.
+
+mod lazy;
+mod of;
+
+pub use lazy::{
+    BargainMsg, GfibUpdateMsg, GroupAssignMsg, KeepAliveMsg, LazyMsg, LfibEntry, LfibSyncMsg,
+    StateReportMsg, SwitchStats, WheelLoss, WheelReportMsg,
+};
+pub use of::{
+    EchoKind, ErrorCode, FlowModCommand, FlowModMsg, OfMessage, PacketInMsg, PacketInReason,
+    PacketOutMsg,
+};
+
+use bytes::BufMut;
+use serde::{Deserialize, Serialize};
+
+use crate::header::Header;
+use crate::wire::Reader;
+use crate::{MsgType, ProtoError, Result, OFP_HEADER_LEN, PROTO_VERSION};
+
+/// A complete control message: transaction id plus body.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use lazyctrl_proto::{Message, OfMessage};
+///
+/// let msg = Message::of(7, OfMessage::EchoRequest(vec![1, 2, 3]));
+/// let wire = msg.encode();
+/// assert_eq!(Message::decode(&wire)?, msg);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Message {
+    /// Transaction id; replies echo the request's xid.
+    pub xid: u32,
+    /// The payload.
+    pub body: MessageBody,
+}
+
+/// Either a standard OpenFlow-style message or a LazyCtrl extension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MessageBody {
+    /// Standard OpenFlow 1.0-style message.
+    Of(OfMessage),
+    /// LazyCtrl vendor extension message.
+    Lazy(LazyMsg),
+}
+
+impl Message {
+    /// Wraps a standard message.
+    pub fn of(xid: u32, msg: OfMessage) -> Self {
+        Message {
+            xid,
+            body: MessageBody::Of(msg),
+        }
+    }
+
+    /// Wraps a LazyCtrl extension message.
+    pub fn lazy(xid: u32, msg: LazyMsg) -> Self {
+        Message {
+            xid,
+            body: MessageBody::Lazy(msg),
+        }
+    }
+
+    /// The wire-level message type.
+    pub fn msg_type(&self) -> MsgType {
+        match &self.body {
+            MessageBody::Of(m) => m.msg_type(),
+            MessageBody::Lazy(_) => MsgType::Lazy,
+        }
+    }
+
+    /// Serializes header + body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoded message exceeds 65535 bytes (the header length
+    /// field is 16 bits, as in OpenFlow). Bulk payloads such as L-FIB syncs
+    /// provide chunking helpers to stay under the limit.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        match &self.body {
+            MessageBody::Of(m) => m.encode_body(&mut body),
+            MessageBody::Lazy(m) => m.encode_body(&mut body),
+        }
+        let total = OFP_HEADER_LEN + body.len();
+        assert!(
+            total <= u16::MAX as usize,
+            "message of {total} bytes exceeds 16-bit length field; chunk the payload"
+        );
+        let mut buf = Vec::with_capacity(total);
+        Header {
+            version: PROTO_VERSION,
+            msg_type: self.msg_type(),
+            length: total as u16,
+            xid: self.xid,
+        }
+        .encode_into(&mut buf);
+        buf.put_slice(&body);
+        buf
+    }
+
+    /// Parses one complete message from `buf`.
+    ///
+    /// `buf` must contain exactly one message (use
+    /// [`codec::MessageCodec`](crate::codec::MessageCodec) to frame a byte
+    /// stream first).
+    ///
+    /// # Errors
+    ///
+    /// Any header or body parse failure, or a length field that disagrees
+    /// with `buf.len()`.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf, "message");
+        let header = Header::decode(&mut r)?;
+        if header.length as usize != buf.len() {
+            return Err(ProtoError::LengthMismatch {
+                declared: header.length as usize,
+                actual: buf.len(),
+            });
+        }
+        let body = &buf[OFP_HEADER_LEN..];
+        let parsed = match header.msg_type {
+            MsgType::Lazy => MessageBody::Lazy(LazyMsg::decode_body(body)?),
+            t => MessageBody::Of(OfMessage::decode_body(t, body)?),
+        };
+        Ok(Message {
+            xid: header.xid,
+            body: parsed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazyctrl_net::{MacAddr, PortNo, SwitchId, TenantId};
+
+    #[test]
+    fn hello_round_trips() {
+        let m = Message::of(1, OfMessage::Hello);
+        let wire = m.encode();
+        assert_eq!(wire.len(), OFP_HEADER_LEN);
+        assert_eq!(Message::decode(&wire).unwrap(), m);
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let mut wire = Message::of(1, OfMessage::Hello).encode();
+        wire.push(0); // trailing garbage
+        assert!(matches!(
+            Message::decode(&wire).unwrap_err(),
+            ProtoError::LengthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn lazy_keepalive_round_trips() {
+        let m = Message::lazy(
+            9,
+            LazyMsg::KeepAlive(KeepAliveMsg {
+                from: SwitchId::new(3),
+                seq: 77,
+            }),
+        );
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn packet_in_round_trips() {
+        let m = Message::of(
+            2,
+            OfMessage::PacketIn(PacketInMsg {
+                buffer_id: 42,
+                in_port: PortNo::new(3),
+                reason: PacketInReason::NoMatch,
+                data: vec![1, 2, 3, 4],
+            }),
+        );
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn lfib_sync_round_trips() {
+        let m = Message::lazy(
+            3,
+            LazyMsg::LfibSync(LfibSyncMsg {
+                origin: SwitchId::new(8),
+                epoch: 5,
+                entries: vec![LfibEntry {
+                    mac: MacAddr::for_host(11),
+                    tenant: TenantId::new(2),
+                    port: PortNo::new(1),
+                }],
+                removed: vec![MacAddr::for_host(12)],
+            }),
+        );
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk the payload")]
+    fn oversized_message_panics_at_encode() {
+        let entries = (0..7000)
+            .map(|i| LfibEntry {
+                mac: MacAddr::for_host(i),
+                tenant: TenantId::new(1),
+                port: PortNo::new(1),
+            })
+            .collect();
+        let m = Message::lazy(
+            1,
+            LazyMsg::LfibSync(LfibSyncMsg {
+                origin: SwitchId::new(1),
+                epoch: 1,
+                entries,
+                removed: vec![],
+            }),
+        );
+        let _ = m.encode();
+    }
+}

@@ -1,0 +1,207 @@
+//! Administrative link state and loss injection.
+//!
+//! The failover design (§III-E) infers failures from *where keep-alives
+//! stop arriving* (Table I). This module gives experiments a switchboard to
+//! take individual logical links up/down and to inject probabilistic loss,
+//! so those inference rules can be exercised.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::ChannelClass;
+
+/// Identifies one directed logical link between two nodes on a channel
+/// class. Node ids are the caller's (the core crate uses switch ids, with a
+/// reserved id for the controller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkId {
+    /// Sending node.
+    pub from: u32,
+    /// Receiving node.
+    pub to: u32,
+    /// Channel class.
+    pub class: ChannelClass,
+}
+
+impl LinkId {
+    /// Creates a link id.
+    pub fn new(from: u32, to: u32, class: ChannelClass) -> Self {
+        LinkId { from, to, class }
+    }
+
+    /// The same link in the opposite direction.
+    pub fn reversed(self) -> Self {
+        LinkId {
+            from: self.to,
+            to: self.from,
+            class: self.class,
+        }
+    }
+}
+
+/// Per-link administrative state: up/down plus a loss probability.
+///
+/// Links default to *up* with zero loss; only overrides are stored.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LinkState {
+    down: HashMap<LinkId, bool>,
+    loss: HashMap<LinkId, f64>,
+    /// Nodes that are down drop everything to/from them.
+    node_down: HashMap<u32, bool>,
+}
+
+impl LinkState {
+    /// Creates an all-up switchboard.
+    pub fn new() -> Self {
+        LinkState::default()
+    }
+
+    /// Takes a directed link down or up.
+    pub fn set_link_down(&mut self, link: LinkId, down: bool) {
+        if down {
+            self.down.insert(link, true);
+        } else {
+            self.down.remove(&link);
+        }
+    }
+
+    /// Takes both directions of a link down or up.
+    pub fn set_link_down_bidir(&mut self, link: LinkId, down: bool) {
+        self.set_link_down(link, down);
+        self.set_link_down(link.reversed(), down);
+    }
+
+    /// Takes a node down or up (a down node loses all its links).
+    pub fn set_node_down(&mut self, node: u32, down: bool) {
+        if down {
+            self.node_down.insert(node, true);
+        } else {
+            self.node_down.remove(&node);
+        }
+    }
+
+    /// Sets a loss probability for a directed link.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is in `[0, 1]`.
+    pub fn set_loss(&mut self, link: LinkId, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "loss probability {p} out of [0,1]");
+        if p == 0.0 {
+            self.loss.remove(&link);
+        } else {
+            self.loss.insert(link, p);
+        }
+    }
+
+    /// True if the link is administratively up and both endpoints are up.
+    pub fn is_up(&self, link: LinkId) -> bool {
+        !self.down.get(&link).copied().unwrap_or(false)
+            && !self.node_down.get(&link.from).copied().unwrap_or(false)
+            && !self.node_down.get(&link.to).copied().unwrap_or(false)
+    }
+
+    /// True if the node is up.
+    pub fn is_node_up(&self, node: u32) -> bool {
+        !self.node_down.get(&node).copied().unwrap_or(false)
+    }
+
+    /// Decides whether one message on `link` is delivered: checks admin
+    /// state, then samples loss.
+    pub fn delivers<R: Rng>(&self, link: LinkId, rng: &mut R) -> bool {
+        if !self.is_up(link) {
+            return false;
+        }
+        match self.loss.get(&link) {
+            None => true,
+            Some(&p) => !rng.gen_bool(p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn l(a: u32, b: u32) -> LinkId {
+        LinkId::new(a, b, ChannelClass::Peer)
+    }
+
+    #[test]
+    fn links_default_up() {
+        let s = LinkState::new();
+        assert!(s.is_up(l(1, 2)));
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(s.delivers(l(1, 2), &mut rng));
+    }
+
+    #[test]
+    fn down_links_drop() {
+        let mut s = LinkState::new();
+        s.set_link_down(l(1, 2), true);
+        assert!(!s.is_up(l(1, 2)));
+        assert!(s.is_up(l(2, 1)), "reverse direction unaffected");
+        s.set_link_down(l(1, 2), false);
+        assert!(s.is_up(l(1, 2)));
+    }
+
+    #[test]
+    fn bidir_helper_hits_both_directions() {
+        let mut s = LinkState::new();
+        s.set_link_down_bidir(l(3, 4), true);
+        assert!(!s.is_up(l(3, 4)));
+        assert!(!s.is_up(l(4, 3)));
+    }
+
+    #[test]
+    fn node_down_kills_all_its_links() {
+        let mut s = LinkState::new();
+        s.set_node_down(7, true);
+        assert!(!s.is_up(l(7, 1)));
+        assert!(!s.is_up(l(1, 7)));
+        assert!(s.is_up(l(1, 2)));
+        assert!(!s.is_node_up(7));
+        s.set_node_down(7, false);
+        assert!(s.is_up(l(7, 1)));
+    }
+
+    #[test]
+    fn loss_probability_applies() {
+        let mut s = LinkState::new();
+        s.set_loss(l(1, 2), 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!s.delivers(l(1, 2), &mut rng));
+        s.set_loss(l(1, 2), 0.0);
+        assert!(s.delivers(l(1, 2), &mut rng));
+    }
+
+    #[test]
+    fn partial_loss_is_roughly_proportional() {
+        let mut s = LinkState::new();
+        s.set_loss(l(1, 2), 0.3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let delivered = (0..10_000)
+            .filter(|_| s.delivers(l(1, 2), &mut rng))
+            .count();
+        assert!((6300..7700).contains(&delivered), "delivered {delivered}/10000");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn invalid_loss_panics() {
+        let mut s = LinkState::new();
+        s.set_loss(l(1, 2), 1.5);
+    }
+
+    #[test]
+    fn class_distinguishes_links() {
+        let mut s = LinkState::new();
+        s.set_link_down(LinkId::new(1, 2, ChannelClass::Control), true);
+        assert!(s.is_up(LinkId::new(1, 2, ChannelClass::Peer)));
+        assert!(!s.is_up(LinkId::new(1, 2, ChannelClass::Control)));
+    }
+}

@@ -1,0 +1,325 @@
+//! Measurement plumbing: counters, time-bucketed series and latency
+//! histograms.
+//!
+//! The paper's evaluation reports controller workload in requests/sec per
+//! 2-hour bucket (Fig. 7), grouping updates per hour (Fig. 8), and average
+//! forwarding latency per 2-hour bucket (Fig. 9). [`TimeSeries`] produces
+//! exactly those shapes; [`Histogram`] backs the cold-cache latency numbers.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{SimDuration, SimTime};
+
+/// A time series of accumulated values in fixed-width buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    bucket_width: SimDuration,
+    buckets: BTreeMap<u64, f64>,
+    counts: BTreeMap<u64, u64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero bucket width.
+    pub fn new(bucket_width: SimDuration) -> Self {
+        assert!(bucket_width.as_nanos() > 0, "bucket width must be positive");
+        TimeSeries {
+            bucket_width,
+            buckets: BTreeMap::new(),
+            counts: BTreeMap::new(),
+        }
+    }
+
+    fn bucket_of(&self, at: SimTime) -> u64 {
+        at.as_nanos() / self.bucket_width.as_nanos()
+    }
+
+    /// Adds `value` to the bucket containing `at`.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        let b = self.bucket_of(at);
+        *self.buckets.entry(b).or_insert(0.0) += value;
+        *self.counts.entry(b).or_insert(0) += 1;
+    }
+
+    /// Convenience: records a single occurrence (value 1).
+    pub fn increment(&mut self, at: SimTime) {
+        self.record(at, 1.0);
+    }
+
+    /// Sum accumulated in the bucket containing `at`.
+    pub fn bucket_sum(&self, at: SimTime) -> f64 {
+        self.buckets.get(&self.bucket_of(at)).copied().unwrap_or(0.0)
+    }
+
+    /// All buckets as `(bucket_start_time, sum)` in time order, including
+    /// empty gaps between the first and last non-empty bucket.
+    pub fn sums(&self) -> Vec<(SimTime, f64)> {
+        let (Some(&first), Some(&last)) = (
+            self.buckets.keys().next(),
+            self.buckets.keys().next_back(),
+        ) else {
+            return Vec::new();
+        };
+        (first..=last)
+            .map(|b| {
+                (
+                    SimTime::from_nanos(b * self.bucket_width.as_nanos()),
+                    self.buckets.get(&b).copied().unwrap_or(0.0),
+                )
+            })
+            .collect()
+    }
+
+    /// All buckets as `(bucket_start_time, sum / bucket_seconds)` — i.e.
+    /// rates, the unit of Fig. 7 (requests per second).
+    pub fn rates(&self) -> Vec<(SimTime, f64)> {
+        let secs = self.bucket_width.as_secs_f64();
+        self.sums()
+            .into_iter()
+            .map(|(t, s)| (t, s / secs))
+            .collect()
+    }
+
+    /// Mean recorded value per bucket as `(bucket_start_time, mean)` —
+    /// the unit of Fig. 9 (average latency per bucket).
+    pub fn means(&self) -> Vec<(SimTime, f64)> {
+        self.sums()
+            .into_iter()
+            .map(|(t, s)| {
+                let b = self.bucket_of(t);
+                let n = self.counts.get(&b).copied().unwrap_or(0);
+                (t, if n == 0 { 0.0 } else { s / n as f64 })
+            })
+            .collect()
+    }
+
+    /// Total across all buckets.
+    pub fn total(&self) -> f64 {
+        self.buckets.values().sum()
+    }
+}
+
+/// A simple exact histogram of f64 samples (stores all samples; fine at
+/// simulation scale).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN");
+        self.samples.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank, or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0,1]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        Some(sorted[idx])
+    }
+
+    /// Maximum sample, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().cloned().reduce(f64::max)
+    }
+}
+
+/// A bundle of named metrics for one experiment run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricsSink {
+    counters: BTreeMap<String, u64>,
+    series: BTreeMap<String, TimeSeries>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        MetricsSink::default()
+    }
+
+    /// Adds `n` to a named counter.
+    pub fn count(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Reads a counter (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gets (or creates) a named time series with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series exists with a different bucket width.
+    pub fn series_mut(&mut self, name: &str, bucket_width: SimDuration) -> &mut TimeSeries {
+        let s = self
+            .series
+            .entry(name.to_owned())
+            .or_insert_with(|| TimeSeries::new(bucket_width));
+        assert_eq!(
+            s.bucket_width, bucket_width,
+            "series {name} re-opened with different bucket width"
+        );
+        s
+    }
+
+    /// Reads a named series.
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// Gets (or creates) a named histogram.
+    pub fn histogram_mut(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_owned()).or_default()
+    }
+
+    /// Reads a named histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counter names and values, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_buckets_and_rates() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(10));
+        ts.increment(SimTime::from_secs(1));
+        ts.increment(SimTime::from_secs(9));
+        ts.increment(SimTime::from_secs(25));
+        let sums = ts.sums();
+        assert_eq!(sums.len(), 3); // buckets 0, 1 (gap), 2
+        assert_eq!(sums[0], (SimTime::ZERO, 2.0));
+        assert_eq!(sums[1], (SimTime::from_secs(10), 0.0));
+        assert_eq!(sums[2], (SimTime::from_secs(20), 1.0));
+        let rates = ts.rates();
+        assert_eq!(rates[0].1, 0.2);
+        assert_eq!(ts.total(), 3.0);
+        assert_eq!(ts.bucket_sum(SimTime::from_secs(5)), 2.0);
+    }
+
+    #[test]
+    fn series_means() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(1));
+        ts.record(SimTime::from_millis(100), 10.0);
+        ts.record(SimTime::from_millis(200), 20.0);
+        let means = ts.means();
+        assert_eq!(means, vec![(SimTime::ZERO, 15.0)]);
+    }
+
+    #[test]
+    fn empty_series() {
+        let ts = TimeSeries::new(SimDuration::from_secs(1));
+        assert!(ts.sums().is_empty());
+        assert_eq!(ts.total(), 0.0);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.mean(), Some(3.0));
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(0.5), Some(3.0));
+        assert_eq!(h.quantile(1.0), Some(5.0));
+        assert_eq!(h.max(), Some(5.0));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot record NaN")]
+    fn nan_rejected() {
+        Histogram::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn sink_round_trip() {
+        let mut sink = MetricsSink::new();
+        sink.count("packet_in", 3);
+        sink.count("packet_in", 2);
+        assert_eq!(sink.counter("packet_in"), 5);
+        assert_eq!(sink.counter("missing"), 0);
+
+        sink.series_mut("workload", SimDuration::from_secs(2))
+            .increment(SimTime::from_secs(1));
+        assert_eq!(sink.series("workload").unwrap().total(), 1.0);
+
+        sink.histogram_mut("latency").record(0.8);
+        assert_eq!(sink.histogram("latency").unwrap().len(), 1);
+
+        let names: Vec<&str> = sink.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["packet_in"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket width")]
+    fn series_width_conflict_panics() {
+        let mut sink = MetricsSink::new();
+        sink.series_mut("x", SimDuration::from_secs(1));
+        sink.series_mut("x", SimDuration::from_secs(2));
+    }
+}

@@ -1,0 +1,266 @@
+//! The OpenFlow-style flow table (exact-priority match, timeouts, stats).
+
+use lazyctrl_net::{EtherType, MacAddr, PortNo, TenantId};
+use lazyctrl_proto::{Action, FlowMatch, FlowModCommand, FlowModMsg};
+use serde::{Deserialize, Serialize};
+
+/// One installed rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowRule {
+    /// What the rule matches.
+    pub flow_match: FlowMatch,
+    /// Priority; higher wins, ties broken by older-first.
+    pub priority: u16,
+    /// Actions applied on match.
+    pub actions: Vec<Action>,
+    /// Seconds of idleness before eviction (0 = never).
+    pub idle_timeout: u16,
+    /// Seconds of lifetime before eviction (0 = never).
+    pub hard_timeout: u16,
+    /// Controller cookie.
+    pub cookie: u64,
+    /// Install time (ns).
+    pub installed_at_ns: u64,
+    /// Last match time (ns).
+    pub last_used_ns: u64,
+    /// Number of packets matched.
+    pub packets: u64,
+}
+
+/// The fields of a packet a rule can match on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PacketFields {
+    /// Ingress port.
+    pub in_port: Option<PortNo>,
+    /// Source MAC.
+    pub dl_src: Option<MacAddr>,
+    /// Destination MAC.
+    pub dl_dst: Option<MacAddr>,
+    /// Tenant VLAN.
+    pub dl_vlan: Option<TenantId>,
+    /// EtherType.
+    pub dl_type: Option<EtherType>,
+}
+
+/// An OpenFlow-style flow table.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FlowTable {
+    rules: Vec<FlowRule>,
+}
+
+impl FlowTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FlowTable::default()
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Applies a `FlowMod` from the controller.
+    ///
+    /// Returns the number of rules affected (inserted, modified or
+    /// removed).
+    pub fn apply(&mut self, msg: &FlowModMsg, now_ns: u64) -> usize {
+        match msg.command {
+            FlowModCommand::Add => {
+                self.rules.push(FlowRule {
+                    flow_match: msg.flow_match,
+                    priority: msg.priority,
+                    actions: msg.actions.clone(),
+                    idle_timeout: msg.idle_timeout,
+                    hard_timeout: msg.hard_timeout,
+                    cookie: msg.cookie,
+                    installed_at_ns: now_ns,
+                    last_used_ns: now_ns,
+                    packets: 0,
+                });
+                // Highest priority first; stable sort keeps older rules
+                // ahead within a priority level.
+                self.rules.sort_by(|a, b| b.priority.cmp(&a.priority));
+                1
+            }
+            FlowModCommand::Modify => {
+                let mut n = 0;
+                for r in &mut self.rules {
+                    if r.flow_match == msg.flow_match {
+                        r.actions = msg.actions.clone();
+                        r.cookie = msg.cookie;
+                        n += 1;
+                    }
+                }
+                n
+            }
+            FlowModCommand::Delete => {
+                let before = self.rules.len();
+                self.rules.retain(|r| r.flow_match != msg.flow_match);
+                before - self.rules.len()
+            }
+        }
+    }
+
+    /// Finds the highest-priority matching rule, bumping its stats.
+    pub fn lookup(&mut self, fields: &PacketFields, now_ns: u64) -> Option<&FlowRule> {
+        let idx = self.rules.iter().position(|r| {
+            r.flow_match.matches(
+                fields.in_port,
+                fields.dl_src,
+                fields.dl_dst,
+                fields.dl_vlan,
+                fields.dl_type,
+            )
+        })?;
+        let r = &mut self.rules[idx];
+        r.last_used_ns = now_ns;
+        r.packets += 1;
+        Some(&self.rules[idx])
+    }
+
+    /// Evicts expired rules, returning them (for `FlowRemoved`-style
+    /// accounting).
+    pub fn expire(&mut self, now_ns: u64) -> Vec<FlowRule> {
+        let mut removed = Vec::new();
+        self.rules.retain(|r| {
+            let idle_dead = r.idle_timeout > 0
+                && now_ns.saturating_sub(r.last_used_ns) > r.idle_timeout as u64 * 1_000_000_000;
+            let hard_dead = r.hard_timeout > 0
+                && now_ns.saturating_sub(r.installed_at_ns)
+                    > r.hard_timeout as u64 * 1_000_000_000;
+            if idle_dead || hard_dead {
+                removed.push(r.clone());
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// Iterates over installed rules in match order.
+    pub fn iter(&self) -> impl Iterator<Item = &FlowRule> {
+        self.rules.iter()
+    }
+
+    /// Keeps only rules satisfying the predicate; returns how many were
+    /// removed (used to purge stale-epoch tunnel rules at regrouping).
+    pub fn retain_rules<F: FnMut(&FlowRule) -> bool>(&mut self, mut keep: F) -> usize {
+        let before = self.rules.len();
+        self.rules.retain(|r| keep(r));
+        before - self.rules.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow_mod(cmd: FlowModCommand, dst: u64, priority: u16, port: u16) -> FlowModMsg {
+        FlowModMsg {
+            command: cmd,
+            flow_match: FlowMatch::to_dst(MacAddr::for_host(dst)),
+            priority,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            cookie: 0,
+            actions: vec![Action::Output(PortNo::new(port))],
+        }
+    }
+
+    fn fields_to(dst: u64) -> PacketFields {
+        PacketFields {
+            dl_dst: Some(MacAddr::for_host(dst)),
+            ..PacketFields::default()
+        }
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut t = FlowTable::new();
+        assert_eq!(t.apply(&flow_mod(FlowModCommand::Add, 1, 10, 3), 0), 1);
+        let rule = t.lookup(&fields_to(1), 5).expect("match");
+        assert_eq!(rule.actions, vec![Action::Output(PortNo::new(3))]);
+        assert_eq!(rule.packets, 1);
+        assert_eq!(rule.last_used_ns, 5);
+        assert!(t.lookup(&fields_to(2), 5).is_none());
+    }
+
+    #[test]
+    fn priority_order_wins() {
+        let mut t = FlowTable::new();
+        t.apply(&flow_mod(FlowModCommand::Add, 1, 1, 7), 0);
+        t.apply(&flow_mod(FlowModCommand::Add, 1, 100, 9), 0);
+        let rule = t.lookup(&fields_to(1), 0).unwrap();
+        assert_eq!(rule.actions, vec![Action::Output(PortNo::new(9))]);
+    }
+
+    #[test]
+    fn modify_rewrites_actions() {
+        let mut t = FlowTable::new();
+        t.apply(&flow_mod(FlowModCommand::Add, 1, 10, 3), 0);
+        let n = t.apply(&flow_mod(FlowModCommand::Modify, 1, 10, 42), 1);
+        assert_eq!(n, 1);
+        let rule = t.lookup(&fields_to(1), 2).unwrap();
+        assert_eq!(rule.actions, vec![Action::Output(PortNo::new(42))]);
+    }
+
+    #[test]
+    fn delete_removes_matching() {
+        let mut t = FlowTable::new();
+        t.apply(&flow_mod(FlowModCommand::Add, 1, 10, 3), 0);
+        t.apply(&flow_mod(FlowModCommand::Add, 2, 10, 4), 0);
+        assert_eq!(t.apply(&flow_mod(FlowModCommand::Delete, 1, 0, 0), 1), 1);
+        assert_eq!(t.len(), 1);
+        assert!(t.lookup(&fields_to(1), 2).is_none());
+        assert!(t.lookup(&fields_to(2), 2).is_some());
+    }
+
+    #[test]
+    fn idle_timeout_expires() {
+        let mut t = FlowTable::new();
+        let mut m = flow_mod(FlowModCommand::Add, 1, 10, 3);
+        m.idle_timeout = 2; // seconds
+        t.apply(&m, 0);
+        // Touch at t=1s; expire check at 2.5s (idle 1.5s) → survives.
+        t.lookup(&fields_to(1), 1_000_000_000);
+        assert!(t.expire(2_500_000_000).is_empty());
+        // At 3.5s idle is 2.5s > 2s → evicted.
+        let removed = t.expire(3_500_000_000);
+        assert_eq!(removed.len(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn hard_timeout_expires_despite_use() {
+        let mut t = FlowTable::new();
+        let mut m = flow_mod(FlowModCommand::Add, 1, 10, 3);
+        m.hard_timeout = 1;
+        t.apply(&m, 0);
+        t.lookup(&fields_to(1), 900_000_000);
+        let removed = t.expire(1_100_000_000);
+        assert_eq!(removed.len(), 1);
+    }
+
+    #[test]
+    fn wildcard_rule_matches_everything() {
+        let mut t = FlowTable::new();
+        let m = FlowModMsg {
+            command: FlowModCommand::Add,
+            flow_match: FlowMatch::default(),
+            priority: 0,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            cookie: 9,
+            actions: vec![Action::Drop],
+        };
+        t.apply(&m, 0);
+        assert!(t.lookup(&fields_to(123), 0).is_some());
+        assert!(t.lookup(&PacketFields::default(), 0).is_some());
+    }
+}

@@ -1,0 +1,267 @@
+//! The packet forwarding routine of Fig. 5, as a pure decision function.
+//!
+//! ```text
+//! plain packet:        flow table → L-FIB → G-FIB → controller
+//! encapsulated packet: epoch check → decap → L-FIB → drop (false positive)
+//! ```
+//!
+//! Keeping this a function from `(packet, tables)` to a
+//! [`ForwardingDecision`] makes every branch of the paper's routine
+//! directly unit-testable; [`EdgeSwitch`](crate::EdgeSwitch) maps decisions
+//! onto I/O effects.
+
+use lazyctrl_net::{Packet, PortNo, SwitchId};
+use lazyctrl_proto::Action;
+
+use crate::flow_table::PacketFields;
+use crate::{FlowTable, Gfib, Lfib};
+
+/// Why a packet was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Mis-forwarded to us by a peer's G-FIB false positive (Fig. 5 line
+    /// 28).
+    FalsePositive,
+    /// Encapsulated under a grouping epoch we no longer accept.
+    StaleEpoch,
+}
+
+/// The outcome of the forwarding routine for one packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForwardingDecision {
+    /// A flow-table rule matched; apply its action list (Fig. 5 lines 4–5).
+    FlowRule(Vec<Action>),
+    /// The destination is a local host on this port (lines 20–21, 29).
+    DeliverLocal(PortNo),
+    /// Encapsulate and send a copy to each candidate peer switch
+    /// (lines 17–19; multiple targets possible due to BF false positives).
+    EncapTo(Vec<SwitchId>),
+    /// No group knowledge: punt to the controller for inter-group handling
+    /// (lines 14–16).
+    PuntToController,
+    /// Drop (lines 27–28).
+    Drop(DropReason),
+}
+
+/// Runs the Fig. 5 routine over the switch's tables.
+///
+/// `epoch_accepted` decides whether an encapsulated packet's grouping epoch
+/// is still valid (current epoch, or an old one within the preload grace
+/// window of Appendix B).
+pub fn forward_packet(
+    pkt: &Packet,
+    in_port: PortNo,
+    flow_table: &mut FlowTable,
+    lfib: &Lfib,
+    gfib: &Gfib,
+    epoch_accepted: impl Fn(u32) -> bool,
+    now_ns: u64,
+) -> ForwardingDecision {
+    match pkt {
+        Packet::Plain(frame) => {
+            // Lines 4–5: flow table first.
+            let fields = PacketFields {
+                in_port: Some(in_port),
+                dl_src: Some(frame.src),
+                dl_dst: Some(frame.dst),
+                dl_vlan: frame.vlan.map(|t| t.vid()),
+                dl_type: Some(frame.ethertype),
+            };
+            if let Some(rule) = flow_table.lookup(&fields, now_ns) {
+                return ForwardingDecision::FlowRule(rule.actions.clone());
+            }
+            // Lines 8–9: L-FIB.
+            if let Some(port) = lfib.lookup(frame.dst) {
+                return ForwardingDecision::DeliverLocal(port);
+            }
+            // Lines 12–13: G-FIB.
+            let candidates = gfib.query(frame.dst);
+            if candidates.is_empty() {
+                // Lines 14–16.
+                ForwardingDecision::PuntToController
+            } else {
+                // Lines 17–19.
+                ForwardingDecision::EncapTo(candidates)
+            }
+        }
+        Packet::Encapsulated(encap) => {
+            // Epoch gate (regrouping consistency; Appendix B preload).
+            if !epoch_accepted(encap.header.key) {
+                return ForwardingDecision::Drop(DropReason::StaleEpoch);
+            }
+            // Lines 24–29.
+            match lfib.lookup(encap.inner.dst) {
+                Some(port) => ForwardingDecision::DeliverLocal(port),
+                None => ForwardingDecision::Drop(DropReason::FalsePositive),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gfib::build_update;
+    use lazyctrl_net::{
+        EncapHeader, EncapsulatedFrame, EtherType, EthernetFrame, MacAddr, TenantId,
+    };
+    use lazyctrl_proto::{FlowMatch, FlowModCommand, FlowModMsg};
+
+    fn frame(src: u64, dst: u64) -> EthernetFrame {
+        EthernetFrame::new(
+            MacAddr::for_host(src),
+            MacAddr::for_host(dst),
+            EtherType::IPV4,
+            vec![0; 32],
+        )
+    }
+
+    fn encap(dst: u64, key: u32) -> Packet {
+        Packet::Encapsulated(EncapsulatedFrame::new(
+            EncapHeader::new(
+                SwitchId::new(1).underlay_ip(),
+                SwitchId::new(2).underlay_ip(),
+                TenantId::new(1),
+                key,
+            ),
+            frame(1, dst),
+        ))
+    }
+
+    fn setup() -> (FlowTable, Lfib, Gfib) {
+        let mut lfib = Lfib::new();
+        lfib.learn(MacAddr::for_host(100), TenantId::new(1), PortNo::new(4), 0);
+        let mut gfib = Gfib::new();
+        gfib.apply_update(&build_update(
+            SwitchId::new(7),
+            1,
+            vec![MacAddr::for_host(200)],
+        ));
+        (FlowTable::new(), lfib, gfib)
+    }
+
+    #[test]
+    fn flow_rule_takes_precedence() {
+        let (mut ft, lfib, gfib) = setup();
+        ft.apply(
+            &FlowModMsg {
+                command: FlowModCommand::Add,
+                flow_match: FlowMatch::to_dst(MacAddr::for_host(100)),
+                priority: 5,
+                idle_timeout: 0,
+                hard_timeout: 0,
+                cookie: 0,
+                actions: vec![Action::Drop],
+            },
+            0,
+        );
+        // 100 is also in the L-FIB, but the flow rule wins (Fig. 5 order).
+        let d = forward_packet(
+            &Packet::Plain(frame(1, 100)),
+            PortNo::new(1),
+            &mut ft,
+            &lfib,
+            &gfib,
+            |_| true,
+            0,
+        );
+        assert_eq!(d, ForwardingDecision::FlowRule(vec![Action::Drop]));
+    }
+
+    #[test]
+    fn local_host_delivers() {
+        let (mut ft, lfib, gfib) = setup();
+        let d = forward_packet(
+            &Packet::Plain(frame(1, 100)),
+            PortNo::new(1),
+            &mut ft,
+            &lfib,
+            &gfib,
+            |_| true,
+            0,
+        );
+        assert_eq!(d, ForwardingDecision::DeliverLocal(PortNo::new(4)));
+    }
+
+    #[test]
+    fn group_host_tunnels() {
+        let (mut ft, lfib, gfib) = setup();
+        let d = forward_packet(
+            &Packet::Plain(frame(1, 200)),
+            PortNo::new(1),
+            &mut ft,
+            &lfib,
+            &gfib,
+            |_| true,
+            0,
+        );
+        assert_eq!(d, ForwardingDecision::EncapTo(vec![SwitchId::new(7)]));
+    }
+
+    #[test]
+    fn unknown_host_punts() {
+        let (mut ft, lfib, gfib) = setup();
+        let d = forward_packet(
+            &Packet::Plain(frame(1, 999)),
+            PortNo::new(1),
+            &mut ft,
+            &lfib,
+            &gfib,
+            |_| true,
+            0,
+        );
+        assert_eq!(d, ForwardingDecision::PuntToController);
+    }
+
+    #[test]
+    fn encapsulated_delivers_locally() {
+        let (mut ft, lfib, gfib) = setup();
+        let d = forward_packet(&encap(100, 1), PortNo::new(9), &mut ft, &lfib, &gfib, |_| true, 0);
+        assert_eq!(d, ForwardingDecision::DeliverLocal(PortNo::new(4)));
+    }
+
+    #[test]
+    fn false_positive_drops() {
+        let (mut ft, lfib, gfib) = setup();
+        let d = forward_packet(&encap(555, 1), PortNo::new(9), &mut ft, &lfib, &gfib, |_| true, 0);
+        assert_eq!(d, ForwardingDecision::Drop(DropReason::FalsePositive));
+    }
+
+    #[test]
+    fn stale_epoch_drops_before_lfib() {
+        let (mut ft, lfib, gfib) = setup();
+        let d = forward_packet(
+            &encap(100, 42),
+            PortNo::new(9),
+            &mut ft,
+            &lfib,
+            &gfib,
+            |e| e == 1,
+            0,
+        );
+        assert_eq!(d, ForwardingDecision::Drop(DropReason::StaleEpoch));
+    }
+
+    #[test]
+    fn multiple_bf_candidates_all_targeted() {
+        let (mut ft, lfib, mut gfib) = setup();
+        gfib.apply_update(&build_update(
+            SwitchId::new(9),
+            1,
+            vec![MacAddr::for_host(200)],
+        ));
+        let d = forward_packet(
+            &Packet::Plain(frame(1, 200)),
+            PortNo::new(1),
+            &mut ft,
+            &lfib,
+            &gfib,
+            |_| true,
+            0,
+        );
+        assert_eq!(
+            d,
+            ForwardingDecision::EncapTo(vec![SwitchId::new(7), SwitchId::new(9)])
+        );
+    }
+}

@@ -1,0 +1,956 @@
+//! The composed LazyCtrl edge switch.
+//!
+//! `EdgeSwitch` is a deterministic state machine: packets, control messages
+//! and timers go in; [`SwitchOutput`] effects come out. The split mirrors
+//! the prototype's ovs-vswitchd modules (§IV-A): Ctrl-IF (control link
+//! I/O), state advertisement, FIB maintenance, and state reporting (active
+//! only on the designated switch).
+
+use std::collections::BTreeSet;
+
+use lazyctrl_net::{
+    ArpOp, EncapHeader, EncapsulatedFrame, EthernetFrame, GroupId, HostId, MacAddr, Packet,
+    PortNo, SwitchId, TenantId,
+};
+use lazyctrl_proto::{
+    Action, GroupAssignMsg, LazyMsg, LfibSyncMsg, Message, OfMessage, PacketInMsg,
+    PacketInReason, PacketOutMsg,
+};
+
+use crate::forwarding::{forward_packet, DropReason, ForwardingDecision};
+use crate::gfib::build_update;
+use crate::wheel::{WheelAction, WheelPosition};
+use crate::{DesignatedRole, FlowTable, Gfib, Lfib, StateAdvertiser};
+
+/// How long a superseded epoch stays accepted after a regroup when preload
+/// is enabled (Appendix B, "preload for seamless grouping update"). Long
+/// enough for in-flight packets and already-punted flows to settle.
+const EPOCH_GRACE_NS: u64 = 10_000_000_000;
+
+/// Default L-FIB aging horizon. Hosts refresh their entry whenever they
+/// send; without periodic gratuitous ARP a quiet VM must not be forgotten,
+/// so the default is a full day (VM removal is signalled explicitly).
+const DEFAULT_LFIB_MAX_IDLE_NS: u64 = 86_400_000_000_000; // 24 h
+
+/// Group membership parameters installed by a `GroupAssign`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupConfig {
+    /// The group this switch belongs to.
+    pub group: GroupId,
+    /// Current grouping epoch.
+    pub epoch: u32,
+    /// All members (ring order).
+    pub members: Vec<SwitchId>,
+    /// The designated switch.
+    pub designated: SwitchId,
+    /// Backup designated switches.
+    pub backups: Vec<SwitchId>,
+    /// Peer-sync period (ns).
+    pub sync_interval_ns: u64,
+    /// Keep-alive period (ns).
+    pub keepalive_interval_ns: u64,
+}
+
+impl From<&GroupAssignMsg> for GroupConfig {
+    fn from(m: &GroupAssignMsg) -> Self {
+        GroupConfig {
+            group: m.group,
+            epoch: m.epoch,
+            members: m.members.clone(),
+            designated: m.designated,
+            backups: m.backups.clone(),
+            sync_interval_ns: m.sync_interval_ms as u64 * 1_000_000,
+            keepalive_interval_ns: m.keepalive_interval_ms as u64 * 1_000_000,
+        }
+    }
+}
+
+/// Timers the switch asks its driver to arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SwitchTimer {
+    /// Periodic peer-link state sync (§III-D.3 asynchronous dissemination).
+    PeerSync,
+    /// Periodic wheel keep-alive.
+    KeepAlive,
+    /// Periodic L-FIB aging sweep.
+    LfibAge,
+    /// One-shot: stop accepting the given superseded epoch.
+    EpochGrace(u32),
+}
+
+/// Effects the switch wants performed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SwitchOutput {
+    /// Send on the control link to the controller.
+    ToController(Message),
+    /// Send on the peer link to a group member.
+    ToPeer(SwitchId, Message),
+    /// Send on the state link (designated switch only).
+    ToState(Message),
+    /// Tunnel an encapsulated frame across the underlay to a peer edge
+    /// switch.
+    Tunnel(SwitchId, EncapsulatedFrame),
+    /// Deliver to a local host port.
+    DeliverLocal(PortNo, EthernetFrame),
+    /// Flood to all local host ports (except the ingress port).
+    FloodLocal(EthernetFrame),
+    /// Arm a timer after the given delay (ns). Periodic timers re-arm from
+    /// their handler; the driver just schedules each request once.
+    SetTimer(SwitchTimer, u64),
+}
+
+/// The edge switch state machine.
+#[derive(Debug)]
+pub struct EdgeSwitch {
+    id: SwitchId,
+    flow_table: FlowTable,
+    lfib: Lfib,
+    gfib: Gfib,
+    adv: StateAdvertiser,
+    group: Option<GroupConfig>,
+    designated_role: Option<DesignatedRole>,
+    wheel: Option<WheelPosition>,
+    accepted_epochs: BTreeSet<u32>,
+    blocked_arp: BTreeSet<TenantId>,
+    armed_timers: BTreeSet<SwitchTimer>,
+    /// Report bloom-filter mis-deliveries to the controller (Fig. 5's
+    /// optional corrective path).
+    pub report_false_positives: bool,
+    /// Preload grace for superseded epochs (Appendix B). When disabled,
+    /// in-flight packets from the old epoch drop at regrouping.
+    pub preload_enabled: bool,
+    /// Enforce the tunnel-key epoch gate on received packets. Off by
+    /// default: misdelivery is already caught by the L-FIB false-positive
+    /// path, so the gate only adds transient drops around regroupings.
+    /// The preload ablation turns it on to measure exactly that cost.
+    pub epoch_gating: bool,
+    /// When false the datapath behaves like a plain OpenFlow 1.0 switch:
+    /// flow-table lookup, then punt — no L-FIB/G-FIB resolution. This is
+    /// the paper's "normal mode" baseline (§V-A).
+    pub datapath_learning: bool,
+    /// L-FIB entries idle longer than this age out.
+    pub lfib_max_idle_ns: u64,
+    xid: u32,
+    packets_processed: u64,
+    packet_ins_sent: u64,
+    /// Last time the flow table was swept for expired rules (amortized
+    /// lazy expiry; OpenFlow idle/hard timeouts).
+    last_flow_expiry_ns: u64,
+}
+
+impl EdgeSwitch {
+    /// Creates a switch that is not yet in any group (it will punt
+    /// everything unknown to the controller, like a plain OpenFlow switch).
+    pub fn new(id: SwitchId) -> Self {
+        EdgeSwitch {
+            id,
+            flow_table: FlowTable::new(),
+            lfib: Lfib::new(),
+            gfib: Gfib::new(),
+            adv: StateAdvertiser::new(id),
+            group: None,
+            designated_role: None,
+            wheel: None,
+            accepted_epochs: BTreeSet::new(),
+            blocked_arp: BTreeSet::new(),
+            armed_timers: BTreeSet::new(),
+            report_false_positives: false,
+            preload_enabled: true,
+            epoch_gating: false,
+            datapath_learning: true,
+            lfib_max_idle_ns: DEFAULT_LFIB_MAX_IDLE_NS,
+            xid: 0,
+            packets_processed: 0,
+            packet_ins_sent: 0,
+            last_flow_expiry_ns: 0,
+        }
+    }
+
+    /// This switch's id.
+    pub fn id(&self) -> SwitchId {
+        self.id
+    }
+
+    /// The current group configuration, if assigned.
+    pub fn group(&self) -> Option<&GroupConfig> {
+        self.group.as_ref()
+    }
+
+    /// True while this switch serves as its group's designated switch.
+    pub fn is_designated(&self) -> bool {
+        self.designated_role.is_some()
+    }
+
+    /// Direct read access to the L-FIB.
+    pub fn lfib(&self) -> &Lfib {
+        &self.lfib
+    }
+
+    /// Direct read access to the G-FIB.
+    pub fn gfib(&self) -> &Gfib {
+        &self.gfib
+    }
+
+    /// Direct read access to the flow table.
+    pub fn flow_table(&self) -> &FlowTable {
+        &self.flow_table
+    }
+
+    /// Total packets processed.
+    pub fn packets_processed(&self) -> u64 {
+        self.packets_processed
+    }
+
+    /// Total `PacketIn`s sent to the controller.
+    pub fn packet_ins_sent(&self) -> u64 {
+        self.packet_ins_sent
+    }
+
+    fn next_xid(&mut self) -> u32 {
+        self.xid = self.xid.wrapping_add(1);
+        self.xid
+    }
+
+    fn current_epoch(&self) -> u32 {
+        self.group.as_ref().map(|g| g.epoch).unwrap_or(0)
+    }
+
+    fn designated(&self) -> Option<SwitchId> {
+        self.group.as_ref().map(|g| g.designated)
+    }
+
+    fn packet_in(&mut self, reason: PacketInReason, in_port: PortNo, data: Vec<u8>) -> Message {
+        self.packet_ins_sent += 1;
+        let xid = self.next_xid();
+        Message::of(
+            xid,
+            OfMessage::PacketIn(PacketInMsg {
+                buffer_id: u32::MAX,
+                in_port,
+                reason,
+                data,
+            }),
+        )
+    }
+
+    /// Handles a plain frame arriving from a directly attached host.
+    pub fn handle_local_frame(
+        &mut self,
+        now_ns: u64,
+        in_port: PortNo,
+        frame: EthernetFrame,
+    ) -> Vec<SwitchOutput> {
+        self.packets_processed += 1;
+        // Amortized flow-rule expiry (idle/hard timeouts), at most once a
+        // second of virtual time.
+        if now_ns.saturating_sub(self.last_flow_expiry_ns) >= 1_000_000_000 {
+            self.last_flow_expiry_ns = now_ns;
+            let _ = self.flow_table.expire(now_ns);
+        }
+        let tenant = frame.vlan.map(|t| t.vid()).unwrap_or(TenantId::NONE);
+        // Source learning (live state dissemination, step i).
+        self.lfib.learn(frame.src, tenant, in_port, now_ns);
+
+        if self.datapath_learning {
+            if let Some(arp) = Packet::Plain(frame.clone()).as_arp() {
+                if arp.op == ArpOp::Request {
+                    return self.handle_arp_request(now_ns, in_port, frame, tenant);
+                }
+                // ARP replies are unicast; fall through to normal forwarding.
+            }
+        }
+        self.forward_plain(now_ns, in_port, frame, tenant)
+    }
+
+    /// The three-level ARP cascade of §III-D.3.
+    fn handle_arp_request(
+        &mut self,
+        now_ns: u64,
+        in_port: PortNo,
+        frame: EthernetFrame,
+        tenant: TenantId,
+    ) -> Vec<SwitchOutput> {
+        let arp = Packet::Plain(frame.clone())
+            .as_arp()
+            .expect("caller verified this is ARP");
+        let target_mac = HostId::from_ip(arp.target_ip).map(|h| h.mac());
+
+        // Level i: a local host owns the target → flood locally only (the
+        // owner will reply).
+        if let Some(mac) = target_mac {
+            if self.lfib.lookup(mac).is_some() {
+                return vec![SwitchOutput::FloodLocal(frame)];
+            }
+            // Level ii(a): the G-FIB recognizes the target → tunnel the
+            // request straight to the candidate switches.
+            let candidates = self.gfib.query(mac);
+            if !candidates.is_empty() {
+                self.note_flow(now_ns, frame.src, mac, candidates.first().copied());
+                return self.tunnel_to(candidates, frame, tenant);
+            }
+        }
+        // Level ii(b): not recognized in-group → designated switch runs an
+        // intra-group broadcast.
+        if let Some(designated) = self.designated() {
+            if designated != self.id {
+                let xid = self.next_xid();
+                return vec![SwitchOutput::ToPeer(
+                    designated,
+                    Message::of(
+                        xid,
+                        OfMessage::PacketOut(PacketOutMsg {
+                            buffer_id: u32::MAX,
+                            in_port,
+                            actions: vec![Action::Output(PortNo::FLOOD)],
+                            data: frame.encode(),
+                        }),
+                    ),
+                )];
+            }
+            // I am the designated switch: broadcast in-group, and escalate
+            // to the controller unless this tenant's ARP is blocked.
+            let mut out = self.group_broadcast(frame.clone(), tenant);
+            if !self.blocked_arp.contains(&tenant) {
+                self.adv.record_punt();
+                let msg = self.packet_in(PacketInReason::NoMatch, in_port, frame.encode());
+                out.push(SwitchOutput::ToController(msg));
+            }
+            return out;
+        }
+        // Level iii (no group at all): straight to the controller.
+        if self.blocked_arp.contains(&tenant) {
+            return Vec::new();
+        }
+        self.adv.record_punt();
+        let msg = self.packet_in(PacketInReason::NoMatch, in_port, frame.encode());
+        vec![SwitchOutput::ToController(msg)]
+    }
+
+    /// Fig. 5 for non-ARP plain packets.
+    fn forward_plain(
+        &mut self,
+        now_ns: u64,
+        in_port: PortNo,
+        frame: EthernetFrame,
+        tenant: TenantId,
+    ) -> Vec<SwitchOutput> {
+        let epochs = self.accepted_epochs.clone();
+        let current = self.current_epoch();
+        let gating = self.epoch_gating;
+        // Plain-OpenFlow datapath: consult only the flow table.
+        let empty_lfib = Lfib::new();
+        let empty_gfib = Gfib::new();
+        let (lfib, gfib) = if self.datapath_learning {
+            (&self.lfib, &self.gfib)
+        } else {
+            (&empty_lfib, &empty_gfib)
+        };
+        let decision = forward_packet(
+            &Packet::Plain(frame.clone()),
+            in_port,
+            &mut self.flow_table,
+            lfib,
+            gfib,
+            |e| !gating || epochs.is_empty() || e >= current || epochs.contains(&e),
+            now_ns,
+        );
+        match decision {
+            ForwardingDecision::FlowRule(actions) => {
+                // Rule-forwarded flows still count towards intensity: the
+                // destination switch is in the rule's Encap action.
+                let dst_switch = actions.iter().find_map(|a| match a {
+                    Action::Encap { remote, .. } => SwitchId::from_underlay_ip(*remote),
+                    Action::Output(p) if p.is_physical() => Some(self.id),
+                    _ => None,
+                });
+                self.note_flow(now_ns, frame.src, frame.dst, dst_switch);
+                self.apply_actions(now_ns, in_port, frame, tenant, &actions)
+            }
+            ForwardingDecision::DeliverLocal(port) => {
+                self.adv.record_local_hit();
+                self.note_flow(now_ns, frame.src, frame.dst, Some(self.id));
+                vec![SwitchOutput::DeliverLocal(port, frame)]
+            }
+            ForwardingDecision::EncapTo(candidates) => {
+                self.adv.record_group_hit();
+                self.note_flow(now_ns, frame.src, frame.dst, candidates.first().copied());
+                self.tunnel_to(candidates, frame, tenant)
+            }
+            ForwardingDecision::PuntToController => {
+                self.adv.record_punt();
+                self.note_flow(now_ns, frame.src, frame.dst, None);
+                let msg = self.packet_in(PacketInReason::NoMatch, in_port, frame.encode());
+                vec![SwitchOutput::ToController(msg)]
+            }
+            ForwardingDecision::Drop(_) => Vec::new(),
+        }
+    }
+
+    /// Handles an encapsulated packet arriving from the underlay.
+    pub fn handle_tunnel_packet(
+        &mut self,
+        now_ns: u64,
+        encap: EncapsulatedFrame,
+    ) -> Vec<SwitchOutput> {
+        self.packets_processed += 1;
+        // Flooded intra-group broadcasts (ARP) fan out locally.
+        if encap.inner.is_flood() {
+            return vec![SwitchOutput::FloodLocal(encap.into_inner())];
+        }
+        // Epoch gate (only when enabled): packets from this switch's
+        // current epoch, from a *newer* epoch (the controller's view is
+        // ahead mid-update), or from a superseded epoch still within the
+        // preload grace window are valid; anything older is dropped.
+        let epochs = self.accepted_epochs.clone();
+        let current = self.current_epoch();
+        let gating = self.epoch_gating;
+        let decision = forward_packet(
+            &Packet::Encapsulated(encap.clone()),
+            PortNo::NONE,
+            &mut self.flow_table,
+            &self.lfib,
+            &self.gfib,
+            |e| !gating || epochs.is_empty() || e >= current || epochs.contains(&e),
+            now_ns,
+        );
+        match decision {
+            ForwardingDecision::DeliverLocal(port) => {
+                vec![SwitchOutput::DeliverLocal(port, encap.into_inner())]
+            }
+            ForwardingDecision::Drop(DropReason::FalsePositive) if self.report_false_positives => {
+                // Ship the full encapsulated packet so the controller can
+                // identify the mis-forwarding sender from the outer header
+                // and install a corrective rule there (Fig. 5, line 28+).
+                let msg = self.packet_in(
+                    PacketInReason::FalsePositive,
+                    PortNo::NONE,
+                    encap.encode(),
+                );
+                vec![SwitchOutput::ToController(msg)]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Handles a message from the controller on the control link.
+    pub fn handle_control_message(&mut self, now_ns: u64, msg: &Message) -> Vec<SwitchOutput> {
+        match &msg.body {
+            lazyctrl_proto::MessageBody::Of(of) => match of {
+                OfMessage::Hello => {
+                    vec![SwitchOutput::ToController(Message::of(
+                        msg.xid,
+                        OfMessage::Hello,
+                    ))]
+                }
+                OfMessage::EchoRequest(data) => vec![SwitchOutput::ToController(Message::of(
+                    msg.xid,
+                    OfMessage::EchoReply(data.clone()),
+                ))],
+                OfMessage::FeaturesRequest => vec![SwitchOutput::ToController(Message::of(
+                    msg.xid,
+                    OfMessage::FeaturesReply {
+                        datapath_id: self.id.0 as u64,
+                        n_ports: 48,
+                    },
+                ))],
+                OfMessage::StatsRequest => vec![SwitchOutput::ToController(Message::of(
+                    msg.xid,
+                    OfMessage::StatsReply {
+                        packets: self.packets_processed,
+                        flows: self.flow_table.len() as u32,
+                        packet_ins: self.packet_ins_sent,
+                    },
+                ))],
+                OfMessage::FlowMod(fm) => {
+                    self.flow_table.apply(fm, now_ns);
+                    Vec::new()
+                }
+                OfMessage::PacketOut(po) => {
+                    let Ok(frame) = EthernetFrame::decode(&po.data) else {
+                        return Vec::new();
+                    };
+                    let tenant = frame.vlan.map(|t| t.vid()).unwrap_or(TenantId::NONE);
+                    self.apply_actions(now_ns, po.in_port, frame, tenant, &po.actions)
+                }
+                _ => Vec::new(),
+            },
+            lazyctrl_proto::MessageBody::Lazy(lazy) => match lazy {
+                LazyMsg::GroupAssign(ga) => self.apply_group_assign(now_ns, ga),
+                LazyMsg::BlockArp { tenant, block } => {
+                    if *block {
+                        self.blocked_arp.insert(*tenant);
+                    } else {
+                        self.blocked_arp.remove(tenant);
+                    }
+                    Vec::new()
+                }
+                LazyMsg::KeepAlive(_) => {
+                    if let Some(w) = &mut self.wheel {
+                        w.on_controller_keepalive(now_ns);
+                    }
+                    Vec::new()
+                }
+                LazyMsg::GfibUpdate(gu) => {
+                    self.gfib.apply_update(gu);
+                    Vec::new()
+                }
+                LazyMsg::LfibSync(sync) => {
+                    // Controller pushing other switches' L-FIBs after a
+                    // regroup goes through the designated switch; accepting
+                    // it here too keeps small setups simple.
+                    self.absorb_lfib_sync(sync)
+                }
+                _ => Vec::new(),
+            },
+        }
+    }
+
+    /// Handles a message from a group member on the peer link.
+    pub fn handle_peer_message(
+        &mut self,
+        now_ns: u64,
+        from: SwitchId,
+        msg: &Message,
+    ) -> Vec<SwitchOutput> {
+        match &msg.body {
+            lazyctrl_proto::MessageBody::Lazy(lazy) => match lazy {
+                LazyMsg::KeepAlive(ka) => {
+                    if let Some(w) = &mut self.wheel {
+                        w.on_peer_keepalive(ka.from, now_ns);
+                    }
+                    Vec::new()
+                }
+                LazyMsg::GfibUpdate(gu) => {
+                    let mut out = Vec::new();
+                    if crate::designated::gfib_is_relevant(gu, self.current_epoch()) {
+                        self.gfib.apply_update(gu);
+                        // Designated switch relays to the rest of the group.
+                        if let Some(role) = &self.designated_role {
+                            for target in role.relay_targets(from) {
+                                let xid = self.next_xid();
+                                out.push(SwitchOutput::ToPeer(
+                                    target,
+                                    Message::lazy(xid, LazyMsg::GfibUpdate(gu.clone())),
+                                ));
+                            }
+                        }
+                    }
+                    out
+                }
+                LazyMsg::LfibSync(sync) => {
+                    let mut out = self.absorb_lfib_sync(sync);
+                    // Designated switch relays exact entries up the state
+                    // link for the controller's C-LIB.
+                    if self.designated_role.is_some() {
+                        let xid = self.next_xid();
+                        out.push(SwitchOutput::ToState(Message::lazy(
+                            xid,
+                            LazyMsg::LfibSync(sync.clone()),
+                        )));
+                    }
+                    out
+                }
+                LazyMsg::StateReport(report) => {
+                    if let Some(role) = &mut self.designated_role {
+                        role.absorb_report(report);
+                    }
+                    Vec::new()
+                }
+                LazyMsg::WheelReport(report) => {
+                    // Relay for a neighbour whose control link is dead.
+                    let xid = self.next_xid();
+                    vec![SwitchOutput::ToController(Message::lazy(
+                        xid,
+                        LazyMsg::WheelReport(*report),
+                    ))]
+                }
+                _ => Vec::new(),
+            },
+            lazyctrl_proto::MessageBody::Of(OfMessage::PacketOut(po)) => {
+                // A member asked the designated switch to run an intra-group
+                // ARP broadcast (§III-D.3 level ii).
+                let Ok(frame) = EthernetFrame::decode(&po.data) else {
+                    return Vec::new();
+                };
+                let tenant = frame.vlan.map(|t| t.vid()).unwrap_or(TenantId::NONE);
+                if self.designated_role.is_some() {
+                    let mut out = self.group_broadcast_except(frame.clone(), tenant, from);
+                    // Escalate to the controller (level iii) unless blocked.
+                    if !self.blocked_arp.contains(&tenant) {
+                        let msg =
+                            self.packet_in(PacketInReason::NoMatch, po.in_port, frame.encode());
+                        out.push(SwitchOutput::ToController(msg));
+                    }
+                    out
+                } else {
+                    Vec::new()
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Handles a timer the driver armed earlier.
+    pub fn on_timer(&mut self, now_ns: u64, timer: SwitchTimer) -> Vec<SwitchOutput> {
+        match timer {
+            SwitchTimer::PeerSync => self.run_peer_sync(now_ns),
+            SwitchTimer::KeepAlive => self.run_keepalive(now_ns),
+            SwitchTimer::LfibAge => {
+                self.lfib.age(now_ns, self.lfib_max_idle_ns);
+                vec![SwitchOutput::SetTimer(
+                    SwitchTimer::LfibAge,
+                    self.lfib_max_idle_ns / 2,
+                )]
+            }
+            SwitchTimer::EpochGrace(epoch) => {
+                self.accepted_epochs.remove(&epoch);
+                self.armed_timers.remove(&SwitchTimer::EpochGrace(epoch));
+                Vec::new()
+            }
+        }
+    }
+
+    fn run_peer_sync(&mut self, now_ns: u64) -> Vec<SwitchOutput> {
+        let Some(group) = self.group.clone() else {
+            self.armed_timers.remove(&SwitchTimer::PeerSync);
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let delta = self.lfib.take_delta();
+        let epoch = group.epoch;
+        if !delta.is_empty() {
+            let sync = LfibSyncMsg {
+                origin: self.id,
+                epoch,
+                entries: delta.added,
+                removed: delta.removed,
+            };
+            let gfib_update = build_update(self.id, epoch, self.lfib.macs());
+            if group.designated == self.id {
+                // Apply own update and fan out directly.
+                self.gfib.apply_update(&gfib_update);
+                if let Some(role) = &self.designated_role {
+                    for target in role.relay_targets(self.id) {
+                        let xid = self.next_xid();
+                        out.push(SwitchOutput::ToPeer(
+                            target,
+                            Message::lazy(xid, LazyMsg::GfibUpdate(gfib_update.clone())),
+                        ));
+                    }
+                }
+                let xid = self.next_xid();
+                out.push(SwitchOutput::ToState(Message::lazy(
+                    xid,
+                    LazyMsg::LfibSync(sync),
+                )));
+            } else {
+                let xid = self.next_xid();
+                out.push(SwitchOutput::ToPeer(
+                    group.designated,
+                    Message::lazy(xid, LazyMsg::LfibSync(sync)),
+                ));
+                let xid = self.next_xid();
+                out.push(SwitchOutput::ToPeer(
+                    group.designated,
+                    Message::lazy(xid, LazyMsg::GfibUpdate(gfib_update)),
+                ));
+            }
+        }
+        // Windowed traffic report. Quiet windows produce nothing: the
+        // dissemination is asynchronous and event-driven (§III-D.3), so an
+        // idle group costs the controller zero messages.
+        let report = self.adv.take_report(group.group, epoch, now_ns);
+        let report_is_empty = report.intensity.is_empty()
+            && report.stats.iter().all(|(_, st)| {
+                st.local_hits == 0 && st.group_hits == 0 && st.controller_punts == 0
+            });
+        if group.designated == self.id {
+            if let Some(role) = &mut self.designated_role {
+                if !report_is_empty {
+                    role.absorb_report(&report);
+                }
+                if !role.is_quiescent() {
+                    let controller_report = role.make_controller_report(epoch);
+                    let xid = self.next_xid();
+                    out.push(SwitchOutput::ToState(Message::lazy(
+                        xid,
+                        LazyMsg::StateReport(controller_report),
+                    )));
+                }
+            }
+        } else if !report_is_empty {
+            let xid = self.next_xid();
+            out.push(SwitchOutput::ToPeer(
+                group.designated,
+                Message::lazy(xid, LazyMsg::StateReport(report)),
+            ));
+        }
+        out.push(SwitchOutput::SetTimer(
+            SwitchTimer::PeerSync,
+            group.sync_interval_ns,
+        ));
+        out
+    }
+
+    fn run_keepalive(&mut self, now_ns: u64) -> Vec<SwitchOutput> {
+        let Some(wheel) = &mut self.wheel else {
+            self.armed_timers.remove(&SwitchTimer::KeepAlive);
+            return Vec::new();
+        };
+        let interval = self
+            .group
+            .as_ref()
+            .map(|g| g.keepalive_interval_ns)
+            .unwrap_or(1_000_000_000);
+        let actions = wheel.tick(now_ns);
+        let mut out = Vec::new();
+        for a in actions {
+            match a {
+                WheelAction::SendKeepAlive { to, msg } => {
+                    self.xid = self.xid.wrapping_add(1);
+                    out.push(SwitchOutput::ToPeer(
+                        to,
+                        Message::lazy(self.xid, LazyMsg::KeepAlive(msg)),
+                    ));
+                }
+                WheelAction::Report(report) => {
+                    self.xid = self.xid.wrapping_add(1);
+                    out.push(SwitchOutput::ToController(Message::lazy(
+                        self.xid,
+                        LazyMsg::WheelReport(report),
+                    )));
+                }
+                WheelAction::ReportViaPeer { via, msg } => {
+                    self.xid = self.xid.wrapping_add(1);
+                    out.push(SwitchOutput::ToPeer(
+                        via,
+                        Message::lazy(self.xid, LazyMsg::WheelReport(msg)),
+                    ));
+                }
+            }
+        }
+        out.push(SwitchOutput::SetTimer(SwitchTimer::KeepAlive, interval));
+        out
+    }
+
+    fn apply_group_assign(&mut self, now_ns: u64, ga: &GroupAssignMsg) -> Vec<SwitchOutput> {
+        let mut out = Vec::new();
+        let old_epoch = self.group.as_ref().map(|g| g.epoch);
+        let config = GroupConfig::from(ga);
+
+        self.accepted_epochs.insert(ga.epoch);
+        if let Some(old) = old_epoch {
+            if old != ga.epoch {
+                if self.preload_enabled {
+                    let t = SwitchTimer::EpochGrace(old);
+                    if self.armed_timers.insert(t) {
+                        out.push(SwitchOutput::SetTimer(t, EPOCH_GRACE_NS));
+                    }
+                } else {
+                    self.accepted_epochs.remove(&old);
+                }
+            }
+        }
+
+        self.wheel = Some(WheelPosition::new(
+            self.id,
+            ga.ring_prev,
+            ga.ring_next,
+            config.keepalive_interval_ns.max(1),
+            now_ns,
+        ));
+        self.designated_role = if ga.designated == self.id {
+            Some(DesignatedRole::new(ga.group, self.id, ga.members.clone()))
+        } else {
+            None
+        };
+        // Keep only filters for switches still in the group.
+        let peers: Vec<SwitchId> = ga
+            .members
+            .iter()
+            .copied()
+            .filter(|&s| s != self.id)
+            .collect();
+        self.gfib.retain_peers(&peers);
+
+        // Announce our filter to the new group immediately so peers'
+        // G-FIBs converge. Exact L-FIB entries go up the state link only
+        // when there are *pending host changes* (initial learning, VM
+        // moves): a regrouping does not move hosts, so the C-LIB needs
+        // nothing and the controller stays undisturbed.
+        if !self.lfib.is_empty() {
+            let gfib_update = build_update(self.id, ga.epoch, self.lfib.macs());
+            let delta = self.lfib.take_delta();
+            let sync = (!delta.is_empty()).then(|| LfibSyncMsg {
+                origin: self.id,
+                epoch: ga.epoch,
+                entries: delta.added,
+                removed: delta.removed,
+            });
+            if ga.designated == self.id {
+                for target in peers {
+                    let xid = self.next_xid();
+                    out.push(SwitchOutput::ToPeer(
+                        target,
+                        Message::lazy(xid, LazyMsg::GfibUpdate(gfib_update.clone())),
+                    ));
+                }
+                self.gfib.apply_update(&gfib_update);
+                if let Some(sync) = sync {
+                    let xid = self.next_xid();
+                    out.push(SwitchOutput::ToState(Message::lazy(
+                        xid,
+                        LazyMsg::LfibSync(sync),
+                    )));
+                }
+            } else {
+                let xid = self.next_xid();
+                out.push(SwitchOutput::ToPeer(
+                    ga.designated,
+                    Message::lazy(xid, LazyMsg::GfibUpdate(gfib_update)),
+                ));
+                if let Some(sync) = sync {
+                    let xid = self.next_xid();
+                    out.push(SwitchOutput::ToPeer(
+                        ga.designated,
+                        Message::lazy(xid, LazyMsg::LfibSync(sync)),
+                    ));
+                }
+            }
+        }
+
+        self.group = Some(config.clone());
+        for (timer, delay) in [
+            (SwitchTimer::PeerSync, config.sync_interval_ns),
+            (SwitchTimer::KeepAlive, config.keepalive_interval_ns),
+            (SwitchTimer::LfibAge, self.lfib_max_idle_ns / 2),
+        ] {
+            if self.armed_timers.insert(timer) {
+                out.push(SwitchOutput::SetTimer(timer, delay));
+            }
+        }
+        out
+    }
+
+    fn absorb_lfib_sync(&mut self, sync: &LfibSyncMsg) -> Vec<SwitchOutput> {
+        // Exact entries are only tracked by the controller; a member uses
+        // the sync to refresh the origin's bloom filter incrementally by
+        // rebuilding from the advertised entries (removals cannot clear
+        // bloom bits, so a full GfibUpdate follows periodically anyway).
+        if !crate::designated::sync_is_relevant(sync, self.current_epoch()) {
+            return Vec::new();
+        }
+        Vec::new()
+    }
+
+    /// Records one flow arrival towards the destination switch when known.
+    /// Every first packet counts: the paper's intensity unit is *new flows
+    /// per second* (§III-C.1), not distinct pairs.
+    fn note_flow(&mut self, _now_ns: u64, _src: MacAddr, _dst: MacAddr, dst_switch: Option<SwitchId>) {
+        if let Some(s) = dst_switch {
+            self.adv.record_flow_to(s);
+        }
+    }
+
+    fn tunnel_to(
+        &mut self,
+        candidates: Vec<SwitchId>,
+        frame: EthernetFrame,
+        tenant: TenantId,
+    ) -> Vec<SwitchOutput> {
+        let epoch = self.current_epoch();
+        candidates
+            .into_iter()
+            .map(|target| {
+                SwitchOutput::Tunnel(
+                    target,
+                    EncapsulatedFrame::new(
+                        EncapHeader::new(
+                            self.id.underlay_ip(),
+                            target.underlay_ip(),
+                            tenant,
+                            epoch,
+                        ),
+                        frame.clone(),
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    /// Broadcast a frame to every group member plus local ports.
+    fn group_broadcast(&mut self, frame: EthernetFrame, tenant: TenantId) -> Vec<SwitchOutput> {
+        self.group_broadcast_except(frame, tenant, self.id)
+    }
+
+    fn group_broadcast_except(
+        &mut self,
+        frame: EthernetFrame,
+        tenant: TenantId,
+        except: SwitchId,
+    ) -> Vec<SwitchOutput> {
+        let members: Vec<SwitchId> = self
+            .group
+            .as_ref()
+            .map(|g| {
+                g.members
+                    .iter()
+                    .copied()
+                    .filter(|&s| s != self.id && s != except)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut out = self.tunnel_to(members, frame.clone(), tenant);
+        out.push(SwitchOutput::FloodLocal(frame));
+        out
+    }
+
+    fn apply_actions(
+        &mut self,
+        _now_ns: u64,
+        _in_port: PortNo,
+        frame: EthernetFrame,
+        tenant: TenantId,
+        actions: &[Action],
+    ) -> Vec<SwitchOutput> {
+        let mut out = Vec::new();
+        let mut frame = frame;
+        let mut tenant = tenant;
+        for action in actions {
+            match *action {
+                Action::Output(port) if port == PortNo::FLOOD || port == PortNo::ALL => {
+                    out.push(SwitchOutput::FloodLocal(frame.clone()));
+                }
+                Action::Output(port) if port == PortNo::CONTROLLER => {
+                    let msg =
+                        self.packet_in(PacketInReason::Action, PortNo::NONE, frame.encode());
+                    out.push(SwitchOutput::ToController(msg));
+                }
+                Action::Output(port) if port.is_physical() => {
+                    out.push(SwitchOutput::DeliverLocal(port, frame.clone()));
+                }
+                Action::Output(_) => {}
+                Action::SetVlan(t) => {
+                    tenant = t;
+                    frame.vlan = Some(lazyctrl_net::VlanTag::for_tenant(t));
+                }
+                Action::StripVlan => {
+                    frame.vlan = None;
+                }
+                Action::Drop => return out,
+                Action::Encap { remote, key } => {
+                    if let Some(target) = SwitchId::from_underlay_ip(remote) {
+                        out.push(SwitchOutput::Tunnel(
+                            target,
+                            EncapsulatedFrame::new(
+                                EncapHeader::new(self.id.underlay_ip(), remote, tenant, key),
+                                frame.clone(),
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the switch substrates: flow-table semantics and the
+//! Fig. 5 forwarding routine's exhaustiveness.
+
+use lazyctrl_net::{EtherType, EthernetFrame, MacAddr, Packet, PortNo, SwitchId, TenantId};
+use lazyctrl_proto::{Action, FlowMatch, FlowModCommand, FlowModMsg};
+use lazyctrl_switch::forwarding::{forward_packet, ForwardingDecision};
+use lazyctrl_switch::{build_gfib_update, FlowTable, Gfib, Lfib, PacketFields};
+use proptest::prelude::*;
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    (0u64..64).prop_map(MacAddr::for_host)
+}
+
+fn arb_flow_mod() -> impl Strategy<Value = FlowModMsg> {
+    (
+        prop_oneof![
+            Just(FlowModCommand::Add),
+            Just(FlowModCommand::Modify),
+            Just(FlowModCommand::Delete)
+        ],
+        arb_mac(),
+        0u16..200,
+        0u16..4,
+        prop_oneof![
+            Just(vec![Action::Drop]),
+            Just(vec![Action::Output(PortNo::new(1))]),
+            (0u32..8).prop_map(|s| vec![Action::Encap {
+                remote: SwitchId::new(s).underlay_ip(),
+                key: 1,
+            }]),
+        ],
+    )
+        .prop_map(|(command, dst, priority, idle, actions)| FlowModMsg {
+            command,
+            flow_match: FlowMatch::to_dst(dst),
+            priority,
+            idle_timeout: idle,
+            hard_timeout: 0,
+            cookie: 0,
+            actions,
+        })
+}
+
+proptest! {
+    /// The flow table never returns a rule that doesn't match, always
+    /// returns the highest-priority matching rule, and its size accounting
+    /// stays consistent under arbitrary FlowMod sequences.
+    #[test]
+    fn flow_table_respects_priority_and_matching(
+        mods in proptest::collection::vec(arb_flow_mod(), 1..40),
+        probe in arb_mac(),
+    ) {
+        let mut table = FlowTable::new();
+        for (i, m) in mods.iter().enumerate() {
+            table.apply(m, i as u64);
+        }
+        let fields = PacketFields {
+            dl_dst: Some(probe),
+            ..PacketFields::default()
+        };
+        let best_priority = table
+            .iter()
+            .filter(|r| r.flow_match.matches(None, None, Some(probe), None, None))
+            .map(|r| r.priority)
+            .max();
+        let hit = table.lookup(&fields, 1_000);
+        match (hit, best_priority) {
+            (Some(rule), Some(p)) => {
+                prop_assert!(rule.flow_match.matches(None, None, Some(probe), None, None));
+                prop_assert_eq!(rule.priority, p, "must return the top-priority match");
+            }
+            (None, None) => {}
+            (got, want) => {
+                prop_assert!(false, "lookup {:?} vs expected priority {:?}", got.map(|r| r.priority), want);
+            }
+        }
+    }
+
+    /// Fig. 5 totality: the routine returns a decision for every packet,
+    /// and plain-packet decisions never claim a local port the L-FIB does
+    /// not hold.
+    #[test]
+    fn forwarding_is_total_and_consistent(
+        local_hosts in proptest::collection::btree_set(0u64..32, 0..8),
+        group_hosts in proptest::collection::btree_set(32u64..64, 0..8),
+        dst in 0u64..96,
+    ) {
+        let mut lfib = Lfib::new();
+        for &h in &local_hosts {
+            lfib.learn(MacAddr::for_host(h), TenantId::new(1), PortNo::new(h as u16 + 1), 0);
+        }
+        let mut gfib = Gfib::new();
+        if !group_hosts.is_empty() {
+            let macs: Vec<MacAddr> = group_hosts.iter().map(|&h| MacAddr::for_host(h)).collect();
+            gfib.apply_update(&build_gfib_update(SwitchId::new(7), 1, macs));
+        }
+        let mut table = FlowTable::new();
+        let frame = EthernetFrame::new(
+            MacAddr::for_host(999),
+            MacAddr::for_host(dst),
+            EtherType::IPV4,
+            vec![],
+        );
+        let decision = forward_packet(
+            &Packet::Plain(frame),
+            PortNo::new(1),
+            &mut table,
+            &lfib,
+            &gfib,
+            |_| true,
+            0,
+        );
+        match decision {
+            ForwardingDecision::DeliverLocal(port) => {
+                prop_assert!(local_hosts.contains(&dst), "claimed local for non-local {dst}");
+                prop_assert_eq!(port, PortNo::new(dst as u16 + 1));
+            }
+            ForwardingDecision::EncapTo(targets) => {
+                prop_assert!(!targets.is_empty());
+                // No false negatives: a real group host must be found.
+            }
+            ForwardingDecision::PuntToController => {
+                // A genuine group host must never be punted (bloom filters
+                // have no false negatives).
+                prop_assert!(
+                    !group_hosts.contains(&dst),
+                    "group host {dst} punted despite filter"
+                );
+                prop_assert!(!local_hosts.contains(&dst));
+            }
+            other => prop_assert!(false, "unexpected decision {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! Behavioural tests for the composed edge switch: group assignment, the
+//! ARP cascade, tunnelling, sync timers and keep-alives.
+
+use lazyctrl_net::{
+    ArpPacket, EthernetFrame, EtherType, GroupId, HostId, MacAddr, PortNo, SwitchId, TenantId,
+    VlanTag,
+};
+use lazyctrl_proto::{
+    Action, FlowMatch, FlowModCommand, FlowModMsg, GroupAssignMsg, LazyMsg, Message, MessageBody,
+    OfMessage, PacketInReason,
+};
+use lazyctrl_switch::{EdgeSwitch, SwitchOutput, SwitchTimer};
+
+fn host_frame(src: u32, dst: u32, tenant: u16) -> EthernetFrame {
+    EthernetFrame::tagged(
+        HostId::new(src).mac(),
+        HostId::new(dst).mac(),
+        VlanTag::for_tenant(TenantId::new(tenant)),
+        EtherType::IPV4,
+        vec![0xab; 40],
+    )
+}
+
+fn arp_request(src: u32, target: u32, tenant: u16) -> EthernetFrame {
+    let arp = ArpPacket::request(
+        HostId::new(src).mac(),
+        HostId::new(src).ip(),
+        HostId::new(target).ip(),
+    );
+    EthernetFrame::tagged(
+        HostId::new(src).mac(),
+        MacAddr::BROADCAST,
+        VlanTag::for_tenant(TenantId::new(tenant)),
+        EtherType::ARP,
+        arp.encode(),
+    )
+}
+
+fn group_assign(me_designated: bool) -> GroupAssignMsg {
+    GroupAssignMsg {
+        group: GroupId::new(0),
+        epoch: 1,
+        members: vec![SwitchId::new(1), SwitchId::new(2), SwitchId::new(3)],
+        designated: if me_designated {
+            SwitchId::new(1)
+        } else {
+            SwitchId::new(2)
+        },
+        backups: vec![SwitchId::new(3)],
+        ring_prev: SwitchId::new(3),
+        ring_next: SwitchId::new(2),
+        sync_interval_ms: 1000,
+        keepalive_interval_ms: 500,
+        group_size_limit: 3,
+    }
+}
+
+fn configured_switch(designated: bool) -> EdgeSwitch {
+    let mut sw = EdgeSwitch::new(SwitchId::new(1));
+    let msg = Message::lazy(1, LazyMsg::GroupAssign(group_assign(designated)));
+    let _ = sw.handle_control_message(0, &msg);
+    sw
+}
+
+fn controller_msgs(outputs: &[SwitchOutput]) -> Vec<&Message> {
+    outputs
+        .iter()
+        .filter_map(|o| match o {
+            SwitchOutput::ToController(m) => Some(m),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn unassigned_switch_punts_unknowns_like_plain_openflow() {
+    let mut sw = EdgeSwitch::new(SwitchId::new(1));
+    let out = sw.handle_local_frame(0, PortNo::new(1), host_frame(10, 20, 1));
+    let msgs = controller_msgs(&out);
+    assert_eq!(msgs.len(), 1);
+    match &msgs[0].body {
+        MessageBody::Of(OfMessage::PacketIn(pi)) => {
+            assert_eq!(pi.reason, PacketInReason::NoMatch);
+        }
+        other => panic!("expected PacketIn, got {other:?}"),
+    }
+    assert_eq!(sw.packet_ins_sent(), 1);
+}
+
+#[test]
+fn group_assign_installs_state_and_timers() {
+    let mut sw = EdgeSwitch::new(SwitchId::new(1));
+    // Learn a host first so the assignment triggers an announcement.
+    let _ = sw.handle_local_frame(0, PortNo::new(4), host_frame(10, 11, 1));
+    let msg = Message::lazy(1, LazyMsg::GroupAssign(group_assign(false)));
+    let out = sw.handle_control_message(0, &msg);
+
+    assert!(sw.group().is_some());
+    assert!(!sw.is_designated());
+    let timers: Vec<SwitchTimer> = out
+        .iter()
+        .filter_map(|o| match o {
+            SwitchOutput::SetTimer(t, _) => Some(*t),
+            _ => None,
+        })
+        .collect();
+    assert!(timers.contains(&SwitchTimer::PeerSync));
+    assert!(timers.contains(&SwitchTimer::KeepAlive));
+    // L-FIB announcement heads to the designated switch (S2).
+    let to_designated: Vec<_> = out
+        .iter()
+        .filter(|o| matches!(o, SwitchOutput::ToPeer(s, _) if *s == SwitchId::new(2)))
+        .collect();
+    assert!(
+        to_designated.len() >= 2,
+        "expected LfibSync + GfibUpdate to designated, got {out:?}"
+    );
+}
+
+#[test]
+fn local_destination_is_delivered_locally() {
+    let mut sw = configured_switch(false);
+    // Host 20 attaches locally (we learn it from its own traffic).
+    let _ = sw.handle_local_frame(0, PortNo::new(7), host_frame(20, 99, 1));
+    // Traffic towards 20 now short-circuits in the data plane.
+    let out = sw.handle_local_frame(1, PortNo::new(1), host_frame(10, 20, 1));
+    assert!(
+        matches!(
+            out.as_slice(),
+            [SwitchOutput::DeliverLocal(p, _)] if *p == PortNo::new(7)
+        ),
+        "got {out:?}"
+    );
+    assert_eq!(sw.packet_ins_sent(), 1, "only host 99 punted earlier");
+}
+
+#[test]
+fn gfib_hit_tunnels_with_epoch_key() {
+    let mut sw = configured_switch(false);
+    // Peer S3 advertises host 30.
+    let update = lazyctrl_switch::build_gfib_update(SwitchId::new(3), 1, vec![HostId::new(30).mac()]);
+    let _ = sw.handle_control_message(0, &Message::lazy(5, LazyMsg::GfibUpdate(update)));
+    let out = sw.handle_local_frame(1, PortNo::new(1), host_frame(10, 30, 1));
+    match out.as_slice() {
+        [SwitchOutput::Tunnel(target, encap)] => {
+            assert_eq!(*target, SwitchId::new(3));
+            assert_eq!(encap.header.key, 1, "epoch stamped into tunnel header");
+            assert_eq!(encap.header.dst, SwitchId::new(3).underlay_ip());
+            assert_eq!(encap.inner.dst, HostId::new(30).mac());
+        }
+        other => panic!("expected a single tunnel, got {other:?}"),
+    }
+}
+
+#[test]
+fn tunnel_delivery_and_false_positive_drop() {
+    let mut tx = configured_switch(false);
+    let mut rx = EdgeSwitch::new(SwitchId::new(3));
+    // rx knows host 30 locally.
+    let _ = rx.handle_local_frame(0, PortNo::new(2), host_frame(30, 99, 1));
+
+    let update = lazyctrl_switch::build_gfib_update(SwitchId::new(3), 1, vec![HostId::new(30).mac()]);
+    let _ = tx.handle_control_message(0, &Message::lazy(5, LazyMsg::GfibUpdate(update)));
+    let out = tx.handle_local_frame(1, PortNo::new(1), host_frame(10, 30, 1));
+    let SwitchOutput::Tunnel(_, encap) = &out[0] else {
+        panic!("expected tunnel");
+    };
+    // Delivered at rx.
+    let delivery = rx.handle_tunnel_packet(2, encap.clone());
+    assert!(
+        matches!(
+            delivery.as_slice(),
+            [SwitchOutput::DeliverLocal(p, _)] if *p == PortNo::new(2)
+        ),
+        "got {delivery:?}"
+    );
+    // A mis-forwarded copy (host unknown at rx) is silently dropped.
+    let mut bogus = encap.clone();
+    bogus.inner.dst = HostId::new(12345).mac();
+    let dropped = rx.handle_tunnel_packet(3, bogus);
+    assert!(dropped.is_empty(), "false positive must drop: {dropped:?}");
+}
+
+#[test]
+fn false_positive_reporting_is_optional() {
+    let mut rx = EdgeSwitch::new(SwitchId::new(3));
+    rx.report_false_positives = true;
+    let encap = lazyctrl_net::EncapsulatedFrame::new(
+        lazyctrl_net::EncapHeader::new(
+            SwitchId::new(1).underlay_ip(),
+            SwitchId::new(3).underlay_ip(),
+            TenantId::new(1),
+            0,
+        ),
+        host_frame(10, 777, 1),
+    );
+    let out = rx.handle_tunnel_packet(0, encap);
+    let msgs = controller_msgs(&out);
+    assert_eq!(msgs.len(), 1);
+    match &msgs[0].body {
+        MessageBody::Of(OfMessage::PacketIn(pi)) => {
+            assert_eq!(pi.reason, PacketInReason::FalsePositive);
+        }
+        other => panic!("expected FalsePositive PacketIn, got {other:?}"),
+    }
+}
+
+#[test]
+fn arp_cascade_level_one_floods_locally() {
+    let mut sw = configured_switch(false);
+    let _ = sw.handle_local_frame(0, PortNo::new(7), host_frame(20, 99, 1));
+    let out = sw.handle_local_frame(1, PortNo::new(1), arp_request(10, 20, 1));
+    assert!(
+        matches!(out.as_slice(), [SwitchOutput::FloodLocal(_)]),
+        "local target: flood locally only, got {out:?}"
+    );
+}
+
+#[test]
+fn arp_cascade_level_two_tunnels_to_candidates() {
+    let mut sw = configured_switch(false);
+    let update = lazyctrl_switch::build_gfib_update(SwitchId::new(3), 1, vec![HostId::new(30).mac()]);
+    let _ = sw.handle_control_message(0, &Message::lazy(5, LazyMsg::GfibUpdate(update)));
+    let out = sw.handle_local_frame(1, PortNo::new(1), arp_request(10, 30, 1));
+    assert!(
+        matches!(out.as_slice(), [SwitchOutput::Tunnel(s, _)] if *s == SwitchId::new(3)),
+        "got {out:?}"
+    );
+}
+
+#[test]
+fn arp_cascade_level_two_b_asks_designated() {
+    let mut sw = configured_switch(false);
+    let out = sw.handle_local_frame(1, PortNo::new(1), arp_request(10, 555, 1));
+    assert!(
+        matches!(
+            out.as_slice(),
+            [SwitchOutput::ToPeer(s, m)]
+                if *s == SwitchId::new(2)
+                    && matches!(m.body, MessageBody::Of(OfMessage::PacketOut(_)))
+        ),
+        "unknown target goes to designated switch, got {out:?}"
+    );
+    assert_eq!(sw.packet_ins_sent(), 0, "member must not punt ARP itself");
+}
+
+#[test]
+fn designated_broadcasts_and_escalates() {
+    let mut sw = configured_switch(true);
+    assert!(sw.is_designated());
+    let out = sw.handle_local_frame(1, PortNo::new(1), arp_request(10, 555, 1));
+    let tunnels = out
+        .iter()
+        .filter(|o| matches!(o, SwitchOutput::Tunnel(_, _)))
+        .count();
+    assert_eq!(tunnels, 2, "broadcast to both other members: {out:?}");
+    assert!(out.iter().any(|o| matches!(o, SwitchOutput::FloodLocal(_))));
+    assert_eq!(controller_msgs(&out).len(), 1, "escalation to controller");
+}
+
+#[test]
+fn blocked_tenant_arp_never_reaches_controller() {
+    let mut sw = configured_switch(true);
+    let block = Message::lazy(9, LazyMsg::BlockArp {
+        tenant: TenantId::new(1),
+        block: true,
+    });
+    let _ = sw.handle_control_message(0, &block);
+    let out = sw.handle_local_frame(1, PortNo::new(1), arp_request(10, 555, 1));
+    assert!(
+        controller_msgs(&out).is_empty(),
+        "blocked tenant escalated anyway: {out:?}"
+    );
+    // Unblock restores escalation.
+    let unblock = Message::lazy(10, LazyMsg::BlockArp {
+        tenant: TenantId::new(1),
+        block: false,
+    });
+    let _ = sw.handle_control_message(2, &unblock);
+    let out = sw.handle_local_frame(3, PortNo::new(1), arp_request(10, 556, 1));
+    assert_eq!(controller_msgs(&out).len(), 1);
+}
+
+#[test]
+fn flow_mod_and_stats_round_trip() {
+    let mut sw = configured_switch(false);
+    let fm = Message::of(
+        2,
+        OfMessage::FlowMod(FlowModMsg {
+            command: FlowModCommand::Add,
+            flow_match: FlowMatch::to_dst(HostId::new(40).mac()),
+            priority: 10,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            cookie: 7,
+            actions: vec![Action::Drop],
+        }),
+    );
+    let _ = sw.handle_control_message(0, &fm);
+    assert_eq!(sw.flow_table().len(), 1);
+    // Matching traffic is dropped by the rule, not punted.
+    let out = sw.handle_local_frame(1, PortNo::new(1), host_frame(10, 40, 1));
+    assert!(out.is_empty(), "rule says drop, got {out:?}");
+
+    let stats_req = Message::of(3, OfMessage::StatsRequest);
+    let out = sw.handle_control_message(2, &stats_req);
+    match &controller_msgs(&out)[0].body {
+        MessageBody::Of(OfMessage::StatsReply { flows, .. }) => assert_eq!(*flows, 1),
+        other => panic!("expected StatsReply, got {other:?}"),
+    }
+}
+
+#[test]
+fn echo_and_features_replies() {
+    let mut sw = EdgeSwitch::new(SwitchId::new(9));
+    let out = sw.handle_control_message(0, &Message::of(4, OfMessage::EchoRequest(vec![1, 2])));
+    assert!(matches!(
+        &controller_msgs(&out)[0].body,
+        MessageBody::Of(OfMessage::EchoReply(d)) if d == &vec![1, 2]
+    ));
+    let out = sw.handle_control_message(0, &Message::of(5, OfMessage::FeaturesRequest));
+    assert!(matches!(
+        &controller_msgs(&out)[0].body,
+        MessageBody::Of(OfMessage::FeaturesReply { datapath_id: 9, .. })
+    ));
+}
+
+#[test]
+fn peer_sync_timer_reports_state() {
+    let mut sw = configured_switch(false);
+    let _ = sw.handle_local_frame(0, PortNo::new(7), host_frame(20, 99, 1));
+    let out = sw.on_timer(1_000_000_000, SwitchTimer::PeerSync);
+    // A non-designated member sends LfibSync + GfibUpdate + StateReport to
+    // the designated switch, and re-arms the timer.
+    let to_designated = out
+        .iter()
+        .filter(|o| matches!(o, SwitchOutput::ToPeer(s, _) if *s == SwitchId::new(2)))
+        .count();
+    assert!(to_designated >= 3, "expected 3 messages to designated: {out:?}");
+    assert!(out
+        .iter()
+        .any(|o| matches!(o, SwitchOutput::SetTimer(SwitchTimer::PeerSync, _))));
+}
+
+#[test]
+fn designated_sync_timer_reports_upward() {
+    let mut sw = configured_switch(true);
+    let _ = sw.handle_local_frame(0, PortNo::new(7), host_frame(20, 99, 1));
+    let out = sw.on_timer(1_000_000_000, SwitchTimer::PeerSync);
+    let to_state = out
+        .iter()
+        .filter(|o| matches!(o, SwitchOutput::ToState(_)))
+        .count();
+    assert!(to_state >= 2, "LfibSync + StateReport on state link: {out:?}");
+}
+
+#[test]
+fn keepalive_timer_probes_ring() {
+    let mut sw = configured_switch(false);
+    let out = sw.on_timer(500_000_000, SwitchTimer::KeepAlive);
+    let probes: Vec<SwitchId> = out
+        .iter()
+        .filter_map(|o| match o {
+            SwitchOutput::ToPeer(s, m)
+                if matches!(m.body, MessageBody::Lazy(LazyMsg::KeepAlive(_))) =>
+            {
+                Some(*s)
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(probes, vec![SwitchId::new(3), SwitchId::new(2)]);
+}
+
+#[test]
+fn stale_epoch_tunnel_drops_after_grace() {
+    let mut sw = configured_switch(false);
+    sw.epoch_gating = true;
+    // Learn a host so delivery would otherwise succeed.
+    let _ = sw.handle_local_frame(0, PortNo::new(2), host_frame(30, 99, 1));
+
+    // Regroup to epoch 2; epoch 1 stays valid through the grace window.
+    let mut ga = group_assign(false);
+    ga.epoch = 2;
+    let _ = sw.handle_control_message(1, &Message::lazy(8, LazyMsg::GroupAssign(ga)));
+
+    let encap = |key: u32| {
+        lazyctrl_net::EncapsulatedFrame::new(
+            lazyctrl_net::EncapHeader::new(
+                SwitchId::new(2).underlay_ip(),
+                SwitchId::new(1).underlay_ip(),
+                TenantId::new(1),
+                key,
+            ),
+            host_frame(10, 30, 1),
+        )
+    };
+    // Old-epoch packet within grace: delivered.
+    let out = sw.handle_tunnel_packet(2, encap(1));
+    assert!(matches!(out.as_slice(), [SwitchOutput::DeliverLocal(_, _)]));
+    // Grace expires.
+    let _ = sw.on_timer(3_000_000_000, SwitchTimer::EpochGrace(1));
+    let out = sw.handle_tunnel_packet(4, encap(1));
+    assert!(out.is_empty(), "stale epoch must drop: {out:?}");
+    // Current epoch still flows.
+    let out = sw.handle_tunnel_packet(5, encap(2));
+    assert!(matches!(out.as_slice(), [SwitchOutput::DeliverLocal(_, _)]));
+}
+
+#[test]
+fn wheel_report_relay_goes_up_the_control_link() {
+    let mut sw = configured_switch(false);
+    let report = lazyctrl_proto::WheelReportMsg {
+        reporter: SwitchId::new(3),
+        missing: SwitchId::new(3),
+        loss: lazyctrl_proto::WheelLoss::Controller,
+    };
+    let msg = Message::lazy(11, LazyMsg::WheelReport(report));
+    let out = sw.handle_peer_message(0, SwitchId::new(3), &msg);
+    assert!(
+        matches!(
+            out.as_slice(),
+            [SwitchOutput::ToController(m)]
+                if matches!(m.body, MessageBody::Lazy(LazyMsg::WheelReport(r)) if r == report)
+        ),
+        "got {out:?}"
+    );
+}

@@ -1,0 +1,219 @@
+//! The "expanded" trace of §V-D: the real trace plus 30% extra flows among
+//! host pairs that never communicated, injected during hours 8–24.
+//!
+//! This deliberately erodes traffic locality over the day, forcing the
+//! grouping to adapt — it drives the dynamic-vs-static contrast in Fig. 7
+//! and the update-frequency growth in Fig. 8.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lazyctrl_net::HostId;
+
+use crate::realistic::sample_payload;
+use crate::{FlowRecord, Trace};
+
+/// Expands `base` with `extra_fraction` additional flows among previously
+/// non-communicating pairs, uniformly over `[start_hour, end_hour)`.
+///
+/// The paper's expanded trace is `expand(real, 0.30, 8.0, 24.0, seed)`.
+///
+/// # Panics
+///
+/// Panics if the hour window is empty or outside the trace duration, or if
+/// `extra_fraction` is negative/non-finite.
+pub fn expand(
+    base: &Trace,
+    extra_fraction: f64,
+    start_hour: f64,
+    end_hour: f64,
+    seed: u64,
+) -> Trace {
+    assert!(
+        extra_fraction.is_finite() && extra_fraction >= 0.0,
+        "invalid extra_fraction {extra_fraction}"
+    );
+    assert!(
+        start_hour < end_hour,
+        "empty hour window [{start_hour}, {end_hour})"
+    );
+    let duration_hours = base.duration_ns as f64 / 3.6e12;
+    assert!(
+        end_hour <= duration_hours + 1e-9,
+        "window end {end_hour}h beyond trace duration {duration_hours}h"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Pairs that already communicate are off-limits.
+    let mut existing = std::collections::HashSet::new();
+    for f in &base.flows {
+        let key = if f.src.0 < f.dst.0 {
+            (f.src.0, f.dst.0)
+        } else {
+            (f.dst.0, f.src.0)
+        };
+        existing.insert(key);
+    }
+
+    let n_extra = (base.num_flows() as f64 * extra_fraction).round() as usize;
+    let start_ns = (start_hour * 3.6e12) as u64;
+    let end_ns = (end_hour * 3.6e12) as u64;
+
+    // Fresh pairs are drawn from *hotspots*: newly deployed applications
+    // occupy a couple of switches each and generate many flows between
+    // previously silent host pairs there. This keeps the new traffic
+    // clusterable — an adaptive grouping can absorb a hotspot by merging
+    // its two switches' groups, while a frozen grouping keeps paying for
+    // it at the controller (the Fig. 7/8 static-vs-dynamic contrast).
+    let hosts_by_switch = base.topology.hosts_by_switch();
+    let eligible: Vec<usize> = (0..base.topology.num_switches)
+        .filter(|&s| !hosts_by_switch[s].is_empty())
+        .collect();
+    assert!(eligible.len() >= 2, "need at least two populated switches");
+    let n_hotspots = (n_extra / 2000).clamp(2, 64);
+    let mut fresh_pairs = Vec::new();
+    let mut guard = 0;
+    while fresh_pairs.len() < (n_extra / 20).max(1) && guard < n_extra * 10 + 100 {
+        guard += 1;
+        // Pick (or re-pick) a hotspot: two distinct populated switches.
+        let sa = eligible[rng.gen_range(0..eligible.len())];
+        let mut sb = eligible[rng.gen_range(0..eligible.len())];
+        let mut tries = 0;
+        while sb == sa && tries < 8 {
+            sb = eligible[rng.gen_range(0..eligible.len())];
+            tries += 1;
+        }
+        if sb == sa {
+            continue;
+        }
+        // Several fresh host pairs per hotspot.
+        for _ in 0..(n_extra / 20 / n_hotspots).max(1) {
+            let a = hosts_by_switch[sa][rng.gen_range(0..hosts_by_switch[sa].len())].0;
+            let b = hosts_by_switch[sb][rng.gen_range(0..hosts_by_switch[sb].len())].0;
+            if a == b {
+                continue;
+            }
+            let key = if a < b { (a, b) } else { (b, a) };
+            if !existing.contains(&key) {
+                existing.insert(key);
+                fresh_pairs.push(key);
+            }
+        }
+    }
+    assert!(
+        !fresh_pairs.is_empty(),
+        "could not find any non-communicating pairs to expand with"
+    );
+
+    let mut flows = base.flows.clone();
+    for _ in 0..n_extra {
+        let (a, b) = fresh_pairs[rng.gen_range(0..fresh_pairs.len())];
+        let (src, dst) = if rng.gen_bool(0.5) { (a, b) } else { (b, a) };
+        flows.push(FlowRecord {
+            time_ns: rng.gen_range(start_ns..end_ns),
+            src: HostId::new(src),
+            dst: HostId::new(dst),
+            bytes: sample_payload(&mut rng),
+        });
+    }
+    flows.sort_by_key(|f| f.time_ns);
+
+    let trace = Trace {
+        name: format!("{}-expanded", base.name),
+        topology: base.topology.clone(),
+        flows,
+        duration_ns: base.duration_ns,
+        nominal: base.nominal,
+    };
+    trace.validate();
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::realistic::{generate, RealTraceConfig};
+
+    fn base() -> Trace {
+        generate(&RealTraceConfig::small())
+    }
+
+    #[test]
+    fn adds_thirty_percent() {
+        let b = base();
+        let e = expand(&b, 0.30, 8.0, 24.0, 7);
+        assert_eq!(
+            e.num_flows(),
+            b.num_flows() + (b.num_flows() as f64 * 0.30).round() as usize
+        );
+        assert_eq!(e.name, "real-expanded");
+        assert_eq!(e.topology, b.topology);
+    }
+
+    #[test]
+    fn extra_flows_use_fresh_pairs_only() {
+        let b = base();
+        let e = expand(&b, 0.30, 8.0, 24.0, 7);
+        let mut old_pairs = std::collections::HashSet::new();
+        for f in &b.flows {
+            let key = if f.src.0 < f.dst.0 {
+                (f.src.0, f.dst.0)
+            } else {
+                (f.dst.0, f.src.0)
+            };
+            old_pairs.insert(key);
+        }
+        // Count flows on pairs the base trace never used.
+        let fresh_flows = e
+            .flows
+            .iter()
+            .filter(|f| {
+                let key = if f.src.0 < f.dst.0 {
+                    (f.src.0, f.dst.0)
+                } else {
+                    (f.dst.0, f.src.0)
+                };
+                !old_pairs.contains(&key)
+            })
+            .count();
+        assert_eq!(
+            fresh_flows,
+            e.num_flows() - b.num_flows(),
+            "every extra flow must be on a previously silent pair"
+        );
+    }
+
+    #[test]
+    fn extra_flows_sit_in_the_window() {
+        let b = base();
+        let e = expand(&b, 0.30, 8.0, 24.0, 7);
+        let start_ns = (8.0 * 3.6e12) as u64;
+        let early_base = b.flows_between(0, start_ns).len();
+        let early_exp = e.flows_between(0, start_ns).len();
+        assert_eq!(
+            early_base, early_exp,
+            "flows before hour 8 must be untouched"
+        );
+    }
+
+    #[test]
+    fn zero_fraction_is_identity_modulo_name() {
+        let b = base();
+        let e = expand(&b, 0.0, 8.0, 24.0, 7);
+        assert_eq!(e.flows, b.flows);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty hour window")]
+    fn inverted_window_panics() {
+        let b = base();
+        let _ = expand(&b, 0.1, 10.0, 10.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond trace duration")]
+    fn overlong_window_panics() {
+        let b = base();
+        let _ = expand(&b, 0.1, 8.0, 48.0, 1);
+    }
+}

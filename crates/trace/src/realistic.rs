@@ -1,0 +1,305 @@
+//! Surrogate generator for the paper's proprietary "real" trace.
+//!
+//! The original is a day-long trace from a European production data center:
+//! 272 GigE edge switches, 6509 hosts, 271M flows; only 11,602 of >20M host
+//! pairs ever communicated; >90% of flows came from ~10% of those pairs;
+//! k=5 partitioning leaves <9.8% inter-group traffic (average centrality
+//! 0.853). This module generates a trace matching those aggregates — the
+//! statistics the grouping algorithm and every experiment actually consume.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use lazyctrl_net::HostId;
+
+use crate::tenant::{TenantModel, TenantModelConfig};
+use crate::zipf::Zipf;
+use crate::{FlowRecord, NominalParams, Trace};
+
+/// Per-2-hour activity multipliers over the day, shaped like the Fig. 7
+/// OpenFlow workload curve (quiet nights, mid-day peak).
+pub const DIURNAL_PROFILE: [f64; 12] = [
+    3.2, 3.0, 3.4, 4.3, 5.4, 6.3, 7.2, 7.6, 7.1, 6.2, 5.2, 4.2,
+];
+
+/// Configuration for the real-trace surrogate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RealTraceConfig {
+    /// Tenant/placement model (defaults to the paper's 6509/272 shape).
+    pub tenants: TenantModelConfig,
+    /// Flow arrivals to generate. The paper's 271M is scaled down by
+    /// default (shape is preserved; absolute counts scale linearly).
+    pub num_flows: usize,
+    /// Trace length in hours (paper: 24).
+    pub duration_hours: u64,
+    /// Number of distinct communicating host pairs (paper: 11,602).
+    pub communicating_pairs: usize,
+    /// Fraction of communicating pairs that are intra-tenant. Tuned so
+    /// k=5 centrality lands at the paper's 0.85.
+    pub intra_tenant_fraction: f64,
+    /// Fraction of flows drawn from a *diffuse* uniform background pool
+    /// (pairs scattered across all hosts, each carrying little traffic).
+    /// This is what produces the paper's ≈9.8% inter-group residue: the
+    /// partitioner can co-locate heavy pairs but not diffuse ones.
+    pub background_fraction: f64,
+    /// Top fraction of pairs that carry `hot_mass` of the flows.
+    pub hot_fraction: f64,
+    /// Mass carried by the top `hot_fraction` (paper: 0.90 on 0.10).
+    pub hot_mass: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RealTraceConfig {
+    fn default() -> Self {
+        RealTraceConfig {
+            tenants: TenantModelConfig::paper_real(),
+            num_flows: 250_000,
+            duration_hours: 24,
+            communicating_pairs: 11_602,
+            intra_tenant_fraction: 0.95,
+            background_fraction: 0.08,
+            hot_fraction: 0.10,
+            hot_mass: 0.90,
+            seed: 0xDC01,
+        }
+    }
+}
+
+impl RealTraceConfig {
+    /// A reduced-size config for fast unit tests and examples: 40 switches,
+    /// ~1000 hosts, 20k flows.
+    pub fn small() -> Self {
+        RealTraceConfig {
+            tenants: TenantModelConfig {
+                num_hosts: 1000,
+                num_switches: 40,
+                min_tenant_size: 20,
+                max_tenant_size: 100,
+                hosts_per_switch: 8,
+            },
+            num_flows: 20_000,
+            communicating_pairs: 1_800,
+            ..RealTraceConfig::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty flows/pairs, bad fractions, or zero duration.
+    pub fn validate(&self) {
+        self.tenants.validate();
+        assert!(self.num_flows > 0, "no flows requested");
+        assert!(self.communicating_pairs > 0, "no communicating pairs");
+        assert!(self.duration_hours > 0, "zero duration");
+        assert!(
+            (0.0..=1.0).contains(&self.intra_tenant_fraction),
+            "intra_tenant_fraction out of [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.background_fraction),
+            "background_fraction out of [0,1]"
+        );
+        assert!(
+            self.hot_fraction > 0.0 && self.hot_fraction < 1.0,
+            "hot_fraction out of (0,1)"
+        );
+        assert!(
+            self.hot_mass > 0.0 && self.hot_mass < 1.0,
+            "hot_mass out of (0,1)"
+        );
+    }
+}
+
+/// Samples a payload size: mixture of mice and elephants (log-uniform).
+pub(crate) fn sample_payload<R: Rng>(rng: &mut R) -> u32 {
+    let exp = rng.gen_range(6.0..17.0); // 2^6=64 B .. 2^17=128 KiB
+    (2.0f64.powf(exp)) as u32
+}
+
+/// Samples a flow timestamp following the diurnal profile.
+pub(crate) fn sample_time_ns<R: Rng>(duration_hours: u64, rng: &mut R) -> u64 {
+    let total: f64 = DIURNAL_PROFILE.iter().sum();
+    let mut u = rng.gen_range(0.0..total);
+    let mut bucket = 0usize;
+    for (i, &w) in DIURNAL_PROFILE.iter().enumerate() {
+        if u < w {
+            bucket = i;
+            break;
+        }
+        u -= w;
+    }
+    // The profile describes a 24 h day in 2 h buckets; scale to duration.
+    let bucket_ns = duration_hours * 3_600_000_000_000 / 12;
+    bucket as u64 * bucket_ns + rng.gen_range(0..bucket_ns)
+}
+
+/// Builds the communicating-pair set for the surrogate.
+pub(crate) fn build_pair_set<R: Rng>(
+    model: &TenantModel,
+    count: usize,
+    intra_fraction: f64,
+    rng: &mut R,
+) -> Vec<(u32, u32)> {
+    let mut seen = std::collections::HashSet::with_capacity(count);
+    let mut pairs = Vec::with_capacity(count);
+    let mut stall = 0usize;
+    while pairs.len() < count && stall < count * 50 {
+        let pair = if rng.gen_bool(intra_fraction) {
+            model
+                .sample_intra_pair(rng)
+                .unwrap_or_else(|| model.sample_any_pair(rng))
+        } else {
+            model.sample_any_pair(rng)
+        };
+        let key = if pair.0 < pair.1 {
+            (pair.0, pair.1)
+        } else {
+            (pair.1, pair.0)
+        };
+        if seen.insert(key) {
+            pairs.push(key);
+            stall = 0;
+        } else {
+            stall += 1;
+        }
+    }
+    pairs
+}
+
+/// Generates the surrogate trace.
+///
+/// # Panics
+///
+/// Panics on invalid configuration.
+pub fn generate(cfg: &RealTraceConfig) -> Trace {
+    cfg.validate();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let model = TenantModel::generate(&cfg.tenants, &mut rng);
+    let pairs = build_pair_set(
+        &model,
+        cfg.communicating_pairs,
+        cfg.intra_tenant_fraction,
+        &mut rng,
+    );
+    let alpha = Zipf::fit_alpha(pairs.len(), cfg.hot_fraction, cfg.hot_mass);
+    let zipf = Zipf::new(pairs.len(), alpha);
+    // Diffuse background: pairs sampled uniformly over all hosts, each
+    // carrying a light, even share of the background traffic.
+    let background = build_pair_set(&model, cfg.communicating_pairs / 2, 0.0, &mut rng);
+
+    let mut flows = Vec::with_capacity(cfg.num_flows);
+    for _ in 0..cfg.num_flows {
+        let (a, b) = if !background.is_empty() && rng.gen_bool(cfg.background_fraction) {
+            background[rng.gen_range(0..background.len())]
+        } else {
+            pairs[zipf.sample(&mut rng)]
+        };
+        let (src, dst) = if rng.gen_bool(0.5) { (a, b) } else { (b, a) };
+        flows.push(FlowRecord {
+            time_ns: sample_time_ns(cfg.duration_hours, &mut rng),
+            src: HostId::new(src),
+            dst: HostId::new(dst),
+            bytes: sample_payload(&mut rng),
+        });
+    }
+    flows.sort_by_key(|f| f.time_ns);
+
+    let trace = Trace {
+        name: "real".into(),
+        topology: model.topology,
+        flows,
+        duration_ns: cfg.duration_hours * 3_600_000_000_000,
+        nominal: NominalParams::default(),
+    };
+    trace.validate();
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let cfg = RealTraceConfig::small();
+        let trace = generate(&cfg);
+        assert_eq!(trace.num_flows(), 20_000);
+        assert_eq!(trace.topology.num_switches, 40);
+        assert_eq!(trace.topology.num_hosts(), 1000);
+        // The candidate pool has 1800 pairs; under heavy Zipf skew only the
+        // pairs that actually draw ≥1 flow are "communicating" (exactly the
+        // paper's definition — 11,602 pairs *exchanged traffic*).
+        let dp = trace.distinct_pairs();
+        assert!(
+            (700..=2700).contains(&dp),
+            "distinct pairs {dp} outside plausible band"
+        );
+    }
+
+    #[test]
+    fn flow_popularity_is_skewed() {
+        let trace = generate(&RealTraceConfig::small());
+        let mut counts = std::collections::HashMap::new();
+        for f in &trace.flows {
+            let key = if f.src.0 < f.dst.0 {
+                (f.src.0, f.dst.0)
+            } else {
+                (f.dst.0, f.src.0)
+            };
+            *counts.entry(key).or_insert(0u32) += 1;
+        }
+        let mut sorted: Vec<u32> = counts.values().copied().collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top10 = sorted.len() / 10;
+        let top_mass: u32 = sorted[..top10].iter().sum();
+        let share = top_mass as f64 / trace.num_flows() as f64;
+        assert!(
+            share > 0.80,
+            "top-10% pairs carry only {share:.2} of flows (want ≈0.90)"
+        );
+    }
+
+    #[test]
+    fn flows_are_mostly_intra_tenant() {
+        let trace = generate(&RealTraceConfig::small());
+        let intra = trace
+            .flows
+            .iter()
+            .filter(|f| trace.topology.tenant_of(f.src) == trace.topology.tenant_of(f.dst))
+            .count();
+        let frac = intra as f64 / trace.num_flows() as f64;
+        assert!(frac > 0.85, "intra-tenant flow fraction {frac} too low");
+    }
+
+    #[test]
+    fn diurnal_profile_shows_through() {
+        let trace = generate(&RealTraceConfig::small());
+        let bucket_ns = trace.duration_ns / 12;
+        let night = trace.flows_between(0, bucket_ns).len(); // hours 0-2
+        let peak = trace.flows_between(7 * bucket_ns, 8 * bucket_ns).len(); // 14-16
+        assert!(
+            peak as f64 > night as f64 * 1.5,
+            "peak {peak} not clearly above night {night}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&RealTraceConfig::small());
+        let b = generate(&RealTraceConfig::small());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn payload_sampler_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let b = sample_payload(&mut rng);
+            assert!((64..=131_072).contains(&b), "payload {b}");
+        }
+    }
+}

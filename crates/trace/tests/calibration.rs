@@ -1,0 +1,42 @@
+//! Calibration sweep (ignored by default): prints measured centralities
+//! for candidate generator parameters.
+use lazyctrl_trace::realistic::{generate, RealTraceConfig};
+use lazyctrl_trace::stats;
+use lazyctrl_trace::synthetic::{generate as gen_syn, SyntheticConfig};
+
+#[test]
+#[ignore]
+fn sweep_real_intra_fraction() {
+    for frac in [0.80, 0.85, 0.88, 0.90, 0.93] {
+        let mut cfg = RealTraceConfig::small();
+        cfg.num_flows = 60_000;
+        cfg.intra_tenant_fraction = frac;
+        let t = generate(&cfg);
+        let s = stats::compute(&t, 5, 1);
+        println!(
+            "real intra={frac}: centrality={:.3} inter={:.3} top10={:.2}",
+            s.avg_centrality, s.inter_group_fraction, s.top10_share
+        );
+    }
+}
+
+#[test]
+#[ignore]
+fn sweep_syn_bias() {
+    for (name, base, biases) in [
+        ("syn-a", SyntheticConfig::syn_a(), [1.00, 0.97, 0.94]),
+        ("syn-b", SyntheticConfig::syn_b(), [0.97, 0.92, 0.88]),
+        ("syn-c", SyntheticConfig::syn_c(), [0.85, 0.80, 0.75]),
+    ] {
+        for bias in biases {
+            let mut cfg = base.clone().scaled_down(8);
+            cfg.hot_intra_bias = bias;
+            let t = gen_syn(&cfg);
+            let s = stats::compute(&t, 5, 1);
+            println!(
+                "{name} bias={bias}: centrality={:.3} inter={:.3}",
+                s.avg_centrality, s.inter_group_fraction
+            );
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Failure detection and recovery (§III-E): the failure-detection wheel,
+//! Table I inference, and designated-switch reselection — exercised
+//! directly against the switch and controller state machines.
+//!
+//! ```sh
+//! cargo run --release --example failover_demo
+//! ```
+
+use lazyctrl::controller::{ControllerOutput, LazyConfig, LazyController};
+use lazyctrl::net::SwitchId;
+use lazyctrl::partition::WeightedGraph;
+use lazyctrl::proto::{LazyMsg, Message, MessageBody, WheelLoss, WheelReportMsg};
+use lazyctrl::switch::wheel::{WheelAction, WheelPosition};
+
+fn main() {
+    println!("=== 1. The failure-detection wheel at one switch ===");
+    // S5 sits between S4 (upstream) and S6 (downstream) on the wheel,
+    // probing both neighbours every second.
+    let interval = 1_000_000_000u64;
+    let mut wheel = WheelPosition::new(
+        SwitchId::new(5),
+        SwitchId::new(4),
+        SwitchId::new(6),
+        interval,
+        0,
+    );
+    // Healthy rounds: everyone keeps everyone alive.
+    for i in 1..=3u64 {
+        let now = i * interval;
+        wheel.on_peer_keepalive(SwitchId::new(4), now);
+        wheel.on_peer_keepalive(SwitchId::new(6), now);
+        wheel.on_controller_keepalive(now);
+        let probes = wheel.tick(now).len();
+        println!("t={i}s  healthy tick: {probes} keep-alives sent, no losses");
+    }
+    // S4 dies: its keep-alives stop; S5 notices after the miss threshold.
+    for i in 4..=8u64 {
+        let now = i * interval;
+        wheel.on_peer_keepalive(SwitchId::new(6), now);
+        wheel.on_controller_keepalive(now);
+        for action in wheel.tick(now) {
+            if let WheelAction::Report(report) = action {
+                println!(
+                    "t={i}s  S5 reports: keep-alives from {} stopped ({:?})",
+                    report.missing, report.loss
+                );
+            }
+        }
+    }
+
+    println!("\n=== 2. Controller-side Table I inference and recovery ===");
+    // Build a controller over 8 switches in two natural clusters.
+    let mut g = WeightedGraph::new(8);
+    for c in 0..2 {
+        let b = c * 4;
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                g.add_edge(b + i, b + j, 10.0);
+            }
+        }
+    }
+    let switches: Vec<SwitchId> = (0..8).map(SwitchId::new).collect();
+    let mut controller = LazyController::new(
+        switches,
+        LazyConfig {
+            group_size_limit: 4,
+            ..LazyConfig::default()
+        },
+    );
+    let _ = controller.bootstrap(0, g);
+    let victim = controller.grouping().designated_of(0).expect("group 0 exists");
+    println!("group 0 designated switch: {victim}");
+
+    // Both ring neighbours of the victim report silence — Table I's
+    // "switch failure" row.
+    let mk = |loss, reporter: u32| {
+        Message::lazy(
+            1,
+            LazyMsg::WheelReport(WheelReportMsg {
+                reporter: SwitchId::new(reporter),
+                missing: victim,
+                loss,
+            }),
+        )
+    };
+    let _ = controller.handle_message(1, SwitchId::new(1), &mk(WheelLoss::Upstream, 1));
+    let out = controller.handle_message(2, SwitchId::new(2), &mk(WheelLoss::Downstream, 2));
+
+    println!("controller infers: switch {victim} is down");
+    println!("switches believed down: {:?}", controller.failover().down_switches());
+    for o in &out {
+        if let ControllerOutput::ToSwitch(to, m) = o {
+            if let MessageBody::Lazy(LazyMsg::GroupAssign(ga)) = &m.body {
+                println!(
+                    "  → {to}: new group membership {:?}, designated {}",
+                    ga.members, ga.designated
+                );
+            }
+        }
+    }
+
+    // The victim reboots and pings the controller: §III-E.3 comeback.
+    println!("\n=== 3. Rebooted switch comes back ===");
+    let hello = Message::of(9, lazyctrl::proto::OfMessage::Hello);
+    let out = controller.handle_message(60_000_000_000, victim, &hello);
+    let resyncs = out
+        .iter()
+        .filter(|o| {
+            matches!(o, ControllerOutput::ToSwitch(_, m)
+                if matches!(m.body, MessageBody::Lazy(LazyMsg::GroupAssign(_))))
+        })
+        .count();
+    println!("controller resynchronizes the group: {resyncs} GroupAssign messages pushed");
+    println!("switches still down: {:?}", controller.failover().down_switches());
+}

@@ -1,0 +1,49 @@
+//! Quickstart: run the same day of data-center traffic under standard
+//! OpenFlow control and under LazyCtrl, and compare what the controller
+//! had to do.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lazyctrl::core::{ControlMode, Experiment, ExperimentConfig};
+use lazyctrl::trace::realistic::{generate, RealTraceConfig};
+
+fn main() {
+    // A scaled-down version of the paper's "real" trace: 40 edge switches,
+    // 1000 hosts, tenant-local traffic with a 90/10 popularity skew.
+    let mut trace_cfg = RealTraceConfig::small();
+    trace_cfg.num_flows = 40_000;
+    let trace = generate(&trace_cfg);
+    println!(
+        "trace: {} switches, {} hosts, {} flow arrivals over {:.0} h",
+        trace.topology.num_switches,
+        trace.topology.num_hosts(),
+        trace.num_flows(),
+        trace.duration_hours()
+    );
+
+    let mut reports = Vec::new();
+    for mode in [
+        ControlMode::Baseline,
+        ControlMode::LazyStatic,
+        ControlMode::LazyDynamic,
+    ] {
+        let cfg = ExperimentConfig::new(mode).with_group_size_limit(10);
+        let report = Experiment::new(trace.clone(), cfg).run();
+        println!(
+            "{:<18} controller messages: {:>7}  packet-ins: {:>7}  mean latency: {:.3} ms",
+            report.mode, report.controller_messages, report.packet_ins, report.mean_latency_ms
+        );
+        reports.push(report);
+    }
+
+    let baseline = &reports[0];
+    for lazy in &reports[1..] {
+        println!(
+            "{:<18} reduces controller workload by {:.0}% vs OpenFlow",
+            lazy.mode,
+            lazy.workload_reduction_vs(baseline) * 100.0
+        );
+    }
+}

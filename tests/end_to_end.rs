@@ -1,0 +1,151 @@
+//! Cross-crate integration tests: full trace → simulation → report runs
+//! exercising every subsystem together, asserting the paper's headline
+//! properties at test scale.
+
+use lazyctrl::core::{ControlMode, Experiment, ExperimentConfig};
+use lazyctrl::trace::expand::expand;
+use lazyctrl::trace::realistic::{generate, RealTraceConfig};
+
+fn small_trace(flows: usize) -> lazyctrl::trace::Trace {
+    let mut cfg = RealTraceConfig::small();
+    cfg.num_flows = flows;
+    generate(&cfg)
+}
+
+#[test]
+fn lazyctrl_reduces_packet_ins_massively() {
+    let trace = small_trace(12_000);
+    let base = Experiment::new(
+        trace.clone(),
+        ExperimentConfig::new(ControlMode::Baseline).with_group_size_limit(10),
+    )
+    .run();
+    let lazy = Experiment::new(
+        trace,
+        ExperimentConfig::new(ControlMode::LazyStatic).with_group_size_limit(10),
+    )
+    .run();
+    // The headline claim, at test scale: far fewer flow setups reach the
+    // controller (paper: 61–82% total workload reduction).
+    assert!(
+        (lazy.packet_ins as f64) < (base.packet_ins as f64) * 0.5,
+        "packet-ins: lazy {} vs baseline {}",
+        lazy.packet_ins,
+        base.packet_ins
+    );
+    assert!(
+        lazy.controller_messages < base.controller_messages,
+        "total messages: lazy {} vs baseline {}",
+        lazy.controller_messages,
+        base.controller_messages
+    );
+}
+
+#[test]
+fn both_modes_deliver_the_traffic() {
+    let trace = small_trace(8_000);
+    for mode in [ControlMode::Baseline, ControlMode::LazyStatic] {
+        let report = Experiment::new(
+            trace.clone(),
+            ExperimentConfig::new(mode).with_group_size_limit(10),
+        )
+        .run();
+        let ratio = report.delivered_flows as f64 / report.flows_started as f64;
+        assert!(
+            ratio > 0.93,
+            "{}: delivered only {:.1}% of flows",
+            report.mode,
+            ratio * 100.0
+        );
+    }
+}
+
+#[test]
+fn lazy_latency_beats_baseline() {
+    let trace = small_trace(8_000);
+    let base = Experiment::new(
+        trace.clone(),
+        ExperimentConfig::new(ControlMode::Baseline).with_group_size_limit(10),
+    )
+    .run();
+    let lazy = Experiment::new(
+        trace,
+        ExperimentConfig::new(ControlMode::LazyStatic).with_group_size_limit(10),
+    )
+    .run();
+    assert!(
+        lazy.mean_latency_ms < base.mean_latency_ms,
+        "latency: lazy {:.3} ms vs baseline {:.3} ms",
+        lazy.mean_latency_ms,
+        base.mean_latency_ms
+    );
+}
+
+#[test]
+fn dynamic_regrouping_beats_static_on_shifting_traffic() {
+    // Expanded trace: +40% flows on fresh hotspots during hours 8–24.
+    let base_trace = small_trace(20_000);
+    let shifted = expand(&base_trace, 0.40, 8.0, 24.0, 11);
+    let static_run = Experiment::new(
+        shifted.clone(),
+        ExperimentConfig::new(ControlMode::LazyStatic).with_group_size_limit(10),
+    )
+    .run();
+    let dynamic_run = Experiment::new(
+        shifted,
+        ExperimentConfig::new(ControlMode::LazyDynamic).with_group_size_limit(10),
+    )
+    .run();
+    assert!(
+        dynamic_run.controller_messages < static_run.controller_messages,
+        "dynamic {} should beat static {} on shifting traffic",
+        dynamic_run.controller_messages,
+        static_run.controller_messages
+    );
+    // And it must actually have adapted.
+    let updates: f64 = dynamic_run.updates_per_hour.iter().map(|p| p.value).sum();
+    assert!(updates > 0.0, "dynamic mode never regrouped");
+}
+
+#[test]
+fn experiment_is_deterministic() {
+    let trace = small_trace(4_000);
+    let cfg = ExperimentConfig::new(ControlMode::LazyDynamic)
+        .with_group_size_limit(10)
+        .with_seed(1234);
+    let a = Experiment::new(trace.clone(), cfg.clone()).run();
+    let b = Experiment::new(trace, cfg).run();
+    assert_eq!(a, b, "same seed must give bit-identical reports");
+}
+
+#[test]
+fn group_size_limit_is_respected_end_to_end() {
+    let trace = small_trace(6_000);
+    let report = Experiment::new(
+        trace,
+        ExperimentConfig::new(ControlMode::LazyStatic).with_group_size_limit(7),
+    )
+    .run();
+    // 40 switches at limit 7 ⇒ at least 6 groups.
+    assert!(report.num_groups.unwrap_or(0) >= 6);
+    assert!(report.final_winter.is_some());
+    // Storage: every switch holds at most (group-1) filters (§V-D).
+    assert!(report.max_gfib_bytes > 0);
+}
+
+#[test]
+fn horizon_cuts_the_run_short() {
+    let trace = small_trace(8_000);
+    let full = Experiment::new(
+        trace.clone(),
+        ExperimentConfig::new(ControlMode::Baseline),
+    )
+    .run();
+    let half = Experiment::new(
+        trace,
+        ExperimentConfig::new(ControlMode::Baseline).with_horizon_hours(12.0),
+    )
+    .run();
+    assert!(half.flows_started < full.flows_started);
+    assert!(half.flows_started > 0);
+}

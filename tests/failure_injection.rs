@@ -1,0 +1,163 @@
+//! Cross-crate failure-injection tests: wheel detection, Table I inference
+//! and recovery driven through the switch + controller state machines with
+//! simulated time (no real network, fully deterministic).
+
+use lazyctrl::controller::{ControllerOutput, LazyConfig, LazyController};
+use lazyctrl::net::{GroupId, SwitchId};
+use lazyctrl::partition::WeightedGraph;
+use lazyctrl::proto::{GroupAssignMsg, LazyMsg, Message, MessageBody, WheelLoss, WheelReportMsg};
+use lazyctrl::switch::{EdgeSwitch, SwitchOutput, SwitchTimer};
+
+fn ring_of_four() -> Vec<EdgeSwitch> {
+    let members: Vec<SwitchId> = (0..4).map(SwitchId::new).collect();
+    let mut switches: Vec<EdgeSwitch> = members.iter().map(|&id| EdgeSwitch::new(id)).collect();
+    for (i, sw) in switches.iter_mut().enumerate() {
+        let ga = GroupAssignMsg {
+            group: GroupId::new(0),
+            epoch: 1,
+            members: members.clone(),
+            designated: members[0],
+            backups: vec![members[1]],
+            ring_prev: members[(i + 3) % 4],
+            ring_next: members[(i + 1) % 4],
+            sync_interval_ms: 1_000,
+            keepalive_interval_ms: 1_000,
+            group_size_limit: 4,
+        };
+        let _ = sw.handle_control_message(0, &Message::lazy(1, LazyMsg::GroupAssign(ga)));
+    }
+    switches
+}
+
+/// Drives keep-alive rounds over the ring, dropping everything sent by
+/// `dead` switches. Returns the wheel reports that reached "the controller".
+fn run_keepalive_rounds(
+    switches: &mut [EdgeSwitch],
+    dead: &[SwitchId],
+    rounds: u64,
+) -> Vec<WheelReportMsg> {
+    let interval_ns = 1_000_000_000u64;
+    let mut reports = Vec::new();
+    for round in 1..=rounds {
+        let now = round * interval_ns;
+        // Collect each live switch's keep-alive emissions.
+        let mut deliveries: Vec<(SwitchId, SwitchId, Message)> = Vec::new();
+        for i in 0..switches.len() {
+            let id = switches[i].id();
+            if dead.contains(&id) {
+                continue;
+            }
+            for out in switches[i].on_timer(now, SwitchTimer::KeepAlive) {
+                match out {
+                    SwitchOutput::ToPeer(to, msg) => deliveries.push((id, to, msg)),
+                    SwitchOutput::ToController(msg) => {
+                        if let MessageBody::Lazy(LazyMsg::WheelReport(r)) = msg.body {
+                            reports.push(r);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // Everyone keeps hearing the controller (control links fine).
+            let ka = Message::lazy(
+                0,
+                LazyMsg::KeepAlive(lazyctrl::proto::KeepAliveMsg {
+                    from: SwitchId::CONTROLLER,
+                    seq: round,
+                }),
+            );
+            let _ = switches[i].handle_control_message(now, &ka);
+        }
+        // Deliver peer messages to live targets.
+        for (from, to, msg) in deliveries {
+            if dead.contains(&to) {
+                continue;
+            }
+            let idx = switches.iter().position(|s| s.id() == to).expect("exists");
+            for out in switches[idx].handle_peer_message(now, from, &msg) {
+                if let SwitchOutput::ToController(m) = out {
+                    if let MessageBody::Lazy(LazyMsg::WheelReport(r)) = m.body {
+                        reports.push(r);
+                    }
+                }
+            }
+        }
+    }
+    reports
+}
+
+#[test]
+fn healthy_ring_stays_silent() {
+    let mut switches = ring_of_four();
+    let reports = run_keepalive_rounds(&mut switches, &[], 10);
+    assert!(reports.is_empty(), "no failures, no reports: {reports:?}");
+}
+
+#[test]
+fn dead_switch_is_reported_from_both_sides() {
+    let mut switches = ring_of_four();
+    let dead = SwitchId::new(2);
+    let reports = run_keepalive_rounds(&mut switches, &[dead], 8);
+    // Ring neighbours S1 (upstream of S2) and S3 (downstream) both notice.
+    assert!(
+        reports
+            .iter()
+            .any(|r| r.missing == dead && r.loss == WheelLoss::Upstream),
+        "downstream neighbour must report upstream loss: {reports:?}"
+    );
+    assert!(
+        reports
+            .iter()
+            .any(|r| r.missing == dead && r.loss == WheelLoss::Downstream),
+        "upstream neighbour must report downstream loss: {reports:?}"
+    );
+    // Nobody blames a live switch.
+    assert!(reports.iter().all(|r| r.missing == dead));
+}
+
+#[test]
+fn controller_reforms_group_around_dead_designated() {
+    // Wire the reports into a real controller and check the Table I
+    // inference plus the §III-E.3 recovery end to end.
+    let mut g = WeightedGraph::new(4);
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            g.add_edge(i, j, 5.0);
+        }
+    }
+    let mut controller = LazyController::new(
+        (0..4).map(SwitchId::new).collect(),
+        LazyConfig {
+            group_size_limit: 4,
+            ..LazyConfig::default()
+        },
+    );
+    let _ = controller.bootstrap(0, g);
+    let victim = controller.grouping().designated_of(0).expect("one group");
+
+    let mut switches = ring_of_four();
+    let reports = run_keepalive_rounds(&mut switches, &[victim], 8);
+    let mut reform_messages = 0;
+    for (i, r) in reports.iter().enumerate() {
+        let msg = Message::lazy(i as u32 + 10, LazyMsg::WheelReport(*r));
+        let out = controller.handle_message(
+            10_000_000_000 + i as u64,
+            r.reporter,
+            &msg,
+        );
+        for o in &out {
+            if let ControllerOutput::ToSwitch(_, m) = o {
+                if let MessageBody::Lazy(LazyMsg::GroupAssign(ga)) = &m.body {
+                    assert!(!ga.members.contains(&victim));
+                    assert_ne!(ga.designated, victim);
+                    reform_messages += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        reform_messages >= 3,
+        "group must re-form without the dead designated switch"
+    );
+    assert_eq!(controller.failover().down_switches(), vec![victim]);
+}
