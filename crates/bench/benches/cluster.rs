@@ -1,0 +1,69 @@
+//! Criterion bench: end-to-end cluster runs at 1 / 2 / 4 controllers on
+//! the same workload — wall-clock cost of the control plane as the
+//! cluster grows, plus the plane's hot paths in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lazyctrl_cluster::{ClusterConfig, ClusterControlPlane};
+use lazyctrl_core::{ControlMode, Experiment, ExperimentConfig};
+use lazyctrl_partition::WeightedGraph;
+use lazyctrl_trace::realistic::{generate, RealTraceConfig};
+
+fn cluster_trace() -> lazyctrl_trace::Trace {
+    let mut tc = RealTraceConfig::small();
+    tc.num_flows = 3_000;
+    generate(&tc)
+}
+
+fn bench_cluster_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_run");
+    group.sample_size(10);
+    for controllers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(controllers),
+            &controllers,
+            |b, &n| {
+                b.iter(|| {
+                    let mut cfg = ExperimentConfig::new(ControlMode::LazyStatic)
+                        .with_group_size_limit(8)
+                        .with_seed(3)
+                        .with_cluster(n)
+                        .with_horizon_hours(2.0);
+                    cfg.sync_interval_ms = 10_000;
+                    Experiment::new(cluster_trace(), cfg).run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_plane_bootstrap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_bootstrap");
+    group.sample_size(10);
+    for controllers in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(controllers),
+            &controllers,
+            |b, &n| {
+                b.iter(|| {
+                    let num_switches = 48;
+                    let mut graph = WeightedGraph::new(num_switches);
+                    for i in 0..num_switches {
+                        for j in (i + 1)..num_switches {
+                            if i / 6 == j / 6 {
+                                graph.add_edge(i, j, 10.0);
+                            }
+                        }
+                    }
+                    let mut plane =
+                        ClusterControlPlane::new(num_switches, ClusterConfig::with_controllers(n));
+                    plane.bootstrap(0, graph)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_scaling, bench_plane_bootstrap);
+criterion_main!(benches);

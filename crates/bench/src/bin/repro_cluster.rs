@@ -1,0 +1,96 @@
+//! Cluster scaling experiment: the same workload under a `lazyctrl-cluster`
+//! of 1, 2 and 4 controllers.
+//!
+//! The claim under test (the ROADMAP's control-plane-scaling step, built
+//! on the devolved-controllers line of work the paper cites): sharding the
+//! switch groups across N cooperating controllers divides the per-
+//! controller request rate, so the control plane's capacity grows with N.
+//! The table reports, per cluster size: the busiest member's request rate,
+//! the total rate, steady-state mean first-packet latency, and the
+//! controller-to-controller overhead the cluster pays for replication and
+//! heartbeats.
+//!
+//! Also runs the two cluster scenarios: controller-crash-under-load
+//! (Table-I detection → failover takeover → reachability restored) and
+//! shard-rebalance-under-churn (skewed load → ownership moves).
+//!
+//! ```sh
+//! cargo run --release -p lazyctrl-bench --bin repro_cluster
+//! ```
+
+use lazyctrl_bench::{real_trace, render_table, Scale};
+use lazyctrl_core::scenarios::{controller_crash, shard_rebalance};
+use lazyctrl_core::{ControlMode, Experiment, ExperimentConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "lazyctrl-cluster — control-plane scaling (scale: {})\n",
+        scale.label()
+    );
+
+    let trace = real_trace(scale);
+    let group_limit = (trace.topology.num_switches / 8).max(4);
+
+    let mut rows = Vec::new();
+    for controllers in [1usize, 2, 4] {
+        let mut cfg = ExperimentConfig::new(ControlMode::LazyStatic)
+            .with_group_size_limit(group_limit)
+            .with_seed(17)
+            .with_cluster(controllers);
+        cfg.sync_interval_ms = 10_000;
+        let report = Experiment::new(trace.clone(), cfg).run();
+        let cluster = report.cluster.as_ref().expect("cluster run");
+        let total_rps: f64 = cluster.per_controller_rps.iter().sum();
+        rows.push(vec![
+            controllers.to_string(),
+            format!("{:.2}", cluster.max_controller_rps()),
+            format!("{total_rps:.2}"),
+            format!("{:.3}", report.mean_latency_ms),
+            cluster.ctrl_peer_messages.to_string(),
+            cluster.rebalance_transfers.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "controllers",
+                "max ctrl rps",
+                "total rps",
+                "latency (ms)",
+                "peer msgs",
+                "rebalances",
+            ],
+            &rows,
+        )
+    );
+    println!("expected shape: max per-controller rate drops as controllers grow 1 → 2 → 4\n");
+
+    println!("scenario: controller-crash-under-load (2 controllers, crash member 1)");
+    let crash = controller_crash(2, 5);
+    let cluster = crash.report.cluster.as_ref().expect("cluster run");
+    println!("  confirmed dead:        {:?}", cluster.confirmed_dead);
+    println!("  failover transfers:    {}", cluster.failover_transfers);
+    println!(
+        "  affected shard delivered: before={} outage={} after-takeover={}",
+        crash.affected_before, crash.affected_during_outage, crash.affected_after_takeover
+    );
+    println!(
+        "  survivor shards during outage: {}",
+        crash.survivor_during_outage
+    );
+    println!(
+        "  => inter-group reachability {} after takeover\n",
+        if crash.affected_after_takeover > 0 {
+            "RECOVERED"
+        } else {
+            "NOT recovered"
+        }
+    );
+
+    println!("scenario: shard-rebalance-under-churn (2 controllers, skewed ingress)");
+    let reb = shard_rebalance(13);
+    println!("  rebalance transfers:   {}", reb.rebalance_transfers);
+    println!("  requests/controller:   {:?}", reb.requests_per_controller);
+}

@@ -37,7 +37,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["mode", "intra (ms)", "inter (ms)", "paper intra", "paper inter"],
+            &[
+                "mode",
+                "intra (ms)",
+                "inter (ms)",
+                "paper intra",
+                "paper inter"
+            ],
             &rows
         )
     );

@@ -50,9 +50,7 @@ fn main() {
             let cap = (g.num_vertices() as f64 / k as f64 * 1.1).ceil();
             let part = mlkp(
                 g,
-                &MlkpConfig::new(k)
-                    .with_max_part_weight(cap)
-                    .with_seed(0x6a),
+                &MlkpConfig::new(k).with_max_part_weight(cap).with_seed(0x6a),
             );
             let w = metrics::normalized_inter_group_intensity(g, &part);
             row.push(format!("{:.1}%", w * 100.0));

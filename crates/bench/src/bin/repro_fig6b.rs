@@ -77,7 +77,10 @@ fn main() {
     let start = Instant::now();
     let report = sgi.inc_update(f64::INFINITY);
     let inc = start.elapsed();
-    println!("IniGroup (limit {limit}):  {:.2} ms", ini.as_secs_f64() * 1e3);
+    println!(
+        "IniGroup (limit {limit}):  {:.2} ms",
+        ini.as_secs_f64() * 1e3
+    );
     println!(
         "IncUpdate ({} rounds): {:.2} ms  — {:.0}× faster",
         report.rounds,

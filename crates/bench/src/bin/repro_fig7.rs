@@ -15,7 +15,10 @@ use lazyctrl_core::{ControlMode, Experiment, ExperimentConfig};
 
 fn main() {
     let scale = Scale::from_env();
-    println!("Fig. 7 — controller workload over 24 h (scale: {})\n", scale.label());
+    println!(
+        "Fig. 7 — controller workload over 24 h (scale: {})\n",
+        scale.label()
+    );
 
     let real = real_trace(scale);
     let expanded = expanded_trace(&real);

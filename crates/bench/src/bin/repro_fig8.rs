@@ -14,7 +14,10 @@ use lazyctrl_core::{ControlMode, Experiment, ExperimentConfig};
 
 fn main() {
     let scale = Scale::from_env();
-    println!("Fig. 8 — grouping updates per hour (scale: {})\n", scale.label());
+    println!(
+        "Fig. 8 — grouping updates per hour (scale: {})\n",
+        scale.label()
+    );
 
     let real = real_trace(scale);
     let expanded = expanded_trace(&real);

@@ -14,7 +14,10 @@ use lazyctrl_core::{ControlMode, Experiment, ExperimentConfig};
 
 fn main() {
     let scale = Scale::from_env();
-    println!("Fig. 9 — steady-state latency over 24 h (scale: {})\n", scale.label());
+    println!(
+        "Fig. 9 — steady-state latency over 24 h (scale: {})\n",
+        scale.label()
+    );
 
     let real = real_trace(scale);
     let group_limit = (real.topology.num_switches / 4).max(4);

@@ -14,7 +14,10 @@ use lazyctrl_trace::stats;
 
 fn main() {
     let scale = Scale::from_env();
-    println!("Table II — trace characteristics (scale: {})\n", scale.label());
+    println!(
+        "Table II — trace characteristics (scale: {})\n",
+        scale.label()
+    );
 
     let mut traces = vec![real_trace(scale)];
     traces.extend(synthetic_traces(scale));
@@ -34,8 +37,10 @@ fn main() {
             s.name.clone(),
             format!("{}", s.num_flows),
             format!("{}", s.distinct_pairs),
-            s.p.map(|v| format!("{v:.0}")).unwrap_or_else(|| "N/A".into()),
-            s.q.map(|v| format!("{v:.0}")).unwrap_or_else(|| "N/A".into()),
+            s.p.map(|v| format!("{v:.0}"))
+                .unwrap_or_else(|| "N/A".into()),
+            s.q.map(|v| format!("{v:.0}"))
+                .unwrap_or_else(|| "N/A".into()),
             format!("{:.2}", s.avg_centrality),
             format!("{:.1}%", s.inter_group_fraction * 100.0),
             format!("{:.2}", s.top10_share),

@@ -200,9 +200,7 @@ mod tests {
             assert!(bf.contains(i.to_be_bytes()), "exported filter lost {i}");
         }
         // Removed keys should mostly be gone (false positives possible).
-        let lingering = (0u32..100)
-            .filter(|i| bf.contains(i.to_be_bytes()))
-            .count();
+        let lingering = (0u32..100).filter(|i| bf.contains(i.to_be_bytes())).count();
         assert!(lingering < 10, "{lingering} removed keys still positive");
     }
 

@@ -22,10 +22,7 @@ impl Iterator for IndexIter {
         if self.i >= self.k {
             return None;
         }
-        let idx = self
-            .h1
-            .wrapping_add((self.i as u64).wrapping_mul(self.h2))
-            % self.m;
+        let idx = self.h1.wrapping_add((self.i as u64).wrapping_mul(self.h2)) % self.m;
         self.i += 1;
         Some(idx)
     }
@@ -102,7 +99,10 @@ mod tests {
                 distinct += 1;
             }
         }
-        assert!(distinct > 70, "only {distinct}/100 keys had distinct probes");
+        assert!(
+            distinct > 70,
+            "only {distinct}/100 keys had distinct probes"
+        );
     }
 
     #[test]

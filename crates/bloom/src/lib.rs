@@ -190,7 +190,7 @@ impl BloomFilter {
     /// for `m_bits`, or if `k` is zero.
     pub fn from_bytes(bytes: &[u8], m_bits: u64, k: u32, items: u64) -> Self {
         assert!(
-            !bytes.is_empty() && bytes.len() % 8 == 0,
+            !bytes.is_empty() && bytes.len().is_multiple_of(8),
             "bit array must be whole words"
         );
         assert!(k > 0, "bloom filter must use at least one hash");

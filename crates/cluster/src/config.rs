@@ -1,0 +1,122 @@
+//! Cluster configuration.
+
+use lazyctrl_controller::LazyConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a controller cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of controllers in the cluster.
+    pub num_controllers: usize,
+    /// Per-member inner controller configuration. `dynamic_updates` is
+    /// forced off: in a cluster, load is balanced by moving *group
+    /// ownership* between controllers, not by regrouping switches — this
+    /// keeps every member's grouping state identical, which is what makes
+    /// group ownership a well-defined unit of transfer.
+    pub lazy: LazyConfig,
+    /// How often each member flushes its C-LIB deltas to its peers (ms).
+    pub replica_flush_interval_ms: u32,
+    /// Controller-ring heartbeat interval (ms).
+    pub heartbeat_interval_ms: u32,
+    /// A ring neighbour is reported missing after this many silent
+    /// heartbeat intervals.
+    pub heartbeat_miss_factor: u32,
+    /// How often the leader evaluates load skew (ms).
+    pub rebalance_check_interval_ms: u32,
+    /// Rebalancing triggers when `max_load / min_load` across members
+    /// exceeds this ratio (and the loaded member owns more than one group).
+    pub skew_threshold: f64,
+    /// The hottest member must have handled at least this many messages in
+    /// the rebalance window for a move to trigger — an activity floor that
+    /// stops ownership thrash when the whole cluster is near idle and the
+    /// load ratio is just noise.
+    pub rebalance_min_window_msgs: u64,
+    /// Resolve replica misses with synchronous peer lookups before falling
+    /// back to the scoped-ARP relay path.
+    pub enable_lookup: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            num_controllers: 2,
+            lazy: LazyConfig::default(),
+            replica_flush_interval_ms: 1_000,
+            heartbeat_interval_ms: 1_000,
+            heartbeat_miss_factor: 3,
+            rebalance_check_interval_ms: 10_000,
+            skew_threshold: 2.0,
+            rebalance_min_window_msgs: 20,
+            enable_lookup: true,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A cluster of `n` controllers with otherwise default parameters.
+    pub fn with_controllers(n: usize) -> Self {
+        ClusterConfig {
+            num_controllers: n,
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical values.
+    pub fn validate(&self) {
+        assert!(
+            self.num_controllers > 0,
+            "cluster needs at least one controller"
+        );
+        assert!(
+            self.replica_flush_interval_ms > 0,
+            "flush interval must be positive"
+        );
+        assert!(
+            self.heartbeat_interval_ms > 0,
+            "heartbeat interval must be positive"
+        );
+        assert!(
+            self.heartbeat_miss_factor > 0,
+            "miss factor must be positive"
+        );
+        assert!(
+            self.rebalance_check_interval_ms > 0,
+            "rebalance interval must be positive"
+        );
+        assert!(
+            self.skew_threshold.is_finite() && self.skew_threshold > 1.0,
+            "skew threshold must exceed 1"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        ClusterConfig::default().validate();
+        ClusterConfig::with_controllers(4).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one controller")]
+    fn zero_controllers_rejected() {
+        ClusterConfig::with_controllers(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "skew threshold")]
+    fn bad_skew_rejected() {
+        let c = ClusterConfig {
+            skew_threshold: 1.0,
+            ..ClusterConfig::default()
+        };
+        c.validate();
+    }
+}

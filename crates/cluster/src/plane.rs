@@ -1,0 +1,1104 @@
+//! The cluster control plane: N cooperating `LazyController`s behind one
+//! message-passing surface.
+//!
+//! # Architecture
+//!
+//! Every cluster member runs a full [`LazyController`] configured
+//! identically (same switch id space, same seed, dynamic regrouping off),
+//! so all members deterministically compute the *same* switch grouping at
+//! bootstrap. The [`OwnershipMap`] then shards those groups across
+//! members: a member only receives (and answers) control traffic from
+//! switches in groups it owns, so its workload, C-LIB shard and failure
+//! detector all naturally cover just its shard.
+//!
+//! Three cluster mechanisms tie the shards together:
+//!
+//! * **C-LIB replication** — each member batches the host locations it
+//!   learns and floods them to its peers on a timer ([`PeerSyncMsg`]);
+//!   inter-shard flow setups then resolve against the local replica, with
+//!   a synchronous [`LookupRequestMsg`] as the miss fallback.
+//! * **Load rebalancing** — members piggyback their measured request rate
+//!   on heartbeats; when the leader (lowest live id) sees the max/min load
+//!   ratio exceed the configured skew, it moves a group from the hottest
+//!   to the coolest member ([`OwnershipTransferMsg`]).
+//! * **Failover** — members heartbeat on a logical ring and report silent
+//!   neighbours using the *same Table-I inference machinery* switches use
+//!   on their wheel ([`FailureDetector`] over [`WheelReportMsg`], with
+//!   controllers mapped to pseudo switch ids): a member is declared dead
+//!   only when both ring directions go silent within the window, at which
+//!   point the leader transfers its groups to survivors, each seeding its
+//!   C-LIB from the replica.
+//!
+//! # Simulation shortcuts (documented, deliberate)
+//!
+//! * Control-link re-homing is instantaneous: the driver routes a switch's
+//!   messages via the plane's authoritative ownership map, which updates
+//!   when a transfer is initiated. Real switches would reconnect after a
+//!   short gap; the *replication* convergence is what is modelled
+//!   asynchronously.
+//! * The leader reads peers' workload meters directly when rebalancing.
+//!   The same numbers travel in heartbeats ([`CtrlHeartbeatMsg::load_rps`]);
+//!   reading the meter avoids acting on a stale copy in the simulation.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use lazyctrl_controller::{
+    ControllerOutput, ControllerTimer, FailureDetector, FailureKind, LazyController,
+};
+use lazyctrl_net::{EthernetFrame, MacAddr, SwitchId, TenantId};
+use lazyctrl_partition::WeightedGraph;
+use lazyctrl_proto::{
+    ClusterMsg, CtrlHeartbeatMsg, HostEntry, LazyMsg, LfibEntry, LfibSyncMsg, LookupReplyMsg,
+    LookupRequestMsg, Message, MessageBody, OfMessage, OwnershipTransferMsg, PacketInMsg,
+    PeerSyncMsg, TransferReason, WheelLoss, WheelReportMsg,
+};
+
+use crate::{ClusterConfig, OwnershipMap, ReplicaStore};
+
+/// Controllers are mapped into the switch-id space for the reused Table-I
+/// failure detector; this tag keeps them clear of any real switch.
+const CTRL_PSEUDO_BASE: u32 = 0xC000_0000;
+
+/// The pseudo switch id representing controller `id` on the controller
+/// ring (for [`FailureDetector`] reuse).
+pub fn ctrl_pseudo_switch(id: u32) -> SwitchId {
+    SwitchId::new(CTRL_PSEUDO_BASE | id)
+}
+
+/// Timers the cluster asks its driver to arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterTimer {
+    /// The member the timer belongs to.
+    pub node: u32,
+    /// What fires.
+    pub kind: ClusterTimerKind,
+    /// The member's timer generation when armed. A crash bumps the
+    /// generation, so timer chains armed before the crash are recognized
+    /// as stale when they fire — without this, a crash+recover within one
+    /// timer interval would leave the member running duplicate chains.
+    pub gen: u32,
+}
+
+/// The kinds of cluster timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterTimerKind {
+    /// A timer of the member's inner `LazyController`.
+    Inner(ControllerTimer),
+    /// Flush pending C-LIB deltas to peers.
+    ReplicaFlush,
+    /// Send ring heartbeats and check for silent neighbours.
+    Heartbeat,
+    /// Leader-side load-skew evaluation.
+    RebalanceCheck,
+}
+
+/// Effects the cluster wants performed by its driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterOutput {
+    /// Send to a switch on its control link.
+    ToSwitch {
+        /// Sending member.
+        from: u32,
+        /// Receiving switch.
+        to: SwitchId,
+        /// The message.
+        msg: Message,
+    },
+    /// Send to a peer controller on the controller-peer link.
+    ToCtrl {
+        /// Sending member.
+        from: u32,
+        /// Receiving member.
+        to: u32,
+        /// The message.
+        msg: Message,
+    },
+    /// Arm a timer after the given delay (ns).
+    SetTimer(ClusterTimer, u64),
+}
+
+/// A host lookup awaiting peer replies.
+#[derive(Debug, Default)]
+struct PendingLookup {
+    /// Peers whose replies are still outstanding. Tracked by id (not a
+    /// bare count) so a peer dying mid-lookup can be swept out at
+    /// takeover instead of wedging the lookup forever.
+    waiting_on: BTreeSet<u32>,
+    /// Switch messages queued until the lookup resolves: `(from, msg)`.
+    queued: Vec<(SwitchId, Message)>,
+}
+
+/// One cluster member.
+struct ClusterNode {
+    id: u32,
+    /// Ground truth: a crashed member drops everything (scenario hook).
+    crashed: bool,
+    ctrl: LazyController,
+    replica: ReplicaStore,
+    /// C-LIB deltas accumulated since the last flush.
+    outbox_entries: BTreeMap<MacAddr, HostEntry>,
+    /// Withdrawals pending flush, with the withdrawing switch (receivers
+    /// need it for the stale-withdrawal guard).
+    outbox_removed: BTreeMap<MacAddr, SwitchId>,
+    sync_seq: u64,
+    hb_seq: u64,
+    /// Last virtual time a heartbeat arrived from each peer.
+    last_hb_from: BTreeMap<u32, u64>,
+    /// Latest load each peer reported in a heartbeat.
+    peer_loads: BTreeMap<u32, f64>,
+    /// Table-I inference over the controller ring.
+    detector: FailureDetector,
+    pending_lookups: BTreeMap<MacAddr, PendingLookup>,
+    xid: u32,
+    /// Bumped on crash; stale timer chains are dropped (see
+    /// [`ClusterTimer::gen`]).
+    timer_gen: u32,
+    /// Switch-originated messages this member handled (the sharded
+    /// workload quantity `repro_cluster` reports).
+    requests_handled: u64,
+}
+
+impl ClusterNode {
+    fn next_xid(&mut self) -> u32 {
+        self.xid = self.xid.wrapping_add(1);
+        self.xid
+    }
+}
+
+/// The sharded multi-controller control plane.
+pub struct ClusterControlPlane {
+    cfg: ClusterConfig,
+    nodes: Vec<ClusterNode>,
+    ownership: OwnershipMap,
+    /// Dense switch → group mapping, frozen at bootstrap (all members
+    /// share it; dynamic regrouping is off in cluster mode).
+    group_of_switch: Vec<Option<usize>>,
+    /// Members every functioning node currently believes dead.
+    confirmed_dead: BTreeSet<u32>,
+    /// Per-group message counts since the last rebalance check.
+    group_window: BTreeMap<usize, u64>,
+    /// Every ownership transfer initiated, in order.
+    transfers: Vec<OwnershipTransferMsg>,
+    /// Takeovers executed: `(dead member, groups moved)`.
+    takeovers: Vec<(u32, usize)>,
+    bootstrapped: bool,
+}
+
+impl ClusterControlPlane {
+    /// Creates a cluster over switches `0..num_switches`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration.
+    pub fn new(num_switches: usize, cfg: ClusterConfig) -> Self {
+        cfg.validate();
+        let ids: Vec<SwitchId> = (0..num_switches as u32).map(SwitchId::new).collect();
+        let nodes = (0..cfg.num_controllers as u32)
+            .map(|id| {
+                let mut lazy_cfg = cfg.lazy.clone();
+                // Ownership moves balance load in a cluster; regrouping
+                // would make members' groupings diverge (see ClusterConfig).
+                lazy_cfg.dynamic_updates = false;
+                ClusterNode {
+                    id,
+                    crashed: false,
+                    ctrl: LazyController::new(ids.clone(), lazy_cfg),
+                    replica: ReplicaStore::new(),
+                    outbox_entries: BTreeMap::new(),
+                    outbox_removed: BTreeMap::new(),
+                    sync_seq: 0,
+                    hb_seq: 0,
+                    last_hb_from: BTreeMap::new(),
+                    peer_loads: BTreeMap::new(),
+                    detector: FailureDetector::new(),
+                    pending_lookups: BTreeMap::new(),
+                    xid: 0,
+                    timer_gen: 0,
+                    requests_handled: 0,
+                }
+            })
+            .collect();
+        ClusterControlPlane {
+            cfg,
+            nodes,
+            ownership: OwnershipMap::new(),
+            group_of_switch: vec![None; num_switches],
+            confirmed_dead: BTreeSet::new(),
+            group_window: BTreeMap::new(),
+            transfers: Vec::new(),
+            takeovers: Vec::new(),
+            bootstrapped: false,
+        }
+    }
+
+    // ---- Introspection -------------------------------------------------
+
+    /// The configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Number of members (dead or alive).
+    pub fn num_controllers(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The ownership map (authoritative routing view).
+    pub fn ownership(&self) -> &OwnershipMap {
+        &self.ownership
+    }
+
+    /// The group a switch belongs to.
+    pub fn group_of_switch(&self, s: SwitchId) -> Option<usize> {
+        self.group_of_switch.get(s.index()).copied().flatten()
+    }
+
+    /// The member a switch's control link currently terminates on.
+    pub fn owner_of_switch(&self, s: SwitchId) -> Option<u32> {
+        self.group_of_switch(s)
+            .and_then(|g| self.ownership.owner_of(g))
+    }
+
+    /// True when the member has crashed (ground truth).
+    pub fn is_crashed(&self, id: u32) -> bool {
+        self.nodes[id as usize].crashed
+    }
+
+    /// Members currently believed dead by the cluster.
+    pub fn confirmed_dead(&self) -> Vec<u32> {
+        self.confirmed_dead.iter().copied().collect()
+    }
+
+    /// Switch-originated messages handled by a member.
+    pub fn requests_of(&self, id: u32) -> u64 {
+        self.nodes[id as usize].requests_handled
+    }
+
+    /// A member's measured request rate (its meter window).
+    pub fn load_of(&self, id: u32, now_ns: u64) -> f64 {
+        self.nodes[id as usize].ctrl.meter().rate_rps(now_ns)
+    }
+
+    /// A member's current service time (M/M/1 model, its own load).
+    pub fn service_time_ns(&self, id: u32, now_ns: u64) -> u64 {
+        self.nodes[id as usize].ctrl.meter().service_time_ns(now_ns)
+    }
+
+    /// Size of a member's authoritative C-LIB shard.
+    pub fn clib_len(&self, id: u32) -> usize {
+        self.nodes[id as usize].ctrl.clib().len()
+    }
+
+    /// Size of a member's replica store.
+    pub fn replica_len(&self, id: u32) -> usize {
+        self.nodes[id as usize].replica.len()
+    }
+
+    /// All ownership transfers initiated so far, in order.
+    pub fn transfers(&self) -> &[OwnershipTransferMsg] {
+        &self.transfers
+    }
+
+    /// Takeovers executed: `(dead member, groups moved)`.
+    pub fn takeovers(&self) -> &[(u32, usize)] {
+        &self.takeovers
+    }
+
+    /// Members that are functioning and not believed dead, ascending.
+    fn live_members(&self) -> Vec<u32> {
+        self.nodes
+            .iter()
+            .filter(|n| !n.crashed && !self.confirmed_dead.contains(&n.id))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// The current leader: the lowest-id functioning member.
+    pub fn leader(&self) -> Option<u32> {
+        self.live_members().first().copied()
+    }
+
+    /// Ring neighbours `(prev, next)` of `id` among believed-alive members
+    /// (crashed-but-undetected members still occupy their slot, exactly
+    /// like a freshly dead switch on the wheel).
+    fn ring_neighbours(&self, id: u32) -> Option<(u32, u32)> {
+        let ring: Vec<u32> = self
+            .nodes
+            .iter()
+            .filter(|n| !self.confirmed_dead.contains(&n.id))
+            .map(|n| n.id)
+            .collect();
+        if ring.len() < 2 {
+            return None;
+        }
+        let i = ring.iter().position(|&x| x == id)?;
+        let n = ring.len();
+        Some((ring[(i + n - 1) % n], ring[(i + 1) % n]))
+    }
+
+    // ---- Scenario hooks ------------------------------------------------
+
+    /// Crashes a member: it silently drops every message and timer from
+    /// now on, like a killed process. Detection and takeover follow from
+    /// the heartbeat protocol. Bumping the timer generation invalidates
+    /// every timer chain armed before the crash, so a later [`recover`]
+    /// can re-arm without creating duplicates.
+    ///
+    /// [`recover`]: ClusterControlPlane::recover
+    pub fn crash(&mut self, id: u32) {
+        let node = &mut self.nodes[id as usize];
+        node.crashed = true;
+        node.timer_gen = node.timer_gen.wrapping_add(1);
+    }
+
+    /// Restarts a crashed member (its state — C-LIB shard, replica —
+    /// survives as-is, like a process restart from a checkpoint). Peers
+    /// un-mark it as it heartbeats again; returns fresh timer arms (the
+    /// pre-crash chains were invalidated by the generation bump).
+    pub fn recover(&mut self, id: u32) -> Vec<ClusterOutput> {
+        let node = &mut self.nodes[id as usize];
+        if !node.crashed {
+            return Vec::new();
+        }
+        node.crashed = false;
+        let gen = node.timer_gen;
+        let mut out = Vec::new();
+        for (kind, interval_ms) in [
+            (
+                ClusterTimerKind::Inner(ControllerTimer::KeepAlive),
+                self.cfg.lazy.keepalive_interval_ms,
+            ),
+            (
+                ClusterTimerKind::Inner(ControllerTimer::RegroupCheck),
+                10_000,
+            ),
+            (
+                ClusterTimerKind::ReplicaFlush,
+                self.cfg.replica_flush_interval_ms,
+            ),
+            (ClusterTimerKind::Heartbeat, self.cfg.heartbeat_interval_ms),
+            (
+                ClusterTimerKind::RebalanceCheck,
+                self.cfg.rebalance_check_interval_ms,
+            ),
+        ] {
+            out.push(ClusterOutput::SetTimer(
+                ClusterTimer {
+                    node: id,
+                    kind,
+                    gen,
+                },
+                interval_ms as u64 * 1_000_000,
+            ));
+        }
+        out
+    }
+
+    // ---- Bootstrap -----------------------------------------------------
+
+    /// Bootstraps every member from the same intensity graph (identical
+    /// deterministic groupings), shards the groups round-robin, and emits
+    /// the initial `GroupAssign`s (each switch hears exactly one: its
+    /// owner's) plus all timers.
+    pub fn bootstrap(&mut self, now_ns: u64, graph: WeightedGraph) -> Vec<ClusterOutput> {
+        assert!(!self.bootstrapped, "cluster already bootstrapped");
+        self.bootstrapped = true;
+        let mut raw: Vec<(u32, Vec<ControllerOutput>)> = Vec::new();
+        for node in &mut self.nodes {
+            let outs = node.ctrl.bootstrap(now_ns, graph.clone());
+            raw.push((node.id, outs));
+        }
+        // All members computed the same grouping; freeze the switch → group
+        // view from member 0.
+        let grouping = self.nodes[0].ctrl.grouping();
+        let num_groups = grouping.num_groups().unwrap_or(0);
+        for s in 0..self.group_of_switch.len() {
+            self.group_of_switch[s] = grouping.group_of(SwitchId::new(s as u32));
+        }
+        let members: Vec<u32> = self.nodes.iter().map(|n| n.id).collect();
+        self.ownership.assign_round_robin(num_groups, &members);
+        // Peers start "heard from" at bootstrap so silence is measured
+        // from t=0, not from negative infinity.
+        for i in 0..self.nodes.len() {
+            let others: Vec<u32> = members.iter().copied().filter(|&m| m != i as u32).collect();
+            for o in others {
+                self.nodes[i].last_hb_from.insert(o, now_ns);
+            }
+        }
+
+        let mut out = Vec::new();
+        for (id, outs) in raw {
+            out.extend(self.convert_outputs(id, outs, true));
+        }
+        for node in &self.nodes {
+            for (kind, interval_ms) in [
+                (
+                    ClusterTimerKind::ReplicaFlush,
+                    self.cfg.replica_flush_interval_ms,
+                ),
+                (ClusterTimerKind::Heartbeat, self.cfg.heartbeat_interval_ms),
+                (
+                    ClusterTimerKind::RebalanceCheck,
+                    self.cfg.rebalance_check_interval_ms,
+                ),
+            ] {
+                out.push(ClusterOutput::SetTimer(
+                    ClusterTimer {
+                        node: node.id,
+                        kind,
+                        gen: node.timer_gen,
+                    },
+                    interval_ms as u64 * 1_000_000,
+                ));
+            }
+        }
+        out
+    }
+
+    // ---- Switch-facing path --------------------------------------------
+
+    /// Handles a message arriving from a switch. The driver routes it here
+    /// after consulting [`Self::owner_of_switch`]; messages to a crashed
+    /// member vanish (that is the outage the failover scenario measures).
+    pub fn handle_switch_message(
+        &mut self,
+        now_ns: u64,
+        from: SwitchId,
+        msg: &Message,
+    ) -> Vec<ClusterOutput> {
+        let Some(owner) = self.owner_of_switch(from) else {
+            return Vec::new();
+        };
+        if self.nodes[owner as usize].crashed {
+            return Vec::new();
+        }
+        if let Some(g) = self.group_of_switch(from) {
+            *self.group_window.entry(g).or_insert(0) += 1;
+        }
+        self.nodes[owner as usize].requests_handled += 1;
+
+        // Inter-shard pre-resolution: a PacketIn towards a host this shard
+        // does not know is first tried against the replica, then against a
+        // synchronous peer lookup.
+        if let Some(dst) = unresolved_unicast_dst(&self.nodes[owner as usize].ctrl, msg) {
+            let replicated = self.nodes[owner as usize].replica.lookup(dst);
+            if let Some(entry) = replicated {
+                let mut out = self.seed_clib(owner, now_ns, &[entry]);
+                out.extend(self.process_at(owner, now_ns, from, msg));
+                return out;
+            }
+            let peers: Vec<u32> = self
+                .live_members()
+                .into_iter()
+                .filter(|&p| p != owner)
+                .collect();
+            if self.cfg.enable_lookup && !peers.is_empty() {
+                let node = &mut self.nodes[owner as usize];
+                let pending = node.pending_lookups.entry(dst).or_default();
+                pending.queued.push((from, msg.clone()));
+                if !pending.waiting_on.is_empty() {
+                    // A lookup is already in flight; ride it.
+                    return Vec::new();
+                }
+                pending.waiting_on = peers.iter().copied().collect();
+                let mut out = Vec::new();
+                for p in peers {
+                    let xid = self.nodes[owner as usize].next_xid();
+                    out.push(ClusterOutput::ToCtrl {
+                        from: owner,
+                        to: p,
+                        msg: Message::cluster(
+                            xid,
+                            ClusterMsg::LookupRequest(LookupRequestMsg {
+                                from: owner,
+                                mac: dst,
+                            }),
+                        ),
+                    });
+                }
+                return out;
+            }
+        }
+        self.process_at(owner, now_ns, from, msg)
+    }
+
+    /// Runs a switch message through a member's inner controller, captures
+    /// replication deltas, and converts the outputs.
+    fn process_at(
+        &mut self,
+        id: u32,
+        now_ns: u64,
+        from: SwitchId,
+        msg: &Message,
+    ) -> Vec<ClusterOutput> {
+        let node = &mut self.nodes[id as usize];
+        // Mirror the controller's C-LIB learning into the replication
+        // outbox (same sources: PacketIn source learning, L-FIB syncs).
+        match &msg.body {
+            MessageBody::Of(OfMessage::PacketIn(pi)) => {
+                if let Ok(frame) = EthernetFrame::decode(&pi.data) {
+                    if frame.src.is_unicast() {
+                        let tenant = frame.vlan.map(|t| t.vid()).unwrap_or(TenantId::NONE);
+                        let entry = HostEntry {
+                            mac: frame.src,
+                            switch: from,
+                            port: pi.in_port,
+                            tenant,
+                        };
+                        node.outbox_entries.insert(frame.src, entry);
+                        node.outbox_removed.remove(&frame.src);
+                    }
+                }
+            }
+            MessageBody::Lazy(LazyMsg::LfibSync(sync)) => {
+                for e in &sync.entries {
+                    let entry = HostEntry {
+                        mac: e.mac,
+                        switch: sync.origin,
+                        port: e.port,
+                        tenant: e.tenant,
+                    };
+                    node.outbox_entries.insert(e.mac, entry);
+                    node.outbox_removed.remove(&e.mac);
+                }
+                for mac in &sync.removed {
+                    node.outbox_entries.remove(mac);
+                    node.outbox_removed.insert(*mac, sync.origin);
+                }
+            }
+            _ => {}
+        }
+        let outs = node.ctrl.handle_message(now_ns, from, msg);
+        self.convert_outputs(id, outs, false)
+    }
+
+    // ---- Controller-to-controller path ---------------------------------
+
+    /// Handles a message arriving on the controller-peer link. (`_from` is
+    /// the link-level sender; the protocol carries origins in the message
+    /// bodies, which is what the handlers trust.)
+    pub fn handle_ctrl_message(
+        &mut self,
+        now_ns: u64,
+        _from: u32,
+        to: u32,
+        msg: &Message,
+    ) -> Vec<ClusterOutput> {
+        if self.nodes[to as usize].crashed {
+            return Vec::new();
+        }
+        match &msg.body {
+            MessageBody::Cluster(ClusterMsg::PeerSync(sync)) => {
+                self.nodes[to as usize].replica.apply(sync);
+                Vec::new()
+            }
+            MessageBody::Cluster(ClusterMsg::Heartbeat(hb)) => {
+                let came_back = self.confirmed_dead.remove(&hb.from);
+                let node = &mut self.nodes[to as usize];
+                node.last_hb_from.insert(hb.from, now_ns);
+                node.peer_loads.insert(hb.from, hb.load_rps);
+                node.detector.mark_recovered(ctrl_pseudo_switch(hb.from));
+                if came_back {
+                    // The member rebooted; future rebalance checks may hand
+                    // groups back. Nothing to emit now.
+                }
+                Vec::new()
+            }
+            MessageBody::Cluster(ClusterMsg::OwnershipTransfer(t)) => {
+                // The plane's authoritative map was updated at initiation;
+                // the new owner seeds its C-LIB shard when it *hears* about
+                // the transfer, which is the asynchronous part.
+                if t.to == to {
+                    return self.seed_group(to, now_ns, t.group.index());
+                }
+                Vec::new()
+            }
+            MessageBody::Cluster(ClusterMsg::LookupRequest(req)) => {
+                let node = &mut self.nodes[to as usize];
+                let location = node
+                    .ctrl
+                    .clib()
+                    .locate(req.mac)
+                    .map(|loc| HostEntry {
+                        mac: req.mac,
+                        switch: loc.switch,
+                        port: loc.port,
+                        tenant: loc.tenant,
+                    })
+                    .or_else(|| node.replica.lookup(req.mac));
+                let xid = node.next_xid();
+                vec![ClusterOutput::ToCtrl {
+                    from: to,
+                    to: req.from,
+                    msg: Message::cluster(
+                        xid,
+                        ClusterMsg::LookupReply(LookupReplyMsg {
+                            from: to,
+                            mac: req.mac,
+                            location,
+                        }),
+                    ),
+                }]
+            }
+            MessageBody::Cluster(ClusterMsg::LookupReply(reply)) => {
+                self.resolve_lookup(to, now_ns, reply)
+            }
+            // Table-I reuse: controller-ring loss observations travel as
+            // the same WheelReport message switches use.
+            MessageBody::Lazy(LazyMsg::WheelReport(report)) => {
+                self.observe_ctrl_loss(to, now_ns, *report)
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Applies a lookup reply: on a hit, seed the shard's C-LIB and replay
+    /// the queued switch messages; when every peer came back empty, replay
+    /// anyway so the inner controller runs its scoped-ARP relay fallback.
+    fn resolve_lookup(
+        &mut self,
+        id: u32,
+        now_ns: u64,
+        reply: &LookupReplyMsg,
+    ) -> Vec<ClusterOutput> {
+        let node = &mut self.nodes[id as usize];
+        let Some(pending) = node.pending_lookups.get_mut(&reply.mac) else {
+            return Vec::new();
+        };
+        pending.waiting_on.remove(&reply.from);
+        let resolved = reply.location.is_some();
+        if !resolved && !pending.waiting_on.is_empty() {
+            return Vec::new();
+        }
+        let queued = std::mem::take(&mut pending.queued);
+        node.pending_lookups.remove(&reply.mac);
+        let mut out = Vec::new();
+        if let Some(entry) = reply.location {
+            out.extend(self.seed_clib(id, now_ns, &[entry]));
+        }
+        for (from, msg) in queued {
+            out.extend(self.process_at(id, now_ns, from, &msg));
+        }
+        out
+    }
+
+    /// Feeds one controller-ring loss observation into a member's Table-I
+    /// detector; a both-directions inference triggers takeover if this
+    /// member is the leader.
+    fn observe_ctrl_loss(
+        &mut self,
+        at: u32,
+        now_ns: u64,
+        report: WheelReportMsg,
+    ) -> Vec<ClusterOutput> {
+        let inferred = self.nodes[at as usize].detector.observe(now_ns, &report);
+        let Some(FailureKind::Switch(pseudo)) = inferred else {
+            // Single-direction losses on the controller ring are link
+            // noise; only a both-directions silence is a dead controller.
+            return Vec::new();
+        };
+        let dead = pseudo.0 & !CTRL_PSEUDO_BASE;
+        if self.confirmed_dead.contains(&dead) {
+            return Vec::new();
+        }
+        if self.leader() != Some(at) {
+            return Vec::new();
+        }
+        self.take_over(at, now_ns, dead)
+    }
+
+    /// Leader-side takeover: move every group of `dead` to the surviving
+    /// members (least-loaded first), announce the transfers, and seed the
+    /// leader's own shard where it is the new owner.
+    fn take_over(&mut self, leader: u32, now_ns: u64, dead: u32) -> Vec<ClusterOutput> {
+        self.confirmed_dead.insert(dead);
+        let groups = self.ownership.groups_of(dead);
+        // live_members() excludes `dead` now that it is confirmed dead.
+        let mut survivors: Vec<u32> = self.live_members();
+        if survivors.is_empty() {
+            return Vec::new();
+        }
+        // Lookups waiting on the dead member would wedge forever: sweep it
+        // from every pending set, and replay lookups that just lost their
+        // final outstanding reply (the inner controller's relay fallback
+        // takes over).
+        let mut replays: Vec<(u32, SwitchId, Message)> = Vec::new();
+        for node in &mut self.nodes {
+            if node.crashed {
+                continue;
+            }
+            let nid = node.id;
+            node.pending_lookups.retain(|_, pending| {
+                pending.waiting_on.remove(&dead);
+                if pending.waiting_on.is_empty() {
+                    for (from, msg) in pending.queued.drain(..) {
+                        replays.push((nid, from, msg));
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        let mut out = Vec::new();
+        for (nid, from, msg) in replays {
+            out.extend(self.process_at(nid, now_ns, from, &msg));
+        }
+        // Least-loaded first so the takeover itself rebalances.
+        survivors.sort_by(|&a, &b| {
+            self.load_of(a, now_ns)
+                .partial_cmp(&self.load_of(b, now_ns))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        for (i, &g) in groups.iter().enumerate() {
+            let target = survivors[i % survivors.len()];
+            let t = self.ownership.transfer(g, target, TransferReason::Failover);
+            self.transfers.push(t);
+            for &peer in &survivors {
+                if peer == leader {
+                    continue;
+                }
+                let xid = self.nodes[leader as usize].next_xid();
+                out.push(ClusterOutput::ToCtrl {
+                    from: leader,
+                    to: peer,
+                    msg: Message::cluster(xid, ClusterMsg::OwnershipTransfer(t)),
+                });
+            }
+            if target == leader {
+                out.extend(self.seed_group(leader, now_ns, g));
+            }
+        }
+        self.takeovers.push((dead, groups.len()));
+        out
+    }
+
+    // ---- Timers --------------------------------------------------------
+
+    /// Handles a cluster timer.
+    pub fn handle_timer(&mut self, now_ns: u64, timer: ClusterTimer) -> Vec<ClusterOutput> {
+        let id = timer.node;
+        if self.nodes[id as usize].crashed {
+            // A crashed member's timers die with it; `recover` re-arms.
+            return Vec::new();
+        }
+        if timer.gen != self.nodes[id as usize].timer_gen {
+            // A chain armed before a crash; `recover` started fresh ones.
+            return Vec::new();
+        }
+        match timer.kind {
+            ClusterTimerKind::Inner(t) => {
+                let outs = self.nodes[id as usize].ctrl.on_timer(now_ns, t);
+                self.convert_outputs(id, outs, true)
+            }
+            ClusterTimerKind::ReplicaFlush => self.flush_replicas(id, timer),
+            ClusterTimerKind::Heartbeat => self.heartbeat(id, now_ns, timer),
+            ClusterTimerKind::RebalanceCheck => self.rebalance_check(id, now_ns, timer),
+        }
+    }
+
+    fn rearm(&self, timer: ClusterTimer, interval_ms: u32) -> ClusterOutput {
+        ClusterOutput::SetTimer(timer, interval_ms as u64 * 1_000_000)
+    }
+
+    /// Drains the member's C-LIB delta outbox into `PeerSync` floods.
+    fn flush_replicas(&mut self, id: u32, timer: ClusterTimer) -> Vec<ClusterOutput> {
+        let peers: Vec<u32> = self
+            .live_members()
+            .into_iter()
+            .filter(|&p| p != id)
+            .collect();
+        let node = &mut self.nodes[id as usize];
+        let mut out = Vec::new();
+        if !peers.is_empty() && (!node.outbox_entries.is_empty() || !node.outbox_removed.is_empty())
+        {
+            node.sync_seq += 1;
+            let entries: Vec<HostEntry> = std::mem::take(&mut node.outbox_entries)
+                .into_values()
+                .collect();
+            let removed: Vec<(MacAddr, SwitchId)> = std::mem::take(&mut node.outbox_removed)
+                .into_iter()
+                .collect();
+            // ~64 KiB frames; 2000 entries × 14 B stays well under the
+            // 16-bit length field.
+            let chunks = PeerSyncMsg::chunked(id, node.sync_seq, entries, removed, 2000);
+            for peer in peers {
+                for chunk in &chunks {
+                    let xid = node.next_xid();
+                    out.push(ClusterOutput::ToCtrl {
+                        from: id,
+                        to: peer,
+                        msg: Message::cluster(xid, ClusterMsg::PeerSync(chunk.clone())),
+                    });
+                }
+            }
+        }
+        out.push(self.rearm(timer, self.cfg.replica_flush_interval_ms));
+        out
+    }
+
+    /// Sends ring heartbeats (to every live peer, loads piggybacked) and
+    /// reports silent ring neighbours via Table-I wheel reports.
+    fn heartbeat(&mut self, id: u32, now_ns: u64, timer: ClusterTimer) -> Vec<ClusterOutput> {
+        let peers: Vec<u32> = self
+            .nodes
+            .iter()
+            .filter(|n| n.id != id && !self.confirmed_dead.contains(&n.id))
+            .map(|n| n.id)
+            .collect();
+        let load = self.load_of(id, now_ns);
+        let owned = self.ownership.groups_of(id).len() as u32;
+        let mut out = Vec::new();
+        {
+            let node = &mut self.nodes[id as usize];
+            node.hb_seq += 1;
+            for &peer in &peers {
+                let xid = node.next_xid();
+                out.push(ClusterOutput::ToCtrl {
+                    from: id,
+                    to: peer,
+                    msg: Message::cluster(
+                        xid,
+                        ClusterMsg::Heartbeat(CtrlHeartbeatMsg {
+                            from: id,
+                            seq: node.hb_seq,
+                            load_rps: load,
+                            owned_groups: owned,
+                        }),
+                    ),
+                });
+            }
+        }
+        // Silence detection on the ring: the reporter's position relative
+        // to the missing member fixes the Table-I loss direction.
+        if let Some((prev, next)) = self.ring_neighbours(id) {
+            let deadline = self.cfg.heartbeat_miss_factor as u64
+                * self.cfg.heartbeat_interval_ms as u64
+                * 1_000_000;
+            for (nb, loss) in [(prev, WheelLoss::Upstream), (next, WheelLoss::Downstream)] {
+                if nb == id {
+                    continue;
+                }
+                let last = self.nodes[id as usize]
+                    .last_hb_from
+                    .get(&nb)
+                    .copied()
+                    .unwrap_or(0);
+                if now_ns.saturating_sub(last) < deadline {
+                    continue;
+                }
+                let report = WheelReportMsg {
+                    reporter: ctrl_pseudo_switch(id),
+                    missing: ctrl_pseudo_switch(nb),
+                    loss,
+                };
+                // Feed the local detector and gossip the observation so
+                // every member (the leader in particular) can correlate
+                // both ring directions.
+                out.extend(self.observe_ctrl_loss(id, now_ns, report));
+                for &peer in &peers {
+                    if peer == nb {
+                        continue;
+                    }
+                    let xid = self.nodes[id as usize].next_xid();
+                    out.push(ClusterOutput::ToCtrl {
+                        from: id,
+                        to: peer,
+                        msg: Message::lazy(xid, LazyMsg::WheelReport(report)),
+                    });
+                }
+            }
+        }
+        out.push(self.rearm(timer, self.cfg.heartbeat_interval_ms));
+        out
+    }
+
+    /// Leader-side skew check over the per-group message window: move one
+    /// group from the hottest to the coolest member when the window-count
+    /// ratio exceeds the configured skew (and the hot member saw real
+    /// activity — an idle cluster's ratio is just noise).
+    fn rebalance_check(&mut self, id: u32, now_ns: u64, timer: ClusterTimer) -> Vec<ClusterOutput> {
+        let mut out = vec![self.rearm(timer, self.cfg.rebalance_check_interval_ms)];
+        if self.leader() != Some(id) {
+            // The window is plane-global shared state; only the leader may
+            // drain it, or phase-shifted non-leader timers (e.g. after a
+            // leader restart) would wipe samples before the leader reads
+            // them.
+            return out;
+        }
+        let live = self.live_members();
+        let window = std::mem::take(&mut self.group_window);
+        if live.len() < 2 {
+            return out;
+        }
+        let count_of = |member: u32| -> u64 {
+            self.ownership
+                .groups_of(member)
+                .iter()
+                .map(|g| window.get(g).copied().unwrap_or(0))
+                .sum()
+        };
+        let counts: Vec<(u32, u64)> = live.iter().map(|&m| (m, count_of(m))).collect();
+        let (&(hot, hot_count), &(cool, cool_count)) = match (
+            counts
+                .iter()
+                .max_by_key(|&&(m, c)| (c, std::cmp::Reverse(m))),
+            counts.iter().min_by_key(|&&(m, c)| (c, m)),
+        ) {
+            (Some(h), Some(c)) => (h, c),
+            _ => return out,
+        };
+        if hot == cool
+            || hot_count < self.cfg.rebalance_min_window_msgs
+            || (hot_count as f64) < (cool_count.max(1) as f64) * self.cfg.skew_threshold
+        {
+            return out;
+        }
+        let owned = self.ownership.groups_of(hot);
+        if owned.len() < 2 {
+            return out;
+        }
+        // Move the busiest group that does not overshoot: the moved count
+        // must stay within half the hot-cool gap (plus one so a single
+        // dominant group can still move).
+        let gap = hot_count - cool_count;
+        let mut candidates: Vec<(u64, usize)> = owned
+            .iter()
+            .map(|&g| (window.get(&g).copied().unwrap_or(0), g))
+            .collect();
+        candidates.sort_unstable();
+        let pick = candidates
+            .iter()
+            .rev()
+            .find(|&&(w, _)| w <= gap / 2 + 1)
+            .or_else(|| candidates.first())
+            .copied();
+        let Some((_, group)) = pick else {
+            return out;
+        };
+        let t = self
+            .ownership
+            .transfer(group, cool, TransferReason::Rebalance);
+        self.transfers.push(t);
+        for &peer in &live {
+            if peer == id {
+                continue;
+            }
+            let xid = self.nodes[id as usize].next_xid();
+            out.push(ClusterOutput::ToCtrl {
+                from: id,
+                to: peer,
+                msg: Message::cluster(xid, ClusterMsg::OwnershipTransfer(t)),
+            });
+        }
+        if cool == id {
+            out.extend(self.seed_group(id, now_ns, group));
+        }
+        out
+    }
+
+    // ---- Internals -----------------------------------------------------
+
+    /// Seeds `id`'s C-LIB shard with its replica's knowledge of one
+    /// group's switches — the new owner's half of an ownership transfer.
+    fn seed_group(&mut self, id: u32, now_ns: u64, group: usize) -> Vec<ClusterOutput> {
+        let members = self.nodes[id as usize].ctrl.grouping().members(group);
+        let entries: Vec<HostEntry> = self.nodes[id as usize]
+            .replica
+            .hosts_behind(&members)
+            .into_iter()
+            .flat_map(|(_, hosts)| hosts)
+            .collect();
+        self.seed_clib(id, now_ns, &entries)
+    }
+
+    /// Seeds a member's C-LIB shard through its public message interface
+    /// (synthetic per-switch L-FIB syncs), so the inner controller's
+    /// learning rules — including the stale-withdrawal guard — apply
+    /// unchanged. The cost is metered like any other message, which is
+    /// exactly what a real takeover resync would cost.
+    fn seed_clib(&mut self, id: u32, now_ns: u64, entries: &[HostEntry]) -> Vec<ClusterOutput> {
+        let mut by_switch: BTreeMap<SwitchId, Vec<LfibEntry>> = BTreeMap::new();
+        for e in entries {
+            by_switch.entry(e.switch).or_default().push(LfibEntry {
+                mac: e.mac,
+                tenant: e.tenant,
+                port: e.port,
+            });
+        }
+        let mut raw = Vec::new();
+        for (switch, lfib_entries) in by_switch {
+            let sync = LfibSyncMsg {
+                origin: switch,
+                epoch: 0,
+                entries: lfib_entries,
+                removed: vec![],
+            };
+            let outs = self.nodes[id as usize].ctrl.handle_message(
+                now_ns,
+                switch,
+                &Message::lazy(0, LazyMsg::LfibSync(sync)),
+            );
+            raw.extend(outs);
+        }
+        self.convert_outputs(id, raw, false)
+    }
+
+    /// Converts inner-controller outputs into cluster outputs.
+    ///
+    /// `filter_owned` drops `ToSwitch` messages for switches the member
+    /// does not own — required on the *proactive* paths (bootstrap,
+    /// timers) that run identically on every member and would otherwise
+    /// duplicate traffic. Reactive paths (message handling) are unique to
+    /// the member that received the trigger and pass through unfiltered,
+    /// which keeps cross-shard effects like scoped-ARP relays working.
+    fn convert_outputs(
+        &self,
+        id: u32,
+        outs: Vec<ControllerOutput>,
+        filter_owned: bool,
+    ) -> Vec<ClusterOutput> {
+        let mut converted = Vec::with_capacity(outs.len());
+        for o in outs {
+            match o {
+                ControllerOutput::ToSwitch(to, msg) => {
+                    if filter_owned && self.owner_of_switch(to) != Some(id) {
+                        continue;
+                    }
+                    converted.push(ClusterOutput::ToSwitch { from: id, to, msg });
+                }
+                ControllerOutput::SetTimer(t, delay_ns) => {
+                    converted.push(ClusterOutput::SetTimer(
+                        ClusterTimer {
+                            node: id,
+                            kind: ClusterTimerKind::Inner(t),
+                            gen: self.nodes[id as usize].timer_gen,
+                        },
+                        delay_ns,
+                    ));
+                }
+            }
+        }
+        converted
+    }
+}
+
+/// If `msg` is a PacketIn towards a unicast destination the member's
+/// C-LIB cannot resolve, returns that destination.
+fn unresolved_unicast_dst(ctrl: &LazyController, msg: &Message) -> Option<MacAddr> {
+    let MessageBody::Of(OfMessage::PacketIn(PacketInMsg { data, reason, .. })) = &msg.body else {
+        return None;
+    };
+    if *reason == lazyctrl_proto::PacketInReason::FalsePositive {
+        return None;
+    }
+    let frame = EthernetFrame::decode(data).ok()?;
+    if frame.is_flood() || !frame.dst.is_unicast() {
+        return None;
+    }
+    if ctrl.clib().locate(frame.dst).is_some() {
+        return None;
+    }
+    Some(frame.dst)
+}

@@ -1,0 +1,177 @@
+//! Per-controller replica of the other shards' C-LIBs.
+//!
+//! Each cluster member keeps, besides its authoritative C-LIB shard (the
+//! hosts behind switches it owns, inside its `LazyController`), a *replica
+//! store* fed by peers' asynchronous
+//! [`PeerSyncMsg`](lazyctrl_proto::PeerSyncMsg) floods. Inter-shard flow
+//! setups consult the replica first; only a replica miss costs a
+//! synchronous peer lookup. The replica is also what makes failover cheap:
+//! a controller taking over a dead peer's groups seeds its C-LIB from the
+//! replica instead of waiting for every switch to re-sync.
+
+use std::collections::BTreeMap;
+
+use lazyctrl_net::{MacAddr, SwitchId};
+use lazyctrl_proto::{HostEntry, PeerSyncMsg};
+use serde::{Deserialize, Serialize};
+
+/// Replicated host locations from peer controllers.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReplicaStore {
+    hosts: BTreeMap<MacAddr, HostEntry>,
+    /// Highest sequence number seen per origin controller (observability;
+    /// chunks of one flush share a sequence number, so this is a
+    /// high-water mark, not a dedup filter).
+    high_water: BTreeMap<u32, u64>,
+    syncs_applied: u64,
+}
+
+impl ReplicaStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ReplicaStore::default()
+    }
+
+    /// Number of replicated host locations.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// True when nothing is replicated yet.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Total peer syncs absorbed.
+    pub fn syncs_applied(&self) -> u64 {
+        self.syncs_applied
+    }
+
+    /// Highest sequence number seen from `origin`.
+    pub fn high_water(&self, origin: u32) -> Option<u64> {
+        self.high_water.get(&origin).copied()
+    }
+
+    /// Absorbs one peer sync: entries overwrite, withdrawals remove only
+    /// while the stored location still matches the withdrawing switch —
+    /// the same stale-removal rule as the C-LIB: a migration's fresh learn
+    /// elsewhere must not be clobbered by the old location's late
+    /// withdrawal.
+    pub fn apply(&mut self, sync: &PeerSyncMsg) {
+        for e in &sync.entries {
+            self.hosts.insert(e.mac, *e);
+        }
+        for (mac, from_switch) in &sync.removed {
+            if let Some(existing) = self.hosts.get(mac) {
+                if existing.switch == *from_switch {
+                    self.hosts.remove(mac);
+                }
+            }
+        }
+        let hw = self.high_water.entry(sync.origin).or_insert(0);
+        *hw = (*hw).max(sync.seq);
+        self.syncs_applied += 1;
+    }
+
+    /// Looks up a replicated host location.
+    pub fn lookup(&self, mac: MacAddr) -> Option<HostEntry> {
+        self.hosts.get(&mac).copied()
+    }
+
+    /// All replicated hosts attached to one of the given switches, grouped
+    /// by switch (ascending). Used to seed a C-LIB on ownership takeover.
+    pub fn hosts_behind(&self, switches: &[SwitchId]) -> Vec<(SwitchId, Vec<HostEntry>)> {
+        let mut by_switch: BTreeMap<SwitchId, Vec<HostEntry>> = BTreeMap::new();
+        for e in self.hosts.values() {
+            if switches.contains(&e.switch) {
+                by_switch.entry(e.switch).or_default().push(*e);
+            }
+        }
+        by_switch.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazyctrl_net::{PortNo, TenantId};
+
+    fn entry(h: u64, s: u32) -> HostEntry {
+        HostEntry {
+            mac: MacAddr::for_host(h),
+            switch: SwitchId::new(s),
+            port: PortNo::new(1),
+            tenant: TenantId::new(3),
+        }
+    }
+
+    fn sync(
+        origin: u32,
+        seq: u64,
+        entries: Vec<HostEntry>,
+        removed: Vec<(u64, u32)>,
+    ) -> PeerSyncMsg {
+        PeerSyncMsg {
+            origin,
+            seq,
+            entries,
+            removed: removed
+                .into_iter()
+                .map(|(h, s)| (MacAddr::for_host(h), SwitchId::new(s)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn syncs_build_the_replica() {
+        let mut r = ReplicaStore::new();
+        r.apply(&sync(1, 1, vec![entry(10, 3), entry(11, 4)], vec![]));
+        assert_eq!(r.len(), 2);
+        assert_eq!(
+            r.lookup(MacAddr::for_host(10)).unwrap().switch,
+            SwitchId::new(3)
+        );
+        assert!(r.lookup(MacAddr::for_host(99)).is_none());
+        assert_eq!(r.high_water(1), Some(1));
+        assert_eq!(r.syncs_applied(), 1);
+    }
+
+    #[test]
+    fn withdrawals_remove() {
+        let mut r = ReplicaStore::new();
+        r.apply(&sync(1, 1, vec![entry(10, 3)], vec![]));
+        r.apply(&sync(1, 2, vec![], vec![(10, 3)]));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn stale_withdrawal_does_not_clobber_fresh_learn() {
+        let mut r = ReplicaStore::new();
+        // Host 10 migrates: shard B's fresh learn on switch 7 lands first,
+        // then shard A's late withdrawal from switch 3 arrives.
+        r.apply(&sync(1, 1, vec![entry(10, 3)], vec![]));
+        r.apply(&sync(2, 1, vec![entry(10, 7)], vec![]));
+        r.apply(&sync(1, 2, vec![], vec![(10, 3)]));
+        let loc = r
+            .lookup(MacAddr::for_host(10))
+            .expect("fresh learn survives");
+        assert_eq!(loc.switch, SwitchId::new(7));
+    }
+
+    #[test]
+    fn hosts_behind_filters_and_groups() {
+        let mut r = ReplicaStore::new();
+        r.apply(&sync(
+            1,
+            1,
+            vec![entry(10, 3), entry(11, 3), entry(12, 4), entry(13, 9)],
+            vec![],
+        ));
+        let groups = r.hosts_behind(&[SwitchId::new(3), SwitchId::new(4)]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, SwitchId::new(3));
+        assert_eq!(groups[0].1.len(), 2);
+        assert_eq!(groups[1].0, SwitchId::new(4));
+        assert_eq!(groups[1].1.len(), 1);
+    }
+}

@@ -68,7 +68,10 @@ impl BaselineController {
             }
             lazyctrl_proto::MessageBody::Of(OfMessage::Hello) => {
                 let xid = self.next_xid();
-                vec![ControllerOutput::ToSwitch(from, Message::of(xid, OfMessage::Hello))]
+                vec![ControllerOutput::ToSwitch(
+                    from,
+                    Message::of(xid, OfMessage::Hello),
+                )]
             }
             lazyctrl_proto::MessageBody::Of(OfMessage::EchoRequest(data)) => {
                 let xid = self.next_xid();
@@ -252,7 +255,11 @@ mod tests {
         let mut c = BaselineController::new(switches(2));
         let mut pi = packet_in(20, 10);
         pi.in_port = PortNo::new(7);
-        let _ = c.handle_message(0, SwitchId::new(0), &Message::of(1, OfMessage::PacketIn(pi)));
+        let _ = c.handle_message(
+            0,
+            SwitchId::new(0),
+            &Message::of(1, OfMessage::PacketIn(pi)),
+        );
         let out = c.handle_message(
             1,
             SwitchId::new(0),

@@ -163,7 +163,10 @@ mod tests {
             clib.switches_of_tenant(TenantId::new(7)),
             vec![SwitchId::new(1), SwitchId::new(2)]
         );
-        assert_eq!(clib.switches_of_tenant(TenantId::new(8)), vec![SwitchId::new(2)]);
+        assert_eq!(
+            clib.switches_of_tenant(TenantId::new(8)),
+            vec![SwitchId::new(2)]
+        );
         assert!(clib.switches_of_tenant(TenantId::new(9)).is_empty());
         assert_eq!(clib.hosts_on(SwitchId::new(1)).len(), 2);
     }

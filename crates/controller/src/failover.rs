@@ -250,7 +250,9 @@ mod tests {
             true,
             3,
         );
-        assert!(plan.contains(&RecoveryAction::DetourRoute { switch: SwitchId::new(5) }));
+        assert!(plan.contains(&RecoveryAction::DetourRoute {
+            switch: SwitchId::new(5)
+        }));
         assert!(plan.contains(&RecoveryAction::ReselectDesignated {
             group: 3,
             old: SwitchId::new(5)
@@ -262,6 +264,11 @@ mod tests {
             false,
             0,
         );
-        assert_eq!(plan, vec![RecoveryAction::RebootSwitch { switch: SwitchId::new(5) }]);
+        assert_eq!(
+            plan,
+            vec![RecoveryAction::RebootSwitch {
+                switch: SwitchId::new(5)
+            }]
+        );
     }
 }

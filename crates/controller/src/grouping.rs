@@ -30,9 +30,9 @@ pub struct RegroupTriggers {
 impl Default for RegroupTriggers {
     fn default() -> Self {
         RegroupTriggers {
-            min_interval_ns: 120_000_000_000,      // 2 min
-            growth_threshold: 0.30,                // +30%
-            refresh_interval_ns: 360_000_000_000,  // 6 min
+            min_interval_ns: 120_000_000_000,     // 2 min
+            growth_threshold: 0.30,               // +30%
+            refresh_interval_ns: 360_000_000_000, // 6 min
         }
     }
 }
@@ -280,8 +280,7 @@ impl GroupingManager {
         // Build this window's measurements: state-report samples (intra-
         // group) plus punt-derived rates (inter-group), as undirected pair
         // rates.
-        let elapsed_secs =
-            ((now_ns.saturating_sub(self.last_update_ns)) as f64 / 1e9).max(1.0);
+        let elapsed_secs = ((now_ns.saturating_sub(self.last_update_ns)) as f64 / 1e9).max(1.0);
         let mut window: BTreeMap<(SwitchId, SwitchId), f64> = BTreeMap::new();
         for ((a, b), w) in std::mem::take(&mut self.samples) {
             if a != b {

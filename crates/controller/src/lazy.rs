@@ -99,12 +99,8 @@ pub struct LazyController {
 impl LazyController {
     /// Creates a controller for the given switches.
     pub fn new(switches: Vec<SwitchId>, cfg: LazyConfig) -> Self {
-        let grouping = GroupingManager::new(
-            switches.len(),
-            cfg.group_size_limit,
-            cfg.triggers,
-            cfg.seed,
-        );
+        let grouping =
+            GroupingManager::new(switches.len(), cfg.group_size_limit, cfg.triggers, cfg.seed);
         LazyController {
             cfg,
             switches,
@@ -180,7 +176,10 @@ impl LazyController {
             (ControllerTimer::RegroupCheck, 10_000),
         ] {
             if self.armed.insert(timer) {
-                out.push(ControllerOutput::SetTimer(timer, delay_ms as u64 * 1_000_000));
+                out.push(ControllerOutput::SetTimer(
+                    timer,
+                    delay_ms as u64 * 1_000_000,
+                ));
             }
         }
         out
@@ -206,7 +205,10 @@ impl LazyController {
             }
             MessageBody::Of(OfMessage::Hello) => {
                 let xid = self.next_xid();
-                out.push(ControllerOutput::ToSwitch(from, Message::of(xid, OfMessage::Hello)));
+                out.push(ControllerOutput::ToSwitch(
+                    from,
+                    Message::of(xid, OfMessage::Hello),
+                ));
             }
             MessageBody::Of(OfMessage::EchoRequest(data)) => {
                 let xid = self.next_xid();
@@ -301,8 +303,7 @@ impl LazyController {
             return Vec::new();
         }
         let grouping = &self.grouping;
-        self.tenants
-            .rebuild(&self.clib, |s| grouping.group_of(s));
+        self.tenants.rebuild(&self.clib, |s| grouping.group_of(s));
         let (to_block, to_unblock) = self.tenants.block_delta();
         let mut out = Vec::new();
         for (tenant, block) in to_block
@@ -466,7 +467,12 @@ impl LazyController {
 
     /// Relays an unresolved (typically ARP) frame to the designated
     /// switches of every other group hosting the tenant.
-    fn relay_arp(&mut self, from: SwitchId, tenant: TenantId, data: &[u8]) -> Vec<ControllerOutput> {
+    fn relay_arp(
+        &mut self,
+        from: SwitchId,
+        tenant: TenantId,
+        data: &[u8],
+    ) -> Vec<ControllerOutput> {
         let from_group = self.grouping.group_of(from);
         let mut targets: Vec<SwitchId> = Vec::new();
         if tenant.is_none() {
@@ -533,7 +539,8 @@ impl LazyController {
                 members[(i + members.len() - 1) % members.len().max(1)]
             })
             .unwrap_or(failed);
-        let plan = FailureDetector::plan_recovery(kind, ring_prev, is_designated, group.unwrap_or(0));
+        let plan =
+            FailureDetector::plan_recovery(kind, ring_prev, is_designated, group.unwrap_or(0));
         let mut out = Vec::new();
         for action in plan {
             if let RecoveryAction::ReselectDesignated { group, old } = action {

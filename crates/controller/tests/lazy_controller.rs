@@ -3,9 +3,7 @@
 //! does *not* have to handle).
 
 use lazyctrl_controller::{ControllerOutput, ControllerTimer, LazyConfig, LazyController};
-use lazyctrl_net::{
-    EthernetFrame, EtherType, HostId, PortNo, SwitchId, TenantId, VlanTag,
-};
+use lazyctrl_net::{EtherType, EthernetFrame, HostId, PortNo, SwitchId, TenantId, VlanTag};
 use lazyctrl_partition::WeightedGraph;
 use lazyctrl_proto::{
     Action, LazyMsg, LfibEntry, LfibSyncMsg, Message, MessageBody, OfMessage, PacketInMsg,
@@ -91,9 +89,10 @@ fn bootstrap_groups_the_clusters_and_arms_timers() {
     assert!(out
         .iter()
         .any(|o| matches!(o, ControllerOutput::SetTimer(ControllerTimer::KeepAlive, _))));
-    assert!(out
-        .iter()
-        .any(|o| matches!(o, ControllerOutput::SetTimer(ControllerTimer::RegroupCheck, _))));
+    assert!(out.iter().any(|o| matches!(
+        o,
+        ControllerOutput::SetTimer(ControllerTimer::RegroupCheck, _)
+    )));
     // The clusters map to distinct groups.
     assert_eq!(
         c.grouping().group_of(SwitchId::new(0)),
@@ -149,7 +148,11 @@ fn arp_relay_is_scoped_to_tenant_groups() {
     let mut f = frame(11, 0, 7);
     f.dst = lazyctrl_net::MacAddr::BROADCAST;
     arp.data = f.encode();
-    let out = c.handle_message(1, SwitchId::new(0), &Message::of(2, OfMessage::PacketIn(arp)));
+    let out = c.handle_message(
+        1,
+        SwitchId::new(0),
+        &Message::of(2, OfMessage::PacketIn(arp)),
+    );
     assert_eq!(out.len(), 1, "one designated relay: {out:?}");
     let ControllerOutput::ToSwitch(s, _) = &out[0] else {
         panic!()
@@ -165,8 +168,15 @@ fn arp_relay_is_scoped_to_tenant_groups() {
     let mut f = frame(30, 0, 8);
     f.dst = lazyctrl_net::MacAddr::BROADCAST;
     arp.data = f.encode();
-    let out = c.handle_message(2, SwitchId::new(0), &Message::of(3, OfMessage::PacketIn(arp)));
-    assert!(out.is_empty(), "tenant confined to the origin group: {out:?}");
+    let out = c.handle_message(
+        2,
+        SwitchId::new(0),
+        &Message::of(3, OfMessage::PacketIn(arp)),
+    );
+    assert!(
+        out.is_empty(),
+        "tenant confined to the origin group: {out:?}"
+    );
 }
 
 #[test]
@@ -189,7 +199,11 @@ fn false_positive_report_corrects_the_sender() {
         reason: PacketInReason::FalsePositive,
         data: encap.encode(),
     };
-    let out = c.handle_message(1, SwitchId::new(6), &Message::of(4, OfMessage::PacketIn(pi)));
+    let out = c.handle_message(
+        1,
+        SwitchId::new(6),
+        &Message::of(4, OfMessage::PacketIn(pi)),
+    );
     assert_eq!(out.len(), 1);
     let ControllerOutput::ToSwitch(s, m) = &out[0] else {
         panic!()
@@ -237,7 +251,11 @@ fn dead_switch_triggers_designated_reselection() {
         missing: victim,
         loss: WheelLoss::Downstream,
     };
-    let _ = c.handle_message(0, SwitchId::new(99), &Message::lazy(1, LazyMsg::WheelReport(up)));
+    let _ = c.handle_message(
+        0,
+        SwitchId::new(99),
+        &Message::lazy(1, LazyMsg::WheelReport(up)),
+    );
     let out = c.handle_message(
         1,
         SwitchId::new(98),
@@ -264,7 +282,8 @@ fn dead_switch_triggers_designated_reselection() {
     let hello = Message::of(9, OfMessage::Hello);
     let out = c.handle_message(10, victim, &hello);
     assert!(
-        out.iter().any(|o| matches!(o, ControllerOutput::ToSwitch(_, m)
+        out.iter()
+            .any(|o| matches!(o, ControllerOutput::ToSwitch(_, m)
             if matches!(m.body, MessageBody::Lazy(LazyMsg::GroupAssign(_))))),
         "comeback must resync the group: {out:?}"
     );

@@ -74,6 +74,15 @@ pub struct ExperimentConfig {
     pub bucket_hours: f64,
     /// Deterministic seed.
     pub seed: u64,
+    /// Run the control plane as a `lazyctrl-cluster` of this many
+    /// controllers instead of a single controller. Requires a lazy mode.
+    /// `None` keeps the classic single-controller paths untouched.
+    pub cluster_controllers: Option<usize>,
+    /// Crash cluster controller `.0` after `.1` hours of virtual time
+    /// (cluster runs only) — the crash-under-load scenario hook.
+    pub crash_controller_at: Option<(u32, f64)>,
+    /// Restart a crashed controller after this many hours (cluster only).
+    pub recover_controller_at: Option<(u32, f64)>,
 }
 
 impl ExperimentConfig {
@@ -95,6 +104,9 @@ impl ExperimentConfig {
             horizon_hours: None,
             bucket_hours: 2.0,
             seed: 0xE1,
+            cluster_controllers: None,
+            crash_controller_at: None,
+            recover_controller_at: None,
         }
     }
 
@@ -116,13 +128,22 @@ impl ExperimentConfig {
         self
     }
 
+    /// Runs the control plane as a cluster of `n` controllers.
+    pub fn with_cluster(mut self, n: usize) -> Self {
+        self.cluster_controllers = Some(n);
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
     ///
     /// Panics on nonsensical values (zero group size, non-positive bucket).
     pub fn validate(&self) {
-        assert!(self.group_size_limit > 0, "group size limit must be positive");
+        assert!(
+            self.group_size_limit > 0,
+            "group size limit must be positive"
+        );
         assert!(self.bucket_hours > 0.0, "bucket width must be positive");
         assert!(
             self.bootstrap_hours >= 0.0,
@@ -133,6 +154,19 @@ impl ExperimentConfig {
             self.keepalive_interval_ms > 0,
             "keepalive interval must be positive"
         );
+        if let Some(n) = self.cluster_controllers {
+            assert!(n > 0, "cluster needs at least one controller");
+            assert!(
+                self.mode.is_lazy(),
+                "a controller cluster requires a lazy mode"
+            );
+        }
+        if self.cluster_controllers.is_none() {
+            assert!(
+                self.crash_controller_at.is_none() && self.recover_controller_at.is_none(),
+                "controller crash/recovery hooks require a cluster"
+            );
+        }
     }
 }
 

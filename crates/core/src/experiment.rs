@@ -50,6 +50,19 @@ impl Experiment {
             }
             queue.schedule(SimTime::from_nanos(f.time_ns), Ev::FlowArrival(i));
         }
+        // Cluster scenario hooks: controller crash / recovery.
+        if let Some((id, hours)) = cfg.crash_controller_at {
+            queue.schedule(
+                SimTime::from_nanos((hours * 3.6e12) as u64),
+                Ev::CrashController(id),
+            );
+        }
+        if let Some((id, hours)) = cfg.recover_controller_at {
+            queue.schedule(
+                SimTime::from_nanos((hours * 3.6e12) as u64),
+                Ev::RecoverController(id),
+            );
+        }
 
         let mut world = DataCenterWorld::new(trace, cfg);
         {
@@ -120,7 +133,43 @@ impl Experiment {
             .unwrap_or(0);
         let lazy = world.controller.lazy();
         let final_winter = lazy.and_then(|c| c.grouping().winter());
-        let num_groups = lazy.and_then(|c| c.grouping().num_groups());
+        let num_groups = lazy
+            .and_then(|c| c.grouping().num_groups())
+            .or_else(|| world.controller.cluster().map(|p| p.ownership().len()));
+
+        let cluster = world.controller.cluster().map(|plane| {
+            let n = plane.num_controllers();
+            let horizon_secs = (horizon.as_nanos() as f64 / 1e9).max(1.0);
+            let requests: Vec<u64> = (0..n as u32).map(|i| plane.requests_of(i)).collect();
+            let per_rps = requests.iter().map(|&r| r as f64 / horizon_secs).collect();
+            let transfers = plane.transfers();
+            crate::report::ClusterReport {
+                controllers: n,
+                requests_per_controller: requests,
+                per_controller_rps: per_rps,
+                clib_sizes: (0..n as u32).map(|i| plane.clib_len(i)).collect(),
+                replica_sizes: (0..n as u32).map(|i| plane.replica_len(i)).collect(),
+                rebalance_transfers: transfers
+                    .iter()
+                    .filter(|t| t.reason == lazyctrl_proto::TransferReason::Rebalance)
+                    .count() as u64,
+                failover_transfers: transfers
+                    .iter()
+                    .filter(|t| t.reason == lazyctrl_proto::TransferReason::Failover)
+                    .count() as u64,
+                takeovers: plane.takeovers().to_vec(),
+                confirmed_dead: plane.confirmed_dead(),
+                ctrl_peer_messages: world.metrics.counter("ctrl_peer_messages"),
+                failover_groups: transfers
+                    .iter()
+                    .filter(|t| t.reason == lazyctrl_proto::TransferReason::Failover)
+                    .map(|t| t.group.index())
+                    .collect(),
+                switch_groups: (0..world.trace.topology.num_switches)
+                    .map(|s| plane.group_of_switch(lazyctrl_net::SwitchId::new(s as u32)))
+                    .collect(),
+            }
+        });
 
         let _ = bucket_hours;
         let report = ExperimentReport {
@@ -137,6 +186,7 @@ impl Experiment {
             final_winter,
             max_gfib_bytes,
             num_groups,
+            cluster,
         };
         DetailedRun {
             report,

@@ -43,7 +43,7 @@ mod world;
 
 pub use config::{ControlMode, ExperimentConfig};
 pub use experiment::{DetailedRun, Experiment};
-pub use report::{ExperimentReport, SeriesPoint};
+pub use report::{ClusterReport, ExperimentReport, SeriesPoint};
 
 pub use lazyctrl_controller::{BaselineController, LazyController};
 pub use lazyctrl_switch::EdgeSwitch;

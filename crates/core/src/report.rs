@@ -40,6 +40,46 @@ pub struct ExperimentReport {
     pub max_gfib_bytes: u64,
     /// Number of local control groups at end of run (lazy modes).
     pub num_groups: Option<usize>,
+    /// Cluster-layer measurements (cluster runs only).
+    pub cluster: Option<ClusterReport>,
+}
+
+/// What the `lazyctrl-cluster` layer measured during a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Number of controllers in the cluster.
+    pub controllers: usize,
+    /// Switch-originated requests handled per controller.
+    pub requests_per_controller: Vec<u64>,
+    /// Per-controller request rate over the measured horizon (req/sec).
+    pub per_controller_rps: Vec<f64>,
+    /// C-LIB shard size per controller at end of run.
+    pub clib_sizes: Vec<usize>,
+    /// Replica-store size per controller at end of run.
+    pub replica_sizes: Vec<usize>,
+    /// Ownership transfers for load rebalancing.
+    pub rebalance_transfers: u64,
+    /// Ownership transfers for failover takeover.
+    pub failover_transfers: u64,
+    /// Takeovers executed: `(dead controller, groups moved)`.
+    pub takeovers: Vec<(u32, usize)>,
+    /// Controllers believed dead at end of run.
+    pub confirmed_dead: Vec<u32>,
+    /// Controller-to-controller messages exchanged.
+    pub ctrl_peer_messages: u64,
+    /// Groups moved by failover takeovers, in transfer order (the dead
+    /// member's former shard).
+    pub failover_groups: Vec<usize>,
+    /// Final switch → group mapping (frozen at bootstrap in cluster runs).
+    pub switch_groups: Vec<Option<usize>>,
+}
+
+impl ClusterReport {
+    /// Highest per-controller request rate — the quantity that must drop
+    /// as controllers are added for the cluster to be *scaling*.
+    pub fn max_controller_rps(&self) -> f64 {
+        self.per_controller_rps.iter().copied().fold(0.0, f64::max)
+    }
 }
 
 impl ExperimentReport {
@@ -98,6 +138,7 @@ mod tests {
             final_winter: None,
             max_gfib_bytes: 0,
             num_groups: None,
+            cluster: None,
         }
     }
 

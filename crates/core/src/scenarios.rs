@@ -133,6 +133,252 @@ pub fn cold_cache(mode: ControlMode, seed: u64) -> ColdCacheReport {
     }
 }
 
+// ---------------------------------------------------------------------
+// Cluster scenarios (the lazyctrl-cluster layer)
+// ---------------------------------------------------------------------
+
+/// Builds the cluster testbed: `clusters` switch-clusters of 3 switches ×
+/// 2 hosts, an hour-0 bootstrap window with strong intra-cluster affinity
+/// (so SGI finds one group per cluster), then steady mixed traffic with a
+/// continuous supply of *fresh* pairs (fresh pairs punt to the
+/// controller, which is the load the cluster shards).
+fn cluster_testbed(clusters: usize, hours: f64) -> Trace {
+    let switches_per_cluster = 3;
+    let hosts_per_switch = 2;
+    let num_switches = clusters * switches_per_cluster;
+    let num_hosts = num_switches * hosts_per_switch;
+    let host_switch: Vec<SwitchId> = (0..num_hosts)
+        .map(|h| SwitchId::new((h / hosts_per_switch) as u32))
+        .collect();
+    let host_tenant: Vec<TenantId> = (0..num_hosts)
+        .map(|h| TenantId::new(1 + (h / (hosts_per_switch * switches_per_cluster)) as u16 % 8))
+        .collect();
+    let topology = Topology {
+        num_switches,
+        host_switch,
+        host_tenant,
+    };
+    let hosts_per_cluster = (hosts_per_switch * switches_per_cluster) as u32;
+
+    let mut flows = Vec::new();
+    // Hour 0: intra-cluster affinity for the bootstrap grouping.
+    let mut t = 30_000_000_000u64;
+    for round in 0..40u64 {
+        for c in 0..clusters as u32 {
+            let base = c * hosts_per_cluster;
+            for i in 0..hosts_per_cluster {
+                let a = base + i;
+                let b = base + (i + 1 + (round as u32 % 3)) % hosts_per_cluster;
+                if a == b {
+                    continue;
+                }
+                flows.push(FlowRecord {
+                    time_ns: t,
+                    src: HostId::new(a),
+                    dst: HostId::new(b),
+                    bytes: 200,
+                });
+                t += 200_000_000;
+            }
+        }
+    }
+    // Steady phase: a deterministic mix of intra- and inter-cluster flows.
+    // Pair indices advance every round, so fresh pairs (and hence
+    // controller work) keep arriving for the whole run.
+    let steady_start = 3_600_000_000_000u64;
+    let end_ns = (hours * 3.6e12) as u64;
+    let mut t = steady_start;
+    let mut round = 0u64;
+    while t < end_ns {
+        for c in 0..clusters as u64 {
+            let base = (c as u32) * hosts_per_cluster;
+            let peer_cluster = ((c + 1 + round / 7) % clusters as u64) as u32;
+            let peer_base = peer_cluster * hosts_per_cluster;
+            let a = base + ((round * 3 + c) % hosts_per_cluster as u64) as u32;
+            let intra_b = base + ((round * 5 + c + 1) % hosts_per_cluster as u64) as u32;
+            let inter_b = peer_base + ((round * 7 + c + 2) % hosts_per_cluster as u64) as u32;
+            if a != intra_b {
+                flows.push(FlowRecord {
+                    time_ns: t,
+                    src: HostId::new(a),
+                    dst: HostId::new(intra_b),
+                    bytes: 150,
+                });
+            }
+            t += 100_000_000;
+            if peer_cluster != base / hosts_per_cluster {
+                flows.push(FlowRecord {
+                    time_ns: t,
+                    src: HostId::new(a),
+                    dst: HostId::new(inter_b),
+                    bytes: 150,
+                });
+            }
+            t += 100_000_000;
+        }
+        round += 1;
+    }
+    // The last round may overshoot the horizon; keep the invariant
+    // `time_ns <= duration_ns`.
+    flows.retain(|f| f.time_ns <= end_ns);
+    flows.sort_by_key(|f| f.time_ns);
+    Trace {
+        name: format!("cluster-testbed-{clusters}x{switches_per_cluster}"),
+        topology,
+        flows,
+        duration_ns: end_ns,
+        nominal: NominalParams::default(),
+    }
+}
+
+fn cluster_config(controllers: usize, seed: u64, hours: f64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::new(ControlMode::LazyStatic)
+        .with_group_size_limit(3)
+        .with_seed(seed)
+        .with_cluster(controllers)
+        .with_horizon_hours(hours);
+    cfg.record_flow_latencies = true;
+    cfg.responses = false;
+    cfg.bucket_hours = 0.25;
+    cfg.sync_interval_ms = 5_000;
+    cfg.keepalive_interval_ms = 10_000;
+    cfg
+}
+
+/// Results of the controller-crash-under-load scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterCrashReport {
+    /// The full run report (cluster section populated).
+    pub report: crate::ExperimentReport,
+    /// Delivered flows that ingressed at the failed shard, emitted before
+    /// the crash.
+    pub affected_before: u64,
+    /// ... emitted during the outage window (crash → takeover settled).
+    pub affected_during_outage: u64,
+    /// ... emitted after takeover settled. Must be positive for the
+    /// scenario to count as recovered.
+    pub affected_after_takeover: u64,
+    /// Delivered flows ingressing at *surviving* shards during the outage
+    /// window (devolved + sharded control keeps these flowing).
+    pub survivor_during_outage: u64,
+}
+
+/// Crash-under-load: a cluster of `controllers` runs the testbed, one
+/// non-leader member is killed mid-run, the leader's Table-I detector
+/// declares it dead, and its groups fail over to the survivors (C-LIBs
+/// seeded from the replicas). Reachability of the failed shard's traffic
+/// must return after takeover.
+pub fn controller_crash(controllers: usize, seed: u64) -> ClusterCrashReport {
+    assert!(
+        controllers >= 2,
+        "crash scenario needs at least two controllers"
+    );
+    let hours = 2.0;
+    let crash_at = 1.4;
+    // Detection worst case: miss_factor (3) × heartbeat (1 s) + one more
+    // heartbeat tick + takeover propagation. 30 s is a generous settle.
+    let settled_at = crash_at + 30.0 / 3600.0;
+    let trace = cluster_testbed(4, hours);
+    let mut cfg = cluster_config(controllers, seed, hours);
+    let victim = (controllers - 1) as u32; // never the initial leader
+    cfg.crash_controller_at = Some((victim, crash_at));
+
+    let topology = trace.topology.clone();
+    let run = Experiment::new(trace, cfg).run_detailed();
+    let cluster = run
+        .report
+        .cluster
+        .clone()
+        .expect("cluster run must produce a cluster report");
+
+    // The failed shard = groups moved by failover takeover.
+    let failed_groups: std::collections::HashSet<usize> =
+        cluster.failover_groups.iter().copied().collect();
+    let crash_ns = (crash_at * 3.6e12) as u64;
+    let settled_ns = (settled_at * 3.6e12) as u64;
+    let (mut before, mut outage, mut after, mut survivor_outage) = (0u64, 0u64, 0u64, 0u64);
+    for ((src, _dst, emit_ns), _ms) in &run.flow_latencies {
+        let ingress = topology.switch_of(HostId::new(*src));
+        let group = cluster
+            .switch_groups
+            .get(ingress.index())
+            .copied()
+            .flatten();
+        let affected = group.map(|g| failed_groups.contains(&g)).unwrap_or(false);
+        if affected {
+            if *emit_ns < crash_ns {
+                before += 1;
+            } else if *emit_ns < settled_ns {
+                outage += 1;
+            } else {
+                after += 1;
+            }
+        } else if (crash_ns..settled_ns).contains(emit_ns) {
+            survivor_outage += 1;
+        }
+    }
+    ClusterCrashReport {
+        report: run.report,
+        affected_before: before,
+        affected_during_outage: outage,
+        affected_after_takeover: after,
+        survivor_during_outage: survivor_outage,
+    }
+}
+
+/// Results of the shard-rebalance-under-churn scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterRebalanceReport {
+    /// The full run report (cluster section populated).
+    pub report: crate::ExperimentReport,
+    /// Requests handled per controller.
+    pub requests_per_controller: Vec<u64>,
+    /// Rebalancing transfers executed.
+    pub rebalance_transfers: u64,
+}
+
+/// Shard-rebalance-under-churn: all steady-state traffic ingresses at the
+/// shard of one controller; the leader's skew check must move group
+/// ownership until the load spreads.
+pub fn shard_rebalance(seed: u64) -> ClusterRebalanceReport {
+    let hours = 1.5;
+    let clusters = 4;
+    let trace = skewed_testbed(clusters, hours);
+    let cfg = cluster_config(2, seed, hours);
+    let run = Experiment::new(trace, cfg).run_detailed();
+    let cluster = run
+        .report
+        .cluster
+        .clone()
+        .expect("cluster run must produce a cluster report");
+    ClusterRebalanceReport {
+        requests_per_controller: cluster.requests_per_controller.clone(),
+        rebalance_transfers: cluster.rebalance_transfers,
+        report: run.report,
+    }
+}
+
+/// Like [`cluster_testbed`], but every steady-phase flow *ingresses* in
+/// the first half of the switch-clusters — with round-robin group
+/// ownership this concentrates the whole control load on a subset of
+/// members, the churn the rebalancer must fix.
+fn skewed_testbed(clusters: usize, hours: f64) -> Trace {
+    let mut trace = cluster_testbed(clusters, hours);
+    let hosts_per_cluster = 6u32;
+    let half = (clusters as u32 / 2).max(1) * hosts_per_cluster;
+    let steady_start = 3_600_000_000_000u64;
+    for f in &mut trace.flows {
+        if f.time_ns >= steady_start {
+            // Fold every source into the first half of the clusters,
+            // keeping the destination (and hence inter-shard pressure).
+            f.src = HostId::new(f.src.0 % half);
+        }
+    }
+    trace.flows.retain(|f| f.src != f.dst);
+    trace.name = format!("cluster-skewed-{clusters}");
+    trace
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,11 +3,14 @@
 
 use std::collections::HashSet;
 
+use lazyctrl_cluster::{
+    ctrl_pseudo_switch, ClusterConfig, ClusterControlPlane, ClusterOutput, ClusterTimer,
+};
 use lazyctrl_controller::{
     BaselineController, ControllerOutput, ControllerTimer, LazyConfig, LazyController,
 };
 use lazyctrl_net::{
-    EncapsulatedFrame, EthernetFrame, EtherType, HostId, MacAddr, PortNo, SwitchId, TenantId,
+    EncapsulatedFrame, EtherType, EthernetFrame, HostId, MacAddr, PortNo, SwitchId, TenantId,
     VlanTag,
 };
 use lazyctrl_proto::{LazyMsg, Message, MessageBody};
@@ -70,25 +73,38 @@ pub(crate) enum Ev {
     },
     /// A controller timer fires.
     ControllerTimer(ControllerTimer),
+    /// A controller-to-controller message crosses the ctrl-peer link
+    /// (cluster runs only).
+    CtrlPeerMsg {
+        /// Sending cluster member.
+        from: u32,
+        /// Receiving cluster member.
+        to: u32,
+        /// The message.
+        msg: Message,
+    },
+    /// A cluster timer fires (cluster runs only).
+    ClusterTimer(ClusterTimer),
+    /// Scenario hook: a cluster member crashes.
+    CrashController(u32),
+    /// Scenario hook: a crashed cluster member restarts.
+    RecoverController(u32),
 }
 
-/// Either controller flavour behind one dispatch surface.
+/// Any control-plane flavour behind one dispatch surface.
 pub(crate) enum AnyController {
     Baseline(BaselineController),
     Lazy(Box<LazyController>),
+    /// A sharded multi-controller cluster; its outputs are dispatched by
+    /// [`DataCenterWorld::dispatch_cluster_outputs`] (per-member service
+    /// times, ctrl-peer links).
+    Cluster(Box<ClusterControlPlane>),
 }
 
 impl AnyController {
-    fn handle_message(&mut self, now_ns: u64, from: SwitchId, msg: &Message) -> Vec<ControllerOutput> {
-        match self {
-            AnyController::Baseline(c) => c.handle_message(now_ns, from, msg),
-            AnyController::Lazy(c) => c.handle_message(now_ns, from, msg),
-        }
-    }
-
     fn on_timer(&mut self, now_ns: u64, timer: ControllerTimer) -> Vec<ControllerOutput> {
         match self {
-            AnyController::Baseline(_) => Vec::new(),
+            AnyController::Baseline(_) | AnyController::Cluster(_) => Vec::new(),
             AnyController::Lazy(c) => c.on_timer(now_ns, timer),
         }
     }
@@ -97,13 +113,22 @@ impl AnyController {
         match self {
             AnyController::Baseline(c) => c.meter().service_time_ns(now_ns),
             AnyController::Lazy(c) => c.meter().service_time_ns(now_ns),
+            // Unused: the cluster path computes per-member service times.
+            AnyController::Cluster(_) => 0,
         }
     }
 
     pub(crate) fn lazy(&self) -> Option<&LazyController> {
         match self {
             AnyController::Lazy(c) => Some(c),
-            AnyController::Baseline(_) => None,
+            AnyController::Baseline(_) | AnyController::Cluster(_) => None,
+        }
+    }
+
+    pub(crate) fn cluster(&self) -> Option<&ClusterControlPlane> {
+        match self {
+            AnyController::Cluster(c) => Some(c),
+            _ => None,
         }
     }
 }
@@ -164,9 +189,9 @@ impl DataCenterWorld {
         }
 
         let ids: Vec<SwitchId> = (0..n as u32).map(SwitchId::new).collect();
-        let controller = match cfg.mode {
-            ControlMode::Baseline => AnyController::Baseline(BaselineController::new(ids)),
-            mode => {
+        let controller = match (cfg.mode, cfg.cluster_controllers) {
+            (ControlMode::Baseline, _) => AnyController::Baseline(BaselineController::new(ids)),
+            (mode, maybe_cluster) => {
                 let lazy_cfg = LazyConfig {
                     sync_interval_ms: cfg.sync_interval_ms,
                     keepalive_interval_ms: cfg.keepalive_interval_ms,
@@ -178,7 +203,17 @@ impl DataCenterWorld {
                     flow_idle_timeout_s: 30,
                     seed: cfg.seed,
                 };
-                AnyController::Lazy(Box::new(LazyController::new(ids, lazy_cfg)))
+                match maybe_cluster {
+                    Some(members) => {
+                        let cluster_cfg = ClusterConfig {
+                            num_controllers: members,
+                            lazy: lazy_cfg,
+                            ..ClusterConfig::default()
+                        };
+                        AnyController::Cluster(Box::new(ClusterControlPlane::new(n, cluster_cfg)))
+                    }
+                    None => AnyController::Lazy(Box::new(LazyController::new(ids, lazy_cfg))),
+                }
             }
         };
 
@@ -201,25 +236,30 @@ impl DataCenterWorld {
         }
     }
 
-    /// Runs the lazy controller's bootstrap (IniGroup from the leading
+    /// Runs the control plane's bootstrap (IniGroup from the leading
     /// window of the trace) and dispatches its outputs at t=0.
     pub(crate) fn bootstrap(&mut self, sched: &mut Scheduler<'_, Ev>) {
-        let AnyController::Lazy(controller) = &mut self.controller else {
+        if matches!(self.controller, AnyController::Baseline(_)) {
             return;
-        };
+        }
         let window_ns = (self.cfg.bootstrap_hours * 3.6e12) as u64;
         let graph = if window_ns == 0 {
             lazyctrl_partition::WeightedGraph::new(self.trace.topology.num_switches)
         } else {
-            lazyctrl_trace::IntensityMatrix::from_trace_window(
-                &self.trace,
-                0,
-                window_ns.max(1),
-            )
-            .to_graph()
+            lazyctrl_trace::IntensityMatrix::from_trace_window(&self.trace, 0, window_ns.max(1))
+                .to_graph()
         };
-        let outputs = controller.bootstrap(0, graph);
-        self.dispatch_controller_outputs(SimTime::ZERO, outputs, sched);
+        match &mut self.controller {
+            AnyController::Lazy(controller) => {
+                let outputs = controller.bootstrap(0, graph);
+                self.dispatch_controller_outputs(SimTime::ZERO, outputs, sched);
+            }
+            AnyController::Cluster(plane) => {
+                let outputs = plane.bootstrap(0, graph);
+                self.dispatch_cluster_outputs(SimTime::ZERO, outputs, sched);
+            }
+            AnyController::Baseline(_) => unreachable!("filtered above"),
+        }
     }
 
     pub(crate) fn port_of(&self, host: HostId) -> PortNo {
@@ -261,7 +301,8 @@ impl DataCenterWorld {
         self.metrics.count("delivered_flows", 1);
         if self.cfg.record_flow_latencies {
             if let (Some(s), Some(d)) = (frame.src.host_id(), frame.dst.host_id()) {
-                self.flow_latencies.push(((s as u32, d as u32, emit_ns), ms));
+                self.flow_latencies
+                    .push(((s as u32, d as u32, emit_ns), ms));
             }
         }
     }
@@ -385,7 +426,12 @@ impl DataCenterWorld {
 
     /// First delivery of a fresh pair triggers the destination's response
     /// frame (reverse-path learning).
-    fn maybe_respond(&mut self, now: SimTime, frame: &EthernetFrame, sched: &mut Scheduler<'_, Ev>) {
+    fn maybe_respond(
+        &mut self,
+        now: SimTime,
+        frame: &EthernetFrame,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
         if !self.cfg.responses {
             return;
         }
@@ -451,6 +497,65 @@ impl DataCenterWorld {
                         now,
                         SimDuration::from_nanos(delay_ns),
                         Ev::ControllerTimer(timer),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Applies cluster-plane outputs: per-member service times, control
+    /// links towards switches, ctrl-peer links between members.
+    fn dispatch_cluster_outputs(
+        &mut self,
+        now: SimTime,
+        outputs: Vec<ClusterOutput>,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
+        for out in outputs {
+            match out {
+                ClusterOutput::ToSwitch { from, to, msg } => {
+                    let AnyController::Cluster(plane) = &self.controller else {
+                        continue;
+                    };
+                    let service =
+                        SimDuration::from_nanos(plane.service_time_ns(from, now.as_nanos()));
+                    let link = LinkId::new(SwitchId::CONTROLLER.0, to.0, ChannelClass::Control);
+                    if self.links.delivers(link, &mut self.rng) {
+                        let delay =
+                            service + self.latency.sample(ChannelClass::Control, &mut self.rng);
+                        sched.schedule_in(
+                            now,
+                            delay,
+                            Ev::MsgToSwitch {
+                                to,
+                                from: SwitchId::CONTROLLER,
+                                msg,
+                            },
+                        );
+                    }
+                }
+                ClusterOutput::ToCtrl { from, to, msg } => {
+                    let AnyController::Cluster(plane) = &self.controller else {
+                        continue;
+                    };
+                    let service =
+                        SimDuration::from_nanos(plane.service_time_ns(from, now.as_nanos()));
+                    let link = LinkId::new(
+                        ctrl_pseudo_switch(from).0,
+                        ctrl_pseudo_switch(to).0,
+                        ChannelClass::CtrlPeer,
+                    );
+                    if self.links.delivers(link, &mut self.rng) {
+                        let delay =
+                            service + self.latency.sample(ChannelClass::CtrlPeer, &mut self.rng);
+                        sched.schedule_in(now, delay, Ev::CtrlPeerMsg { from, to, msg });
+                    }
+                }
+                ClusterOutput::SetTimer(timer, delay_ns) => {
+                    sched.schedule_in(
+                        now,
+                        SimDuration::from_nanos(delay_ns),
+                        Ev::ClusterTimer(timer),
                     );
                 }
             }
@@ -531,12 +636,15 @@ impl World for DataCenterWorld {
                     let frame = self.frame_for_flow(src, dst, now.as_nanos());
                     self.note_emission(now, &frame);
                     let outs =
-                        self.switches[at.index()]
-                            .handle_local_frame(now.as_nanos(), port, frame);
+                        self.switches[at.index()].handle_local_frame(now.as_nanos(), port, frame);
                     self.dispatch_switch_outputs(now, at, outs, sched);
                 }
             }
-            Ev::LocalFrame { switch, port, frame } => {
+            Ev::LocalFrame {
+                switch,
+                port,
+                frame,
+            } => {
                 let outs =
                     self.switches[switch.index()].handle_local_frame(now.as_nanos(), port, frame);
                 self.dispatch_switch_outputs(now, switch, outs, sched);
@@ -578,9 +686,61 @@ impl World for DataCenterWorld {
                 if matches!(msg.body, MessageBody::Lazy(LazyMsg::WheelReport(_))) {
                     self.metrics.count("wheel_reports", 1);
                 }
-                let outs = self.controller.handle_message(now.as_nanos(), from, &msg);
-                self.dispatch_controller_outputs(now, outs, sched);
-                self.track_regroups(now);
+                match &mut self.controller {
+                    AnyController::Baseline(c) => {
+                        let outs = c.handle_message(now.as_nanos(), from, &msg);
+                        self.dispatch_controller_outputs(now, outs, sched);
+                    }
+                    AnyController::Lazy(c) => {
+                        let outs = c.handle_message(now.as_nanos(), from, &msg);
+                        self.dispatch_controller_outputs(now, outs, sched);
+                        self.track_regroups(now);
+                    }
+                    AnyController::Cluster(plane) => {
+                        let outs = plane.handle_switch_message(now.as_nanos(), from, &msg);
+                        self.dispatch_cluster_outputs(now, outs, sched);
+                    }
+                }
+            }
+            Ev::CtrlPeerMsg { from, to, msg } => {
+                self.metrics.count("ctrl_peer_messages", 1);
+                match &msg.body {
+                    MessageBody::Cluster(lazyctrl_proto::ClusterMsg::PeerSync(_)) => {
+                        self.metrics.count("peer_syncs", 1);
+                    }
+                    MessageBody::Cluster(lazyctrl_proto::ClusterMsg::Heartbeat(_)) => {
+                        self.metrics.count("ctrl_heartbeats", 1);
+                    }
+                    MessageBody::Cluster(lazyctrl_proto::ClusterMsg::LookupRequest(_)) => {
+                        self.metrics.count("ctrl_lookups", 1);
+                    }
+                    MessageBody::Cluster(lazyctrl_proto::ClusterMsg::OwnershipTransfer(_)) => {
+                        self.metrics.count("ownership_transfer_msgs", 1);
+                    }
+                    _ => {}
+                }
+                if let AnyController::Cluster(plane) = &mut self.controller {
+                    let outs = plane.handle_ctrl_message(now.as_nanos(), from, to, &msg);
+                    self.dispatch_cluster_outputs(now, outs, sched);
+                }
+            }
+            Ev::ClusterTimer(timer) => {
+                if let AnyController::Cluster(plane) = &mut self.controller {
+                    let outs = plane.handle_timer(now.as_nanos(), timer);
+                    self.dispatch_cluster_outputs(now, outs, sched);
+                }
+            }
+            Ev::CrashController(id) => {
+                self.metrics.count("controller_crashes", 1);
+                if let AnyController::Cluster(plane) = &mut self.controller {
+                    plane.crash(id);
+                }
+            }
+            Ev::RecoverController(id) => {
+                if let AnyController::Cluster(plane) = &mut self.controller {
+                    let outs = plane.recover(id);
+                    self.dispatch_cluster_outputs(now, outs, sched);
+                }
             }
             Ev::SwitchTimer { switch, timer } => {
                 let outs = self.switches[switch.index()].on_timer(now.as_nanos(), timer);

@@ -219,26 +219,38 @@ mod tests {
         wire[0] = 9; // htype
         assert!(matches!(
             ArpPacket::decode(&wire).unwrap_err(),
-            NetError::InvalidField { field: "arp.htype", .. }
+            NetError::InvalidField {
+                field: "arp.htype",
+                ..
+            }
         ));
 
         let mut wire = sample_request().encode();
         wire[3] = 0x33; // ptype low byte
         assert!(matches!(
             ArpPacket::decode(&wire).unwrap_err(),
-            NetError::InvalidField { field: "arp.ptype", .. }
+            NetError::InvalidField {
+                field: "arp.ptype",
+                ..
+            }
         ));
 
         let mut wire = sample_request().encode();
         wire[7] = 3; // opcode
         assert!(matches!(
             ArpPacket::decode(&wire).unwrap_err(),
-            NetError::InvalidField { field: "arp.oper", value: 3 }
+            NetError::InvalidField {
+                field: "arp.oper",
+                value: 3
+            }
         ));
 
         assert!(matches!(
             ArpPacket::decode(&[0; 10]).unwrap_err(),
-            NetError::Truncated { what: "arp packet", .. }
+            NetError::Truncated {
+                what: "arp packet",
+                ..
+            }
         ));
     }
 

@@ -183,7 +183,10 @@ mod tests {
         wire[0] = 0;
         assert!(matches!(
             EncapsulatedFrame::decode(&wire).unwrap_err(),
-            NetError::InvalidField { field: "encap.magic", .. }
+            NetError::InvalidField {
+                field: "encap.magic",
+                ..
+            }
         ));
     }
 
@@ -191,7 +194,10 @@ mod tests {
     fn truncated_header_rejected() {
         assert!(matches!(
             EncapHeader::decode(&[0; 5]).unwrap_err(),
-            NetError::Truncated { what: "encap header", .. }
+            NetError::Truncated {
+                what: "encap header",
+                ..
+            }
         ));
     }
 
@@ -202,7 +208,10 @@ mod tests {
         wire[12] = 0xff;
         assert!(matches!(
             EncapsulatedFrame::decode(&wire).unwrap_err(),
-            NetError::InvalidField { field: "encap.tenant", .. }
+            NetError::InvalidField {
+                field: "encap.tenant",
+                ..
+            }
         ));
     }
 

@@ -128,7 +128,9 @@ impl EthernetFrame {
 
     /// Encoded length in bytes.
     pub fn wire_len(&self) -> usize {
-        ETHERNET_HEADER_LEN + if self.vlan.is_some() { VLAN_TAG_LEN } else { 0 } + self.payload.len()
+        ETHERNET_HEADER_LEN
+            + if self.vlan.is_some() { VLAN_TAG_LEN } else { 0 }
+            + self.payload.len()
     }
 
     /// Serializes the frame to its binary wire format.
@@ -246,7 +248,13 @@ mod tests {
         wire.extend_from_slice(&0x8100u16.to_be_bytes());
         wire.push(0); // only 1 of 4 tag bytes
         let err = EthernetFrame::decode(&wire).unwrap_err();
-        assert!(matches!(err, NetError::Truncated { what: "vlan tag", .. }));
+        assert!(matches!(
+            err,
+            NetError::Truncated {
+                what: "vlan tag",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -10,9 +10,7 @@ use std::net::Ipv4Addr;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of an edge switch (dense, assigned by the topology builder).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct SwitchId(pub u32);
 
 impl SwitchId {
@@ -70,9 +68,7 @@ impl From<u32> for SwitchId {
 }
 
 /// Identifier of a host (virtual machine) in the data center.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct HostId(pub u32);
 
 impl HostId {
@@ -106,7 +102,9 @@ impl HostId {
         if a != 172 || !(16..32).contains(&b) {
             return None;
         }
-        Some(HostId((((b - 16) as u32) << 16) | ((c as u32) << 8) | d as u32))
+        Some(HostId(
+            (((b - 16) as u32) << 16) | ((c as u32) << 8) | d as u32,
+        ))
     }
 }
 
@@ -129,9 +127,7 @@ impl From<u32> for HostId {
 }
 
 /// Identifier of a local control group (LCG).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct GroupId(pub u32);
 
 impl GroupId {
@@ -165,9 +161,7 @@ impl From<u32> for GroupId {
 }
 
 /// A switch port number, following OpenFlow 1.0's reserved-value scheme.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct PortNo(pub u16);
 
 impl PortNo {

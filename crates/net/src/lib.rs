@@ -44,10 +44,10 @@ mod packet;
 mod vlan;
 
 pub use arp::{ArpOp, ArpPacket};
-pub use id::{GroupId, HostId, PortNo, SwitchId};
 pub use encap::{EncapHeader, EncapsulatedFrame, ENCAP_HEADER_LEN};
 pub use error::NetError;
 pub use ethernet::{EtherType, EthernetFrame, ETHERNET_HEADER_LEN, MAX_FRAME_LEN};
+pub use id::{GroupId, HostId, PortNo, SwitchId};
 pub use mac::MacAddr;
 pub use packet::{Packet, PacketKind};
 pub use vlan::{TenantId, VlanTag, VLAN_TAG_LEN};

@@ -177,8 +177,8 @@ impl FromStr for MacAddr {
             if part.len() != 2 {
                 return Err(NetError::InvalidAddress(s.to_owned()));
             }
-            *octet = u8::from_str_radix(part, 16)
-                .map_err(|_| NetError::InvalidAddress(s.to_owned()))?;
+            *octet =
+                u8::from_str_radix(part, 16).map_err(|_| NetError::InvalidAddress(s.to_owned()))?;
         }
         if parts.next().is_some() {
             return Err(NetError::InvalidAddress(s.to_owned()));
@@ -212,7 +212,10 @@ mod tests {
     fn u64_round_trip() {
         let mac = MacAddr::new([1, 2, 3, 4, 5, 6]);
         assert_eq!(MacAddr::from_u64(mac.to_u64()), mac);
-        assert_eq!(MacAddr::from_u64(0x0102_0304_0506).octets(), [1, 2, 3, 4, 5, 6]);
+        assert_eq!(
+            MacAddr::from_u64(0x0102_0304_0506).octets(),
+            [1, 2, 3, 4, 5, 6]
+        );
     }
 
     #[test]

@@ -11,9 +11,7 @@ pub const VLAN_TAG_LEN: usize = 4;
 /// information management module is used to manage tenant information such as
 /// VLAN IDs"), so tenant ids are 12-bit values like VLAN ids. The value `0`
 /// is reserved to mean "untenanted / infrastructure".
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct TenantId(u16);
 
 impl TenantId {
@@ -163,6 +161,9 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(TenantId::new(9).to_string(), "tenant-9");
-        assert_eq!(format!("{:?}", VlanTag::for_tenant(TenantId::new(5))), "VlanTag(vid=5, pcp=0)");
+        assert_eq!(
+            format!("{:?}", VlanTag::for_tenant(TenantId::new(5))),
+            "VlanTag(vid=5, pcp=0)"
+        );
     }
 }

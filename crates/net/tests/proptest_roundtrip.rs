@@ -59,21 +59,28 @@ fn arb_arp() -> impl Strategy<Value = ArpPacket> {
         arb_mac(),
         arb_ipv4(),
     )
-        .prop_map(|(op, sender_mac, sender_ip, target_mac, target_ip)| ArpPacket {
-            op,
-            sender_mac,
-            sender_ip,
-            target_mac,
-            target_ip,
-        })
+        .prop_map(
+            |(op, sender_mac, sender_ip, target_mac, target_ip)| ArpPacket {
+                op,
+                sender_mac,
+                sender_ip,
+                target_mac,
+                target_ip,
+            },
+        )
 }
 
 fn arb_encap() -> impl Strategy<Value = EncapsulatedFrame> {
-    (arb_ipv4(), arb_ipv4(), arb_tenant(), any::<u32>(), arb_frame()).prop_map(
-        |(src, dst, tenant, key, inner)| {
-            EncapsulatedFrame::new(EncapHeader::new(src, dst, tenant, key), inner)
-        },
+    (
+        arb_ipv4(),
+        arb_ipv4(),
+        arb_tenant(),
+        any::<u32>(),
+        arb_frame(),
     )
+        .prop_map(|(src, dst, tenant, key, inner)| {
+            EncapsulatedFrame::new(EncapHeader::new(src, dst, tenant, key), inner)
+        })
 }
 
 proptest! {

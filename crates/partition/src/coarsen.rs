@@ -101,16 +101,19 @@ mod tests {
     #[test]
     fn total_cross_weight_is_preserved() {
         let mut g = WeightedGraph::new(6);
-        for (u, v, w) in [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 4, 4.0), (4, 5, 5.0)] {
+        for (u, v, w) in [
+            (0, 1, 1.0),
+            (1, 2, 2.0),
+            (2, 3, 3.0),
+            (3, 4, 4.0),
+            (4, 5, 5.0),
+        ] {
             g.add_edge(u, v, w);
         }
         let level = contract(&g, &[1, 0, 3, 2, 5, 4]);
         // Interior edges 0-1 (1.0), 2-3 (3.0), 4-5 (5.0) vanish; 2.0 + 4.0 remain.
         assert_eq!(level.graph.total_edge_weight(), 6.0);
-        assert_eq!(
-            level.graph.total_vertex_weight(),
-            g.total_vertex_weight()
-        );
+        assert_eq!(level.graph.total_vertex_weight(), g.total_vertex_weight());
     }
 
     #[test]

@@ -11,11 +11,7 @@ use crate::{Partition, WeightedGraph};
 /// Each bisection grows a region from a seed vertex, repeatedly absorbing
 /// the outside vertex most strongly connected to the region, until the
 /// region reaches its target weight. Classic greedy graph growing (GGGP).
-pub(crate) fn initial_partition<R: Rng>(
-    graph: &WeightedGraph,
-    k: usize,
-    rng: &mut R,
-) -> Partition {
+pub(crate) fn initial_partition<R: Rng>(graph: &WeightedGraph, k: usize, rng: &mut R) -> Partition {
     let n = graph.num_vertices();
     let mut part = Partition::single_group(n);
     if k <= 1 || n == 0 {
@@ -64,10 +60,10 @@ pub(crate) fn grow_bisection<R: Rng>(
     let mut grown_weight = 0.0;
 
     let absorb = |v: usize,
-                      grown: &mut Vec<usize>,
-                      in_grown: &mut std::collections::HashSet<usize>,
-                      conn: &mut std::collections::BTreeMap<usize, f64>,
-                      grown_weight: &mut f64| {
+                  grown: &mut Vec<usize>,
+                  in_grown: &mut std::collections::HashSet<usize>,
+                  conn: &mut std::collections::BTreeMap<usize, f64>,
+                  grown_weight: &mut f64| {
         grown.push(v);
         in_grown.insert(v);
         *grown_weight += graph.vertex_weight(v);
@@ -79,7 +75,13 @@ pub(crate) fn grow_bisection<R: Rng>(
         }
     };
 
-    absorb(seed, &mut grown, &mut in_grown, &mut conn, &mut grown_weight);
+    absorb(
+        seed,
+        &mut grown,
+        &mut in_grown,
+        &mut conn,
+        &mut grown_weight,
+    );
 
     while grown_weight < target && grown.len() < bucket.len() - 1 {
         // Strongest-connected candidate; fall back to any remaining vertex
@@ -95,7 +97,13 @@ pub(crate) fn grow_bisection<R: Rng>(
         if grown_weight + vw > target && (grown_weight + vw - target) > (target - grown_weight) {
             break;
         }
-        absorb(next, &mut grown, &mut in_grown, &mut conn, &mut grown_weight);
+        absorb(
+            next,
+            &mut grown,
+            &mut in_grown,
+            &mut conn,
+            &mut grown_weight,
+        );
     }
 
     let rest: Vec<usize> = bucket

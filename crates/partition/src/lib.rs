@@ -50,8 +50,8 @@ mod graph;
 mod initial;
 mod matching;
 pub mod metrics;
-mod mlkp;
 pub mod mincut;
+mod mlkp;
 mod partition;
 mod refine;
 pub mod sgi;

@@ -138,10 +138,7 @@ mod tests {
     #[test]
     fn excluded_vertices_count_as_cut() {
         let g = two_cluster_graph();
-        let p = Partition::from_assignment(
-            vec![0, 0, CONTROLLER_GROUP, 1, 1, 1],
-            2,
-        );
+        let p = Partition::from_assignment(vec![0, 0, CONTROLLER_GROUP, 1, 1, 1], 2);
         // Edges 1-2, 0-2 (intra cluster but excluded endpoint) and 2-3 all cut.
         assert_eq!(edge_cut(&g, &p), 10.0 + 10.0 + 5.0);
     }

@@ -28,9 +28,9 @@ pub fn stoer_wagner(graph: &WeightedGraph) -> Option<MinCut> {
     }
     // Dense weight matrix; merged vertices accumulate rows/columns.
     let mut w = vec![vec![0.0f64; n]; n];
-    for u in 0..n {
+    for (u, row) in w.iter_mut().enumerate() {
         for &(v, wt) in graph.neighbors(u) {
-            w[u][v] = wt; // symmetric; set from both endpoints
+            row[v] = wt; // symmetric; set from both endpoints
         }
     }
     // merged[v] = original vertices currently folded into v.
@@ -84,8 +84,7 @@ pub fn stoer_wagner(graph: &WeightedGraph) -> Option<MinCut> {
         // Merge the last two vertices of the phase.
         let prev_i = order[order.len() - 2];
         let prev = active[prev_i];
-        for i in 0..m {
-            let v = active[i];
+        for &v in active.iter().take(m) {
             if v != last && v != prev {
                 w[prev][v] += w[last][v];
                 w[v][prev] = w[prev][v];

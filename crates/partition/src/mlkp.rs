@@ -111,11 +111,7 @@ pub fn mlkp(graph: &WeightedGraph, cfg: &MlkpConfig) -> Partition {
     let mut current = graph.clone();
     while current.num_vertices() > coarsen_until {
         let matching = heavy_edge_matching(&current, cap, &mut rng);
-        let matched_pairs = matching
-            .iter()
-            .enumerate()
-            .filter(|(u, &p)| *u < p)
-            .count();
+        let matched_pairs = matching.iter().enumerate().filter(|(u, &p)| *u < p).count();
         // Give up when matching stops shrinking the graph meaningfully.
         if matched_pairs * 20 < current.num_vertices() {
             break;
@@ -143,7 +139,11 @@ pub fn mlkp(graph: &WeightedGraph, cfg: &MlkpConfig) -> Partition {
         part = Partition::from_assignment(fine_assignment, part.num_groups());
         // Projection preserves weights exactly, so the cap still holds;
         // refinement both improves the cut and maintains it.
-        let fine_graph = if idx == 0 { graph } else { &levels[idx - 1].graph };
+        let fine_graph = if idx == 0 {
+            graph
+        } else {
+            &levels[idx - 1].graph
+        };
         refine(fine_graph, &mut part, cap, cfg.refine_passes);
     }
 
@@ -191,7 +191,10 @@ mod tests {
     #[test]
     fn recovers_planted_clusters() {
         let g = planted(4, 12, 3);
-        let part = mlkp(&g, &MlkpConfig::new(4).with_max_part_weight(12.0).with_seed(5));
+        let part = mlkp(
+            &g,
+            &MlkpConfig::new(4).with_max_part_weight(12.0).with_seed(5),
+        );
         assert!(part.respects_limit(&g, 12.0));
         let frac = normalized_inter_group_intensity(&g, &part);
         assert!(frac < 0.12, "inter-group fraction {frac} too high");

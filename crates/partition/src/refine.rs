@@ -61,11 +61,7 @@ pub(crate) fn refine(
                 Some((g, gain)) if gain > 1e-12 || overweight => Some(g),
                 _ if overweight => (0..part.num_groups())
                     .filter(|&g| g != own && group_w[g] + vw <= max_weight + 1e-9)
-                    .min_by(|&a, &b| {
-                        group_w[a]
-                            .partial_cmp(&group_w[b])
-                            .expect("finite weights")
-                    }),
+                    .min_by(|&a, &b| group_w[a].partial_cmp(&group_w[b]).expect("finite weights")),
                 _ => None,
             };
             if let Some(g) = target {

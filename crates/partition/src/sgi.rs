@@ -315,7 +315,8 @@ impl Sgi {
                             let mut members = partition.members(g1);
                             members.extend(partition.members(g2));
                             let (sub, map) = graph.subgraph(&members);
-                            let split = min_bisection(&sub, limit, seed ^ (g1 as u64) << 16 ^ g2 as u64);
+                            let split =
+                                min_bisection(&sub, limit, seed ^ (g1 as u64) << 16 ^ g2 as u64);
                             (g1, g2, map, split)
                         })
                     })
@@ -500,10 +501,7 @@ mod tests {
     #[test]
     fn exclusion_pins_vertices_to_controller() {
         let g = clustered_graph(3, 8, 4);
-        let sgi = Sgi::ini_group(
-            g,
-            SgiConfig::new(8).with_excluded(vec![0, 5]).with_seed(1),
-        );
+        let sgi = Sgi::ini_group(g, SgiConfig::new(8).with_excluded(vec![0, 5]).with_seed(1));
         assert_eq!(sgi.partition().group_of(0), CONTROLLER_GROUP);
         assert_eq!(sgi.partition().group_of(5), CONTROLLER_GROUP);
         assert_eq!(sgi.partition().excluded(), vec![0, 5]);

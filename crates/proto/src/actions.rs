@@ -173,7 +173,10 @@ mod tests {
         buf.extend_from_slice(&[0; 8]);
         assert!(matches!(
             Action::decode(&mut Reader::new(&buf, "action")),
-            Err(ProtoError::InvalidField { field: "action.type", .. })
+            Err(ProtoError::InvalidField {
+                field: "action.type",
+                ..
+            })
         ));
     }
 

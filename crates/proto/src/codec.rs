@@ -83,9 +83,8 @@ impl MessageCodec {
             self.read += 1;
             return Err(ProtoError::BadVersion(version));
         }
-        MsgType::from_u8(avail[1]).map_err(|e| {
+        MsgType::from_u8(avail[1]).inspect_err(|_e| {
             self.read += 1;
-            e
         })?;
         let length = u16::from_be_bytes([avail[2], avail[3]]) as usize;
         if length < OFP_HEADER_LEN {
@@ -167,7 +166,10 @@ mod tests {
         stream.extend(good.encode());
         let mut codec = MessageCodec::new();
         codec.feed(&stream);
-        assert!(matches!(codec.next_message(), Err(ProtoError::BadVersion(0x42))));
+        assert!(matches!(
+            codec.next_message(),
+            Err(ProtoError::BadVersion(0x42))
+        ));
         // After skipping the junk byte the good message parses.
         assert_eq!(codec.next_message().unwrap(), Some(good));
     }

@@ -205,6 +205,12 @@ mod tests {
     fn to_dst_matches_only_dst() {
         let m = FlowMatch::to_dst(MacAddr::for_host(5));
         assert_eq!(m.specificity(), 1);
-        assert!(m.matches(None, Some(MacAddr::for_host(9)), Some(MacAddr::for_host(5)), None, None));
+        assert!(m.matches(
+            None,
+            Some(MacAddr::for_host(9)),
+            Some(MacAddr::for_host(5)),
+            None,
+            None
+        ));
     }
 }

@@ -42,6 +42,9 @@ pub enum MsgType {
     /// LazyCtrl vendor extension envelope (grouping, state sync, keep-alive,
     /// bargaining). Subtype lives in the body.
     Lazy = 0xf0,
+    /// Controller-cluster envelope (C-LIB replication, ownership transfer,
+    /// controller heartbeats, host lookups). Subtype lives in the body.
+    Cluster = 0xf1,
 }
 
 impl MsgType {
@@ -60,6 +63,7 @@ impl MsgType {
             16 => MsgType::StatsRequest,
             17 => MsgType::StatsReply,
             0xf0 => MsgType::Lazy,
+            0xf1 => MsgType::Cluster,
             other => return Err(ProtoError::UnknownMsgType(other)),
         })
     }
@@ -130,7 +134,10 @@ mod tests {
     fn rejects_wrong_version() {
         let buf = [0x04, 0, 0, 8, 0, 0, 0, 0];
         let mut r = Reader::new(&buf, "header");
-        assert!(matches!(Header::decode(&mut r), Err(ProtoError::BadVersion(0x04))));
+        assert!(matches!(
+            Header::decode(&mut r),
+            Err(ProtoError::BadVersion(0x04))
+        ));
     }
 
     #[test]
@@ -168,6 +175,7 @@ mod tests {
             MsgType::StatsRequest,
             MsgType::StatsReply,
             MsgType::Lazy,
+            MsgType::Cluster,
         ] {
             assert_eq!(MsgType::from_u8(t as u8).unwrap(), t);
         }

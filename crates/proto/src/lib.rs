@@ -53,9 +53,11 @@ pub use error::ProtoError;
 pub use flow_match::FlowMatch;
 pub use header::{MsgType, OFP_HEADER_LEN, PROTO_VERSION};
 pub use messages::{
-    BargainMsg, EchoKind, ErrorCode, FlowModCommand, FlowModMsg, GfibUpdateMsg, GroupAssignMsg,
-    KeepAliveMsg, LazyMsg, LfibEntry, LfibSyncMsg, Message, MessageBody, OfMessage, PacketInMsg,
-    PacketInReason, PacketOutMsg, StateReportMsg, SwitchStats, WheelLoss, WheelReportMsg,
+    BargainMsg, ClusterMsg, CtrlHeartbeatMsg, EchoKind, ErrorCode, FlowModCommand, FlowModMsg,
+    GfibUpdateMsg, GroupAssignMsg, HostEntry, KeepAliveMsg, LazyMsg, LfibEntry, LfibSyncMsg,
+    LookupReplyMsg, LookupRequestMsg, Message, MessageBody, OfMessage, OwnershipTransferMsg,
+    PacketInMsg, PacketInReason, PacketOutMsg, PeerSyncMsg, StateReportMsg, SwitchStats,
+    TransferReason, WheelLoss, WheelReportMsg,
 };
 
 /// Result alias used across the protocol layer.

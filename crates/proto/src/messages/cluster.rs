@@ -1,0 +1,473 @@
+//! Controller-to-controller messages for the `lazyctrl-cluster` control
+//! plane.
+//!
+//! A LazyCtrl *cluster* shards the switch groups across N cooperating
+//! controllers (see `DESIGN.md`, "cluster architecture"). Three concerns
+//! need wire messages between controllers, carried over the
+//! controller-peer channel class:
+//!
+//! * **C-LIB replication** ([`PeerSyncMsg`]) — each controller
+//!   asynchronously floods its C-LIB shard's deltas to its peers, so
+//!   inter-shard flow setups usually resolve against a local replica;
+//! * **host lookups** ([`LookupRequestMsg`]/[`LookupReplyMsg`]) — the
+//!   synchronous fallback when a destination is not yet replicated;
+//! * **membership** ([`CtrlHeartbeatMsg`], [`OwnershipTransferMsg`]) —
+//!   heartbeats on the controller ring feed the Table-I failure inference
+//!   (reused from the switch wheel), and ownership transfers move groups
+//!   between controllers for load rebalancing and failover takeover.
+
+use bytes::BufMut;
+use lazyctrl_net::{GroupId, MacAddr, PortNo, SwitchId, TenantId};
+use serde::{Deserialize, Serialize};
+
+use crate::wire::Reader;
+use crate::{ProtoError, Result};
+
+const SUB_PEER_SYNC: u16 = 1;
+const SUB_OWNERSHIP_TRANSFER: u16 = 2;
+const SUB_CTRL_HEARTBEAT: u16 = 3;
+const SUB_LOOKUP_REQUEST: u16 = 4;
+const SUB_LOOKUP_REPLY: u16 = 5;
+
+/// One replicated C-LIB entry: a host and the edge switch it lives behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HostEntry {
+    /// Host MAC address.
+    pub mac: MacAddr,
+    /// The edge switch the host is attached to.
+    pub switch: SwitchId,
+    /// The port on that switch.
+    pub port: PortNo,
+    /// The owning tenant.
+    pub tenant: TenantId,
+}
+
+impl HostEntry {
+    const WIRE_LEN: usize = 6 + 4 + 2 + 2;
+
+    fn encode_into<B: BufMut>(&self, buf: &mut B) {
+        buf.put_slice(&self.mac.octets());
+        buf.put_u32(self.switch.0);
+        buf.put_u16(self.port.as_u16());
+        buf.put_u16(self.tenant.as_u16());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let mac = MacAddr::new(r.array()?);
+        let switch = SwitchId::new(r.u32()?);
+        let port = PortNo::new(r.u16()?);
+        let tenant_raw = r.u16()?;
+        if tenant_raw > 0x0fff {
+            return Err(ProtoError::InvalidField {
+                field: "host_entry.tenant",
+                value: tenant_raw as u64,
+            });
+        }
+        Ok(HostEntry {
+            mac,
+            switch,
+            port,
+            tenant: TenantId::new(tenant_raw),
+        })
+    }
+}
+
+/// Asynchronous C-LIB shard replication: the origin controller's learned
+/// host locations since the previous sync, plus withdrawals.
+///
+/// Application is idempotent: entries overwrite, withdrawals remove only
+/// while the stored location still matches the withdrawing switch (the
+/// C-LIB's stale-withdrawal rule). `seq` is a per-origin monotonic
+/// sequence number carried for observability — chunks of one flush share
+/// it, and receivers track it as a high-water mark, not a dedup filter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerSyncMsg {
+    /// The controller whose shard changed.
+    pub origin: u32,
+    /// Per-origin monotonic sequence number.
+    pub seq: u64,
+    /// Added or refreshed host locations.
+    pub entries: Vec<HostEntry>,
+    /// Host addresses withdrawn from the origin's shard, each with the
+    /// switch that withdrew it (so receivers can apply the
+    /// stale-withdrawal guard: a fresh learn elsewhere must not be
+    /// clobbered by the old location's late withdrawal).
+    pub removed: Vec<(MacAddr, SwitchId)>,
+}
+
+impl PeerSyncMsg {
+    /// Splits a large sync into wire-sized messages, `max_entries` entries
+    /// at a time (every chunk reuses the same `seq`; receivers treat the
+    /// chunks of one flush as one logical update).
+    pub fn chunked(
+        origin: u32,
+        seq: u64,
+        entries: Vec<HostEntry>,
+        removed: Vec<(MacAddr, SwitchId)>,
+        max_entries: usize,
+    ) -> Vec<PeerSyncMsg> {
+        assert!(max_entries > 0, "max_entries must be positive");
+        if entries.len() <= max_entries && removed.len() <= max_entries {
+            return vec![PeerSyncMsg {
+                origin,
+                seq,
+                entries,
+                removed,
+            }];
+        }
+        let mut out = Vec::new();
+        let mut entries = entries.as_slice();
+        let mut removed = removed.as_slice();
+        while !entries.is_empty() || !removed.is_empty() {
+            let take_e = entries.len().min(max_entries);
+            let take_r = removed.len().min(max_entries);
+            out.push(PeerSyncMsg {
+                origin,
+                seq,
+                entries: entries[..take_e].to_vec(),
+                removed: removed[..take_r].to_vec(),
+            });
+            entries = &entries[take_e..];
+            removed = &removed[take_r..];
+        }
+        out
+    }
+}
+
+/// Why a group changed owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransferReason {
+    /// Load rebalancing moved the group off an overloaded controller.
+    Rebalance,
+    /// The previous owner was declared dead; a survivor took over.
+    Failover,
+}
+
+impl TransferReason {
+    fn to_u8(self) -> u8 {
+        match self {
+            TransferReason::Rebalance => 0,
+            TransferReason::Failover => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self> {
+        Ok(match v {
+            0 => TransferReason::Rebalance,
+            1 => TransferReason::Failover,
+            other => {
+                return Err(ProtoError::InvalidField {
+                    field: "ownership_transfer.reason",
+                    value: other as u64,
+                })
+            }
+        })
+    }
+}
+
+/// Moves ownership of one switch group between controllers. Carries the
+/// ownership-map epoch so stale transfers are rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OwnershipTransferMsg {
+    /// Ownership-map epoch after this transfer applies.
+    pub epoch: u32,
+    /// The group changing hands.
+    pub group: GroupId,
+    /// Previous owner.
+    pub from: u32,
+    /// New owner.
+    pub to: u32,
+    /// Why the transfer happened.
+    pub reason: TransferReason,
+}
+
+/// Controller-ring keep-alive, the cluster analogue of the switch wheel's
+/// [`KeepAliveMsg`](crate::KeepAliveMsg). Carries the sender's measured
+/// load so receivers can rebalance without extra round trips.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CtrlHeartbeatMsg {
+    /// Sending controller.
+    pub from: u32,
+    /// Monotonic sequence number.
+    pub seq: u64,
+    /// Sender's request rate over its meter window (requests/sec).
+    pub load_rps: f64,
+    /// Number of groups the sender currently owns.
+    pub owned_groups: u32,
+}
+
+/// Synchronous host-location lookup towards a peer controller, the
+/// fallback when the local replica misses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LookupRequestMsg {
+    /// Requesting controller.
+    pub from: u32,
+    /// The host being resolved.
+    pub mac: MacAddr,
+}
+
+/// Reply to a [`LookupRequestMsg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LookupReplyMsg {
+    /// Replying controller.
+    pub from: u32,
+    /// The host that was looked up.
+    pub mac: MacAddr,
+    /// The location, if the replier's shard (or replica) knows it.
+    pub location: Option<HostEntry>,
+}
+
+/// The controller-cluster message family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClusterMsg {
+    /// Asynchronous C-LIB shard replication.
+    PeerSync(PeerSyncMsg),
+    /// Group ownership transfer (rebalance or failover).
+    OwnershipTransfer(OwnershipTransferMsg),
+    /// Controller-ring keep-alive with load piggyback.
+    Heartbeat(CtrlHeartbeatMsg),
+    /// Synchronous host lookup (replica miss fallback).
+    LookupRequest(LookupRequestMsg),
+    /// Lookup response.
+    LookupReply(LookupReplyMsg),
+}
+
+impl ClusterMsg {
+    pub(crate) fn encode_body<B: BufMut>(&self, buf: &mut B) {
+        match self {
+            ClusterMsg::PeerSync(m) => {
+                buf.put_u16(SUB_PEER_SYNC);
+                buf.put_u32(m.origin);
+                buf.put_u64(m.seq);
+                buf.put_u32(m.entries.len() as u32);
+                for e in &m.entries {
+                    e.encode_into(buf);
+                }
+                buf.put_u32(m.removed.len() as u32);
+                for (mac, switch) in &m.removed {
+                    buf.put_slice(&mac.octets());
+                    buf.put_u32(switch.0);
+                }
+            }
+            ClusterMsg::OwnershipTransfer(m) => {
+                buf.put_u16(SUB_OWNERSHIP_TRANSFER);
+                buf.put_u32(m.epoch);
+                buf.put_u32(m.group.0);
+                buf.put_u32(m.from);
+                buf.put_u32(m.to);
+                buf.put_u8(m.reason.to_u8());
+            }
+            ClusterMsg::Heartbeat(m) => {
+                buf.put_u16(SUB_CTRL_HEARTBEAT);
+                buf.put_u32(m.from);
+                buf.put_u64(m.seq);
+                buf.put_u64(m.load_rps.to_bits());
+                buf.put_u32(m.owned_groups);
+            }
+            ClusterMsg::LookupRequest(m) => {
+                buf.put_u16(SUB_LOOKUP_REQUEST);
+                buf.put_u32(m.from);
+                buf.put_slice(&m.mac.octets());
+            }
+            ClusterMsg::LookupReply(m) => {
+                buf.put_u16(SUB_LOOKUP_REPLY);
+                buf.put_u32(m.from);
+                buf.put_slice(&m.mac.octets());
+                match &m.location {
+                    Some(e) => {
+                        buf.put_u8(1);
+                        e.encode_into(buf);
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
+        }
+    }
+
+    pub(crate) fn decode_body(body: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(body, "cluster body");
+        let subtype = r.u16()?;
+        let msg = match subtype {
+            SUB_PEER_SYNC => {
+                let origin = r.u32()?;
+                let seq = r.u64()?;
+                let n = r.count_prefix(HostEntry::WIRE_LEN)?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push(HostEntry::decode(&mut r)?);
+                }
+                let nr = r.count_prefix(10)?;
+                let mut removed = Vec::with_capacity(nr);
+                for _ in 0..nr {
+                    let mac = MacAddr::new(r.array()?);
+                    let switch = SwitchId::new(r.u32()?);
+                    removed.push((mac, switch));
+                }
+                ClusterMsg::PeerSync(PeerSyncMsg {
+                    origin,
+                    seq,
+                    entries,
+                    removed,
+                })
+            }
+            SUB_OWNERSHIP_TRANSFER => ClusterMsg::OwnershipTransfer(OwnershipTransferMsg {
+                epoch: r.u32()?,
+                group: GroupId::new(r.u32()?),
+                from: r.u32()?,
+                to: r.u32()?,
+                reason: TransferReason::from_u8(r.u8()?)?,
+            }),
+            SUB_CTRL_HEARTBEAT => ClusterMsg::Heartbeat(CtrlHeartbeatMsg {
+                from: r.u32()?,
+                seq: r.u64()?,
+                load_rps: r.f64()?,
+                owned_groups: r.u32()?,
+            }),
+            SUB_LOOKUP_REQUEST => ClusterMsg::LookupRequest(LookupRequestMsg {
+                from: r.u32()?,
+                mac: MacAddr::new(r.array()?),
+            }),
+            SUB_LOOKUP_REPLY => {
+                let from = r.u32()?;
+                let mac = MacAddr::new(r.array()?);
+                let location = match r.u8()? {
+                    0 => None,
+                    1 => Some(HostEntry::decode(&mut r)?),
+                    other => {
+                        return Err(ProtoError::InvalidField {
+                            field: "lookup_reply.has_location",
+                            value: other as u64,
+                        })
+                    }
+                };
+                ClusterMsg::LookupReply(LookupReplyMsg {
+                    from,
+                    mac,
+                    location,
+                })
+            }
+            other => return Err(ProtoError::UnknownLazySubtype(other)),
+        };
+        if r.remaining() != 0 {
+            return Err(ProtoError::LengthMismatch {
+                declared: body.len(),
+                actual: body.len() - r.remaining(),
+            });
+        }
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(m: ClusterMsg) {
+        let mut body = Vec::new();
+        m.encode_body(&mut body);
+        assert_eq!(ClusterMsg::decode_body(&body).unwrap(), m);
+    }
+
+    fn entry(h: u64, s: u32) -> HostEntry {
+        HostEntry {
+            mac: MacAddr::for_host(h),
+            switch: SwitchId::new(s),
+            port: PortNo::new(2),
+            tenant: TenantId::new(5),
+        }
+    }
+
+    #[test]
+    fn peer_sync_round_trips() {
+        round_trip(ClusterMsg::PeerSync(PeerSyncMsg {
+            origin: 1,
+            seq: 42,
+            entries: vec![entry(10, 3), entry(11, 4)],
+            removed: vec![(MacAddr::for_host(55), SwitchId::new(3))],
+        }));
+    }
+
+    #[test]
+    fn ownership_transfer_round_trips() {
+        round_trip(ClusterMsg::OwnershipTransfer(OwnershipTransferMsg {
+            epoch: 7,
+            group: GroupId::new(3),
+            from: 0,
+            to: 2,
+            reason: TransferReason::Failover,
+        }));
+        round_trip(ClusterMsg::OwnershipTransfer(OwnershipTransferMsg {
+            epoch: 8,
+            group: GroupId::new(1),
+            from: 2,
+            to: 1,
+            reason: TransferReason::Rebalance,
+        }));
+    }
+
+    #[test]
+    fn heartbeat_round_trips() {
+        round_trip(ClusterMsg::Heartbeat(CtrlHeartbeatMsg {
+            from: 3,
+            seq: u64::MAX,
+            load_rps: 1234.5,
+            owned_groups: 9,
+        }));
+    }
+
+    #[test]
+    fn lookups_round_trip() {
+        round_trip(ClusterMsg::LookupRequest(LookupRequestMsg {
+            from: 0,
+            mac: MacAddr::for_host(77),
+        }));
+        round_trip(ClusterMsg::LookupReply(LookupReplyMsg {
+            from: 1,
+            mac: MacAddr::for_host(77),
+            location: Some(entry(77, 9)),
+        }));
+        round_trip(ClusterMsg::LookupReply(LookupReplyMsg {
+            from: 1,
+            mac: MacAddr::for_host(78),
+            location: None,
+        }));
+    }
+
+    #[test]
+    fn chunking_splits_large_syncs() {
+        let entries: Vec<HostEntry> = (0..250).map(|i| entry(i, (i % 16) as u32)).collect();
+        let chunks = PeerSyncMsg::chunked(2, 9, entries.clone(), vec![], 100);
+        assert_eq!(chunks.len(), 3);
+        let reassembled: Vec<HostEntry> = chunks.iter().flat_map(|c| c.entries.clone()).collect();
+        assert_eq!(reassembled, entries);
+        for c in &chunks {
+            assert_eq!(c.seq, 9);
+            assert!(c.entries.len() <= 100);
+        }
+    }
+
+    #[test]
+    fn unknown_subtype_rejected() {
+        let body = 0x6666u16.to_be_bytes();
+        assert!(ClusterMsg::decode_body(&body).is_err());
+    }
+
+    #[test]
+    fn bad_option_flag_rejected() {
+        let mut body = Vec::new();
+        ClusterMsg::LookupReply(LookupReplyMsg {
+            from: 1,
+            mac: MacAddr::for_host(1),
+            location: None,
+        })
+        .encode_body(&mut body);
+        *body.last_mut().unwrap() = 9; // corrupt the option flag
+        assert!(matches!(
+            ClusterMsg::decode_body(&body).unwrap_err(),
+            ProtoError::InvalidField {
+                field: "lookup_reply.has_location",
+                ..
+            }
+        ));
+    }
+}

@@ -211,9 +211,7 @@ pub struct BargainMsg {
 
 /// Which keep-alive source went silent, from the reporter's viewpoint
 /// (the columns of Table I).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum WheelLoss {
     /// The upstream ring neighbour's keep-alives stopped (`Sn → Sn+1` seen
     /// missing by `Sn+1`).

@@ -1,9 +1,14 @@
 //! Control-protocol messages: the OpenFlow 1.0-style subset plus the
 //! LazyCtrl vendor extension family.
 
+mod cluster;
 mod lazy;
 mod of;
 
+pub use cluster::{
+    ClusterMsg, CtrlHeartbeatMsg, HostEntry, LookupReplyMsg, LookupRequestMsg,
+    OwnershipTransferMsg, PeerSyncMsg, TransferReason,
+};
 pub use lazy::{
     BargainMsg, GfibUpdateMsg, GroupAssignMsg, KeepAliveMsg, LazyMsg, LfibEntry, LfibSyncMsg,
     StateReportMsg, SwitchStats, WheelLoss, WheelReportMsg,
@@ -50,6 +55,8 @@ pub enum MessageBody {
     Of(OfMessage),
     /// LazyCtrl vendor extension message.
     Lazy(LazyMsg),
+    /// Controller-to-controller cluster message.
+    Cluster(ClusterMsg),
 }
 
 impl Message {
@@ -69,11 +76,20 @@ impl Message {
         }
     }
 
+    /// Wraps a controller-cluster message.
+    pub fn cluster(xid: u32, msg: ClusterMsg) -> Self {
+        Message {
+            xid,
+            body: MessageBody::Cluster(msg),
+        }
+    }
+
     /// The wire-level message type.
     pub fn msg_type(&self) -> MsgType {
         match &self.body {
             MessageBody::Of(m) => m.msg_type(),
             MessageBody::Lazy(_) => MsgType::Lazy,
+            MessageBody::Cluster(_) => MsgType::Cluster,
         }
     }
 
@@ -89,6 +105,7 @@ impl Message {
         match &self.body {
             MessageBody::Of(m) => m.encode_body(&mut body),
             MessageBody::Lazy(m) => m.encode_body(&mut body),
+            MessageBody::Cluster(m) => m.encode_body(&mut body),
         }
         let total = OFP_HEADER_LEN + body.len();
         assert!(
@@ -129,6 +146,7 @@ impl Message {
         let body = &buf[OFP_HEADER_LEN..];
         let parsed = match header.msg_type {
             MsgType::Lazy => MessageBody::Lazy(LazyMsg::decode_body(body)?),
+            MsgType::Cluster => MessageBody::Cluster(ClusterMsg::decode_body(body)?),
             t => MessageBody::Of(OfMessage::decode_body(t, body)?),
         };
         Ok(Message {

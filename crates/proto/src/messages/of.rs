@@ -363,10 +363,10 @@ impl OfMessage {
                 flows: r.u32()?,
                 packet_ins: r.u64()?,
             },
-            MsgType::Lazy => {
+            MsgType::Lazy | MsgType::Cluster => {
                 return Err(ProtoError::InvalidField {
                     field: "of.msg_type",
-                    value: MsgType::Lazy as u64,
+                    value: msg_type as u64,
                 })
             }
         };

@@ -78,7 +78,7 @@ impl<'a> Reader<'a> {
     /// buffer, and returns it. Prevents length-field-driven allocation bombs.
     pub(crate) fn len_prefix(&mut self) -> Result<usize> {
         let n = self.u32()? as usize;
-        self.ensure(n.min(self.buf.len() + 1).max(0))?; // cheap sanity probe
+        self.ensure(n.min(self.buf.len() + 1))?; // cheap sanity probe
         if n > self.buf.len() {
             return Err(ProtoError::Truncated {
                 what: self.what,
@@ -125,7 +125,11 @@ mod tests {
         let mut r = Reader::new(&[1, 2], "unit");
         assert!(matches!(
             r.u32(),
-            Err(ProtoError::Truncated { what: "unit", needed: 4, available: 2 })
+            Err(ProtoError::Truncated {
+                what: "unit",
+                needed: 4,
+                available: 2
+            })
         ));
     }
 

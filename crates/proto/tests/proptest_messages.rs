@@ -4,9 +4,10 @@
 use lazyctrl_net::{GroupId, MacAddr, PortNo, SwitchId, TenantId};
 use lazyctrl_proto::codec::MessageCodec;
 use lazyctrl_proto::{
-    Action, BargainMsg, FlowMatch, FlowModCommand, FlowModMsg, GroupAssignMsg, KeepAliveMsg,
-    LazyMsg, LfibEntry, LfibSyncMsg, Message, OfMessage, PacketInMsg, PacketInReason,
-    PacketOutMsg, StateReportMsg, SwitchStats,
+    Action, BargainMsg, ClusterMsg, CtrlHeartbeatMsg, FlowMatch, FlowModCommand, FlowModMsg,
+    GroupAssignMsg, HostEntry, KeepAliveMsg, LazyMsg, LfibEntry, LfibSyncMsg, LookupReplyMsg,
+    LookupRequestMsg, Message, OfMessage, OwnershipTransferMsg, PacketInMsg, PacketInReason,
+    PacketOutMsg, PeerSyncMsg, StateReportMsg, SwitchStats, TransferReason,
 };
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
@@ -83,24 +84,28 @@ fn arb_of() -> impl Strategy<Value = OfMessage> {
             ],
             proptest::collection::vec(any::<u8>(), 0..128)
         )
-            .prop_map(|(buffer_id, in_port, reason, data)| OfMessage::PacketIn(PacketInMsg {
-                buffer_id,
-                in_port,
-                reason,
-                data
-            })),
+            .prop_map(|(buffer_id, in_port, reason, data)| OfMessage::PacketIn(
+                PacketInMsg {
+                    buffer_id,
+                    in_port,
+                    reason,
+                    data
+                }
+            )),
         (
             any::<u32>(),
             arb_port(),
             proptest::collection::vec(arb_action(), 0..8),
             proptest::collection::vec(any::<u8>(), 0..128)
         )
-            .prop_map(|(buffer_id, in_port, actions, data)| OfMessage::PacketOut(PacketOutMsg {
-                buffer_id,
-                in_port,
-                actions,
-                data
-            })),
+            .prop_map(|(buffer_id, in_port, actions, data)| OfMessage::PacketOut(
+                PacketOutMsg {
+                    buffer_id,
+                    in_port,
+                    actions,
+                    data
+                }
+            )),
         (
             prop_oneof![
                 Just(FlowModCommand::Add),
@@ -164,22 +169,25 @@ fn arb_lazy() -> impl Strategy<Value = LazyMsg> {
             arb_switch(),
             any::<u32>(),
             proptest::collection::vec(
-                (arb_mac(), arb_tenant(), arb_port())
-                    .prop_map(|(mac, tenant, port)| LfibEntry { mac, tenant, port }),
+                (arb_mac(), arb_tenant(), arb_port()).prop_map(|(mac, tenant, port)| LfibEntry {
+                    mac,
+                    tenant,
+                    port
+                }),
                 0..50
             ),
             proptest::collection::vec(arb_mac(), 0..20)
         )
-            .prop_map(|(origin, epoch, entries, removed)| LazyMsg::LfibSync(LfibSyncMsg {
-                origin,
-                epoch,
-                entries,
-                removed
-            })),
-        (arb_switch(), any::<u64>()).prop_map(|(from, seq)| LazyMsg::KeepAlive(KeepAliveMsg {
-            from,
-            seq
-        })),
+            .prop_map(
+                |(origin, epoch, entries, removed)| LazyMsg::LfibSync(LfibSyncMsg {
+                    origin,
+                    epoch,
+                    entries,
+                    removed
+                })
+            ),
+        (arb_switch(), any::<u64>())
+            .prop_map(|(from, seq)| LazyMsg::KeepAlive(KeepAliveMsg { from, seq })),
         (any::<u32>(), any::<bool>(), any::<u32>(), any::<bool>()).prop_map(
             |(round, from_controller, proposed_limit, accept)| LazyMsg::Bargain(BargainMsg {
                 round,
@@ -214,12 +222,91 @@ fn arb_lazy() -> impl Strategy<Value = LazyMsg> {
                 0..10
             )
         )
-            .prop_map(|(g, e, intensity, stats)| LazyMsg::StateReport(StateReportMsg {
-                group: GroupId::new(g),
-                epoch: e,
-                intensity,
-                stats
-            })),
+            .prop_map(
+                |(g, e, intensity, stats)| LazyMsg::StateReport(StateReportMsg {
+                    group: GroupId::new(g),
+                    epoch: e,
+                    intensity,
+                    stats
+                })
+            ),
+    ]
+}
+
+fn arb_host_entry() -> impl Strategy<Value = HostEntry> {
+    (arb_mac(), arb_switch(), arb_port(), arb_tenant()).prop_map(|(mac, switch, port, tenant)| {
+        HostEntry {
+            mac,
+            switch,
+            port,
+            tenant,
+        }
+    })
+}
+
+fn arb_cluster() -> impl Strategy<Value = ClusterMsg> {
+    prop_oneof![
+        // Peer sync: C-LIB shard replication.
+        (
+            any::<u32>(),
+            any::<u64>(),
+            proptest::collection::vec(arb_host_entry(), 0..50),
+            proptest::collection::vec((arb_mac(), arb_switch()), 0..20)
+        )
+            .prop_map(|(origin, seq, entries, removed)| ClusterMsg::PeerSync(
+                PeerSyncMsg {
+                    origin,
+                    seq,
+                    entries,
+                    removed
+                }
+            )),
+        // Ownership transfer: rebalance or failover.
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            prop_oneof![
+                Just(TransferReason::Rebalance),
+                Just(TransferReason::Failover)
+            ]
+        )
+            .prop_map(
+                |(epoch, g, from, to, reason)| ClusterMsg::OwnershipTransfer(
+                    OwnershipTransferMsg {
+                        epoch,
+                        group: GroupId::new(g),
+                        from,
+                        to,
+                        reason
+                    }
+                )
+            ),
+        // Heartbeat with load piggyback.
+        (any::<u32>(), any::<u64>(), any::<f64>(), any::<u32>()).prop_map(
+            |(from, seq, load_rps, owned_groups)| ClusterMsg::Heartbeat(CtrlHeartbeatMsg {
+                from,
+                seq,
+                load_rps,
+                owned_groups
+            })
+        ),
+        // Host lookups (replica-miss fallback).
+        (any::<u32>(), arb_mac())
+            .prop_map(|(from, mac)| ClusterMsg::LookupRequest(LookupRequestMsg { from, mac })),
+        (
+            any::<u32>(),
+            arb_mac(),
+            proptest::option::of(arb_host_entry())
+        )
+            .prop_map(
+                |(from, mac, location)| ClusterMsg::LookupReply(LookupReplyMsg {
+                    from,
+                    mac,
+                    location
+                })
+            ),
     ]
 }
 
@@ -228,7 +315,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
         any::<u32>(),
         prop_oneof![
             arb_of().prop_map(lazyctrl_proto::MessageBody::Of),
-            arb_lazy().prop_map(lazyctrl_proto::MessageBody::Lazy)
+            arb_lazy().prop_map(lazyctrl_proto::MessageBody::Lazy),
+            arb_cluster().prop_map(lazyctrl_proto::MessageBody::Cluster)
         ],
     )
         .prop_map(|(xid, body)| Message { xid, body })
@@ -243,6 +331,7 @@ fn has_nan(m: &Message) -> bool {
             r.intensity.iter().any(|(_, _, w)| w.is_nan())
                 || r.stats.iter().any(|(_, s)| s.new_flows_per_sec.is_nan())
         }
+        lazyctrl_proto::MessageBody::Cluster(ClusterMsg::Heartbeat(hb)) => hb.load_rps.is_nan(),
         _ => false,
     }
 }

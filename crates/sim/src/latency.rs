@@ -17,6 +17,11 @@ pub enum ChannelClass {
     State,
     /// Intra-group peer link.
     Peer,
+    /// Controller ⟷ controller peer link (the `lazyctrl-cluster` layer:
+    /// C-LIB replication, ownership transfers, controller heartbeats).
+    /// Cluster members live in the same management pod, so this is faster
+    /// than a control link but slower than the switch-local peer mesh.
+    CtrlPeer,
 }
 
 /// Base one-way latencies per channel class, with optional multiplicative
@@ -37,6 +42,8 @@ pub struct LatencyModel {
     pub state: SimDuration,
     /// One-way peer link latency.
     pub peer: SimDuration,
+    /// One-way controller-to-controller peer link latency.
+    pub ctrl_peer: SimDuration,
     /// Uniform jitter amplitude as a fraction of the base latency
     /// (0.1 = ±10%). Zero for fully deterministic latencies.
     pub jitter_frac: f64,
@@ -50,6 +57,7 @@ impl Default for LatencyModel {
             control: SimDuration::from_micros(900),
             state: SimDuration::from_micros(900),
             peer: SimDuration::from_micros(150),
+            ctrl_peer: SimDuration::from_micros(400),
             jitter_frac: 0.05,
         }
     }
@@ -69,6 +77,7 @@ impl LatencyModel {
             ChannelClass::Control => self.control,
             ChannelClass::State => self.state,
             ChannelClass::Peer => self.peer,
+            ChannelClass::CtrlPeer => self.ctrl_peer,
         }
     }
 
@@ -107,6 +116,7 @@ mod tests {
             ChannelClass::Control,
             ChannelClass::State,
             ChannelClass::Peer,
+            ChannelClass::CtrlPeer,
         ] {
             assert_eq!(m.sample(class, &mut rng), m.base(class));
         }
@@ -122,7 +132,10 @@ mod tests {
         let base = m.base(ChannelClass::Control).as_nanos() as f64;
         for _ in 0..1000 {
             let s = m.sample(ChannelClass::Control, &mut rng).as_nanos() as f64;
-            assert!(s >= base * 0.9 - 1.0 && s <= base * 1.1 + 1.0, "sample {s} out of band");
+            assert!(
+                s >= base * 0.9 - 1.0 && s <= base * 1.1 + 1.0,
+                "sample {s} out of band"
+            );
         }
     }
 

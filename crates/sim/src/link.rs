@@ -88,7 +88,10 @@ impl LinkState {
     ///
     /// Panics unless `p` is in `[0, 1]`.
     pub fn set_loss(&mut self, link: LinkId, p: f64) {
-        assert!((0.0..=1.0).contains(&p), "loss probability {p} out of [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} out of [0,1]"
+        );
         if p == 0.0 {
             self.loss.remove(&link);
         } else {
@@ -187,7 +190,10 @@ mod tests {
         let delivered = (0..10_000)
             .filter(|_| s.delivers(l(1, 2), &mut rng))
             .count();
-        assert!((6300..7700).contains(&delivered), "delivered {delivered}/10000");
+        assert!(
+            (6300..7700).contains(&delivered),
+            "delivered {delivered}/10000"
+        );
     }
 
     #[test]

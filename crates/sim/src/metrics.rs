@@ -53,16 +53,18 @@ impl TimeSeries {
 
     /// Sum accumulated in the bucket containing `at`.
     pub fn bucket_sum(&self, at: SimTime) -> f64 {
-        self.buckets.get(&self.bucket_of(at)).copied().unwrap_or(0.0)
+        self.buckets
+            .get(&self.bucket_of(at))
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// All buckets as `(bucket_start_time, sum)` in time order, including
     /// empty gaps between the first and last non-empty bucket.
     pub fn sums(&self) -> Vec<(SimTime, f64)> {
-        let (Some(&first), Some(&last)) = (
-            self.buckets.keys().next(),
-            self.buckets.keys().next_back(),
-        ) else {
+        let (Some(&first), Some(&last)) =
+            (self.buckets.keys().next(), self.buckets.keys().next_back())
+        else {
             return Vec::new();
         };
         (first..=last)

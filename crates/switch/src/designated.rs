@@ -150,7 +150,10 @@ mod tests {
         r.absorb_report(&member_report(11, 12, 4.0));
         r.absorb_report(&member_report(11, 12, 9.0));
         let agg = r.make_controller_report(1);
-        assert_eq!(agg.intensity, vec![(SwitchId::new(11), SwitchId::new(12), 9.0)]);
+        assert_eq!(
+            agg.intensity,
+            vec![(SwitchId::new(11), SwitchId::new(12), 9.0)]
+        );
     }
 
     #[test]

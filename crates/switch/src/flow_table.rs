@@ -84,7 +84,7 @@ impl FlowTable {
                 });
                 // Highest priority first; stable sort keeps older rules
                 // ahead within a priority level.
-                self.rules.sort_by(|a, b| b.priority.cmp(&a.priority));
+                self.rules.sort_by_key(|r| std::cmp::Reverse(r.priority));
                 1
             }
             FlowModCommand::Modify => {
@@ -131,8 +131,7 @@ impl FlowTable {
             let idle_dead = r.idle_timeout > 0
                 && now_ns.saturating_sub(r.last_used_ns) > r.idle_timeout as u64 * 1_000_000_000;
             let hard_dead = r.hard_timeout > 0
-                && now_ns.saturating_sub(r.installed_at_ns)
-                    > r.hard_timeout as u64 * 1_000_000_000;
+                && now_ns.saturating_sub(r.installed_at_ns) > r.hard_timeout as u64 * 1_000_000_000;
             if idle_dead || hard_dead {
                 removed.push(r.clone());
                 false

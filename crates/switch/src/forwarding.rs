@@ -216,14 +216,30 @@ mod tests {
     #[test]
     fn encapsulated_delivers_locally() {
         let (mut ft, lfib, gfib) = setup();
-        let d = forward_packet(&encap(100, 1), PortNo::new(9), &mut ft, &lfib, &gfib, |_| true, 0);
+        let d = forward_packet(
+            &encap(100, 1),
+            PortNo::new(9),
+            &mut ft,
+            &lfib,
+            &gfib,
+            |_| true,
+            0,
+        );
         assert_eq!(d, ForwardingDecision::DeliverLocal(PortNo::new(4)));
     }
 
     #[test]
     fn false_positive_drops() {
         let (mut ft, lfib, gfib) = setup();
-        let d = forward_packet(&encap(555, 1), PortNo::new(9), &mut ft, &lfib, &gfib, |_| true, 0);
+        let d = forward_packet(
+            &encap(555, 1),
+            PortNo::new(9),
+            &mut ft,
+            &lfib,
+            &gfib,
+            |_| true,
+            0,
+        );
         assert_eq!(d, ForwardingDecision::Drop(DropReason::FalsePositive));
     }
 

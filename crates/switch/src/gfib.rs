@@ -199,10 +199,10 @@ mod tests {
         let mut g10 = Gfib::new();
         let mut g20 = Gfib::new();
         for s in 0..10u32 {
-            g10.apply_update(&build_update(SwitchId::new(s), 1, (0..24).map(|h| mac(h))));
+            g10.apply_update(&build_update(SwitchId::new(s), 1, (0..24).map(mac)));
         }
         for s in 0..20u32 {
-            g20.apply_update(&build_update(SwitchId::new(s), 1, (0..24).map(|h| mac(h))));
+            g20.apply_update(&build_update(SwitchId::new(s), 1, (0..24).map(mac)));
         }
         assert_eq!(g20.storage_bytes(), 2 * g10.storage_bytes());
     }

@@ -204,7 +204,10 @@ mod tests {
         l.learn(mac(5), T1, PortNo::new(1), 0);
         l.remove(mac(5));
         let d = l.take_delta();
-        assert!(d.added.is_empty(), "added then removed should not re-announce");
+        assert!(
+            d.added.is_empty(),
+            "added then removed should not re-announce"
+        );
         assert_eq!(d.removed, vec![mac(5)]);
     }
 
@@ -227,7 +230,9 @@ mod tests {
         l.learn(mac(2), TenantId::new(8), PortNo::new(2), 0);
         let snap = l.snapshot();
         assert_eq!(snap.len(), 2);
-        assert!(snap.iter().any(|e| e.mac == mac(1) && e.tenant == TenantId::new(7)));
+        assert!(snap
+            .iter()
+            .any(|e| e.mac == mac(1) && e.tenant == TenantId::new(7)));
     }
 
     #[test]

@@ -9,12 +9,12 @@
 use std::collections::BTreeSet;
 
 use lazyctrl_net::{
-    ArpOp, EncapHeader, EncapsulatedFrame, EthernetFrame, GroupId, HostId, MacAddr, Packet,
-    PortNo, SwitchId, TenantId,
+    ArpOp, EncapHeader, EncapsulatedFrame, EthernetFrame, GroupId, HostId, MacAddr, Packet, PortNo,
+    SwitchId, TenantId,
 };
 use lazyctrl_proto::{
-    Action, GroupAssignMsg, LazyMsg, LfibSyncMsg, Message, OfMessage, PacketInMsg,
-    PacketInReason, PacketOutMsg,
+    Action, GroupAssignMsg, LazyMsg, LfibSyncMsg, Message, OfMessage, PacketInMsg, PacketInReason,
+    PacketOutMsg,
 };
 
 use crate::forwarding::{forward_packet, DropReason, ForwardingDecision};
@@ -421,11 +421,8 @@ impl EdgeSwitch {
                 // Ship the full encapsulated packet so the controller can
                 // identify the mis-forwarding sender from the outer header
                 // and install a corrective rule there (Fig. 5, line 28+).
-                let msg = self.packet_in(
-                    PacketInReason::FalsePositive,
-                    PortNo::NONE,
-                    encap.encode(),
-                );
+                let msg =
+                    self.packet_in(PacketInReason::FalsePositive, PortNo::NONE, encap.encode());
                 vec![SwitchOutput::ToController(msg)]
             }
             _ => Vec::new(),
@@ -502,6 +499,8 @@ impl EdgeSwitch {
                 }
                 _ => Vec::new(),
             },
+            // Controller-to-controller traffic never terminates on a switch.
+            lazyctrl_proto::MessageBody::Cluster(_) => Vec::new(),
         }
     }
 
@@ -781,7 +780,7 @@ impl EdgeSwitch {
         if !self.lfib.is_empty() {
             let gfib_update = build_update(self.id, ga.epoch, self.lfib.macs());
             let delta = self.lfib.take_delta();
-            let sync = (!delta.is_empty()).then(|| LfibSyncMsg {
+            let sync = (!delta.is_empty()).then_some(LfibSyncMsg {
                 origin: self.id,
                 epoch: ga.epoch,
                 entries: delta.added,
@@ -846,7 +845,13 @@ impl EdgeSwitch {
     /// Records one flow arrival towards the destination switch when known.
     /// Every first packet counts: the paper's intensity unit is *new flows
     /// per second* (§III-C.1), not distinct pairs.
-    fn note_flow(&mut self, _now_ns: u64, _src: MacAddr, _dst: MacAddr, dst_switch: Option<SwitchId>) {
+    fn note_flow(
+        &mut self,
+        _now_ns: u64,
+        _src: MacAddr,
+        _dst: MacAddr,
+        dst_switch: Option<SwitchId>,
+    ) {
         if let Some(s) = dst_switch {
             self.adv.record_flow_to(s);
         }
@@ -922,8 +927,7 @@ impl EdgeSwitch {
                     out.push(SwitchOutput::FloodLocal(frame.clone()));
                 }
                 Action::Output(port) if port == PortNo::CONTROLLER => {
-                    let msg =
-                        self.packet_in(PacketInReason::Action, PortNo::NONE, frame.encode());
+                    let msg = self.packet_in(PacketInReason::Action, PortNo::NONE, frame.encode());
                     out.push(SwitchOutput::ToController(msg));
                 }
                 Action::Output(port) if port.is_physical() => {

@@ -69,7 +69,13 @@ impl WheelPosition {
     /// # Panics
     ///
     /// Panics if the interval is zero.
-    pub fn new(me: SwitchId, prev: SwitchId, next: SwitchId, interval_ns: u64, now_ns: u64) -> Self {
+    pub fn new(
+        me: SwitchId,
+        prev: SwitchId,
+        next: SwitchId,
+        interval_ns: u64,
+        now_ns: u64,
+    ) -> Self {
         assert!(interval_ns > 0, "keep-alive interval must be positive");
         WheelPosition {
             me,
@@ -210,7 +216,10 @@ mod tests {
             w.on_peer_keepalive(SwitchId::new(6), now);
             w.on_controller_keepalive(now);
             let actions = w.tick(now);
-            assert_eq!(keepalives(&actions), vec![SwitchId::new(4), SwitchId::new(6)]);
+            assert_eq!(
+                keepalives(&actions),
+                vec![SwitchId::new(4), SwitchId::new(6)]
+            );
             assert!(reports(&actions).is_empty(), "no losses when healthy");
         }
     }
@@ -246,7 +255,11 @@ mod tests {
         let (v, msg) = via.expect("controller silence must be reported");
         assert_eq!(v, SwitchId::new(4), "relayed via upstream neighbour");
         assert_eq!(msg.loss, WheelLoss::Controller);
-        assert_eq!(msg.missing, SwitchId::new(5), "the switch itself is cut off");
+        assert_eq!(
+            msg.missing,
+            SwitchId::new(5),
+            "the switch itself is cut off"
+        );
     }
 
     #[test]
@@ -275,8 +288,10 @@ mod tests {
     fn dead_switch_pattern_from_both_sides() {
         // Neighbours of a dead switch each observe a loss; together with
         // the controller's own probe loss this is Table I's last row.
-        let mut left = WheelPosition::new(SwitchId::new(4), SwitchId::new(3), SwitchId::new(5), IVL, 0);
-        let mut right = WheelPosition::new(SwitchId::new(6), SwitchId::new(5), SwitchId::new(7), IVL, 0);
+        let mut left =
+            WheelPosition::new(SwitchId::new(4), SwitchId::new(3), SwitchId::new(5), IVL, 0);
+        let mut right =
+            WheelPosition::new(SwitchId::new(6), SwitchId::new(5), SwitchId::new(7), IVL, 0);
         let mut seen = Vec::new();
         for i in 1..=5u64 {
             let now = i * IVL;

@@ -2,7 +2,7 @@
 //! ARP cascade, tunnelling, sync timers and keep-alives.
 
 use lazyctrl_net::{
-    ArpPacket, EthernetFrame, EtherType, GroupId, HostId, MacAddr, PortNo, SwitchId, TenantId,
+    ArpPacket, EtherType, EthernetFrame, GroupId, HostId, MacAddr, PortNo, SwitchId, TenantId,
     VlanTag,
 };
 use lazyctrl_proto::{
@@ -138,7 +138,8 @@ fn local_destination_is_delivered_locally() {
 fn gfib_hit_tunnels_with_epoch_key() {
     let mut sw = configured_switch(false);
     // Peer S3 advertises host 30.
-    let update = lazyctrl_switch::build_gfib_update(SwitchId::new(3), 1, vec![HostId::new(30).mac()]);
+    let update =
+        lazyctrl_switch::build_gfib_update(SwitchId::new(3), 1, vec![HostId::new(30).mac()]);
     let _ = sw.handle_control_message(0, &Message::lazy(5, LazyMsg::GfibUpdate(update)));
     let out = sw.handle_local_frame(1, PortNo::new(1), host_frame(10, 30, 1));
     match out.as_slice() {
@@ -159,7 +160,8 @@ fn tunnel_delivery_and_false_positive_drop() {
     // rx knows host 30 locally.
     let _ = rx.handle_local_frame(0, PortNo::new(2), host_frame(30, 99, 1));
 
-    let update = lazyctrl_switch::build_gfib_update(SwitchId::new(3), 1, vec![HostId::new(30).mac()]);
+    let update =
+        lazyctrl_switch::build_gfib_update(SwitchId::new(3), 1, vec![HostId::new(30).mac()]);
     let _ = tx.handle_control_message(0, &Message::lazy(5, LazyMsg::GfibUpdate(update)));
     let out = tx.handle_local_frame(1, PortNo::new(1), host_frame(10, 30, 1));
     let SwitchOutput::Tunnel(_, encap) = &out[0] else {
@@ -219,7 +221,8 @@ fn arp_cascade_level_one_floods_locally() {
 #[test]
 fn arp_cascade_level_two_tunnels_to_candidates() {
     let mut sw = configured_switch(false);
-    let update = lazyctrl_switch::build_gfib_update(SwitchId::new(3), 1, vec![HostId::new(30).mac()]);
+    let update =
+        lazyctrl_switch::build_gfib_update(SwitchId::new(3), 1, vec![HostId::new(30).mac()]);
     let _ = sw.handle_control_message(0, &Message::lazy(5, LazyMsg::GfibUpdate(update)));
     let out = sw.handle_local_frame(1, PortNo::new(1), arp_request(10, 30, 1));
     assert!(
@@ -261,10 +264,13 @@ fn designated_broadcasts_and_escalates() {
 #[test]
 fn blocked_tenant_arp_never_reaches_controller() {
     let mut sw = configured_switch(true);
-    let block = Message::lazy(9, LazyMsg::BlockArp {
-        tenant: TenantId::new(1),
-        block: true,
-    });
+    let block = Message::lazy(
+        9,
+        LazyMsg::BlockArp {
+            tenant: TenantId::new(1),
+            block: true,
+        },
+    );
     let _ = sw.handle_control_message(0, &block);
     let out = sw.handle_local_frame(1, PortNo::new(1), arp_request(10, 555, 1));
     assert!(
@@ -272,10 +278,13 @@ fn blocked_tenant_arp_never_reaches_controller() {
         "blocked tenant escalated anyway: {out:?}"
     );
     // Unblock restores escalation.
-    let unblock = Message::lazy(10, LazyMsg::BlockArp {
-        tenant: TenantId::new(1),
-        block: false,
-    });
+    let unblock = Message::lazy(
+        10,
+        LazyMsg::BlockArp {
+            tenant: TenantId::new(1),
+            block: false,
+        },
+    );
     let _ = sw.handle_control_message(2, &unblock);
     let out = sw.handle_local_frame(3, PortNo::new(1), arp_request(10, 556, 1));
     assert_eq!(controller_msgs(&out).len(), 1);
@@ -336,7 +345,10 @@ fn peer_sync_timer_reports_state() {
         .iter()
         .filter(|o| matches!(o, SwitchOutput::ToPeer(s, _) if *s == SwitchId::new(2)))
         .count();
-    assert!(to_designated >= 3, "expected 3 messages to designated: {out:?}");
+    assert!(
+        to_designated >= 3,
+        "expected 3 messages to designated: {out:?}"
+    );
     assert!(out
         .iter()
         .any(|o| matches!(o, SwitchOutput::SetTimer(SwitchTimer::PeerSync, _))));
@@ -351,7 +363,10 @@ fn designated_sync_timer_reports_upward() {
         .iter()
         .filter(|o| matches!(o, SwitchOutput::ToState(_)))
         .count();
-    assert!(to_state >= 2, "LfibSync + StateReport on state link: {out:?}");
+    assert!(
+        to_state >= 2,
+        "LfibSync + StateReport on state link: {out:?}"
+    );
 }
 
 #[test]

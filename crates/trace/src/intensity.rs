@@ -116,8 +116,7 @@ impl IntensityMatrix {
     pub fn to_graph(&self) -> WeightedGraph {
         WeightedGraph::from_triplets(
             self.num_switches,
-            self.triplets()
-                .map(|(a, b, w)| (a as usize, b as usize, w)),
+            self.triplets().map(|(a, b, w)| (a as usize, b as usize, w)),
         )
     }
 }
@@ -207,7 +206,11 @@ mod tests {
         // background touches many switch pairs lightly, so assert on
         // weight concentration instead of raw pair count.
         let possible = 40 * 39 / 2;
-        assert!(m.num_pairs() < possible, "every pair active: {}", m.num_pairs());
+        assert!(
+            m.num_pairs() < possible,
+            "every pair active: {}",
+            m.num_pairs()
+        );
         let mut weights: Vec<f64> = m.triplets().map(|(_, _, w)| w).collect();
         weights.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
         let top20: f64 = weights.iter().take(weights.len() / 5).sum();

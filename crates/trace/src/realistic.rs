@@ -19,9 +19,7 @@ use crate::{FlowRecord, NominalParams, Trace};
 
 /// Per-2-hour activity multipliers over the day, shaped like the Fig. 7
 /// OpenFlow workload curve (quiet nights, mid-day peak).
-pub const DIURNAL_PROFILE: [f64; 12] = [
-    3.2, 3.0, 3.4, 4.3, 5.4, 6.3, 7.2, 7.6, 7.1, 6.2, 5.2, 4.2,
-];
+pub const DIURNAL_PROFILE: [f64; 12] = [3.2, 3.0, 3.4, 4.3, 5.4, 6.3, 7.2, 7.6, 7.1, 6.2, 5.2, 4.2];
 
 /// Configuration for the real-trace surrogate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

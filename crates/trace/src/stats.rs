@@ -61,9 +61,7 @@ pub fn compute(trace: &Trace, k: usize, seed: u64) -> TraceStats {
     let cap = (n as f64 / k as f64 * 1.05).ceil();
     let part = mlkp(
         &g,
-        &MlkpConfig::new(k)
-            .with_max_part_weight(cap)
-            .with_seed(seed),
+        &MlkpConfig::new(k).with_max_part_weight(cap).with_seed(seed),
     );
     let avg_centrality = metrics::average_centrality(&g, &part);
     let inter_group_fraction = metrics::normalized_inter_group_intensity(&g, &part);

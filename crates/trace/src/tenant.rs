@@ -65,7 +65,10 @@ impl TenantModelConfig {
             self.min_tenant_size > 0 && self.min_tenant_size <= self.max_tenant_size,
             "invalid tenant size band"
         );
-        assert!(self.hosts_per_switch > 0, "hosts_per_switch must be positive");
+        assert!(
+            self.hosts_per_switch > 0,
+            "hosts_per_switch must be positive"
+        );
     }
 }
 
@@ -222,7 +225,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let model = TenantModel::generate(&small_cfg(), &mut rng);
         for _ in 0..200 {
-            let (a, b) = model.sample_intra_pair(&mut rng).expect("tenants ≥ 20 hosts");
+            let (a, b) = model
+                .sample_intra_pair(&mut rng)
+                .expect("tenants ≥ 20 hosts");
             assert_ne!(a, b);
             assert_eq!(
                 model.topology.host_tenant[a as usize],

@@ -128,8 +128,8 @@ mod tests {
         for _ in 0..trials {
             counts[z.sample(&mut rng)] += 1;
         }
-        for rank in 0..10 {
-            let emp = counts[rank] as f64 / trials as f64;
+        for (rank, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / trials as f64;
             let theory = z.pmf(rank);
             assert!(
                 (emp - theory).abs() < 0.01,

@@ -1,0 +1,74 @@
+//! Offline stand-in for `crossbeam` (see `DESIGN.md`, "vendored stubs").
+//!
+//! Provides the `crossbeam::thread::scope` API shape the workspace uses
+//! (`scope(|s| { s.spawn(|_| ...) })`, handles joined for results), but
+//! executes each spawn **sequentially and immediately** on the calling
+//! thread. Rationale:
+//!
+//! * the workspace only uses scoped threads for the SGI merge/split step,
+//!   whose workers are pure functions over disjoint group pairs — the
+//!   results are identical whether they run in parallel or in order;
+//! * sequential execution keeps the whole simulation single-threaded and
+//!   bit-deterministic, which the reproduction's acceptance tests rely on;
+//! * no `unsafe`, no lifetime gymnastics, no external dependency.
+//!
+//! If a future PR wants real parallelism here, `std::thread::scope` is the
+//! replacement seam.
+
+#![forbid(unsafe_code)]
+
+/// Scoped-"thread" API, mirroring `crossbeam::thread`.
+pub mod thread {
+    /// Error half of the join result (a panic payload in real crossbeam;
+    /// never produced here because spawns run eagerly and panics propagate
+    /// directly).
+    pub type JoinError = Box<dyn std::any::Any + Send + 'static>;
+
+    /// The scope handle passed to the closure and to each spawn.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Scope;
+
+    /// Result of a completed spawn.
+    pub struct ScopedJoinHandle<T> {
+        result: T,
+    }
+
+    impl<T> ScopedJoinHandle<T> {
+        /// Returns the spawn's result.
+        pub fn join(self) -> Result<T, JoinError> {
+            Ok(self.result)
+        }
+    }
+
+    impl Scope {
+        /// Runs `f` immediately on the calling thread and captures its
+        /// result. The closure receives the scope (ignored by all callers
+        /// in this workspace).
+        pub fn spawn<T, F: FnOnce(&Scope) -> T>(&self, f: F) -> ScopedJoinHandle<T> {
+            ScopedJoinHandle { result: f(self) }
+        }
+    }
+
+    /// Runs `f` with a scope; all "spawned" work completes before this
+    /// returns (trivially, since spawns run eagerly).
+    pub fn scope<R, F: FnOnce(&Scope) -> R>(f: F) -> Result<R, JoinError> {
+        Ok(f(&Scope))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_collects_results() {
+        let data = [1u64, 2, 3, 4];
+        let sums: Vec<u64> = crate::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect()
+        })
+        .expect("scope");
+        assert_eq!(sums, vec![10, 20, 30, 40]);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde` (see `DESIGN.md`, "vendored stubs").
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public model types
+//! as a forward-compatibility marker; nothing serializes through serde today.
+//! This stub provides the two derive macros (as no-ops) plus marker traits so
+//! `use serde::{Deserialize, Serialize};` resolves. If a future PR adds a
+//! real serialization backend, this crate is the seam to replace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::ser::Serialize`.
+pub trait SerializeMarker {}
+
+/// Marker trait mirroring `serde::de::Deserialize`.
+pub trait DeserializeMarker {}

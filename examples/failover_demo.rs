@@ -68,7 +68,10 @@ fn main() {
         },
     );
     let _ = controller.bootstrap(0, g);
-    let victim = controller.grouping().designated_of(0).expect("group 0 exists");
+    let victim = controller
+        .grouping()
+        .designated_of(0)
+        .expect("group 0 exists");
     println!("group 0 designated switch: {victim}");
 
     // Both ring neighbours of the victim report silence — Table I's
@@ -87,7 +90,10 @@ fn main() {
     let out = controller.handle_message(2, SwitchId::new(2), &mk(WheelLoss::Downstream, 2));
 
     println!("controller infers: switch {victim} is down");
-    println!("switches believed down: {:?}", controller.failover().down_switches());
+    println!(
+        "switches believed down: {:?}",
+        controller.failover().down_switches()
+    );
     for o in &out {
         if let ControllerOutput::ToSwitch(to, m) = o {
             if let MessageBody::Lazy(LazyMsg::GroupAssign(ga)) = &m.body {
@@ -111,5 +117,8 @@ fn main() {
         })
         .count();
     println!("controller resynchronizes the group: {resyncs} GroupAssign messages pushed");
-    println!("switches still down: {:?}", controller.failover().down_switches());
+    println!(
+        "switches still down: {:?}",
+        controller.failover().down_switches()
+    );
 }

@@ -47,7 +47,11 @@ fn main() {
     println!("\n=== grouping computation time vs group size limit (Fig. 6b shape) ===");
     let trace = &traces[0];
     let graph = IntensityMatrix::from_trace(trace).to_graph();
-    println!("switches: {}, pairs: {}", graph.num_vertices(), graph.num_edges());
+    println!(
+        "switches: {}, pairs: {}",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
     for limit in [10usize, 20, 40, 80] {
         let k = graph.num_vertices().div_ceil(limit);
         let start = Instant::now();

@@ -73,7 +73,10 @@ fn main() {
     let r = &run.report;
 
     println!("local control groups formed: {:?}", r.num_groups);
-    println!("normalized inter-group traffic (W_inter): {:.3}", r.final_winter.unwrap_or(1.0));
+    println!(
+        "normalized inter-group traffic (W_inter): {:.3}",
+        r.final_winter.unwrap_or(1.0)
+    );
     println!("flow arrivals:        {}", r.flows_started);
     println!("controller messages:  {}", r.controller_messages);
     println!("  of which PacketIns: {}", r.packet_ins);
@@ -82,7 +85,10 @@ fn main() {
         100.0 * r.packet_ins as f64 / r.flows_started as f64
     );
     for p in &r.workload_rps {
-        println!("  hour {:>4.1}: {:>8.4} controller requests/sec", p.hour, p.value);
+        println!(
+            "  hour {:>4.1}: {:>8.4} controller requests/sec",
+            p.hour, p.value
+        );
     }
 }
 

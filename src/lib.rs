@@ -16,6 +16,7 @@
 //! | [`net`] | `lazyctrl-net` | MAC/Ethernet/ARP/VLAN packet model, GRE-like encapsulation |
 //! | [`proto`] | `lazyctrl-proto` | OpenFlow 1.0-style wire protocol + LazyCtrl vendor extensions |
 //! | [`bloom`] | `lazyctrl-bloom` | Bloom / counting-Bloom filters (the G-FIB substrate) |
+//! | [`cluster`] | `lazyctrl-cluster` | sharded multi-controller control plane: ownership, C-LIB replication, failover |
 //! | [`partition`] | `lazyctrl-partition` | multilevel k-way partitioning, Stoer–Wagner, the SGI algorithm, Rubinstein bargaining |
 //! | [`sim`] | `lazyctrl-sim` | deterministic discrete-event kernel, latency model, metrics |
 //! | [`trace`] | `lazyctrl-trace` | real-trace surrogate, Syn-A/B/C generators, intensity matrices |
@@ -54,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub use lazyctrl_bloom as bloom;
+pub use lazyctrl_cluster as cluster;
 pub use lazyctrl_controller as controller;
 pub use lazyctrl_core as core;
 pub use lazyctrl_net as net;

@@ -136,11 +136,7 @@ fn group_size_limit_is_respected_end_to_end() {
 #[test]
 fn horizon_cuts_the_run_short() {
     let trace = small_trace(8_000);
-    let full = Experiment::new(
-        trace.clone(),
-        ExperimentConfig::new(ControlMode::Baseline),
-    )
-    .run();
+    let full = Experiment::new(trace.clone(), ExperimentConfig::new(ControlMode::Baseline)).run();
     let half = Experiment::new(
         trace,
         ExperimentConfig::new(ControlMode::Baseline).with_horizon_hours(12.0),

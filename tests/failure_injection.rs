@@ -42,12 +42,12 @@ fn run_keepalive_rounds(
         let now = round * interval_ns;
         // Collect each live switch's keep-alive emissions.
         let mut deliveries: Vec<(SwitchId, SwitchId, Message)> = Vec::new();
-        for i in 0..switches.len() {
-            let id = switches[i].id();
+        for sw in switches.iter_mut() {
+            let id = sw.id();
             if dead.contains(&id) {
                 continue;
             }
-            for out in switches[i].on_timer(now, SwitchTimer::KeepAlive) {
+            for out in sw.on_timer(now, SwitchTimer::KeepAlive) {
                 match out {
                     SwitchOutput::ToPeer(to, msg) => deliveries.push((id, to, msg)),
                     SwitchOutput::ToController(msg) => {
@@ -66,7 +66,7 @@ fn run_keepalive_rounds(
                     seq: round,
                 }),
             );
-            let _ = switches[i].handle_control_message(now, &ka);
+            let _ = sw.handle_control_message(now, &ka);
         }
         // Deliver peer messages to live targets.
         for (from, to, msg) in deliveries {
@@ -140,11 +140,7 @@ fn controller_reforms_group_around_dead_designated() {
     let mut reform_messages = 0;
     for (i, r) in reports.iter().enumerate() {
         let msg = Message::lazy(i as u32 + 10, LazyMsg::WheelReport(*r));
-        let out = controller.handle_message(
-            10_000_000_000 + i as u64,
-            r.reporter,
-            &msg,
-        );
+        let out = controller.handle_message(10_000_000_000 + i as u64, r.reporter, &msg);
         for o in &out {
             if let ControllerOutput::ToSwitch(_, m) = o {
                 if let MessageBody::Lazy(LazyMsg::GroupAssign(ga)) = &m.body {
