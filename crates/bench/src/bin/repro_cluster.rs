@@ -10,19 +10,24 @@
 //! controller-to-controller overhead the cluster pays for replication and
 //! heartbeats.
 //!
-//! Also runs the two cluster scenarios: controller-crash-under-load
-//! (Table-I detection → failover takeover → reachability restored) and
-//! shard-rebalance-under-churn (skewed load → ownership moves).
+//! Also replays the registry's cluster scenarios (crash-under-load,
+//! crash-recover, shard-rebalance) through their own verdicts, plus the
+//! detailed per-shard reachability analysis of a crash. Use
+//! `repro_scenario` for the full scenario catalogue.
 //!
 //! ```sh
 //! cargo run --release -p lazyctrl-bench --bin repro_cluster
 //! ```
+//!
+//! Exits non-zero if any scenario verdict fails.
+
+use std::process::ExitCode;
 
 use lazyctrl_bench::{real_trace, render_table, Scale};
-use lazyctrl_core::scenarios::{controller_crash, shard_rebalance};
-use lazyctrl_core::{ControlMode, Experiment, ExperimentConfig};
+use lazyctrl_core::scenarios::controller_crash;
+use lazyctrl_core::{run_scenario, ControlMode, Experiment, ExperimentConfig, ScenarioRegistry};
 
-fn main() {
+fn main() -> ExitCode {
     let scale = Scale::from_env();
     println!(
         "lazyctrl-cluster — control-plane scaling (scale: {})\n",
@@ -89,8 +94,32 @@ fn main() {
         }
     );
 
-    println!("scenario: shard-rebalance-under-churn (2 controllers, skewed ingress)");
-    let reb = shard_rebalance(13);
-    println!("  rebalance transfers:   {}", reb.rebalance_transfers);
-    println!("  requests/controller:   {:?}", reb.requests_per_controller);
+    // The registry's cluster scenarios, each judged by its own contract
+    // (see `repro_scenario --list` for the full catalogue).
+    let registry = ScenarioRegistry::builtin();
+    // The detailed reachability analysis above counts as a check too.
+    let mut failures = usize::from(crash.affected_after_takeover == 0);
+    for name in ["crash_under_load", "crash_recover", "shard_rebalance"] {
+        let scenario = registry.get(name).expect("built-in scenario");
+        let run = run_scenario(scenario, 13);
+        println!("scenario: {name} — {}", scenario.summary());
+        for note in &run.verdict.notes {
+            println!("  {note}");
+        }
+        println!(
+            "  verdict: {}",
+            if run.verdict.passed() { "PASS" } else { "FAIL" }
+        );
+        for f in &run.verdict.failures {
+            println!("    ✗ {f}");
+        }
+        if !run.verdict.passed() {
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

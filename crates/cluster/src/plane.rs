@@ -340,9 +340,11 @@ impl ClusterControlPlane {
 
     /// Crashes a member: it silently drops every message and timer from
     /// now on, like a killed process. Detection and takeover follow from
-    /// the heartbeat protocol. Bumping the timer generation invalidates
-    /// every timer chain armed before the crash, so a later [`recover`]
-    /// can re-arm without creating duplicates.
+    /// the heartbeat protocol. Experiments drive this through a
+    /// `CrashController` event on their `EventPlan` (`lazyctrl-core`)
+    /// rather than calling it directly. Bumping the timer generation
+    /// invalidates every timer chain armed before the crash, so a later
+    /// [`recover`] can re-arm without creating duplicates.
     ///
     /// [`recover`]: ClusterControlPlane::recover
     pub fn crash(&mut self, id: u32) {
@@ -352,9 +354,10 @@ impl ClusterControlPlane {
     }
 
     /// Restarts a crashed member (its state — C-LIB shard, replica —
-    /// survives as-is, like a process restart from a checkpoint). Peers
-    /// un-mark it as it heartbeats again; returns fresh timer arms (the
-    /// pre-crash chains were invalidated by the generation bump).
+    /// survives as-is, like a process restart from a checkpoint). Driven
+    /// by a `RecoverController` plan event in experiments. Peers un-mark
+    /// it as it heartbeats again; returns fresh timer arms (the pre-crash
+    /// chains were invalidated by the generation bump).
     pub fn recover(&mut self, id: u32) -> Vec<ClusterOutput> {
         let node = &mut self.nodes[id as usize];
         if !node.crashed {

@@ -84,9 +84,21 @@ pub struct FailureDetector {
 impl FailureDetector {
     /// Creates a detector with a 5-second correlation window.
     pub fn new() -> Self {
+        Self::with_window(5_000_000_000)
+    }
+
+    /// Creates a detector with an explicit correlation window.
+    ///
+    /// Losses are only observable at the wheel's detection-deadline
+    /// granularity (keep-alive interval × miss threshold), and a
+    /// still-silent source is re-reported once per deadline — so a window
+    /// of at least two deadlines guarantees that a genuinely dead switch's
+    /// two ring directions eventually land in one window, whatever the
+    /// reporters' phase offsets (e.g. one of them rebooted mid-outage).
+    pub fn with_window(window_ns: u64) -> Self {
         FailureDetector {
             observations: BTreeMap::new(),
-            window_ns: 5_000_000_000,
+            window_ns,
             down: BTreeMap::new(),
         }
     }
@@ -98,6 +110,14 @@ impl FailureDetector {
     /// Table I); the switch-dead row fires as soon as both ring directions
     /// have been observed within the window.
     pub fn observe(&mut self, now_ns: u64, report: &WheelReportMsg) -> Option<FailureKind> {
+        // Already confirmed dead: the wheel re-raises losses once per
+        // deadline while the source stays silent, and re-inferring from
+        // those (a lone direction would even hit the wrong Table-I row)
+        // would re-fire recovery for the whole outage. Comeback clears
+        // the entry via `mark_recovered`, re-arming detection.
+        if self.down.contains_key(&report.missing) {
+            return None;
+        }
         let entry = self.observations.entry(report.missing).or_default();
         entry.insert(report.loss, now_ns);
         entry.retain(|_, &mut t| now_ns.saturating_sub(t) <= self.window_ns);

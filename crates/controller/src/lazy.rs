@@ -101,13 +101,20 @@ impl LazyController {
     pub fn new(switches: Vec<SwitchId>, cfg: LazyConfig) -> Self {
         let grouping =
             GroupingManager::new(switches.len(), cfg.group_size_limit, cfg.triggers, cfg.seed);
+        // Correlation window ≥ 2 wheel deadlines (interval × the shared
+        // miss threshold), so persistent losses from both ring directions
+        // are guaranteed to overlap — see `FailureDetector::with_window`.
+        let deadline_ns = cfg.keepalive_interval_ms as u64
+            * 1_000_000
+            * lazyctrl_proto::WHEEL_MISS_THRESHOLD as u64;
+        let detector_window_ns = (2 * deadline_ns).max(5_000_000_000);
         LazyController {
             cfg,
             switches,
             clib: Clib::new(),
             grouping,
             tenants: TenantDirectory::new(),
-            failover: FailureDetector::new(),
+            failover: FailureDetector::with_window(detector_window_ns),
             meter: WorkloadMeter::new(),
             xid: 0,
             armed: std::collections::BTreeSet::new(),

@@ -1,6 +1,7 @@
 //! Experiment configuration.
 
 use lazyctrl_controller::RegroupTriggers;
+use lazyctrl_proto::EventPlan;
 use lazyctrl_sim::LatencyModel;
 use serde::{Deserialize, Serialize};
 
@@ -78,11 +79,10 @@ pub struct ExperimentConfig {
     /// controllers instead of a single controller. Requires a lazy mode.
     /// `None` keeps the classic single-controller paths untouched.
     pub cluster_controllers: Option<usize>,
-    /// Crash cluster controller `.0` after `.1` hours of virtual time
-    /// (cluster runs only) — the crash-under-load scenario hook.
-    pub crash_controller_at: Option<(u32, f64)>,
-    /// Restart a crashed controller after this many hours (cluster only).
-    pub recover_controller_at: Option<(u32, f64)>,
+    /// Fault/workload events injected during the run (controller and
+    /// switch crashes, link degradation, host migration, traffic bursts —
+    /// see [`EventPlan`]). Empty by default: nothing is injected.
+    pub plan: EventPlan,
 }
 
 impl ExperimentConfig {
@@ -105,8 +105,7 @@ impl ExperimentConfig {
             bucket_hours: 2.0,
             seed: 0xE1,
             cluster_controllers: None,
-            crash_controller_at: None,
-            recover_controller_at: None,
+            plan: EventPlan::new(),
         }
     }
 
@@ -131,6 +130,38 @@ impl ExperimentConfig {
     /// Runs the control plane as a cluster of `n` controllers.
     pub fn with_cluster(mut self, n: usize) -> Self {
         self.cluster_controllers = Some(n);
+        self
+    }
+
+    /// Replaces the fault-injection plan.
+    pub fn with_plan(mut self, plan: EventPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Crash cluster controller `id` after `hours` of virtual time.
+    ///
+    /// Transitional shim for the pre-`EventPlan` config hook; schedule the
+    /// event on [`ExperimentConfig::plan`] instead.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `with_plan` / `plan.crash_controller(hours, id)` instead"
+    )]
+    pub fn crash_controller_at(mut self, id: u32, hours: f64) -> Self {
+        self.plan = std::mem::take(&mut self.plan).crash_controller(hours, id);
+        self
+    }
+
+    /// Restart a crashed cluster controller `id` after `hours`.
+    ///
+    /// Transitional shim for the pre-`EventPlan` config hook; schedule the
+    /// event on [`ExperimentConfig::plan`] instead.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `with_plan` / `plan.recover_controller(hours, id)` instead"
+    )]
+    pub fn recover_controller_at(mut self, id: u32, hours: f64) -> Self {
+        self.plan = std::mem::take(&mut self.plan).recover_controller(hours, id);
         self
     }
 
@@ -161,10 +192,11 @@ impl ExperimentConfig {
                 "a controller cluster requires a lazy mode"
             );
         }
+        self.plan.validate();
         if self.cluster_controllers.is_none() {
             assert!(
-                self.crash_controller_at.is_none() && self.recover_controller_at.is_none(),
-                "controller crash/recovery hooks require a cluster"
+                !self.plan.requires_cluster(),
+                "controller crash/recovery events require a cluster"
             );
         }
     }
@@ -200,5 +232,39 @@ mod tests {
         ExperimentConfig::new(ControlMode::Baseline)
             .with_group_size_limit(0)
             .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "require a cluster")]
+    fn controller_events_need_a_cluster() {
+        ExperimentConfig::new(ControlMode::LazyStatic)
+            .with_plan(EventPlan::new().crash_controller(1.0, 0))
+            .validate();
+    }
+
+    #[test]
+    fn switch_events_do_not_need_a_cluster() {
+        ExperimentConfig::new(ControlMode::LazyStatic)
+            .with_plan(EventPlan::new().crash_switch(1.0, lazyctrl_net::SwitchId::new(2)))
+            .validate();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_forward_to_the_plan() {
+        use lazyctrl_proto::InjectedEvent;
+        let cfg = ExperimentConfig::new(ControlMode::LazyStatic)
+            .with_cluster(2)
+            .crash_controller_at(1, 0.5)
+            .recover_controller_at(1, 1.0);
+        cfg.validate();
+        let events: Vec<_> = cfg.plan.events().iter().map(|e| e.event).collect();
+        assert_eq!(
+            events,
+            vec![
+                InjectedEvent::CrashController(1),
+                InjectedEvent::RecoverController(1)
+            ]
+        );
     }
 }

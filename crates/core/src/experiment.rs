@@ -1,6 +1,6 @@
 //! The experiment driver: trace in, report out.
 
-use lazyctrl_sim::{run, EventQueue, SimTime};
+use lazyctrl_sim::{run, EventQueue, SimDuration, SimTime};
 use lazyctrl_trace::Trace;
 
 use crate::report::SeriesPoint;
@@ -19,10 +19,36 @@ impl Experiment {
     ///
     /// # Panics
     ///
-    /// Panics on invalid configuration or an inconsistent trace.
+    /// Panics on invalid configuration, an inconsistent trace, or a plan
+    /// event referencing a switch/controller the run does not have —
+    /// catching the mistake here beats an index panic (or a silent
+    /// no-op fault) deep inside the run.
     pub fn new(trace: Trace, cfg: ExperimentConfig) -> Self {
         cfg.validate();
         trace.validate();
+        let num_switches = trace.topology.num_switches;
+        let controllers = cfg.cluster_controllers.unwrap_or(0);
+        let horizon = run_horizon(&trace, &cfg);
+        for e in cfg.plan.events() {
+            assert!(
+                e.at <= horizon,
+                "plan event `{e}` is scheduled past the run horizon ({horizon}) and would \
+                 silently never fire"
+            );
+            match e.event {
+                lazyctrl_proto::InjectedEvent::CrashSwitch(s)
+                | lazyctrl_proto::InjectedEvent::RecoverSwitch(s) => assert!(
+                    s.index() < num_switches,
+                    "plan event `{e}` references switch {s} but the trace has {num_switches}"
+                ),
+                lazyctrl_proto::InjectedEvent::CrashController(id)
+                | lazyctrl_proto::InjectedEvent::RecoverController(id) => assert!(
+                    (id as usize) < controllers,
+                    "plan event `{e}` references controller {id} but the cluster has {controllers}"
+                ),
+                _ => {}
+            }
+        }
         Experiment { trace, cfg }
     }
 
@@ -37,10 +63,7 @@ impl Experiment {
         let Experiment { trace, cfg } = self;
         let trace_name = trace.name.clone();
         let mode = cfg.mode;
-        let horizon = cfg
-            .horizon_hours
-            .map(|h| SimTime::from_nanos((h * 3.6e12) as u64))
-            .unwrap_or(SimTime::from_nanos(trace.duration_ns + 3_600_000_000_000));
+        let horizon = run_horizon(&trace, &cfg);
 
         let mut queue: EventQueue<Ev> = EventQueue::new();
         // Schedule every flow arrival up front (they're already sorted).
@@ -50,18 +73,11 @@ impl Experiment {
             }
             queue.schedule(SimTime::from_nanos(f.time_ns), Ev::FlowArrival(i));
         }
-        // Cluster scenario hooks: controller crash / recovery.
-        if let Some((id, hours)) = cfg.crash_controller_at {
-            queue.schedule(
-                SimTime::from_nanos((hours * 3.6e12) as u64),
-                Ev::CrashController(id),
-            );
-        }
-        if let Some((id, hours)) = cfg.recover_controller_at {
-            queue.schedule(
-                SimTime::from_nanos((hours * 3.6e12) as u64),
-                Ev::RecoverController(id),
-            );
+        // The fault-injection plan rides the same queue as the traffic;
+        // plans are sorted, so insertion order here equals plan order and
+        // same-timestamp events keep their scheduled sequence.
+        for e in cfg.plan.events() {
+            queue.schedule(e.at, Ev::Injected(e.event));
         }
 
         let mut world = DataCenterWorld::new(trace, cfg);
@@ -136,6 +152,12 @@ impl Experiment {
         let num_groups = lazy
             .and_then(|c| c.grouping().num_groups())
             .or_else(|| world.controller.cluster().map(|p| p.ownership().len()));
+        let down_switches = lazy
+            .map(|c| c.failover().down_switches())
+            .unwrap_or_default()
+            .iter()
+            .map(|s| s.0)
+            .collect();
 
         let cluster = world.controller.cluster().map(|plane| {
             let n = plane.num_controllers();
@@ -186,6 +208,7 @@ impl Experiment {
             final_winter,
             max_gfib_bytes,
             num_groups,
+            down_switches,
             cluster,
         };
         DetailedRun {
@@ -209,6 +232,14 @@ pub struct DetailedRun {
     pub flow_latencies: Vec<((u32, u32, u64), f64)>,
     /// All metric counters at end of run, sorted by name.
     pub counters: Vec<(String, u64)>,
+}
+
+/// The virtual-time end of a run: the configured horizon, or the trace's
+/// duration plus an hour of drain time.
+fn run_horizon(trace: &Trace, cfg: &ExperimentConfig) -> SimTime {
+    cfg.horizon_hours
+        .map(SimTime::from_hours)
+        .unwrap_or(SimTime::from_nanos(trace.duration_ns) + SimDuration::from_secs(3600))
 }
 
 /// Builds a scheduler over a queue (free function to satisfy borrowck in

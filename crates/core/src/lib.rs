@@ -15,6 +15,14 @@
 //! * cold-cache latency (§V-E) via [`scenarios::cold_cache`],
 //! * G-FIB storage (§V-D).
 //!
+//! Fault injection is first-class: an [`EventPlan`] on the
+//! [`ExperimentConfig`] schedules controller/switch crashes, link
+//! degradation, host migrations and traffic bursts through the ordinary
+//! event queue, and the [`Scenario`] trait plus [`ScenarioRegistry`] make
+//! canned workloads (crash-under-load, migration storms, brownouts, ...)
+//! discoverable by name — see the [`scenarios`] module and the
+//! `repro_scenario` binary.
+//!
 //! # Example
 //!
 //! ```
@@ -44,6 +52,11 @@ mod world;
 pub use config::{ControlMode, ExperimentConfig};
 pub use experiment::{DetailedRun, Experiment};
 pub use report::{ClusterReport, ExperimentReport, SeriesPoint};
+pub use scenarios::{
+    run_built, run_scenario, Scenario, ScenarioRegistry, ScenarioRun, ScenarioScale,
+    ScenarioVerdict,
+};
 
 pub use lazyctrl_controller::{BaselineController, LazyController};
+pub use lazyctrl_proto::{EventPlan, InjectedEvent, ScheduledEvent};
 pub use lazyctrl_switch::EdgeSwitch;

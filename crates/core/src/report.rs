@@ -40,6 +40,9 @@ pub struct ExperimentReport {
     pub max_gfib_bytes: u64,
     /// Number of local control groups at end of run (lazy modes).
     pub num_groups: Option<usize>,
+    /// Switches the (single) lazy controller believes down at end of run
+    /// (Table-I inference; empty for baseline and cluster runs).
+    pub down_switches: Vec<u32>,
     /// Cluster-layer measurements (cluster runs only).
     pub cluster: Option<ClusterReport>,
 }
@@ -138,6 +141,7 @@ mod tests {
             final_winter: None,
             max_gfib_bytes: 0,
             num_groups: None,
+            down_switches: vec![],
             cluster: None,
         }
     }

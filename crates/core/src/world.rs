@@ -13,7 +13,7 @@ use lazyctrl_net::{
     EncapsulatedFrame, EtherType, EthernetFrame, HostId, MacAddr, PortNo, SwitchId, TenantId,
     VlanTag,
 };
-use lazyctrl_proto::{LazyMsg, Message, MessageBody};
+use lazyctrl_proto::{InjectedEvent, LazyMsg, Message, MessageBody};
 use lazyctrl_sim::{
     ChannelClass, LatencyModel, LinkId, LinkState, MetricsSink, Scheduler, SimDuration, SimTime,
     World,
@@ -21,7 +21,7 @@ use lazyctrl_sim::{
 use lazyctrl_switch::{EdgeSwitch, SwitchOutput, SwitchTimer};
 use lazyctrl_trace::Trace;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::{ControlMode, ExperimentConfig};
 
@@ -85,10 +85,18 @@ pub(crate) enum Ev {
     },
     /// A cluster timer fires (cluster runs only).
     ClusterTimer(ClusterTimer),
-    /// Scenario hook: a cluster member crashes.
-    CrashController(u32),
-    /// Scenario hook: a crashed cluster member restarts.
-    RecoverController(u32),
+    /// A fault/workload event from the experiment's `EventPlan`
+    /// (controller/switch crashes, link degradation, migrations, bursts)
+    /// reaches its injection time.
+    Injected(InjectedEvent),
+    /// A synthetic flow from an injected traffic burst starts: its first
+    /// packet enters the ingress switch, exactly like a trace flow.
+    SyntheticFlow {
+        /// Source host.
+        src: HostId,
+        /// Destination host.
+        dst: HostId,
+    },
 }
 
 /// Any control-plane flavour behind one dispatch surface.
@@ -145,11 +153,17 @@ pub(crate) struct DataCenterWorld {
     pub(crate) metrics: MetricsSink,
     /// Port of each host on its switch.
     host_port: Vec<PortNo>,
+    /// Next free port per switch (migrated hosts get a fresh port at
+    /// their new switch, as a re-plugged VM would).
+    next_port: Vec<u16>,
     /// Host-level pairs that have exchanged traffic (for fresh-pair logic).
     seen_pairs: HashSet<(u32, u32)>,
     /// Pairs whose response frame has been generated.
     responded: HashSet<(u32, u32)>,
     workload_bucket: SimDuration,
+    /// Periodic switch-timer chains severed while a switch was powered
+    /// off (the firing was dropped); re-armed on recovery.
+    severed_timers: std::collections::BTreeSet<(u32, SwitchTimer)>,
     /// Cache of updates_applied to detect regroup events.
     last_updates_applied: u64,
     /// Per-flow latency log: ((src host, dst host, emit ns), latency ms).
@@ -228,9 +242,11 @@ impl DataCenterWorld {
             links: LinkState::new(),
             metrics: MetricsSink::new(),
             host_port,
+            next_port,
             seen_pairs: HashSet::new(),
             responded: HashSet::new(),
             workload_bucket,
+            severed_timers: std::collections::BTreeSet::new(),
             last_updates_applied: 0,
             flow_latencies: Vec::new(),
         }
@@ -242,7 +258,7 @@ impl DataCenterWorld {
         if matches!(self.controller, AnyController::Baseline(_)) {
             return;
         }
-        let window_ns = (self.cfg.bootstrap_hours * 3.6e12) as u64;
+        let window_ns = SimTime::from_hours(self.cfg.bootstrap_hours).as_nanos();
         let graph = if window_ns == 0 {
             lazyctrl_partition::WeightedGraph::new(self.trace.topology.num_switches)
         } else {
@@ -562,6 +578,205 @@ impl DataCenterWorld {
         }
     }
 
+    /// Applies one event from the experiment's fault-injection plan.
+    ///
+    /// Every effect flows through state the simulation already models —
+    /// the link switchboard, the latency model, the cluster plane, the
+    /// topology — so injected faults interact with detection and recovery
+    /// machinery exactly as organic ones would.
+    fn apply_injected(
+        &mut self,
+        now: SimTime,
+        event: InjectedEvent,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
+        match event {
+            InjectedEvent::CrashController(id) => {
+                self.metrics.count("controller_crashes", 1);
+                if let AnyController::Cluster(plane) = &mut self.controller {
+                    plane.crash(id);
+                }
+            }
+            InjectedEvent::RecoverController(id) => {
+                if let AnyController::Cluster(plane) = &mut self.controller {
+                    let outs = plane.recover(id);
+                    self.dispatch_cluster_outputs(now, outs, sched);
+                }
+            }
+            InjectedEvent::CrashSwitch(s) => {
+                self.metrics.count("switch_crashes", 1);
+                self.links.set_node_down(s.0, true);
+            }
+            InjectedEvent::RecoverSwitch(s) => {
+                self.links.set_node_down(s.0, false);
+                // Periodic chains severed during the outage resume a
+                // moment after power-on (the handlers re-arm themselves).
+                for timer in [SwitchTimer::KeepAlive, SwitchTimer::PeerSync] {
+                    if self.severed_timers.remove(&(s.0, timer)) {
+                        sched.schedule_in(
+                            now,
+                            SimDuration::from_millis(2),
+                            Ev::SwitchTimer { switch: s, timer },
+                        );
+                    }
+                }
+                // §III-E.3 comeback: the rebooted switch pings the
+                // controller, which resynchronizes its group state.
+                let delay = self.latency.sample(ChannelClass::Control, &mut self.rng);
+                sched.schedule_in(
+                    now,
+                    delay,
+                    Ev::MsgToController {
+                        from: s,
+                        msg: Message::of(0, lazyctrl_proto::OfMessage::Hello),
+                    },
+                );
+            }
+            InjectedEvent::LinkDegrade { class, factor } => {
+                self.metrics.count("link_degrades", 1);
+                self.latency.degrade(class, factor);
+            }
+            InjectedEvent::LinkLoss { class, loss } => {
+                self.metrics.count("link_loss_changes", 1);
+                self.links.set_class_loss(class, loss);
+            }
+            InjectedEvent::MigrateHosts { batch } => {
+                self.migrate_hosts(now, batch, sched);
+            }
+            InjectedEvent::TrafficBurst { scale } => {
+                self.traffic_burst(now, scale, sched);
+            }
+        }
+    }
+
+    /// Live-migrates `batch` hosts to other switches: each moved host gets
+    /// a fresh port at a different switch and re-announces itself from
+    /// there (gratuitous ARP), so datapath learning and C-LIB state
+    /// converge on the new location while stale entries age out.
+    fn migrate_hosts(&mut self, now: SimTime, batch: u32, sched: &mut Scheduler<'_, Ev>) {
+        let num_hosts = self.trace.topology.num_hosts();
+        let num_switches = self.trace.topology.num_switches;
+        if num_switches < 2 || num_hosts == 0 {
+            return;
+        }
+        // Distinct hosts per batch (sampling with replacement would move
+        // fewer VMs than the event promises); the batch is capped by the
+        // host population.
+        let mut moved = std::collections::BTreeSet::new();
+        let target = (batch as usize).min(num_hosts);
+        while moved.len() < target {
+            let host = HostId::new(self.rng.gen_range(0..num_hosts as u32));
+            if !moved.insert(host.0) {
+                continue;
+            }
+            let k = moved.len() - 1;
+            let old = self.trace.topology.switch_of(host);
+            // Only powered-on switches can receive a migrated VM — landing
+            // one on a dark switch would silently drop its announcement
+            // and leave location state stale forever.
+            let candidates: Vec<u32> = (0..num_switches as u32)
+                .filter(|&s| s != old.0 && self.links.is_node_up(s))
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let pick: usize = self.rng.gen_range(0..candidates.len());
+            let new = SwitchId::new(candidates[pick]);
+            self.trace.topology.host_switch[host.index()] = new;
+            let port = PortNo::new(self.next_port[new.index()]);
+            self.next_port[new.index()] += 1;
+            self.host_port[host.index()] = port;
+            self.metrics.count("host_migrations", 1);
+            // The re-plugged host announces itself from its new switch;
+            // migrations in one batch land a millisecond apart.
+            let frame = gratuitous_announcement(host, self.trace.topology.tenant_of(host));
+            sched.schedule_in(
+                now,
+                SimDuration::from_millis(1 + k as u64),
+                Ev::LocalFrame {
+                    switch: new,
+                    port,
+                    frame,
+                },
+            );
+        }
+    }
+
+    /// Injects `scale × hosts` synthetic flow arrivals between random host
+    /// pairs, spread over a one-minute window.
+    fn traffic_burst(&mut self, now: SimTime, scale: f64, sched: &mut Scheduler<'_, Ev>) {
+        let num_hosts = self.trace.topology.num_hosts() as u32;
+        if num_hosts < 2 {
+            return;
+        }
+        let n = ((scale * num_hosts as f64).ceil() as u64).max(1);
+        let spacing = SimDuration::from_nanos(SimDuration::from_secs(60).as_nanos() / n);
+        let mut offset = SimDuration::ZERO;
+        for _ in 0..n {
+            let src = HostId::new(self.rng.gen_range(0..num_hosts));
+            let hop = 1 + self.rng.gen_range(0..num_hosts - 1);
+            let dst = HostId::new((src.0 + hop) % num_hosts);
+            offset += spacing;
+            sched.schedule_in(now, offset, Ev::SyntheticFlow { src, dst });
+        }
+    }
+
+    /// Starts one flow — trace arrival or injected burst, both take the
+    /// identical first-packet path (ingress power gate, fresh-pair
+    /// tracking, optional ARP-before-data).
+    fn start_flow(
+        &mut self,
+        now: SimTime,
+        src: HostId,
+        dst: HostId,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
+        let at = self.trace.topology.switch_of(src);
+        let port = self.port_of(src);
+        if !self.links.is_node_up(at.0) {
+            // Ingress switch is powered off: the flow has nowhere to
+            // enter the fabric — and the pair stays *fresh*, since
+            // nothing of it ever reached the network.
+            self.metrics.count("ingress_down_drops", 1);
+            return;
+        }
+        let pair = (src.0.min(dst.0), src.0.max(dst.0));
+        let fresh = self.seen_pairs.insert(pair);
+
+        if fresh && self.cfg.emit_arp {
+            // Fresh pair: the source ARPs for the destination first.
+            let arp = lazyctrl_net::ArpPacket::request(src.mac(), src.ip(), dst.ip());
+            let arp_frame = EthernetFrame::tagged(
+                src.mac(),
+                MacAddr::BROADCAST,
+                VlanTag::for_tenant(self.trace.topology.tenant_of(src)),
+                EtherType::ARP,
+                arp.encode(),
+            );
+            let outs =
+                self.switches[at.index()].handle_local_frame(now.as_nanos(), port, arp_frame);
+            self.dispatch_switch_outputs(now, at, outs, sched);
+            // The data packet follows shortly after resolution.
+            let emit = now + SimDuration::from_millis(1);
+            let frame = self.frame_for_flow(src, dst, emit.as_nanos());
+            self.note_emission(emit, &frame);
+            sched.schedule_in(
+                now,
+                SimDuration::from_millis(1),
+                Ev::LocalFrame {
+                    switch: at,
+                    port,
+                    frame,
+                },
+            );
+        } else {
+            let frame = self.frame_for_flow(src, dst, now.as_nanos());
+            self.note_emission(now, &frame);
+            let outs = self.switches[at.index()].handle_local_frame(now.as_nanos(), port, frame);
+            self.dispatch_switch_outputs(now, at, outs, sched);
+        }
+    }
+
     /// Record a regroup event when the grouping manager advanced.
     fn track_regroups(&mut self, now: SimTime) {
         if let Some(lazy) = self.controller.lazy() {
@@ -596,60 +811,25 @@ impl World for DataCenterWorld {
         match event {
             Ev::FlowArrival(i) => {
                 let flow = self.trace.flows[i];
-                let (src, dst) = (flow.src, flow.dst);
-                let at = self.trace.topology.switch_of(src);
-                let port = self.port_of(src);
-                let pair = (src.0.min(dst.0), src.0.max(dst.0));
-                let fresh = self.seen_pairs.insert(pair);
                 self.metrics.count("flows_started", 1);
-
-                if fresh && self.cfg.emit_arp {
-                    // Fresh pair: the source ARPs for the destination first.
-                    let arp = lazyctrl_net::ArpPacket::request(src.mac(), src.ip(), dst.ip());
-                    let arp_frame = EthernetFrame::tagged(
-                        src.mac(),
-                        MacAddr::BROADCAST,
-                        VlanTag::for_tenant(self.trace.topology.tenant_of(src)),
-                        EtherType::ARP,
-                        arp.encode(),
-                    );
-                    let outs = self.switches[at.index()].handle_local_frame(
-                        now.as_nanos(),
-                        port,
-                        arp_frame,
-                    );
-                    self.dispatch_switch_outputs(now, at, outs, sched);
-                    // The data packet follows shortly after resolution.
-                    let emit = now + SimDuration::from_millis(1);
-                    let frame = self.frame_for_flow(src, dst, emit.as_nanos());
-                    self.note_emission(emit, &frame);
-                    sched.schedule_in(
-                        now,
-                        SimDuration::from_millis(1),
-                        Ev::LocalFrame {
-                            switch: at,
-                            port,
-                            frame,
-                        },
-                    );
-                } else {
-                    let frame = self.frame_for_flow(src, dst, now.as_nanos());
-                    self.note_emission(now, &frame);
-                    let outs =
-                        self.switches[at.index()].handle_local_frame(now.as_nanos(), port, frame);
-                    self.dispatch_switch_outputs(now, at, outs, sched);
-                }
+                self.start_flow(now, flow.src, flow.dst, sched);
             }
             Ev::LocalFrame {
                 switch,
                 port,
                 frame,
             } => {
+                if !self.links.is_node_up(switch.0) {
+                    return;
+                }
                 let outs =
                     self.switches[switch.index()].handle_local_frame(now.as_nanos(), port, frame);
                 self.dispatch_switch_outputs(now, switch, outs, sched);
             }
             Ev::TunnelArrive { to, packet } => {
+                if !self.links.is_node_up(to.0) {
+                    return;
+                }
                 let is_flood = packet.inner.is_flood();
                 let outs = self.switches[to.index()].handle_tunnel_packet(now.as_nanos(), packet);
                 if outs.is_empty() && !is_flood {
@@ -658,6 +838,9 @@ impl World for DataCenterWorld {
                 self.dispatch_switch_outputs(now, to, outs, sched);
             }
             Ev::MsgToSwitch { to, from, msg } => {
+                if !self.links.is_node_up(to.0) {
+                    return;
+                }
                 let sw = &mut self.switches[to.index()];
                 let outs = if from == SwitchId::CONTROLLER {
                     sw.handle_control_message(now.as_nanos(), &msg)
@@ -730,19 +913,27 @@ impl World for DataCenterWorld {
                     self.dispatch_cluster_outputs(now, outs, sched);
                 }
             }
-            Ev::CrashController(id) => {
-                self.metrics.count("controller_crashes", 1);
-                if let AnyController::Cluster(plane) = &mut self.controller {
-                    plane.crash(id);
-                }
-            }
-            Ev::RecoverController(id) => {
-                if let AnyController::Cluster(plane) = &mut self.controller {
-                    let outs = plane.recover(id);
-                    self.dispatch_cluster_outputs(now, outs, sched);
-                }
+            Ev::Injected(event) => self.apply_injected(now, event, sched),
+            Ev::SyntheticFlow { src, dst } => {
+                self.metrics.count("flows_started", 1);
+                self.metrics.count("burst_flows", 1);
+                self.start_flow(now, src, dst, sched);
             }
             Ev::SwitchTimer { switch, timer } => {
+                // A powered-off switch cannot probe the wheel or sync its
+                // peers: letting those timers run would latch the wheel's
+                // reported-flags (and swallow the L-FIB delta) while every
+                // output is dropped on the dark links, leaving a silent
+                // neighbour permanently unreported after a reboot. The
+                // chain is severed here and re-armed by `RecoverSwitch`.
+                // `LfibAge`/`EpochGrace` are internal bookkeeping and keep
+                // running, like a firmware clock.
+                if !self.links.is_node_up(switch.0)
+                    && matches!(timer, SwitchTimer::KeepAlive | SwitchTimer::PeerSync)
+                {
+                    self.severed_timers.insert((switch.0, timer));
+                    return;
+                }
                 let outs = self.switches[switch.index()].on_timer(now.as_nanos(), timer);
                 self.dispatch_switch_outputs(now, switch, outs, sched);
             }

@@ -2,7 +2,7 @@
 //! end-to-end through the simulated data center.
 
 use lazyctrl_core::scenarios::{controller_crash, shard_rebalance};
-use lazyctrl_core::{ControlMode, Experiment, ExperimentConfig};
+use lazyctrl_core::{ControlMode, EventPlan, Experiment, ExperimentConfig};
 use lazyctrl_trace::realistic::{generate, RealTraceConfig};
 
 fn small_cluster_cfg(controllers: usize, seed: u64) -> ExperimentConfig {
@@ -112,11 +112,13 @@ fn crash_scenario_is_deterministic() {
 fn crashed_controller_can_recover() {
     let run = || {
         let trace = small_trace(5_000, 19);
-        let mut cfg = small_cluster_cfg(2, 29);
         // Crash member 1 at 0.5 h; restart it at 1.0 h — long after the
         // takeover, so detection, takeover, and comeback all execute.
-        cfg.crash_controller_at = Some((1, 0.5));
-        cfg.recover_controller_at = Some((1, 1.0));
+        let cfg = small_cluster_cfg(2, 29).with_plan(
+            EventPlan::new()
+                .crash_controller(0.5, 1)
+                .recover_controller(1.0, 1),
+        );
         Experiment::new(trace, cfg).run()
     };
     let report = run();

@@ -46,6 +46,7 @@ mod error;
 pub mod flow_match;
 mod header;
 pub mod messages;
+pub mod plan;
 mod wire;
 
 pub use actions::Action;
@@ -57,8 +58,9 @@ pub use messages::{
     GfibUpdateMsg, GroupAssignMsg, HostEntry, KeepAliveMsg, LazyMsg, LfibEntry, LfibSyncMsg,
     LookupReplyMsg, LookupRequestMsg, Message, MessageBody, OfMessage, OwnershipTransferMsg,
     PacketInMsg, PacketInReason, PacketOutMsg, PeerSyncMsg, StateReportMsg, SwitchStats,
-    TransferReason, WheelLoss, WheelReportMsg,
+    TransferReason, WheelLoss, WheelReportMsg, WHEEL_MISS_THRESHOLD,
 };
+pub use plan::{EventPlan, InjectedEvent, ScheduledEvent};
 
 /// Result alias used across the protocol layer.
 pub type Result<T> = std::result::Result<T, ProtoError>;

@@ -247,6 +247,12 @@ impl WheelLoss {
     }
 }
 
+/// How many keep-alive intervals a wheel participant waits before
+/// declaring (and re-raising) a loss. Part of the wheel protocol
+/// contract: the controller's Table-I correlation window is derived from
+/// it (≥ 2 × interval × threshold), so reporter and detector must agree.
+pub const WHEEL_MISS_THRESHOLD: u32 = 3;
+
 /// A keep-alive loss observation reported towards the controller, the raw
 /// material for Table I failure inference (§III-E.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]

@@ -11,7 +11,7 @@ pub use cluster::{
 };
 pub use lazy::{
     BargainMsg, GfibUpdateMsg, GroupAssignMsg, KeepAliveMsg, LazyMsg, LfibEntry, LfibSyncMsg,
-    StateReportMsg, SwitchStats, WheelLoss, WheelReportMsg,
+    StateReportMsg, SwitchStats, WheelLoss, WheelReportMsg, WHEEL_MISS_THRESHOLD,
 };
 pub use of::{
     EchoKind, ErrorCode, FlowModCommand, FlowModMsg, OfMessage, PacketInMsg, PacketInReason,

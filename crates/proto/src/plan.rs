@@ -1,0 +1,508 @@
+//! The fault-injection plan: an ordered, serializable schedule of events
+//! an experiment injects into the simulated data center.
+//!
+//! The paper's evaluation (§V) is a family of *scenarios* — cold caches,
+//! controller failures, regrouping under churn. Instead of growing one
+//! config hook per scenario, experiments carry an [`EventPlan`]: a list of
+//! [`ScheduledEvent`]s ([`InjectedEvent`] + virtual time) that the driver
+//! feeds through its ordinary event queue. The vocabulary covers the
+//! control plane (controller crash/recovery), the data plane (switch
+//! crash/recovery, per-class link degradation and loss) and the workload
+//! (host migration batches, traffic bursts), and composes freely: any
+//! subset of events can ride in one plan.
+//!
+//! Plans have an exact binary encoding ([`EventPlan::encode`] /
+//! [`EventPlan::decode`]) in the same style as the control messages, so a
+//! scenario's schedule can be persisted or shipped to a remote driver and
+//! replayed bit-identically.
+
+use std::fmt;
+
+use bytes::BufMut;
+use lazyctrl_net::SwitchId;
+use lazyctrl_sim::{ChannelClass, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::wire::Reader;
+use crate::{ProtoError, Result};
+
+const PLAN_VERSION: u8 = 1;
+
+const TAG_CRASH_CONTROLLER: u8 = 1;
+const TAG_RECOVER_CONTROLLER: u8 = 2;
+const TAG_CRASH_SWITCH: u8 = 3;
+const TAG_RECOVER_SWITCH: u8 = 4;
+const TAG_LINK_DEGRADE: u8 = 5;
+const TAG_LINK_LOSS: u8 = 6;
+const TAG_MIGRATE_HOSTS: u8 = 7;
+const TAG_TRAFFIC_BURST: u8 = 8;
+
+/// Smallest wire footprint of one scheduled event: 8-byte timestamp plus
+/// a 1-byte tag (used to bound decode-side allocation).
+const MIN_EVENT_WIRE_LEN: usize = 9;
+
+/// One fault or workload perturbation the driver can inject mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InjectedEvent {
+    /// Kill cluster member `id` (cluster runs only): it stops processing
+    /// and emitting, its heartbeats cease, and the Table-I detector on the
+    /// controller ring eventually declares it dead.
+    CrashController(u32),
+    /// Restart a previously crashed cluster member (cluster runs only).
+    RecoverController(u32),
+    /// Power off an edge switch: every link to and from it goes dark. Ring
+    /// neighbours notice the silent keep-alives and report it (§III-E).
+    CrashSwitch(SwitchId),
+    /// Power the switch back on (its links come back; state machines keep
+    /// whatever tables they held, as a warm reboot would).
+    RecoverSwitch(SwitchId),
+    /// Multiply the one-way latency of every link of one channel class by
+    /// `factor` (congestion, a degraded management network). Factors
+    /// compose; degrading by `f` then `1/f` restores the original.
+    LinkDegrade {
+        /// The affected channel class.
+        class: ChannelClass,
+        /// Latency multiplier (> 0; < 1 speeds the class up).
+        factor: f64,
+    },
+    /// Drop each message on links of one channel class independently with
+    /// probability `loss` (0 clears a previous override).
+    LinkLoss {
+        /// The affected channel class.
+        class: ChannelClass,
+        /// Per-message drop probability in `[0, 1]`.
+        loss: f64,
+    },
+    /// Live-migrate a batch of hosts to different edge switches (VM
+    /// migration churn): each moved host re-announces itself from its new
+    /// location, and its future flows ingress there.
+    MigrateHosts {
+        /// How many hosts move.
+        batch: u32,
+    },
+    /// Inject a burst of fresh-pair flows on top of the trace, sized
+    /// relative to the host population (`scale` × hosts flow arrivals
+    /// spread over a short window).
+    TrafficBurst {
+        /// Burst size as a multiple of the host count (> 0).
+        scale: f64,
+    },
+}
+
+impl InjectedEvent {
+    /// True for events that only make sense on a multi-controller run.
+    pub fn requires_cluster(&self) -> bool {
+        matches!(
+            self,
+            InjectedEvent::CrashController(_) | InjectedEvent::RecoverController(_)
+        )
+    }
+
+    /// Validates event parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite or out-of-range parameters.
+    pub fn validate(&self) {
+        match *self {
+            InjectedEvent::LinkDegrade { factor, .. } => {
+                assert!(
+                    factor.is_finite() && factor > 0.0,
+                    "link degrade factor {factor} must be finite and positive"
+                );
+            }
+            InjectedEvent::LinkLoss { loss, .. } => {
+                assert!(
+                    loss.is_finite() && (0.0..=1.0).contains(&loss),
+                    "link loss {loss} out of [0,1]"
+                );
+            }
+            InjectedEvent::MigrateHosts { batch } => {
+                assert!(batch > 0, "migration batch must be positive");
+            }
+            InjectedEvent::TrafficBurst { scale } => {
+                assert!(
+                    scale.is_finite() && scale > 0.0,
+                    "burst scale {scale} must be finite and positive"
+                );
+            }
+            InjectedEvent::CrashController(_)
+            | InjectedEvent::RecoverController(_)
+            | InjectedEvent::CrashSwitch(_)
+            | InjectedEvent::RecoverSwitch(_) => {}
+        }
+    }
+
+    fn encode_into<B: BufMut>(&self, buf: &mut B) {
+        match *self {
+            InjectedEvent::CrashController(id) => {
+                buf.put_u8(TAG_CRASH_CONTROLLER);
+                buf.put_u32(id);
+            }
+            InjectedEvent::RecoverController(id) => {
+                buf.put_u8(TAG_RECOVER_CONTROLLER);
+                buf.put_u32(id);
+            }
+            InjectedEvent::CrashSwitch(s) => {
+                buf.put_u8(TAG_CRASH_SWITCH);
+                buf.put_u32(s.0);
+            }
+            InjectedEvent::RecoverSwitch(s) => {
+                buf.put_u8(TAG_RECOVER_SWITCH);
+                buf.put_u32(s.0);
+            }
+            InjectedEvent::LinkDegrade { class, factor } => {
+                buf.put_u8(TAG_LINK_DEGRADE);
+                buf.put_u8(encode_class(class));
+                buf.put_u64(factor.to_bits());
+            }
+            InjectedEvent::LinkLoss { class, loss } => {
+                buf.put_u8(TAG_LINK_LOSS);
+                buf.put_u8(encode_class(class));
+                buf.put_u64(loss.to_bits());
+            }
+            InjectedEvent::MigrateHosts { batch } => {
+                buf.put_u8(TAG_MIGRATE_HOSTS);
+                buf.put_u32(batch);
+            }
+            InjectedEvent::TrafficBurst { scale } => {
+                buf.put_u8(TAG_TRAFFIC_BURST);
+                buf.put_u64(scale.to_bits());
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(match r.u8()? {
+            TAG_CRASH_CONTROLLER => InjectedEvent::CrashController(r.u32()?),
+            TAG_RECOVER_CONTROLLER => InjectedEvent::RecoverController(r.u32()?),
+            TAG_CRASH_SWITCH => InjectedEvent::CrashSwitch(SwitchId::new(r.u32()?)),
+            TAG_RECOVER_SWITCH => InjectedEvent::RecoverSwitch(SwitchId::new(r.u32()?)),
+            TAG_LINK_DEGRADE => InjectedEvent::LinkDegrade {
+                class: decode_class(r.u8()?)?,
+                factor: r.f64()?,
+            },
+            TAG_LINK_LOSS => InjectedEvent::LinkLoss {
+                class: decode_class(r.u8()?)?,
+                loss: r.f64()?,
+            },
+            TAG_MIGRATE_HOSTS => InjectedEvent::MigrateHosts { batch: r.u32()? },
+            TAG_TRAFFIC_BURST => InjectedEvent::TrafficBurst { scale: r.f64()? },
+            tag => {
+                return Err(ProtoError::InvalidField {
+                    field: "plan event tag",
+                    value: tag as u64,
+                })
+            }
+        })
+    }
+}
+
+impl fmt::Display for InjectedEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            InjectedEvent::CrashController(id) => write!(f, "crash controller {id}"),
+            InjectedEvent::RecoverController(id) => write!(f, "recover controller {id}"),
+            InjectedEvent::CrashSwitch(s) => write!(f, "crash switch {s}"),
+            InjectedEvent::RecoverSwitch(s) => write!(f, "recover switch {s}"),
+            InjectedEvent::LinkDegrade { class, factor } => {
+                write!(f, "degrade {class:?} links ×{factor}")
+            }
+            InjectedEvent::LinkLoss { class, loss } => {
+                write!(f, "set {class:?} link loss to {loss}")
+            }
+            InjectedEvent::MigrateHosts { batch } => write!(f, "migrate {batch} hosts"),
+            InjectedEvent::TrafficBurst { scale } => write!(f, "traffic burst ×{scale} hosts"),
+        }
+    }
+}
+
+fn encode_class(class: ChannelClass) -> u8 {
+    match class {
+        ChannelClass::Data => 0,
+        ChannelClass::Control => 1,
+        ChannelClass::State => 2,
+        ChannelClass::Peer => 3,
+        ChannelClass::CtrlPeer => 4,
+    }
+}
+
+fn decode_class(raw: u8) -> Result<ChannelClass> {
+    Ok(match raw {
+        0 => ChannelClass::Data,
+        1 => ChannelClass::Control,
+        2 => ChannelClass::State,
+        3 => ChannelClass::Peer,
+        4 => ChannelClass::CtrlPeer,
+        _ => {
+            return Err(ProtoError::InvalidField {
+                field: "channel class",
+                value: raw as u64,
+            })
+        }
+    })
+}
+
+/// One event with its injection time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledEvent {
+    /// Virtual time of injection.
+    pub at: SimTime,
+    /// What happens.
+    pub event: InjectedEvent,
+}
+
+impl fmt::Display for ScheduledEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}h  {}", self.at.as_hours_f64(), self.event)
+    }
+}
+
+/// An ordered schedule of [`ScheduledEvent`]s.
+///
+/// Events are kept sorted by injection time; events at equal times keep
+/// their insertion order (the same tie-break rule as the simulation's
+/// event queue, so a plan replays deterministically).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventPlan {
+    events: Vec<ScheduledEvent>,
+}
+
+impl EventPlan {
+    /// An empty plan (the default: nothing is injected).
+    pub fn new() -> Self {
+        EventPlan::default()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The schedule, sorted by time.
+    pub fn events(&self) -> &[ScheduledEvent] {
+        &self.events
+    }
+
+    /// Schedules `event` at `at`, keeping the plan sorted (stable: equal
+    /// times preserve insertion order).
+    pub fn schedule(&mut self, at: SimTime, event: InjectedEvent) {
+        let idx = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(idx, ScheduledEvent { at, event });
+    }
+
+    /// Builder form of [`EventPlan::schedule`] taking hours of virtual
+    /// time (the unit scenarios are written in).
+    pub fn at_hours(mut self, hours: f64, event: InjectedEvent) -> Self {
+        self.schedule(SimTime::from_hours(hours), event);
+        self
+    }
+
+    /// Schedules a controller crash at `hours`.
+    pub fn crash_controller(self, hours: f64, id: u32) -> Self {
+        self.at_hours(hours, InjectedEvent::CrashController(id))
+    }
+
+    /// Schedules a controller restart at `hours`.
+    pub fn recover_controller(self, hours: f64, id: u32) -> Self {
+        self.at_hours(hours, InjectedEvent::RecoverController(id))
+    }
+
+    /// Schedules a switch crash at `hours`.
+    pub fn crash_switch(self, hours: f64, switch: SwitchId) -> Self {
+        self.at_hours(hours, InjectedEvent::CrashSwitch(switch))
+    }
+
+    /// Schedules a switch restart at `hours`.
+    pub fn recover_switch(self, hours: f64, switch: SwitchId) -> Self {
+        self.at_hours(hours, InjectedEvent::RecoverSwitch(switch))
+    }
+
+    /// Schedules a latency degradation of one channel class at `hours`.
+    pub fn degrade_links(self, hours: f64, class: ChannelClass, factor: f64) -> Self {
+        self.at_hours(hours, InjectedEvent::LinkDegrade { class, factor })
+    }
+
+    /// Schedules a loss-probability override for one channel class at
+    /// `hours`.
+    pub fn link_loss(self, hours: f64, class: ChannelClass, loss: f64) -> Self {
+        self.at_hours(hours, InjectedEvent::LinkLoss { class, loss })
+    }
+
+    /// Schedules a host-migration batch at `hours`.
+    pub fn migrate_hosts(self, hours: f64, batch: u32) -> Self {
+        self.at_hours(hours, InjectedEvent::MigrateHosts { batch })
+    }
+
+    /// Schedules a traffic burst at `hours`.
+    pub fn traffic_burst(self, hours: f64, scale: f64) -> Self {
+        self.at_hours(hours, InjectedEvent::TrafficBurst { scale })
+    }
+
+    /// True if any scheduled event requires a controller cluster.
+    pub fn requires_cluster(&self) -> bool {
+        self.events.iter().any(|e| e.event.requires_cluster())
+    }
+
+    /// Validates every event's parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range event parameters.
+    pub fn validate(&self) {
+        for e in &self.events {
+            e.event.validate();
+        }
+        debug_assert!(
+            self.events.windows(2).all(|w| w[0].at <= w[1].at),
+            "plan must stay sorted by construction"
+        );
+    }
+
+    /// Encodes the plan to its binary form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(2 + self.events.len() * 18);
+        buf.put_u8(PLAN_VERSION);
+        buf.put_u32(self.events.len() as u32);
+        for e in &self.events {
+            buf.put_u64(e.at.as_nanos());
+            e.event.encode_into(&mut buf);
+        }
+        buf
+    }
+
+    /// Decodes a plan produced by [`EventPlan::encode`]. Never panics on
+    /// malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes, "event plan");
+        let version = r.u8()?;
+        if version != PLAN_VERSION {
+            return Err(ProtoError::BadVersion(version));
+        }
+        let count = r.count_prefix(MIN_EVENT_WIRE_LEN)?;
+        let mut plan = EventPlan::new();
+        for _ in 0..count {
+            let at = SimTime::from_nanos(r.u64()?);
+            let event = InjectedEvent::decode(&mut r)?;
+            plan.schedule(at, event);
+        }
+        if r.remaining() != 0 {
+            return Err(ProtoError::LengthMismatch {
+                declared: bytes.len(),
+                actual: bytes.len() - r.remaining(),
+            });
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_stays_sorted_with_stable_ties() {
+        let plan = EventPlan::new()
+            .crash_controller(1.4, 1)
+            .migrate_hosts(0.5, 8)
+            .recover_controller(1.4, 1)
+            .traffic_burst(2.0, 3.0);
+        let times: Vec<f64> = plan.events().iter().map(|e| e.at.as_hours_f64()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+        // The two t=1.4h events keep insertion order: crash before recover.
+        assert_eq!(
+            plan.events()[1].event,
+            InjectedEvent::CrashController(1),
+            "{:?}",
+            plan.events()
+        );
+        assert_eq!(plan.events()[2].event, InjectedEvent::RecoverController(1));
+    }
+
+    #[test]
+    fn requires_cluster_only_for_controller_events() {
+        assert!(EventPlan::new().crash_controller(1.0, 0).requires_cluster());
+        assert!(!EventPlan::new()
+            .crash_switch(1.0, SwitchId::new(3))
+            .migrate_hosts(2.0, 4)
+            .requires_cluster());
+        assert!(!EventPlan::new().requires_cluster());
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let plan = EventPlan::new()
+            .crash_controller(1.4, 1)
+            .recover_controller(1.9, 1)
+            .crash_switch(0.3, SwitchId::new(7))
+            .recover_switch(0.8, SwitchId::new(7))
+            .degrade_links(0.5, ChannelClass::Control, 10.0)
+            .link_loss(0.6, ChannelClass::Peer, 0.25)
+            .migrate_hosts(1.1, 16)
+            .traffic_burst(1.2, 2.5);
+        let bytes = plan.encode();
+        let back = EventPlan::decode(&bytes).expect("well-formed plan");
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn empty_plan_round_trips() {
+        let plan = EventPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(EventPlan::decode(&plan.encode()).unwrap(), plan);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(EventPlan::decode(&[]).is_err());
+        assert!(EventPlan::decode(&[99]).is_err(), "bad version");
+        // Claimed count larger than the buffer can hold.
+        let mut bytes = vec![PLAN_VERSION];
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(EventPlan::decode(&bytes).is_err());
+        // Valid header, bogus event tag.
+        let mut bytes = vec![PLAN_VERSION];
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        bytes.extend_from_slice(&0u64.to_be_bytes());
+        bytes.push(0xEE);
+        assert!(EventPlan::decode(&bytes).is_err());
+        // Trailing bytes after a well-formed plan.
+        let mut bytes = EventPlan::new().migrate_hosts(1.0, 2).encode();
+        bytes.push(0);
+        assert!(matches!(
+            EventPlan::decode(&bytes),
+            Err(ProtoError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn validate_rejects_bad_loss() {
+        EventPlan::new()
+            .link_loss(0.1, ChannelClass::Data, 1.5)
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and positive")]
+    fn validate_rejects_bad_factor() {
+        EventPlan::new()
+            .degrade_links(0.1, ChannelClass::Data, 0.0)
+            .validate();
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let plan = EventPlan::new().crash_controller(1.4, 1);
+        let s = plan.events()[0].to_string();
+        assert!(
+            s.contains("1.400") && s.contains("crash controller 1"),
+            "{s}"
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the fault-injection plan: arbitrary plans
+//! round-trip through the binary encoding, stay sorted, and the decoder
+//! never panics on fuzz input.
+
+use lazyctrl_net::SwitchId;
+use lazyctrl_proto::{EventPlan, InjectedEvent};
+use lazyctrl_sim::{ChannelClass, SimTime};
+use proptest::prelude::*;
+
+fn arb_class() -> impl Strategy<Value = ChannelClass> {
+    prop_oneof![
+        Just(ChannelClass::Data),
+        Just(ChannelClass::Control),
+        Just(ChannelClass::State),
+        Just(ChannelClass::Peer),
+        Just(ChannelClass::CtrlPeer),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = InjectedEvent> {
+    prop_oneof![
+        any::<u32>().prop_map(InjectedEvent::CrashController),
+        any::<u32>().prop_map(InjectedEvent::RecoverController),
+        any::<u32>().prop_map(|s| InjectedEvent::CrashSwitch(SwitchId::new(s))),
+        any::<u32>().prop_map(|s| InjectedEvent::RecoverSwitch(SwitchId::new(s))),
+        (arb_class(), 1u32..10_000).prop_map(|(class, f)| InjectedEvent::LinkDegrade {
+            class,
+            factor: f as f64 / 100.0,
+        }),
+        (arb_class(), 0u32..=1000).prop_map(|(class, p)| InjectedEvent::LinkLoss {
+            class,
+            loss: p as f64 / 1000.0,
+        }),
+        (1u32..100_000).prop_map(|batch| InjectedEvent::MigrateHosts { batch }),
+        (1u32..10_000).prop_map(|s| InjectedEvent::TrafficBurst {
+            scale: s as f64 / 100.0,
+        }),
+    ]
+}
+
+fn arb_plan() -> impl Strategy<Value = EventPlan> {
+    proptest::collection::vec((any::<u32>(), arb_event()), 0..16).prop_map(|events| {
+        let mut plan = EventPlan::new();
+        for (at_ms, event) in events {
+            plan.schedule(SimTime::from_millis(at_ms as u64), event);
+        }
+        plan
+    })
+}
+
+proptest! {
+    #[test]
+    fn plans_round_trip(plan in arb_plan()) {
+        plan.validate();
+        let wire = plan.encode();
+        prop_assert_eq!(EventPlan::decode(&wire).unwrap(), plan);
+    }
+
+    #[test]
+    fn plans_stay_sorted(plan in arb_plan()) {
+        let times: Vec<u64> = plan.events().iter().map(|e| e.at.as_nanos()).collect();
+        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]), "{:?}", times);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_fuzz(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = EventPlan::decode(&bytes);
+    }
+
+    #[test]
+    fn truncated_encodings_error_not_panic(plan in arb_plan(), cut in any::<prop::sample::Index>()) {
+        let wire = plan.encode();
+        if wire.len() > 1 {
+            let n = 1 + cut.index(wire.len() - 1);
+            if n < wire.len() {
+                prop_assert!(EventPlan::decode(&wire[..n]).is_err());
+            }
+        }
+    }
+}

@@ -81,6 +81,25 @@ impl LatencyModel {
         }
     }
 
+    /// Multiplies the base latency of one channel class by `factor`
+    /// (fault injection: a congested control network, a degraded
+    /// underlay). Factors compose multiplicatively, so degrading by `f`
+    /// and later by `1/f` restores the original latency up to rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN or negative factors.
+    pub fn degrade(&mut self, class: ChannelClass, factor: f64) {
+        let slot = match class {
+            ChannelClass::Data => &mut self.data,
+            ChannelClass::Control => &mut self.control,
+            ChannelClass::State => &mut self.state,
+            ChannelClass::Peer => &mut self.peer,
+            ChannelClass::CtrlPeer => &mut self.ctrl_peer,
+        };
+        *slot = slot.mul_f64(factor);
+    }
+
     /// Samples the delivery latency for one message.
     ///
     /// # Panics
@@ -156,6 +175,21 @@ mod tests {
                 m.sample(ChannelClass::Peer, &mut b)
             );
         }
+    }
+
+    #[test]
+    fn degrade_scales_one_class_and_composes() {
+        let mut m = LatencyModel::default();
+        let base = m.base(ChannelClass::Control);
+        m.degrade(ChannelClass::Control, 10.0);
+        assert_eq!(m.base(ChannelClass::Control), base.mul_f64(10.0));
+        assert_eq!(
+            m.base(ChannelClass::Data),
+            LatencyModel::default().base(ChannelClass::Data),
+            "other classes untouched"
+        );
+        m.degrade(ChannelClass::Control, 0.1);
+        assert_eq!(m.base(ChannelClass::Control), base);
     }
 
     #[test]

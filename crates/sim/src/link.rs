@@ -48,6 +48,10 @@ impl LinkId {
 pub struct LinkState {
     down: HashMap<LinkId, bool>,
     loss: HashMap<LinkId, f64>,
+    /// Loss probability applied to *every* link of a channel class (fault
+    /// injection: a degraded control network, a lossy underlay). Composes
+    /// with per-link loss: a message survives only if it dodges both.
+    class_loss: HashMap<ChannelClass, f64>,
     /// Nodes that are down drop everything to/from them.
     node_down: HashMap<u32, bool>,
 }
@@ -99,6 +103,29 @@ impl LinkState {
         }
     }
 
+    /// Sets the loss probability applied to every link of `class`
+    /// (0 clears the override).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is in `[0, 1]`.
+    pub fn set_class_loss(&mut self, class: ChannelClass, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} out of [0,1]"
+        );
+        if p == 0.0 {
+            self.class_loss.remove(&class);
+        } else {
+            self.class_loss.insert(class, p);
+        }
+    }
+
+    /// The class-wide loss probability currently in force for `class`.
+    pub fn class_loss(&self, class: ChannelClass) -> f64 {
+        self.class_loss.get(&class).copied().unwrap_or(0.0)
+    }
+
     /// True if the link is administratively up and both endpoints are up.
     pub fn is_up(&self, link: LinkId) -> bool {
         !self.down.get(&link).copied().unwrap_or(false)
@@ -117,7 +144,12 @@ impl LinkState {
         if !self.is_up(link) {
             return false;
         }
-        match self.loss.get(&link) {
+        if let Some(&p) = self.loss.get(&link) {
+            if rng.gen_bool(p) {
+                return false;
+            }
+        }
+        match self.class_loss.get(&link.class) {
             None => true,
             Some(&p) => !rng.gen_bool(p),
         }
@@ -194,6 +226,20 @@ mod tests {
             (6300..7700).contains(&delivered),
             "delivered {delivered}/10000"
         );
+    }
+
+    #[test]
+    fn class_loss_hits_every_link_of_the_class() {
+        let mut s = LinkState::new();
+        s.set_class_loss(ChannelClass::Peer, 1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!s.delivers(l(1, 2), &mut rng));
+        assert!(!s.delivers(l(5, 6), &mut rng));
+        assert!(s.delivers(LinkId::new(1, 2, ChannelClass::Control), &mut rng));
+        assert_eq!(s.class_loss(ChannelClass::Peer), 1.0);
+        s.set_class_loss(ChannelClass::Peer, 0.0);
+        assert!(s.delivers(l(1, 2), &mut rng));
+        assert_eq!(s.class_loss(ChannelClass::Peer), 0.0);
     }
 
     #[test]

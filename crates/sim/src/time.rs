@@ -37,6 +37,22 @@ impl SimTime {
         SimTime(s * 1_000_000_000)
     }
 
+    /// Creates a time from fractional hours of virtual time (the unit
+    /// traces and experiment horizons are expressed in).
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN or negative input.
+    pub fn from_hours(h: f64) -> Self {
+        assert!(h.is_finite() && h >= 0.0, "invalid hour offset {h}");
+        SimTime((h * 3.6e12) as u64)
+    }
+
+    /// Hours since the epoch as a float.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3.6e12
+    }
+
     /// Nanoseconds since the epoch.
     pub const fn as_nanos(self) -> u64 {
         self.0
@@ -184,6 +200,21 @@ mod tests {
         assert_eq!(SimTime::from_micros(1).as_nanos(), 1_000);
         assert_eq!(SimDuration::from_secs_f64(0.5).as_nanos(), 500_000_000);
         assert_eq!(SimDuration::from_millis(3).as_millis_f64(), 3.0);
+    }
+
+    #[test]
+    fn hours_round_trip() {
+        assert_eq!(SimTime::from_hours(1.0).as_nanos(), 3_600_000_000_000);
+        assert_eq!(SimTime::from_hours(0.5), SimTime::from_secs(1800));
+        assert_eq!(SimTime::from_hours(0.0), SimTime::ZERO);
+        let t = SimTime::from_hours(1.4);
+        assert!((t.as_hours_f64() - 1.4).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid hour offset")]
+    fn negative_hours_panic() {
+        let _ = SimTime::from_hours(-0.1);
     }
 
     #[test]

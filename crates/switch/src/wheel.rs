@@ -56,10 +56,15 @@ pub struct WheelPosition {
     last_from_prev_ns: u64,
     last_from_next_ns: u64,
     last_from_controller_ns: u64,
-    /// Losses already reported (suppress repeats until recovery).
-    reported_prev: bool,
-    reported_next: bool,
-    reported_controller: bool,
+    /// When each loss was last reported (`None` = source healthy).
+    /// Repeats are suppressed for one detection deadline, then the loss
+    /// is re-raised: a still-silent source keeps being reported, so the
+    /// controller's correlation window can match reports from both ring
+    /// directions even when the reporters went silent (or rebooted) at
+    /// different times.
+    reported_prev_at_ns: Option<u64>,
+    reported_next_at_ns: Option<u64>,
+    reported_controller_at_ns: Option<u64>,
 }
 
 impl WheelPosition {
@@ -82,14 +87,14 @@ impl WheelPosition {
             prev,
             next,
             interval_ns,
-            miss_threshold: 3,
+            miss_threshold: lazyctrl_proto::WHEEL_MISS_THRESHOLD,
             seq: 0,
             last_from_prev_ns: now_ns,
             last_from_next_ns: now_ns,
             last_from_controller_ns: now_ns,
-            reported_prev: false,
-            reported_next: false,
-            reported_controller: false,
+            reported_prev_at_ns: None,
+            reported_next_at_ns: None,
+            reported_controller_at_ns: None,
         }
     }
 
@@ -107,18 +112,18 @@ impl WheelPosition {
     pub fn on_peer_keepalive(&mut self, from: SwitchId, now_ns: u64) {
         if from == self.prev {
             self.last_from_prev_ns = now_ns;
-            self.reported_prev = false;
+            self.reported_prev_at_ns = None;
         }
         if from == self.next {
             self.last_from_next_ns = now_ns;
-            self.reported_next = false;
+            self.reported_next_at_ns = None;
         }
     }
 
     /// Records a keep-alive heard from the controller.
     pub fn on_controller_keepalive(&mut self, now_ns: u64) {
         self.last_from_controller_ns = now_ns;
-        self.reported_controller = false;
+        self.reported_controller_at_ns = None;
     }
 
     /// One keep-alive tick: emit probes to both neighbours and report any
@@ -142,26 +147,28 @@ impl WheelPosition {
             },
         ];
         let deadline = self.interval_ns.saturating_mul(self.miss_threshold as u64);
-        if !self.reported_prev && now_ns.saturating_sub(self.last_from_prev_ns) > deadline {
-            self.reported_prev = true;
+        let due = |last_heard: u64, reported_at: Option<u64>| {
+            now_ns.saturating_sub(last_heard) > deadline
+                && reported_at.is_none_or(|r| now_ns.saturating_sub(r) > deadline)
+        };
+        if due(self.last_from_prev_ns, self.reported_prev_at_ns) {
+            self.reported_prev_at_ns = Some(now_ns);
             out.push(WheelAction::Report(WheelReportMsg {
                 reporter: self.me,
                 missing: self.prev,
                 loss: WheelLoss::Upstream,
             }));
         }
-        if !self.reported_next && now_ns.saturating_sub(self.last_from_next_ns) > deadline {
-            self.reported_next = true;
+        if due(self.last_from_next_ns, self.reported_next_at_ns) {
+            self.reported_next_at_ns = Some(now_ns);
             out.push(WheelAction::Report(WheelReportMsg {
                 reporter: self.me,
                 missing: self.next,
                 loss: WheelLoss::Downstream,
             }));
         }
-        if !self.reported_controller
-            && now_ns.saturating_sub(self.last_from_controller_ns) > deadline
-        {
-            self.reported_controller = true;
+        if due(self.last_from_controller_ns, self.reported_controller_at_ns) {
+            self.reported_controller_at_ns = Some(now_ns);
             // Control link presumed dead: relay via the upstream neighbour.
             out.push(WheelAction::ReportViaPeer {
                 via: self.prev,
@@ -225,7 +232,7 @@ mod tests {
     }
 
     #[test]
-    fn silent_upstream_is_reported_once() {
+    fn silent_upstream_is_reported_once_per_deadline() {
         let mut w = wheel();
         // Only downstream and controller stay alive.
         let mut reported = Vec::new();
@@ -235,7 +242,31 @@ mod tests {
             w.on_controller_keepalive(now);
             reported.extend(reports(&w.tick(now)));
         }
+        // One report within the first deadline window (no per-tick spam).
         assert_eq!(reported, vec![(SwitchId::new(4), WheelLoss::Upstream)]);
+    }
+
+    #[test]
+    fn still_silent_source_is_re_reported_each_deadline() {
+        let mut w = wheel();
+        let mut reported = Vec::new();
+        for i in 1..=16u64 {
+            let now = i * IVL;
+            w.on_peer_keepalive(SwitchId::new(6), now);
+            w.on_controller_keepalive(now);
+            reported.extend(reports(&w.tick(now)));
+        }
+        // 16 s of silence at a 3 s deadline: the loss is re-raised every
+        // deadline (t=4, 8, 12, 16), so a controller whose correlation
+        // window missed the first report still converges.
+        assert_eq!(
+            reported,
+            vec![(SwitchId::new(4), WheelLoss::Upstream); 4],
+            "{reported:?}"
+        );
+        // Recovery clears the cadence: next silence starts a fresh cycle.
+        w.on_peer_keepalive(SwitchId::new(4), 17 * IVL);
+        assert!(reports(&w.tick(18 * IVL)).is_empty());
     }
 
     #[test]

@@ -10,12 +10,32 @@
 //! ```
 
 use lazyctrl::core::scenarios::controller_crash;
+use lazyctrl::core::{run_built, ScenarioRegistry};
 
 fn main() {
     println!("=== lazyctrl-cluster: controller-crash-under-load ===\n");
     println!("cluster: 2 controllers, round-robin group ownership");
     println!("event:   member 1 killed at t = 1.4 h under steady load\n");
 
+    // The scenario is a registry entry: the fault schedule comes from its
+    // EventPlan, and its own `check` judges the run.
+    let registry = ScenarioRegistry::builtin();
+    let scenario = registry.get("crash_under_load").expect("built-in");
+    let (trace, cfg, plan) = scenario.build(5);
+    println!("injected plan:");
+    for e in plan.events() {
+        println!("  {e}");
+    }
+    let run = run_built(scenario, trace, cfg, plan);
+    assert!(
+        run.verdict.passed(),
+        "crash_under_load failed: {:?}",
+        run.verdict.failures
+    );
+    println!("registry verdict: PASS\n");
+
+    // The detailed analysis additionally splits delivered flows by shard
+    // and crash phase (it needs the per-flow latency log).
     let r = controller_crash(2, 5);
     let cluster = r.report.cluster.as_ref().expect("cluster run");
 
