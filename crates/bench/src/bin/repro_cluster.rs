@@ -1,31 +1,41 @@
 //! Cluster scaling experiment: the same workload under a `lazyctrl-cluster`
-//! of 1, 2 and 4 controllers.
+//! of 1, 2 and 4 controllers, plus the peer-sync dissemination strategies
+//! head to head at the scale's largest cluster (16 controllers at
+//! `LAZYCTRL_SCALE=paper`).
 //!
-//! The claim under test (the ROADMAP's control-plane-scaling step, built
-//! on the devolved-controllers line of work the paper cites): sharding the
-//! switch groups across N cooperating controllers divides the per-
-//! controller request rate, so the control plane's capacity grows with N.
-//! The table reports, per cluster size: the busiest member's request rate,
-//! the total rate, steady-state mean first-packet latency, and the
-//! controller-to-controller overhead the cluster pays for replication and
-//! heartbeats.
+//! The claims under test (the ROADMAP's control-plane-scaling step, built
+//! on the devolved-controllers line of work the paper cites):
+//!
+//! 1. sharding the switch groups across N cooperating controllers divides
+//!    the per-controller request rate, so the control plane's capacity
+//!    grows with N;
+//! 2. the inter-controller replication fabric scales *sub-quadratically*
+//!    when deltas ride a ring/tree relay overlay instead of a full flood —
+//!    flood pays ≈ n−1 wire messages per delta chunk (O(n²) per flush
+//!    round), the overlays amortize bundled relays towards O(1) per chunk
+//!    (O(n) per round), which is what makes 16 controllers feasible.
 //!
 //! Also replays the registry's cluster scenarios (crash-under-load,
-//! crash-recover, shard-rebalance) through their own verdicts, plus the
-//! detailed per-shard reachability analysis of a crash. Use
-//! `repro_scenario` for the full scenario catalogue.
+//! crash-recover, shard-rebalance, peer-sync-storm) through their own
+//! verdicts, plus the detailed per-shard reachability analysis of a
+//! crash. Use `repro_scenario` for the full scenario catalogue.
 //!
 //! ```sh
 //! cargo run --release -p lazyctrl-bench --bin repro_cluster
+//! LAZYCTRL_SCALE=paper cargo run --release -p lazyctrl-bench --bin repro_cluster
 //! ```
 //!
-//! Exits non-zero if any scenario verdict fails.
+//! Exits non-zero if any scenario verdict fails (including the overlays
+//! failing to undercut flood).
 
 use std::process::ExitCode;
 
 use lazyctrl_bench::{real_trace, render_table, Scale};
 use lazyctrl_core::scenarios::controller_crash;
-use lazyctrl_core::{run_scenario, ControlMode, Experiment, ExperimentConfig, ScenarioRegistry};
+use lazyctrl_core::{
+    run_scenario, ControlMode, DisseminationStrategy, Experiment, ExperimentConfig,
+    ScenarioRegistry,
+};
 
 fn main() -> ExitCode {
     let scale = Scale::from_env();
@@ -72,6 +82,75 @@ fn main() -> ExitCode {
     );
     println!("expected shape: max per-controller rate drops as controllers grow 1 → 2 → 4\n");
 
+    // ---- Dissemination strategies at the big cluster ------------------
+    // Paper scale runs the full 16-controller cluster the ROADMAP asks
+    // for, with a group limit small enough that every member owns groups;
+    // the shared frozen grouping keeps the 16 inner controllers at one
+    // grouping's worth of memory, and a 20 s flush cadence lets the
+    // ring/tree bundles aggregate. Time-boxed via the run horizon.
+    let (members, group_limit_big, flush_ms, horizon) = match scale {
+        Scale::Quick => (4usize, group_limit.min(8), 10_000u32, 2.0f64),
+        Scale::Paper => (16, (trace.topology.num_switches / 24).max(4), 20_000, 4.0),
+    };
+    println!("dissemination strategies at {members} controllers (horizon {horizon} h):");
+    let mut rows = Vec::new();
+    let mut flood_cost = f64::NAN;
+    let mut overlay_beats_flood = true;
+    for strategy in [
+        DisseminationStrategy::Flood,
+        DisseminationStrategy::Ring,
+        DisseminationStrategy::tree(),
+    ] {
+        let mut cfg = ExperimentConfig::new(ControlMode::LazyStatic)
+            .with_group_size_limit(group_limit_big)
+            .with_seed(17)
+            .with_cluster(members)
+            .with_horizon_hours(horizon)
+            .with_dissemination(strategy)
+            .with_cluster_flush_ms(flush_ms);
+        cfg.sync_interval_ms = 10_000;
+        let report = Experiment::new(trace.clone(), cfg).run();
+        let cluster = report.cluster.as_ref().expect("cluster run");
+        let cost = cluster.messages_per_chunk();
+        if strategy == DisseminationStrategy::Flood {
+            flood_cost = cost;
+        } else if cost >= flood_cost {
+            overlay_beats_flood = false;
+        }
+        rows.push(vec![
+            cluster.dissemination.clone(),
+            cluster.peer_sync_messages_total().to_string(),
+            cluster.peer_sync_chunks.iter().sum::<u64>().to_string(),
+            format!("{cost:.2}"),
+            cluster.peer_sync_bytes_total().to_string(),
+            cluster
+                .anti_entropy_catchups
+                .iter()
+                .sum::<u64>()
+                .to_string(),
+            report.delivered_flows.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "strategy",
+                "sync msgs",
+                "chunks",
+                "msgs/chunk",
+                "sync bytes",
+                "catchups",
+                "delivered",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "expected shape: flood pays ~{:.0} msgs/chunk (n-1); ring/tree amortize far below it\n",
+        members as f64 - 1.0
+    );
+
     println!("scenario: controller-crash-under-load (2 controllers, crash member 1)");
     let crash = controller_crash(2, 5);
     let cluster = crash.report.cluster.as_ref().expect("cluster run");
@@ -97,9 +176,16 @@ fn main() -> ExitCode {
     // The registry's cluster scenarios, each judged by its own contract
     // (see `repro_scenario --list` for the full catalogue).
     let registry = ScenarioRegistry::builtin();
-    // The detailed reachability analysis above counts as a check too.
-    let mut failures = usize::from(crash.affected_after_takeover == 0);
-    for name in ["crash_under_load", "crash_recover", "shard_rebalance"] {
+    // The detailed reachability analysis above counts as a check too, as
+    // does the overlays-beat-flood shape of the dissemination table.
+    let mut failures =
+        usize::from(crash.affected_after_takeover == 0) + usize::from(!overlay_beats_flood);
+    for name in [
+        "crash_under_load",
+        "crash_recover",
+        "shard_rebalance",
+        "peer_sync_storm",
+    ] {
         let scenario = registry.get(name).expect("built-in scenario");
         let run = run_scenario(scenario, 13);
         println!("scenario: {name} — {}", scenario.summary());

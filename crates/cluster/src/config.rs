@@ -3,11 +3,16 @@
 use lazyctrl_controller::LazyConfig;
 use serde::{Deserialize, Serialize};
 
+use crate::DisseminationStrategy;
+
 /// Configuration of a controller cluster.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
     /// Number of controllers in the cluster.
     pub num_controllers: usize,
+    /// How C-LIB deltas reach the other members (flood / ring / tree —
+    /// see [`DisseminationStrategy`]).
+    pub dissemination: DisseminationStrategy,
     /// Per-member inner controller configuration. `dynamic_updates` is
     /// forced off: in a cluster, load is balanced by moving *group
     /// ownership* between controllers, not by regrouping switches — this
@@ -34,12 +39,29 @@ pub struct ClusterConfig {
     /// Resolve replica misses with synchronous peer lookups before falling
     /// back to the scoped-ARP relay path.
     pub enable_lookup: bool,
+    /// How often each member sends an anti-entropy digest to one rotating
+    /// peer (ms). The catch-up path for members that missed relayed deltas
+    /// (crashed mid-circulation, recovered after takeover, late-joining).
+    pub anti_entropy_interval_ms: u32,
+    /// Entries per peer-sync chunk (bounds the largest single wire
+    /// message; ~64 KiB at the default of 2000 × 14 B).
+    pub sync_chunk_entries: usize,
+    /// Maximum foreign delta chunks a member buffers for relay between
+    /// flush ticks. Overflow drops the oldest (counted; anti-entropy
+    /// repairs the hole) — the bound that keeps per-member memory flat
+    /// when a slow member lags a chatty overlay.
+    pub relay_buffer_chunks: usize,
+    /// Flush rounds of its own deltas each member retains for exact
+    /// anti-entropy replay. A peer further behind than this receives a
+    /// full-shard snapshot instead.
+    pub delta_log_flushes: usize,
 }
 
 impl Default for ClusterConfig {
     fn default() -> Self {
         ClusterConfig {
             num_controllers: 2,
+            dissemination: DisseminationStrategy::default(),
             lazy: LazyConfig::default(),
             replica_flush_interval_ms: 1_000,
             heartbeat_interval_ms: 1_000,
@@ -48,6 +70,10 @@ impl Default for ClusterConfig {
             skew_threshold: 2.0,
             rebalance_min_window_msgs: 20,
             enable_lookup: true,
+            anti_entropy_interval_ms: 5_000,
+            sync_chunk_entries: 2_000,
+            relay_buffer_chunks: 1_024,
+            delta_log_flushes: 64,
         }
     }
 }
@@ -91,6 +117,22 @@ impl ClusterConfig {
             self.skew_threshold.is_finite() && self.skew_threshold > 1.0,
             "skew threshold must exceed 1"
         );
+        assert!(
+            self.anti_entropy_interval_ms > 0,
+            "anti-entropy interval must be positive"
+        );
+        assert!(
+            self.sync_chunk_entries > 0,
+            "sync chunk size must be positive"
+        );
+        assert!(
+            self.relay_buffer_chunks > 0,
+            "relay buffer must hold at least one chunk"
+        );
+        assert!(
+            self.delta_log_flushes > 0,
+            "delta log must retain at least one flush"
+        );
     }
 }
 
@@ -102,6 +144,36 @@ mod tests {
     fn default_validates() {
         ClusterConfig::default().validate();
         ClusterConfig::with_controllers(4).validate();
+        assert_eq!(
+            ClusterConfig::default().dissemination,
+            DisseminationStrategy::Flood,
+            "flood stays the default for drop-in compatibility"
+        );
+    }
+
+    #[test]
+    fn all_strategies_validate() {
+        for strategy in [
+            DisseminationStrategy::Flood,
+            DisseminationStrategy::Ring,
+            DisseminationStrategy::tree(),
+        ] {
+            let c = ClusterConfig {
+                dissemination: strategy,
+                ..ClusterConfig::default()
+            };
+            c.validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "anti-entropy interval")]
+    fn zero_anti_entropy_rejected() {
+        let c = ClusterConfig {
+            anti_entropy_interval_ms: 0,
+            ..ClusterConfig::default()
+        };
+        c.validate();
     }
 
     #[test]

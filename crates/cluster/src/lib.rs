@@ -17,9 +17,11 @@
 //!
 //! * [`OwnershipMap`] — which member owns each group, with epochal
 //!   transfers for load rebalancing;
-//! * [`ReplicaStore`] + peer-sync flooding — asynchronous C-LIB
-//!   replication, so inter-shard flow setups resolve locally (with a
-//!   synchronous peer lookup as miss fallback);
+//! * [`ReplicaStore`] + pluggable peer-sync dissemination
+//!   ([`DisseminationStrategy`]: direct flood, ring circulation, or a
+//!   leader-rooted relay tree, with anti-entropy digest catch-up) —
+//!   asynchronous C-LIB replication, so inter-shard flow setups resolve
+//!   locally (with a synchronous peer lookup as miss fallback);
 //! * controller failover — ring heartbeats feeding the *same* Table-I
 //!   inference machinery the switch wheel uses
 //!   ([`lazyctrl_controller::FailureDetector`]), with leader-driven
@@ -32,13 +34,16 @@
 #![warn(missing_docs)]
 
 mod config;
+mod dissemination;
 mod ownership;
 mod plane;
 mod replica;
 
 pub use config::ClusterConfig;
+pub use dissemination::{Dissemination, DisseminationStrategy, Flood, FlushRoute, KaryTree, Ring};
 pub use ownership::OwnershipMap;
 pub use plane::{
     ctrl_pseudo_switch, ClusterControlPlane, ClusterOutput, ClusterTimer, ClusterTimerKind,
+    SyncTraffic,
 };
 pub use replica::ReplicaStore;

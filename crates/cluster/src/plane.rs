@@ -14,9 +14,15 @@
 //! Three cluster mechanisms tie the shards together:
 //!
 //! * **C-LIB replication** — each member batches the host locations it
-//!   learns and floods them to its peers on a timer ([`PeerSyncMsg`]);
-//!   inter-shard flow setups then resolve against the local replica, with
-//!   a synchronous [`LookupRequestMsg`] as the miss fallback.
+//!   learns and publishes them on a timer ([`PeerSyncMsg`]); *how* the
+//!   deltas reach the other members is the pluggable
+//!   [`Dissemination`](crate::Dissemination) strategy (direct flood, ring
+//!   circulation, or a leader-rooted relay tree — see
+//!   [`DisseminationStrategy`](crate::DisseminationStrategy)), backed by a
+//!   periodic anti-entropy digest exchange so members that missed relayed
+//!   deltas reconverge. Inter-shard flow setups then resolve against the
+//!   local replica, with a synchronous [`LookupRequestMsg`] as the miss
+//!   fallback.
 //! * **Load rebalancing** — members piggyback their measured request rate
 //!   on heartbeats; when the leader (lowest live id) sees the max/min load
 //!   ratio exceed the configured skew, it moves a group from the hottest
@@ -40,7 +46,7 @@
 //!   The same numbers travel in heartbeats ([`CtrlHeartbeatMsg::load_rps`]);
 //!   reading the meter avoids acting on a stale copy in the simulation.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use lazyctrl_controller::{
     ControllerOutput, ControllerTimer, FailureDetector, FailureKind, LazyController,
@@ -50,9 +56,10 @@ use lazyctrl_partition::WeightedGraph;
 use lazyctrl_proto::{
     ClusterMsg, CtrlHeartbeatMsg, HostEntry, LazyMsg, LfibEntry, LfibSyncMsg, LookupReplyMsg,
     LookupRequestMsg, Message, MessageBody, OfMessage, OwnershipTransferMsg, PacketInMsg,
-    PeerSyncMsg, TransferReason, WheelLoss, WheelReportMsg,
+    PeerSyncMsg, SyncDigestMsg, SyncRelayMsg, TransferReason, WheelLoss, WheelReportMsg,
 };
 
+use crate::dissemination::{Dissemination, FlushRoute};
 use crate::{ClusterConfig, OwnershipMap, ReplicaStore};
 
 /// Controllers are mapped into the switch-id space for the reused Table-I
@@ -84,12 +91,14 @@ pub struct ClusterTimer {
 pub enum ClusterTimerKind {
     /// A timer of the member's inner `LazyController`.
     Inner(ControllerTimer),
-    /// Flush pending C-LIB deltas to peers.
+    /// Flush pending C-LIB deltas onto the dissemination overlay.
     ReplicaFlush,
     /// Send ring heartbeats and check for silent neighbours.
     Heartbeat,
     /// Leader-side load-skew evaluation.
     RebalanceCheck,
+    /// Send an anti-entropy digest to one rotating peer.
+    AntiEntropy,
 }
 
 /// Effects the cluster wants performed by its driver.
@@ -128,6 +137,32 @@ struct PendingLookup {
     queued: Vec<(SwitchId, Message)>,
 }
 
+/// Per-member peer-sync traffic accounting (what `ClusterReport` exposes
+/// so the O(n²) → O(n) dissemination win is measurable).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SyncTraffic {
+    /// Peer-sync wire messages this member sent on the dissemination
+    /// overlay (direct flood syncs + relay bundles). Anti-entropy digests
+    /// and catch-up syncs are repair traffic, counted separately below.
+    pub messages_sent: u64,
+    /// Estimated wire bytes of those messages.
+    pub bytes_sent: u64,
+    /// Delta chunks this member originated.
+    pub chunks_created: u64,
+    /// Foreign chunks applied off the relay overlay.
+    pub relay_applies: u64,
+    /// Foreign chunks applied from direct syncs (flood or catch-up).
+    pub direct_applies: u64,
+    /// Already-seen chunks dropped by the relay dedup.
+    pub duplicate_drops: u64,
+    /// Relay-buffer overflows (oldest chunk dropped; anti-entropy heals).
+    pub relay_overflows: u64,
+    /// Anti-entropy digests sent.
+    pub digests_sent: u64,
+    /// Catch-up syncs served to digesting peers.
+    pub catchup_syncs_sent: u64,
+}
+
 /// One cluster member.
 struct ClusterNode {
     id: u32,
@@ -140,7 +175,31 @@ struct ClusterNode {
     /// Withdrawals pending flush, with the withdrawing switch (receivers
     /// need it for the stale-withdrawal guard).
     outbox_removed: BTreeMap<MacAddr, SwitchId>,
+    /// Withdrawals this member has ever flushed (bounded, oldest
+    /// evicted; values carry `(switch, insertion stamp)`). The snapshot
+    /// fallback of anti-entropy includes them, so a peer too far behind
+    /// for log replay still hears about removals — an additive-only
+    /// snapshot would let its stale entries survive (and re-export)
+    /// forever, since the summary advances its head past the
+    /// withdrawal's sequence.
+    own_tombstones: BTreeMap<MacAddr, (SwitchId, u64)>,
+    /// Monotonic stamp for `own_tombstones` eviction order.
+    tomb_stamp: u64,
     sync_seq: u64,
+    /// Foreign chunks queued for forwarding at the next flush tick
+    /// (ring successor hop / tree-root redistribution). Bounded by
+    /// `relay_buffer_chunks`; overflow drops the oldest and counts it.
+    relay_outbox: VecDeque<PeerSyncMsg>,
+    /// Relay dedup: per-origin `(seq, chunk)` pairs already absorbed, with
+    /// a pruned window (see [`DEDUP_WINDOW_SEQS`]).
+    seen_chunks: BTreeMap<u32, BTreeSet<(u64, u32)>>,
+    /// This member's own recent flushes, retained for exact anti-entropy
+    /// replay. Bounded by `delta_log_flushes` distinct sequence numbers.
+    delta_log: VecDeque<PeerSyncMsg>,
+    /// Rotation counter for anti-entropy digest targets.
+    ae_round: u64,
+    /// Peer-sync traffic accounting.
+    traffic: SyncTraffic,
     hb_seq: u64,
     /// Last virtual time a heartbeat arrived from each peer.
     last_hb_from: BTreeMap<u32, u64>,
@@ -158,16 +217,60 @@ struct ClusterNode {
     requests_handled: u64,
 }
 
+/// How many recent flush sequences the relay dedup remembers per origin.
+/// Older `(seq, chunk)` keys are pruned; a chunk that somehow resurfaces
+/// from further back re-applies harmlessly (replica application is
+/// idempotent) — the window only has to cover chunks still in flight.
+const DEDUP_WINDOW_SEQS: u64 = 64;
+
 impl ClusterNode {
     fn next_xid(&mut self) -> u32 {
         self.xid = self.xid.wrapping_add(1);
         self.xid
+    }
+
+    /// Records a chunk key in the dedup window. Returns false when it was
+    /// already present (a duplicate).
+    fn note_seen(&mut self, sync: &PeerSyncMsg) -> bool {
+        let set = self.seen_chunks.entry(sync.origin).or_default();
+        let fresh = set.insert((sync.seq, sync.chunk));
+        if fresh {
+            let floor = sync.seq.saturating_sub(DEDUP_WINDOW_SEQS);
+            set.retain(|&(s, _)| s >= floor);
+        }
+        fresh
+    }
+
+    /// Queues a foreign chunk for forwarding at the next flush tick,
+    /// enforcing the relay-buffer bound.
+    fn queue_relay(&mut self, sync: PeerSyncMsg, cap: usize) {
+        self.relay_outbox.push_back(sync);
+        while self.relay_outbox.len() > cap {
+            self.relay_outbox.pop_front();
+            self.traffic.relay_overflows += 1;
+        }
+    }
+
+    /// Appends own flush chunks to the bounded replay log.
+    fn log_own_chunks(&mut self, chunks: &[PeerSyncMsg], keep_flushes: usize) {
+        self.delta_log.extend(chunks.iter().cloned());
+        let min_seq = self.sync_seq.saturating_sub(keep_flushes as u64);
+        while let Some(front) = self.delta_log.front() {
+            if front.seq <= min_seq {
+                self.delta_log.pop_front();
+            } else {
+                break;
+            }
+        }
     }
 }
 
 /// The sharded multi-controller control plane.
 pub struct ClusterControlPlane {
     cfg: ClusterConfig,
+    /// The configured dissemination strategy (built once from
+    /// `cfg.dissemination`).
+    strategy: Box<dyn Dissemination + Send + Sync>,
     nodes: Vec<ClusterNode>,
     ownership: OwnershipMap,
     /// Dense switch → group mapping, frozen at bootstrap (all members
@@ -206,7 +309,14 @@ impl ClusterControlPlane {
                     replica: ReplicaStore::new(),
                     outbox_entries: BTreeMap::new(),
                     outbox_removed: BTreeMap::new(),
+                    own_tombstones: BTreeMap::new(),
+                    tomb_stamp: 0,
                     sync_seq: 0,
+                    relay_outbox: VecDeque::new(),
+                    seen_chunks: BTreeMap::new(),
+                    delta_log: VecDeque::new(),
+                    ae_round: 0,
+                    traffic: SyncTraffic::default(),
                     hb_seq: 0,
                     last_hb_from: BTreeMap::new(),
                     peer_loads: BTreeMap::new(),
@@ -219,6 +329,7 @@ impl ClusterControlPlane {
             })
             .collect();
         ClusterControlPlane {
+            strategy: cfg.dissemination.build(),
             cfg,
             nodes,
             ownership: OwnershipMap::new(),
@@ -294,6 +405,85 @@ impl ClusterControlPlane {
         self.nodes[id as usize].replica.len()
     }
 
+    /// A member's peer-sync traffic counters.
+    pub fn sync_traffic(&self, id: u32) -> SyncTraffic {
+        self.nodes[id as usize].traffic
+    }
+
+    /// A member's replication flush sequence (how many delta flushes it
+    /// has originated).
+    pub fn sync_seq(&self, id: u32) -> u64 {
+        self.nodes[id as usize].sync_seq
+    }
+
+    /// The label of the dissemination strategy in force.
+    pub fn dissemination_label(&self) -> &'static str {
+        self.strategy.label()
+    }
+
+    /// Test/bench harness seam: queues a replication delta into a
+    /// member's outbox exactly as organic C-LIB learning would, without
+    /// driving a full switch conversation. The member's own C-LIB is
+    /// taught too (through its ordinary message interface, like
+    /// [`seed_clib`](Self::seed_clib)), so the anti-entropy snapshot
+    /// fallback — which rebuilds from the C-LIB — stays faithful for
+    /// seam-injected state. The delta leaves at the member's next
+    /// `ReplicaFlush` tick via the configured dissemination strategy.
+    pub fn enqueue_delta(
+        &mut self,
+        id: u32,
+        entries: Vec<HostEntry>,
+        removed: Vec<(MacAddr, SwitchId)>,
+    ) {
+        let mut by_switch: BTreeMap<SwitchId, LfibSyncMsg> = BTreeMap::new();
+        let node = &mut self.nodes[id as usize];
+        for e in entries {
+            node.outbox_entries.insert(e.mac, e);
+            node.outbox_removed.remove(&e.mac);
+            by_switch
+                .entry(e.switch)
+                .or_insert_with(|| empty_sync(e.switch))
+                .entries
+                .push(LfibEntry {
+                    mac: e.mac,
+                    tenant: e.tenant,
+                    port: e.port,
+                });
+        }
+        for (mac, sw) in removed {
+            node.outbox_entries.remove(&mac);
+            node.outbox_removed.insert(mac, sw);
+            by_switch
+                .entry(sw)
+                .or_insert_with(|| empty_sync(sw))
+                .removed
+                .push(mac);
+        }
+        for (switch, sync) in by_switch {
+            // Outputs (if any) are deliberately dropped: the seam models
+            // state arrival, not a live switch conversation.
+            let _ = node
+                .ctrl
+                .handle_message(0, switch, &Message::lazy(0, LazyMsg::LfibSync(sync)));
+        }
+    }
+
+    /// A member's merged view of a host location: its authoritative C-LIB
+    /// shard first, then the replica (what convergence tests compare).
+    pub fn view_of(&self, id: u32, mac: MacAddr) -> Option<HostEntry> {
+        let node = &self.nodes[id as usize];
+        node.ctrl
+            .clib()
+            .locate(mac)
+            .map(|loc| HostEntry {
+                mac,
+                switch: loc.switch,
+                port: loc.port,
+                tenant: loc.tenant,
+            })
+            .or_else(|| node.replica.lookup(mac))
+    }
+
     /// All ownership transfers initiated so far, in order.
     pub fn transfers(&self) -> &[OwnershipTransferMsg] {
         &self.transfers
@@ -309,6 +499,19 @@ impl ClusterControlPlane {
         self.nodes
             .iter()
             .filter(|n| !n.crashed && !self.confirmed_dead.contains(&n.id))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Members not *confirmed* dead, ascending — the dissemination
+    /// overlay's membership basis. Crashed-but-undetected members still
+    /// occupy their overlay slot (their traffic simply vanishes until the
+    /// heartbeat protocol confirms them dead and the overlay heals), the
+    /// same rule the heartbeat ring uses.
+    fn believed_alive(&self) -> Vec<u32> {
+        self.nodes
+            .iter()
+            .filter(|n| !self.confirmed_dead.contains(&n.id))
             .map(|n| n.id)
             .collect()
     }
@@ -375,15 +578,6 @@ impl ClusterControlPlane {
                 ClusterTimerKind::Inner(ControllerTimer::RegroupCheck),
                 10_000,
             ),
-            (
-                ClusterTimerKind::ReplicaFlush,
-                self.cfg.replica_flush_interval_ms,
-            ),
-            (ClusterTimerKind::Heartbeat, self.cfg.heartbeat_interval_ms),
-            (
-                ClusterTimerKind::RebalanceCheck,
-                self.cfg.rebalance_check_interval_ms,
-            ),
         ] {
             out.push(ClusterOutput::SetTimer(
                 ClusterTimer {
@@ -394,25 +588,66 @@ impl ClusterControlPlane {
                 interval_ms as u64 * 1_000_000,
             ));
         }
+        out.extend(self.cluster_timer_arms(id, gen));
         out
+    }
+
+    /// The standard cluster-level timer set every functioning member
+    /// runs: the one list `bootstrap` and `recover` both arm, so adding
+    /// a timer kind cannot silently miss one of the two paths.
+    fn cluster_timer_arms(&self, id: u32, gen: u32) -> Vec<ClusterOutput> {
+        [
+            (
+                ClusterTimerKind::ReplicaFlush,
+                self.cfg.replica_flush_interval_ms,
+            ),
+            (ClusterTimerKind::Heartbeat, self.cfg.heartbeat_interval_ms),
+            (
+                ClusterTimerKind::RebalanceCheck,
+                self.cfg.rebalance_check_interval_ms,
+            ),
+            (
+                ClusterTimerKind::AntiEntropy,
+                self.cfg.anti_entropy_interval_ms,
+            ),
+        ]
+        .into_iter()
+        .map(|(kind, interval_ms)| {
+            ClusterOutput::SetTimer(
+                ClusterTimer {
+                    node: id,
+                    kind,
+                    gen,
+                },
+                interval_ms as u64 * 1_000_000,
+            )
+        })
+        .collect()
     }
 
     // ---- Bootstrap -----------------------------------------------------
 
-    /// Bootstraps every member from the same intensity graph (identical
-    /// deterministic groupings), shards the groups round-robin, and emits
-    /// the initial `GroupAssign`s (each switch hears exactly one: its
-    /// owner's) plus all timers.
+    /// Bootstraps the cluster: member 0 computes the grouping (one SGI
+    /// run), freezes it into a shared immutable snapshot, and every other
+    /// member adopts the `Arc` — identical assignments, one copy of the
+    /// grouping state cluster-wide. Shards the groups round-robin and
+    /// emits the initial `GroupAssign`s (each switch hears exactly one:
+    /// its owner's) plus all timers.
     pub fn bootstrap(&mut self, now_ns: u64, graph: WeightedGraph) -> Vec<ClusterOutput> {
         assert!(!self.bootstrapped, "cluster already bootstrapped");
         self.bootstrapped = true;
         let mut raw: Vec<(u32, Vec<ControllerOutput>)> = Vec::new();
-        for node in &mut self.nodes {
-            let outs = node.ctrl.bootstrap(now_ns, graph.clone());
+        let outs0 = self.nodes[0].ctrl.bootstrap(now_ns, graph);
+        raw.push((0, outs0));
+        let snapshot = self.nodes[0]
+            .ctrl
+            .freeze_grouping()
+            .expect("member 0 just bootstrapped");
+        for node in self.nodes.iter_mut().skip(1) {
+            let outs = node.ctrl.bootstrap_shared(now_ns, snapshot.clone());
             raw.push((node.id, outs));
         }
-        // All members computed the same grouping; freeze the switch → group
-        // view from member 0.
+        // Freeze the plane's dense switch → group view from the snapshot.
         let grouping = self.nodes[0].ctrl.grouping();
         let num_groups = grouping.num_groups().unwrap_or(0);
         for s in 0..self.group_of_switch.len() {
@@ -433,27 +668,9 @@ impl ClusterControlPlane {
         for (id, outs) in raw {
             out.extend(self.convert_outputs(id, outs, true));
         }
-        for node in &self.nodes {
-            for (kind, interval_ms) in [
-                (
-                    ClusterTimerKind::ReplicaFlush,
-                    self.cfg.replica_flush_interval_ms,
-                ),
-                (ClusterTimerKind::Heartbeat, self.cfg.heartbeat_interval_ms),
-                (
-                    ClusterTimerKind::RebalanceCheck,
-                    self.cfg.rebalance_check_interval_ms,
-                ),
-            ] {
-                out.push(ClusterOutput::SetTimer(
-                    ClusterTimer {
-                        node: node.id,
-                        kind,
-                        gen: node.timer_gen,
-                    },
-                    interval_ms as u64 * 1_000_000,
-                ));
-            }
+        let arms: Vec<(u32, u32)> = self.nodes.iter().map(|n| (n.id, n.timer_gen)).collect();
+        for (id, gen) in arms {
+            out.extend(self.cluster_timer_arms(id, gen));
         }
         out
     }
@@ -592,9 +809,28 @@ impl ClusterControlPlane {
         }
         match &msg.body {
             MessageBody::Cluster(ClusterMsg::PeerSync(sync)) => {
-                self.nodes[to as usize].replica.apply(sync);
+                // Direct sync: flood delivery or anti-entropy catch-up.
+                // Applied unconditionally (replica application is
+                // idempotent) — the dedup window only guards the relay
+                // overlay against re-circulation.
+                let node = &mut self.nodes[to as usize];
+                if sync.origin != to {
+                    // Always apply (idempotent, and a catch-up sync's
+                    // payload is a superset of the original chunk under
+                    // the same key) — the dedup window only decides how
+                    // the application is *counted*.
+                    let fresh = node.note_seen(sync);
+                    node.replica.apply(sync);
+                    if fresh {
+                        node.traffic.direct_applies += 1;
+                    } else {
+                        node.traffic.duplicate_drops += 1;
+                    }
+                }
                 Vec::new()
             }
+            MessageBody::Cluster(ClusterMsg::SyncRelay(bundle)) => self.absorb_relay(to, bundle),
+            MessageBody::Cluster(ClusterMsg::SyncDigest(digest)) => self.serve_digest(to, digest),
             MessageBody::Cluster(ClusterMsg::Heartbeat(hb)) => {
                 let came_back = self.confirmed_dead.remove(&hb.from);
                 let node = &mut self.nodes[to as usize];
@@ -798,6 +1034,7 @@ impl ClusterControlPlane {
             ClusterTimerKind::ReplicaFlush => self.flush_replicas(id, timer),
             ClusterTimerKind::Heartbeat => self.heartbeat(id, now_ns, timer),
             ClusterTimerKind::RebalanceCheck => self.rebalance_check(id, now_ns, timer),
+            ClusterTimerKind::AntiEntropy => self.anti_entropy(id, timer),
         }
     }
 
@@ -805,17 +1042,25 @@ impl ClusterControlPlane {
         ClusterOutput::SetTimer(timer, interval_ms as u64 * 1_000_000)
     }
 
-    /// Drains the member's C-LIB delta outbox into `PeerSync` floods.
+    /// Drains the member's C-LIB delta outbox (plus any foreign chunks
+    /// queued for relay) onto the dissemination overlay: per-peer
+    /// `PeerSync`s under flood, one `SyncRelay` bundle per overlay edge
+    /// under ring/tree — the bundling that turns a flush round from
+    /// O(n²) messages into O(n).
     fn flush_replicas(&mut self, id: u32, timer: ClusterTimer) -> Vec<ClusterOutput> {
-        let peers: Vec<u32> = self
-            .live_members()
-            .into_iter()
-            .filter(|&p| p != id)
-            .collect();
+        let mut alive = self.believed_alive();
+        // A recovered member may flush before its comeback heartbeat
+        // un-confirms it cluster-wide. It must still occupy its own
+        // overlay slot, or the ring route degenerates to Nowhere and the
+        // flush (outbox already drained, sequence already bumped) is
+        // silently lost until anti-entropy happens to repair it.
+        if let Err(i) = alive.binary_search(&id) {
+            alive.insert(i, id);
+        }
+        let chunk_size = self.cfg.sync_chunk_entries;
         let node = &mut self.nodes[id as usize];
-        let mut out = Vec::new();
-        if !peers.is_empty() && (!node.outbox_entries.is_empty() || !node.outbox_removed.is_empty())
-        {
+        let mut own_chunks: Vec<PeerSyncMsg> = Vec::new();
+        if alive.len() > 1 && (!node.outbox_entries.is_empty() || !node.outbox_removed.is_empty()) {
             node.sync_seq += 1;
             let entries: Vec<HostEntry> = std::mem::take(&mut node.outbox_entries)
                 .into_values()
@@ -823,22 +1068,265 @@ impl ClusterControlPlane {
             let removed: Vec<(MacAddr, SwitchId)> = std::mem::take(&mut node.outbox_removed)
                 .into_iter()
                 .collect();
-            // ~64 KiB frames; 2000 entries × 14 B stays well under the
-            // 16-bit length field.
-            let chunks = PeerSyncMsg::chunked(id, node.sync_seq, entries, removed, 2000);
-            for peer in peers {
-                for chunk in &chunks {
-                    let xid = node.next_xid();
-                    out.push(ClusterOutput::ToCtrl {
-                        from: id,
-                        to: peer,
-                        msg: Message::cluster(xid, ClusterMsg::PeerSync(chunk.clone())),
-                    });
+            // Remember flushed withdrawals (bounded, oldest evicted) for
+            // the snapshot fallback; a fresh learn supersedes the
+            // tombstone.
+            for e in &entries {
+                node.own_tombstones.remove(&e.mac);
+            }
+            for (mac, sw) in &removed {
+                node.tomb_stamp += 1;
+                node.own_tombstones.insert(*mac, (*sw, node.tomb_stamp));
+            }
+            crate::replica::evict_oldest(
+                &mut node.own_tombstones,
+                crate::replica::TOMBSTONE_CAP,
+                |&(_, stamp)| stamp,
+            );
+            // Bounded chunks (~64 KiB at the default 2000 × 14 B) keep the
+            // largest wire message flat no matter how much churn a flush
+            // interval accumulated.
+            own_chunks = PeerSyncMsg::chunked(id, node.sync_seq, entries, removed, chunk_size);
+            node.traffic.chunks_created += own_chunks.len() as u64;
+            node.log_own_chunks(&own_chunks, self.cfg.delta_log_flushes);
+        }
+
+        let mut out = Vec::new();
+        match self.strategy.flush_route(id, &alive) {
+            FlushRoute::DirectToAll(peers) => {
+                // Flood never queues relays, so only own chunks go out.
+                for peer in peers {
+                    for chunk in &own_chunks {
+                        out.push(self.send_sync(id, peer, chunk.clone()));
+                    }
                 }
             }
+            FlushRoute::BundleTo(peer) => {
+                let node = &mut self.nodes[id as usize];
+                let mut syncs: Vec<PeerSyncMsg> = node.relay_outbox.drain(..).collect();
+                syncs.extend(own_chunks);
+                if !syncs.is_empty() {
+                    out.push(self.send_bundle(id, peer, syncs));
+                }
+            }
+            FlushRoute::BundleToEach(peers) => {
+                let node = &mut self.nodes[id as usize];
+                let mut syncs: Vec<PeerSyncMsg> = node.relay_outbox.drain(..).collect();
+                syncs.extend(own_chunks);
+                if !syncs.is_empty() {
+                    for peer in peers {
+                        out.push(self.send_bundle(id, peer, syncs.clone()));
+                    }
+                }
+            }
+            FlushRoute::Nowhere => {}
         }
         out.push(self.rearm(timer, self.cfg.replica_flush_interval_ms));
         out
+    }
+
+    /// Builds (and counts) one direct peer-sync message.
+    fn send_sync(&mut self, from: u32, to: u32, sync: PeerSyncMsg) -> ClusterOutput {
+        let node = &mut self.nodes[from as usize];
+        node.traffic.messages_sent += 1;
+        node.traffic.bytes_sent += sync.wire_len() as u64;
+        let xid = node.next_xid();
+        ClusterOutput::ToCtrl {
+            from,
+            to,
+            msg: Message::cluster(xid, ClusterMsg::PeerSync(sync)),
+        }
+    }
+
+    /// Builds (and counts) one relay bundle.
+    fn send_bundle(&mut self, from: u32, to: u32, syncs: Vec<PeerSyncMsg>) -> ClusterOutput {
+        let bundle = SyncRelayMsg { from, syncs };
+        let node = &mut self.nodes[from as usize];
+        node.traffic.messages_sent += 1;
+        node.traffic.bytes_sent += bundle.wire_len() as u64;
+        let xid = node.next_xid();
+        ClusterOutput::ToCtrl {
+            from,
+            to,
+            msg: Message::cluster(xid, ClusterMsg::SyncRelay(bundle)),
+        }
+    }
+
+    /// Absorbs a relay bundle at `at`: applies every chunk not seen
+    /// before, queues survivors for the next overlay hop per the strategy,
+    /// and — on a tree down-path edge — re-fans the bundle to the
+    /// children immediately.
+    fn absorb_relay(&mut self, at: u32, bundle: &SyncRelayMsg) -> Vec<ClusterOutput> {
+        let alive = self.believed_alive();
+        let cap = self.cfg.relay_buffer_chunks;
+        {
+            let node = &mut self.nodes[at as usize];
+            for sync in &bundle.syncs {
+                if sync.origin == at {
+                    // Own chunk completing a lap (tree down-path); the
+                    // overlay may still need it forwarded below.
+                    continue;
+                }
+                if !node.note_seen(sync) {
+                    node.traffic.duplicate_drops += 1;
+                    continue;
+                }
+                node.replica.apply(sync);
+                node.traffic.relay_applies += 1;
+                if self.strategy.should_queue_relay(at, sync.origin, &alive) {
+                    node.queue_relay(sync.clone(), cap);
+                }
+            }
+        }
+        // Tree down-path: push the same bundle to the children right away
+        // (the dedup window on each receiver makes re-fanning safe).
+        let children = self.strategy.immediate_relay(at, bundle.from, &alive);
+        let mut out = Vec::new();
+        for child in children {
+            out.push(self.send_bundle(at, child, bundle.syncs.clone()));
+        }
+        out
+    }
+
+    /// Sends this member's anti-entropy digest to one rotating
+    /// believed-alive peer.
+    fn anti_entropy(&mut self, id: u32, timer: ClusterTimer) -> Vec<ClusterOutput> {
+        let peers: Vec<u32> = self
+            .believed_alive()
+            .into_iter()
+            .filter(|&p| p != id)
+            .collect();
+        let mut out = Vec::new();
+        if !peers.is_empty() {
+            let node = &mut self.nodes[id as usize];
+            let target = peers[(node.ae_round % peers.len() as u64) as usize];
+            node.ae_round += 1;
+            let mut heads: BTreeMap<u32, u64> = node.replica.heads().into_iter().collect();
+            heads.insert(id, node.sync_seq);
+            node.traffic.digests_sent += 1;
+            let xid = node.next_xid();
+            out.push(ClusterOutput::ToCtrl {
+                from: id,
+                to: target,
+                msg: Message::cluster(
+                    xid,
+                    ClusterMsg::SyncDigest(SyncDigestMsg {
+                        from: id,
+                        heads: heads.into_iter().collect(),
+                    }),
+                ),
+            });
+        }
+        out.push(self.rearm(timer, self.cfg.anti_entropy_interval_ms));
+        out
+    }
+
+    /// Serves a peer's digest at `at`: for every origin where the sender
+    /// trails this member's contiguous knowledge, push the gap back
+    /// directly — an exact replay from the delta log for `at`'s own
+    /// origin (falling back to a full-shard *summary* snapshot when the
+    /// log was truncated), and for foreign origins a summary of the
+    /// attributed replica knowledge up to this member's contiguous head
+    /// (entries plus tombstoned withdrawals), followed by any
+    /// beyond-the-gap deltas it holds pending. This is what reconverges a
+    /// member that slept through relayed deltas — and, because digests
+    /// carry *contiguous* heads, it also repairs holes punched into the
+    /// middle of a member's sequence by mid-circulation crashes.
+    fn serve_digest(&mut self, at: u32, digest: &SyncDigestMsg) -> Vec<ClusterOutput> {
+        let their: BTreeMap<u32, u64> = digest.heads.iter().copied().collect();
+        let chunk_size = self.cfg.sync_chunk_entries;
+        let mut to_send: Vec<PeerSyncMsg> = Vec::new();
+        {
+            let node = &mut self.nodes[at as usize];
+            // Own origin: exact replay from the bounded delta log.
+            let sender_head = their.get(&at).copied().unwrap_or(0);
+            if sender_head < node.sync_seq {
+                let oldest_logged = node.delta_log.front().map(|s| s.seq);
+                let log_covers = oldest_logged.is_some_and(|o| o <= sender_head + 1);
+                if log_covers {
+                    to_send.extend(
+                        node.delta_log
+                            .iter()
+                            .filter(|s| s.seq > sender_head)
+                            .cloned(),
+                    );
+                } else {
+                    // The log no longer reaches back far enough: send the
+                    // authoritative shard — entries from the C-LIB (the
+                    // origin's ground truth) plus remembered withdrawals
+                    // (`own_tombstones`), so a far-behind peer's stale
+                    // entries get removed instead of surviving behind an
+                    // advanced head — as a summary snapshot under the
+                    // *current* sequence. No bump, no log entry, no
+                    // chunks_created: the snapshot is repair traffic
+                    // rebuilt from the C-LIB on demand, and advancing the
+                    // sequence here would make every *other* peer trail
+                    // by one head and digest the same full shard in turn.
+                    let entries: Vec<HostEntry> = node
+                        .ctrl
+                        .clib()
+                        .iter()
+                        .map(|(mac, loc)| HostEntry {
+                            mac,
+                            switch: loc.switch,
+                            port: loc.port,
+                            tenant: loc.tenant,
+                        })
+                        .collect();
+                    let removed: Vec<(MacAddr, SwitchId)> = node
+                        .own_tombstones
+                        .iter()
+                        .map(|(mac, (sw, _))| (*mac, *sw))
+                        .collect();
+                    let mut chunks =
+                        PeerSyncMsg::chunked(at, node.sync_seq, entries, removed, chunk_size);
+                    mark_last_as_summary(&mut chunks);
+                    to_send.extend(chunks);
+                }
+            }
+            // Foreign origins: the *gap* the sender is missing —
+            // attributed knowledge in `(their_head, my_head]`, never
+            // beyond this member's own contiguous head (that would claim
+            // completeness over a gap it has itself) — then the pending
+            // beyond-the-gap deltas as ordinary deltas.
+            for (origin, my_head) in node.replica.heads() {
+                if origin == digest.from || origin == at {
+                    continue;
+                }
+                let their_head = their.get(&origin).copied().unwrap_or(0);
+                if their_head < my_head {
+                    let (entries, removed) = node.replica.knowledge_since(origin, their_head);
+                    let mut chunks =
+                        PeerSyncMsg::chunked(origin, my_head, entries, removed, chunk_size);
+                    mark_last_as_summary(&mut chunks);
+                    to_send.extend(chunks);
+                }
+                for seq in node.replica.pending_seqs(origin) {
+                    if their_head >= seq {
+                        continue;
+                    }
+                    let (entries, removed) = node.replica.pending_delta(origin, seq);
+                    to_send.extend(PeerSyncMsg::chunked(
+                        origin, seq, entries, removed, chunk_size,
+                    ));
+                }
+            }
+            node.traffic.catchup_syncs_sent += to_send.len() as u64;
+        }
+        // Catch-up rides direct syncs but is *repair* traffic, counted by
+        // `catchup_syncs_sent` — not in `messages_sent`, which measures
+        // the dissemination overlay's steady-state cost.
+        to_send
+            .into_iter()
+            .map(|sync| {
+                let xid = self.nodes[at as usize].next_xid();
+                ClusterOutput::ToCtrl {
+                    from: at,
+                    to: digest.from,
+                    msg: Message::cluster(xid, ClusterMsg::PeerSync(sync)),
+                }
+            })
+            .collect()
     }
 
     /// Sends ring heartbeats (to every live peer, loads piggybacked) and
@@ -1084,6 +1572,27 @@ impl ClusterControlPlane {
             }
         }
         converted
+    }
+}
+
+/// An empty per-switch L-FIB sync, filled in by the harness seam.
+fn empty_sync(origin: SwitchId) -> LfibSyncMsg {
+    LfibSyncMsg {
+        origin,
+        epoch: 0,
+        entries: Vec::new(),
+        removed: Vec::new(),
+    }
+}
+
+/// Marks only the *last* chunk of a catch-up as the head-advancing
+/// summary. Earlier chunks travel as ordinary deltas of the same
+/// sequence, so a receiver that loses or reorders an intermediate chunk
+/// does not advance its head past content it never saw (entry application
+/// itself is unaffected — every chunk's entries apply on arrival).
+fn mark_last_as_summary(chunks: &mut [PeerSyncMsg]) {
+    if let Some(last) = chunks.last_mut() {
+        last.summary = true;
     }
 }
 

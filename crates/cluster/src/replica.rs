@@ -3,28 +3,129 @@
 //! Each cluster member keeps, besides its authoritative C-LIB shard (the
 //! hosts behind switches it owns, inside its `LazyController`), a *replica
 //! store* fed by peers' asynchronous
-//! [`PeerSyncMsg`](lazyctrl_proto::PeerSyncMsg) floods. Inter-shard flow
-//! setups consult the replica first; only a replica miss costs a
-//! synchronous peer lookup. The replica is also what makes failover cheap:
-//! a controller taking over a dead peer's groups seeds its C-LIB from the
-//! replica instead of waiting for every switch to re-sync.
+//! [`PeerSyncMsg`](lazyctrl_proto::PeerSyncMsg)s — flooded directly or
+//! relayed along the dissemination overlay. Inter-shard flow setups
+//! consult the replica first; only a replica miss costs a synchronous peer
+//! lookup. The replica is also what makes failover cheap: a controller
+//! taking over a dead peer's groups seeds its C-LIB from the replica
+//! instead of waiting for every switch to re-sync.
+//!
+//! # Anti-entropy bookkeeping
+//!
+//! Relay overlays can drop deltas (a chunk in flight towards a member
+//! that dies mid-circulation is simply gone), so the store tracks, per
+//! origin, the highest **contiguous** flush sequence it has fully seen
+//! ([`ReplicaStore::seen_through`]) — later deltas that arrive over a gap
+//! wait in a pending set without advancing it. Digest exchanges compare
+//! exactly these values, which is what makes holes *visible*: a member
+//! that missed seq 3 but received 4 and 5 still advertises 2 and gets
+//! served the gap. Entries are attributed to `(origin, seq)` and
+//! withdrawals leave bounded tombstones, so any up-to-date peer can serve
+//! exact catch-up — entries *and* removals — for any origin it knows.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use lazyctrl_net::{MacAddr, SwitchId};
 use lazyctrl_proto::{HostEntry, PeerSyncMsg};
 use serde::{Deserialize, Serialize};
 
+/// A withdrawal remembered for anti-entropy catch-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Tombstone {
+    /// The switch that withdrew the host (needed by the receiving side's
+    /// stale-withdrawal guard).
+    switch: SwitchId,
+    /// The origin controller whose sync carried the withdrawal.
+    origin: u32,
+    /// That origin's flush sequence at the withdrawal.
+    seq: u64,
+    /// Store-local insertion stamp; cap eviction drops the smallest, so
+    /// the *oldest* withdrawal goes first (a key-ordered eviction would
+    /// permanently starve low-sorting MACs of tombstone memory).
+    stamp: u64,
+}
+
+/// Evicts oldest-stamped values from a capped map. `stamp_of` projects
+/// each value's insertion stamp.
+pub(crate) fn evict_oldest<K: Ord + Clone, V>(
+    map: &mut BTreeMap<K, V>,
+    cap: usize,
+    stamp_of: impl Fn(&V) -> u64,
+) {
+    while map.len() > cap {
+        let oldest = map
+            .iter()
+            .min_by_key(|(_, v)| stamp_of(v))
+            .map(|(k, _)| k.clone())
+            .expect("map is over cap, hence non-empty");
+        map.remove(&oldest);
+    }
+}
+
+/// Per-origin sequence tracking.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct OriginProgress {
+    /// Highest contiguous flush sequence fully absorbed.
+    seen_through: u64,
+    /// Sequences received *beyond* a gap, waiting for it to fill.
+    pending: BTreeSet<u64>,
+}
+
+impl OriginProgress {
+    fn note_delta(&mut self, seq: u64) {
+        if seq <= self.seen_through {
+            return;
+        }
+        self.pending.insert(seq);
+        while self.pending.remove(&(self.seen_through + 1)) {
+            self.seen_through += 1;
+        }
+        // A gap that anti-entropy will fill anyway must not hoard memory.
+        while self.pending.len() > PENDING_CAP {
+            self.pending.pop_last();
+        }
+    }
+
+    fn note_summary(&mut self, seq: u64) {
+        if seq > self.seen_through {
+            self.seen_through = seq;
+        }
+        let st = self.seen_through;
+        self.pending.retain(|&s| s > st);
+        while self.pending.remove(&(self.seen_through + 1)) {
+            self.seen_through += 1;
+        }
+    }
+}
+
 /// Replicated host locations from peer controllers.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ReplicaStore {
-    hosts: BTreeMap<MacAddr, HostEntry>,
-    /// Highest sequence number seen per origin controller (observability;
-    /// chunks of one flush share a sequence number, so this is a
-    /// high-water mark, not a dedup filter).
-    high_water: BTreeMap<u32, u64>,
+    /// Host → (location, asserting origin, that origin's flush seq). The
+    /// attribution lets this store answer per-origin catch-up requests.
+    hosts: BTreeMap<MacAddr, (HostEntry, u32, u64)>,
+    /// Bounded withdrawal memory, newest kept (see [`TOMBSTONE_CAP`]).
+    tombstones: BTreeMap<MacAddr, Tombstone>,
+    /// Per-origin contiguous-sequence progress.
+    progress: BTreeMap<u32, OriginProgress>,
+    /// Monotonic tombstone insertion stamp (for oldest-first eviction).
+    tomb_stamp: u64,
     syncs_applied: u64,
 }
+
+/// Withdrawals retained for catch-up (shared by the replica store and
+/// each member's own-shard tombstones in the plane, so the two halves of
+/// the withdrawal-replay mechanism stay in step). Beyond this, the
+/// oldest tombstones are dropped — a member that slept through *that*
+/// many removals falls back to additive convergence (stale entries
+/// linger until organically withdrawn or overwritten; correctness is
+/// preserved by the synchronous lookup / scoped-ARP fallback, only
+/// replica hit-rate suffers).
+pub(crate) const TOMBSTONE_CAP: usize = 4096;
+
+/// Out-of-order sequences buffered per origin while a gap waits for
+/// anti-entropy. Overflow drops the newest (they will be re-served).
+const PENDING_CAP: usize = 1024;
 
 impl ReplicaStore {
     /// Creates an empty store.
@@ -47,42 +148,141 @@ impl ReplicaStore {
         self.syncs_applied
     }
 
-    /// Highest sequence number seen from `origin`.
-    pub fn high_water(&self, origin: u32) -> Option<u64> {
-        self.high_water.get(&origin).copied()
+    /// Highest contiguous flush sequence fully seen from `origin` — the
+    /// digest-exchange basis. Deltas received beyond a gap do not advance
+    /// it, which is what keeps holes visible to anti-entropy.
+    pub fn seen_through(&self, origin: u32) -> u64 {
+        self.progress
+            .get(&origin)
+            .map(|p| p.seen_through)
+            .unwrap_or(0)
+    }
+
+    /// All per-origin contiguous heads, ascending by origin — the digest
+    /// body.
+    pub fn heads(&self) -> Vec<(u32, u64)> {
+        self.progress
+            .iter()
+            .map(|(&o, p)| (o, p.seen_through))
+            .collect()
+    }
+
+    /// Sequences received from `origin` beyond its contiguous head.
+    pub fn pending_seqs(&self, origin: u32) -> Vec<u64> {
+        self.progress
+            .get(&origin)
+            .map(|p| p.pending.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Absorbs one peer sync: entries overwrite, withdrawals remove only
     /// while the stored location still matches the withdrawing switch —
     /// the same stale-removal rule as the C-LIB: a migration's fresh learn
     /// elsewhere must not be clobbered by the old location's late
-    /// withdrawal.
+    /// withdrawal. A **summary** sync (anti-entropy catch-up carrying all
+    /// of an origin's knowledge up to `seq`) advances the contiguous head
+    /// directly; a **delta** only advances it when it closes the gap.
     pub fn apply(&mut self, sync: &PeerSyncMsg) {
         for e in &sync.entries {
-            self.hosts.insert(e.mac, *e);
+            self.hosts.insert(e.mac, (*e, sync.origin, sync.seq));
+            self.tombstones.remove(&e.mac);
         }
         for (mac, from_switch) in &sync.removed {
-            if let Some(existing) = self.hosts.get(mac) {
+            if let Some((existing, _, _)) = self.hosts.get(mac) {
                 if existing.switch == *from_switch {
                     self.hosts.remove(mac);
+                    self.tomb_stamp += 1;
+                    self.tombstones.insert(
+                        *mac,
+                        Tombstone {
+                            switch: *from_switch,
+                            origin: sync.origin,
+                            seq: sync.seq,
+                            stamp: self.tomb_stamp,
+                        },
+                    );
                 }
             }
         }
-        let hw = self.high_water.entry(sync.origin).or_insert(0);
-        *hw = (*hw).max(sync.seq);
+        evict_oldest(&mut self.tombstones, TOMBSTONE_CAP, |t| t.stamp);
+        let progress = self.progress.entry(sync.origin).or_default();
+        if sync.summary {
+            progress.note_summary(sync.seq);
+        } else {
+            progress.note_delta(sync.seq);
+        }
         self.syncs_applied += 1;
     }
 
     /// Looks up a replicated host location.
     pub fn lookup(&self, mac: MacAddr) -> Option<HostEntry> {
-        self.hosts.get(&mac).copied()
+        self.hosts.get(&mac).map(|(e, _, _)| *e)
+    }
+
+    /// Everything this store knows of `origin` up to its contiguous head:
+    /// `(live entries, remembered withdrawals)` — the payload of a
+    /// *summary* catch-up sync for that origin. Entries beyond the head
+    /// (received over a gap) are excluded: summarizing them would claim
+    /// completeness the store does not have.
+    pub fn knowledge_of(&self, origin: u32) -> (Vec<HostEntry>, Vec<(MacAddr, SwitchId)>) {
+        self.knowledge_since(origin, 0)
+    }
+
+    /// Like [`knowledge_of`], but only the part a peer that already holds
+    /// everything through `since` is missing: entries and withdrawals
+    /// attributed to sequences in `(since, head]`. Serving just the gap
+    /// keeps steady-state anti-entropy traffic proportional to the lag,
+    /// not to the shard size.
+    ///
+    /// [`knowledge_of`]: ReplicaStore::knowledge_of
+    pub fn knowledge_since(
+        &self,
+        origin: u32,
+        since: u64,
+    ) -> (Vec<HostEntry>, Vec<(MacAddr, SwitchId)>) {
+        let head = self.seen_through(origin);
+        let entries = self
+            .hosts
+            .values()
+            .filter(|(_, o, s)| *o == origin && *s <= head && *s > since)
+            .map(|(e, _, _)| *e)
+            .collect();
+        let removed = self
+            .tombstones
+            .iter()
+            .filter(|(_, t)| t.origin == origin && t.seq <= head && t.seq > since)
+            .map(|(mac, t)| (*mac, t.switch))
+            .collect();
+        (entries, removed)
+    }
+
+    /// Reconstructs the delta of one pending (beyond-the-gap) sequence of
+    /// `origin`, for forwarding to a peer that lacks it.
+    pub fn pending_delta(
+        &self,
+        origin: u32,
+        seq: u64,
+    ) -> (Vec<HostEntry>, Vec<(MacAddr, SwitchId)>) {
+        let entries = self
+            .hosts
+            .values()
+            .filter(|(_, o, s)| *o == origin && *s == seq)
+            .map(|(e, _, _)| *e)
+            .collect();
+        let removed = self
+            .tombstones
+            .iter()
+            .filter(|(_, t)| t.origin == origin && t.seq == seq)
+            .map(|(mac, t)| (*mac, t.switch))
+            .collect();
+        (entries, removed)
     }
 
     /// All replicated hosts attached to one of the given switches, grouped
     /// by switch (ascending). Used to seed a C-LIB on ownership takeover.
     pub fn hosts_behind(&self, switches: &[SwitchId]) -> Vec<(SwitchId, Vec<HostEntry>)> {
         let mut by_switch: BTreeMap<SwitchId, Vec<HostEntry>> = BTreeMap::new();
-        for e in self.hosts.values() {
+        for (e, _, _) in self.hosts.values() {
             if switches.contains(&e.switch) {
                 by_switch.entry(e.switch).or_default().push(*e);
             }
@@ -114,6 +314,8 @@ mod tests {
         PeerSyncMsg {
             origin,
             seq,
+            chunk: 0,
+            summary: false,
             entries,
             removed: removed
                 .into_iter()
@@ -132,16 +334,20 @@ mod tests {
             SwitchId::new(3)
         );
         assert!(r.lookup(MacAddr::for_host(99)).is_none());
-        assert_eq!(r.high_water(1), Some(1));
+        assert_eq!(r.seen_through(1), 1);
+        assert_eq!(r.heads(), vec![(1, 1)]);
         assert_eq!(r.syncs_applied(), 1);
     }
 
     #[test]
-    fn withdrawals_remove() {
+    fn withdrawals_remove_and_leave_tombstones() {
         let mut r = ReplicaStore::new();
         r.apply(&sync(1, 1, vec![entry(10, 3)], vec![]));
         r.apply(&sync(1, 2, vec![], vec![(10, 3)]));
         assert!(r.is_empty());
+        let (entries, removed) = r.knowledge_of(1);
+        assert!(entries.is_empty());
+        assert_eq!(removed, vec![(MacAddr::for_host(10), SwitchId::new(3))]);
     }
 
     #[test]
@@ -156,6 +362,90 @@ mod tests {
             .lookup(MacAddr::for_host(10))
             .expect("fresh learn survives");
         assert_eq!(loc.switch, SwitchId::new(7));
+    }
+
+    #[test]
+    fn a_gap_keeps_the_head_back_until_filled() {
+        let mut r = ReplicaStore::new();
+        r.apply(&sync(1, 1, vec![entry(10, 3)], vec![]));
+        r.apply(&sync(1, 2, vec![entry(11, 3)], vec![]));
+        // Seq 3 lost in the overlay; 4 and 5 arrive anyway.
+        r.apply(&sync(1, 4, vec![entry(13, 3)], vec![]));
+        r.apply(&sync(1, 5, vec![entry(14, 3)], vec![]));
+        assert_eq!(r.seen_through(1), 2, "gap at 3 must keep the head at 2");
+        assert_eq!(r.pending_seqs(1), vec![4, 5]);
+        // Knowledge stops at the head; the pending tail is reconstructable
+        // per sequence.
+        let (entries, _) = r.knowledge_of(1);
+        assert_eq!(entries.len(), 2);
+        let (tail, _) = r.pending_delta(1, 4);
+        assert_eq!(tail, vec![entry(13, 3)]);
+        // The gap fills: head catches up through the pending set.
+        r.apply(&sync(1, 3, vec![entry(12, 3)], vec![]));
+        assert_eq!(r.seen_through(1), 5);
+        assert!(r.pending_seqs(1).is_empty());
+    }
+
+    #[test]
+    fn a_summary_advances_the_head_directly() {
+        let mut r = ReplicaStore::new();
+        let mut summary = sync(1, 7, vec![entry(10, 3), entry(11, 4)], vec![]);
+        summary.summary = true;
+        r.apply(&summary);
+        assert_eq!(r.seen_through(1), 7);
+        // A later delta over a fresh gap pends again.
+        r.apply(&sync(1, 9, vec![entry(12, 4)], vec![]));
+        assert_eq!(r.seen_through(1), 7);
+        r.apply(&sync(1, 8, vec![entry(13, 4)], vec![]));
+        assert_eq!(r.seen_through(1), 9);
+    }
+
+    #[test]
+    fn knowledge_since_serves_only_the_gap() {
+        let mut r = ReplicaStore::new();
+        r.apply(&sync(1, 1, vec![entry(10, 3)], vec![]));
+        r.apply(&sync(1, 2, vec![entry(11, 3)], vec![]));
+        r.apply(&sync(1, 3, vec![entry(12, 3)], vec![(10, 3)]));
+        let (entries, removed) = r.knowledge_since(1, 2);
+        assert_eq!(entries, vec![entry(12, 3)]);
+        assert_eq!(removed, vec![(MacAddr::for_host(10), SwitchId::new(3))]);
+        let (all, _) = r.knowledge_since(1, 0);
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn knowledge_is_attributed_to_the_last_asserting_origin() {
+        let mut r = ReplicaStore::new();
+        r.apply(&sync(1, 1, vec![entry(10, 3), entry(11, 3)], vec![]));
+        r.apply(&sync(2, 1, vec![entry(10, 7)], vec![]));
+        let (of_1, _) = r.knowledge_of(1);
+        let (of_2, _) = r.knowledge_of(2);
+        assert_eq!(of_1, vec![entry(11, 3)]);
+        assert_eq!(of_2, vec![entry(10, 7)]);
+    }
+
+    #[test]
+    fn reapplying_a_tombstoned_entry_clears_the_tombstone() {
+        let mut r = ReplicaStore::new();
+        r.apply(&sync(1, 1, vec![entry(10, 3)], vec![]));
+        r.apply(&sync(1, 2, vec![], vec![(10, 3)]));
+        r.apply(&sync(1, 3, vec![entry(10, 5)], vec![]));
+        let (entries, removed) = r.knowledge_of(1);
+        assert_eq!(entries, vec![entry(10, 5)]);
+        assert!(removed.is_empty(), "re-learn must clear the tombstone");
+    }
+
+    #[test]
+    fn tombstone_eviction_drops_the_oldest_not_the_lowest_key() {
+        let mut m: BTreeMap<u32, u64> = BTreeMap::new();
+        // Key order is the *reverse* of insertion order: key 3 is oldest.
+        m.insert(3, 1);
+        m.insert(2, 2);
+        m.insert(1, 3);
+        evict_oldest(&mut m, 2, |&s| s);
+        assert_eq!(m.keys().copied().collect::<Vec<_>>(), vec![1, 2]);
+        evict_oldest(&mut m, 1, |&s| s);
+        assert_eq!(m.keys().copied().collect::<Vec<_>>(), vec![1]);
     }
 
     #[test]

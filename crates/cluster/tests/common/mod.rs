@@ -1,0 +1,157 @@
+//! A minimal deterministic driver for [`ClusterControlPlane`] integration
+//! tests: a (time, sequence)-ordered event queue with fixed 1 ms
+//! controller-peer latency, timers honoured exactly, and switch-bound
+//! traffic dropped (these tests exercise the controller-to-controller
+//! fabric, not the data plane).
+
+// Each test binary compiles this module separately and uses a different
+// subset of the harness.
+#![allow(dead_code)]
+
+use std::collections::BTreeMap;
+
+use lazyctrl_cluster::{ClusterConfig, ClusterControlPlane, ClusterOutput, ClusterTimer};
+use lazyctrl_net::SwitchId;
+use lazyctrl_partition::WeightedGraph;
+use lazyctrl_proto::{ClusterMsg, Message, MessageBody};
+
+/// Fixed controller-peer delivery latency (ns).
+const CTRL_LATENCY_NS: u64 = 1_000_000;
+
+enum Ev {
+    Ctrl { from: u32, to: u32, msg: Message },
+    Timer(ClusterTimer),
+}
+
+/// The mini network around one cluster plane.
+pub struct MiniNet {
+    pub plane: ClusterControlPlane,
+    queue: BTreeMap<(u64, u64), Ev>,
+    seq: u64,
+    now: u64,
+    /// Messages delivered on the ctrl-peer fabric, by kind.
+    pub delivered: BTreeMap<&'static str, u64>,
+}
+
+/// A weighted graph of `groups` disjoint cliques of `size` switches —
+/// SGI reliably groups each clique into one LCG.
+pub fn clustered_graph(groups: usize, size: usize) -> WeightedGraph {
+    let mut g = WeightedGraph::new(groups * size);
+    for c in 0..groups {
+        let base = c * size;
+        for i in 0..size {
+            for j in (i + 1)..size {
+                g.add_edge(base + i, base + j, 10.0);
+            }
+        }
+    }
+    g
+}
+
+/// A cluster config sized for these tests: `n` members over 3-switch
+/// groups, 1 s flush/heartbeat ticks, large delta log (exact anti-entropy
+/// replay throughout).
+pub fn test_config(n: usize) -> ClusterConfig {
+    let mut cfg = ClusterConfig::with_controllers(n);
+    cfg.lazy.group_size_limit = 3;
+    cfg.replica_flush_interval_ms = 1_000;
+    cfg.heartbeat_interval_ms = 1_000;
+    cfg.heartbeat_miss_factor = 3;
+    cfg.anti_entropy_interval_ms = 3_000;
+    cfg.delta_log_flushes = 10_000;
+    cfg
+}
+
+impl MiniNet {
+    /// Builds and bootstraps a plane over `groups` cliques of 3 switches.
+    pub fn new(groups: usize, cfg: ClusterConfig) -> Self {
+        let num_switches = groups * 3;
+        let mut plane = ClusterControlPlane::new(num_switches, cfg);
+        let outs = plane.bootstrap(0, clustered_graph(groups, 3));
+        let mut net = MiniNet {
+            plane,
+            queue: BTreeMap::new(),
+            seq: 0,
+            now: 0,
+            delivered: BTreeMap::new(),
+        };
+        net.dispatch(outs);
+        net
+    }
+
+    /// Current virtual time (ns).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn push(&mut self, at: u64, ev: Ev) {
+        self.seq += 1;
+        self.queue.insert((at, self.seq), ev);
+    }
+
+    /// Queues the plane's outputs (ctrl-peer sends with fixed latency,
+    /// timers at their delay; switch-bound messages dropped).
+    pub fn dispatch(&mut self, outs: Vec<ClusterOutput>) {
+        for out in outs {
+            match out {
+                ClusterOutput::ToCtrl { from, to, msg } => {
+                    self.push(self.now + CTRL_LATENCY_NS, Ev::Ctrl { from, to, msg });
+                }
+                ClusterOutput::SetTimer(timer, delay_ns) => {
+                    self.push(self.now + delay_ns, Ev::Timer(timer));
+                }
+                ClusterOutput::ToSwitch { .. } => {}
+            }
+        }
+    }
+
+    /// Runs the network until virtual time `t_ns`.
+    pub fn run_until(&mut self, t_ns: u64) {
+        while let Some((&(at, key), _)) = self.queue.iter().next() {
+            if at > t_ns {
+                break;
+            }
+            let ev = self.queue.remove(&(at, key)).expect("just peeked");
+            self.now = at;
+            let outs = match ev {
+                Ev::Ctrl { from, to, msg } => {
+                    *self.delivered.entry(kind_of(&msg)).or_insert(0) += 1;
+                    self.plane.handle_ctrl_message(self.now, from, to, &msg)
+                }
+                Ev::Timer(timer) => self.plane.handle_timer(self.now, timer),
+            };
+            self.dispatch(outs);
+        }
+        self.now = t_ns;
+    }
+
+    /// Runs `dur_ns` more virtual time.
+    pub fn run_for(&mut self, dur_ns: u64) {
+        self.run_until(self.now + dur_ns);
+    }
+
+    /// Delivers one switch-originated message to the plane at `now`.
+    pub fn send_switch(&mut self, from: SwitchId, msg: &Message) {
+        let outs = self.plane.handle_switch_message(self.now, from, msg);
+        self.dispatch(outs);
+    }
+
+    /// Count of delivered ctrl-peer messages of one kind.
+    pub fn count(&self, kind: &str) -> u64 {
+        self.delivered.get(kind).copied().unwrap_or(0)
+    }
+}
+
+fn kind_of(msg: &Message) -> &'static str {
+    match &msg.body {
+        MessageBody::Cluster(ClusterMsg::PeerSync(_)) => "peer_sync",
+        MessageBody::Cluster(ClusterMsg::SyncRelay(_)) => "sync_relay",
+        MessageBody::Cluster(ClusterMsg::SyncDigest(_)) => "sync_digest",
+        MessageBody::Cluster(ClusterMsg::Heartbeat(_)) => "heartbeat",
+        MessageBody::Cluster(ClusterMsg::OwnershipTransfer(_)) => "ownership_transfer",
+        MessageBody::Cluster(ClusterMsg::LookupRequest(_)) => "lookup_request",
+        MessageBody::Cluster(ClusterMsg::LookupReply(_)) => "lookup_reply",
+        MessageBody::Lazy(_) => "lazy",
+        MessageBody::Of(_) => "of",
+    }
+}

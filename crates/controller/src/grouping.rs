@@ -9,6 +9,7 @@
 //! caused by short-term traffic fluctuation."
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use lazyctrl_net::{GroupId, SwitchId};
 use lazyctrl_partition::{Sgi, SgiConfig, WeightedGraph, CONTROLLER_GROUP};
@@ -49,10 +50,52 @@ pub enum RegroupDecision {
     Full,
 }
 
+/// An immutable snapshot of a computed grouping, shareable across
+/// controllers via [`Arc`].
+///
+/// A cluster freezes the grouping at bootstrap (ownership moves between
+/// members instead of switches moving between groups), so every member
+/// asking the same read-only questions of its own full `Sgi` — graph,
+/// partition, history — is pure memory waste, multiplied by the cluster
+/// size. One member computes the grouping, freezes it into this snapshot,
+/// and every other member adopts the shared `Arc`: per-member grouping
+/// state collapses to one pointer, and bootstrap runs SGI once instead of
+/// N times.
+#[derive(Debug)]
+pub struct FrozenGrouping {
+    /// Dense switch → group mapping.
+    group_of: Vec<Option<usize>>,
+    /// Members per group, ascending switch id.
+    members: Vec<Vec<SwitchId>>,
+    /// The grouping epoch in force when frozen.
+    epoch: u32,
+    /// Per-group composition epochs.
+    group_epochs: BTreeMap<usize, u32>,
+    /// Normalized inter-group intensity at freeze time.
+    winter: Option<f64>,
+}
+
+impl FrozenGrouping {
+    /// Number of switches covered.
+    pub fn num_switches(&self) -> usize {
+        self.group_of.len()
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.members.len()
+    }
+}
+
 /// The controller's grouping state machine.
 #[derive(Debug, Clone)]
 pub struct GroupingManager {
     sgi: Option<Sgi>,
+    /// When set, the grouping is frozen to this shared immutable snapshot:
+    /// all read accessors answer from it, mutation paths no-op, and the
+    /// heavyweight SGI state (`sgi`, samples, history, punt counts) is
+    /// dropped/never accumulated. See [`FrozenGrouping`].
+    frozen: Option<Arc<FrozenGrouping>>,
     num_switches: usize,
     group_size_limit: usize,
     seed: u64,
@@ -99,6 +142,7 @@ impl GroupingManager {
         assert!(group_size_limit > 0, "group size limit must be positive");
         GroupingManager {
             sgi: None,
+            frozen: None,
             num_switches,
             group_size_limit,
             seed,
@@ -122,6 +166,9 @@ impl GroupingManager {
 
     /// The epoch at which `group` last changed composition.
     pub fn epoch_of_group(&self, group: usize) -> u32 {
+        if let Some(f) = &self.frozen {
+            return f.group_epochs.get(&group).copied().unwrap_or(f.epoch);
+        }
         self.group_epochs.get(&group).copied().unwrap_or(self.epoch)
     }
 
@@ -139,11 +186,17 @@ impl GroupingManager {
 
     /// Current normalized inter-group intensity, if grouped.
     pub fn winter(&self) -> Option<f64> {
+        if let Some(f) = &self.frozen {
+            return f.winter;
+        }
         self.sgi.as_ref().map(|s| s.winter())
     }
 
     /// The group a switch belongs to (dense index), if grouped.
     pub fn group_of(&self, switch: SwitchId) -> Option<usize> {
+        if let Some(f) = &self.frozen {
+            return f.group_of.get(switch.index()).copied().flatten();
+        }
         let sgi = self.sgi.as_ref()?;
         let g = sgi.partition().group_of(switch.index());
         (g != CONTROLLER_GROUP).then_some(g)
@@ -151,6 +204,9 @@ impl GroupingManager {
 
     /// Members of a group, as switch ids.
     pub fn members(&self, group: usize) -> Vec<SwitchId> {
+        if let Some(f) = &self.frozen {
+            return f.members.get(group).cloned().unwrap_or_default();
+        }
         self.sgi
             .as_ref()
             .map(|s| {
@@ -165,7 +221,15 @@ impl GroupingManager {
 
     /// Number of groups, if grouped.
     pub fn num_groups(&self) -> Option<usize> {
+        if let Some(f) = &self.frozen {
+            return Some(f.num_groups());
+        }
         self.sgi.as_ref().map(|s| s.partition().num_groups())
+    }
+
+    /// True when this manager answers from a shared frozen snapshot.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.is_some()
     }
 
     /// The designated switch of a group under the controller's selection
@@ -174,19 +238,96 @@ impl GroupingManager {
         self.members(group).into_iter().min()
     }
 
-    /// Absorbs a designated switch's aggregated state report.
+    /// Absorbs a designated switch's aggregated state report. A frozen
+    /// grouping can never regroup, so the samples would only accumulate
+    /// unbounded memory — they are dropped.
     pub fn absorb_report(&mut self, report: &StateReportMsg) {
+        if self.frozen.is_some() {
+            return;
+        }
         for &(a, b, w) in &report.intensity {
             self.samples.insert((a, b), w);
         }
     }
 
     /// Records one punted flow from `ingress` towards `dst` (resolved via
-    /// the C-LIB). Folded into the intensity picture at the next update.
+    /// the C-LIB). Folded into the intensity picture at the next update;
+    /// dropped when frozen (no update will ever consume it).
     pub fn note_punt(&mut self, ingress: SwitchId, dst: SwitchId) {
+        if self.frozen.is_some() {
+            return;
+        }
         if ingress != dst {
             *self.punt_counts.entry((ingress, dst)).or_insert(0) += 1;
         }
+    }
+
+    /// Freezes the computed grouping into an immutable shared snapshot and
+    /// drops the SGI state behind it (graph, partition, intensity history,
+    /// pending samples). Further reads answer from the snapshot; mutation
+    /// paths ([`absorb_report`], [`note_punt`], [`update`]) become no-ops.
+    /// Returns `None` when nothing was bootstrapped yet.
+    ///
+    /// [`absorb_report`]: GroupingManager::absorb_report
+    /// [`note_punt`]: GroupingManager::note_punt
+    /// [`update`]: GroupingManager::update
+    pub fn freeze_shared(&mut self) -> Option<Arc<FrozenGrouping>> {
+        if let Some(f) = &self.frozen {
+            return Some(f.clone());
+        }
+        self.sgi.as_ref()?;
+        let num_groups = self.num_groups().unwrap_or(0);
+        let snapshot = Arc::new(FrozenGrouping {
+            group_of: (0..self.num_switches)
+                .map(|s| self.group_of(SwitchId::new(s as u32)))
+                .collect(),
+            members: (0..num_groups).map(|g| self.members(g)).collect(),
+            epoch: self.epoch,
+            group_epochs: self.group_epochs.clone(),
+            winter: self.winter(),
+        });
+        self.sgi = None;
+        self.samples.clear();
+        self.history.clear();
+        self.punt_counts.clear();
+        self.last_moves.clear();
+        self.frozen = Some(snapshot.clone());
+        Some(snapshot)
+    }
+
+    /// Adopts a peer's frozen grouping snapshot instead of computing one,
+    /// returning the same per-switch assignments [`bootstrap`] would have
+    /// produced from the equivalent graph — without running SGI and
+    /// without holding any per-member grouping state beyond the shared
+    /// pointer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot covers a different switch population, or if
+    /// this manager already bootstrapped on its own.
+    ///
+    /// [`bootstrap`]: GroupingManager::bootstrap
+    pub fn adopt_shared(
+        &mut self,
+        now_ns: u64,
+        snapshot: Arc<FrozenGrouping>,
+        sync_interval_ms: u32,
+        keepalive_interval_ms: u32,
+    ) -> Vec<(SwitchId, GroupAssignMsg)> {
+        assert_eq!(
+            snapshot.num_switches(),
+            self.num_switches,
+            "frozen grouping covers a different switch population"
+        );
+        assert!(
+            self.sgi.is_none() && self.frozen.is_none(),
+            "manager already has a grouping"
+        );
+        self.epoch = snapshot.epoch;
+        self.frozen = Some(snapshot);
+        self.last_update_ns = now_ns;
+        self.updates_applied += 1;
+        self.assignments_for_all(sync_interval_ms, keepalive_interval_ms)
     }
 
     /// `IniGroup`: computes the initial grouping from a bootstrap intensity
@@ -207,6 +348,10 @@ impl GroupingManager {
             graph.num_vertices(),
             self.num_switches,
             "intensity graph size mismatch"
+        );
+        assert!(
+            self.frozen.is_none(),
+            "cannot bootstrap over an adopted frozen grouping"
         );
         // The regrouping *triggers* live in this manager (`check`), so the
         // inner SGI loop gets fully permissive thresholds: when we decide
@@ -472,6 +617,63 @@ mod tests {
         }
         assert_eq!(m.num_groups(), Some(3));
         assert_eq!(m.updates_applied(), 1);
+    }
+
+    #[test]
+    fn freeze_preserves_every_read() {
+        let mut m = manager(12, 4);
+        let _ = m.bootstrap(0, clustered_graph(3, 4), 1000, 500);
+        let before: Vec<_> = (0..12)
+            .map(|s| m.group_of(SwitchId::new(s as u32)))
+            .collect();
+        let groups = m.num_groups().unwrap();
+        let members_before: Vec<_> = (0..groups).map(|g| m.members(g)).collect();
+        let winter = m.winter();
+        let epoch = m.epoch();
+        let snap = m.freeze_shared().expect("bootstrapped");
+        assert!(m.is_frozen());
+        assert_eq!(snap.num_switches(), 12);
+        assert_eq!(snap.num_groups(), groups);
+        for (s, expected) in before.iter().enumerate() {
+            assert_eq!(m.group_of(SwitchId::new(s as u32)), *expected);
+        }
+        for (g, expected) in members_before.iter().enumerate() {
+            assert_eq!(&m.members(g), expected);
+            assert_eq!(m.epoch_of_group(g), epoch);
+        }
+        assert_eq!(m.winter(), winter);
+        assert_eq!(m.epoch(), epoch);
+        // Mutation paths are inert: no sample memory accumulates.
+        m.note_punt(SwitchId::new(0), SwitchId::new(5));
+        assert_eq!(
+            m.update(1, RegroupDecision::Incremental, 10.0, 1000, 500),
+            Vec::new()
+        );
+    }
+
+    #[test]
+    fn adopt_emits_the_same_assignments() {
+        let mut a = manager(12, 4);
+        let mut assignments_a = a.bootstrap(0, clustered_graph(3, 4), 1000, 500);
+        let snap = a.freeze_shared().expect("bootstrapped");
+        let mut b = manager(12, 4);
+        let mut assignments_b = b.adopt_shared(0, snap, 1000, 500);
+        assignments_a.sort_by_key(|(s, _)| *s);
+        assignments_b.sort_by_key(|(s, _)| *s);
+        assert_eq!(assignments_a, assignments_b);
+        assert_eq!(b.num_groups(), a.num_groups());
+        assert_eq!(b.epoch(), a.epoch());
+        assert_eq!(b.updates_applied(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different switch population")]
+    fn adopt_rejects_mismatched_population() {
+        let mut a = manager(12, 4);
+        let _ = a.bootstrap(0, clustered_graph(3, 4), 1000, 500);
+        let snap = a.freeze_shared().unwrap();
+        let mut b = manager(8, 4);
+        let _ = b.adopt_shared(0, snap, 1000, 500);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use lazyctrl_proto::{
 use serde::{Deserialize, Serialize};
 
 use crate::failover::{FailureDetector, FailureKind, RecoveryAction};
-use crate::grouping::{GroupingManager, RegroupDecision, RegroupTriggers};
+use crate::grouping::{FrozenGrouping, GroupingManager, RegroupDecision, RegroupTriggers};
 use crate::tenant::TenantDirectory;
 use crate::{Clib, HostLocation, WorkloadMeter};
 
@@ -171,6 +171,44 @@ impl LazyController {
             self.cfg.sync_interval_ms,
             self.cfg.keepalive_interval_ms,
         );
+        self.emit_bootstrap(assignments)
+    }
+
+    /// Like [`bootstrap`], but adopts a peer's shared immutable grouping
+    /// snapshot instead of running SGI. Cluster members all compute the
+    /// *same* grouping from the same graph, so one member computes it,
+    /// [`freeze_grouping`] hands out the snapshot, and the rest bootstrap
+    /// from the shared `Arc` — identical `GroupAssign` output, one copy of
+    /// the grouping state cluster-wide, one SGI run instead of N.
+    ///
+    /// [`bootstrap`]: LazyController::bootstrap
+    /// [`freeze_grouping`]: LazyController::freeze_grouping
+    pub fn bootstrap_shared(
+        &mut self,
+        now_ns: u64,
+        snapshot: std::sync::Arc<FrozenGrouping>,
+    ) -> Vec<ControllerOutput> {
+        let assignments = self.grouping.adopt_shared(
+            now_ns,
+            snapshot,
+            self.cfg.sync_interval_ms,
+            self.cfg.keepalive_interval_ms,
+        );
+        self.emit_bootstrap(assignments)
+    }
+
+    /// Freezes this controller's grouping into a shared immutable
+    /// snapshot (see [`GroupingManager::freeze_shared`]); `None` before
+    /// bootstrap.
+    pub fn freeze_grouping(&mut self) -> Option<std::sync::Arc<FrozenGrouping>> {
+        self.grouping.freeze_shared()
+    }
+
+    /// Converts bootstrap assignments into outputs and arms the timers.
+    fn emit_bootstrap(
+        &mut self,
+        assignments: Vec<(SwitchId, lazyctrl_proto::GroupAssignMsg)>,
+    ) -> Vec<ControllerOutput> {
         let mut out: Vec<ControllerOutput> = assignments
             .into_iter()
             .map(|(s, ga)| {

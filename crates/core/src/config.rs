@@ -1,5 +1,6 @@
 //! Experiment configuration.
 
+use lazyctrl_cluster::DisseminationStrategy;
 use lazyctrl_controller::RegroupTriggers;
 use lazyctrl_proto::EventPlan;
 use lazyctrl_sim::LatencyModel;
@@ -79,6 +80,18 @@ pub struct ExperimentConfig {
     /// controllers instead of a single controller. Requires a lazy mode.
     /// `None` keeps the classic single-controller paths untouched.
     pub cluster_controllers: Option<usize>,
+    /// How cluster members disseminate C-LIB deltas to each other
+    /// (cluster runs only): direct flood (the O(n²) baseline), ring
+    /// circulation, or a leader-rooted relay tree — both O(n) messages
+    /// per flush round, the difference that makes paper-scale clusters
+    /// feasible. See [`DisseminationStrategy`].
+    pub cluster_dissemination: DisseminationStrategy,
+    /// Replication flush cadence between cluster members (ms), `None`
+    /// for the cluster default (1 s). Longer intervals aggregate more
+    /// deltas per flush — what lets ring/tree bundling amortize towards
+    /// O(1) messages per delta — at the price of replica staleness (the
+    /// synchronous lookup fallback covers the gap).
+    pub cluster_flush_interval_ms: Option<u32>,
     /// Fault/workload events injected during the run (controller and
     /// switch crashes, link degradation, host migration, traffic bursts —
     /// see [`EventPlan`]). Empty by default: nothing is injected.
@@ -105,6 +118,8 @@ impl ExperimentConfig {
             bucket_hours: 2.0,
             seed: 0xE1,
             cluster_controllers: None,
+            cluster_dissemination: DisseminationStrategy::default(),
+            cluster_flush_interval_ms: None,
             plan: EventPlan::new(),
         }
     }
@@ -139,29 +154,15 @@ impl ExperimentConfig {
         self
     }
 
-    /// Crash cluster controller `id` after `hours` of virtual time.
-    ///
-    /// Transitional shim for the pre-`EventPlan` config hook; schedule the
-    /// event on [`ExperimentConfig::plan`] instead.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `with_plan` / `plan.crash_controller(hours, id)` instead"
-    )]
-    pub fn crash_controller_at(mut self, id: u32, hours: f64) -> Self {
-        self.plan = std::mem::take(&mut self.plan).crash_controller(hours, id);
+    /// Sets the cluster's peer-sync dissemination strategy.
+    pub fn with_dissemination(mut self, strategy: DisseminationStrategy) -> Self {
+        self.cluster_dissemination = strategy;
         self
     }
 
-    /// Restart a crashed cluster controller `id` after `hours`.
-    ///
-    /// Transitional shim for the pre-`EventPlan` config hook; schedule the
-    /// event on [`ExperimentConfig::plan`] instead.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `with_plan` / `plan.recover_controller(hours, id)` instead"
-    )]
-    pub fn recover_controller_at(mut self, id: u32, hours: f64) -> Self {
-        self.plan = std::mem::take(&mut self.plan).recover_controller(hours, id);
+    /// Sets the cluster's replication flush cadence (ms).
+    pub fn with_cluster_flush_ms(mut self, interval_ms: u32) -> Self {
+        self.cluster_flush_interval_ms = Some(interval_ms);
         self
     }
 
@@ -191,6 +192,9 @@ impl ExperimentConfig {
                 self.mode.is_lazy(),
                 "a controller cluster requires a lazy mode"
             );
+        }
+        if let Some(ms) = self.cluster_flush_interval_ms {
+            assert!(ms > 0, "cluster flush interval must be positive");
         }
         self.plan.validate();
         if self.cluster_controllers.is_none() {
@@ -250,21 +254,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_forward_to_the_plan() {
-        use lazyctrl_proto::InjectedEvent;
-        let cfg = ExperimentConfig::new(ControlMode::LazyStatic)
-            .with_cluster(2)
-            .crash_controller_at(1, 0.5)
-            .recover_controller_at(1, 1.0);
+    fn dissemination_defaults_to_flood_and_threads_through() {
+        let cfg = ExperimentConfig::new(ControlMode::LazyStatic).with_cluster(2);
+        assert_eq!(cfg.cluster_dissemination, DisseminationStrategy::Flood);
+        let cfg = cfg.with_dissemination(DisseminationStrategy::Ring);
         cfg.validate();
-        let events: Vec<_> = cfg.plan.events().iter().map(|e| e.event).collect();
-        assert_eq!(
-            events,
-            vec![
-                InjectedEvent::CrashController(1),
-                InjectedEvent::RecoverController(1)
-            ]
-        );
+        assert_eq!(cfg.cluster_dissemination, DisseminationStrategy::Ring);
     }
 }

@@ -165,12 +165,19 @@ impl Experiment {
             let requests: Vec<u64> = (0..n as u32).map(|i| plane.requests_of(i)).collect();
             let per_rps = requests.iter().map(|&r| r as f64 / horizon_secs).collect();
             let transfers = plane.transfers();
+            let traffic: Vec<_> = (0..n as u32).map(|i| plane.sync_traffic(i)).collect();
             crate::report::ClusterReport {
                 controllers: n,
+                dissemination: plane.dissemination_label().to_owned(),
                 requests_per_controller: requests,
                 per_controller_rps: per_rps,
                 clib_sizes: (0..n as u32).map(|i| plane.clib_len(i)).collect(),
                 replica_sizes: (0..n as u32).map(|i| plane.replica_len(i)).collect(),
+                peer_sync_messages: traffic.iter().map(|t| t.messages_sent).collect(),
+                peer_sync_bytes: traffic.iter().map(|t| t.bytes_sent).collect(),
+                peer_sync_chunks: traffic.iter().map(|t| t.chunks_created).collect(),
+                anti_entropy_digests: traffic.iter().map(|t| t.digests_sent).collect(),
+                anti_entropy_catchups: traffic.iter().map(|t| t.catchup_syncs_sent).collect(),
                 rebalance_transfers: transfers
                     .iter()
                     .filter(|t| t.reason == lazyctrl_proto::TransferReason::Rebalance)

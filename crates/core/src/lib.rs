@@ -57,6 +57,7 @@ pub use scenarios::{
     ScenarioVerdict,
 };
 
+pub use lazyctrl_cluster::DisseminationStrategy;
 pub use lazyctrl_controller::{BaselineController, LazyController};
 pub use lazyctrl_proto::{EventPlan, InjectedEvent, ScheduledEvent};
 pub use lazyctrl_switch::EdgeSwitch;

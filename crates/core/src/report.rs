@@ -52,6 +52,9 @@ pub struct ExperimentReport {
 pub struct ClusterReport {
     /// Number of controllers in the cluster.
     pub controllers: usize,
+    /// The peer-sync dissemination strategy in force ("flood", "ring",
+    /// "tree").
+    pub dissemination: String,
     /// Switch-originated requests handled per controller.
     pub requests_per_controller: Vec<u64>,
     /// Per-controller request rate over the measured horizon (req/sec).
@@ -70,6 +73,18 @@ pub struct ClusterReport {
     pub confirmed_dead: Vec<u32>,
     /// Controller-to-controller messages exchanged.
     pub ctrl_peer_messages: u64,
+    /// Peer-sync wire messages sent per controller (direct syncs + relay
+    /// bundles; the dissemination cost the strategy choice controls).
+    pub peer_sync_messages: Vec<u64>,
+    /// Estimated peer-sync wire bytes sent per controller.
+    pub peer_sync_bytes: Vec<u64>,
+    /// Delta chunks originated per controller (the dissemination
+    /// workload; messages ÷ chunks is the per-delta fan-out cost).
+    pub peer_sync_chunks: Vec<u64>,
+    /// Anti-entropy digests sent per controller.
+    pub anti_entropy_digests: Vec<u64>,
+    /// Catch-up syncs served to digesting peers, per controller.
+    pub anti_entropy_catchups: Vec<u64>,
     /// Groups moved by failover takeovers, in transfer order (the dead
     /// member's former shard).
     pub failover_groups: Vec<usize>,
@@ -82,6 +97,28 @@ impl ClusterReport {
     /// as controllers are added for the cluster to be *scaling*.
     pub fn max_controller_rps(&self) -> f64 {
         self.per_controller_rps.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total peer-sync wire messages across the cluster.
+    pub fn peer_sync_messages_total(&self) -> u64 {
+        self.peer_sync_messages.iter().sum()
+    }
+
+    /// Total peer-sync wire bytes across the cluster.
+    pub fn peer_sync_bytes_total(&self) -> u64 {
+        self.peer_sync_bytes.iter().sum()
+    }
+
+    /// Peer-sync wire messages per originated delta chunk — the
+    /// dissemination fan-out cost. Flood pays ≈ n−1 here (every chunk
+    /// goes to every peer: O(n²) traffic per flush round); ring and tree
+    /// bundle relays, amortizing towards O(1) per chunk (O(n) per round).
+    pub fn messages_per_chunk(&self) -> f64 {
+        let chunks: u64 = self.peer_sync_chunks.iter().sum();
+        if chunks == 0 {
+            return 0.0;
+        }
+        self.peer_sync_messages_total() as f64 / chunks as f64
     }
 }
 

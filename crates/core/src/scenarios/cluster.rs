@@ -1,6 +1,8 @@
 //! Cluster scenarios: the `lazyctrl-cluster` control plane under crash,
-//! recovery and skewed-load churn, plus the shared cluster testbeds.
+//! recovery, skewed-load churn and replication storms, plus the shared
+//! cluster testbeds.
 
+use lazyctrl_cluster::DisseminationStrategy;
 use lazyctrl_net::{HostId, SwitchId, TenantId};
 use lazyctrl_proto::EventPlan;
 use lazyctrl_sim::SimTime;
@@ -379,6 +381,109 @@ impl Scenario for CrashRecover {
         v.note(format!(
             "takeover transfers: {}, rebalance transfers: {}",
             cluster.failover_transfers, cluster.rebalance_transfers
+        ));
+        v
+    }
+}
+
+/// Peer-sync storm: heavy C-LIB churn (host-migration batches plus a
+/// traffic burst) on a 4-controller cluster, replicated over a chosen
+/// dissemination strategy. The scenario that exercises the relay overlay
+/// (bundling, dedup, anti-entropy) under the workload it exists for, and
+/// whose report carries the per-member peer-sync accounting the
+/// O(n²)→O(n) comparison reads.
+pub struct PeerSyncStorm {
+    /// The dissemination strategy under test. The registry entry runs
+    /// Ring (the overlay path); tests construct the other variants
+    /// directly or override `ExperimentConfig::cluster_dissemination`.
+    pub strategy: DisseminationStrategy,
+}
+
+impl Default for PeerSyncStorm {
+    fn default() -> Self {
+        PeerSyncStorm {
+            strategy: DisseminationStrategy::Ring,
+        }
+    }
+}
+
+impl Scenario for PeerSyncStorm {
+    fn name(&self) -> &'static str {
+        "peer_sync_storm"
+    }
+
+    fn summary(&self) -> &'static str {
+        "migration + burst churn floods the replication fabric; the overlay must converge at O(n) cost"
+    }
+
+    fn build(&self, seed: u64) -> (Trace, ExperimentConfig, EventPlan) {
+        let hours = 1.5;
+        let trace = cluster_testbed(ScenarioScale::from_env().clusters(), hours);
+        let num_hosts = trace.topology.num_hosts() as u32;
+        let cfg = cluster_config(4, seed, hours).with_dissemination(self.strategy);
+        // Three migration waves (each wave withdraws and re-learns host
+        // locations — exactly the deltas peer sync replicates) and one
+        // synthetic burst of fresh pairs between them.
+        let batch = (num_hosts / 4).max(2);
+        let plan = EventPlan::new()
+            .migrate_hosts(1.05, batch)
+            .traffic_burst(1.15, 0.5)
+            .migrate_hosts(1.25, batch)
+            .migrate_hosts(1.35, batch);
+        (trace, cfg, plan)
+    }
+
+    fn check(&self, report: &ExperimentReport) -> ScenarioVerdict {
+        let mut v = ScenarioVerdict::new();
+        let Some(cluster) = report.cluster.as_ref() else {
+            v.require(false, "cluster run must produce a cluster report");
+            return v;
+        };
+        v.require(
+            cluster.dissemination == self.strategy.label(),
+            format!(
+                "report must carry the configured strategy, got {:?}",
+                cluster.dissemination
+            ),
+        );
+        v.require(report.delivered_flows > 0, "no traffic delivered");
+        v.require(
+            cluster.peer_sync_messages_total() > 0,
+            "storm produced no peer-sync traffic at all",
+        );
+        v.require(
+            cluster.replica_sizes.iter().all(|&s| s > 0),
+            format!(
+                "every member must hold replicated state after the storm: {:?}",
+                cluster.replica_sizes
+            ),
+        );
+        let n = cluster.controllers as f64;
+        let cost = cluster.messages_per_chunk();
+        // Flood pays n−1 messages per chunk; the overlays must amortize
+        // strictly below that (the O(n) property, with slack for
+        // anti-entropy catch-up traffic).
+        if self.strategy != DisseminationStrategy::Flood {
+            v.require(
+                cost < n - 1.0,
+                format!(
+                    "overlay fan-out cost {cost:.2} should beat flood's {:.2}",
+                    n - 1.0
+                ),
+            );
+        }
+        v.note(format!(
+            "{}: {} msgs / {} chunks → {:.2} msgs per delta chunk ({} bytes total)",
+            cluster.dissemination,
+            cluster.peer_sync_messages_total(),
+            cluster.peer_sync_chunks.iter().sum::<u64>(),
+            cost,
+            cluster.peer_sync_bytes_total(),
+        ));
+        v.note(format!(
+            "anti-entropy: {} digests, {} catch-up syncs",
+            cluster.anti_entropy_digests.iter().sum::<u64>(),
+            cluster.anti_entropy_catchups.iter().sum::<u64>(),
         ));
         v
     }

@@ -36,7 +36,7 @@ use crate::{Experiment, ExperimentConfig, ExperimentReport};
 
 pub use cluster::{
     controller_crash, shard_rebalance, ClusterCrashReport, ClusterRebalanceReport, CrashRecover,
-    CrashUnderLoad, ShardRebalance,
+    CrashUnderLoad, PeerSyncStorm, ShardRebalance,
 };
 pub use cold_cache::{cold_cache, ColdCache, ColdCacheReport};
 pub use faults::{DegradedControlNet, HostMigrationStorm, SwitchFailure, TrafficBurstScenario};
@@ -181,6 +181,7 @@ impl ScenarioRegistry {
         reg.register(Box::new(cluster::CrashUnderLoad));
         reg.register(Box::new(cluster::CrashRecover));
         reg.register(Box::new(cluster::ShardRebalance));
+        reg.register(Box::new(cluster::PeerSyncStorm::default()));
         reg.register(Box::new(faults::SwitchFailure));
         reg.register(Box::new(faults::DegradedControlNet));
         reg.register(Box::new(faults::HostMigrationStorm));

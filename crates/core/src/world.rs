@@ -219,11 +219,20 @@ impl DataCenterWorld {
                 };
                 match maybe_cluster {
                     Some(members) => {
-                        let cluster_cfg = ClusterConfig {
+                        let mut cluster_cfg = ClusterConfig {
                             num_controllers: members,
+                            dissemination: cfg.cluster_dissemination,
                             lazy: lazy_cfg,
                             ..ClusterConfig::default()
                         };
+                        if let Some(ms) = cfg.cluster_flush_interval_ms {
+                            cluster_cfg.replica_flush_interval_ms = ms;
+                            // Digests that fire faster than deltas can
+                            // circulate only trigger redundant catch-up;
+                            // keep anti-entropy slower than the flush.
+                            cluster_cfg.anti_entropy_interval_ms =
+                                cluster_cfg.anti_entropy_interval_ms.max(2 * ms);
+                        }
                         AnyController::Cluster(Box::new(ClusterControlPlane::new(n, cluster_cfg)))
                     }
                     None => AnyController::Lazy(Box::new(LazyController::new(ids, lazy_cfg))),
@@ -890,6 +899,12 @@ impl World for DataCenterWorld {
                 match &msg.body {
                     MessageBody::Cluster(lazyctrl_proto::ClusterMsg::PeerSync(_)) => {
                         self.metrics.count("peer_syncs", 1);
+                    }
+                    MessageBody::Cluster(lazyctrl_proto::ClusterMsg::SyncRelay(_)) => {
+                        self.metrics.count("sync_relays", 1);
+                    }
+                    MessageBody::Cluster(lazyctrl_proto::ClusterMsg::SyncDigest(_)) => {
+                        self.metrics.count("sync_digests", 1);
                     }
                     MessageBody::Cluster(lazyctrl_proto::ClusterMsg::Heartbeat(_)) => {
                         self.metrics.count("ctrl_heartbeats", 1);

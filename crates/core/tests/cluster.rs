@@ -2,7 +2,7 @@
 //! end-to-end through the simulated data center.
 
 use lazyctrl_core::scenarios::{controller_crash, shard_rebalance};
-use lazyctrl_core::{ControlMode, EventPlan, Experiment, ExperimentConfig};
+use lazyctrl_core::{ControlMode, DisseminationStrategy, EventPlan, Experiment, ExperimentConfig};
 use lazyctrl_trace::realistic::{generate, RealTraceConfig};
 
 fn small_cluster_cfg(controllers: usize, seed: u64) -> ExperimentConfig {
@@ -137,6 +137,64 @@ fn crashed_controller_can_recover() {
     );
     let again = run();
     assert_eq!(report, again, "crash+recover runs diverged");
+}
+
+/// The dissemination acceptance contract: on the same workload, flood
+/// pays ≈ n−1 peer-sync messages per delta chunk (O(n²) per flush round
+/// across n members), while ring and tree amortize bundled relays to a
+/// per-chunk cost that stays flat in n (O(n) per round) — and still
+/// converge end-to-end. Run at n = 8 with a flush cadence long enough
+/// for bundling to aggregate, which is exactly how the paper-scale
+/// `repro_cluster` configuration operates.
+#[test]
+fn ring_and_tree_cut_peer_sync_traffic_to_linear() {
+    let n = 8usize;
+    let run = |strategy: DisseminationStrategy| {
+        let trace = small_trace(20_000, 11);
+        let mut cfg = small_cluster_cfg(n, 7)
+            .with_group_size_limit(4)
+            .with_dissemination(strategy)
+            .with_cluster_flush_ms(20_000);
+        cfg.record_flow_latencies = false;
+        let report = Experiment::new(trace, cfg).run();
+        report.cluster.expect("cluster section")
+    };
+    let flood = run(DisseminationStrategy::Flood);
+    let ring = run(DisseminationStrategy::Ring);
+    let tree = run(DisseminationStrategy::tree());
+
+    // Flood really is the quadratic baseline: every chunk to every peer.
+    assert!(
+        (flood.messages_per_chunk() - (n as f64 - 1.0)).abs() < 0.2,
+        "flood must pay ~n-1 messages per chunk, got {:.2}",
+        flood.messages_per_chunk()
+    );
+    for overlay in [&ring, &tree] {
+        // The overlays still replicate into every member...
+        assert!(
+            overlay.replica_sizes.iter().all(|&s| s > 0),
+            "{}: replication broke: {:?}",
+            overlay.dissemination,
+            overlay.replica_sizes
+        );
+        // ...at strictly sub-flood per-delta cost (the O(n) property;
+        // the gap widens further with n — at n = 16 flood pays 15).
+        assert!(
+            overlay.messages_per_chunk() < flood.messages_per_chunk() / 1.5,
+            "{}: {:.2} msgs/chunk should be well under flood's {:.2}",
+            overlay.dissemination,
+            overlay.messages_per_chunk(),
+            flood.messages_per_chunk()
+        );
+        // And in absolute wire traffic too.
+        assert!(
+            overlay.peer_sync_messages_total() < flood.peer_sync_messages_total(),
+            "{}: total {} should undercut flood's {}",
+            overlay.dissemination,
+            overlay.peer_sync_messages_total(),
+            flood.peer_sync_messages_total()
+        );
+    }
 }
 
 #[test]

@@ -1,8 +1,11 @@
 //! Registry-level scenario tests: every built-in scenario's `build`
 //! validates, its `check` passes, and same-seed runs are bit-identical —
-//! the contract `repro_scenario` and CI rely on.
+//! the contract `repro_scenario` and CI rely on. Cluster scenarios are
+//! additionally pinned bit-identical under *every* dissemination
+//! strategy, so the relay overlays cannot silently break determinism.
 
-use lazyctrl_core::scenarios::{run_scenario, ScenarioRegistry};
+use lazyctrl_core::scenarios::{run_built, run_scenario, ScenarioRegistry};
+use lazyctrl_core::DisseminationStrategy;
 
 /// Builds (without running) every scenario and validates the inputs.
 #[test]
@@ -71,6 +74,52 @@ fn host_migration_storm_passes_deterministically() {
 #[test]
 fn traffic_burst_passes_deterministically() {
     assert_passes_deterministically("traffic_burst");
+}
+
+#[test]
+fn peer_sync_storm_passes_deterministically() {
+    assert_passes_deterministically("peer_sync_storm");
+}
+
+/// The cluster scenarios must produce bit-identical reports at a fixed
+/// seed under each dissemination strategy — crash/recovery interleaved
+/// with relay circulation and anti-entropy included.
+fn assert_deterministic_under_every_strategy(name: &str) {
+    let reg = ScenarioRegistry::builtin();
+    let s = reg.get(name).unwrap_or_else(|| panic!("{name} registered"));
+    for strategy in [
+        DisseminationStrategy::Flood,
+        DisseminationStrategy::Ring,
+        DisseminationStrategy::tree(),
+    ] {
+        let run_once = || {
+            let (trace, cfg, plan) = s.build(0xC1);
+            run_built(s, trace, cfg.with_dissemination(strategy), plan)
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(
+            a.report,
+            b.report,
+            "{name}: same-seed reports diverged under {}",
+            strategy.label()
+        );
+        assert_eq!(
+            a.report.cluster.as_ref().map(|c| c.dissemination.as_str()),
+            Some(strategy.label()),
+            "{name}: report must carry the strategy label"
+        );
+    }
+}
+
+#[test]
+fn crash_under_load_is_deterministic_under_every_strategy() {
+    assert_deterministic_under_every_strategy("crash_under_load");
+}
+
+#[test]
+fn peer_sync_storm_is_deterministic_under_every_strategy() {
+    assert_deterministic_under_every_strategy("peer_sync_storm");
 }
 
 /// A different seed still passes (scenarios must not be tuned to one

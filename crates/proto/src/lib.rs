@@ -58,7 +58,7 @@ pub use messages::{
     GfibUpdateMsg, GroupAssignMsg, HostEntry, KeepAliveMsg, LazyMsg, LfibEntry, LfibSyncMsg,
     LookupReplyMsg, LookupRequestMsg, Message, MessageBody, OfMessage, OwnershipTransferMsg,
     PacketInMsg, PacketInReason, PacketOutMsg, PeerSyncMsg, StateReportMsg, SwitchStats,
-    TransferReason, WheelLoss, WheelReportMsg, WHEEL_MISS_THRESHOLD,
+    SyncDigestMsg, SyncRelayMsg, TransferReason, WheelLoss, WheelReportMsg, WHEEL_MISS_THRESHOLD,
 };
 pub use plan::{EventPlan, InjectedEvent, ScheduledEvent};
 

@@ -7,8 +7,13 @@
 //! controller-peer channel class:
 //!
 //! * **C-LIB replication** ([`PeerSyncMsg`]) — each controller
-//!   asynchronously floods its C-LIB shard's deltas to its peers, so
-//!   inter-shard flow setups usually resolve against a local replica;
+//!   publishes its C-LIB shard's deltas so inter-shard flow setups usually
+//!   resolve against a local replica. *How* a delta reaches the other
+//!   members is the cluster's dissemination strategy: direct flood
+//!   (per-peer [`PeerSyncMsg`]), or relayed along a ring/tree overlay in
+//!   bundles ([`SyncRelayMsg`]), with a periodic anti-entropy digest
+//!   exchange ([`SyncDigestMsg`]) as the catch-up path for members that
+//!   missed deltas (crashed, partitioned, late-joining);
 //! * **host lookups** ([`LookupRequestMsg`]/[`LookupReplyMsg`]) — the
 //!   synchronous fallback when a destination is not yet replicated;
 //! * **membership** ([`CtrlHeartbeatMsg`], [`OwnershipTransferMsg`]) —
@@ -28,6 +33,8 @@ const SUB_OWNERSHIP_TRANSFER: u16 = 2;
 const SUB_CTRL_HEARTBEAT: u16 = 3;
 const SUB_LOOKUP_REQUEST: u16 = 4;
 const SUB_LOOKUP_REPLY: u16 = 5;
+const SUB_SYNC_DIGEST: u16 = 6;
+const SUB_SYNC_RELAY: u16 = 7;
 
 /// One replicated C-LIB entry: a host and the edge switch it lives behind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -78,14 +85,23 @@ impl HostEntry {
 /// Application is idempotent: entries overwrite, withdrawals remove only
 /// while the stored location still matches the withdrawing switch (the
 /// C-LIB's stale-withdrawal rule). `seq` is a per-origin monotonic
-/// sequence number carried for observability — chunks of one flush share
-/// it, and receivers track it as a high-water mark, not a dedup filter.
+/// sequence number: chunks of one flush share it (distinguished by
+/// `chunk`), receivers track it as a high-water mark, and relay-based
+/// dissemination dedups on the `(origin, seq, chunk)` triple.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PeerSyncMsg {
     /// The controller whose shard changed.
     pub origin: u32,
     /// Per-origin monotonic sequence number.
     pub seq: u64,
+    /// Chunk index within the flush sharing `seq` (0 for the first or
+    /// only chunk). Part of the relay dedup key.
+    pub chunk: u32,
+    /// True for an anti-entropy catch-up sync that carries *all* of the
+    /// origin's knowledge up to `seq`: receivers advance their contiguous
+    /// per-origin head to `seq` directly, instead of waiting for every
+    /// intermediate delta. Ordinary flush deltas are `false`.
+    pub summary: bool,
     /// Added or refreshed host locations.
     pub entries: Vec<HostEntry>,
     /// Host addresses withdrawn from the origin's shard, each with the
@@ -97,8 +113,9 @@ pub struct PeerSyncMsg {
 
 impl PeerSyncMsg {
     /// Splits a large sync into wire-sized messages, `max_entries` entries
-    /// at a time (every chunk reuses the same `seq`; receivers treat the
-    /// chunks of one flush as one logical update).
+    /// at a time (every chunk reuses the same `seq` and numbers its
+    /// `chunk` consecutively; receivers treat the chunks of one flush as
+    /// one logical update).
     pub fn chunked(
         origin: u32,
         seq: u64,
@@ -111,6 +128,8 @@ impl PeerSyncMsg {
             return vec![PeerSyncMsg {
                 origin,
                 seq,
+                chunk: 0,
+                summary: false,
                 entries,
                 removed,
             }];
@@ -118,20 +137,133 @@ impl PeerSyncMsg {
         let mut out = Vec::new();
         let mut entries = entries.as_slice();
         let mut removed = removed.as_slice();
+        let mut chunk = 0u32;
         while !entries.is_empty() || !removed.is_empty() {
             let take_e = entries.len().min(max_entries);
             let take_r = removed.len().min(max_entries);
             out.push(PeerSyncMsg {
                 origin,
                 seq,
+                chunk,
+                summary: false,
                 entries: entries[..take_e].to_vec(),
                 removed: removed[..take_r].to_vec(),
             });
             entries = &entries[take_e..];
             removed = &removed[take_r..];
+            chunk += 1;
         }
         out
     }
+
+    /// The relay/anti-entropy dedup key of this chunk.
+    pub fn key(&self) -> (u32, u64, u32) {
+        (self.origin, self.seq, self.chunk)
+    }
+
+    /// Encoded size of this sync on the wire (body bytes), for peer-sync
+    /// traffic accounting without paying for an actual encode.
+    pub fn wire_len(&self) -> usize {
+        // subtype + origin + seq + chunk + summary flag + two count
+        // prefixes.
+        2 + 4
+            + 8
+            + 4
+            + 1
+            + 4
+            + self.entries.len() * HostEntry::WIRE_LEN
+            + 4
+            + self.removed.len() * 10
+    }
+
+    fn encode_fields<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u32(self.origin);
+        buf.put_u64(self.seq);
+        buf.put_u32(self.chunk);
+        buf.put_u8(u8::from(self.summary));
+        buf.put_u32(self.entries.len() as u32);
+        for e in &self.entries {
+            e.encode_into(buf);
+        }
+        buf.put_u32(self.removed.len() as u32);
+        for (mac, switch) in &self.removed {
+            buf.put_slice(&mac.octets());
+            buf.put_u32(switch.0);
+        }
+    }
+
+    fn decode_fields(r: &mut Reader<'_>) -> Result<Self> {
+        let origin = r.u32()?;
+        let seq = r.u64()?;
+        let chunk = r.u32()?;
+        let summary = match r.u8()? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(ProtoError::InvalidField {
+                    field: "peer_sync.summary",
+                    value: other as u64,
+                })
+            }
+        };
+        let n = r.count_prefix(HostEntry::WIRE_LEN)?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(HostEntry::decode(r)?);
+        }
+        let nr = r.count_prefix(10)?;
+        let mut removed = Vec::with_capacity(nr);
+        for _ in 0..nr {
+            let mac = MacAddr::new(r.array()?);
+            let switch = SwitchId::new(r.u32()?);
+            removed.push((mac, switch));
+        }
+        Ok(PeerSyncMsg {
+            origin,
+            seq,
+            chunk,
+            summary,
+            entries,
+            removed,
+        })
+    }
+}
+
+/// A bundle of [`PeerSyncMsg`]s travelling the dissemination overlay
+/// (ring successor hop, or tree up/down edge). Bundling is what makes
+/// ring/tree dissemination O(n) messages per flush round: every member
+/// forwards *all* deltas it is relaying in one message per overlay edge,
+/// instead of one message per (delta, peer) pair as flooding does.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncRelayMsg {
+    /// The member that sent this bundle (the relay hop, not the deltas'
+    /// origins — each bundled sync carries its own origin).
+    pub from: u32,
+    /// The bundled deltas, each dedupable by `(origin, seq, chunk)`.
+    pub syncs: Vec<PeerSyncMsg>,
+}
+
+impl SyncRelayMsg {
+    /// Encoded size of this bundle on the wire (body bytes).
+    pub fn wire_len(&self) -> usize {
+        // The nested syncs re-count their own subtype bytes; close enough
+        // for traffic accounting (within 2 bytes per sync).
+        2 + 4 + 4 + self.syncs.iter().map(PeerSyncMsg::wire_len).sum::<usize>()
+    }
+}
+
+/// Anti-entropy digest: the per-origin replication high-waters the sender
+/// currently holds. The receiver compares them against its own knowledge
+/// and pushes the deltas (or a snapshot) the sender is missing — the
+/// catch-up path that reconverges members that missed relayed deltas
+/// (crashed mid-circulation, recovered after a takeover, late-joining).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncDigestMsg {
+    /// The member whose knowledge is summarized.
+    pub from: u32,
+    /// `(origin, highest seq seen from that origin)`, ascending by origin.
+    /// The sender's own origin appears with its own flush sequence.
+    pub heads: Vec<(u32, u64)>,
 }
 
 /// Why a group changed owner.
@@ -230,6 +362,10 @@ pub enum ClusterMsg {
     LookupRequest(LookupRequestMsg),
     /// Lookup response.
     LookupReply(LookupReplyMsg),
+    /// Anti-entropy digest (per-origin replication high-waters).
+    SyncDigest(SyncDigestMsg),
+    /// Bundled deltas on a ring/tree dissemination edge.
+    SyncRelay(SyncRelayMsg),
 }
 
 impl ClusterMsg {
@@ -237,17 +373,7 @@ impl ClusterMsg {
         match self {
             ClusterMsg::PeerSync(m) => {
                 buf.put_u16(SUB_PEER_SYNC);
-                buf.put_u32(m.origin);
-                buf.put_u64(m.seq);
-                buf.put_u32(m.entries.len() as u32);
-                for e in &m.entries {
-                    e.encode_into(buf);
-                }
-                buf.put_u32(m.removed.len() as u32);
-                for (mac, switch) in &m.removed {
-                    buf.put_slice(&mac.octets());
-                    buf.put_u32(switch.0);
-                }
+                m.encode_fields(buf);
             }
             ClusterMsg::OwnershipTransfer(m) => {
                 buf.put_u16(SUB_OWNERSHIP_TRANSFER);
@@ -281,6 +407,23 @@ impl ClusterMsg {
                     None => buf.put_u8(0),
                 }
             }
+            ClusterMsg::SyncDigest(m) => {
+                buf.put_u16(SUB_SYNC_DIGEST);
+                buf.put_u32(m.from);
+                buf.put_u32(m.heads.len() as u32);
+                for (origin, seq) in &m.heads {
+                    buf.put_u32(*origin);
+                    buf.put_u64(*seq);
+                }
+            }
+            ClusterMsg::SyncRelay(m) => {
+                buf.put_u16(SUB_SYNC_RELAY);
+                buf.put_u32(m.from);
+                buf.put_u32(m.syncs.len() as u32);
+                for s in &m.syncs {
+                    s.encode_fields(buf);
+                }
+            }
         }
     }
 
@@ -288,28 +431,7 @@ impl ClusterMsg {
         let mut r = Reader::new(body, "cluster body");
         let subtype = r.u16()?;
         let msg = match subtype {
-            SUB_PEER_SYNC => {
-                let origin = r.u32()?;
-                let seq = r.u64()?;
-                let n = r.count_prefix(HostEntry::WIRE_LEN)?;
-                let mut entries = Vec::with_capacity(n);
-                for _ in 0..n {
-                    entries.push(HostEntry::decode(&mut r)?);
-                }
-                let nr = r.count_prefix(10)?;
-                let mut removed = Vec::with_capacity(nr);
-                for _ in 0..nr {
-                    let mac = MacAddr::new(r.array()?);
-                    let switch = SwitchId::new(r.u32()?);
-                    removed.push((mac, switch));
-                }
-                ClusterMsg::PeerSync(PeerSyncMsg {
-                    origin,
-                    seq,
-                    entries,
-                    removed,
-                })
-            }
+            SUB_PEER_SYNC => ClusterMsg::PeerSync(PeerSyncMsg::decode_fields(&mut r)?),
             SUB_OWNERSHIP_TRANSFER => ClusterMsg::OwnershipTransfer(OwnershipTransferMsg {
                 epoch: r.u32()?,
                 group: GroupId::new(r.u32()?),
@@ -345,6 +467,28 @@ impl ClusterMsg {
                     mac,
                     location,
                 })
+            }
+            SUB_SYNC_DIGEST => {
+                let from = r.u32()?;
+                let n = r.count_prefix(12)?;
+                let mut heads = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let origin = r.u32()?;
+                    let seq = r.u64()?;
+                    heads.push((origin, seq));
+                }
+                ClusterMsg::SyncDigest(SyncDigestMsg { from, heads })
+            }
+            SUB_SYNC_RELAY => {
+                let from = r.u32()?;
+                // A sync is at least its fixed header (origin + seq +
+                // chunk + summary flag + two empty count prefixes).
+                let n = r.count_prefix(4 + 8 + 4 + 1 + 4 + 4)?;
+                let mut syncs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    syncs.push(PeerSyncMsg::decode_fields(&mut r)?);
+                }
+                ClusterMsg::SyncRelay(SyncRelayMsg { from, syncs })
             }
             other => return Err(ProtoError::UnknownLazySubtype(other)),
         };
@@ -382,9 +526,76 @@ mod tests {
         round_trip(ClusterMsg::PeerSync(PeerSyncMsg {
             origin: 1,
             seq: 42,
+            chunk: 3,
+            summary: false,
             entries: vec![entry(10, 3), entry(11, 4)],
             removed: vec![(MacAddr::for_host(55), SwitchId::new(3))],
         }));
+        round_trip(ClusterMsg::PeerSync(PeerSyncMsg {
+            origin: 2,
+            seq: 7,
+            chunk: 0,
+            summary: true,
+            entries: vec![entry(12, 5)],
+            removed: vec![],
+        }));
+    }
+
+    #[test]
+    fn sync_digest_round_trips() {
+        round_trip(ClusterMsg::SyncDigest(SyncDigestMsg {
+            from: 2,
+            heads: vec![(0, 17), (1, 0), (3, u64::MAX)],
+        }));
+        round_trip(ClusterMsg::SyncDigest(SyncDigestMsg {
+            from: 0,
+            heads: vec![],
+        }));
+    }
+
+    #[test]
+    fn sync_relay_round_trips() {
+        let bundle = SyncRelayMsg {
+            from: 3,
+            syncs: vec![
+                PeerSyncMsg {
+                    origin: 1,
+                    seq: 9,
+                    chunk: 0,
+                    summary: false,
+                    entries: vec![entry(10, 3)],
+                    removed: vec![],
+                },
+                PeerSyncMsg {
+                    origin: 2,
+                    seq: 4,
+                    chunk: 1,
+                    summary: false,
+                    entries: vec![],
+                    removed: vec![(MacAddr::for_host(8), SwitchId::new(2))],
+                },
+            ],
+        };
+        round_trip(ClusterMsg::SyncRelay(bundle));
+        round_trip(ClusterMsg::SyncRelay(SyncRelayMsg {
+            from: 0,
+            syncs: vec![],
+        }));
+    }
+
+    #[test]
+    fn wire_len_matches_encoded_size() {
+        let sync = PeerSyncMsg {
+            origin: 1,
+            seq: 7,
+            chunk: 0,
+            summary: true,
+            entries: vec![entry(10, 3), entry(11, 4)],
+            removed: vec![(MacAddr::for_host(55), SwitchId::new(3))],
+        };
+        let mut body = Vec::new();
+        ClusterMsg::PeerSync(sync.clone()).encode_body(&mut body);
+        assert_eq!(sync.wire_len(), body.len());
     }
 
     #[test]
@@ -440,8 +651,9 @@ mod tests {
         assert_eq!(chunks.len(), 3);
         let reassembled: Vec<HostEntry> = chunks.iter().flat_map(|c| c.entries.clone()).collect();
         assert_eq!(reassembled, entries);
-        for c in &chunks {
+        for (i, c) in chunks.iter().enumerate() {
             assert_eq!(c.seq, 9);
+            assert_eq!(c.chunk, i as u32, "chunks must number consecutively");
             assert!(c.entries.len() <= 100);
         }
     }

@@ -7,7 +7,7 @@ mod of;
 
 pub use cluster::{
     ClusterMsg, CtrlHeartbeatMsg, HostEntry, LookupReplyMsg, LookupRequestMsg,
-    OwnershipTransferMsg, PeerSyncMsg, TransferReason,
+    OwnershipTransferMsg, PeerSyncMsg, SyncDigestMsg, SyncRelayMsg, TransferReason,
 };
 pub use lazy::{
     BargainMsg, GfibUpdateMsg, GroupAssignMsg, KeepAliveMsg, LazyMsg, LfibEntry, LfibSyncMsg,

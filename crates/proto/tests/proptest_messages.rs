@@ -7,7 +7,8 @@ use lazyctrl_proto::{
     Action, BargainMsg, ClusterMsg, CtrlHeartbeatMsg, FlowMatch, FlowModCommand, FlowModMsg,
     GroupAssignMsg, HostEntry, KeepAliveMsg, LazyMsg, LfibEntry, LfibSyncMsg, LookupReplyMsg,
     LookupRequestMsg, Message, OfMessage, OwnershipTransferMsg, PacketInMsg, PacketInReason,
-    PacketOutMsg, PeerSyncMsg, StateReportMsg, SwitchStats, TransferReason,
+    PacketOutMsg, PeerSyncMsg, StateReportMsg, SwitchStats, SyncDigestMsg, SyncRelayMsg,
+    TransferReason,
 };
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
@@ -244,23 +245,43 @@ fn arb_host_entry() -> impl Strategy<Value = HostEntry> {
     })
 }
 
+fn arb_peer_sync() -> impl Strategy<Value = PeerSyncMsg> {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        any::<u32>(),
+        any::<bool>(),
+        proptest::collection::vec(arb_host_entry(), 0..50),
+        proptest::collection::vec((arb_mac(), arb_switch()), 0..20),
+    )
+        .prop_map(
+            |(origin, seq, chunk, summary, entries, removed)| PeerSyncMsg {
+                origin,
+                seq,
+                chunk,
+                summary,
+                entries,
+                removed,
+            },
+        )
+}
+
 fn arb_cluster() -> impl Strategy<Value = ClusterMsg> {
     prop_oneof![
         // Peer sync: C-LIB shard replication.
+        arb_peer_sync().prop_map(ClusterMsg::PeerSync),
+        // Relay bundle on a ring/tree dissemination edge.
         (
             any::<u32>(),
-            any::<u64>(),
-            proptest::collection::vec(arb_host_entry(), 0..50),
-            proptest::collection::vec((arb_mac(), arb_switch()), 0..20)
+            proptest::collection::vec(arb_peer_sync(), 0..4)
         )
-            .prop_map(|(origin, seq, entries, removed)| ClusterMsg::PeerSync(
-                PeerSyncMsg {
-                    origin,
-                    seq,
-                    entries,
-                    removed
-                }
-            )),
+            .prop_map(|(from, syncs)| ClusterMsg::SyncRelay(SyncRelayMsg { from, syncs })),
+        // Anti-entropy digest.
+        (
+            any::<u32>(),
+            proptest::collection::vec((any::<u32>(), any::<u64>()), 0..16)
+        )
+            .prop_map(|(from, heads)| ClusterMsg::SyncDigest(SyncDigestMsg { from, heads })),
         // Ownership transfer: rebalance or failover.
         (
             any::<u32>(),
