@@ -1,10 +1,11 @@
 //! Criterion bench: end-to-end cluster runs at 1 / 2 / 4 controllers on
 //! the same workload — wall-clock cost of the control plane as the
-//! cluster grows — plus the plane's hot paths in isolation and the three
-//! peer-sync dissemination strategies (flood / ring / tree) head to head.
+//! cluster grows — plus the plane's hot paths in isolation. (The
+//! dissemination-strategy bench lives in `benches/perf.rs`, the single
+//! entry point for the headline performance numbers.)
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lazyctrl_cluster::{ClusterConfig, ClusterControlPlane, DisseminationStrategy};
+use lazyctrl_cluster::{ClusterConfig, ClusterControlPlane};
 use lazyctrl_core::{ControlMode, Experiment, ExperimentConfig};
 use lazyctrl_partition::WeightedGraph;
 use lazyctrl_trace::realistic::{generate, RealTraceConfig};
@@ -66,39 +67,5 @@ fn bench_plane_bootstrap(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_dissemination(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cluster_dissemination");
-    group.sample_size(10);
-    for strategy in [
-        DisseminationStrategy::Flood,
-        DisseminationStrategy::Ring,
-        DisseminationStrategy::tree(),
-    ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(strategy.label()),
-            &strategy,
-            |b, &s| {
-                b.iter(|| {
-                    let mut cfg = ExperimentConfig::new(ControlMode::LazyStatic)
-                        .with_group_size_limit(8)
-                        .with_seed(3)
-                        .with_cluster(8)
-                        .with_horizon_hours(2.0)
-                        .with_dissemination(s)
-                        .with_cluster_flush_ms(20_000);
-                    cfg.sync_interval_ms = 10_000;
-                    Experiment::new(cluster_trace(), cfg).run()
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_cluster_scaling,
-    bench_plane_bootstrap,
-    bench_dissemination
-);
+criterion_group!(benches, bench_cluster_scaling, bench_plane_bootstrap);
 criterion_main!(benches);

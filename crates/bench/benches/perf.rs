@@ -1,0 +1,108 @@
+//! Hot-path benches: scheduler backends head to head, end-to-end
+//! flow-setup throughput, and the cluster dissemination strategies — one
+//! `cargo bench -p lazyctrl-bench --bench perf` entry point for the
+//! numbers `repro_perf` tracks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lazyctrl_core::{
+    ControlMode, DisseminationStrategy, Experiment, ExperimentConfig, SchedulerKind,
+};
+use lazyctrl_sim::{EventQueue, SimDuration, SimTime};
+use lazyctrl_trace::realistic::{generate as generate_real, RealTraceConfig};
+use lazyctrl_trace::synthetic::{generate as generate_syn, SyntheticConfig};
+
+fn cluster_trace() -> lazyctrl_trace::Trace {
+    let mut tc = RealTraceConfig::small();
+    tc.num_flows = 3_000;
+    generate_real(&tc)
+}
+
+/// Mimics a simulation's schedule shape: a large pre-scheduled horizon
+/// (flow arrivals) plus short-delay churn (deliveries, timers) popped in
+/// order.
+fn drive_queue(kind: SchedulerKind, pre: u64, churn: u64) -> u64 {
+    let mut q: EventQueue<u64> = EventQueue::with_kind(kind);
+    // Pre-schedule `pre` arrivals spread over 24 virtual hours.
+    let horizon_ns: u64 = 24 * 3_600_000_000_000;
+    for i in 0..pre {
+        q.schedule(SimTime::from_nanos(i * (horizon_ns / pre)), i);
+    }
+    let mut handled = 0u64;
+    while let Some((now, ev)) = q.pop() {
+        handled += 1;
+        // Every popped pre-scheduled event chains `churn` short-delay
+        // follow-ups (sub-ms latencies), like frame deliveries would.
+        if ev < pre {
+            for c in 0..churn {
+                q.schedule(now + SimDuration::from_micros(50 + 150 * c), pre + handled);
+            }
+        }
+    }
+    handled
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.sample_size(10);
+    for kind in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &k| {
+            b.iter(|| drive_queue(k, 20_000, 4))
+        });
+    }
+    group.finish();
+}
+
+fn bench_flow_setup_throughput(c: &mut Criterion) {
+    let trace = generate_syn(&SyntheticConfig::syn_a().scaled_down(32));
+    let mut group = c.benchmark_group("flow_setup_throughput");
+    group.sample_size(10);
+    for kind in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &k| {
+            b.iter(|| {
+                let cfg = ExperimentConfig::new(ControlMode::LazyStatic)
+                    .with_group_size_limit(46)
+                    .with_seed(7)
+                    .with_scheduler(k);
+                Experiment::new(trace.clone(), cfg).run()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dissemination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_dissemination");
+    group.sample_size(10);
+    for strategy in [
+        DisseminationStrategy::Flood,
+        DisseminationStrategy::Ring,
+        DisseminationStrategy::tree(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &s| {
+                b.iter(|| {
+                    let mut cfg = ExperimentConfig::new(ControlMode::LazyStatic)
+                        .with_group_size_limit(8)
+                        .with_seed(3)
+                        .with_cluster(8)
+                        .with_horizon_hours(2.0)
+                        .with_dissemination(s)
+                        .with_cluster_flush_ms(20_000);
+                    cfg.sync_interval_ms = 10_000;
+                    Experiment::new(cluster_trace(), cfg).run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_flow_setup_throughput,
+    bench_dissemination
+);
+criterion_main!(benches);

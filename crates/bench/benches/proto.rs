@@ -16,7 +16,7 @@ fn packet_in() -> Message {
             buffer_id: u32::MAX,
             in_port: PortNo::new(3),
             reason: PacketInReason::NoMatch,
-            data: vec![0xAA; 64],
+            data: vec![0xAA; 64].into(),
         }),
     )
 }

@@ -29,8 +29,9 @@
 //! failing to undercut flood).
 
 use std::process::ExitCode;
+use std::time::Instant;
 
-use lazyctrl_bench::{real_trace, render_table, Scale};
+use lazyctrl_bench::{real_trace, render_table, syn_a_trace, Scale};
 use lazyctrl_core::scenarios::controller_crash;
 use lazyctrl_core::{
     run_scenario, ControlMode, DisseminationStrategy, Experiment, ExperimentConfig,
@@ -151,6 +152,41 @@ fn main() -> ExitCode {
         members as f64 - 1.0
     );
 
+    // ---- Syn-A (×10 at paper scale) under the big cluster -------------
+    // The ROADMAP's remaining scale milestone: the 2713-switch / 65090-host
+    // synthetic topology, sharded across the full cluster. The hot-path
+    // engine (timing-wheel scheduler, zero-copy frames, dense link state)
+    // is what makes the whole 24 h trace complete inside the CI time box.
+    let syn_a = syn_a_trace(scale);
+    println!(
+        "syn-a at {} controllers ({} switches, {} hosts, {} flows):",
+        members,
+        syn_a.topology.num_switches,
+        syn_a.topology.num_hosts(),
+        syn_a.num_flows()
+    );
+    let mut cfg = ExperimentConfig::new(ControlMode::LazyStatic)
+        .with_group_size_limit(46)
+        .with_seed(17)
+        .with_cluster(members)
+        .with_dissemination(DisseminationStrategy::tree())
+        .with_cluster_flush_ms(flush_ms);
+    cfg.sync_interval_ms = 10_000;
+    let t0 = Instant::now();
+    let report = Experiment::new(syn_a, cfg).run();
+    let cluster = report.cluster.as_ref().expect("cluster run");
+    println!(
+        "  completed in {:.1}s: {} events, {} flows, {} delivered, \
+         max ctrl rps {:.2}, msgs/chunk {:.2}\n",
+        t0.elapsed().as_secs_f64(),
+        report.events_processed,
+        report.flows_started,
+        report.delivered_flows,
+        cluster.max_controller_rps(),
+        cluster.messages_per_chunk(),
+    );
+    let syn_a_ok = report.delivered_flows > 0 && report.events_processed > 0;
+
     println!("scenario: controller-crash-under-load (2 controllers, crash member 1)");
     let crash = controller_crash(2, 5);
     let cluster = crash.report.cluster.as_ref().expect("cluster run");
@@ -178,8 +214,9 @@ fn main() -> ExitCode {
     let registry = ScenarioRegistry::builtin();
     // The detailed reachability analysis above counts as a check too, as
     // does the overlays-beat-flood shape of the dissemination table.
-    let mut failures =
-        usize::from(crash.affected_after_takeover == 0) + usize::from(!overlay_beats_flood);
+    let mut failures = usize::from(crash.affected_after_takeover == 0)
+        + usize::from(!overlay_beats_flood)
+        + usize::from(!syn_a_ok);
     for name in [
         "crash_under_load",
         "crash_recover",

@@ -66,6 +66,16 @@ pub fn expanded_trace(base: &Trace) -> Trace {
     expand(base, 0.30, 8.0, 24.0, 0xE0A)
 }
 
+/// Syn-A alone at the chosen scale (the perf/cluster workloads; cheaper
+/// than materializing the whole [`synthetic_traces`] family).
+pub fn syn_a_trace(scale: Scale) -> Trace {
+    let cfg = match scale {
+        Scale::Quick => SyntheticConfig::syn_a().scaled_down(8),
+        Scale::Paper => SyntheticConfig::syn_a(),
+    };
+    generate_syn(&cfg)
+}
+
 /// Syn-A/B/C at the chosen scale.
 pub fn synthetic_traces(scale: Scale) -> Vec<Trace> {
     [

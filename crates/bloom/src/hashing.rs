@@ -6,10 +6,18 @@
 //! offsets, finalized with splitmix64 for avalanche.
 
 /// Iterator over the `k` probe indexes for a key.
+///
+/// The base hashes are reduced into `[0, m)` once (multiply-shift, no
+/// division), and subsequent probes step by a fixed non-zero increment
+/// with a conditional subtract — so the per-probe cost is an add and a
+/// compare, and successive probes are guaranteed distinct (the property
+/// the classic `h1 + i·h2 mod m` with odd `h2` provides).
 #[derive(Debug, Clone)]
 pub struct IndexIter {
-    h1: u64,
-    h2: u64,
+    /// Next probe index, already in `[0, m)`.
+    idx: u64,
+    /// Probe stride in `[1, m)` (`[0, 1)` collapses to 1 when `m == 1`).
+    step: u64,
     m: u64,
     i: u32,
     k: u32,
@@ -22,8 +30,12 @@ impl Iterator for IndexIter {
         if self.i >= self.k {
             return None;
         }
-        let idx = self.h1.wrapping_add((self.i as u64).wrapping_mul(self.h2)) % self.m;
+        let idx = self.idx;
         self.i += 1;
+        self.idx += self.step;
+        if self.idx >= self.m {
+            self.idx -= self.m;
+        }
         Some(idx)
     }
 
@@ -35,13 +47,41 @@ impl Iterator for IndexIter {
 
 impl ExactSizeIterator for IndexIter {}
 
+/// The two Kirsch–Mitzenmacher base hashes for `key`. Depends only on the
+/// key — callers probing many filters for one key (the G-FIB's filter
+/// bank) compute this once and reuse it per filter.
+pub fn base_hashes(key: &[u8]) -> (u64, u64) {
+    let h1 = splitmix64(fnv1a(key, 0xcbf2_9ce4_8422_2325));
+    let h2 = splitmix64(fnv1a(key, 0x6c62_272e_07bb_0142));
+    (h1, h2)
+}
+
+/// Multiply-shift range reduction: maps a full-width hash onto `[0, m)`
+/// without the integer division a `% m` would cost (Lemire's fast
+/// alternative to the modulo reduction).
+#[inline]
+fn reduce(h: u64, m: u64) -> u64 {
+    (((h as u128) * (m as u128)) >> 64) as u64
+}
+
+/// Probe indexes from precomputed base hashes, `k` probes over `m` bits.
+pub(crate) fn indexes_from_base(base: (u64, u64), k: u32, m: u64) -> IndexIter {
+    IndexIter {
+        idx: reduce(base.0, m),
+        // A stride of zero would collapse every probe onto one bit;
+        // clamping to ≥1 restores "successive probes differ" for every
+        // key and filter size (m = 1 degenerates harmlessly: all probes
+        // hit the only bit there is).
+        step: reduce(base.1, m).max(1),
+        m,
+        i: 0,
+        k,
+    }
+}
+
 /// Produces the probe indexes for `key` with `k` hashes over `m` bits.
 pub(crate) fn indexes(key: &[u8], k: u32, m: u64) -> IndexIter {
-    let h1 = splitmix64(fnv1a(key, 0xcbf2_9ce4_8422_2325));
-    let mut h2 = splitmix64(fnv1a(key, 0x6c62_272e_07bb_0142));
-    // h2 must be odd so successive probes differ even for tiny m.
-    h2 |= 1;
-    IndexIter { h1, h2, m, i: 0, k }
+    indexes_from_base(base_hashes(key), k, m)
 }
 
 fn fnv1a(data: &[u8], offset_basis: u64) -> u64 {

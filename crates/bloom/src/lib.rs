@@ -38,7 +38,7 @@ mod counting;
 mod hashing;
 
 pub use counting::CountingBloomFilter;
-pub use hashing::IndexIter;
+pub use hashing::{base_hashes, IndexIter};
 
 use serde::{Deserialize, Serialize};
 
@@ -132,7 +132,16 @@ impl BloomFilter {
     /// Tests membership: false means *definitely absent*; true means
     /// *probably present*.
     pub fn contains<K: AsRef<[u8]>>(&self, key: K) -> bool {
-        hashing::indexes(key.as_ref(), self.k, self.m).all(|idx| self.get_bit(idx))
+        self.contains_prehashed(hashing::base_hashes(key.as_ref()))
+    }
+
+    /// Membership test from precomputed [`base_hashes`] — callers probing
+    /// a bank of filters for one key (the G-FIB hot path) hash the key
+    /// once and probe each filter with its own `(k, m)`.
+    ///
+    /// [`base_hashes`]: hashing::base_hashes
+    pub fn contains_prehashed(&self, base: (u64, u64)) -> bool {
+        hashing::indexes_from_base(base, self.k, self.m).all(|idx| self.get_bit(idx))
     }
 
     /// Removes all items.

@@ -425,7 +425,7 @@ impl ClusterControlPlane {
     /// member's outbox exactly as organic C-LIB learning would, without
     /// driving a full switch conversation. The member's own C-LIB is
     /// taught too (through its ordinary message interface, like
-    /// [`seed_clib`](Self::seed_clib)), so the anti-entropy snapshot
+    /// `seed_clib`), so the anti-entropy snapshot
     /// fallback — which rebuilds from the C-LIB — stays faithful for
     /// seam-injected state. The delta leaves at the member's next
     /// `ReplicaFlush` tick via the configured dissemination strategy.

@@ -186,7 +186,7 @@ mod tests {
             buffer_id: u32::MAX,
             in_port: PortNo::new(1),
             reason: PacketInReason::NoMatch,
-            data: frame.encode(),
+            data: frame.encode().into(),
         }
     }
 

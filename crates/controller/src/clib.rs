@@ -19,9 +19,15 @@ pub struct HostLocation {
 }
 
 /// The controller's replica of every switch's L-FIB.
+///
+/// Alongside the host map it maintains a `(tenant, switch) → host count`
+/// index, so the ARP-relay hot path's "which switches host this tenant"
+/// query is a range scan over the (few) hosting switches instead of a
+/// walk over every known host.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Clib {
     hosts: BTreeMap<MacAddr, HostLocation>,
+    tenant_switches: BTreeMap<(TenantId, SwitchId), u32>,
 }
 
 impl Clib {
@@ -40,10 +46,30 @@ impl Clib {
         self.hosts.is_empty()
     }
 
+    fn index_add(&mut self, tenant: TenantId, switch: SwitchId) {
+        *self.tenant_switches.entry((tenant, switch)).or_insert(0) += 1;
+    }
+
+    fn index_sub(&mut self, tenant: TenantId, switch: SwitchId) {
+        if let Some(n) = self.tenant_switches.get_mut(&(tenant, switch)) {
+            *n -= 1;
+            if *n == 0 {
+                self.tenant_switches.remove(&(tenant, switch));
+            }
+        }
+    }
+
+    fn insert_host(&mut self, mac: MacAddr, location: HostLocation) {
+        if let Some(old) = self.hosts.insert(mac, location) {
+            self.index_sub(old.tenant, old.switch);
+        }
+        self.index_add(location.tenant, location.switch);
+    }
+
     /// Absorbs an L-FIB sync relayed up a state link.
     pub fn apply_sync(&mut self, sync: &LfibSyncMsg) {
         for e in &sync.entries {
-            self.hosts.insert(
+            self.insert_host(
                 e.mac,
                 HostLocation {
                     switch: sync.origin,
@@ -55,9 +81,10 @@ impl Clib {
         for mac in &sync.removed {
             // Only the owning switch may withdraw (a stale removal from a
             // previous location must not clobber a fresh learn elsewhere).
-            if let Some(loc) = self.hosts.get(mac) {
+            if let Some(loc) = self.hosts.get(mac).copied() {
                 if loc.switch == sync.origin {
                     self.hosts.remove(mac);
+                    self.index_sub(loc.tenant, loc.switch);
                 }
             }
         }
@@ -65,7 +92,7 @@ impl Clib {
 
     /// Records a single host directly (bootstrap / PacketIn learning).
     pub fn learn(&mut self, mac: MacAddr, location: HostLocation) {
-        self.hosts.insert(mac, location);
+        self.insert_host(mac, location);
     }
 
     /// Looks up a host.
@@ -82,17 +109,12 @@ impl Clib {
             .collect()
     }
 
-    /// All switches hosting at least one VM of `tenant`.
+    /// All switches hosting at least one VM of `tenant` (sorted).
     pub fn switches_of_tenant(&self, tenant: TenantId) -> Vec<SwitchId> {
-        let mut out: Vec<SwitchId> = self
-            .hosts
-            .values()
-            .filter(|l| l.tenant == tenant)
-            .map(|l| l.switch)
-            .collect();
-        out.sort_unstable();
-        out.dedup();
-        out
+        self.tenant_switches
+            .range((tenant, SwitchId::new(0))..=(tenant, SwitchId::new(u32::MAX)))
+            .map(|(&(_, s), _)| s)
+            .collect()
     }
 
     /// Iterates over all known hosts.

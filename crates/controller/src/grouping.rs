@@ -125,6 +125,10 @@ pub struct GroupingManager {
     /// Switches moved by the most recent update: `(switch, old group,
     /// new group)`. Consumed by the controller's preload step.
     last_moves: Vec<(SwitchId, usize, usize)>,
+    /// Worker threads for the parallel merge/split step of incremental
+    /// updates (`1` = sequential; results are bit-identical either way —
+    /// see `lazyctrl_partition::SgiConfig::parallelism`).
+    parallelism: usize,
 }
 
 impl GroupingManager {
@@ -156,7 +160,22 @@ impl GroupingManager {
             epoch: 0,
             group_epochs: BTreeMap::new(),
             last_moves: Vec::new(),
+            parallelism: 1,
         }
+    }
+
+    /// Sets the worker-thread count for the parallel merge/split step.
+    /// Call before [`bootstrap`]; the value is baked into the SGI
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    ///
+    /// [`bootstrap`]: GroupingManager::bootstrap
+    pub fn set_parallelism(&mut self, n: usize) {
+        assert!(n > 0, "parallelism must be at least 1");
+        self.parallelism = n;
     }
 
     /// The (global) grouping epoch currently in force.
@@ -361,7 +380,8 @@ impl GroupingManager {
             SgiConfig::new(self.group_size_limit)
                 .with_thresholds(0.0, 0.0)
                 .with_min_improvement(0.10)
-                .with_seed(self.seed),
+                .with_seed(self.seed)
+                .with_parallelism(self.parallelism),
         );
         self.epoch = sgi.epoch();
         let num_groups = sgi.partition().num_groups();
@@ -461,7 +481,11 @@ impl GroupingManager {
         sgi.set_intensity(graph);
         match decision {
             RegroupDecision::Incremental => {
-                let _ = sgi.inc_update(f64::INFINITY);
+                // Disjoint-pair merge/split (Appendix B): the re-splits
+                // are computed on `parallelism` workers and applied in
+                // deterministic order, so the result does not depend on
+                // the thread count.
+                let _ = sgi.par_inc_update(f64::INFINITY, sgi.config().max_merge_rounds);
             }
             RegroupDecision::Full => sgi.regroup(),
             RegroupDecision::None => unreachable!("filtered above"),

@@ -62,6 +62,10 @@ pub struct LazyConfig {
     pub enable_preload: bool,
     /// Idle timeout for installed inter-group rules (s).
     pub flow_idle_timeout_s: u16,
+    /// Worker threads for the SGI merge/split step of incremental
+    /// regrouping (`1` = sequential; any value produces bit-identical
+    /// groupings — the knob only buys wall-clock time on big topologies).
+    pub sgi_parallelism: usize,
     /// Deterministic seed.
     pub seed: u64,
 }
@@ -77,6 +81,7 @@ impl Default for LazyConfig {
             enable_arp_blocking: true,
             enable_preload: true,
             flow_idle_timeout_s: 30,
+            sgi_parallelism: 1,
             seed: 0x1a2b,
         }
     }
@@ -99,8 +104,9 @@ pub struct LazyController {
 impl LazyController {
     /// Creates a controller for the given switches.
     pub fn new(switches: Vec<SwitchId>, cfg: LazyConfig) -> Self {
-        let grouping =
+        let mut grouping =
             GroupingManager::new(switches.len(), cfg.group_size_limit, cfg.triggers, cfg.seed);
+        grouping.set_parallelism(cfg.sgi_parallelism.max(1));
         // Correlation window ≥ 2 wheel deadlines (interval × the shared
         // miss threshold), so persistent losses from both ring directions
         // are guaranteed to overlap — see `FailureDetector::with_window`.
@@ -158,6 +164,8 @@ impl LazyController {
             self.cfg.triggers,
             self.cfg.seed,
         );
+        self.grouping
+            .set_parallelism(self.cfg.sgi_parallelism.max(1));
         outcome
     }
 
@@ -516,7 +524,7 @@ impl LazyController {
         &mut self,
         from: SwitchId,
         tenant: TenantId,
-        data: &[u8],
+        data: &bytes::Bytes,
     ) -> Vec<ControllerOutput> {
         let from_group = self.grouping.group_of(from);
         let mut targets: Vec<SwitchId> = Vec::new();
@@ -556,7 +564,10 @@ impl LazyController {
                             buffer_id: u32::MAX,
                             in_port: PortNo::NONE,
                             actions: vec![Action::Output(PortNo::FLOOD)],
-                            data: data.to_vec(),
+                            // Shared handle: one relayed ARP broadcast to
+                            // n designated switches is n refcount bumps,
+                            // not n payload copies.
+                            data: data.clone(),
                         }),
                     ),
                 )

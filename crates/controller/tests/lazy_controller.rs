@@ -51,7 +51,7 @@ fn packet_in(src: u32, dst: u32, tenant: u16) -> PacketInMsg {
         buffer_id: u32::MAX,
         in_port: PortNo::new(1),
         reason: PacketInReason::NoMatch,
-        data: frame(src, dst, tenant).encode(),
+        data: frame(src, dst, tenant).encode().into(),
     }
 }
 
@@ -147,7 +147,7 @@ fn arp_relay_is_scoped_to_tenant_groups() {
     let mut arp = packet_in(11, 0, 7);
     let mut f = frame(11, 0, 7);
     f.dst = lazyctrl_net::MacAddr::BROADCAST;
-    arp.data = f.encode();
+    arp.data = f.encode().into();
     let out = c.handle_message(
         1,
         SwitchId::new(0),
@@ -167,7 +167,7 @@ fn arp_relay_is_scoped_to_tenant_groups() {
     let mut arp = packet_in(30, 0, 8);
     let mut f = frame(30, 0, 8);
     f.dst = lazyctrl_net::MacAddr::BROADCAST;
-    arp.data = f.encode();
+    arp.data = f.encode().into();
     let out = c.handle_message(
         2,
         SwitchId::new(0),
@@ -197,7 +197,7 @@ fn false_positive_report_corrects_the_sender() {
         buffer_id: u32::MAX,
         in_port: PortNo::NONE,
         reason: PacketInReason::FalsePositive,
-        data: encap.encode(),
+        data: encap.encode().into(),
     };
     let out = c.handle_message(
         1,

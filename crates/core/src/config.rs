@@ -3,7 +3,7 @@
 use lazyctrl_cluster::DisseminationStrategy;
 use lazyctrl_controller::RegroupTriggers;
 use lazyctrl_proto::EventPlan;
-use lazyctrl_sim::LatencyModel;
+use lazyctrl_sim::{LatencyModel, SchedulerKind};
 use serde::{Deserialize, Serialize};
 
 /// Which control plane runs the data center.
@@ -96,6 +96,14 @@ pub struct ExperimentConfig {
     /// switch crashes, link degradation, host migration, traffic bursts —
     /// see [`EventPlan`]). Empty by default: nothing is injected.
     pub plan: EventPlan,
+    /// Event-scheduler backend for the run: the timing wheel (default) or
+    /// the binary-heap reference. Both produce bit-identical reports for
+    /// a given seed; the knob exists so regression tests can replay a
+    /// scenario under each (see `lazyctrl_sim::SchedulerKind`).
+    pub scheduler: SchedulerKind,
+    /// Worker threads for the SGI merge/split step of incremental
+    /// regrouping (`1` = sequential; bit-identical results either way).
+    pub sgi_parallelism: usize,
 }
 
 impl ExperimentConfig {
@@ -121,7 +129,21 @@ impl ExperimentConfig {
             cluster_dissemination: DisseminationStrategy::default(),
             cluster_flush_interval_ms: None,
             plan: EventPlan::new(),
+            scheduler: SchedulerKind::default(),
+            sgi_parallelism: 1,
         }
+    }
+
+    /// Selects the event-scheduler backend.
+    pub fn with_scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Sets the SGI merge/split worker-thread count.
+    pub fn with_sgi_parallelism(mut self, n: usize) -> Self {
+        self.sgi_parallelism = n;
+        self
     }
 
     /// Sets the group size limit.
@@ -196,6 +218,7 @@ impl ExperimentConfig {
         if let Some(ms) = self.cluster_flush_interval_ms {
             assert!(ms > 0, "cluster flush interval must be positive");
         }
+        assert!(self.sgi_parallelism > 0, "sgi_parallelism must be positive");
         self.plan.validate();
         if self.cluster_controllers.is_none() {
             assert!(

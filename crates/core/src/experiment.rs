@@ -65,7 +65,7 @@ impl Experiment {
         let mode = cfg.mode;
         let horizon = run_horizon(&trace, &cfg);
 
-        let mut queue: EventQueue<Ev> = EventQueue::new();
+        let mut queue: EventQueue<Ev> = EventQueue::with_kind(cfg.scheduler);
         // Schedule every flow arrival up front (they're already sorted).
         for (i, f) in trace.flows.iter().enumerate() {
             if SimTime::from_nanos(f.time_ns) > horizon {
@@ -91,6 +91,7 @@ impl Experiment {
         }
 
         run(&mut world, &mut queue, horizon);
+        let events_processed = queue.popped_total();
 
         // ---- Collect ----
         let bucket_hours = world.cfg.bucket_hours;
@@ -211,6 +212,7 @@ impl Experiment {
             packet_ins: world.metrics.counter("packet_ins"),
             flows_started: world.metrics.counter("flows_started"),
             delivered_flows: world.metrics.counter("delivered_flows"),
+            events_processed,
             mean_latency_ms,
             final_winter,
             max_gfib_bytes,

@@ -60,4 +60,5 @@ pub use scenarios::{
 pub use lazyctrl_cluster::DisseminationStrategy;
 pub use lazyctrl_controller::{BaselineController, LazyController};
 pub use lazyctrl_proto::{EventPlan, InjectedEvent, ScheduledEvent};
+pub use lazyctrl_sim::SchedulerKind;
 pub use lazyctrl_switch::EdgeSwitch;

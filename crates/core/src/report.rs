@@ -32,6 +32,10 @@ pub struct ExperimentReport {
     pub flows_started: u64,
     /// First packets confirmed delivered.
     pub delivered_flows: u64,
+    /// Simulation events processed (scheduler pops) over the run — the
+    /// numerator of `repro_perf`'s events/sec. Identical across scheduler
+    /// backends and SGI parallelism settings for a given seed.
+    pub events_processed: u64,
     /// Overall mean first-packet latency (ms).
     pub mean_latency_ms: f64,
     /// Final normalized inter-group intensity (lazy modes).
@@ -174,6 +178,7 @@ mod tests {
             packet_ins: 0,
             flows_started: 0,
             delivered_flows: 0,
+            events_processed: 0,
             mean_latency_ms: 0.0,
             final_winter: None,
             max_gfib_bytes: 0,

@@ -171,8 +171,11 @@ pub(crate) struct DataCenterWorld {
 }
 
 impl DataCenterWorld {
-    pub(crate) fn new(trace: Trace, cfg: ExperimentConfig) -> Self {
+    pub(crate) fn new(trace: Trace, mut cfg: ExperimentConfig) -> Self {
         cfg.validate();
+        // Checked once here so the per-message latency sampling can skip
+        // the assertion.
+        cfg.latency.validate();
         let n = trace.topology.num_switches;
         let mut switches: Vec<EdgeSwitch> = (0..n)
             .map(|i| {
@@ -215,6 +218,7 @@ impl DataCenterWorld {
                     enable_arp_blocking: true,
                     enable_preload: cfg.preload,
                     flow_idle_timeout_s: 30,
+                    sgi_parallelism: cfg.sgi_parallelism,
                     seed: cfg.seed,
                 };
                 match maybe_cluster {
@@ -243,7 +247,10 @@ impl DataCenterWorld {
         let workload_bucket = SimDuration::from_secs_f64(cfg.bucket_hours * 3600.0);
         DataCenterWorld {
             rng: StdRng::seed_from_u64(cfg.seed ^ 0x57a7e),
-            latency: cfg.latency.clone(),
+            // The live (fault-degradable) latency model moves out of the
+            // config instead of being cloned; the config copy is not read
+            // again after world construction.
+            latency: std::mem::take(&mut cfg.latency),
             cfg,
             trace,
             switches,
@@ -300,7 +307,9 @@ impl DataCenterWorld {
             dst.mac(),
             VlanTag::for_tenant(self.trace.topology.tenant_of(src)),
             EtherType::IPV4,
-            emit_ns.to_be_bytes().to_vec(),
+            // One shared buffer per flow; every copy the fabric makes of
+            // this frame from here on is a refcount bump.
+            emit_ns.to_be_bytes(),
         )
     }
 
@@ -414,7 +423,7 @@ impl DataCenterWorld {
             return;
         }
         // Broadcast: ARP requests get answered by a local target.
-        let Some(arp) = lazyctrl_net::Packet::Plain(frame.clone()).as_arp() else {
+        let Some(arp) = frame.as_arp() else {
             return;
         };
         if arp.op != lazyctrl_net::ArpOp::Request {

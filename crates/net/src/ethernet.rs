@@ -1,9 +1,9 @@
 use std::fmt;
 
-use bytes::{Buf, BufMut};
+use bytes::{Buf, BufMut, Bytes};
 use serde::{Deserialize, Serialize};
 
-use crate::{MacAddr, NetError, Result, VlanTag, VLAN_TAG_LEN};
+use crate::{ArpPacket, MacAddr, NetError, Result, VlanTag, VLAN_TAG_LEN};
 
 /// Length of an untagged Ethernet header (dst + src + ethertype).
 pub const ETHERNET_HEADER_LEN: usize = 14;
@@ -83,6 +83,10 @@ impl From<EtherType> for u16 {
 /// The VLAN tag is how tenant identity travels with a packet in the LazyCtrl
 /// prototype (§IV-B, tenant information management), so the frame model keeps
 /// it as a first-class field rather than burying it in the payload.
+///
+/// The payload is a shared [`Bytes`] buffer: cloning a frame — which the
+/// simulator does on every broadcast fan-out, tunnel candidate and relay
+/// hop — bumps a refcount instead of copying the payload.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct EthernetFrame {
     /// Destination MAC address.
@@ -93,19 +97,24 @@ pub struct EthernetFrame {
     pub vlan: Option<VlanTag>,
     /// EtherType of the payload.
     pub ethertype: EtherType,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes (shared, immutable).
+    pub payload: Bytes,
 }
 
 impl EthernetFrame {
     /// Creates an untagged frame.
-    pub fn new(src: MacAddr, dst: MacAddr, ethertype: EtherType, payload: Vec<u8>) -> Self {
+    pub fn new(
+        src: MacAddr,
+        dst: MacAddr,
+        ethertype: EtherType,
+        payload: impl Into<Bytes>,
+    ) -> Self {
         EthernetFrame {
             dst,
             src,
             vlan: None,
             ethertype,
-            payload,
+            payload: payload.into(),
         }
     }
 
@@ -115,14 +124,24 @@ impl EthernetFrame {
         dst: MacAddr,
         vlan: VlanTag,
         ethertype: EtherType,
-        payload: Vec<u8>,
+        payload: impl Into<Bytes>,
     ) -> Self {
         EthernetFrame {
             dst,
             src,
             vlan: Some(vlan),
             ethertype,
-            payload,
+            payload: payload.into(),
+        }
+    }
+
+    /// If this is an ARP frame, decodes and returns the ARP body
+    /// (borrowing — no frame clone needed to inspect ARP traffic).
+    pub fn as_arp(&self) -> Option<ArpPacket> {
+        if self.ethertype == EtherType::ARP {
+            ArpPacket::decode(&self.payload).ok()
+        } else {
+            None
         }
     }
 
@@ -196,7 +215,7 @@ impl EthernetFrame {
             src: MacAddr::new(src),
             vlan,
             ethertype,
-            payload: buf.to_vec(),
+            payload: buf.to_vec().into(),
         })
     }
 

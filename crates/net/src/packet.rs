@@ -1,6 +1,6 @@
 use serde::{Deserialize, Serialize};
 
-use crate::{ArpPacket, EncapsulatedFrame, EtherType, EthernetFrame, NetError, Result};
+use crate::{ArpPacket, EncapsulatedFrame, EthernetFrame, NetError, Result};
 
 /// What kind of traffic a decoded packet turned out to be.
 ///
@@ -71,7 +71,7 @@ impl Packet {
     /// fails to parse.
     pub fn as_arp(&self) -> Option<ArpPacket> {
         match self {
-            Packet::Plain(f) if f.ethertype == EtherType::ARP => ArpPacket::decode(&f.payload).ok(),
+            Packet::Plain(f) => f.as_arp(),
             _ => None,
         }
     }
@@ -123,7 +123,7 @@ impl From<EncapsulatedFrame> for Packet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{EncapHeader, MacAddr, TenantId};
+    use crate::{EncapHeader, EtherType, MacAddr, TenantId};
     use std::net::Ipv4Addr;
 
     fn frame() -> EthernetFrame {

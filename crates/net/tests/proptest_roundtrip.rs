@@ -47,7 +47,7 @@ fn arb_frame() -> impl Strategy<Value = EthernetFrame> {
             dst,
             vlan,
             ethertype,
-            payload,
+            payload: payload.into(),
         })
 }
 

@@ -199,7 +199,7 @@ mod tests {
                 buffer_id: 42,
                 in_port: PortNo::new(3),
                 reason: PacketInReason::NoMatch,
-                data: vec![1, 2, 3, 4],
+                data: vec![1, 2, 3, 4].into(),
             }),
         );
         assert_eq!(Message::decode(&m.encode()).unwrap(), m);

@@ -1,6 +1,6 @@
 //! The OpenFlow 1.0-style message subset.
 
-use bytes::BufMut;
+use bytes::{BufMut, Bytes};
 use lazyctrl_net::PortNo;
 use serde::{Deserialize, Serialize};
 
@@ -55,8 +55,10 @@ pub struct PacketInMsg {
     pub in_port: PortNo,
     /// Why it was punted.
     pub reason: PacketInReason,
-    /// The raw packet bytes (possibly truncated by the switch).
-    pub data: Vec<u8>,
+    /// The raw packet bytes (possibly truncated by the switch). Shared:
+    /// relaying a punted packet to several switches clones the handle,
+    /// not the bytes.
+    pub data: Bytes,
 }
 
 /// Controller-to-switch: inject/release a packet with an action list.
@@ -68,8 +70,8 @@ pub struct PacketOutMsg {
     pub in_port: PortNo,
     /// Actions to apply.
     pub actions: Vec<Action>,
-    /// Raw packet, when not referring to a buffer.
-    pub data: Vec<u8>,
+    /// Raw packet, when not referring to a buffer (shared bytes).
+    pub data: Bytes,
 }
 
 /// Flow-table mutation command.
@@ -325,7 +327,7 @@ impl OfMessage {
                     buffer_id,
                     in_port,
                     reason,
-                    data: r.bytes(n)?,
+                    data: r.bytes(n)?.into(),
                 })
             }
             MsgType::PacketOut => {
@@ -337,7 +339,7 @@ impl OfMessage {
                     buffer_id,
                     in_port,
                     actions,
-                    data: r.bytes(n)?,
+                    data: r.bytes(n)?.into(),
                 })
             }
             MsgType::FlowMod => {
@@ -444,7 +446,7 @@ mod tests {
             buffer_id: 55,
             in_port: PortNo::NONE,
             actions: vec![Action::Output(PortNo::FLOOD)],
-            data: vec![],
+            data: vec![].into(),
         }));
     }
 
@@ -469,7 +471,7 @@ mod tests {
             buffer_id: 1,
             in_port: PortNo::new(1),
             reason: PacketInReason::NoMatch,
-            data: vec![],
+            data: vec![].into(),
         });
         let mut body = Vec::new();
         m.encode_body(&mut body);

@@ -90,7 +90,7 @@ fn arb_of() -> impl Strategy<Value = OfMessage> {
                     buffer_id,
                     in_port,
                     reason,
-                    data
+                    data: data.into()
                 }
             )),
         (
@@ -104,7 +104,7 @@ fn arb_of() -> impl Strategy<Value = OfMessage> {
                     buffer_id,
                     in_port,
                     actions,
-                    data
+                    data: data.into()
                 }
             )),
         (

@@ -1,4 +1,22 @@
 //! The event queue and driver loop.
+//!
+//! Two scheduler backends implement the same deterministic contract —
+//! events fire in `(time, insertion seq)` order, bit-identically:
+//!
+//! * [`WheelQueue`] — a hierarchical timing wheel (the default): 9 levels
+//!   of 64 slots over ~8 µs ticks cover the full `u64` nanosecond range,
+//!   so `schedule`/`pop` are near-O(1) amortized instead of the
+//!   `O(log n)` cache-missing heap operations that dominated the hot
+//!   path at paper scale. See `DESIGN.md` §"Scheduler".
+//! * [`HeapQueue`] — the original `BinaryHeap` scheduler, retained as the
+//!   differential-testing reference (`tests/proptest_scheduler.rs`
+//!   asserts both pop identical sequences under arbitrary schedules).
+//!
+//! [`EventQueue`] fronts both behind one type; the backend is chosen per
+//! queue via [`SchedulerKind`] (experiments expose this as a config knob
+//! so scenario regressions can replay the same run under both). The
+//! compile-time default is the wheel; building `lazyctrl-sim` with the
+//! `heap-sched` feature flips the default back to the heap.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -29,28 +47,61 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A deterministic priority queue of future events.
-///
-/// Events at equal times fire in insertion order, making every simulation
-/// replayable bit-for-bit.
-pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    next_seq: u64,
+/// Which scheduler backend an [`EventQueue`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// Hierarchical timing wheel (near-O(1); the default).
+    Wheel,
+    /// Binary-heap reference scheduler (O(log n)).
+    Heap,
 }
 
-impl<E> Default for EventQueue<E> {
+impl Default for SchedulerKind {
     fn default() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
+        if cfg!(feature = "heap-sched") {
+            SchedulerKind::Heap
+        } else {
+            SchedulerKind::Wheel
         }
     }
 }
 
-impl<E> EventQueue<E> {
+impl SchedulerKind {
+    /// Short label used in reports and bench output.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::Wheel => "wheel",
+            SchedulerKind::Heap => "heap",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heap backend (reference implementation)
+// ---------------------------------------------------------------------------
+
+/// The original `BinaryHeap` scheduler: `O(log n)` schedule/pop, kept as
+/// the differential-testing reference for [`WheelQueue`].
+pub struct HeapQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for HeapQueue<E> {
+    fn default() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+}
+
+impl<E> HeapQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue::default()
+        HeapQueue::default()
     }
 
     /// Schedules `event` to fire at absolute time `at`.
@@ -62,12 +113,24 @@ impl<E> EventQueue<E> {
 
     /// Pops the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+        self.heap.pop().map(|Reverse(e)| {
+            self.popped += 1;
+            (e.at, e.event)
+        })
     }
 
     /// Fire time of the earliest pending event.
-    pub fn peek_time(&self) -> Option<SimTime> {
+    pub fn peek_time(&mut self) -> Option<SimTime> {
         self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Pops the earliest event if it fires at or before `until`.
+    pub fn pop_until(&mut self, until: SimTime) -> Option<(SimTime, E)> {
+        if self.heap.peek().is_some_and(|Reverse(e)| e.at <= until) {
+            self.pop()
+        } else {
+            None
+        }
     }
 
     /// Number of pending events.
@@ -79,13 +142,403 @@ impl<E> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Total events scheduled over the queue's lifetime.
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Total events popped over the queue's lifetime.
+    pub fn popped_total(&self) -> u64 {
+        self.popped
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timing-wheel backend
+// ---------------------------------------------------------------------------
+
+/// Tick granularity: 2¹³ ns ≈ 8 µs. Events inside one tick are ordered
+/// exactly by `(time, seq)` through the ready stage, so the granularity
+/// affects batching only, never fire order.
+const TICK_SHIFT: u32 = 13;
+/// log2(slots per level).
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Levels. 9 × 6 bits cover all 51 tick bits of a `u64` nanosecond
+/// timestamp (with room to spare), so *every* future time has a slot —
+/// there is no separate overflow list; the top level is the overflow.
+const LEVELS: usize = 9;
+
+/// A deterministic hierarchical timing wheel.
+///
+/// Invariants (see `DESIGN.md` for the full argument):
+///
+/// * `cursor` is the tick of the earliest event ever primed; it only
+///   moves forward, directly to the next occupied tick (bitmap scans skip
+///   empty slots — no tick-by-tick advancement).
+/// * A level-`k` slot holds events whose tick agrees with the cursor on
+///   all 6-bit groups above `k` and first differs (upward) at group `k`;
+///   events never sit below the level that property assigns them, so each
+///   event cascades at most `LEVELS` times over its lifetime.
+/// * Events whose tick ≤ cursor live in the *ready stage*: the current
+///   tick's batch, sorted descending by `(time, seq)` so popping the
+///   minimum is `Vec::pop`, plus a tiny overflow heap for events
+///   scheduled into the already-open tick while it drains. This is what
+///   makes fire order exact (ns-resolution) even though wheel slots are
+///   tick-granular — and it costs no per-event heap sift on the common
+///   path.
+pub struct WheelQueue<E> {
+    /// `LEVELS × SLOTS` buckets, flattened.
+    slots: Vec<Vec<Entry<E>>>,
+    /// Per-level occupancy bitmaps (bit `s` ⇔ slot `s` non-empty).
+    occ: [u64; LEVELS],
+    /// Current tick (low 51 bits meaningful).
+    cursor: u64,
+    /// The current tick's batch, sorted descending by `(time, seq)`;
+    /// popped from the back.
+    ready: Vec<Entry<E>>,
+    /// Events landing at or before the cursor tick *after* its batch was
+    /// opened (e.g. zero-delay follow-ups) — usually empty.
+    ready_extra: BinaryHeap<Reverse<Entry<E>>>,
+    /// Events parked in wheel slots (excludes the ready stage).
+    in_wheel: usize,
+    /// Emptied slot buffers kept for reuse, so cascading a slot does not
+    /// free its allocation just to re-grow it on the next park.
+    spare: Vec<Vec<Entry<E>>>,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for WheelQueue<E> {
+    fn default() -> Self {
+        WheelQueue {
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occ: [0; LEVELS],
+            cursor: 0,
+            ready: Vec::new(),
+            ready_extra: BinaryHeap::new(),
+            in_wheel: 0,
+            spare: Vec::new(),
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+}
+
+impl<E> WheelQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        WheelQueue::default()
+    }
+
+    #[inline]
+    fn tick_of(at: SimTime) -> u64 {
+        at.as_nanos() >> TICK_SHIFT
+    }
+
+    /// Level a tick belongs to relative to the cursor: the 6-bit group of
+    /// the highest bit where the two ticks differ.
+    #[inline]
+    fn level_of(&self, tick: u64) -> usize {
+        let xor = tick ^ self.cursor;
+        debug_assert!(xor != 0, "same-tick events go to ready, not the wheel");
+        ((63 - xor.leading_zeros()) / LEVEL_BITS) as usize
+    }
+
+    #[inline]
+    fn slot_index(level: usize, tick: u64) -> usize {
+        let group = (tick >> (level as u32 * LEVEL_BITS)) & (SLOTS as u64 - 1);
+        level * SLOTS + group as usize
+    }
+
+    #[inline]
+    fn park(&mut self, entry: Entry<E>) {
+        let tick = Self::tick_of(entry.at);
+        if tick <= self.cursor {
+            // Current (already-open) tick — or a past time, which the
+            // heap reference would also surface next; both join the
+            // ready stage through the overflow heap.
+            self.ready_extra.push(Reverse(entry));
+            return;
+        }
+        let level = self.level_of(tick);
+        let idx = Self::slot_index(level, tick);
+        self.slots[idx].push(entry);
+        self.occ[level] |= 1 << (idx - level * SLOTS);
+        self.in_wheel += 1;
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.park(Entry { at, seq, event });
+    }
+
+    #[inline]
+    fn ready_stage_empty(&self) -> bool {
+        self.ready.is_empty() && self.ready_extra.is_empty()
+    }
+
+    /// Ensures the earliest pending event (if any) sits in the ready
+    /// stage: advances the cursor to the next occupied tick, cascading
+    /// higher-level slots down as it enters them.
+    fn prime(&mut self) {
+        while self.ready_stage_empty() && self.in_wheel > 0 {
+            for level in 0..LEVELS {
+                let shift = level as u32 * LEVEL_BITS;
+                let cur_group = ((self.cursor >> shift) & (SLOTS as u64 - 1)) as usize;
+                // Slots below the cursor's group hold past ticks, which
+                // cannot exist (the cursor only moves to the minimum
+                // pending tick); mask them off and take the lowest
+                // occupied slot at or above it.
+                let mask = self.occ[level] & (!0u64 << cur_group);
+                if mask == 0 {
+                    continue;
+                }
+                let slot = mask.trailing_zeros() as usize;
+                let idx = level * SLOTS + slot;
+                let replacement = self.spare.pop().unwrap_or_default();
+                let mut batch = std::mem::replace(&mut self.slots[idx], replacement);
+                self.occ[level] &= !(1u64 << slot);
+                self.in_wheel -= batch.len();
+                if level == 0 {
+                    // All entries in a level-0 slot share one tick: move
+                    // the cursor there and open the batch as the ready
+                    // stage, sorted descending so the minimum pops from
+                    // the back with no further moves.
+                    self.cursor = (self.cursor & !(SLOTS as u64 - 1)) | slot as u64;
+                    if batch.len() > 1 {
+                        batch.sort_unstable_by(|a, b| b.cmp(a));
+                    }
+                    let consumed = std::mem::replace(&mut self.ready, batch);
+                    self.spare.push(consumed);
+                } else {
+                    // Jump the cursor to the base of the slot's tick
+                    // range (groups below `level` zeroed), then cascade
+                    // its entries — each lands at a strictly lower level
+                    // or in the ready stage, so this terminates.
+                    if slot != cur_group {
+                        let span = 1u64 << (shift + LEVEL_BITS);
+                        self.cursor = (self.cursor & !(span - 1)) | ((slot as u64) << shift);
+                    }
+                    for e in batch.drain(..) {
+                        self.park(e);
+                    }
+                    // `park` counts re-inserted wheel entries again.
+                    self.spare.push(batch);
+                }
+                break;
+            }
+        }
+    }
+
+    /// True when the next ready-stage pop must come from the overflow
+    /// heap rather than the sorted batch.
+    #[inline]
+    fn extra_first(&self) -> bool {
+        match (self.ready.last(), self.ready_extra.peek()) {
+            (Some(r), Some(Reverse(x))) => x < r,
+            (None, Some(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.prime();
+        let e = if self.extra_first() {
+            self.ready_extra.pop().map(|Reverse(e)| e)
+        } else {
+            self.ready.pop()
+        };
+        e.map(|e| {
+            self.popped += 1;
+            (e.at, e.event)
+        })
+    }
+
+    /// Pops the earliest event if it fires at or before `until` — one
+    /// prime + one comparison, where a `peek_time` + `pop` pair would
+    /// pay the queue front-end twice. Events beyond `until` stay queued.
+    pub fn pop_until(&mut self, until: SimTime) -> Option<(SimTime, E)> {
+        self.prime();
+        let e = if self.extra_first() {
+            if self
+                .ready_extra
+                .peek()
+                .is_some_and(|Reverse(e)| e.at <= until)
+            {
+                self.ready_extra.pop().map(|Reverse(e)| e)
+            } else {
+                None
+            }
+        } else if self.ready.last().is_some_and(|e| e.at <= until) {
+            self.ready.pop()
+        } else {
+            None
+        };
+        e.map(|e| {
+            self.popped += 1;
+            (e.at, e.event)
+        })
+    }
+
+    /// Fire time of the earliest pending event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.prime();
+        if self.extra_first() {
+            self.ready_extra.peek().map(|Reverse(e)| e.at)
+        } else {
+            self.ready.last().map(|e| e.at)
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.in_wheel + self.ready.len() + self.ready_extra.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events scheduled over the queue's lifetime.
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Total events popped over the queue's lifetime.
+    pub fn popped_total(&self) -> u64 {
+        self.popped
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Facade
+// ---------------------------------------------------------------------------
+
+enum Backend<E> {
+    Wheel(WheelQueue<E>),
+    Heap(HeapQueue<E>),
+}
+
+/// A deterministic priority queue of future events.
+///
+/// Events at equal times fire in insertion order, making every simulation
+/// replayable bit-for-bit — on either backend (see [`SchedulerKind`]).
+pub struct EventQueue<E> {
+    backend: Backend<E>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::with_kind(SchedulerKind::default())
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue on the default backend (the timing wheel,
+    /// unless the `heap-sched` feature is enabled).
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Creates an empty queue on the given backend.
+    pub fn with_kind(kind: SchedulerKind) -> Self {
+        EventQueue {
+            backend: match kind {
+                SchedulerKind::Wheel => Backend::Wheel(WheelQueue::new()),
+                SchedulerKind::Heap => Backend::Heap(HeapQueue::new()),
+            },
+        }
+    }
+
+    /// Which backend this queue runs on.
+    pub fn kind(&self) -> SchedulerKind {
+        match &self.backend {
+            Backend::Wheel(_) => SchedulerKind::Wheel,
+            Backend::Heap(_) => SchedulerKind::Heap,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        match &mut self.backend {
+            Backend::Wheel(q) => q.schedule(at, event),
+            Backend::Heap(q) => q.schedule(at, event),
+        }
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        match &mut self.backend {
+            Backend::Wheel(q) => q.pop(),
+            Backend::Heap(q) => q.pop(),
+        }
+    }
+
+    /// Fire time of the earliest pending event.
+    ///
+    /// Takes `&mut self`: the wheel backend may advance its cursor (and
+    /// cascade slots) to locate the minimum — pending events and their
+    /// order are unaffected.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        match &mut self.backend {
+            Backend::Wheel(q) => q.peek_time(),
+            Backend::Heap(q) => q.peek_time(),
+        }
+    }
+
+    /// Pops the earliest event if it fires at or before `until` (the
+    /// driver loop's one-call fast path).
+    pub fn pop_until(&mut self, until: SimTime) -> Option<(SimTime, E)> {
+        match &mut self.backend {
+            Backend::Wheel(q) => q.pop_until(until),
+            Backend::Heap(q) => q.pop_until(until),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        match &self.backend {
+            Backend::Wheel(q) => q.len(),
+            Backend::Heap(q) => q.len(),
+        }
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events scheduled over the queue's lifetime.
+    pub fn scheduled_total(&self) -> u64 {
+        match &self.backend {
+            Backend::Wheel(q) => q.scheduled_total(),
+            Backend::Heap(q) => q.scheduled_total(),
+        }
+    }
+
+    /// Total events popped over the queue's lifetime (what an experiment
+    /// reports as events processed).
+    pub fn popped_total(&self) -> u64 {
+        match &self.backend {
+            Backend::Wheel(q) => q.popped_total(),
+            Backend::Heap(q) => q.popped_total(),
+        }
+    }
 }
 
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("pending", &self.heap.len())
-            .field("next_seq", &self.next_seq)
+            .field("kind", &self.kind().label())
+            .field("pending", &self.len())
+            .field("scheduled_total", &self.scheduled_total())
             .finish()
     }
 }
@@ -135,11 +588,7 @@ pub trait World {
 /// nothing fired). Events scheduled beyond `until` stay in the queue.
 pub fn run<W: World>(world: &mut W, queue: &mut EventQueue<W::Event>, until: SimTime) -> SimTime {
     let mut last = SimTime::ZERO;
-    while let Some(at) = queue.peek_time() {
-        if at > until {
-            break;
-        }
-        let (now, event) = queue.pop().expect("peeked event exists");
+    while let Some((now, event)) = queue.pop_until(until) {
         let mut sched = Scheduler { queue };
         world.handle(now, event, &mut sched);
         last = now;
@@ -173,66 +622,152 @@ mod tests {
         }
     }
 
+    fn both_kinds() -> [SchedulerKind; 2] {
+        [SchedulerKind::Wheel, SchedulerKind::Heap]
+    }
+
     #[test]
     fn events_fire_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_millis(30), 3);
-        q.schedule(SimTime::from_millis(10), 1);
-        q.schedule(SimTime::from_millis(20), 2);
-        let mut w = Recorder { seen: vec![] };
-        run_until_idle(&mut w, &mut q);
-        // Event 1 at t=10 chains event 10 at t=15 (before 2 at t=20) and
-        // event 11 at t=100.
-        let evs: Vec<u32> = w.seen.iter().map(|&(_, e)| e).collect();
-        assert_eq!(evs, vec![1, 10, 2, 3, 11]);
+        for kind in both_kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule(SimTime::from_millis(30), 3);
+            q.schedule(SimTime::from_millis(10), 1);
+            q.schedule(SimTime::from_millis(20), 2);
+            let mut w = Recorder { seen: vec![] };
+            run_until_idle(&mut w, &mut q);
+            // Event 1 at t=10 chains event 10 at t=15 (before 2 at t=20) and
+            // event 11 at t=100.
+            let evs: Vec<u32> = w.seen.iter().map(|&(_, e)| e).collect();
+            assert_eq!(evs, vec![1, 10, 2, 3, 11], "{}", kind.label());
+        }
     }
 
     #[test]
     fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        // Values ≥ 100 so no chaining kicks in.
-        for i in 100..150 {
-            q.schedule(SimTime::from_millis(7), i);
+        for kind in both_kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            // Values ≥ 100 so no chaining kicks in.
+            for i in 100..150 {
+                q.schedule(SimTime::from_millis(7), i);
+            }
+            let mut w = Recorder { seen: vec![] };
+            run_until_idle(&mut w, &mut q);
+            let evs: Vec<u32> = w.seen.iter().map(|&(_, e)| e).collect();
+            assert_eq!(evs, (100..150).collect::<Vec<_>>(), "{}", kind.label());
         }
-        let mut w = Recorder { seen: vec![] };
-        run_until_idle(&mut w, &mut q);
-        let evs: Vec<u32> = w.seen.iter().map(|&(_, e)| e).collect();
-        assert_eq!(evs, (100..150).collect::<Vec<_>>());
     }
 
     #[test]
     fn run_respects_horizon() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_secs(1), 2);
-        q.schedule(SimTime::from_secs(10), 3);
-        let mut w = Recorder { seen: vec![] };
-        let last = run(&mut w, &mut q, SimTime::from_secs(5));
-        assert_eq!(w.seen.len(), 1);
-        assert_eq!(last, SimTime::from_secs(1));
-        assert_eq!(q.len(), 1, "late event remains queued");
+        for kind in both_kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule(SimTime::from_secs(1), 2);
+            q.schedule(SimTime::from_secs(10), 3);
+            let mut w = Recorder { seen: vec![] };
+            let last = run(&mut w, &mut q, SimTime::from_secs(5));
+            assert_eq!(w.seen.len(), 1);
+            assert_eq!(last, SimTime::from_secs(1));
+            assert_eq!(q.len(), 1, "late event remains queued");
+            assert_eq!(q.popped_total(), 1);
+            assert_eq!(q.scheduled_total(), 2);
+        }
     }
 
     #[test]
     fn empty_queue_returns_zero() {
-        let mut q: EventQueue<u32> = EventQueue::new();
-        let mut w = Recorder { seen: vec![] };
-        assert_eq!(run_until_idle(&mut w, &mut q), SimTime::ZERO);
-        assert!(q.is_empty());
+        for kind in both_kinds() {
+            let mut q: EventQueue<u32> = EventQueue::with_kind(kind);
+            let mut w = Recorder { seen: vec![] };
+            assert_eq!(run_until_idle(&mut w, &mut q), SimTime::ZERO);
+            assert!(q.is_empty());
+        }
     }
 
     #[test]
-    fn determinism_across_runs() {
-        let build = || {
-            let mut q = EventQueue::new();
+    fn determinism_across_runs_and_backends() {
+        let build = |kind| {
+            let mut q = EventQueue::with_kind(kind);
             q.schedule(SimTime::from_millis(1), 1);
             q.schedule(SimTime::from_millis(1), 2);
             q.schedule(SimTime::from_millis(2), 3);
             q
         };
-        let mut w1 = Recorder { seen: vec![] };
-        let mut w2 = Recorder { seen: vec![] };
-        run_until_idle(&mut w1, &mut build());
-        run_until_idle(&mut w2, &mut build());
-        assert_eq!(w1.seen, w2.seen);
+        let mut runs = Vec::new();
+        for kind in [
+            SchedulerKind::Wheel,
+            SchedulerKind::Wheel,
+            SchedulerKind::Heap,
+        ] {
+            let mut w = Recorder { seen: vec![] };
+            run_until_idle(&mut w, &mut build(kind));
+            runs.push(w.seen);
+        }
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2], "wheel and heap must agree");
+    }
+
+    #[test]
+    fn far_future_and_equal_time_bursts() {
+        // Crosses several wheel levels, including the top one.
+        let times: Vec<u64> = vec![
+            0,
+            1,
+            1023,
+            1024,
+            1025,
+            1 << 16,
+            (1 << 16) + 1,
+            3_600_000_000_000,  // 1 h
+            86_400_000_000_000, // 24 h
+            86_400_000_000_000, // equal-time burst far out
+            u64::MAX >> 1,      // deep into the top level
+            u64::MAX - 1,
+        ];
+        let mut wheel = EventQueue::with_kind(SchedulerKind::Wheel);
+        let mut heap = EventQueue::with_kind(SchedulerKind::Heap);
+        for (i, &t) in times.iter().enumerate() {
+            wheel.schedule(SimTime::from_nanos(t), i as u32);
+            heap.schedule(SimTime::from_nanos(t), i as u32);
+        }
+        loop {
+            let a = wheel.pop();
+            let b = heap.pop();
+            assert_eq!(
+                a.as_ref().map(|(t, e)| (*t, *e)),
+                b.as_ref().map(|(t, e)| (*t, *e))
+            );
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn scheduling_into_the_past_fires_immediately() {
+        for kind in both_kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule(SimTime::from_secs(10), 1);
+            assert_eq!(q.pop().map(|(_, e)| e), Some(1));
+            // Cursor (wheel) is now at t=10 s; a smaller time must still
+            // surface, first.
+            q.schedule(SimTime::from_secs(20), 2);
+            q.schedule(SimTime::from_secs(5), 3);
+            assert_eq!(q.pop().map(|(_, e)| e), Some(3), "{}", kind.label());
+            assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+        }
+    }
+
+    #[test]
+    fn wheel_interleaves_sub_tick_times_exactly() {
+        // Two events inside one tick (2^TICK_SHIFT ns), scheduled while
+        // the first is being handled: order must be by exact nanosecond.
+        let mut q = EventQueue::with_kind(SchedulerKind::Wheel);
+        q.schedule(SimTime::from_nanos(2000), 1);
+        q.schedule(SimTime::from_nanos(2500), 2);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t.as_nanos(), e), (2000, 1));
+        q.schedule(SimTime::from_nanos(2100), 3);
+        assert_eq!(q.pop().map(|(t, e)| (t.as_nanos(), e)), Some((2100, 3)));
+        assert_eq!(q.pop().map(|(t, e)| (t.as_nanos(), e)), Some((2500, 2)));
     }
 }

@@ -24,6 +24,22 @@ pub enum ChannelClass {
     CtrlPeer,
 }
 
+impl ChannelClass {
+    /// Number of channel classes (for dense per-class tables).
+    pub const COUNT: usize = 5;
+
+    /// Dense index of this class in `0..COUNT`.
+    pub const fn index(self) -> usize {
+        match self {
+            ChannelClass::Data => 0,
+            ChannelClass::Control => 1,
+            ChannelClass::State => 2,
+            ChannelClass::Peer => 3,
+            ChannelClass::CtrlPeer => 4,
+        }
+    }
+}
+
 /// Base one-way latencies per channel class, with optional multiplicative
 /// jitter.
 ///
@@ -100,17 +116,29 @@ impl LatencyModel {
         *slot = slot.mul_f64(factor);
     }
 
-    /// Samples the delivery latency for one message.
+    /// Validates the jitter configuration.
     ///
     /// # Panics
     ///
-    /// Panics if `jitter_frac` is negative, non-finite, or ≥ 1.
-    pub fn sample<R: Rng>(&self, class: ChannelClass, rng: &mut R) -> SimDuration {
+    /// Panics if `jitter_frac` is negative, non-finite, or ≥ 1. Called
+    /// once at world construction so [`sample`](LatencyModel::sample)
+    /// stays assert-free on the per-message hot path.
+    pub fn validate(&self) {
         assert!(
             self.jitter_frac.is_finite() && (0.0..1.0).contains(&self.jitter_frac),
             "jitter_frac {} out of [0,1)",
             self.jitter_frac
         );
+    }
+
+    /// Samples the delivery latency for one message.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `jitter_frac` is invalid — callers
+    /// [`validate`](LatencyModel::validate) once up front.
+    pub fn sample<R: Rng>(&self, class: ChannelClass, rng: &mut R) -> SimDuration {
+        debug_assert!(self.jitter_frac.is_finite() && (0.0..1.0).contains(&self.jitter_frac));
         let base = self.base(class);
         if self.jitter_frac == 0.0 {
             return base;
@@ -195,11 +223,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of [0,1)")]
     fn bad_jitter_panics() {
-        let m = LatencyModel {
+        LatencyModel {
             jitter_frac: 1.5,
             ..LatencyModel::default()
-        };
-        let mut rng = StdRng::seed_from_u64(1);
-        let _ = m.sample(ChannelClass::Data, &mut rng);
+        }
+        .validate();
     }
 }

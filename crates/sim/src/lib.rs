@@ -7,7 +7,10 @@
 //! * [`SimTime`]/[`SimDuration`] — nanosecond virtual clock;
 //! * [`EventQueue`]/[`Scheduler`]/[`run`] — the kernel: a total order over
 //!   events with deterministic tie-breaking, and a driver loop over a
-//!   user-provided [`World`];
+//!   user-provided [`World`]. Two interchangeable backends implement the
+//!   order ([`SchedulerKind`]): a hierarchical timing wheel (near-O(1),
+//!   the default) and the original binary heap, kept as the
+//!   differential-testing reference;
 //! * [`LatencyModel`] — per-channel-class delivery latencies (data path,
 //!   control link, state link, peer link) with optional deterministic
 //!   jitter;
@@ -59,7 +62,9 @@ mod link;
 mod metrics;
 mod time;
 
-pub use event::{run, run_until_idle, EventQueue, Scheduler, World};
+pub use event::{
+    run, run_until_idle, EventQueue, HeapQueue, Scheduler, SchedulerKind, WheelQueue, World,
+};
 pub use latency::{ChannelClass, LatencyModel};
 pub use link::{LinkId, LinkState};
 pub use metrics::{Histogram, MetricsSink, TimeSeries};

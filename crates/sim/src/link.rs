@@ -5,12 +5,19 @@
 //! take individual logical links up/down and to inject probabilistic loss,
 //! so those inference rules can be exercised.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::ChannelClass;
+
+/// Node ids below this are tracked in a dense `Vec<bool>`; ids at or
+/// above it (the controller sentinel `u32::MAX` and the cluster's
+/// pseudo-switch ids near it) fall back to a set that stays empty in
+/// practice. Topology node ids are small and dense, so the per-delivery
+/// up/down check is an array read, not a hash.
+const DENSE_NODE_LIMIT: u32 = 1 << 20;
 
 /// Identifies one directed logical link between two nodes on a channel
 /// class. Node ids are the caller's (the core crate uses switch ids, with a
@@ -43,7 +50,11 @@ impl LinkId {
 
 /// Per-link administrative state: up/down plus a loss probability.
 ///
-/// Links default to *up* with zero loss; only overrides are stored.
+/// Links default to *up* with zero loss; only overrides are stored, and
+/// the per-delivery fast path is hash-free: node up/down is a dense
+/// bitset indexed by id, class-wide loss is a fixed array, and the
+/// per-link override maps are consulted only when non-empty (they are
+/// empty in every run that does not inject link faults).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct LinkState {
     down: HashMap<LinkId, bool>,
@@ -51,9 +62,14 @@ pub struct LinkState {
     /// Loss probability applied to *every* link of a channel class (fault
     /// injection: a degraded control network, a lossy underlay). Composes
     /// with per-link loss: a message survives only if it dodges both.
-    class_loss: HashMap<ChannelClass, f64>,
-    /// Nodes that are down drop everything to/from them.
-    node_down: HashMap<u32, bool>,
+    /// Indexed by [`ChannelClass::index`]; `0.0` = no loss.
+    class_loss: [f64; ChannelClass::COUNT],
+    /// Nodes that are down drop everything to/from them (dense, indexed
+    /// by node id; grows on demand). Nodes beyond the vector are up.
+    node_down: Vec<bool>,
+    /// Down nodes with ids ≥ [`DENSE_NODE_LIMIT`] (reserved sentinel ids);
+    /// empty in practice.
+    node_down_high: BTreeSet<u32>,
 }
 
 impl LinkState {
@@ -79,10 +95,19 @@ impl LinkState {
 
     /// Takes a node down or up (a down node loses all its links).
     pub fn set_node_down(&mut self, node: u32, down: bool) {
-        if down {
-            self.node_down.insert(node, true);
+        if node < DENSE_NODE_LIMIT {
+            let i = node as usize;
+            if i >= self.node_down.len() {
+                if !down {
+                    return; // already up
+                }
+                self.node_down.resize(i + 1, false);
+            }
+            self.node_down[i] = down;
+        } else if down {
+            self.node_down_high.insert(node);
         } else {
-            self.node_down.remove(&node);
+            self.node_down_high.remove(&node);
         }
     }
 
@@ -114,45 +139,55 @@ impl LinkState {
             (0.0..=1.0).contains(&p),
             "loss probability {p} out of [0,1]"
         );
-        if p == 0.0 {
-            self.class_loss.remove(&class);
-        } else {
-            self.class_loss.insert(class, p);
-        }
+        self.class_loss[class.index()] = p;
     }
 
     /// The class-wide loss probability currently in force for `class`.
     pub fn class_loss(&self, class: ChannelClass) -> f64 {
-        self.class_loss.get(&class).copied().unwrap_or(0.0)
+        self.class_loss[class.index()]
     }
 
     /// True if the link is administratively up and both endpoints are up.
     pub fn is_up(&self, link: LinkId) -> bool {
-        !self.down.get(&link).copied().unwrap_or(false)
-            && !self.node_down.get(&link.from).copied().unwrap_or(false)
-            && !self.node_down.get(&link.to).copied().unwrap_or(false)
+        (self.down.is_empty() || !self.down.get(&link).copied().unwrap_or(false))
+            && self.is_node_up(link.from)
+            && self.is_node_up(link.to)
     }
 
     /// True if the node is up.
+    #[inline]
     pub fn is_node_up(&self, node: u32) -> bool {
-        !self.node_down.get(&node).copied().unwrap_or(false)
+        let i = node as usize;
+        if i < self.node_down.len() {
+            return !self.node_down[i];
+        }
+        if node >= DENSE_NODE_LIMIT && !self.node_down_high.is_empty() {
+            return !self.node_down_high.contains(&node);
+        }
+        true
     }
 
     /// Decides whether one message on `link` is delivered: checks admin
     /// state, then samples loss.
+    ///
+    /// RNG discipline: a loss probability is sampled if and only if it is
+    /// non-zero, so configurations without loss consume no randomness —
+    /// runs stay bit-identical when loss injection is merely absent
+    /// rather than disabled.
+    #[inline]
     pub fn delivers<R: Rng>(&self, link: LinkId, rng: &mut R) -> bool {
         if !self.is_up(link) {
             return false;
         }
-        if let Some(&p) = self.loss.get(&link) {
-            if rng.gen_bool(p) {
-                return false;
+        if !self.loss.is_empty() {
+            if let Some(&p) = self.loss.get(&link) {
+                if rng.gen_bool(p) {
+                    return false;
+                }
             }
         }
-        match self.class_loss.get(&link.class) {
-            None => true,
-            Some(&p) => !rng.gen_bool(p),
-        }
+        let p = self.class_loss[link.class.index()];
+        p == 0.0 || !rng.gen_bool(p)
     }
 }
 

@@ -171,11 +171,20 @@ impl Histogram {
 }
 
 /// A bundle of named metrics for one experiment run.
+///
+/// Metric names are interned `&'static str` literals: recording a counter
+/// is a lookup in a small sorted table keyed by string identity (pointer
+/// fast path) — no per-event `String` allocation, no owned-key `BTreeMap`.
+/// This matters because the hot simulation loop touches several counters
+/// per event.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct MetricsSink {
-    counters: BTreeMap<String, u64>,
-    series: BTreeMap<String, TimeSeries>,
-    histograms: BTreeMap<String, Histogram>,
+    /// Sorted by name; small (tens of entries), so binary search beats
+    /// hashing and the static keys make comparisons pointer-equality in
+    /// the common case.
+    counters: Vec<(&'static str, u64)>,
+    series: BTreeMap<&'static str, TimeSeries>,
+    histograms: BTreeMap<&'static str, Histogram>,
 }
 
 impl MetricsSink {
@@ -185,13 +194,19 @@ impl MetricsSink {
     }
 
     /// Adds `n` to a named counter.
-    pub fn count(&mut self, name: &str, n: u64) {
-        *self.counters.entry(name.to_owned()).or_insert(0) += n;
+    pub fn count(&mut self, name: &'static str, n: u64) {
+        match self.counters.binary_search_by(|(k, _)| (*k).cmp(name)) {
+            Ok(i) => self.counters[i].1 += n,
+            Err(i) => self.counters.insert(i, (name, n)),
+        }
     }
 
     /// Reads a counter (0 if never written).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counters
+            .binary_search_by(|(k, _)| (*k).cmp(name))
+            .map(|i| self.counters[i].1)
+            .unwrap_or(0)
     }
 
     /// Gets (or creates) a named time series with the given bucket width.
@@ -199,10 +214,10 @@ impl MetricsSink {
     /// # Panics
     ///
     /// Panics if the series exists with a different bucket width.
-    pub fn series_mut(&mut self, name: &str, bucket_width: SimDuration) -> &mut TimeSeries {
+    pub fn series_mut(&mut self, name: &'static str, bucket_width: SimDuration) -> &mut TimeSeries {
         let s = self
             .series
-            .entry(name.to_owned())
+            .entry(name)
             .or_insert_with(|| TimeSeries::new(bucket_width));
         assert_eq!(
             s.bucket_width, bucket_width,
@@ -217,8 +232,8 @@ impl MetricsSink {
     }
 
     /// Gets (or creates) a named histogram.
-    pub fn histogram_mut(&mut self, name: &str) -> &mut Histogram {
-        self.histograms.entry(name.to_owned()).or_default()
+    pub fn histogram_mut(&mut self, name: &'static str) -> &mut Histogram {
+        self.histograms.entry(name).or_default()
     }
 
     /// Reads a named histogram.
@@ -228,7 +243,7 @@ impl MetricsSink {
 
     /// All counter names and values, sorted by name.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+        self.counters.iter().map(|&(k, v)| (k, v))
     }
 }
 

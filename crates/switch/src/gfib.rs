@@ -8,7 +8,8 @@
 //! sending copies to all candidates and dropping at mis-forwarded
 //! switches); false negatives are not.
 
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
 
 use lazyctrl_bloom::BloomFilter;
 use lazyctrl_net::{MacAddr, SwitchId};
@@ -23,9 +24,22 @@ struct PeerFilter {
 }
 
 /// The per-peer Bloom filter bank.
+///
+/// Queries are memoized per destination MAC: flows repeat destinations
+/// constantly (the traces' hot pair sets), while the filter bank itself
+/// only changes on peer-sync updates — so each (MAC, bank-generation)
+/// pair probes the filters once and every repeat is a hash-map hit. The
+/// cache is invalidated wholesale by bumping `generation` on any filter
+/// mutation, and is transparent: results are identical with or without
+/// it.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Gfib {
     peers: BTreeMap<SwitchId, PeerFilter>,
+    /// Bumped on every mutation of `peers`.
+    generation: u64,
+    /// `mac → (generation, candidates)`; entries from older generations
+    /// are recomputed on access.
+    cache: RefCell<HashMap<MacAddr, (u64, Vec<SwitchId>)>>,
 }
 
 impl Gfib {
@@ -64,23 +78,39 @@ impl Gfib {
                 epoch: msg.epoch,
             },
         );
+        self.invalidate();
         true
+    }
+
+    /// Invalidates memoized query results (any filter-bank mutation).
+    fn invalidate(&mut self) {
+        self.generation += 1;
+        self.cache.get_mut().clear();
     }
 
     /// Installs a locally-built filter (used by tests and by designated
     /// switches seeding a fresh group).
     pub fn install(&mut self, origin: SwitchId, bloom: BloomFilter, epoch: u32) {
         self.peers.insert(origin, PeerFilter { bloom, epoch });
+        self.invalidate();
     }
 
     /// Removes a peer (left the group). Returns true if present.
     pub fn remove_peer(&mut self, origin: SwitchId) -> bool {
-        self.peers.remove(&origin).is_some()
+        let removed = self.peers.remove(&origin).is_some();
+        if removed {
+            self.invalidate();
+        }
+        removed
     }
 
     /// Drops every peer not in `keep` (after a regrouping).
     pub fn retain_peers(&mut self, keep: &[SwitchId]) {
+        let before = self.peers.len();
         self.peers.retain(|s, _| keep.contains(s));
+        if self.peers.len() != before {
+            self.invalidate();
+        }
     }
 
     /// The Fig. 5 query: all peers whose filter claims the address.
@@ -88,11 +118,26 @@ impl Gfib {
     /// An empty vector means "definitely not in this group" — the packet
     /// must go to the controller.
     pub fn query(&self, mac: MacAddr) -> Vec<SwitchId> {
-        self.peers
+        {
+            let cache = self.cache.borrow();
+            if let Some((gen, hit)) = cache.get(&mac) {
+                if *gen == self.generation {
+                    return hit.clone();
+                }
+            }
+        }
+        // Hash the key once; probe every peer filter with its own (k, m).
+        let base = lazyctrl_bloom::base_hashes(&mac.octets());
+        let result: Vec<SwitchId> = self
+            .peers
             .iter()
-            .filter(|(_, f)| f.bloom.contains(mac.octets()))
+            .filter(|(_, f)| f.bloom.contains_prehashed(base))
             .map(|(&s, _)| s)
-            .collect()
+            .collect();
+        self.cache
+            .borrow_mut()
+            .insert(mac, (self.generation, result.clone()));
+        result
     }
 
     /// Total storage held by the filter bank in bytes (§V-D's quantity).

@@ -219,7 +219,12 @@ impl EdgeSwitch {
         self.group.as_ref().map(|g| g.designated)
     }
 
-    fn packet_in(&mut self, reason: PacketInReason, in_port: PortNo, data: Vec<u8>) -> Message {
+    fn packet_in(
+        &mut self,
+        reason: PacketInReason,
+        in_port: PortNo,
+        data: impl Into<bytes::Bytes>,
+    ) -> Message {
         self.packet_ins_sent += 1;
         let xid = self.next_xid();
         Message::of(
@@ -228,7 +233,7 @@ impl EdgeSwitch {
                 buffer_id: u32::MAX,
                 in_port,
                 reason,
-                data,
+                data: data.into(),
             }),
         )
     }
@@ -252,7 +257,7 @@ impl EdgeSwitch {
         self.lfib.learn(frame.src, tenant, in_port, now_ns);
 
         if self.datapath_learning {
-            if let Some(arp) = Packet::Plain(frame.clone()).as_arp() {
+            if let Some(arp) = frame.as_arp() {
                 if arp.op == ArpOp::Request {
                     return self.handle_arp_request(now_ns, in_port, frame, tenant);
                 }
@@ -270,9 +275,7 @@ impl EdgeSwitch {
         frame: EthernetFrame,
         tenant: TenantId,
     ) -> Vec<SwitchOutput> {
-        let arp = Packet::Plain(frame.clone())
-            .as_arp()
-            .expect("caller verified this is ARP");
+        let arp = frame.as_arp().expect("caller verified this is ARP");
         let target_mac = HostId::from_ip(arp.target_ip).map(|h| h.mac());
 
         // Level i: a local host owns the target → flood locally only (the
@@ -302,7 +305,7 @@ impl EdgeSwitch {
                             buffer_id: u32::MAX,
                             in_port,
                             actions: vec![Action::Output(PortNo::FLOOD)],
-                            data: frame.encode(),
+                            data: frame.encode().into(),
                         }),
                     ),
                 )];
@@ -334,19 +337,21 @@ impl EdgeSwitch {
         frame: EthernetFrame,
         tenant: TenantId,
     ) -> Vec<SwitchOutput> {
-        let epochs = self.accepted_epochs.clone();
         let current = self.current_epoch();
         let gating = self.epoch_gating;
-        // Plain-OpenFlow datapath: consult only the flow table.
-        let empty_lfib = Lfib::new();
-        let empty_gfib = Gfib::new();
+        // Plain-OpenFlow datapath: consult only the flow table. The
+        // empty tables are built only on that (cold) path.
+        let empties;
         let (lfib, gfib) = if self.datapath_learning {
             (&self.lfib, &self.gfib)
         } else {
-            (&empty_lfib, &empty_gfib)
+            empties = (Lfib::new(), Gfib::new());
+            (&empties.0, &empties.1)
         };
+        let epochs = &self.accepted_epochs;
+        let pkt = Packet::Plain(frame);
         let decision = forward_packet(
-            &Packet::Plain(frame.clone()),
+            &pkt,
             in_port,
             &mut self.flow_table,
             lfib,
@@ -354,6 +359,9 @@ impl EdgeSwitch {
             |e| !gating || epochs.is_empty() || e >= current || epochs.contains(&e),
             now_ns,
         );
+        let Packet::Plain(frame) = pkt else {
+            unreachable!("constructed as plain above")
+        };
         match decision {
             ForwardingDecision::FlowRule(actions) => {
                 // Rule-forwarded flows still count towards intensity: the
@@ -401,11 +409,12 @@ impl EdgeSwitch {
         // current epoch, from a *newer* epoch (the controller's view is
         // ahead mid-update), or from a superseded epoch still within the
         // preload grace window are valid; anything older is dropped.
-        let epochs = self.accepted_epochs.clone();
         let current = self.current_epoch();
         let gating = self.epoch_gating;
+        let epochs = &self.accepted_epochs;
+        let pkt = Packet::Encapsulated(encap);
         let decision = forward_packet(
-            &Packet::Encapsulated(encap.clone()),
+            &pkt,
             PortNo::NONE,
             &mut self.flow_table,
             &self.lfib,
@@ -413,6 +422,9 @@ impl EdgeSwitch {
             |e| !gating || epochs.is_empty() || e >= current || epochs.contains(&e),
             now_ns,
         );
+        let Packet::Encapsulated(encap) = pkt else {
+            unreachable!("constructed as encapsulated above")
+        };
         match decision {
             ForwardingDecision::DeliverLocal(port) => {
                 vec![SwitchOutput::DeliverLocal(port, encap.into_inner())]

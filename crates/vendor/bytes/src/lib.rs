@@ -117,14 +117,31 @@ impl<B: BufMut + ?Sized> BufMut for &mut B {
     }
 }
 
-/// Owned immutable byte buffer (thin `Vec<u8>` wrapper).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct Bytes(Vec<u8>);
+/// Cheaply-cloneable immutable byte buffer, mirroring `bytes::Bytes`:
+/// the contents live behind an atomically reference-counted allocation,
+/// so `clone()` is a refcount bump — which is what makes frame
+/// broadcast/relay hops in the simulator zero-copy.
+///
+/// Construction from a `Vec<u8>` moves the vector (no copy); construction
+/// from a slice copies once.
+#[derive(Clone, Default)]
+pub struct Bytes(std::sync::Arc<Vec<u8>>);
 
 impl Bytes {
-    /// Wraps a vector.
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wraps a vector (moves it; no copy).
     pub fn from_vec(v: Vec<u8>) -> Self {
-        Bytes(v)
+        Bytes(std::sync::Arc::new(v))
+    }
+
+    /// Copies a slice into a fresh shared buffer (mirrors
+    /// `bytes::Bytes::copy_from_slice`).
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from_vec(data.to_vec())
     }
 
     /// The bytes.
@@ -133,15 +150,54 @@ impl Bytes {
     }
 }
 
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        // Pointer fast path: clones of one buffer are trivially equal.
+        std::sync::Arc::ptr_eq(&self.0, &other.0) || self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(v)
+        Bytes::from_vec(v)
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Bytes {
+    fn from(v: [u8; N]) -> Self {
+        Bytes::copy_from_slice(&v)
     }
 }
 
 impl std::ops::Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
         &self.0
     }
 }
