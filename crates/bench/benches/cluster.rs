@@ -59,7 +59,9 @@ fn bench_plane_bootstrap(c: &mut Criterion) {
                     }
                     let mut plane =
                         ClusterControlPlane::new(num_switches, ClusterConfig::with_controllers(n));
-                    plane.bootstrap(0, graph)
+                    let mut sink = lazyctrl_proto::OutputSink::new();
+                    plane.bootstrap(0, graph, &mut sink);
+                    sink.take_buf()
                 })
             },
         );

@@ -1,13 +1,20 @@
 //! Hot-path benches: scheduler backends head to head, end-to-end
-//! flow-setup throughput, and the cluster dissemination strategies — one
-//! `cargo bench -p lazyctrl-bench --bench perf` entry point for the
-//! numbers `repro_perf` tracks.
+//! flow-setup throughput, message-dispatch micro-benches (sink-vs-Vec
+//! handler dispatch, boxed-vs-inline `Message` moves), and the cluster
+//! dissemination strategies — one `cargo bench -p lazyctrl-bench --bench
+//! perf` entry point for the numbers `repro_perf` tracks.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lazyctrl_core::{
     ControlMode, DisseminationStrategy, Experiment, ExperimentConfig, SchedulerKind,
 };
+use lazyctrl_net::{EtherType, EthernetFrame, HostId, PortNo, SwitchId, TenantId, VlanTag};
+use lazyctrl_proto::{
+    ClusterMsg, GroupAssignMsg, KeepAliveMsg, LazyMsg, Message, OfMessage, OutputSink, PacketInMsg,
+    PacketInReason,
+};
 use lazyctrl_sim::{EventQueue, SimDuration, SimTime};
+use lazyctrl_switch::{EdgeSwitch, SwitchOutput};
 use lazyctrl_trace::realistic::{generate as generate_real, RealTraceConfig};
 use lazyctrl_trace::synthetic::{generate as generate_syn, SyntheticConfig};
 
@@ -70,6 +77,201 @@ fn bench_flow_setup_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+// ---------------------------------------------------------------------------
+// message_dispatch: the two hot-path layouts, individually attributable
+// ---------------------------------------------------------------------------
+
+/// A grouped switch with a locally learned host, ready to forward.
+fn dispatch_switch() -> EdgeSwitch {
+    let mut sw = EdgeSwitch::new(SwitchId::new(1));
+    let ga = GroupAssignMsg {
+        group: lazyctrl_net::GroupId::new(0),
+        epoch: 1,
+        members: vec![SwitchId::new(1), SwitchId::new(2), SwitchId::new(3)],
+        designated: SwitchId::new(2),
+        backups: vec![SwitchId::new(3)],
+        ring_prev: SwitchId::new(3),
+        ring_next: SwitchId::new(2),
+        sync_interval_ms: 1000,
+        keepalive_interval_ms: 1000,
+        group_size_limit: 3,
+    };
+    let mut sink = OutputSink::new();
+    sw.handle_control_message(0, &Message::lazy(1, LazyMsg::group_assign(ga)), &mut sink);
+    sink.clear();
+    // Host 20 is local on port 7 → traffic to it is a pure datapath hit.
+    let learn = EthernetFrame::tagged(
+        HostId::new(20).mac(),
+        HostId::new(99).mac(),
+        VlanTag::for_tenant(TenantId::new(1)),
+        EtherType::IPV4,
+        vec![0; 8],
+    );
+    sw.handle_local_frame(0, PortNo::new(7), learn, &mut sink);
+    sink.clear();
+    sw
+}
+
+/// Sink-vs-Vec handler dispatch: the same warm-path frame handled with
+/// the world's reused scratch sink versus a fresh sink per event (the
+/// allocation pattern the old `Vec<SwitchOutput>` returns had). The gap
+/// between the two is exactly the per-event allocation cost the sink
+/// refactor removed.
+fn bench_handler_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("message_dispatch/handler");
+    let frame = EthernetFrame::tagged(
+        HostId::new(10).mac(),
+        HostId::new(20).mac(),
+        VlanTag::for_tenant(TenantId::new(1)),
+        EtherType::IPV4,
+        vec![0; 8],
+    );
+    group.bench_function("sink_reused", |b| {
+        let mut sw = dispatch_switch();
+        let mut sink = OutputSink::new();
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1_000;
+            sw.handle_local_frame(now, PortNo::new(1), frame.clone(), &mut sink);
+            let n = sink.len();
+            sink.clear();
+            n
+        })
+    });
+    group.bench_function("sink_fresh_per_event", |b| {
+        let mut sw = dispatch_switch();
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1_000;
+            let mut sink: OutputSink<SwitchOutput> = OutputSink::new();
+            sw.handle_local_frame(now, PortNo::new(1), frame.clone(), &mut sink);
+            sink.len()
+        })
+    });
+    group.finish();
+}
+
+/// The pre-boxing ~88-byte message layout, reconstructed locally: the
+/// same families with every payload inline. Only used to move through a
+/// scheduler, so the variants never need constructing beyond the two
+/// hot ones.
+#[allow(dead_code)]
+#[derive(Clone)]
+enum InlineBody {
+    Of(OfMessage),
+    Lazy(InlineLazy),
+    Cluster(ClusterMsg),
+}
+
+#[allow(dead_code)]
+#[derive(Clone)]
+enum InlineLazy {
+    GroupAssign(GroupAssignMsg),
+    KeepAlive(KeepAliveMsg),
+}
+
+#[allow(dead_code)]
+#[derive(Clone)]
+struct InlineMessage {
+    xid: u32,
+    body: InlineBody,
+}
+
+/// Boxed-vs-inline `Message` moves: a realistic hot mix (PacketIns and
+/// keep-alives) scheduled and popped through the timing wheel, once as
+/// today's ≤64-byte boxed-variant `Message` and once as the old fully
+/// inline layout. The delta is the per-entry copy cost the boxing
+/// removed from every scheduler entry and channel hop.
+fn bench_message_moves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("message_dispatch/moves");
+    let frame = EthernetFrame::tagged(
+        HostId::new(10).mac(),
+        HostId::new(20).mac(),
+        VlanTag::for_tenant(TenantId::new(1)),
+        EtherType::IPV4,
+        vec![0; 8],
+    );
+    let data = bytes::Bytes::from(frame.encode());
+    let packet_in = |xid: u32| {
+        OfMessage::PacketIn(PacketInMsg {
+            buffer_id: u32::MAX,
+            in_port: PortNo::new(1),
+            reason: PacketInReason::NoMatch,
+            data: data.clone(),
+        })
+        .pipe_of(xid)
+    };
+    let keepalive = |xid: u32| {
+        Message::lazy(
+            xid,
+            LazyMsg::KeepAlive(KeepAliveMsg {
+                from: SwitchId::new(7),
+                seq: xid as u64,
+            }),
+        )
+    };
+    const N: u32 = 4_096;
+    group.bench_function("boxed_message_64b", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<Message> = EventQueue::with_kind(SchedulerKind::Wheel);
+            for i in 0..N {
+                let msg = if i % 4 == 0 {
+                    keepalive(i)
+                } else {
+                    packet_in(i)
+                };
+                q.schedule(SimTime::from_nanos(i as u64 * 50_000), msg);
+            }
+            let mut n = 0u32;
+            while let Some((_, msg)) = q.pop() {
+                n = n.wrapping_add(msg.xid);
+            }
+            n
+        })
+    });
+    group.bench_function("inline_message_88b", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<InlineMessage> = EventQueue::with_kind(SchedulerKind::Wheel);
+            for i in 0..N {
+                let body = if i % 4 == 0 {
+                    InlineBody::Lazy(InlineLazy::KeepAlive(KeepAliveMsg {
+                        from: SwitchId::new(7),
+                        seq: i as u64,
+                    }))
+                } else {
+                    InlineBody::Of(OfMessage::PacketIn(PacketInMsg {
+                        buffer_id: u32::MAX,
+                        in_port: PortNo::new(1),
+                        reason: PacketInReason::NoMatch,
+                        data: data.clone(),
+                    }))
+                };
+                q.schedule(
+                    SimTime::from_nanos(i as u64 * 50_000),
+                    InlineMessage { xid: i, body },
+                );
+            }
+            let mut n = 0u32;
+            while let Some((_, msg)) = q.pop() {
+                n = n.wrapping_add(msg.xid);
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+/// Small helper: wrap an [`OfMessage`] like `Message::of` (kept local so
+/// the closure above reads naturally).
+trait PipeOf {
+    fn pipe_of(self, xid: u32) -> Message;
+}
+impl PipeOf for OfMessage {
+    fn pipe_of(self, xid: u32) -> Message {
+        Message::of(xid, self)
+    }
+}
+
 fn bench_dissemination(c: &mut Criterion) {
     let mut group = c.benchmark_group("cluster_dissemination");
     group.sample_size(10);
@@ -103,6 +305,8 @@ criterion_group!(
     benches,
     bench_event_queue,
     bench_flow_setup_throughput,
+    bench_handler_dispatch,
+    bench_message_moves,
     bench_dissemination
 );
 criterion_main!(benches);

@@ -24,7 +24,7 @@ fn packet_in() -> Message {
 fn flow_mod() -> Message {
     Message::of(
         8,
-        OfMessage::FlowMod(FlowModMsg {
+        OfMessage::flow_mod(FlowModMsg {
             command: FlowModCommand::Add,
             flow_match: FlowMatch::to_dst(MacAddr::for_host(42)),
             priority: 10,
@@ -42,7 +42,7 @@ fn flow_mod() -> Message {
 fn lfib_sync(entries: usize) -> Message {
     Message::lazy(
         9,
-        LazyMsg::LfibSync(LfibSyncMsg {
+        LazyMsg::lfib_sync(LfibSyncMsg {
             origin: SwitchId::new(1),
             epoch: 2,
             entries: (0..entries as u64)

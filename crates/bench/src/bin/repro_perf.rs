@@ -15,9 +15,14 @@
 //! * `scenario:<name>` — wall-clock of three registry scenarios.
 //!
 //! The JSON carries the **pre-PR baseline** for the headline workloads —
-//! the heap-scheduler, per-hop-encode engine as of PR 3, measured on the
-//! same machine and workloads — so the artifact itself documents the
-//! speedup (acceptance: ≥2× events/sec on `flow_setup_throughput`).
+//! the PR 4 engine (timing wheel with inline entries, `Vec`-returning
+//! handlers, ~88-byte `Message`), measured on the same workloads — so
+//! the artifact itself documents the allocation-free-dispatch speedup
+//! (acceptance: ≥1.25× events/sec on paper-scale
+//! `flow_setup_throughput`). Peak RSS is sampled **per scenario**: the
+//! kernel's high-water mark is reset before each workload, so a row's
+//! `peak_rss_kb` belongs to that workload alone instead of carrying the
+//! run-wide maximum forward.
 //!
 //! ```sh
 //! cargo run --release -p lazyctrl-bench --bin repro_perf            # writes ./BENCH_perf.json
@@ -39,24 +44,20 @@ use lazyctrl_core::scenarios::{run_built, ScenarioRegistry};
 use lazyctrl_core::{ControlMode, Experiment, ExperimentConfig, SchedulerKind};
 use lazyctrl_trace::Trace;
 
-/// Pre-PR reference numbers (PR 3 engine: `BinaryHeap` scheduler, per-hop
-/// `encode()`/`to_vec()`, string-keyed metrics), measured on the same
-/// workloads/seed on the development machine. `(wall_s, events)`.
+/// Pre-PR reference numbers (PR 4 engine: timing wheel with inline
+/// entries, `Vec`-returning handlers, ~88-byte `Message`), measured on
+/// the same workloads/seed. `(wall_s, events)`.
 fn pre_pr_baseline(scale: Scale, name: &str) -> Option<(f64, u64)> {
     match (scale, name) {
-        (Scale::Quick, "flow_setup_throughput") => Some((1.450, 2_851_007)),
-        (Scale::Quick, "steady_state") => Some((0.998, 2_456_303)),
-        (Scale::Paper, "flow_setup_throughput") => Some((44.90, 23_178_412)),
+        (Scale::Quick, "flow_setup_throughput") => Some((0.890, 2_846_317)),
+        (Scale::Quick, "steady_state") => Some((0.722, 2_463_620)),
+        (Scale::Paper, "flow_setup_throughput") => Some((10.781, 23_094_763)),
+        (Scale::Paper, "steady_state") => Some((9.121, 19_684_073)),
         _ => None,
     }
 }
 
 /// Peak resident set size proxy (kB) — `VmHWM` on Linux, 0 elsewhere.
-/// This is the *process-wide high-water mark at the time of sampling*:
-/// it is monotone across the scenario sequence, so a scenario's entry
-/// attributes memory to "everything run so far", not to that scenario
-/// alone (only the first entry and the global maximum are per-workload
-/// meaningful).
 fn peak_rss_kb() -> u64 {
     std::fs::read_to_string("/proc/self/status")
         .ok()
@@ -67,6 +68,15 @@ fn peak_rss_kb() -> u64 {
                 .and_then(|v| v.parse().ok())
         })
         .unwrap_or(0)
+}
+
+/// Resets the kernel's RSS high-water mark (`echo 5 > /proc/self/clear_refs`),
+/// so the next [`peak_rss_kb`] read is *this scenario's* peak rather than
+/// the run-wide maximum carried forward from every workload before it.
+/// Returns false where unsupported (non-Linux, restricted procfs); the
+/// sample then degrades to the old monotone process-wide behaviour.
+fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
 }
 
 struct Measurement {
@@ -103,6 +113,7 @@ fn run_workload(name: &str, trace: &Trace, arp: bool, kind: SchedulerKind) -> Me
         .with_seed(7)
         .with_scheduler(kind);
     cfg.emit_arp = arp;
+    reset_peak_rss();
     let t0 = Instant::now();
     let report = Experiment::new(trace.clone(), cfg).run();
     Measurement {
@@ -114,9 +125,18 @@ fn run_workload(name: &str, trace: &Trace, arp: bool, kind: SchedulerKind) -> Me
     }
 }
 
-/// Extracts `(scale, name, events_per_sec, wall_s)` rows from a baseline
-/// file written by this binary (one scenario object per line).
-fn parse_baseline(text: &str) -> Vec<(String, String, f64, f64)> {
+/// One committed baseline row (parsed from a file this binary wrote).
+struct BaselineRow {
+    scale: String,
+    name: String,
+    events_per_sec: f64,
+    wall_s: f64,
+    peak_rss_kb: u64,
+}
+
+/// Extracts the scenario rows from a baseline file written by this binary
+/// (one scenario object per line).
+fn parse_baseline(text: &str) -> Vec<BaselineRow> {
     let field = |line: &str, key: &str| -> Option<String> {
         let pat = format!("\"{key}\": ");
         let start = line.find(&pat)? + pat.len();
@@ -127,12 +147,15 @@ fn parse_baseline(text: &str) -> Vec<(String, String, f64, f64)> {
     text.lines()
         .filter(|l| l.contains("\"events_per_sec\"") && l.contains("\"name\""))
         .filter_map(|l| {
-            Some((
-                field(l, "scale")?,
-                field(l, "name")?,
-                field(l, "events_per_sec")?.parse().ok()?,
-                field(l, "wall_s")?.parse().ok()?,
-            ))
+            Some(BaselineRow {
+                scale: field(l, "scale")?,
+                name: field(l, "name")?,
+                events_per_sec: field(l, "events_per_sec")?.parse().ok()?,
+                wall_s: field(l, "wall_s")?.parse().ok()?,
+                peak_rss_kb: field(l, "peak_rss_kb")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0),
+            })
         })
         .collect()
 }
@@ -146,6 +169,11 @@ const CALIBRATOR: &str = "flow_setup_throughput_heap";
 /// Committed entries faster than this are dominated by scheduler noise
 /// and are reported but never gated.
 const MIN_GATED_WALL_S: f64 = 0.25;
+
+/// A peak-RSS regression must exceed the >25% ratio *and* this absolute
+/// growth: quick-scale baselines are ~30 MB, where environment (malloc
+/// arenas, runner image) moves several percent without any code change.
+const RSS_NOISE_FLOOR_KB: u64 = 16_384;
 
 fn main() {
     let mut out_path = String::from("BENCH_perf.json");
@@ -185,10 +213,13 @@ fn main() {
     ];
 
     // Registry scenarios, wall-timed (verdicts are repro_scenario's job).
+    // Peak RSS is reset before each scenario (see `reset_peak_rss`), so
+    // every row carries that scenario's own high-water mark.
     let registry = ScenarioRegistry::builtin();
     for name in ["cold_cache", "crash_under_load", "peer_sync_storm"] {
         let s = registry.get(name).expect("built-in scenario");
         let (strace, cfg, plan) = s.build(0xC1);
+        reset_peak_rss();
         let t0 = Instant::now();
         let run = run_built(s, strace, cfg, plan);
         measurements.push(Measurement {
@@ -248,7 +279,7 @@ fn main() {
         .filter_map(|m| {
             pre_pr_baseline(scale, &m.name).map(|(w, e)| {
                 format!(
-                    "    {{\"scale\": \"{}\", \"name\": \"{}\", \"engine\": \"heap+encode (PR 3)\", \
+                    "    {{\"scale\": \"{}\", \"name\": \"{}\", \"engine\": \"wheel+vec-dispatch (PR 4)\", \
                      \"wall_s\": {:.3}, \"events\": {}, \"baseline_events_per_sec\": {:.0}}}",
                     scale.label(),
                     m.name,
@@ -271,58 +302,86 @@ fn main() {
     // after that normalization, a >25% drop is a real hot-path
     // regression, not a slower runner. Sub-`MIN_GATED_WALL_S` entries
     // are reported but not gated (pure timer noise at that size).
+    //
+    // Peak RSS is gated too (>25% growth fails): memory is far less
+    // hardware-sensitive than wall time, and per-scenario sampling (see
+    // `reset_peak_rss`) makes the committed numbers attributable. Rows
+    // whose committed sample is 0 (non-Linux writer) are skipped.
     if let Some(path) = check_path {
         let committed = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
         let rows = parse_baseline(&committed);
         let calibration = rows
             .iter()
-            .find(|(bscale, name, eps, _)| {
-                bscale == scale.label() && name == CALIBRATOR && *eps > 0.0
-            })
-            .and_then(|(_, _, base_eps, _)| {
+            .find(|r| r.scale == scale.label() && r.name == CALIBRATOR && r.events_per_sec > 0.0)
+            .and_then(|base| {
                 measurements
                     .iter()
                     .find(|m| m.name == CALIBRATOR)
-                    .map(|m| (m.events_per_sec() / base_eps).clamp(0.1, 10.0))
+                    .map(|m| (m.events_per_sec() / base.events_per_sec).clamp(0.1, 10.0))
             })
             .unwrap_or(1.0);
         println!("hardware calibration ({CALIBRATOR}): {calibration:.2}x committed");
+        let rss_sampling_works = reset_peak_rss();
         let mut failures = 0;
-        for (bscale, name, base_eps, base_wall) in rows {
-            if bscale != scale.label() || base_eps <= 0.0 || name == CALIBRATOR {
+        for base in rows {
+            if base.scale != scale.label() || base.events_per_sec <= 0.0 || base.name == CALIBRATOR
+            {
                 continue;
             }
-            let Some(m) = measurements.iter().find(|m| m.name == name) else {
+            let gated = base.wall_s >= MIN_GATED_WALL_S;
+            let Some(m) = measurements.iter().find(|m| m.name == base.name) else {
                 // A committed row with no fresh counterpart means a
                 // workload was renamed or dropped; losing its gate must
                 // be loud, not silent.
-                if base_wall >= MIN_GATED_WALL_S {
+                if gated {
                     println!(
-                        "check {name}: MISSING from this run (committed row has no counterpart)"
+                        "check {}: MISSING from this run (committed row has no counterpart)",
+                        base.name
                     );
                     failures += 1;
                 }
                 continue;
             };
-            let ratio = m.events_per_sec() / (base_eps * calibration);
-            let gated = base_wall >= MIN_GATED_WALL_S;
+            let ratio = m.events_per_sec() / (base.events_per_sec * calibration);
             let verdict = match (gated, ratio < 0.75) {
                 (true, true) => "REGRESSION",
                 (true, false) => "ok",
                 (false, _) => "not gated (too short)",
             };
             println!(
-                "check {name}: {:.0} ev/s vs committed {:.0} ({ratio:.2}x normalized) — {verdict}",
+                "check {}: {:.0} ev/s vs committed {:.0} ({ratio:.2}x normalized) — {verdict}",
+                base.name,
                 m.events_per_sec(),
-                base_eps,
+                base.events_per_sec,
             );
             if gated && ratio < 0.75 {
                 failures += 1;
             }
+            if gated && rss_sampling_works && base.peak_rss_kb > 0 && m.peak_rss_kb > 0 {
+                let rss_ratio = m.peak_rss_kb as f64 / base.peak_rss_kb as f64;
+                // Small baselines move double-digit percent on allocator
+                // arena count / runner image alone, so the ratio gate
+                // also requires absolute growth past a noise floor — a
+                // real engine regression (e.g. reverting the pooled
+                // slab) adds tens of MB even at quick scale.
+                let grew_kb = m.peak_rss_kb.saturating_sub(base.peak_rss_kb);
+                let regressed = rss_ratio > 1.25 && grew_kb > RSS_NOISE_FLOOR_KB;
+                let rss_verdict = if regressed { "RSS REGRESSION" } else { "ok" };
+                println!(
+                    "check {}: peak RSS {} kB vs committed {} kB ({rss_ratio:.2}x) — {rss_verdict}",
+                    base.name, m.peak_rss_kb, base.peak_rss_kb,
+                );
+                if regressed {
+                    failures += 1;
+                }
+            }
         }
         if failures > 0 {
-            eprintln!("{failures} scenario(s) regressed >25% vs {path} (hardware-normalized)");
+            eprintln!(
+                "{failures} check(s) regressed >25% vs {path} (events/sec hardware-normalized, \
+                 peak RSS absolute)"
+            );
             std::process::exit(1);
         }
     }

@@ -55,8 +55,9 @@ use lazyctrl_net::{EthernetFrame, MacAddr, SwitchId, TenantId};
 use lazyctrl_partition::WeightedGraph;
 use lazyctrl_proto::{
     ClusterMsg, CtrlHeartbeatMsg, HostEntry, LazyMsg, LfibEntry, LfibSyncMsg, LookupReplyMsg,
-    LookupRequestMsg, Message, MessageBody, OfMessage, OwnershipTransferMsg, PacketInMsg,
-    PeerSyncMsg, SyncDigestMsg, SyncRelayMsg, TransferReason, WheelLoss, WheelReportMsg,
+    LookupRequestMsg, Message, MessageBody, OfMessage, OutputSink, OwnershipTransferMsg,
+    PacketInMsg, PeerSyncMsg, SyncDigestMsg, SyncRelayMsg, TransferReason, WheelLoss,
+    WheelReportMsg,
 };
 
 use crate::dissemination::{Dissemination, FlushRoute};
@@ -124,6 +125,16 @@ pub enum ClusterOutput {
     },
     /// Arm a timer after the given delay (ns).
     SetTimer(ClusterTimer, u64),
+}
+
+/// The two message families a controller-peer link can carry, borrowed
+/// out of an incoming [`Message`] (see
+/// [`ClusterControlPlane::handle_ctrl_message`]).
+enum CtrlBody<'a> {
+    /// An ordinary cluster message.
+    Cluster(&'a ClusterMsg),
+    /// A Table-I wheel report gossiped on the controller ring.
+    Wheel(WheelReportMsg),
 }
 
 /// A host lookup awaiting peer replies.
@@ -285,6 +296,10 @@ pub struct ClusterControlPlane {
     /// Takeovers executed: `(dead member, groups moved)`.
     takeovers: Vec<(u32, usize)>,
     bootstrapped: bool,
+    /// Reusable scratch for inner-controller outputs awaiting conversion
+    /// to [`ClusterOutput`]s — one allocation for the plane's lifetime
+    /// instead of one per handled message.
+    ctrl_scratch: OutputSink<ControllerOutput>,
 }
 
 impl ClusterControlPlane {
@@ -339,6 +354,7 @@ impl ClusterControlPlane {
             transfers: Vec::new(),
             takeovers: Vec::new(),
             bootstrapped: false,
+            ctrl_scratch: OutputSink::new(),
         }
     }
 
@@ -459,12 +475,17 @@ impl ClusterControlPlane {
                 .removed
                 .push(mac);
         }
+        let mut discard = OutputSink::new();
         for (switch, sync) in by_switch {
             // Outputs (if any) are deliberately dropped: the seam models
             // state arrival, not a live switch conversation.
-            let _ = node
-                .ctrl
-                .handle_message(0, switch, &Message::lazy(0, LazyMsg::LfibSync(sync)));
+            node.ctrl.handle_message(
+                0,
+                switch,
+                &Message::lazy(0, LazyMsg::lfib_sync(sync)),
+                &mut discard,
+            );
+            discard.clear();
         }
     }
 
@@ -559,16 +580,15 @@ impl ClusterControlPlane {
     /// Restarts a crashed member (its state — C-LIB shard, replica —
     /// survives as-is, like a process restart from a checkpoint). Driven
     /// by a `RecoverController` plan event in experiments. Peers un-mark
-    /// it as it heartbeats again; returns fresh timer arms (the pre-crash
+    /// it as it heartbeats again; pushes fresh timer arms (the pre-crash
     /// chains were invalidated by the generation bump).
-    pub fn recover(&mut self, id: u32) -> Vec<ClusterOutput> {
+    pub fn recover(&mut self, id: u32, out: &mut OutputSink<ClusterOutput>) {
         let node = &mut self.nodes[id as usize];
         if !node.crashed {
-            return Vec::new();
+            return;
         }
         node.crashed = false;
         let gen = node.timer_gen;
-        let mut out = Vec::new();
         for (kind, interval_ms) in [
             (
                 ClusterTimerKind::Inner(ControllerTimer::KeepAlive),
@@ -588,41 +608,41 @@ impl ClusterControlPlane {
                 interval_ms as u64 * 1_000_000,
             ));
         }
-        out.extend(self.cluster_timer_arms(id, gen));
-        out
+        self.cluster_timer_arms(id, gen, out);
     }
 
     /// The standard cluster-level timer set every functioning member
     /// runs: the one list `bootstrap` and `recover` both arm, so adding
     /// a timer kind cannot silently miss one of the two paths.
-    fn cluster_timer_arms(&self, id: u32, gen: u32) -> Vec<ClusterOutput> {
-        [
-            (
-                ClusterTimerKind::ReplicaFlush,
-                self.cfg.replica_flush_interval_ms,
-            ),
-            (ClusterTimerKind::Heartbeat, self.cfg.heartbeat_interval_ms),
-            (
-                ClusterTimerKind::RebalanceCheck,
-                self.cfg.rebalance_check_interval_ms,
-            ),
-            (
-                ClusterTimerKind::AntiEntropy,
-                self.cfg.anti_entropy_interval_ms,
-            ),
-        ]
-        .into_iter()
-        .map(|(kind, interval_ms)| {
-            ClusterOutput::SetTimer(
-                ClusterTimer {
-                    node: id,
-                    kind,
-                    gen,
-                },
-                interval_ms as u64 * 1_000_000,
-            )
-        })
-        .collect()
+    fn cluster_timer_arms(&self, id: u32, gen: u32, out: &mut OutputSink<ClusterOutput>) {
+        out.extend(
+            [
+                (
+                    ClusterTimerKind::ReplicaFlush,
+                    self.cfg.replica_flush_interval_ms,
+                ),
+                (ClusterTimerKind::Heartbeat, self.cfg.heartbeat_interval_ms),
+                (
+                    ClusterTimerKind::RebalanceCheck,
+                    self.cfg.rebalance_check_interval_ms,
+                ),
+                (
+                    ClusterTimerKind::AntiEntropy,
+                    self.cfg.anti_entropy_interval_ms,
+                ),
+            ]
+            .into_iter()
+            .map(|(kind, interval_ms)| {
+                ClusterOutput::SetTimer(
+                    ClusterTimer {
+                        node: id,
+                        kind,
+                        gen,
+                    },
+                    interval_ms as u64 * 1_000_000,
+                )
+            }),
+        );
     }
 
     // ---- Bootstrap -----------------------------------------------------
@@ -633,19 +653,29 @@ impl ClusterControlPlane {
     /// grouping state cluster-wide. Shards the groups round-robin and
     /// emits the initial `GroupAssign`s (each switch hears exactly one:
     /// its owner's) plus all timers.
-    pub fn bootstrap(&mut self, now_ns: u64, graph: WeightedGraph) -> Vec<ClusterOutput> {
+    pub fn bootstrap(
+        &mut self,
+        now_ns: u64,
+        graph: WeightedGraph,
+        out: &mut OutputSink<ClusterOutput>,
+    ) {
         assert!(!self.bootstrapped, "cluster already bootstrapped");
         self.bootstrapped = true;
+        // Raw outputs are buffered per member: conversion must wait for
+        // the ownership assignment below (one-time cost, not a hot path).
         let mut raw: Vec<(u32, Vec<ControllerOutput>)> = Vec::new();
-        let outs0 = self.nodes[0].ctrl.bootstrap(now_ns, graph);
-        raw.push((0, outs0));
+        let mut scratch = OutputSink::new();
+        self.nodes[0].ctrl.bootstrap(now_ns, graph, &mut scratch);
+        raw.push((0, scratch.take_buf()));
         let snapshot = self.nodes[0]
             .ctrl
             .freeze_grouping()
             .expect("member 0 just bootstrapped");
         for node in self.nodes.iter_mut().skip(1) {
-            let outs = node.ctrl.bootstrap_shared(now_ns, snapshot.clone());
-            raw.push((node.id, outs));
+            let mut sink = OutputSink::new();
+            node.ctrl
+                .bootstrap_shared(now_ns, snapshot.clone(), &mut sink);
+            raw.push((node.id, sink.take_buf()));
         }
         // Freeze the plane's dense switch → group view from the snapshot.
         let grouping = self.nodes[0].ctrl.grouping();
@@ -664,15 +694,13 @@ impl ClusterControlPlane {
             }
         }
 
-        let mut out = Vec::new();
-        for (id, outs) in raw {
-            out.extend(self.convert_outputs(id, outs, true));
+        for (id, mut outs) in raw {
+            self.convert_outputs(id, &mut outs, true, out);
         }
         let arms: Vec<(u32, u32)> = self.nodes.iter().map(|n| (n.id, n.timer_gen)).collect();
         for (id, gen) in arms {
-            out.extend(self.cluster_timer_arms(id, gen));
+            self.cluster_timer_arms(id, gen, out);
         }
-        out
     }
 
     // ---- Switch-facing path --------------------------------------------
@@ -685,12 +713,13 @@ impl ClusterControlPlane {
         now_ns: u64,
         from: SwitchId,
         msg: &Message,
-    ) -> Vec<ClusterOutput> {
+        out: &mut OutputSink<ClusterOutput>,
+    ) {
         let Some(owner) = self.owner_of_switch(from) else {
-            return Vec::new();
+            return;
         };
         if self.nodes[owner as usize].crashed {
-            return Vec::new();
+            return;
         }
         if let Some(g) = self.group_of_switch(from) {
             *self.group_window.entry(g).or_insert(0) += 1;
@@ -703,9 +732,9 @@ impl ClusterControlPlane {
         if let Some(dst) = unresolved_unicast_dst(&self.nodes[owner as usize].ctrl, msg) {
             let replicated = self.nodes[owner as usize].replica.lookup(dst);
             if let Some(entry) = replicated {
-                let mut out = self.seed_clib(owner, now_ns, &[entry]);
-                out.extend(self.process_at(owner, now_ns, from, msg));
-                return out;
+                self.seed_clib(owner, now_ns, &[entry], out);
+                self.process_at(owner, now_ns, from, msg, out);
+                return;
             }
             let peers: Vec<u32> = self
                 .live_members()
@@ -718,10 +747,9 @@ impl ClusterControlPlane {
                 pending.queued.push((from, msg.clone()));
                 if !pending.waiting_on.is_empty() {
                     // A lookup is already in flight; ride it.
-                    return Vec::new();
+                    return;
                 }
                 pending.waiting_on = peers.iter().copied().collect();
-                let mut out = Vec::new();
                 for p in peers {
                     let xid = self.nodes[owner as usize].next_xid();
                     out.push(ClusterOutput::ToCtrl {
@@ -736,10 +764,10 @@ impl ClusterControlPlane {
                         ),
                     });
                 }
-                return out;
+                return;
             }
         }
-        self.process_at(owner, now_ns, from, msg)
+        self.process_at(owner, now_ns, from, msg, out);
     }
 
     /// Runs a switch message through a member's inner controller, captures
@@ -750,7 +778,8 @@ impl ClusterControlPlane {
         now_ns: u64,
         from: SwitchId,
         msg: &Message,
-    ) -> Vec<ClusterOutput> {
+        out: &mut OutputSink<ClusterOutput>,
+    ) {
         let node = &mut self.nodes[id as usize];
         // Mirror the controller's C-LIB learning into the replication
         // outbox (same sources: PacketIn source learning, L-FIB syncs).
@@ -788,8 +817,9 @@ impl ClusterControlPlane {
             }
             _ => {}
         }
-        let outs = node.ctrl.handle_message(now_ns, from, msg);
-        self.convert_outputs(id, outs, false)
+        node.ctrl
+            .handle_message(now_ns, from, msg, &mut self.ctrl_scratch);
+        self.convert_scratch(id, false, out);
     }
 
     // ---- Controller-to-controller path ---------------------------------
@@ -803,12 +833,21 @@ impl ClusterControlPlane {
         _from: u32,
         to: u32,
         msg: &Message,
-    ) -> Vec<ClusterOutput> {
+        out: &mut OutputSink<ClusterOutput>,
+    ) {
         if self.nodes[to as usize].crashed {
-            return Vec::new();
+            return;
         }
-        match &msg.body {
-            MessageBody::Cluster(ClusterMsg::PeerSync(sync)) => {
+        let body = match (msg.as_cluster(), msg.as_lazy()) {
+            (Some(cluster), _) => CtrlBody::Cluster(cluster),
+            // Table-I reuse: controller-ring loss observations travel as
+            // the same WheelReport message switches use.
+            (_, Some(LazyMsg::WheelReport(report))) => CtrlBody::Wheel(*report),
+            _ => return,
+        };
+        match body {
+            CtrlBody::Wheel(report) => self.observe_ctrl_loss(to, now_ns, report, out),
+            CtrlBody::Cluster(ClusterMsg::PeerSync(sync)) => {
                 // Direct sync: flood delivery or anti-entropy catch-up.
                 // Applied unconditionally (replica application is
                 // idempotent) — the dedup window only guards the relay
@@ -827,11 +866,10 @@ impl ClusterControlPlane {
                         node.traffic.duplicate_drops += 1;
                     }
                 }
-                Vec::new()
             }
-            MessageBody::Cluster(ClusterMsg::SyncRelay(bundle)) => self.absorb_relay(to, bundle),
-            MessageBody::Cluster(ClusterMsg::SyncDigest(digest)) => self.serve_digest(to, digest),
-            MessageBody::Cluster(ClusterMsg::Heartbeat(hb)) => {
+            CtrlBody::Cluster(ClusterMsg::SyncRelay(bundle)) => self.absorb_relay(to, bundle, out),
+            CtrlBody::Cluster(ClusterMsg::SyncDigest(digest)) => self.serve_digest(to, digest, out),
+            CtrlBody::Cluster(ClusterMsg::Heartbeat(hb)) => {
                 let came_back = self.confirmed_dead.remove(&hb.from);
                 let node = &mut self.nodes[to as usize];
                 node.last_hb_from.insert(hb.from, now_ns);
@@ -841,18 +879,16 @@ impl ClusterControlPlane {
                     // The member rebooted; future rebalance checks may hand
                     // groups back. Nothing to emit now.
                 }
-                Vec::new()
             }
-            MessageBody::Cluster(ClusterMsg::OwnershipTransfer(t)) => {
+            CtrlBody::Cluster(ClusterMsg::OwnershipTransfer(t)) => {
                 // The plane's authoritative map was updated at initiation;
                 // the new owner seeds its C-LIB shard when it *hears* about
                 // the transfer, which is the asynchronous part.
                 if t.to == to {
-                    return self.seed_group(to, now_ns, t.group.index());
+                    self.seed_group(to, now_ns, t.group.index(), out);
                 }
-                Vec::new()
             }
-            MessageBody::Cluster(ClusterMsg::LookupRequest(req)) => {
+            CtrlBody::Cluster(ClusterMsg::LookupRequest(req)) => {
                 let node = &mut self.nodes[to as usize];
                 let location = node
                     .ctrl
@@ -866,7 +902,7 @@ impl ClusterControlPlane {
                     })
                     .or_else(|| node.replica.lookup(req.mac));
                 let xid = node.next_xid();
-                vec![ClusterOutput::ToCtrl {
+                out.push(ClusterOutput::ToCtrl {
                     from: to,
                     to: req.from,
                     msg: Message::cluster(
@@ -877,17 +913,11 @@ impl ClusterControlPlane {
                             location,
                         }),
                     ),
-                }]
+                });
             }
-            MessageBody::Cluster(ClusterMsg::LookupReply(reply)) => {
-                self.resolve_lookup(to, now_ns, reply)
+            CtrlBody::Cluster(ClusterMsg::LookupReply(reply)) => {
+                self.resolve_lookup(to, now_ns, reply, out);
             }
-            // Table-I reuse: controller-ring loss observations travel as
-            // the same WheelReport message switches use.
-            MessageBody::Lazy(LazyMsg::WheelReport(report)) => {
-                self.observe_ctrl_loss(to, now_ns, *report)
-            }
-            _ => Vec::new(),
         }
     }
 
@@ -899,26 +929,25 @@ impl ClusterControlPlane {
         id: u32,
         now_ns: u64,
         reply: &LookupReplyMsg,
-    ) -> Vec<ClusterOutput> {
+        out: &mut OutputSink<ClusterOutput>,
+    ) {
         let node = &mut self.nodes[id as usize];
         let Some(pending) = node.pending_lookups.get_mut(&reply.mac) else {
-            return Vec::new();
+            return;
         };
         pending.waiting_on.remove(&reply.from);
         let resolved = reply.location.is_some();
         if !resolved && !pending.waiting_on.is_empty() {
-            return Vec::new();
+            return;
         }
         let queued = std::mem::take(&mut pending.queued);
         node.pending_lookups.remove(&reply.mac);
-        let mut out = Vec::new();
         if let Some(entry) = reply.location {
-            out.extend(self.seed_clib(id, now_ns, &[entry]));
+            self.seed_clib(id, now_ns, &[entry], out);
         }
         for (from, msg) in queued {
-            out.extend(self.process_at(id, now_ns, from, &msg));
+            self.process_at(id, now_ns, from, &msg, out);
         }
-        out
     }
 
     /// Feeds one controller-ring loss observation into a member's Table-I
@@ -929,33 +958,40 @@ impl ClusterControlPlane {
         at: u32,
         now_ns: u64,
         report: WheelReportMsg,
-    ) -> Vec<ClusterOutput> {
+        out: &mut OutputSink<ClusterOutput>,
+    ) {
         let inferred = self.nodes[at as usize].detector.observe(now_ns, &report);
         let Some(FailureKind::Switch(pseudo)) = inferred else {
             // Single-direction losses on the controller ring are link
             // noise; only a both-directions silence is a dead controller.
-            return Vec::new();
+            return;
         };
         let dead = pseudo.0 & !CTRL_PSEUDO_BASE;
         if self.confirmed_dead.contains(&dead) {
-            return Vec::new();
+            return;
         }
         if self.leader() != Some(at) {
-            return Vec::new();
+            return;
         }
-        self.take_over(at, now_ns, dead)
+        self.take_over(at, now_ns, dead, out);
     }
 
     /// Leader-side takeover: move every group of `dead` to the surviving
     /// members (least-loaded first), announce the transfers, and seed the
     /// leader's own shard where it is the new owner.
-    fn take_over(&mut self, leader: u32, now_ns: u64, dead: u32) -> Vec<ClusterOutput> {
+    fn take_over(
+        &mut self,
+        leader: u32,
+        now_ns: u64,
+        dead: u32,
+        out: &mut OutputSink<ClusterOutput>,
+    ) {
         self.confirmed_dead.insert(dead);
         let groups = self.ownership.groups_of(dead);
         // live_members() excludes `dead` now that it is confirmed dead.
         let mut survivors: Vec<u32> = self.live_members();
         if survivors.is_empty() {
-            return Vec::new();
+            return;
         }
         // Lookups waiting on the dead member would wedge forever: sweep it
         // from every pending set, and replay lookups that just lost their
@@ -979,9 +1015,8 @@ impl ClusterControlPlane {
                 }
             });
         }
-        let mut out = Vec::new();
         for (nid, from, msg) in replays {
-            out.extend(self.process_at(nid, now_ns, from, &msg));
+            self.process_at(nid, now_ns, from, &msg, out);
         }
         // Least-loaded first so the takeover itself rebalances.
         survivors.sort_by(|&a, &b| {
@@ -1006,35 +1041,41 @@ impl ClusterControlPlane {
                 });
             }
             if target == leader {
-                out.extend(self.seed_group(leader, now_ns, g));
+                self.seed_group(leader, now_ns, g, out);
             }
         }
         self.takeovers.push((dead, groups.len()));
-        out
     }
 
     // ---- Timers --------------------------------------------------------
 
     /// Handles a cluster timer.
-    pub fn handle_timer(&mut self, now_ns: u64, timer: ClusterTimer) -> Vec<ClusterOutput> {
+    pub fn handle_timer(
+        &mut self,
+        now_ns: u64,
+        timer: ClusterTimer,
+        out: &mut OutputSink<ClusterOutput>,
+    ) {
         let id = timer.node;
         if self.nodes[id as usize].crashed {
             // A crashed member's timers die with it; `recover` re-arms.
-            return Vec::new();
+            return;
         }
         if timer.gen != self.nodes[id as usize].timer_gen {
             // A chain armed before a crash; `recover` started fresh ones.
-            return Vec::new();
+            return;
         }
         match timer.kind {
             ClusterTimerKind::Inner(t) => {
-                let outs = self.nodes[id as usize].ctrl.on_timer(now_ns, t);
-                self.convert_outputs(id, outs, true)
+                self.nodes[id as usize]
+                    .ctrl
+                    .on_timer(now_ns, t, &mut self.ctrl_scratch);
+                self.convert_scratch(id, true, out);
             }
-            ClusterTimerKind::ReplicaFlush => self.flush_replicas(id, timer),
-            ClusterTimerKind::Heartbeat => self.heartbeat(id, now_ns, timer),
-            ClusterTimerKind::RebalanceCheck => self.rebalance_check(id, now_ns, timer),
-            ClusterTimerKind::AntiEntropy => self.anti_entropy(id, timer),
+            ClusterTimerKind::ReplicaFlush => self.flush_replicas(id, timer, out),
+            ClusterTimerKind::Heartbeat => self.heartbeat(id, now_ns, timer, out),
+            ClusterTimerKind::RebalanceCheck => self.rebalance_check(id, now_ns, timer, out),
+            ClusterTimerKind::AntiEntropy => self.anti_entropy(id, timer, out),
         }
     }
 
@@ -1047,7 +1088,12 @@ impl ClusterControlPlane {
     /// `PeerSync`s under flood, one `SyncRelay` bundle per overlay edge
     /// under ring/tree — the bundling that turns a flush round from
     /// O(n²) messages into O(n).
-    fn flush_replicas(&mut self, id: u32, timer: ClusterTimer) -> Vec<ClusterOutput> {
+    fn flush_replicas(
+        &mut self,
+        id: u32,
+        timer: ClusterTimer,
+        out: &mut OutputSink<ClusterOutput>,
+    ) {
         let mut alive = self.believed_alive();
         // A recovered member may flush before its comeback heartbeat
         // un-confirms it cluster-wide. It must still occupy its own
@@ -1091,13 +1137,13 @@ impl ClusterControlPlane {
             node.log_own_chunks(&own_chunks, self.cfg.delta_log_flushes);
         }
 
-        let mut out = Vec::new();
         match self.strategy.flush_route(id, &alive) {
             FlushRoute::DirectToAll(peers) => {
                 // Flood never queues relays, so only own chunks go out.
                 for peer in peers {
                     for chunk in &own_chunks {
-                        out.push(self.send_sync(id, peer, chunk.clone()));
+                        let o = self.send_sync(id, peer, chunk.clone());
+                        out.push(o);
                     }
                 }
             }
@@ -1106,7 +1152,8 @@ impl ClusterControlPlane {
                 let mut syncs: Vec<PeerSyncMsg> = node.relay_outbox.drain(..).collect();
                 syncs.extend(own_chunks);
                 if !syncs.is_empty() {
-                    out.push(self.send_bundle(id, peer, syncs));
+                    let o = self.send_bundle(id, peer, syncs);
+                    out.push(o);
                 }
             }
             FlushRoute::BundleToEach(peers) => {
@@ -1115,14 +1162,14 @@ impl ClusterControlPlane {
                 syncs.extend(own_chunks);
                 if !syncs.is_empty() {
                     for peer in peers {
-                        out.push(self.send_bundle(id, peer, syncs.clone()));
+                        let o = self.send_bundle(id, peer, syncs.clone());
+                        out.push(o);
                     }
                 }
             }
             FlushRoute::Nowhere => {}
         }
         out.push(self.rearm(timer, self.cfg.replica_flush_interval_ms));
-        out
     }
 
     /// Builds (and counts) one direct peer-sync message.
@@ -1134,7 +1181,7 @@ impl ClusterControlPlane {
         ClusterOutput::ToCtrl {
             from,
             to,
-            msg: Message::cluster(xid, ClusterMsg::PeerSync(sync)),
+            msg: Message::cluster(xid, ClusterMsg::peer_sync(sync)),
         }
     }
 
@@ -1148,7 +1195,7 @@ impl ClusterControlPlane {
         ClusterOutput::ToCtrl {
             from,
             to,
-            msg: Message::cluster(xid, ClusterMsg::SyncRelay(bundle)),
+            msg: Message::cluster(xid, ClusterMsg::sync_relay(bundle)),
         }
     }
 
@@ -1156,7 +1203,12 @@ impl ClusterControlPlane {
     /// before, queues survivors for the next overlay hop per the strategy,
     /// and — on a tree down-path edge — re-fans the bundle to the
     /// children immediately.
-    fn absorb_relay(&mut self, at: u32, bundle: &SyncRelayMsg) -> Vec<ClusterOutput> {
+    fn absorb_relay(
+        &mut self,
+        at: u32,
+        bundle: &SyncRelayMsg,
+        out: &mut OutputSink<ClusterOutput>,
+    ) {
         let alive = self.believed_alive();
         let cap = self.cfg.relay_buffer_chunks;
         {
@@ -1181,22 +1233,20 @@ impl ClusterControlPlane {
         // Tree down-path: push the same bundle to the children right away
         // (the dedup window on each receiver makes re-fanning safe).
         let children = self.strategy.immediate_relay(at, bundle.from, &alive);
-        let mut out = Vec::new();
         for child in children {
-            out.push(self.send_bundle(at, child, bundle.syncs.clone()));
+            let o = self.send_bundle(at, child, bundle.syncs.clone());
+            out.push(o);
         }
-        out
     }
 
     /// Sends this member's anti-entropy digest to one rotating
     /// believed-alive peer.
-    fn anti_entropy(&mut self, id: u32, timer: ClusterTimer) -> Vec<ClusterOutput> {
+    fn anti_entropy(&mut self, id: u32, timer: ClusterTimer, out: &mut OutputSink<ClusterOutput>) {
         let peers: Vec<u32> = self
             .believed_alive()
             .into_iter()
             .filter(|&p| p != id)
             .collect();
-        let mut out = Vec::new();
         if !peers.is_empty() {
             let node = &mut self.nodes[id as usize];
             let target = peers[(node.ae_round % peers.len() as u64) as usize];
@@ -1210,7 +1260,7 @@ impl ClusterControlPlane {
                 to: target,
                 msg: Message::cluster(
                     xid,
-                    ClusterMsg::SyncDigest(SyncDigestMsg {
+                    ClusterMsg::sync_digest(SyncDigestMsg {
                         from: id,
                         heads: heads.into_iter().collect(),
                     }),
@@ -1218,7 +1268,6 @@ impl ClusterControlPlane {
             });
         }
         out.push(self.rearm(timer, self.cfg.anti_entropy_interval_ms));
-        out
     }
 
     /// Serves a peer's digest at `at`: for every origin where the sender
@@ -1232,7 +1281,12 @@ impl ClusterControlPlane {
     /// member that slept through relayed deltas — and, because digests
     /// carry *contiguous* heads, it also repairs holes punched into the
     /// middle of a member's sequence by mid-circulation crashes.
-    fn serve_digest(&mut self, at: u32, digest: &SyncDigestMsg) -> Vec<ClusterOutput> {
+    fn serve_digest(
+        &mut self,
+        at: u32,
+        digest: &SyncDigestMsg,
+        out: &mut OutputSink<ClusterOutput>,
+    ) {
         let their: BTreeMap<u32, u64> = digest.heads.iter().copied().collect();
         let chunk_size = self.cfg.sync_chunk_entries;
         let mut to_send: Vec<PeerSyncMsg> = Vec::new();
@@ -1316,22 +1370,25 @@ impl ClusterControlPlane {
         // Catch-up rides direct syncs but is *repair* traffic, counted by
         // `catchup_syncs_sent` — not in `messages_sent`, which measures
         // the dissemination overlay's steady-state cost.
-        to_send
-            .into_iter()
-            .map(|sync| {
-                let xid = self.nodes[at as usize].next_xid();
-                ClusterOutput::ToCtrl {
-                    from: at,
-                    to: digest.from,
-                    msg: Message::cluster(xid, ClusterMsg::PeerSync(sync)),
-                }
-            })
-            .collect()
+        for sync in to_send {
+            let xid = self.nodes[at as usize].next_xid();
+            out.push(ClusterOutput::ToCtrl {
+                from: at,
+                to: digest.from,
+                msg: Message::cluster(xid, ClusterMsg::peer_sync(sync)),
+            });
+        }
     }
 
     /// Sends ring heartbeats (to every live peer, loads piggybacked) and
     /// reports silent ring neighbours via Table-I wheel reports.
-    fn heartbeat(&mut self, id: u32, now_ns: u64, timer: ClusterTimer) -> Vec<ClusterOutput> {
+    fn heartbeat(
+        &mut self,
+        id: u32,
+        now_ns: u64,
+        timer: ClusterTimer,
+        out: &mut OutputSink<ClusterOutput>,
+    ) {
         let peers: Vec<u32> = self
             .nodes
             .iter()
@@ -1340,7 +1397,6 @@ impl ClusterControlPlane {
             .collect();
         let load = self.load_of(id, now_ns);
         let owned = self.ownership.groups_of(id).len() as u32;
-        let mut out = Vec::new();
         {
             let node = &mut self.nodes[id as usize];
             node.hb_seq += 1;
@@ -1387,7 +1443,7 @@ impl ClusterControlPlane {
                 // Feed the local detector and gossip the observation so
                 // every member (the leader in particular) can correlate
                 // both ring directions.
-                out.extend(self.observe_ctrl_loss(id, now_ns, report));
+                self.observe_ctrl_loss(id, now_ns, report, out);
                 for &peer in &peers {
                     if peer == nb {
                         continue;
@@ -1402,26 +1458,31 @@ impl ClusterControlPlane {
             }
         }
         out.push(self.rearm(timer, self.cfg.heartbeat_interval_ms));
-        out
     }
 
     /// Leader-side skew check over the per-group message window: move one
     /// group from the hottest to the coolest member when the window-count
     /// ratio exceeds the configured skew (and the hot member saw real
     /// activity — an idle cluster's ratio is just noise).
-    fn rebalance_check(&mut self, id: u32, now_ns: u64, timer: ClusterTimer) -> Vec<ClusterOutput> {
-        let mut out = vec![self.rearm(timer, self.cfg.rebalance_check_interval_ms)];
+    fn rebalance_check(
+        &mut self,
+        id: u32,
+        now_ns: u64,
+        timer: ClusterTimer,
+        out: &mut OutputSink<ClusterOutput>,
+    ) {
+        out.push(self.rearm(timer, self.cfg.rebalance_check_interval_ms));
         if self.leader() != Some(id) {
             // The window is plane-global shared state; only the leader may
             // drain it, or phase-shifted non-leader timers (e.g. after a
             // leader restart) would wipe samples before the leader reads
             // them.
-            return out;
+            return;
         }
         let live = self.live_members();
         let window = std::mem::take(&mut self.group_window);
         if live.len() < 2 {
-            return out;
+            return;
         }
         let count_of = |member: u32| -> u64 {
             self.ownership
@@ -1438,17 +1499,17 @@ impl ClusterControlPlane {
             counts.iter().min_by_key(|&&(m, c)| (c, m)),
         ) {
             (Some(h), Some(c)) => (h, c),
-            _ => return out,
+            _ => return,
         };
         if hot == cool
             || hot_count < self.cfg.rebalance_min_window_msgs
             || (hot_count as f64) < (cool_count.max(1) as f64) * self.cfg.skew_threshold
         {
-            return out;
+            return;
         }
         let owned = self.ownership.groups_of(hot);
         if owned.len() < 2 {
-            return out;
+            return;
         }
         // Move the busiest group that does not overshoot: the moved count
         // must stay within half the hot-cool gap (plus one so a single
@@ -1466,7 +1527,7 @@ impl ClusterControlPlane {
             .or_else(|| candidates.first())
             .copied();
         let Some((_, group)) = pick else {
-            return out;
+            return;
         };
         let t = self
             .ownership
@@ -1484,16 +1545,21 @@ impl ClusterControlPlane {
             });
         }
         if cool == id {
-            out.extend(self.seed_group(id, now_ns, group));
+            self.seed_group(id, now_ns, group, out);
         }
-        out
     }
 
     // ---- Internals -----------------------------------------------------
 
     /// Seeds `id`'s C-LIB shard with its replica's knowledge of one
     /// group's switches — the new owner's half of an ownership transfer.
-    fn seed_group(&mut self, id: u32, now_ns: u64, group: usize) -> Vec<ClusterOutput> {
+    fn seed_group(
+        &mut self,
+        id: u32,
+        now_ns: u64,
+        group: usize,
+        out: &mut OutputSink<ClusterOutput>,
+    ) {
         let members = self.nodes[id as usize].ctrl.grouping().members(group);
         let entries: Vec<HostEntry> = self.nodes[id as usize]
             .replica
@@ -1501,7 +1567,7 @@ impl ClusterControlPlane {
             .into_iter()
             .flat_map(|(_, hosts)| hosts)
             .collect();
-        self.seed_clib(id, now_ns, &entries)
+        self.seed_clib(id, now_ns, &entries, out);
     }
 
     /// Seeds a member's C-LIB shard through its public message interface
@@ -1509,7 +1575,13 @@ impl ClusterControlPlane {
     /// learning rules — including the stale-withdrawal guard — apply
     /// unchanged. The cost is metered like any other message, which is
     /// exactly what a real takeover resync would cost.
-    fn seed_clib(&mut self, id: u32, now_ns: u64, entries: &[HostEntry]) -> Vec<ClusterOutput> {
+    fn seed_clib(
+        &mut self,
+        id: u32,
+        now_ns: u64,
+        entries: &[HostEntry],
+        out: &mut OutputSink<ClusterOutput>,
+    ) {
         let mut by_switch: BTreeMap<SwitchId, Vec<LfibEntry>> = BTreeMap::new();
         for e in entries {
             by_switch.entry(e.switch).or_default().push(LfibEntry {
@@ -1518,7 +1590,8 @@ impl ClusterControlPlane {
                 port: e.port,
             });
         }
-        let mut raw = Vec::new();
+        // Inner outputs accumulate in the scratch across the per-switch
+        // syncs (same order as the old concatenation), then convert once.
         for (switch, lfib_entries) in by_switch {
             let sync = LfibSyncMsg {
                 origin: switch,
@@ -1526,14 +1599,14 @@ impl ClusterControlPlane {
                 entries: lfib_entries,
                 removed: vec![],
             };
-            let outs = self.nodes[id as usize].ctrl.handle_message(
+            self.nodes[id as usize].ctrl.handle_message(
                 now_ns,
                 switch,
-                &Message::lazy(0, LazyMsg::LfibSync(sync)),
+                &Message::lazy(0, LazyMsg::lfib_sync(sync)),
+                &mut self.ctrl_scratch,
             );
-            raw.extend(outs);
         }
-        self.convert_outputs(id, raw, false)
+        self.convert_scratch(id, false, out);
     }
 
     /// Converts inner-controller outputs into cluster outputs.
@@ -1547,20 +1620,20 @@ impl ClusterControlPlane {
     fn convert_outputs(
         &self,
         id: u32,
-        outs: Vec<ControllerOutput>,
+        outs: &mut Vec<ControllerOutput>,
         filter_owned: bool,
-    ) -> Vec<ClusterOutput> {
-        let mut converted = Vec::with_capacity(outs.len());
-        for o in outs {
+        out: &mut OutputSink<ClusterOutput>,
+    ) {
+        for o in outs.drain(..) {
             match o {
                 ControllerOutput::ToSwitch(to, msg) => {
                     if filter_owned && self.owner_of_switch(to) != Some(id) {
                         continue;
                     }
-                    converted.push(ClusterOutput::ToSwitch { from: id, to, msg });
+                    out.push(ClusterOutput::ToSwitch { from: id, to, msg });
                 }
                 ControllerOutput::SetTimer(t, delay_ns) => {
-                    converted.push(ClusterOutput::SetTimer(
+                    out.push(ClusterOutput::SetTimer(
                         ClusterTimer {
                             node: id,
                             kind: ClusterTimerKind::Inner(t),
@@ -1571,7 +1644,20 @@ impl ClusterControlPlane {
                 }
             }
         }
-        converted
+    }
+
+    /// Drains the inner-controller scratch through [`Self::convert_outputs`]
+    /// and returns its allocation to the scratch (the steady-state path:
+    /// zero allocation per handled message).
+    fn convert_scratch(
+        &mut self,
+        id: u32,
+        filter_owned: bool,
+        out: &mut OutputSink<ClusterOutput>,
+    ) {
+        let mut buf = self.ctrl_scratch.take_buf();
+        self.convert_outputs(id, &mut buf, filter_owned, out);
+        self.ctrl_scratch.put_back(buf);
     }
 }
 

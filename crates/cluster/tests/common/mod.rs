@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use lazyctrl_cluster::{ClusterConfig, ClusterControlPlane, ClusterOutput, ClusterTimer};
 use lazyctrl_net::SwitchId;
 use lazyctrl_partition::WeightedGraph;
-use lazyctrl_proto::{ClusterMsg, Message, MessageBody};
+use lazyctrl_proto::{ClusterMsg, Message, MessageBody, OutputSink};
 
 /// Fixed controller-peer delivery latency (ns).
 const CTRL_LATENCY_NS: u64 = 1_000_000;
@@ -67,7 +67,8 @@ impl MiniNet {
     pub fn new(groups: usize, cfg: ClusterConfig) -> Self {
         let num_switches = groups * 3;
         let mut plane = ClusterControlPlane::new(num_switches, cfg);
-        let outs = plane.bootstrap(0, clustered_graph(groups, 3));
+        let mut sink = OutputSink::new();
+        plane.bootstrap(0, clustered_graph(groups, 3), &mut sink);
         let mut net = MiniNet {
             plane,
             queue: BTreeMap::new(),
@@ -75,7 +76,7 @@ impl MiniNet {
             now: 0,
             delivered: BTreeMap::new(),
         };
-        net.dispatch(outs);
+        net.dispatch(sink.take_buf());
         net
     }
 
@@ -113,14 +114,16 @@ impl MiniNet {
             }
             let ev = self.queue.remove(&(at, key)).expect("just peeked");
             self.now = at;
-            let outs = match ev {
+            let mut sink = OutputSink::new();
+            match ev {
                 Ev::Ctrl { from, to, msg } => {
                     *self.delivered.entry(kind_of(&msg)).or_insert(0) += 1;
-                    self.plane.handle_ctrl_message(self.now, from, to, &msg)
+                    self.plane
+                        .handle_ctrl_message(self.now, from, to, &msg, &mut sink);
                 }
-                Ev::Timer(timer) => self.plane.handle_timer(self.now, timer),
-            };
-            self.dispatch(outs);
+                Ev::Timer(timer) => self.plane.handle_timer(self.now, timer, &mut sink),
+            }
+            self.dispatch(sink.take_buf());
         }
         self.now = t_ns;
     }
@@ -132,8 +135,17 @@ impl MiniNet {
 
     /// Delivers one switch-originated message to the plane at `now`.
     pub fn send_switch(&mut self, from: SwitchId, msg: &Message) {
-        let outs = self.plane.handle_switch_message(self.now, from, msg);
-        self.dispatch(outs);
+        let mut sink = OutputSink::new();
+        self.plane
+            .handle_switch_message(self.now, from, msg, &mut sink);
+        self.dispatch(sink.take_buf());
+    }
+
+    /// Recovers a crashed member and dispatches its fresh timer arms.
+    pub fn recover(&mut self, id: u32) {
+        let mut sink = OutputSink::new();
+        self.plane.recover(id, &mut sink);
+        self.dispatch(sink.take_buf());
     }
 
     /// Count of delivered ctrl-peer messages of one kind.
@@ -144,13 +156,15 @@ impl MiniNet {
 
 fn kind_of(msg: &Message) -> &'static str {
     match &msg.body {
-        MessageBody::Cluster(ClusterMsg::PeerSync(_)) => "peer_sync",
-        MessageBody::Cluster(ClusterMsg::SyncRelay(_)) => "sync_relay",
-        MessageBody::Cluster(ClusterMsg::SyncDigest(_)) => "sync_digest",
-        MessageBody::Cluster(ClusterMsg::Heartbeat(_)) => "heartbeat",
-        MessageBody::Cluster(ClusterMsg::OwnershipTransfer(_)) => "ownership_transfer",
-        MessageBody::Cluster(ClusterMsg::LookupRequest(_)) => "lookup_request",
-        MessageBody::Cluster(ClusterMsg::LookupReply(_)) => "lookup_reply",
+        MessageBody::Cluster(c) => match c {
+            ClusterMsg::PeerSync(_) => "peer_sync",
+            ClusterMsg::SyncRelay(_) => "sync_relay",
+            ClusterMsg::SyncDigest(_) => "sync_digest",
+            ClusterMsg::Heartbeat(_) => "heartbeat",
+            ClusterMsg::OwnershipTransfer(_) => "ownership_transfer",
+            ClusterMsg::LookupRequest(_) => "lookup_request",
+            ClusterMsg::LookupReply(_) => "lookup_reply",
+        },
         MessageBody::Lazy(_) => "lazy",
         MessageBody::Of(_) => "of",
     }

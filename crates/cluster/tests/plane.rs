@@ -161,8 +161,7 @@ fn heartbeat_failover_and_comeback() {
         .any(|t| t.reason == TransferReason::Failover));
 
     // Comeback: fresh heartbeats un-confirm the member.
-    let outs = net.plane.recover(victim);
-    net.dispatch(outs);
+    net.recover(victim);
     net.run_for(4 * SEC);
     assert!(
         net.plane.confirmed_dead().is_empty(),
@@ -204,7 +203,7 @@ fn skewed_load_moves_group_ownership() {
                 }],
                 removed: vec![],
             };
-            net.send_switch(s, &Message::lazy(round as u32, LazyMsg::LfibSync(sync)));
+            net.send_switch(s, &Message::lazy(round as u32, LazyMsg::lfib_sync(sync)));
         }
         net.run_for(SEC / 2);
     }
@@ -258,8 +257,7 @@ fn anti_entropy_catches_up_a_recovered_member() {
         .enqueue_delta(0, vec![], vec![(MacAddr::for_host(500), SwitchId::new(0))]);
     net.run_for(10 * SEC);
 
-    let outs = net.plane.recover(sleeper);
-    net.dispatch(outs);
+    net.recover(sleeper);
     // A few anti-entropy rounds: the sleeper digests rotating peers and
     // gets pushed everything it missed, withdrawals included.
     net.run_for(30 * SEC);
@@ -314,7 +312,7 @@ fn snapshot_fallback_serves_entries_and_withdrawals() {
     let learn = |mac: u64, xid: u32| {
         Message::lazy(
             xid,
-            LazyMsg::LfibSync(LfibSyncMsg {
+            LazyMsg::lfib_sync(LfibSyncMsg {
                 origin: origin_switch,
                 epoch: 0,
                 entries: vec![LfibEntry {
@@ -348,12 +346,11 @@ fn snapshot_fallback_serves_entries_and_withdrawals() {
     };
     net.send_switch(
         origin_switch,
-        &Message::lazy(99, LazyMsg::LfibSync(withdrawal)),
+        &Message::lazy(99, LazyMsg::lfib_sync(withdrawal)),
     );
     net.run_for(10 * SEC);
 
-    let outs = net.plane.recover(sleeper);
-    net.dispatch(outs);
+    net.recover(sleeper);
     net.run_for(30 * SEC);
 
     for tick in 1..6u64 {
@@ -390,8 +387,7 @@ fn recovered_member_first_flush_enters_the_ring() {
     // Recover and immediately learn a host: the first ReplicaFlush fires
     // at the same deadline as the first comeback heartbeat, while the
     // member is still in confirmed_dead.
-    let outs = net.plane.recover(victim);
-    net.dispatch(outs);
+    net.recover(victim);
     net.plane
         .enqueue_delta(victim, vec![entry(4242, 6)], vec![]);
     // A few flush ticks: enough for one ring circulation, nowhere near

@@ -56,8 +56,7 @@ fn run_case(n: u32, strategy: DisseminationStrategy, crashed: Vec<u32>, withdraw
         }
         if tick == 4 {
             for &c in &crashed {
-                let outs = net.plane.recover(c);
-                net.dispatch(outs);
+                net.recover(c);
             }
         }
         for origin in 0..n {

@@ -10,7 +10,8 @@
 
 use lazyctrl_net::{EthernetFrame, MacAddr, PortNo, SwitchId, TenantId};
 use lazyctrl_proto::{
-    Action, FlowMatch, FlowModCommand, FlowModMsg, Message, OfMessage, PacketInMsg, PacketOutMsg,
+    Action, FlowMatch, FlowModCommand, FlowModMsg, Message, OfMessage, OutputSink, PacketInMsg,
+    PacketOutMsg,
 };
 use serde::{Deserialize, Serialize};
 
@@ -54,33 +55,35 @@ impl BaselineController {
         self.xid
     }
 
-    /// Handles a message from a switch on the control link.
+    /// Handles a message from a switch on the control link, pushing the
+    /// effects into the caller's sink.
     pub fn handle_message(
         &mut self,
         now_ns: u64,
         from: SwitchId,
         msg: &Message,
-    ) -> Vec<ControllerOutput> {
+        out: &mut OutputSink<ControllerOutput>,
+    ) {
         self.meter.record(now_ns);
         match &msg.body {
             lazyctrl_proto::MessageBody::Of(OfMessage::PacketIn(pi)) => {
-                self.handle_packet_in(now_ns, from, pi)
+                self.handle_packet_in(now_ns, from, pi, out);
             }
             lazyctrl_proto::MessageBody::Of(OfMessage::Hello) => {
                 let xid = self.next_xid();
-                vec![ControllerOutput::ToSwitch(
+                out.push(ControllerOutput::ToSwitch(
                     from,
                     Message::of(xid, OfMessage::Hello),
-                )]
+                ));
             }
             lazyctrl_proto::MessageBody::Of(OfMessage::EchoRequest(data)) => {
                 let xid = self.next_xid();
-                vec![ControllerOutput::ToSwitch(
+                out.push(ControllerOutput::ToSwitch(
                     from,
                     Message::of(xid, OfMessage::EchoReply(data.clone())),
-                )]
+                ));
             }
-            _ => Vec::new(),
+            _ => {}
         }
     }
 
@@ -89,14 +92,14 @@ impl BaselineController {
         _now_ns: u64,
         from: SwitchId,
         pi: &PacketInMsg,
-    ) -> Vec<ControllerOutput> {
+        out: &mut OutputSink<ControllerOutput>,
+    ) {
         let Ok(frame) = EthernetFrame::decode(&pi.data) else {
-            return Vec::new();
+            return;
         };
         // Learn the source.
         self.hosts.insert(frame.src, (from, pi.in_port));
 
-        let mut out = Vec::new();
         match self.hosts.get(&frame.dst).copied() {
             Some((dst_switch, dst_port)) => {
                 // Known destination: install the forwarding rule on the
@@ -116,7 +119,7 @@ impl BaselineController {
                     from,
                     Message::of(
                         xid,
-                        OfMessage::FlowMod(FlowModMsg {
+                        OfMessage::flow_mod(FlowModMsg {
                             command: FlowModCommand::Add,
                             flow_match: FlowMatch::to_dst(frame.dst),
                             priority: 10,
@@ -165,7 +168,6 @@ impl BaselineController {
                 }
             }
         }
-        out
     }
 }
 
@@ -174,6 +176,17 @@ mod tests {
     use super::*;
     use lazyctrl_net::{EtherType, HostId};
     use lazyctrl_proto::PacketInReason;
+
+    fn handle(
+        c: &mut BaselineController,
+        now_ns: u64,
+        from: SwitchId,
+        msg: &Message,
+    ) -> Vec<ControllerOutput> {
+        let mut sink = OutputSink::new();
+        c.handle_message(now_ns, from, msg, &mut sink);
+        sink.take_buf()
+    }
 
     fn packet_in(src: u32, dst: u32) -> PacketInMsg {
         let frame = EthernetFrame::new(
@@ -198,7 +211,7 @@ mod tests {
     fn unknown_destination_floods_everywhere_else() {
         let mut c = BaselineController::new(switches(4));
         let msg = Message::of(1, OfMessage::PacketIn(packet_in(10, 20)));
-        let out = c.handle_message(0, SwitchId::new(0), &msg);
+        let out = handle(&mut c, 0, SwitchId::new(0), &msg);
         // Flood relayed to the 3 other switches.
         assert_eq!(out.len(), 3);
         for o in &out {
@@ -218,13 +231,15 @@ mod tests {
     fn known_destination_installs_encap_rule() {
         let mut c = BaselineController::new(switches(4));
         // Teach the controller where host 20 lives (its own traffic from S2).
-        let _ = c.handle_message(
+        let _ = handle(
+            &mut c,
             0,
             SwitchId::new(2),
             &Message::of(1, OfMessage::PacketIn(packet_in(20, 10))),
         );
         // Now host 10 on S0 talks to 20.
-        let out = c.handle_message(
+        let out = handle(
+            &mut c,
             1,
             SwitchId::new(0),
             &Message::of(2, OfMessage::PacketIn(packet_in(10, 20))),
@@ -255,12 +270,14 @@ mod tests {
         let mut c = BaselineController::new(switches(2));
         let mut pi = packet_in(20, 10);
         pi.in_port = PortNo::new(7);
-        let _ = c.handle_message(
+        let _ = handle(
+            &mut c,
             0,
             SwitchId::new(0),
             &Message::of(1, OfMessage::PacketIn(pi)),
         );
-        let out = c.handle_message(
+        let out = handle(
+            &mut c,
             1,
             SwitchId::new(0),
             &Message::of(2, OfMessage::PacketIn(packet_in(10, 20))),
@@ -280,7 +297,8 @@ mod tests {
     fn every_message_counts_as_workload() {
         let mut c = BaselineController::new(switches(2));
         for i in 0..5u64 {
-            let _ = c.handle_message(
+            let _ = handle(
+                &mut c,
                 i * 1_000_000,
                 SwitchId::new(0),
                 &Message::of(1, OfMessage::PacketIn(packet_in(10, 20))),
@@ -292,7 +310,8 @@ mod tests {
     #[test]
     fn echo_is_answered() {
         let mut c = BaselineController::new(switches(1));
-        let out = c.handle_message(
+        let out = handle(
+            &mut c,
             0,
             SwitchId::new(0),
             &Message::of(9, OfMessage::EchoRequest(vec![7])),

@@ -12,7 +12,7 @@ use lazyctrl_partition::bargain::{negotiate, BargainConfig, BargainOutcome};
 use lazyctrl_partition::WeightedGraph;
 use lazyctrl_proto::{
     Action, BargainMsg, FlowMatch, FlowModCommand, FlowModMsg, LazyMsg, Message, MessageBody,
-    OfMessage, PacketInMsg, PacketInReason, PacketOutMsg,
+    OfMessage, OutputSink, PacketInMsg, PacketInReason, PacketOutMsg,
 };
 use serde::{Deserialize, Serialize};
 
@@ -172,14 +172,19 @@ impl LazyController {
     /// `IniGroup` + setup phase: computes the initial grouping from a
     /// bootstrap intensity graph (the paper uses the first hour of
     /// traffic), pushes `GroupAssign` to every switch, and arms timers.
-    pub fn bootstrap(&mut self, now_ns: u64, graph: WeightedGraph) -> Vec<ControllerOutput> {
+    pub fn bootstrap(
+        &mut self,
+        now_ns: u64,
+        graph: WeightedGraph,
+        out: &mut OutputSink<ControllerOutput>,
+    ) {
         let assignments = self.grouping.bootstrap(
             now_ns,
             graph,
             self.cfg.sync_interval_ms,
             self.cfg.keepalive_interval_ms,
         );
-        self.emit_bootstrap(assignments)
+        self.emit_bootstrap(assignments, out);
     }
 
     /// Like [`bootstrap`], but adopts a peer's shared immutable grouping
@@ -195,14 +200,15 @@ impl LazyController {
         &mut self,
         now_ns: u64,
         snapshot: std::sync::Arc<FrozenGrouping>,
-    ) -> Vec<ControllerOutput> {
+        out: &mut OutputSink<ControllerOutput>,
+    ) {
         let assignments = self.grouping.adopt_shared(
             now_ns,
             snapshot,
             self.cfg.sync_interval_ms,
             self.cfg.keepalive_interval_ms,
         );
-        self.emit_bootstrap(assignments)
+        self.emit_bootstrap(assignments, out);
     }
 
     /// Freezes this controller's grouping into a shared immutable
@@ -216,14 +222,15 @@ impl LazyController {
     fn emit_bootstrap(
         &mut self,
         assignments: Vec<(SwitchId, lazyctrl_proto::GroupAssignMsg)>,
-    ) -> Vec<ControllerOutput> {
-        let mut out: Vec<ControllerOutput> = assignments
-            .into_iter()
-            .map(|(s, ga)| {
-                let xid = self.next_xid();
-                ControllerOutput::ToSwitch(s, Message::lazy(xid, LazyMsg::GroupAssign(ga)))
-            })
-            .collect();
+        out: &mut OutputSink<ControllerOutput>,
+    ) {
+        for (s, ga) in assignments {
+            let xid = self.next_xid();
+            out.push(ControllerOutput::ToSwitch(
+                s,
+                Message::lazy(xid, LazyMsg::group_assign(ga)),
+            ));
+        }
         for (timer, delay_ms) in [
             (ControllerTimer::KeepAlive, self.cfg.keepalive_interval_ms),
             (ControllerTimer::RegroupCheck, 10_000),
@@ -235,26 +242,26 @@ impl LazyController {
                 ));
             }
         }
-        out
     }
 
-    /// Handles a message arriving on a control or state link.
+    /// Handles a message arriving on a control or state link, pushing the
+    /// effects into the caller's sink (no per-message allocation).
     pub fn handle_message(
         &mut self,
         now_ns: u64,
         from: SwitchId,
         msg: &Message,
-    ) -> Vec<ControllerOutput> {
+        out: &mut OutputSink<ControllerOutput>,
+    ) {
         self.meter.record(now_ns);
         // Any sign of life from a switch we believed dead means it rebooted:
         // trigger the §III-E.3 comeback resync.
-        let mut out = Vec::new();
         if self.failover.mark_recovered(from) {
-            out.extend(self.resync_group_of(from));
+            self.resync_group_of(from, out);
         }
         match &msg.body {
             MessageBody::Of(OfMessage::PacketIn(pi)) => {
-                out.extend(self.handle_packet_in(now_ns, from, pi));
+                self.handle_packet_in(now_ns, from, pi, out);
             }
             MessageBody::Of(OfMessage::Hello) => {
                 let xid = self.next_xid();
@@ -270,30 +277,36 @@ impl LazyController {
                     Message::of(xid, OfMessage::EchoReply(data.clone())),
                 ));
             }
-            MessageBody::Lazy(LazyMsg::LfibSync(sync)) => {
-                self.clib.apply_sync(sync);
-            }
-            MessageBody::Lazy(LazyMsg::StateReport(report)) => {
-                self.grouping.absorb_report(report);
-            }
-            MessageBody::Lazy(LazyMsg::WheelReport(report)) => {
-                if let Some(kind) = self.failover.observe(now_ns, report) {
-                    out.extend(self.apply_recovery(kind));
+            MessageBody::Lazy(lazy) => match lazy {
+                LazyMsg::LfibSync(sync) => {
+                    self.clib.apply_sync(sync);
                 }
-            }
-            MessageBody::Lazy(LazyMsg::Bargain(offer)) => {
-                out.extend(self.handle_bargain(from, offer));
-            }
+                LazyMsg::StateReport(report) => {
+                    self.grouping.absorb_report(report);
+                }
+                LazyMsg::WheelReport(report) => {
+                    if let Some(kind) = self.failover.observe(now_ns, report) {
+                        self.apply_recovery(kind, out);
+                    }
+                }
+                LazyMsg::Bargain(offer) => {
+                    self.handle_bargain(from, offer, out);
+                }
+                _ => {}
+            },
             _ => {}
         }
-        out
     }
 
     /// Handles a controller timer.
-    pub fn on_timer(&mut self, now_ns: u64, timer: ControllerTimer) -> Vec<ControllerOutput> {
+    pub fn on_timer(
+        &mut self,
+        now_ns: u64,
+        timer: ControllerTimer,
+        out: &mut OutputSink<ControllerOutput>,
+    ) {
         match timer {
             ControllerTimer::KeepAlive => {
-                let mut out: Vec<ControllerOutput> = Vec::with_capacity(self.switches.len() + 1);
                 for i in 0..self.switches.len() {
                     let s = self.switches[i];
                     let xid = self.next_xid();
@@ -312,10 +325,8 @@ impl LazyController {
                     ControllerTimer::KeepAlive,
                     self.cfg.keepalive_interval_ms as u64 * 1_000_000,
                 ));
-                out
             }
             ControllerTimer::RegroupCheck => {
-                let mut out = Vec::new();
                 if self.cfg.dynamic_updates {
                     let rate = self.meter.rate_rps(now_ns);
                     let decision = self.grouping.check(now_ns, rate);
@@ -331,34 +342,32 @@ impl LazyController {
                             let xid = self.next_xid();
                             out.push(ControllerOutput::ToSwitch(
                                 s,
-                                Message::lazy(xid, LazyMsg::GroupAssign(ga)),
+                                Message::lazy(xid, LazyMsg::group_assign(ga)),
                             ));
                         }
                         if self.cfg.enable_preload {
-                            out.extend(self.preload_for_moves());
+                            self.preload_for_moves(out);
                         }
-                        out.extend(self.refresh_arp_blocking());
+                        self.refresh_arp_blocking(out);
                     }
                 }
                 out.push(ControllerOutput::SetTimer(
                     ControllerTimer::RegroupCheck,
                     10_000_000_000,
                 ));
-                out
             }
         }
     }
 
     /// Re-evaluates tenant confinement and pushes `BlockArp` deltas
     /// (§III-D.3).
-    pub fn refresh_arp_blocking(&mut self) -> Vec<ControllerOutput> {
+    pub fn refresh_arp_blocking(&mut self, out: &mut OutputSink<ControllerOutput>) {
         if !self.cfg.enable_arp_blocking {
-            return Vec::new();
+            return;
         }
         let grouping = &self.grouping;
         self.tenants.rebuild(&self.clib, |s| grouping.group_of(s));
         let (to_block, to_unblock) = self.tenants.block_delta();
-        let mut out = Vec::new();
         for (tenant, block) in to_block
             .into_iter()
             .map(|t| (t, true))
@@ -375,7 +384,6 @@ impl LazyController {
                 }
             }
         }
-        out
     }
 
     fn handle_packet_in(
@@ -383,14 +391,15 @@ impl LazyController {
         _now_ns: u64,
         from: SwitchId,
         pi: &PacketInMsg,
-    ) -> Vec<ControllerOutput> {
+        out: &mut OutputSink<ControllerOutput>,
+    ) {
         // A false-positive report carries a full encapsulated packet; the
         // corrective rule goes on the *sender* switch (Fig. 5 line 28+).
         if pi.reason == PacketInReason::FalsePositive {
-            return self.handle_false_positive(pi);
+            return self.handle_false_positive(pi, out);
         }
         let Ok(frame) = EthernetFrame::decode(&pi.data) else {
-            return Vec::new();
+            return;
         };
         let tenant = frame.vlan.map(|t| t.vid()).unwrap_or(TenantId::NONE);
         // Learn the source into the C-LIB (PacketIns carry fresh truth).
@@ -406,20 +415,20 @@ impl LazyController {
         if frame.is_flood() {
             // An escalated ARP request: relay to the designated switches of
             // all *other* groups hosting this tenant (§III-D.3 level iii).
-            return self.relay_arp(from, tenant, &pi.data);
+            return self.relay_arp(from, tenant, &pi.data, out);
         }
 
         match self.clib.locate(frame.dst) {
             Some(loc) if loc.switch != from => {
                 // Inter-group flow setup: Encap rule + packet release.
                 self.grouping.note_punt(from, loc.switch);
-                self.install_intergroup_rule(from, frame.dst, loc, pi)
+                self.install_intergroup_rule(from, frame.dst, loc, pi, out);
             }
             Some(loc) => {
                 // Same-switch destination the switch failed to resolve
                 // (e.g. right after migration): point it back locally.
                 let xid = self.next_xid();
-                vec![ControllerOutput::ToSwitch(
+                out.push(ControllerOutput::ToSwitch(
                     from,
                     Message::of(
                         xid,
@@ -430,11 +439,11 @@ impl LazyController {
                             data: pi.data.clone(),
                         }),
                     ),
-                )]
+                ));
             }
             None => {
                 // Unknown destination: scoped relay, like the ARP path.
-                self.relay_arp(from, tenant, &pi.data)
+                self.relay_arp(from, tenant, &pi.data, out);
             }
         }
     }
@@ -445,7 +454,8 @@ impl LazyController {
         dst: lazyctrl_net::MacAddr,
         loc: HostLocation,
         pi: &PacketInMsg,
-    ) -> Vec<ControllerOutput> {
+        out: &mut OutputSink<ControllerOutput>,
+    ) {
         // Tunnel keys carry the *receiver's* group epoch so untouched
         // groups keep accepting the traffic across global regroupings.
         let epoch = self.grouping.epoch_of_switch(loc.switch);
@@ -453,13 +463,12 @@ impl LazyController {
             remote: loc.switch.underlay_ip(),
             key: epoch,
         }];
-        let mut out = Vec::new();
         let xid = self.next_xid();
         out.push(ControllerOutput::ToSwitch(
             from,
             Message::of(
                 xid,
-                OfMessage::FlowMod(FlowModMsg {
+                OfMessage::flow_mod(FlowModMsg {
                     command: FlowModCommand::Add,
                     flow_match: FlowMatch::to_dst(dst),
                     priority: 10,
@@ -483,26 +492,25 @@ impl LazyController {
                 }),
             ),
         ));
-        out
     }
 
-    fn handle_false_positive(&mut self, pi: &PacketInMsg) -> Vec<ControllerOutput> {
+    fn handle_false_positive(&mut self, pi: &PacketInMsg, out: &mut OutputSink<ControllerOutput>) {
         let Ok(Packet::Encapsulated(encap)) = Packet::decode(&pi.data) else {
-            return Vec::new();
+            return;
         };
         let Some(sender) = SwitchId::from_underlay_ip(encap.header.src) else {
-            return Vec::new();
+            return;
         };
         let Some(loc) = self.clib.locate(encap.inner.dst) else {
-            return Vec::new();
+            return;
         };
         let epoch = self.grouping.epoch_of_switch(loc.switch);
         let xid = self.next_xid();
-        vec![ControllerOutput::ToSwitch(
+        out.push(ControllerOutput::ToSwitch(
             sender,
             Message::of(
                 xid,
-                OfMessage::FlowMod(FlowModMsg {
+                OfMessage::flow_mod(FlowModMsg {
                     command: FlowModCommand::Add,
                     flow_match: FlowMatch::to_dst(encap.inner.dst),
                     priority: 20, // outranks the G-FIB path
@@ -515,7 +523,7 @@ impl LazyController {
                     }],
                 }),
             ),
-        )]
+        ));
     }
 
     /// Relays an unresolved (typically ARP) frame to the designated
@@ -525,7 +533,8 @@ impl LazyController {
         from: SwitchId,
         tenant: TenantId,
         data: &bytes::Bytes,
-    ) -> Vec<ControllerOutput> {
+        out: &mut OutputSink<ControllerOutput>,
+    ) {
         let from_group = self.grouping.group_of(from);
         let mut targets: Vec<SwitchId> = Vec::new();
         if tenant.is_none() {
@@ -552,30 +561,27 @@ impl LazyController {
                 }
             }
         }
-        targets
-            .into_iter()
-            .map(|s| {
-                let xid = self.next_xid();
-                ControllerOutput::ToSwitch(
-                    s,
-                    Message::of(
-                        xid,
-                        OfMessage::PacketOut(PacketOutMsg {
-                            buffer_id: u32::MAX,
-                            in_port: PortNo::NONE,
-                            actions: vec![Action::Output(PortNo::FLOOD)],
-                            // Shared handle: one relayed ARP broadcast to
-                            // n designated switches is n refcount bumps,
-                            // not n payload copies.
-                            data: data.clone(),
-                        }),
-                    ),
-                )
-            })
-            .collect()
+        for s in targets {
+            let xid = self.next_xid();
+            out.push(ControllerOutput::ToSwitch(
+                s,
+                Message::of(
+                    xid,
+                    OfMessage::PacketOut(PacketOutMsg {
+                        buffer_id: u32::MAX,
+                        in_port: PortNo::NONE,
+                        actions: vec![Action::Output(PortNo::FLOOD)],
+                        // Shared handle: one relayed ARP broadcast to
+                        // n designated switches is n refcount bumps,
+                        // not n payload copies.
+                        data: data.clone(),
+                    }),
+                ),
+            ));
+        }
     }
 
-    fn apply_recovery(&mut self, kind: FailureKind) -> Vec<ControllerOutput> {
+    fn apply_recovery(&mut self, kind: FailureKind, out: &mut OutputSink<ControllerOutput>) {
         let failed = match kind {
             FailureKind::ControlLink(s)
             | FailureKind::PeerLinkUp(s)
@@ -597,7 +603,6 @@ impl LazyController {
             .unwrap_or(failed);
         let plan =
             FailureDetector::plan_recovery(kind, ring_prev, is_designated, group.unwrap_or(0));
-        let mut out = Vec::new();
         for action in plan {
             if let RecoveryAction::ReselectDesignated { group, old } = action {
                 // Push fresh assignments with the next-lowest member as
@@ -617,7 +622,7 @@ impl LazyController {
                         me,
                         Message::lazy(
                             xid,
-                            LazyMsg::GroupAssign(lazyctrl_proto::GroupAssignMsg {
+                            LazyMsg::group_assign(lazyctrl_proto::GroupAssignMsg {
                                 group: lazyctrl_net::GroupId::new(group as u32),
                                 epoch,
                                 members: members.clone(),
@@ -634,56 +639,50 @@ impl LazyController {
                 }
             }
         }
-        out
     }
 
     /// §III-E.3 comeback: when a rebooted switch returns, re-push its
     /// group's assignment to force a state resync.
-    fn resync_group_of(&mut self, switch: SwitchId) -> Vec<ControllerOutput> {
+    fn resync_group_of(&mut self, switch: SwitchId, out: &mut OutputSink<ControllerOutput>) {
         let Some(group) = self.grouping.group_of(switch) else {
-            return Vec::new();
+            return;
         };
         let mut members = self.grouping.members(group);
         members.sort_unstable();
         let Some(designated) = members.first().copied() else {
-            return Vec::new();
+            return;
         };
         let epoch = self.grouping.epoch_of_group(group);
         let n = members.len();
-        members
-            .iter()
-            .enumerate()
-            .map(|(i, &me)| {
-                let xid = self.next_xid();
-                ControllerOutput::ToSwitch(
-                    me,
-                    Message::lazy(
-                        xid,
-                        LazyMsg::GroupAssign(lazyctrl_proto::GroupAssignMsg {
-                            group: lazyctrl_net::GroupId::new(group as u32),
-                            epoch,
-                            members: members.clone(),
-                            designated,
-                            backups: members.iter().copied().skip(1).take(1).collect(),
-                            ring_prev: members[(i + n - 1) % n],
-                            ring_next: members[(i + 1) % n],
-                            sync_interval_ms: self.cfg.sync_interval_ms,
-                            keepalive_interval_ms: self.cfg.keepalive_interval_ms,
-                            group_size_limit: self.cfg.group_size_limit as u32,
-                        }),
-                    ),
-                )
-            })
-            .collect()
+        for (i, &me) in members.iter().enumerate() {
+            let xid = self.next_xid();
+            out.push(ControllerOutput::ToSwitch(
+                me,
+                Message::lazy(
+                    xid,
+                    LazyMsg::group_assign(lazyctrl_proto::GroupAssignMsg {
+                        group: lazyctrl_net::GroupId::new(group as u32),
+                        epoch,
+                        members: members.clone(),
+                        designated,
+                        backups: members.iter().copied().skip(1).take(1).collect(),
+                        ring_prev: members[(i + n - 1) % n],
+                        ring_next: members[(i + 1) % n],
+                        sync_interval_ms: self.cfg.sync_interval_ms,
+                        keepalive_interval_ms: self.cfg.keepalive_interval_ms,
+                        group_size_limit: self.cfg.group_size_limit as u32,
+                    }),
+                ),
+            ));
+        }
     }
 
     /// Appendix B preload: for every switch moved between groups, install
     /// temporary tunnel rules (normal idle timeout) so traffic between the
     /// moved switch and its former peers keeps flowing from the flow table
     /// instead of punting while G-FIBs converge.
-    fn preload_for_moves(&mut self) -> Vec<ControllerOutput> {
+    fn preload_for_moves(&mut self, out: &mut OutputSink<ControllerOutput>) {
         let moves = self.grouping.take_last_moves();
-        let mut out = Vec::new();
         for (moved, old_group, _new_group) in moves {
             // Former peers = current members of the old group.
             let former_peers = self.grouping.members(old_group);
@@ -701,7 +700,7 @@ impl LazyController {
                         peer,
                         Message::of(
                             xid,
-                            OfMessage::FlowMod(FlowModMsg {
+                            OfMessage::flow_mod(FlowModMsg {
                                 command: FlowModCommand::Add,
                                 flow_match: FlowMatch::to_dst(*mac),
                                 priority: 10,
@@ -723,7 +722,7 @@ impl LazyController {
                         moved,
                         Message::of(
                             xid,
-                            OfMessage::FlowMod(FlowModMsg {
+                            OfMessage::flow_mod(FlowModMsg {
                                 command: FlowModCommand::Add,
                                 flow_match: FlowMatch::to_dst(mac),
                                 priority: 10,
@@ -740,10 +739,14 @@ impl LazyController {
                 }
             }
         }
-        out
     }
 
-    fn handle_bargain(&mut self, from: SwitchId, offer: &BargainMsg) -> Vec<ControllerOutput> {
+    fn handle_bargain(
+        &mut self,
+        from: SwitchId,
+        offer: &BargainMsg,
+        out: &mut OutputSink<ControllerOutput>,
+    ) {
         // The controller accepts offers at or above its planning floor and
         // counters below it (the full alternating-offers game runs in
         // `negotiate_group_size`; this is the online responder).
@@ -764,9 +767,9 @@ impl LazyController {
                 accept: false,
             }
         };
-        vec![ControllerOutput::ToSwitch(
+        out.push(ControllerOutput::ToSwitch(
             from,
             Message::lazy(xid, LazyMsg::Bargain(reply)),
-        )]
+        ));
     }
 }

@@ -6,9 +6,31 @@ use lazyctrl_controller::{ControllerOutput, ControllerTimer, LazyConfig, LazyCon
 use lazyctrl_net::{EtherType, EthernetFrame, HostId, PortNo, SwitchId, TenantId, VlanTag};
 use lazyctrl_partition::WeightedGraph;
 use lazyctrl_proto::{
-    Action, LazyMsg, LfibEntry, LfibSyncMsg, Message, MessageBody, OfMessage, PacketInMsg,
-    PacketInReason, WheelLoss, WheelReportMsg,
+    Action, LazyMsg, LfibEntry, LfibSyncMsg, Message, MessageBody, OfMessage, OutputSink,
+    PacketInMsg, PacketInReason, WheelLoss, WheelReportMsg,
 };
+
+/// Sink-collecting wrappers mirroring the pre-sink `Vec` API.
+fn handle(
+    c: &mut LazyController,
+    now_ns: u64,
+    from: SwitchId,
+    msg: &Message,
+) -> Vec<ControllerOutput> {
+    let mut sink = OutputSink::new();
+    c.handle_message(now_ns, from, msg, &mut sink);
+    sink.take_buf()
+}
+
+fn fire_timer(
+    c: &mut LazyController,
+    now_ns: u64,
+    timer: ControllerTimer,
+) -> Vec<ControllerOutput> {
+    let mut sink = OutputSink::new();
+    c.on_timer(now_ns, timer, &mut sink);
+    sink.take_buf()
+}
 
 /// Two natural 4-switch clusters.
 fn bootstrap_graph() -> WeightedGraph {
@@ -32,7 +54,9 @@ fn controller() -> (LazyController, Vec<ControllerOutput>) {
         ..LazyConfig::default()
     };
     let mut c = LazyController::new(switches, cfg);
-    let out = c.bootstrap(0, bootstrap_graph());
+    let mut sink = OutputSink::new();
+    c.bootstrap(0, bootstrap_graph(), &mut sink);
+    let out = sink.take_buf();
     (c, out)
 }
 
@@ -58,7 +82,7 @@ fn packet_in(src: u32, dst: u32, tenant: u16) -> PacketInMsg {
 fn lfib_sync(origin: u32, hosts: &[(u32, u16)]) -> Message {
     Message::lazy(
         1,
-        LazyMsg::LfibSync(LfibSyncMsg {
+        LazyMsg::lfib_sync(LfibSyncMsg {
             origin: SwitchId::new(origin),
             epoch: 1,
             entries: hosts
@@ -82,7 +106,7 @@ fn bootstrap_groups_the_clusters_and_arms_timers() {
         .iter()
         .filter(|o| {
             matches!(o, ControllerOutput::ToSwitch(_, m)
-                if matches!(m.body, MessageBody::Lazy(LazyMsg::GroupAssign(_))))
+                if matches!(m.as_lazy(), Some(LazyMsg::GroupAssign(_))))
         })
         .count();
     assert_eq!(assigns, 8);
@@ -108,10 +132,10 @@ fn bootstrap_groups_the_clusters_and_arms_timers() {
 fn intergroup_packet_in_installs_encap_rule() {
     let (mut c, _) = controller();
     // C-LIB learns host 20 on switch 5 (group 1) via a state-link sync.
-    let _ = c.handle_message(0, SwitchId::new(5), &lfib_sync(5, &[(20, 7)]));
+    let _ = handle(&mut c, 0, SwitchId::new(5), &lfib_sync(5, &[(20, 7)]));
     // Switch 0 (group 0) punts a flow towards host 20.
     let msg = Message::of(1, OfMessage::PacketIn(packet_in(10, 20, 7)));
-    let out = c.handle_message(1, SwitchId::new(0), &msg);
+    let out = handle(&mut c, 1, SwitchId::new(0), &msg);
     assert_eq!(out.len(), 2, "FlowMod + PacketOut: {out:?}");
     let ControllerOutput::ToSwitch(s, m) = &out[0] else {
         panic!()
@@ -138,9 +162,9 @@ fn arp_relay_is_scoped_to_tenant_groups() {
     let (mut c, _) = controller();
     // Tenant 7 has hosts behind switches 1 (group 0) and 5 (group 1);
     // tenant 8 only behind switch 2 (group 0).
-    let _ = c.handle_message(0, SwitchId::new(1), &lfib_sync(1, &[(11, 7)]));
-    let _ = c.handle_message(0, SwitchId::new(5), &lfib_sync(5, &[(20, 7)]));
-    let _ = c.handle_message(0, SwitchId::new(2), &lfib_sync(2, &[(30, 8)]));
+    let _ = handle(&mut c, 0, SwitchId::new(1), &lfib_sync(1, &[(11, 7)]));
+    let _ = handle(&mut c, 0, SwitchId::new(5), &lfib_sync(5, &[(20, 7)]));
+    let _ = handle(&mut c, 0, SwitchId::new(2), &lfib_sync(2, &[(30, 8)]));
 
     // An escalated ARP broadcast from group 0 for tenant 7: relayed to the
     // designated switch of group 1 only.
@@ -148,7 +172,8 @@ fn arp_relay_is_scoped_to_tenant_groups() {
     let mut f = frame(11, 0, 7);
     f.dst = lazyctrl_net::MacAddr::BROADCAST;
     arp.data = f.encode().into();
-    let out = c.handle_message(
+    let out = handle(
+        &mut c,
         1,
         SwitchId::new(0),
         &Message::of(2, OfMessage::PacketIn(arp)),
@@ -168,7 +193,8 @@ fn arp_relay_is_scoped_to_tenant_groups() {
     let mut f = frame(30, 0, 8);
     f.dst = lazyctrl_net::MacAddr::BROADCAST;
     arp.data = f.encode().into();
-    let out = c.handle_message(
+    let out = handle(
+        &mut c,
         2,
         SwitchId::new(0),
         &Message::of(3, OfMessage::PacketIn(arp)),
@@ -182,7 +208,7 @@ fn arp_relay_is_scoped_to_tenant_groups() {
 #[test]
 fn false_positive_report_corrects_the_sender() {
     let (mut c, _) = controller();
-    let _ = c.handle_message(0, SwitchId::new(5), &lfib_sync(5, &[(20, 7)]));
+    let _ = handle(&mut c, 0, SwitchId::new(5), &lfib_sync(5, &[(20, 7)]));
     // Switch 6 received a mis-forwarded tunnel packet from switch 0.
     let encap = lazyctrl_net::EncapsulatedFrame::new(
         lazyctrl_net::EncapHeader::new(
@@ -199,7 +225,8 @@ fn false_positive_report_corrects_the_sender() {
         reason: PacketInReason::FalsePositive,
         data: encap.encode().into(),
     };
-    let out = c.handle_message(
+    let out = handle(
+        &mut c,
         1,
         SwitchId::new(6),
         &Message::of(4, OfMessage::PacketIn(pi)),
@@ -222,12 +249,12 @@ fn false_positive_report_corrects_the_sender() {
 #[test]
 fn keepalive_timer_probes_every_switch() {
     let (mut c, _) = controller();
-    let out = c.on_timer(1_000_000_000, ControllerTimer::KeepAlive);
+    let out = fire_timer(&mut c, 1_000_000_000, ControllerTimer::KeepAlive);
     let probes = out
         .iter()
         .filter(|o| {
             matches!(o, ControllerOutput::ToSwitch(_, m)
-                if matches!(m.body, MessageBody::Lazy(LazyMsg::KeepAlive(_))))
+                if matches!(m.as_lazy(), Some(LazyMsg::KeepAlive(_))))
         })
         .count();
     assert_eq!(probes, 8);
@@ -251,12 +278,14 @@ fn dead_switch_triggers_designated_reselection() {
         missing: victim,
         loss: WheelLoss::Downstream,
     };
-    let _ = c.handle_message(
+    let _ = handle(
+        &mut c,
         0,
         SwitchId::new(99),
         &Message::lazy(1, LazyMsg::WheelReport(up)),
     );
-    let out = c.handle_message(
+    let out = handle(
+        &mut c,
         1,
         SwitchId::new(98),
         &Message::lazy(2, LazyMsg::WheelReport(down)),
@@ -265,8 +294,8 @@ fn dead_switch_triggers_designated_reselection() {
     let assigns: Vec<_> = out
         .iter()
         .filter_map(|o| match o {
-            ControllerOutput::ToSwitch(s, m) => match &m.body {
-                MessageBody::Lazy(LazyMsg::GroupAssign(ga)) => Some((s, ga)),
+            ControllerOutput::ToSwitch(s, m) => match m.as_lazy() {
+                Some(LazyMsg::GroupAssign(ga)) => Some((s, ga)),
                 _ => None,
             },
             _ => None,
@@ -280,11 +309,11 @@ fn dead_switch_triggers_designated_reselection() {
     assert_eq!(c.failover().down_switches(), vec![victim]);
     // The victim comes back: any message from it triggers a resync.
     let hello = Message::of(9, OfMessage::Hello);
-    let out = c.handle_message(10, victim, &hello);
+    let out = handle(&mut c, 10, victim, &hello);
     assert!(
         out.iter()
             .any(|o| matches!(o, ControllerOutput::ToSwitch(_, m)
-            if matches!(m.body, MessageBody::Lazy(LazyMsg::GroupAssign(_))))),
+            if matches!(m.as_lazy(), Some(LazyMsg::GroupAssign(_))))),
         "comeback must resync the group: {out:?}"
     );
     assert!(c.failover().down_switches().is_empty());
@@ -294,7 +323,8 @@ fn dead_switch_triggers_designated_reselection() {
 fn workload_counts_every_message() {
     let (mut c, _) = controller();
     for i in 0..10u64 {
-        let _ = c.handle_message(
+        let _ = handle(
+            &mut c,
             i,
             SwitchId::new(0),
             &Message::of(1, OfMessage::PacketIn(packet_in(10, 20, 7))),
@@ -321,16 +351,19 @@ fn static_mode_never_regroups() {
         ..LazyConfig::default()
     };
     let mut c = LazyController::new(switches, cfg);
-    let _ = c.bootstrap(0, bootstrap_graph());
+    {
+        let mut sink = OutputSink::new();
+        c.bootstrap(0, bootstrap_graph(), &mut sink);
+    }
     let updates_before = c.grouping().updates_applied();
     // Hammer the regroup timer far past every trigger.
     for i in 1..10u64 {
-        let out = c.on_timer(i * 600_000_000_000, ControllerTimer::RegroupCheck);
+        let out = fire_timer(&mut c, i * 600_000_000_000, ControllerTimer::RegroupCheck);
         let assigns = out
             .iter()
             .filter(|o| {
                 matches!(o, ControllerOutput::ToSwitch(_, m)
-                    if matches!(m.body, MessageBody::Lazy(LazyMsg::GroupAssign(_))))
+                    if matches!(m.as_lazy(), Some(LazyMsg::GroupAssign(_))))
             })
             .count();
         assert_eq!(assigns, 0, "static mode must not reassign");

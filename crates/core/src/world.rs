@@ -13,7 +13,7 @@ use lazyctrl_net::{
     EncapsulatedFrame, EtherType, EthernetFrame, HostId, MacAddr, PortNo, SwitchId, TenantId,
     VlanTag,
 };
-use lazyctrl_proto::{InjectedEvent, LazyMsg, Message, MessageBody};
+use lazyctrl_proto::{InjectedEvent, LazyMsg, Message, OutputSink};
 use lazyctrl_sim::{
     ChannelClass, LatencyModel, LinkId, LinkState, MetricsSink, Scheduler, SimDuration, SimTime,
     World,
@@ -110,10 +110,15 @@ pub(crate) enum AnyController {
 }
 
 impl AnyController {
-    fn on_timer(&mut self, now_ns: u64, timer: ControllerTimer) -> Vec<ControllerOutput> {
+    fn on_timer(
+        &mut self,
+        now_ns: u64,
+        timer: ControllerTimer,
+        out: &mut OutputSink<ControllerOutput>,
+    ) {
         match self {
-            AnyController::Baseline(_) | AnyController::Cluster(_) => Vec::new(),
-            AnyController::Lazy(c) => c.on_timer(now_ns, timer),
+            AnyController::Baseline(_) | AnyController::Cluster(_) => {}
+            AnyController::Lazy(c) => c.on_timer(now_ns, timer, out),
         }
     }
 
@@ -168,6 +173,13 @@ pub(crate) struct DataCenterWorld {
     last_updates_applied: u64,
     /// Per-flow latency log: ((src host, dst host, emit ns), latency ms).
     pub(crate) flow_latencies: Vec<((u32, u32, u64), f64)>,
+    /// Reusable output scratch buffers, one per handler family: every
+    /// event's outputs are pushed here by the state machines and drained
+    /// in place by the dispatcher — zero steady-state allocation on the
+    /// per-event path (see `DESIGN.md` §7).
+    switch_sink: OutputSink<SwitchOutput>,
+    ctrl_sink: OutputSink<ControllerOutput>,
+    cluster_sink: OutputSink<ClusterOutput>,
 }
 
 impl DataCenterWorld {
@@ -191,6 +203,7 @@ impl DataCenterWorld {
         // via ARP broadcast at bootstrap (§III-D.3 live dissemination).
         let mut next_port = vec![1u16; n];
         let mut host_port = Vec::with_capacity(trace.topology.num_hosts());
+        let mut boot_sink = OutputSink::new();
         for h in 0..trace.topology.num_hosts() {
             let host = HostId::new(h as u32);
             let s = trace.topology.switch_of(host);
@@ -201,7 +214,8 @@ impl DataCenterWorld {
                 let frame = gratuitous_announcement(host, trace.topology.tenant_of(host));
                 // Learning only; the announcement itself produces no output
                 // before group assignment.
-                let _ = switches[s.index()].handle_local_frame(0, port, frame);
+                switches[s.index()].handle_local_frame(0, port, frame, &mut boot_sink);
+                boot_sink.clear();
             }
         }
 
@@ -265,6 +279,9 @@ impl DataCenterWorld {
             severed_timers: std::collections::BTreeSet::new(),
             last_updates_applied: 0,
             flow_latencies: Vec::new(),
+            switch_sink: boot_sink,
+            ctrl_sink: OutputSink::new(),
+            cluster_sink: OutputSink::new(),
         }
     }
 
@@ -283,12 +300,12 @@ impl DataCenterWorld {
         };
         match &mut self.controller {
             AnyController::Lazy(controller) => {
-                let outputs = controller.bootstrap(0, graph);
-                self.dispatch_controller_outputs(SimTime::ZERO, outputs, sched);
+                controller.bootstrap(0, graph, &mut self.ctrl_sink);
+                self.dispatch_controller_outputs(SimTime::ZERO, sched);
             }
             AnyController::Cluster(plane) => {
-                let outputs = plane.bootstrap(0, graph);
-                self.dispatch_cluster_outputs(SimTime::ZERO, outputs, sched);
+                plane.bootstrap(0, graph, &mut self.cluster_sink);
+                self.dispatch_cluster_outputs(SimTime::ZERO, sched);
             }
             AnyController::Baseline(_) => unreachable!("filtered above"),
         }
@@ -341,16 +358,18 @@ impl DataCenterWorld {
         }
     }
 
-    /// Applies per-switch outputs: schedule deliveries with channel
-    /// latencies, record local deliveries, arm timers.
+    /// Drains the switch scratch sink: schedule deliveries with channel
+    /// latencies, record local deliveries, arm timers. The buffer's
+    /// allocation returns to the sink afterwards, so steady-state dispatch
+    /// never touches the heap.
     fn dispatch_switch_outputs(
         &mut self,
         now: SimTime,
         from: SwitchId,
-        outputs: Vec<SwitchOutput>,
         sched: &mut Scheduler<'_, Ev>,
     ) {
-        for out in outputs {
+        let mut buf = self.switch_sink.take_buf();
+        for out in buf.drain(..) {
             match out {
                 SwitchOutput::ToController(msg) => {
                     let link = LinkId::new(from.0, SwitchId::CONTROLLER.0, ChannelClass::Control);
@@ -399,6 +418,7 @@ impl DataCenterWorld {
                 }
             }
         }
+        self.switch_sink.put_back(buf);
     }
 
     /// A local flood: unicast frames reach their host if it lives here;
@@ -499,16 +519,12 @@ impl DataCenterWorld {
         );
     }
 
-    fn dispatch_controller_outputs(
-        &mut self,
-        now: SimTime,
-        outputs: Vec<ControllerOutput>,
-        sched: &mut Scheduler<'_, Ev>,
-    ) {
+    fn dispatch_controller_outputs(&mut self, now: SimTime, sched: &mut Scheduler<'_, Ev>) {
         // Model controller processing: outputs leave after the current
         // service time (M/M/1-style, load dependent).
         let service = SimDuration::from_nanos(self.controller.service_time_ns(now.as_nanos()));
-        for out in outputs {
+        let mut buf = self.ctrl_sink.take_buf();
+        for out in buf.drain(..) {
             match out {
                 ControllerOutput::ToSwitch(to, msg) => {
                     let link = LinkId::new(SwitchId::CONTROLLER.0, to.0, ChannelClass::Control);
@@ -535,17 +551,14 @@ impl DataCenterWorld {
                 }
             }
         }
+        self.ctrl_sink.put_back(buf);
     }
 
     /// Applies cluster-plane outputs: per-member service times, control
     /// links towards switches, ctrl-peer links between members.
-    fn dispatch_cluster_outputs(
-        &mut self,
-        now: SimTime,
-        outputs: Vec<ClusterOutput>,
-        sched: &mut Scheduler<'_, Ev>,
-    ) {
-        for out in outputs {
+    fn dispatch_cluster_outputs(&mut self, now: SimTime, sched: &mut Scheduler<'_, Ev>) {
+        let mut buf = self.cluster_sink.take_buf();
+        for out in buf.drain(..) {
             match out {
                 ClusterOutput::ToSwitch { from, to, msg } => {
                     let AnyController::Cluster(plane) = &self.controller else {
@@ -594,6 +607,7 @@ impl DataCenterWorld {
                 }
             }
         }
+        self.cluster_sink.put_back(buf);
     }
 
     /// Applies one event from the experiment's fault-injection plan.
@@ -617,9 +631,9 @@ impl DataCenterWorld {
             }
             InjectedEvent::RecoverController(id) => {
                 if let AnyController::Cluster(plane) = &mut self.controller {
-                    let outs = plane.recover(id);
-                    self.dispatch_cluster_outputs(now, outs, sched);
+                    plane.recover(id, &mut self.cluster_sink);
                 }
+                self.dispatch_cluster_outputs(now, sched);
             }
             InjectedEvent::CrashSwitch(s) => {
                 self.metrics.count("switch_crashes", 1);
@@ -771,9 +785,13 @@ impl DataCenterWorld {
                 EtherType::ARP,
                 arp.encode(),
             );
-            let outs =
-                self.switches[at.index()].handle_local_frame(now.as_nanos(), port, arp_frame);
-            self.dispatch_switch_outputs(now, at, outs, sched);
+            self.switches[at.index()].handle_local_frame(
+                now.as_nanos(),
+                port,
+                arp_frame,
+                &mut self.switch_sink,
+            );
+            self.dispatch_switch_outputs(now, at, sched);
             // The data packet follows shortly after resolution.
             let emit = now + SimDuration::from_millis(1);
             let frame = self.frame_for_flow(src, dst, emit.as_nanos());
@@ -790,8 +808,13 @@ impl DataCenterWorld {
         } else {
             let frame = self.frame_for_flow(src, dst, now.as_nanos());
             self.note_emission(now, &frame);
-            let outs = self.switches[at.index()].handle_local_frame(now.as_nanos(), port, frame);
-            self.dispatch_switch_outputs(now, at, outs, sched);
+            self.switches[at.index()].handle_local_frame(
+                now.as_nanos(),
+                port,
+                frame,
+                &mut self.switch_sink,
+            );
+            self.dispatch_switch_outputs(now, at, sched);
         }
     }
 
@@ -840,102 +863,118 @@ impl World for DataCenterWorld {
                 if !self.links.is_node_up(switch.0) {
                     return;
                 }
-                let outs =
-                    self.switches[switch.index()].handle_local_frame(now.as_nanos(), port, frame);
-                self.dispatch_switch_outputs(now, switch, outs, sched);
+                self.switches[switch.index()].handle_local_frame(
+                    now.as_nanos(),
+                    port,
+                    frame,
+                    &mut self.switch_sink,
+                );
+                self.dispatch_switch_outputs(now, switch, sched);
             }
             Ev::TunnelArrive { to, packet } => {
                 if !self.links.is_node_up(to.0) {
                     return;
                 }
                 let is_flood = packet.inner.is_flood();
-                let outs = self.switches[to.index()].handle_tunnel_packet(now.as_nanos(), packet);
-                if outs.is_empty() && !is_flood {
+                self.switches[to.index()].handle_tunnel_packet(
+                    now.as_nanos(),
+                    packet,
+                    &mut self.switch_sink,
+                );
+                if self.switch_sink.is_empty() && !is_flood {
                     self.metrics.count("tunnel_drops", 1);
                 }
-                self.dispatch_switch_outputs(now, to, outs, sched);
+                self.dispatch_switch_outputs(now, to, sched);
             }
             Ev::MsgToSwitch { to, from, msg } => {
                 if !self.links.is_node_up(to.0) {
                     return;
                 }
                 let sw = &mut self.switches[to.index()];
-                let outs = if from == SwitchId::CONTROLLER {
-                    sw.handle_control_message(now.as_nanos(), &msg)
+                if from == SwitchId::CONTROLLER {
+                    sw.handle_control_message(now.as_nanos(), &msg, &mut self.switch_sink);
                 } else {
-                    sw.handle_peer_message(now.as_nanos(), from, &msg)
-                };
-                self.dispatch_switch_outputs(now, to, outs, sched);
+                    sw.handle_peer_message(now.as_nanos(), from, &msg, &mut self.switch_sink);
+                }
+                self.dispatch_switch_outputs(now, to, sched);
             }
             Ev::MsgToController { from, msg } => {
                 self.metrics
                     .series_mut("workload", self.workload_bucket)
                     .increment(now);
                 self.metrics.count("controller_messages", 1);
-                if let MessageBody::Of(lazyctrl_proto::OfMessage::PacketIn(pi)) = &msg.body {
+                if let Some(lazyctrl_proto::OfMessage::PacketIn(pi)) = msg.as_of() {
                     self.metrics.count("packet_ins", 1);
                     if pi.reason == lazyctrl_proto::PacketInReason::FalsePositive {
                         self.metrics.count("fp_reports", 1);
                     }
                 }
-                if matches!(msg.body, MessageBody::Lazy(LazyMsg::StateReport(_))) {
-                    self.metrics.count("state_reports", 1);
-                }
-                if matches!(msg.body, MessageBody::Lazy(LazyMsg::LfibSync(_))) {
-                    self.metrics.count("lfib_syncs", 1);
-                }
-                if matches!(msg.body, MessageBody::Lazy(LazyMsg::WheelReport(_))) {
-                    self.metrics.count("wheel_reports", 1);
+                match msg.as_lazy() {
+                    Some(LazyMsg::StateReport(_)) => self.metrics.count("state_reports", 1),
+                    Some(LazyMsg::LfibSync(_)) => self.metrics.count("lfib_syncs", 1),
+                    Some(LazyMsg::WheelReport(_)) => self.metrics.count("wheel_reports", 1),
+                    _ => {}
                 }
                 match &mut self.controller {
                     AnyController::Baseline(c) => {
-                        let outs = c.handle_message(now.as_nanos(), from, &msg);
-                        self.dispatch_controller_outputs(now, outs, sched);
+                        c.handle_message(now.as_nanos(), from, &msg, &mut self.ctrl_sink);
+                        self.dispatch_controller_outputs(now, sched);
                     }
                     AnyController::Lazy(c) => {
-                        let outs = c.handle_message(now.as_nanos(), from, &msg);
-                        self.dispatch_controller_outputs(now, outs, sched);
+                        c.handle_message(now.as_nanos(), from, &msg, &mut self.ctrl_sink);
+                        self.dispatch_controller_outputs(now, sched);
                         self.track_regroups(now);
                     }
                     AnyController::Cluster(plane) => {
-                        let outs = plane.handle_switch_message(now.as_nanos(), from, &msg);
-                        self.dispatch_cluster_outputs(now, outs, sched);
+                        plane.handle_switch_message(
+                            now.as_nanos(),
+                            from,
+                            &msg,
+                            &mut self.cluster_sink,
+                        );
+                        self.dispatch_cluster_outputs(now, sched);
                     }
                 }
             }
             Ev::CtrlPeerMsg { from, to, msg } => {
                 self.metrics.count("ctrl_peer_messages", 1);
-                match &msg.body {
-                    MessageBody::Cluster(lazyctrl_proto::ClusterMsg::PeerSync(_)) => {
+                match msg.as_cluster() {
+                    Some(lazyctrl_proto::ClusterMsg::PeerSync(_)) => {
                         self.metrics.count("peer_syncs", 1);
                     }
-                    MessageBody::Cluster(lazyctrl_proto::ClusterMsg::SyncRelay(_)) => {
+                    Some(lazyctrl_proto::ClusterMsg::SyncRelay(_)) => {
                         self.metrics.count("sync_relays", 1);
                     }
-                    MessageBody::Cluster(lazyctrl_proto::ClusterMsg::SyncDigest(_)) => {
+                    Some(lazyctrl_proto::ClusterMsg::SyncDigest(_)) => {
                         self.metrics.count("sync_digests", 1);
                     }
-                    MessageBody::Cluster(lazyctrl_proto::ClusterMsg::Heartbeat(_)) => {
+                    Some(lazyctrl_proto::ClusterMsg::Heartbeat(_)) => {
                         self.metrics.count("ctrl_heartbeats", 1);
                     }
-                    MessageBody::Cluster(lazyctrl_proto::ClusterMsg::LookupRequest(_)) => {
+                    Some(lazyctrl_proto::ClusterMsg::LookupRequest(_)) => {
                         self.metrics.count("ctrl_lookups", 1);
                     }
-                    MessageBody::Cluster(lazyctrl_proto::ClusterMsg::OwnershipTransfer(_)) => {
+                    Some(lazyctrl_proto::ClusterMsg::OwnershipTransfer(_)) => {
                         self.metrics.count("ownership_transfer_msgs", 1);
                     }
                     _ => {}
                 }
                 if let AnyController::Cluster(plane) = &mut self.controller {
-                    let outs = plane.handle_ctrl_message(now.as_nanos(), from, to, &msg);
-                    self.dispatch_cluster_outputs(now, outs, sched);
+                    plane.handle_ctrl_message(
+                        now.as_nanos(),
+                        from,
+                        to,
+                        &msg,
+                        &mut self.cluster_sink,
+                    );
                 }
+                self.dispatch_cluster_outputs(now, sched);
             }
             Ev::ClusterTimer(timer) => {
                 if let AnyController::Cluster(plane) = &mut self.controller {
-                    let outs = plane.handle_timer(now.as_nanos(), timer);
-                    self.dispatch_cluster_outputs(now, outs, sched);
+                    plane.handle_timer(now.as_nanos(), timer, &mut self.cluster_sink);
                 }
+                self.dispatch_cluster_outputs(now, sched);
             }
             Ev::Injected(event) => self.apply_injected(now, event, sched),
             Ev::SyntheticFlow { src, dst } => {
@@ -958,14 +997,39 @@ impl World for DataCenterWorld {
                     self.severed_timers.insert((switch.0, timer));
                     return;
                 }
-                let outs = self.switches[switch.index()].on_timer(now.as_nanos(), timer);
-                self.dispatch_switch_outputs(now, switch, outs, sched);
+                self.switches[switch.index()].on_timer(
+                    now.as_nanos(),
+                    timer,
+                    &mut self.switch_sink,
+                );
+                self.dispatch_switch_outputs(now, switch, sched);
             }
             Ev::ControllerTimer(timer) => {
-                let outs = self.controller.on_timer(now.as_nanos(), timer);
-                self.dispatch_controller_outputs(now, outs, sched);
+                self.controller
+                    .on_timer(now.as_nanos(), timer, &mut self.ctrl_sink);
+                self.dispatch_controller_outputs(now, sched);
                 self.track_regroups(now);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The driver-level layout contract: a scheduled `Ev` is copied into
+    /// and out of the payload slab once per event, so its inline size is
+    /// a per-event constant. The fat members are the `Message`-carrying
+    /// variants — `size_of::<Message>() ≤ 64` (enforced in
+    /// `lazyctrl-proto`) keeps the whole event under 88 bytes.
+    #[test]
+    fn event_payload_stays_compact() {
+        use std::mem::size_of;
+        assert!(
+            size_of::<Ev>() <= 88,
+            "Ev grew to {} bytes; check Message and frame layouts",
+            size_of::<Ev>()
+        );
     }
 }

@@ -47,6 +47,7 @@ pub mod flow_match;
 mod header;
 pub mod messages;
 pub mod plan;
+pub mod sink;
 mod wire;
 
 pub use actions::Action;
@@ -61,6 +62,7 @@ pub use messages::{
     SyncDigestMsg, SyncRelayMsg, TransferReason, WheelLoss, WheelReportMsg, WHEEL_MISS_THRESHOLD,
 };
 pub use plan::{EventPlan, InjectedEvent, ScheduledEvent};
+pub use sink::OutputSink;
 
 /// Result alias used across the protocol layer.
 pub type Result<T> = std::result::Result<T, ProtoError>;

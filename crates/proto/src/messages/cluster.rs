@@ -352,8 +352,9 @@ pub struct LookupReplyMsg {
 /// The controller-cluster message family.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ClusterMsg {
-    /// Asynchronous C-LIB shard replication.
-    PeerSync(PeerSyncMsg),
+    /// Asynchronous C-LIB shard replication (boxed: bulk payload, flush
+    /// cadence — the frequent heartbeat/lookup variants stay inline).
+    PeerSync(Box<PeerSyncMsg>),
     /// Group ownership transfer (rebalance or failover).
     OwnershipTransfer(OwnershipTransferMsg),
     /// Controller-ring keep-alive with load piggyback.
@@ -362,13 +363,29 @@ pub enum ClusterMsg {
     LookupRequest(LookupRequestMsg),
     /// Lookup response.
     LookupReply(LookupReplyMsg),
-    /// Anti-entropy digest (per-origin replication high-waters).
-    SyncDigest(SyncDigestMsg),
-    /// Bundled deltas on a ring/tree dissemination edge.
-    SyncRelay(SyncRelayMsg),
+    /// Anti-entropy digest (boxed: bulk payload, repair cadence).
+    SyncDigest(Box<SyncDigestMsg>),
+    /// Bundled deltas on a ring/tree dissemination edge (boxed: bulk
+    /// payload, flush cadence).
+    SyncRelay(Box<SyncRelayMsg>),
 }
 
 impl ClusterMsg {
+    /// Wraps (and boxes) a peer sync.
+    pub fn peer_sync(m: PeerSyncMsg) -> Self {
+        ClusterMsg::PeerSync(Box::new(m))
+    }
+
+    /// Wraps (and boxes) an anti-entropy digest.
+    pub fn sync_digest(m: SyncDigestMsg) -> Self {
+        ClusterMsg::SyncDigest(Box::new(m))
+    }
+
+    /// Wraps (and boxes) a relay bundle.
+    pub fn sync_relay(m: SyncRelayMsg) -> Self {
+        ClusterMsg::SyncRelay(Box::new(m))
+    }
+
     pub(crate) fn encode_body<B: BufMut>(&self, buf: &mut B) {
         match self {
             ClusterMsg::PeerSync(m) => {
@@ -431,7 +448,7 @@ impl ClusterMsg {
         let mut r = Reader::new(body, "cluster body");
         let subtype = r.u16()?;
         let msg = match subtype {
-            SUB_PEER_SYNC => ClusterMsg::PeerSync(PeerSyncMsg::decode_fields(&mut r)?),
+            SUB_PEER_SYNC => ClusterMsg::peer_sync(PeerSyncMsg::decode_fields(&mut r)?),
             SUB_OWNERSHIP_TRANSFER => ClusterMsg::OwnershipTransfer(OwnershipTransferMsg {
                 epoch: r.u32()?,
                 group: GroupId::new(r.u32()?),
@@ -477,7 +494,7 @@ impl ClusterMsg {
                     let seq = r.u64()?;
                     heads.push((origin, seq));
                 }
-                ClusterMsg::SyncDigest(SyncDigestMsg { from, heads })
+                ClusterMsg::sync_digest(SyncDigestMsg { from, heads })
             }
             SUB_SYNC_RELAY => {
                 let from = r.u32()?;
@@ -488,7 +505,7 @@ impl ClusterMsg {
                 for _ in 0..n {
                     syncs.push(PeerSyncMsg::decode_fields(&mut r)?);
                 }
-                ClusterMsg::SyncRelay(SyncRelayMsg { from, syncs })
+                ClusterMsg::sync_relay(SyncRelayMsg { from, syncs })
             }
             other => return Err(ProtoError::UnknownLazySubtype(other)),
         };
@@ -523,7 +540,7 @@ mod tests {
 
     #[test]
     fn peer_sync_round_trips() {
-        round_trip(ClusterMsg::PeerSync(PeerSyncMsg {
+        round_trip(ClusterMsg::peer_sync(PeerSyncMsg {
             origin: 1,
             seq: 42,
             chunk: 3,
@@ -531,7 +548,7 @@ mod tests {
             entries: vec![entry(10, 3), entry(11, 4)],
             removed: vec![(MacAddr::for_host(55), SwitchId::new(3))],
         }));
-        round_trip(ClusterMsg::PeerSync(PeerSyncMsg {
+        round_trip(ClusterMsg::peer_sync(PeerSyncMsg {
             origin: 2,
             seq: 7,
             chunk: 0,
@@ -543,11 +560,11 @@ mod tests {
 
     #[test]
     fn sync_digest_round_trips() {
-        round_trip(ClusterMsg::SyncDigest(SyncDigestMsg {
+        round_trip(ClusterMsg::sync_digest(SyncDigestMsg {
             from: 2,
             heads: vec![(0, 17), (1, 0), (3, u64::MAX)],
         }));
-        round_trip(ClusterMsg::SyncDigest(SyncDigestMsg {
+        round_trip(ClusterMsg::sync_digest(SyncDigestMsg {
             from: 0,
             heads: vec![],
         }));
@@ -576,8 +593,8 @@ mod tests {
                 },
             ],
         };
-        round_trip(ClusterMsg::SyncRelay(bundle));
-        round_trip(ClusterMsg::SyncRelay(SyncRelayMsg {
+        round_trip(ClusterMsg::sync_relay(bundle));
+        round_trip(ClusterMsg::sync_relay(SyncRelayMsg {
             from: 0,
             syncs: vec![],
         }));
@@ -594,7 +611,7 @@ mod tests {
             removed: vec![(MacAddr::for_host(55), SwitchId::new(3))],
         };
         let mut body = Vec::new();
-        ClusterMsg::PeerSync(sync.clone()).encode_body(&mut body);
+        ClusterMsg::peer_sync(sync.clone()).encode_body(&mut body);
         assert_eq!(sync.wire_len(), body.len());
     }
 

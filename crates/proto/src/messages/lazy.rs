@@ -267,16 +267,23 @@ pub struct WheelReportMsg {
 }
 
 /// The LazyCtrl extension message family.
+///
+/// The bulk configuration/sync payloads are boxed so the enum's inline
+/// size stays small: a `Message` rides every scheduler entry, and the
+/// *frequent* members of this family (`KeepAlive`, `WheelReport`,
+/// `BlockArp`) are tiny — only the rare fat ones pay a heap indirection.
+/// Wire formats are unchanged.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum LazyMsg {
-    /// Group membership configuration.
-    GroupAssign(GroupAssignMsg),
-    /// L-FIB delta over a peer/state link.
-    LfibSync(LfibSyncMsg),
-    /// Bloom-filter refresh for peers' G-FIBs.
-    GfibUpdate(GfibUpdateMsg),
-    /// Designated switch's aggregated report to the controller.
-    StateReport(StateReportMsg),
+    /// Group membership configuration (boxed: fat, infrequent).
+    GroupAssign(Box<GroupAssignMsg>),
+    /// L-FIB delta over a peer/state link (boxed: fat, infrequent).
+    LfibSync(Box<LfibSyncMsg>),
+    /// Bloom-filter refresh for peers' G-FIBs (boxed: fat, infrequent).
+    GfibUpdate(Box<GfibUpdateMsg>),
+    /// Designated switch's aggregated report to the controller (boxed:
+    /// fat, infrequent).
+    StateReport(Box<StateReportMsg>),
     /// Failure-detection wheel keep-alive.
     KeepAlive(KeepAliveMsg),
     /// Group-size bargaining round.
@@ -294,6 +301,26 @@ pub enum LazyMsg {
 }
 
 impl LazyMsg {
+    /// Wraps (and boxes) a group assignment.
+    pub fn group_assign(m: GroupAssignMsg) -> Self {
+        LazyMsg::GroupAssign(Box::new(m))
+    }
+
+    /// Wraps (and boxes) an L-FIB sync.
+    pub fn lfib_sync(m: LfibSyncMsg) -> Self {
+        LazyMsg::LfibSync(Box::new(m))
+    }
+
+    /// Wraps (and boxes) a G-FIB update.
+    pub fn gfib_update(m: GfibUpdateMsg) -> Self {
+        LazyMsg::GfibUpdate(Box::new(m))
+    }
+
+    /// Wraps (and boxes) a state report.
+    pub fn state_report(m: StateReportMsg) -> Self {
+        LazyMsg::StateReport(Box::new(m))
+    }
+
     pub(crate) fn encode_body<B: BufMut>(&self, buf: &mut B) {
         match self {
             LazyMsg::GroupAssign(m) => {
@@ -401,7 +428,7 @@ impl LazyMsg {
                 for _ in 0..nb {
                     backups.push(SwitchId::new(r.u32()?));
                 }
-                LazyMsg::GroupAssign(GroupAssignMsg {
+                LazyMsg::group_assign(GroupAssignMsg {
                     group,
                     epoch,
                     members,
@@ -427,7 +454,7 @@ impl LazyMsg {
                 for _ in 0..nr {
                     removed.push(MacAddr::new(r.array()?));
                 }
-                LazyMsg::LfibSync(LfibSyncMsg {
+                LazyMsg::lfib_sync(LfibSyncMsg {
                     origin,
                     epoch,
                     entries,
@@ -447,7 +474,7 @@ impl LazyMsg {
                         value: m_bits as u64,
                     });
                 }
-                LazyMsg::GfibUpdate(GfibUpdateMsg {
+                LazyMsg::gfib_update(GfibUpdateMsg {
                     origin,
                     epoch,
                     num_hashes,
@@ -481,7 +508,7 @@ impl LazyMsg {
                         },
                     ));
                 }
-                LazyMsg::StateReport(StateReportMsg {
+                LazyMsg::state_report(StateReportMsg {
                     group,
                     epoch,
                     intensity,
@@ -540,7 +567,7 @@ mod tests {
 
     #[test]
     fn group_assign_round_trips() {
-        round_trip(LazyMsg::GroupAssign(GroupAssignMsg {
+        round_trip(LazyMsg::group_assign(GroupAssignMsg {
             group: GroupId::new(2),
             epoch: 9,
             members: vec![SwitchId::new(1), SwitchId::new(5), SwitchId::new(9)],
@@ -556,7 +583,7 @@ mod tests {
 
     #[test]
     fn lfib_sync_round_trips() {
-        round_trip(LazyMsg::LfibSync(LfibSyncMsg {
+        round_trip(LazyMsg::lfib_sync(LfibSyncMsg {
             origin: SwitchId::new(3),
             epoch: 1,
             entries: vec![
@@ -577,7 +604,7 @@ mod tests {
 
     #[test]
     fn gfib_update_round_trips() {
-        round_trip(LazyMsg::GfibUpdate(GfibUpdateMsg {
+        round_trip(LazyMsg::gfib_update(GfibUpdateMsg {
             origin: SwitchId::new(12),
             epoch: 3,
             num_hashes: 4,
@@ -589,7 +616,7 @@ mod tests {
 
     #[test]
     fn state_report_round_trips() {
-        round_trip(LazyMsg::StateReport(StateReportMsg {
+        round_trip(LazyMsg::state_report(StateReportMsg {
             group: GroupId::new(1),
             epoch: 2,
             intensity: vec![(SwitchId::new(1), SwitchId::new(2), 12.5)],

@@ -49,6 +49,17 @@ pub struct Message {
 }
 
 /// Either a standard OpenFlow-style message or a LazyCtrl extension.
+///
+/// A `Message` is moved through every scheduler entry and channel hop of
+/// the simulation, so its inline size is a per-event constant. The fat
+/// payload variants inside each family (`GroupAssign`, `StateReport`,
+/// bulk syncs, `FlowMod`) are boxed at the *variant* level — see
+/// [`LazyMsg`], [`ClusterMsg`], [`OfMessage`] — which keeps
+/// `size_of::<Message>() ≤ 64` (enforced by a regression test below)
+/// while the frequent small messages (`PacketIn`/`PacketOut` on the
+/// packet path, `KeepAlive`/`Heartbeat`/`WheelReport` on the liveness
+/// path) stay inline and allocation-free. Wire formats are unchanged —
+/// encode/decode go through the boxes transparently.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum MessageBody {
     /// Standard OpenFlow 1.0-style message.
@@ -81,6 +92,30 @@ impl Message {
         Message {
             xid,
             body: MessageBody::Cluster(msg),
+        }
+    }
+
+    /// The OpenFlow-style body, if this is a standard message.
+    pub fn as_of(&self) -> Option<&OfMessage> {
+        match &self.body {
+            MessageBody::Of(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The LazyCtrl extension body, if any.
+    pub fn as_lazy(&self) -> Option<&LazyMsg> {
+        match &self.body {
+            MessageBody::Lazy(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The cluster body, if any.
+    pub fn as_cluster(&self) -> Option<&ClusterMsg> {
+        match &self.body {
+            MessageBody::Cluster(m) => Some(m),
+            _ => None,
         }
     }
 
@@ -161,6 +196,56 @@ mod tests {
     use super::*;
     use lazyctrl_net::{MacAddr, PortNo, SwitchId, TenantId};
 
+    /// The layout contract the hot path depends on: a `Message` moves
+    /// through every scheduler entry and channel hop, so its inline size
+    /// is a per-event constant. Boxing the fat payload variants
+    /// (`GroupAssign`, bulk syncs, `StateReport`, `FlowMod`) bought the
+    /// ≤64-byte bound — this test keeps the enums from silently regrowing
+    /// when a variant gains a field.
+    #[test]
+    fn message_stays_compact() {
+        use std::mem::size_of;
+        assert!(
+            size_of::<Message>() <= 64,
+            "Message grew to {} bytes; box the offending variant",
+            size_of::<Message>()
+        );
+        // The hot small variants stay inline (boxing them would put an
+        // allocation on the per-packet / per-keepalive path), so each
+        // family must stay within the bound on its own.
+        assert!(size_of::<OfMessage>() <= 56, "OfMessage grew");
+        assert!(size_of::<LazyMsg>() <= 32, "LazyMsg grew");
+        assert!(size_of::<ClusterMsg>() <= 48, "ClusterMsg grew");
+        assert!(size_of::<PacketInMsg>() <= 24, "PacketInMsg grew");
+        assert!(size_of::<PacketOutMsg>() <= 48, "PacketOutMsg grew");
+    }
+
+    #[test]
+    fn body_accessors_see_through_the_box() {
+        let of = Message::of(1, OfMessage::Hello);
+        assert_eq!(of.as_of(), Some(&OfMessage::Hello));
+        assert!(of.as_lazy().is_none() && of.as_cluster().is_none());
+        let lazy = Message::lazy(
+            2,
+            LazyMsg::KeepAlive(KeepAliveMsg {
+                from: SwitchId::new(1),
+                seq: 9,
+            }),
+        );
+        assert!(matches!(lazy.as_lazy(), Some(LazyMsg::KeepAlive(k)) if k.seq == 9));
+        let cluster = Message::cluster(
+            3,
+            ClusterMsg::LookupRequest(LookupRequestMsg {
+                from: 4,
+                mac: MacAddr::for_host(5),
+            }),
+        );
+        assert!(matches!(
+            cluster.as_cluster(),
+            Some(ClusterMsg::LookupRequest(r)) if r.from == 4
+        ));
+    }
+
     #[test]
     fn hello_round_trips() {
         let m = Message::of(1, OfMessage::Hello);
@@ -209,7 +294,7 @@ mod tests {
     fn lfib_sync_round_trips() {
         let m = Message::lazy(
             3,
-            LazyMsg::LfibSync(LfibSyncMsg {
+            LazyMsg::lfib_sync(LfibSyncMsg {
                 origin: SwitchId::new(8),
                 epoch: 5,
                 entries: vec![LfibEntry {
@@ -235,7 +320,7 @@ mod tests {
             .collect();
         let m = Message::lazy(
             1,
-            LazyMsg::LfibSync(LfibSyncMsg {
+            LazyMsg::lfib_sync(LfibSyncMsg {
                 origin: SwitchId::new(1),
                 epoch: 1,
                 entries,

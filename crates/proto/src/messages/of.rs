@@ -205,8 +205,12 @@ pub enum OfMessage {
     PacketIn(PacketInMsg),
     /// Packet injection.
     PacketOut(PacketOutMsg),
-    /// Flow-table mutation.
-    FlowMod(FlowModMsg),
+    /// Flow-table mutation. Boxed: `FlowModMsg` is the widest OpenFlow
+    /// body by far and rides only the (infrequent) rule-install path,
+    /// while `PacketIn`/`PacketOut` dominate event volume — boxing it
+    /// here is what keeps `size_of::<Message>() ≤ 64` (see the layout
+    /// regression test in `messages::mod`).
+    FlowMod(Box<FlowModMsg>),
     /// Ask for switch counters.
     StatsRequest,
     /// Counter snapshot: (packets seen, flow-table entries, packet-ins sent).
@@ -221,6 +225,11 @@ pub enum OfMessage {
 }
 
 impl OfMessage {
+    /// Wraps (and boxes) a flow-table mutation.
+    pub fn flow_mod(msg: FlowModMsg) -> Self {
+        OfMessage::FlowMod(Box::new(msg))
+    }
+
     /// The wire-level message type for this body.
     pub fn msg_type(&self) -> MsgType {
         match self {
@@ -350,7 +359,7 @@ impl OfMessage {
                 let hard_timeout = r.u16()?;
                 let cookie = r.u64()?;
                 let actions = decode_actions(&mut r)?;
-                OfMessage::FlowMod(FlowModMsg {
+                OfMessage::flow_mod(FlowModMsg {
                     command,
                     flow_match,
                     priority,
@@ -426,7 +435,7 @@ mod tests {
 
     #[test]
     fn flow_mod_full() {
-        round_trip(OfMessage::FlowMod(FlowModMsg {
+        round_trip(OfMessage::flow_mod(FlowModMsg {
             command: FlowModCommand::Add,
             flow_match: FlowMatch::for_pair(MacAddr::for_host(1), MacAddr::for_host(2)),
             priority: 100,

@@ -121,17 +121,17 @@ fn arb_of() -> impl Strategy<Value = OfMessage> {
             proptest::collection::vec(arb_action(), 0..8)
         )
             .prop_map(
-                |(command, flow_match, priority, idle, hard, cookie, actions)| OfMessage::FlowMod(
-                    FlowModMsg {
+                |(command, flow_match, priority, idle, hard, cookie, actions)| {
+                    OfMessage::flow_mod(FlowModMsg {
                         command,
                         flow_match,
                         priority,
                         idle_timeout: idle,
                         hard_timeout: hard,
                         cookie,
-                        actions
-                    }
-                )
+                        actions,
+                    })
+                }
             ),
     ]
 }
@@ -152,7 +152,7 @@ fn arb_lazy() -> impl Strategy<Value = LazyMsg> {
         )
             .prop_map(
                 |(g, e, members, designated, backups, prev, next, si, ki, lim)| {
-                    LazyMsg::GroupAssign(GroupAssignMsg {
+                    LazyMsg::group_assign(GroupAssignMsg {
                         group: GroupId::new(g),
                         epoch: e,
                         members,
@@ -179,14 +179,14 @@ fn arb_lazy() -> impl Strategy<Value = LazyMsg> {
             ),
             proptest::collection::vec(arb_mac(), 0..20)
         )
-            .prop_map(
-                |(origin, epoch, entries, removed)| LazyMsg::LfibSync(LfibSyncMsg {
+            .prop_map(|(origin, epoch, entries, removed)| LazyMsg::lfib_sync(
+                LfibSyncMsg {
                     origin,
                     epoch,
                     entries,
                     removed
-                })
-            ),
+                }
+            )),
         (arb_switch(), any::<u64>())
             .prop_map(|(from, seq)| LazyMsg::KeepAlive(KeepAliveMsg { from, seq })),
         (any::<u32>(), any::<bool>(), any::<u32>(), any::<bool>()).prop_map(
@@ -224,7 +224,7 @@ fn arb_lazy() -> impl Strategy<Value = LazyMsg> {
             )
         )
             .prop_map(
-                |(g, e, intensity, stats)| LazyMsg::StateReport(StateReportMsg {
+                |(g, e, intensity, stats)| LazyMsg::state_report(StateReportMsg {
                     group: GroupId::new(g),
                     epoch: e,
                     intensity,
@@ -269,19 +269,19 @@ fn arb_peer_sync() -> impl Strategy<Value = PeerSyncMsg> {
 fn arb_cluster() -> impl Strategy<Value = ClusterMsg> {
     prop_oneof![
         // Peer sync: C-LIB shard replication.
-        arb_peer_sync().prop_map(ClusterMsg::PeerSync),
+        arb_peer_sync().prop_map(ClusterMsg::peer_sync),
         // Relay bundle on a ring/tree dissemination edge.
         (
             any::<u32>(),
             proptest::collection::vec(arb_peer_sync(), 0..4)
         )
-            .prop_map(|(from, syncs)| ClusterMsg::SyncRelay(SyncRelayMsg { from, syncs })),
+            .prop_map(|(from, syncs)| ClusterMsg::sync_relay(SyncRelayMsg { from, syncs })),
         // Anti-entropy digest.
         (
             any::<u32>(),
             proptest::collection::vec((any::<u32>(), any::<u64>()), 0..16)
         )
-            .prop_map(|(from, heads)| ClusterMsg::SyncDigest(SyncDigestMsg { from, heads })),
+            .prop_map(|(from, heads)| ClusterMsg::sync_digest(SyncDigestMsg { from, heads })),
         // Ownership transfer: rebalance or failover.
         (
             any::<u32>(),
@@ -347,12 +347,12 @@ fn arb_message() -> impl Strategy<Value = Message> {
 /// the round-trip equality check is meaningful (the wire format itself is
 /// bit-exact for NaN too).
 fn has_nan(m: &Message) -> bool {
-    match &m.body {
-        lazyctrl_proto::MessageBody::Lazy(LazyMsg::StateReport(r)) => {
+    match (m.as_lazy(), m.as_cluster()) {
+        (Some(LazyMsg::StateReport(r)), _) => {
             r.intensity.iter().any(|(_, _, w)| w.is_nan())
                 || r.stats.iter().any(|(_, s)| s.new_flows_per_sec.is_nan())
         }
-        lazyctrl_proto::MessageBody::Cluster(ClusterMsg::Heartbeat(hb)) => hb.load_rps.is_nan(),
+        (_, Some(ClusterMsg::Heartbeat(hb))) => hb.load_rps.is_nan(),
         _ => false,
     }
 }

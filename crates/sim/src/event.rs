@@ -171,6 +171,29 @@ const SLOTS: usize = 1 << LEVEL_BITS;
 /// there is no separate overflow list; the top level is the overflow.
 const LEVELS: usize = 9;
 
+/// The key a wheel slot actually stores and moves: fire time, tie-break
+/// sequence, and the payload's slab index. 24 bytes and `Copy`, so the
+/// cascade/sort churn of the wheel shuffles keys, not full events — the
+/// payload sits still in the slab until its pop (see [`WheelQueue`]).
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Key {
+    at: SimTime,
+    seq: u64,
+    idx: u32,
+}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // `idx` is storage, not identity: (time, seq) is already total.
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
 /// A deterministic hierarchical timing wheel.
 ///
 /// Invariants (see `DESIGN.md` for the full argument):
@@ -189,24 +212,33 @@ const LEVELS: usize = 9;
 ///   makes fire order exact (ns-resolution) even though wheel slots are
 ///   tick-granular — and it costs no per-event heap sift on the common
 ///   path.
+/// * Payloads live in a **pooled slab**: `schedule` places the event in a
+///   free slab cell (LIFO reuse, so steady-state traffic recycles the
+///   same cache-hot cells), the wheel moves only 24-byte [`Key`]s, and
+///   `pop` takes the payload back out of its cell. Park, cascade and the
+///   ready-stage sort therefore never copy event payloads.
 pub struct WheelQueue<E> {
     /// `LEVELS × SLOTS` buckets, flattened.
-    slots: Vec<Vec<Entry<E>>>,
+    slots: Vec<Vec<Key>>,
     /// Per-level occupancy bitmaps (bit `s` ⇔ slot `s` non-empty).
     occ: [u64; LEVELS],
     /// Current tick (low 51 bits meaningful).
     cursor: u64,
     /// The current tick's batch, sorted descending by `(time, seq)`;
     /// popped from the back.
-    ready: Vec<Entry<E>>,
+    ready: Vec<Key>,
     /// Events landing at or before the cursor tick *after* its batch was
     /// opened (e.g. zero-delay follow-ups) — usually empty.
-    ready_extra: BinaryHeap<Reverse<Entry<E>>>,
+    ready_extra: BinaryHeap<Reverse<Key>>,
     /// Events parked in wheel slots (excludes the ready stage).
     in_wheel: usize,
     /// Emptied slot buffers kept for reuse, so cascading a slot does not
     /// free its allocation just to re-grow it on the next park.
-    spare: Vec<Vec<Entry<E>>>,
+    spare: Vec<Vec<Key>>,
+    /// Payload slab, indexed by [`Key::idx`]. `None` = free cell.
+    payloads: Vec<Option<E>>,
+    /// Free slab cells, reused LIFO.
+    free: Vec<u32>,
     next_seq: u64,
     popped: u64,
 }
@@ -221,6 +253,8 @@ impl<E> Default for WheelQueue<E> {
             ready_extra: BinaryHeap::new(),
             in_wheel: 0,
             spare: Vec::new(),
+            payloads: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
             popped: 0,
         }
@@ -231,6 +265,13 @@ impl<E> WheelQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         WheelQueue::default()
+    }
+
+    /// Size in bytes of the record a wheel slot stores per pending event
+    /// (the quantity the park/cascade/sort churn moves; the payload
+    /// itself stays in the slab).
+    pub const fn slot_entry_size() -> usize {
+        std::mem::size_of::<Key>()
     }
 
     #[inline]
@@ -253,19 +294,48 @@ impl<E> WheelQueue<E> {
         level * SLOTS + group as usize
     }
 
+    /// Stores a payload in the slab, reusing a freed cell when one is
+    /// available (LIFO: the most recently vacated cell is the hottest).
     #[inline]
-    fn park(&mut self, entry: Entry<E>) {
-        let tick = Self::tick_of(entry.at);
+    fn store(&mut self, event: E) -> u32 {
+        match self.free.pop() {
+            Some(idx) => {
+                self.payloads[idx as usize] = Some(event);
+                idx
+            }
+            None => {
+                let idx = self.payloads.len() as u32;
+                self.payloads.push(Some(event));
+                idx
+            }
+        }
+    }
+
+    /// Takes a popped key's payload back out of the slab and recycles
+    /// its cell.
+    #[inline]
+    fn redeem(&mut self, key: Key) -> (SimTime, E) {
+        let event = self.payloads[key.idx as usize]
+            .take()
+            .expect("every parked key owns a live slab cell");
+        self.free.push(key.idx);
+        self.popped += 1;
+        (key.at, event)
+    }
+
+    #[inline]
+    fn park(&mut self, key: Key) {
+        let tick = Self::tick_of(key.at);
         if tick <= self.cursor {
             // Current (already-open) tick — or a past time, which the
             // heap reference would also surface next; both join the
             // ready stage through the overflow heap.
-            self.ready_extra.push(Reverse(entry));
+            self.ready_extra.push(Reverse(key));
             return;
         }
         let level = self.level_of(tick);
         let idx = Self::slot_index(level, tick);
-        self.slots[idx].push(entry);
+        self.slots[idx].push(key);
         self.occ[level] |= 1 << (idx - level * SLOTS);
         self.in_wheel += 1;
     }
@@ -274,7 +344,8 @@ impl<E> WheelQueue<E> {
     pub fn schedule(&mut self, at: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.park(Entry { at, seq, event });
+        let idx = self.store(event);
+        self.park(Key { at, seq, idx });
     }
 
     #[inline]
@@ -324,8 +395,8 @@ impl<E> WheelQueue<E> {
                         let span = 1u64 << (shift + LEVEL_BITS);
                         self.cursor = (self.cursor & !(span - 1)) | ((slot as u64) << shift);
                     }
-                    for e in batch.drain(..) {
-                        self.park(e);
+                    for key in batch.drain(..) {
+                        self.park(key);
                     }
                     // `park` counts re-inserted wheel entries again.
                     self.spare.push(batch);
@@ -349,15 +420,12 @@ impl<E> WheelQueue<E> {
     /// Pops the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.prime();
-        let e = if self.extra_first() {
-            self.ready_extra.pop().map(|Reverse(e)| e)
+        let key = if self.extra_first() {
+            self.ready_extra.pop().map(|Reverse(k)| k)
         } else {
             self.ready.pop()
         };
-        e.map(|e| {
-            self.popped += 1;
-            (e.at, e.event)
-        })
+        key.map(|k| self.redeem(k))
     }
 
     /// Pops the earliest event if it fires at or before `until` — one
@@ -365,34 +433,31 @@ impl<E> WheelQueue<E> {
     /// pay the queue front-end twice. Events beyond `until` stay queued.
     pub fn pop_until(&mut self, until: SimTime) -> Option<(SimTime, E)> {
         self.prime();
-        let e = if self.extra_first() {
+        let key = if self.extra_first() {
             if self
                 .ready_extra
                 .peek()
-                .is_some_and(|Reverse(e)| e.at <= until)
+                .is_some_and(|Reverse(k)| k.at <= until)
             {
-                self.ready_extra.pop().map(|Reverse(e)| e)
+                self.ready_extra.pop().map(|Reverse(k)| k)
             } else {
                 None
             }
-        } else if self.ready.last().is_some_and(|e| e.at <= until) {
+        } else if self.ready.last().is_some_and(|k| k.at <= until) {
             self.ready.pop()
         } else {
             None
         };
-        e.map(|e| {
-            self.popped += 1;
-            (e.at, e.event)
-        })
+        key.map(|k| self.redeem(k))
     }
 
     /// Fire time of the earliest pending event.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         self.prime();
         if self.extra_first() {
-            self.ready_extra.peek().map(|Reverse(e)| e.at)
+            self.ready_extra.peek().map(|Reverse(k)| k.at)
         } else {
-            self.ready.last().map(|e| e.at)
+            self.ready.last().map(|k| k.at)
         }
     }
 
@@ -421,6 +486,10 @@ impl<E> WheelQueue<E> {
 // Facade
 // ---------------------------------------------------------------------------
 
+// One `EventQueue` exists per experiment and lives on the stack for the
+// whole run; the wheel's inline slot/bitmap state dwarfs the heap variant
+// but is never copied, so the size skew is irrelevant here.
+#[allow(clippy::large_enum_variant)]
 enum Backend<E> {
     Wheel(WheelQueue<E>),
     Heap(HeapQueue<E>),
@@ -755,6 +824,36 @@ mod tests {
             assert_eq!(q.pop().map(|(_, e)| e), Some(3), "{}", kind.label());
             assert_eq!(q.pop().map(|(_, e)| e), Some(2));
         }
+    }
+
+    /// Layout contract of the pooled wheel: a slot stores (and the
+    /// cascade/sort churn moves) only a 24-byte key — payloads stay in
+    /// the slab regardless of how big the event type is. This is what
+    /// keeps the scheduler's per-event cost independent of `E`.
+    #[test]
+    fn wheel_slot_entries_stay_small() {
+        assert_eq!(WheelQueue::<u64>::slot_entry_size(), 24);
+        // The key size must not scale with the payload.
+        assert_eq!(
+            WheelQueue::<[u8; 512]>::slot_entry_size(),
+            WheelQueue::<u8>::slot_entry_size()
+        );
+    }
+
+    /// The slab recycles cells LIFO: steady-state schedule/pop traffic
+    /// reuses the same hot cells instead of growing the slab.
+    #[test]
+    fn slab_cells_are_recycled() {
+        let mut q: WheelQueue<u64> = WheelQueue::new();
+        for round in 0..100u64 {
+            q.schedule(SimTime::from_millis(round + 1), round);
+            let _ = q.pop();
+        }
+        assert!(
+            q.payloads.len() <= 2,
+            "steady-state churn grew the slab to {} cells",
+            q.payloads.len()
+        );
     }
 
     #[test]

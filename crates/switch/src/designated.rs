@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 
 use lazyctrl_net::{GroupId, SwitchId};
-use lazyctrl_proto::{GfibUpdateMsg, LfibSyncMsg, StateReportMsg, SwitchStats};
+use lazyctrl_proto::{GfibUpdateMsg, StateReportMsg, SwitchStats};
 use serde::{Deserialize, Serialize};
 
 /// State held while a switch serves as its group's designated switch.
@@ -90,13 +90,8 @@ impl DesignatedRole {
     }
 }
 
-/// Validates that a relayed L-FIB sync targets this group's epoch space
-/// (helper shared by switch and tests).
-pub fn sync_is_relevant(msg: &LfibSyncMsg, current_epoch: u32) -> bool {
-    msg.epoch <= current_epoch
-}
-
-/// Same check for G-FIB updates.
+/// Validates that a relayed G-FIB update targets this group's epoch
+/// space.
 pub fn gfib_is_relevant(msg: &GfibUpdateMsg, current_epoch: u32) -> bool {
     msg.epoch <= current_epoch
 }
@@ -168,15 +163,6 @@ mod tests {
 
     #[test]
     fn relevance_checks() {
-        let sync = LfibSyncMsg {
-            origin: SwitchId::new(1),
-            epoch: 3,
-            entries: vec![],
-            removed: vec![],
-        };
-        assert!(sync_is_relevant(&sync, 3));
-        assert!(sync_is_relevant(&sync, 4));
-        assert!(!sync_is_relevant(&sync, 2));
         let g = GfibUpdateMsg {
             origin: SwitchId::new(1),
             epoch: 5,

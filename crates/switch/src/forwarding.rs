@@ -27,15 +27,21 @@ pub enum DropReason {
 }
 
 /// The outcome of the forwarding routine for one packet.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The data-carrying outcomes write into caller-owned scratch buffers
+/// (see [`forward_packet`]) instead of allocating per decision, so the
+/// enum itself is `Copy` and the per-packet path stays heap-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ForwardingDecision {
-    /// A flow-table rule matched; apply its action list (Fig. 5 lines 4–5).
-    FlowRule(Vec<Action>),
+    /// A flow-table rule matched; its action list was appended to the
+    /// `actions_out` scratch (Fig. 5 lines 4–5).
+    FlowRule,
     /// The destination is a local host on this port (lines 20–21, 29).
     DeliverLocal(PortNo),
-    /// Encapsulate and send a copy to each candidate peer switch
-    /// (lines 17–19; multiple targets possible due to BF false positives).
-    EncapTo(Vec<SwitchId>),
+    /// Encapsulate and send a copy to each candidate peer switch; the
+    /// candidates were appended to the `targets_out` scratch (lines
+    /// 17–19; multiple targets possible due to BF false positives).
+    EncapTo,
     /// No group knowledge: punt to the controller for inter-group handling
     /// (lines 14–16).
     PuntToController,
@@ -48,6 +54,13 @@ pub enum ForwardingDecision {
 /// `epoch_accepted` decides whether an encapsulated packet's grouping epoch
 /// is still valid (current epoch, or an old one within the preload grace
 /// window of Appendix B).
+///
+/// `actions_out` and `targets_out` are caller-owned scratch buffers: they
+/// are cleared on entry, and filled exactly when the returned decision is
+/// [`ForwardingDecision::FlowRule`] / [`ForwardingDecision::EncapTo`]
+/// respectively — reusing the caller's capacity instead of allocating a
+/// fresh `Vec` per forwarded packet.
+#[allow(clippy::too_many_arguments)]
 pub fn forward_packet(
     pkt: &Packet,
     in_port: PortNo,
@@ -56,7 +69,11 @@ pub fn forward_packet(
     gfib: &Gfib,
     epoch_accepted: impl Fn(u32) -> bool,
     now_ns: u64,
+    actions_out: &mut Vec<Action>,
+    targets_out: &mut Vec<SwitchId>,
 ) -> ForwardingDecision {
+    actions_out.clear();
+    targets_out.clear();
     match pkt {
         Packet::Plain(frame) => {
             // Lines 4–5: flow table first.
@@ -68,20 +85,21 @@ pub fn forward_packet(
                 dl_type: Some(frame.ethertype),
             };
             if let Some(rule) = flow_table.lookup(&fields, now_ns) {
-                return ForwardingDecision::FlowRule(rule.actions.clone());
+                actions_out.extend_from_slice(&rule.actions);
+                return ForwardingDecision::FlowRule;
             }
             // Lines 8–9: L-FIB.
             if let Some(port) = lfib.lookup(frame.dst) {
                 return ForwardingDecision::DeliverLocal(port);
             }
             // Lines 12–13: G-FIB.
-            let candidates = gfib.query(frame.dst);
-            if candidates.is_empty() {
+            gfib.query_into(frame.dst, targets_out);
+            if targets_out.is_empty() {
                 // Lines 14–16.
                 ForwardingDecision::PuntToController
             } else {
                 // Lines 17–19.
-                ForwardingDecision::EncapTo(candidates)
+                ForwardingDecision::EncapTo
             }
         }
         Packet::Encapsulated(encap) => {
@@ -140,6 +158,32 @@ mod tests {
         (FlowTable::new(), lfib, gfib)
     }
 
+    /// Runs the routine with fresh scratch buffers and returns the
+    /// decision plus both scratch payloads.
+    fn forward(
+        pkt: &Packet,
+        in_port: PortNo,
+        ft: &mut FlowTable,
+        lfib: &Lfib,
+        gfib: &Gfib,
+        accept: impl Fn(u32) -> bool,
+    ) -> (ForwardingDecision, Vec<Action>, Vec<SwitchId>) {
+        let mut actions = vec![Action::Drop]; // stale junk: must be cleared
+        let mut targets = vec![SwitchId::new(99)];
+        let d = forward_packet(
+            pkt,
+            in_port,
+            ft,
+            lfib,
+            gfib,
+            accept,
+            0,
+            &mut actions,
+            &mut targets,
+        );
+        (d, actions, targets)
+    }
+
     #[test]
     fn flow_rule_takes_precedence() {
         let (mut ft, lfib, gfib) = setup();
@@ -156,29 +200,29 @@ mod tests {
             0,
         );
         // 100 is also in the L-FIB, but the flow rule wins (Fig. 5 order).
-        let d = forward_packet(
+        let (d, actions, targets) = forward(
             &Packet::Plain(frame(1, 100)),
             PortNo::new(1),
             &mut ft,
             &lfib,
             &gfib,
             |_| true,
-            0,
         );
-        assert_eq!(d, ForwardingDecision::FlowRule(vec![Action::Drop]));
+        assert_eq!(d, ForwardingDecision::FlowRule);
+        assert_eq!(actions, vec![Action::Drop]);
+        assert!(targets.is_empty(), "stale scratch must be cleared");
     }
 
     #[test]
     fn local_host_delivers() {
         let (mut ft, lfib, gfib) = setup();
-        let d = forward_packet(
+        let (d, _, _) = forward(
             &Packet::Plain(frame(1, 100)),
             PortNo::new(1),
             &mut ft,
             &lfib,
             &gfib,
             |_| true,
-            0,
         );
         assert_eq!(d, ForwardingDecision::DeliverLocal(PortNo::new(4)));
     }
@@ -186,44 +230,44 @@ mod tests {
     #[test]
     fn group_host_tunnels() {
         let (mut ft, lfib, gfib) = setup();
-        let d = forward_packet(
+        let (d, actions, targets) = forward(
             &Packet::Plain(frame(1, 200)),
             PortNo::new(1),
             &mut ft,
             &lfib,
             &gfib,
             |_| true,
-            0,
         );
-        assert_eq!(d, ForwardingDecision::EncapTo(vec![SwitchId::new(7)]));
+        assert_eq!(d, ForwardingDecision::EncapTo);
+        assert_eq!(targets, vec![SwitchId::new(7)]);
+        assert!(actions.is_empty(), "stale scratch must be cleared");
     }
 
     #[test]
     fn unknown_host_punts() {
         let (mut ft, lfib, gfib) = setup();
-        let d = forward_packet(
+        let (d, _, targets) = forward(
             &Packet::Plain(frame(1, 999)),
             PortNo::new(1),
             &mut ft,
             &lfib,
             &gfib,
             |_| true,
-            0,
         );
         assert_eq!(d, ForwardingDecision::PuntToController);
+        assert!(targets.is_empty());
     }
 
     #[test]
     fn encapsulated_delivers_locally() {
         let (mut ft, lfib, gfib) = setup();
-        let d = forward_packet(
+        let (d, _, _) = forward(
             &encap(100, 1),
             PortNo::new(9),
             &mut ft,
             &lfib,
             &gfib,
             |_| true,
-            0,
         );
         assert_eq!(d, ForwardingDecision::DeliverLocal(PortNo::new(4)));
     }
@@ -231,14 +275,13 @@ mod tests {
     #[test]
     fn false_positive_drops() {
         let (mut ft, lfib, gfib) = setup();
-        let d = forward_packet(
+        let (d, _, _) = forward(
             &encap(555, 1),
             PortNo::new(9),
             &mut ft,
             &lfib,
             &gfib,
             |_| true,
-            0,
         );
         assert_eq!(d, ForwardingDecision::Drop(DropReason::FalsePositive));
     }
@@ -246,14 +289,13 @@ mod tests {
     #[test]
     fn stale_epoch_drops_before_lfib() {
         let (mut ft, lfib, gfib) = setup();
-        let d = forward_packet(
+        let (d, _, _) = forward(
             &encap(100, 42),
             PortNo::new(9),
             &mut ft,
             &lfib,
             &gfib,
             |e| e == 1,
-            0,
         );
         assert_eq!(d, ForwardingDecision::Drop(DropReason::StaleEpoch));
     }
@@ -266,18 +308,15 @@ mod tests {
             1,
             vec![MacAddr::for_host(200)],
         ));
-        let d = forward_packet(
+        let (d, _, targets) = forward(
             &Packet::Plain(frame(1, 200)),
             PortNo::new(1),
             &mut ft,
             &lfib,
             &gfib,
             |_| true,
-            0,
         );
-        assert_eq!(
-            d,
-            ForwardingDecision::EncapTo(vec![SwitchId::new(7), SwitchId::new(9)])
-        );
+        assert_eq!(d, ForwardingDecision::EncapTo);
+        assert_eq!(targets, vec![SwitchId::new(7), SwitchId::new(9)]);
     }
 }

@@ -118,26 +118,37 @@ impl Gfib {
     /// An empty vector means "definitely not in this group" — the packet
     /// must go to the controller.
     pub fn query(&self, mac: MacAddr) -> Vec<SwitchId> {
+        let mut out = Vec::new();
+        self.query_into(mac, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Gfib::query`]: appends the candidates to
+    /// `out` (a caller-owned scratch buffer) instead of returning a fresh
+    /// `Vec`. A memo-cache hit is a `extend_from_slice`, not a clone —
+    /// this is the per-packet path of the forwarding routine.
+    pub fn query_into(&self, mac: MacAddr, out: &mut Vec<SwitchId>) {
         {
             let cache = self.cache.borrow();
             if let Some((gen, hit)) = cache.get(&mac) {
                 if *gen == self.generation {
-                    return hit.clone();
+                    out.extend_from_slice(hit);
+                    return;
                 }
             }
         }
         // Hash the key once; probe every peer filter with its own (k, m).
         let base = lazyctrl_bloom::base_hashes(&mac.octets());
-        let result: Vec<SwitchId> = self
-            .peers
-            .iter()
-            .filter(|(_, f)| f.bloom.contains_prehashed(base))
-            .map(|(&s, _)| s)
-            .collect();
+        let start = out.len();
+        out.extend(
+            self.peers
+                .iter()
+                .filter(|(_, f)| f.bloom.contains_prehashed(base))
+                .map(|(&s, _)| s),
+        );
         self.cache
             .borrow_mut()
-            .insert(mac, (self.generation, result.clone()));
-        result
+            .insert(mac, (self.generation, out[start..].to_vec()));
     }
 
     /// Total storage held by the filter bank in bytes (§V-D's quantity).

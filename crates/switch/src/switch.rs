@@ -5,6 +5,13 @@
 //! the prototype's ovs-vswitchd modules (§IV-A): Ctrl-IF (control link
 //! I/O), state advertisement, FIB maintenance, and state reporting (active
 //! only on the designated switch).
+//!
+//! Every handler writes its effects into a caller-owned
+//! [`OutputSink<SwitchOutput>`] instead of returning a fresh `Vec`: the
+//! driver owns one scratch buffer, drains it after each event, and the
+//! per-packet path performs no heap allocation in steady state (see
+//! `DESIGN.md` §7, "Output sinks and message layout"). Output order is
+//! push order — identical to the order the old `Vec` returns carried.
 
 use std::collections::BTreeSet;
 
@@ -13,8 +20,8 @@ use lazyctrl_net::{
     SwitchId, TenantId,
 };
 use lazyctrl_proto::{
-    Action, GroupAssignMsg, LazyMsg, LfibSyncMsg, Message, OfMessage, PacketInMsg, PacketInReason,
-    PacketOutMsg,
+    Action, GroupAssignMsg, LazyMsg, LfibSyncMsg, Message, OfMessage, OutputSink, PacketInMsg,
+    PacketInReason, PacketOutMsg,
 };
 
 use crate::forwarding::{forward_packet, DropReason, ForwardingDecision};
@@ -136,6 +143,13 @@ pub struct EdgeSwitch {
     /// Last time the flow table was swept for expired rules (amortized
     /// lazy expiry; OpenFlow idle/hard timeouts).
     last_flow_expiry_ns: u64,
+    /// Scratch for matched flow-rule actions (filled by `forward_packet`,
+    /// consumed by `apply_actions`); reused across packets so a rule hit
+    /// costs no allocation.
+    scratch_actions: Vec<Action>,
+    /// Scratch for G-FIB candidate / broadcast target switch lists;
+    /// reused across packets for the same reason.
+    scratch_targets: Vec<SwitchId>,
 }
 
 impl EdgeSwitch {
@@ -163,6 +177,8 @@ impl EdgeSwitch {
             packets_processed: 0,
             packet_ins_sent: 0,
             last_flow_expiry_ns: 0,
+            scratch_actions: Vec::new(),
+            scratch_targets: Vec::new(),
         }
     }
 
@@ -244,7 +260,8 @@ impl EdgeSwitch {
         now_ns: u64,
         in_port: PortNo,
         frame: EthernetFrame,
-    ) -> Vec<SwitchOutput> {
+        out: &mut OutputSink<SwitchOutput>,
+    ) {
         self.packets_processed += 1;
         // Amortized flow-rule expiry (idle/hard timeouts), at most once a
         // second of virtual time.
@@ -259,12 +276,12 @@ impl EdgeSwitch {
         if self.datapath_learning {
             if let Some(arp) = frame.as_arp() {
                 if arp.op == ArpOp::Request {
-                    return self.handle_arp_request(now_ns, in_port, frame, tenant);
+                    return self.handle_arp_request(now_ns, in_port, frame, tenant, out);
                 }
                 // ARP replies are unicast; fall through to normal forwarding.
             }
         }
-        self.forward_plain(now_ns, in_port, frame, tenant)
+        self.forward_plain(now_ns, in_port, frame, tenant, out)
     }
 
     /// The three-level ARP cascade of §III-D.3.
@@ -274,7 +291,8 @@ impl EdgeSwitch {
         in_port: PortNo,
         frame: EthernetFrame,
         tenant: TenantId,
-    ) -> Vec<SwitchOutput> {
+        out: &mut OutputSink<SwitchOutput>,
+    ) {
         let arp = frame.as_arp().expect("caller verified this is ARP");
         let target_mac = HostId::from_ip(arp.target_ip).map(|h| h.mac());
 
@@ -282,22 +300,28 @@ impl EdgeSwitch {
         // owner will reply).
         if let Some(mac) = target_mac {
             if self.lfib.lookup(mac).is_some() {
-                return vec![SwitchOutput::FloodLocal(frame)];
+                out.push(SwitchOutput::FloodLocal(frame));
+                return;
             }
             // Level ii(a): the G-FIB recognizes the target → tunnel the
             // request straight to the candidate switches.
-            let candidates = self.gfib.query(mac);
+            let mut candidates = std::mem::take(&mut self.scratch_targets);
+            candidates.clear();
+            self.gfib.query_into(mac, &mut candidates);
             if !candidates.is_empty() {
                 self.note_flow(now_ns, frame.src, mac, candidates.first().copied());
-                return self.tunnel_to(candidates, frame, tenant);
+                self.tunnel_to(&candidates, frame, tenant, out);
+                self.scratch_targets = candidates;
+                return;
             }
+            self.scratch_targets = candidates;
         }
         // Level ii(b): not recognized in-group → designated switch runs an
         // intra-group broadcast.
         if let Some(designated) = self.designated() {
             if designated != self.id {
                 let xid = self.next_xid();
-                return vec![SwitchOutput::ToPeer(
+                out.push(SwitchOutput::ToPeer(
                     designated,
                     Message::of(
                         xid,
@@ -308,25 +332,26 @@ impl EdgeSwitch {
                             data: frame.encode().into(),
                         }),
                     ),
-                )];
+                ));
+                return;
             }
             // I am the designated switch: broadcast in-group, and escalate
             // to the controller unless this tenant's ARP is blocked.
-            let mut out = self.group_broadcast(frame.clone(), tenant);
+            self.group_broadcast(frame.clone(), tenant, out);
             if !self.blocked_arp.contains(&tenant) {
                 self.adv.record_punt();
                 let msg = self.packet_in(PacketInReason::NoMatch, in_port, frame.encode());
                 out.push(SwitchOutput::ToController(msg));
             }
-            return out;
+            return;
         }
         // Level iii (no group at all): straight to the controller.
         if self.blocked_arp.contains(&tenant) {
-            return Vec::new();
+            return;
         }
         self.adv.record_punt();
         let msg = self.packet_in(PacketInReason::NoMatch, in_port, frame.encode());
-        vec![SwitchOutput::ToController(msg)]
+        out.push(SwitchOutput::ToController(msg));
     }
 
     /// Fig. 5 for non-ARP plain packets.
@@ -336,7 +361,8 @@ impl EdgeSwitch {
         in_port: PortNo,
         frame: EthernetFrame,
         tenant: TenantId,
-    ) -> Vec<SwitchOutput> {
+        out: &mut OutputSink<SwitchOutput>,
+    ) {
         let current = self.current_epoch();
         let gating = self.epoch_gating;
         // Plain-OpenFlow datapath: consult only the flow table. The
@@ -358,12 +384,15 @@ impl EdgeSwitch {
             gfib,
             |e| !gating || epochs.is_empty() || e >= current || epochs.contains(&e),
             now_ns,
+            &mut self.scratch_actions,
+            &mut self.scratch_targets,
         );
         let Packet::Plain(frame) = pkt else {
             unreachable!("constructed as plain above")
         };
         match decision {
-            ForwardingDecision::FlowRule(actions) => {
+            ForwardingDecision::FlowRule => {
+                let actions = std::mem::take(&mut self.scratch_actions);
                 // Rule-forwarded flows still count towards intensity: the
                 // destination switch is in the rule's Encap action.
                 let dst_switch = actions.iter().find_map(|a| match a {
@@ -372,25 +401,28 @@ impl EdgeSwitch {
                     _ => None,
                 });
                 self.note_flow(now_ns, frame.src, frame.dst, dst_switch);
-                self.apply_actions(now_ns, in_port, frame, tenant, &actions)
+                self.apply_actions(now_ns, in_port, frame, tenant, &actions, out);
+                self.scratch_actions = actions;
             }
             ForwardingDecision::DeliverLocal(port) => {
                 self.adv.record_local_hit();
                 self.note_flow(now_ns, frame.src, frame.dst, Some(self.id));
-                vec![SwitchOutput::DeliverLocal(port, frame)]
+                out.push(SwitchOutput::DeliverLocal(port, frame));
             }
-            ForwardingDecision::EncapTo(candidates) => {
+            ForwardingDecision::EncapTo => {
+                let candidates = std::mem::take(&mut self.scratch_targets);
                 self.adv.record_group_hit();
                 self.note_flow(now_ns, frame.src, frame.dst, candidates.first().copied());
-                self.tunnel_to(candidates, frame, tenant)
+                self.tunnel_to(&candidates, frame, tenant, out);
+                self.scratch_targets = candidates;
             }
             ForwardingDecision::PuntToController => {
                 self.adv.record_punt();
                 self.note_flow(now_ns, frame.src, frame.dst, None);
                 let msg = self.packet_in(PacketInReason::NoMatch, in_port, frame.encode());
-                vec![SwitchOutput::ToController(msg)]
+                out.push(SwitchOutput::ToController(msg));
             }
-            ForwardingDecision::Drop(_) => Vec::new(),
+            ForwardingDecision::Drop(_) => {}
         }
     }
 
@@ -399,11 +431,13 @@ impl EdgeSwitch {
         &mut self,
         now_ns: u64,
         encap: EncapsulatedFrame,
-    ) -> Vec<SwitchOutput> {
+        out: &mut OutputSink<SwitchOutput>,
+    ) {
         self.packets_processed += 1;
         // Flooded intra-group broadcasts (ARP) fan out locally.
         if encap.inner.is_flood() {
-            return vec![SwitchOutput::FloodLocal(encap.into_inner())];
+            out.push(SwitchOutput::FloodLocal(encap.into_inner()));
+            return;
         }
         // Epoch gate (only when enabled): packets from this switch's
         // current epoch, from a *newer* epoch (the controller's view is
@@ -421,13 +455,15 @@ impl EdgeSwitch {
             &self.gfib,
             |e| !gating || epochs.is_empty() || e >= current || epochs.contains(&e),
             now_ns,
+            &mut self.scratch_actions,
+            &mut self.scratch_targets,
         );
         let Packet::Encapsulated(encap) = pkt else {
             unreachable!("constructed as encapsulated above")
         };
         match decision {
             ForwardingDecision::DeliverLocal(port) => {
-                vec![SwitchOutput::DeliverLocal(port, encap.into_inner())]
+                out.push(SwitchOutput::DeliverLocal(port, encap.into_inner()));
             }
             ForwardingDecision::Drop(DropReason::FalsePositive) if self.report_false_positives => {
                 // Ship the full encapsulated packet so the controller can
@@ -435,84 +471,85 @@ impl EdgeSwitch {
                 // and install a corrective rule there (Fig. 5, line 28+).
                 let msg =
                     self.packet_in(PacketInReason::FalsePositive, PortNo::NONE, encap.encode());
-                vec![SwitchOutput::ToController(msg)]
+                out.push(SwitchOutput::ToController(msg));
             }
-            _ => Vec::new(),
+            _ => {}
         }
     }
 
     /// Handles a message from the controller on the control link.
-    pub fn handle_control_message(&mut self, now_ns: u64, msg: &Message) -> Vec<SwitchOutput> {
+    pub fn handle_control_message(
+        &mut self,
+        now_ns: u64,
+        msg: &Message,
+        out: &mut OutputSink<SwitchOutput>,
+    ) {
         match &msg.body {
             lazyctrl_proto::MessageBody::Of(of) => match of {
                 OfMessage::Hello => {
-                    vec![SwitchOutput::ToController(Message::of(
+                    out.push(SwitchOutput::ToController(Message::of(
                         msg.xid,
                         OfMessage::Hello,
-                    ))]
+                    )));
                 }
-                OfMessage::EchoRequest(data) => vec![SwitchOutput::ToController(Message::of(
+                OfMessage::EchoRequest(data) => out.push(SwitchOutput::ToController(Message::of(
                     msg.xid,
                     OfMessage::EchoReply(data.clone()),
-                ))],
-                OfMessage::FeaturesRequest => vec![SwitchOutput::ToController(Message::of(
+                ))),
+                OfMessage::FeaturesRequest => out.push(SwitchOutput::ToController(Message::of(
                     msg.xid,
                     OfMessage::FeaturesReply {
                         datapath_id: self.id.0 as u64,
                         n_ports: 48,
                     },
-                ))],
-                OfMessage::StatsRequest => vec![SwitchOutput::ToController(Message::of(
+                ))),
+                OfMessage::StatsRequest => out.push(SwitchOutput::ToController(Message::of(
                     msg.xid,
                     OfMessage::StatsReply {
                         packets: self.packets_processed,
                         flows: self.flow_table.len() as u32,
                         packet_ins: self.packet_ins_sent,
                     },
-                ))],
+                ))),
                 OfMessage::FlowMod(fm) => {
                     self.flow_table.apply(fm, now_ns);
-                    Vec::new()
                 }
                 OfMessage::PacketOut(po) => {
                     let Ok(frame) = EthernetFrame::decode(&po.data) else {
-                        return Vec::new();
+                        return;
                     };
                     let tenant = frame.vlan.map(|t| t.vid()).unwrap_or(TenantId::NONE);
-                    self.apply_actions(now_ns, po.in_port, frame, tenant, &po.actions)
+                    self.apply_actions(now_ns, po.in_port, frame, tenant, &po.actions, out);
                 }
-                _ => Vec::new(),
+                _ => {}
             },
             lazyctrl_proto::MessageBody::Lazy(lazy) => match lazy {
-                LazyMsg::GroupAssign(ga) => self.apply_group_assign(now_ns, ga),
+                LazyMsg::GroupAssign(ga) => self.apply_group_assign(now_ns, ga, out),
                 LazyMsg::BlockArp { tenant, block } => {
                     if *block {
                         self.blocked_arp.insert(*tenant);
                     } else {
                         self.blocked_arp.remove(tenant);
                     }
-                    Vec::new()
                 }
                 LazyMsg::KeepAlive(_) => {
                     if let Some(w) = &mut self.wheel {
                         w.on_controller_keepalive(now_ns);
                     }
-                    Vec::new()
                 }
                 LazyMsg::GfibUpdate(gu) => {
                     self.gfib.apply_update(gu);
-                    Vec::new()
                 }
                 LazyMsg::LfibSync(sync) => {
                     // Controller pushing other switches' L-FIBs after a
                     // regroup goes through the designated switch; accepting
                     // it here too keeps small setups simple.
-                    self.absorb_lfib_sync(sync)
+                    self.absorb_lfib_sync(sync);
                 }
-                _ => Vec::new(),
+                _ => {}
             },
             // Controller-to-controller traffic never terminates on a switch.
-            lazyctrl_proto::MessageBody::Cluster(_) => Vec::new(),
+            lazyctrl_proto::MessageBody::Cluster(_) => {}
         }
     }
 
@@ -522,34 +559,32 @@ impl EdgeSwitch {
         now_ns: u64,
         from: SwitchId,
         msg: &Message,
-    ) -> Vec<SwitchOutput> {
+        out: &mut OutputSink<SwitchOutput>,
+    ) {
         match &msg.body {
             lazyctrl_proto::MessageBody::Lazy(lazy) => match lazy {
                 LazyMsg::KeepAlive(ka) => {
                     if let Some(w) = &mut self.wheel {
                         w.on_peer_keepalive(ka.from, now_ns);
                     }
-                    Vec::new()
                 }
-                LazyMsg::GfibUpdate(gu) => {
-                    let mut out = Vec::new();
-                    if crate::designated::gfib_is_relevant(gu, self.current_epoch()) {
-                        self.gfib.apply_update(gu);
-                        // Designated switch relays to the rest of the group.
-                        if let Some(role) = &self.designated_role {
-                            for target in role.relay_targets(from) {
-                                let xid = self.next_xid();
-                                out.push(SwitchOutput::ToPeer(
-                                    target,
-                                    Message::lazy(xid, LazyMsg::GfibUpdate(gu.clone())),
-                                ));
-                            }
+                LazyMsg::GfibUpdate(gu)
+                    if crate::designated::gfib_is_relevant(gu, self.current_epoch()) =>
+                {
+                    self.gfib.apply_update(gu);
+                    // Designated switch relays to the rest of the group.
+                    if let Some(role) = &self.designated_role {
+                        for target in role.relay_targets(from) {
+                            let xid = self.next_xid();
+                            out.push(SwitchOutput::ToPeer(
+                                target,
+                                Message::lazy(xid, LazyMsg::GfibUpdate(gu.clone())),
+                            ));
                         }
                     }
-                    out
                 }
                 LazyMsg::LfibSync(sync) => {
-                    let mut out = self.absorb_lfib_sync(sync);
+                    self.absorb_lfib_sync(sync);
                     // Designated switch relays exact entries up the state
                     // link for the controller's C-LIB.
                     if self.designated_role.is_some() {
@@ -559,76 +594,79 @@ impl EdgeSwitch {
                             LazyMsg::LfibSync(sync.clone()),
                         )));
                     }
-                    out
                 }
                 LazyMsg::StateReport(report) => {
                     if let Some(role) = &mut self.designated_role {
                         role.absorb_report(report);
                     }
-                    Vec::new()
                 }
                 LazyMsg::WheelReport(report) => {
                     // Relay for a neighbour whose control link is dead.
                     let xid = self.next_xid();
-                    vec![SwitchOutput::ToController(Message::lazy(
+                    out.push(SwitchOutput::ToController(Message::lazy(
                         xid,
                         LazyMsg::WheelReport(*report),
-                    ))]
+                    )));
                 }
-                _ => Vec::new(),
+                _ => {}
             },
             lazyctrl_proto::MessageBody::Of(OfMessage::PacketOut(po)) => {
                 // A member asked the designated switch to run an intra-group
                 // ARP broadcast (§III-D.3 level ii).
                 let Ok(frame) = EthernetFrame::decode(&po.data) else {
-                    return Vec::new();
+                    return;
                 };
                 let tenant = frame.vlan.map(|t| t.vid()).unwrap_or(TenantId::NONE);
                 if self.designated_role.is_some() {
-                    let mut out = self.group_broadcast_except(frame.clone(), tenant, from);
+                    self.group_broadcast_except(frame.clone(), tenant, from, out);
                     // Escalate to the controller (level iii) unless blocked.
                     if !self.blocked_arp.contains(&tenant) {
                         let msg =
                             self.packet_in(PacketInReason::NoMatch, po.in_port, frame.encode());
                         out.push(SwitchOutput::ToController(msg));
                     }
-                    out
-                } else {
-                    Vec::new()
                 }
             }
-            _ => Vec::new(),
+            _ => {}
         }
     }
 
     /// Handles a timer the driver armed earlier.
-    pub fn on_timer(&mut self, now_ns: u64, timer: SwitchTimer) -> Vec<SwitchOutput> {
+    pub fn on_timer(
+        &mut self,
+        now_ns: u64,
+        timer: SwitchTimer,
+        out: &mut OutputSink<SwitchOutput>,
+    ) {
         match timer {
-            SwitchTimer::PeerSync => self.run_peer_sync(now_ns),
-            SwitchTimer::KeepAlive => self.run_keepalive(now_ns),
+            SwitchTimer::PeerSync => self.run_peer_sync(now_ns, out),
+            SwitchTimer::KeepAlive => self.run_keepalive(now_ns, out),
             SwitchTimer::LfibAge => {
                 self.lfib.age(now_ns, self.lfib_max_idle_ns);
-                vec![SwitchOutput::SetTimer(
+                out.push(SwitchOutput::SetTimer(
                     SwitchTimer::LfibAge,
                     self.lfib_max_idle_ns / 2,
-                )]
+                ));
             }
             SwitchTimer::EpochGrace(epoch) => {
                 self.accepted_epochs.remove(&epoch);
                 self.armed_timers.remove(&SwitchTimer::EpochGrace(epoch));
-                Vec::new()
             }
         }
     }
 
-    fn run_peer_sync(&mut self, now_ns: u64) -> Vec<SwitchOutput> {
-        let Some(group) = self.group.clone() else {
+    fn run_peer_sync(&mut self, now_ns: u64, out: &mut OutputSink<SwitchOutput>) {
+        // Copy the scalars out of the group config (no members clone — the
+        // periodic sync is steady-state work).
+        let Some((group_id, epoch, designated, sync_interval_ns)) = self
+            .group
+            .as_ref()
+            .map(|g| (g.group, g.epoch, g.designated, g.sync_interval_ns))
+        else {
             self.armed_timers.remove(&SwitchTimer::PeerSync);
-            return Vec::new();
+            return;
         };
-        let mut out = Vec::new();
         let delta = self.lfib.take_delta();
-        let epoch = group.epoch;
         if !delta.is_empty() {
             let sync = LfibSyncMsg {
                 origin: self.id,
@@ -637,7 +675,7 @@ impl EdgeSwitch {
                 removed: delta.removed,
             };
             let gfib_update = build_update(self.id, epoch, self.lfib.macs());
-            if group.designated == self.id {
+            if designated == self.id {
                 // Apply own update and fan out directly.
                 self.gfib.apply_update(&gfib_update);
                 if let Some(role) = &self.designated_role {
@@ -645,37 +683,37 @@ impl EdgeSwitch {
                         let xid = self.next_xid();
                         out.push(SwitchOutput::ToPeer(
                             target,
-                            Message::lazy(xid, LazyMsg::GfibUpdate(gfib_update.clone())),
+                            Message::lazy(xid, LazyMsg::gfib_update(gfib_update.clone())),
                         ));
                     }
                 }
                 let xid = self.next_xid();
                 out.push(SwitchOutput::ToState(Message::lazy(
                     xid,
-                    LazyMsg::LfibSync(sync),
+                    LazyMsg::lfib_sync(sync),
                 )));
             } else {
                 let xid = self.next_xid();
                 out.push(SwitchOutput::ToPeer(
-                    group.designated,
-                    Message::lazy(xid, LazyMsg::LfibSync(sync)),
+                    designated,
+                    Message::lazy(xid, LazyMsg::lfib_sync(sync)),
                 ));
                 let xid = self.next_xid();
                 out.push(SwitchOutput::ToPeer(
-                    group.designated,
-                    Message::lazy(xid, LazyMsg::GfibUpdate(gfib_update)),
+                    designated,
+                    Message::lazy(xid, LazyMsg::gfib_update(gfib_update)),
                 ));
             }
         }
         // Windowed traffic report. Quiet windows produce nothing: the
         // dissemination is asynchronous and event-driven (§III-D.3), so an
         // idle group costs the controller zero messages.
-        let report = self.adv.take_report(group.group, epoch, now_ns);
+        let report = self.adv.take_report(group_id, epoch, now_ns);
         let report_is_empty = report.intensity.is_empty()
             && report.stats.iter().all(|(_, st)| {
                 st.local_hits == 0 && st.group_hits == 0 && st.controller_punts == 0
             });
-        if group.designated == self.id {
+        if designated == self.id {
             if let Some(role) = &mut self.designated_role {
                 if !report_is_empty {
                     role.absorb_report(&report);
@@ -685,67 +723,68 @@ impl EdgeSwitch {
                     let xid = self.next_xid();
                     out.push(SwitchOutput::ToState(Message::lazy(
                         xid,
-                        LazyMsg::StateReport(controller_report),
+                        LazyMsg::state_report(controller_report),
                     )));
                 }
             }
         } else if !report_is_empty {
             let xid = self.next_xid();
             out.push(SwitchOutput::ToPeer(
-                group.designated,
-                Message::lazy(xid, LazyMsg::StateReport(report)),
+                designated,
+                Message::lazy(xid, LazyMsg::state_report(report)),
             ));
         }
         out.push(SwitchOutput::SetTimer(
             SwitchTimer::PeerSync,
-            group.sync_interval_ns,
+            sync_interval_ns,
         ));
-        out
     }
 
-    fn run_keepalive(&mut self, now_ns: u64) -> Vec<SwitchOutput> {
+    fn run_keepalive(&mut self, now_ns: u64, out: &mut OutputSink<SwitchOutput>) {
         let Some(wheel) = &mut self.wheel else {
             self.armed_timers.remove(&SwitchTimer::KeepAlive);
-            return Vec::new();
+            return;
         };
         let interval = self
             .group
             .as_ref()
             .map(|g| g.keepalive_interval_ns)
             .unwrap_or(1_000_000_000);
-        let actions = wheel.tick(now_ns);
-        let mut out = Vec::new();
-        for a in actions {
-            match a {
-                WheelAction::SendKeepAlive { to, msg } => {
-                    self.xid = self.xid.wrapping_add(1);
-                    out.push(SwitchOutput::ToPeer(
-                        to,
-                        Message::lazy(self.xid, LazyMsg::KeepAlive(msg)),
-                    ));
-                }
-                WheelAction::Report(report) => {
-                    self.xid = self.xid.wrapping_add(1);
-                    out.push(SwitchOutput::ToController(Message::lazy(
-                        self.xid,
-                        LazyMsg::WheelReport(report),
-                    )));
-                }
-                WheelAction::ReportViaPeer { via, msg } => {
-                    self.xid = self.xid.wrapping_add(1);
-                    out.push(SwitchOutput::ToPeer(
-                        via,
-                        Message::lazy(self.xid, LazyMsg::WheelReport(msg)),
-                    ));
-                }
+        // Disjoint-field closure captures: the wheel drives the visitor
+        // while xid and the sink absorb the actions — no scratch Vec.
+        let xid = &mut self.xid;
+        wheel.tick_each(now_ns, |a| match a {
+            WheelAction::SendKeepAlive { to, msg } => {
+                *xid = xid.wrapping_add(1);
+                out.push(SwitchOutput::ToPeer(
+                    to,
+                    Message::lazy(*xid, LazyMsg::KeepAlive(msg)),
+                ));
             }
-        }
+            WheelAction::Report(report) => {
+                *xid = xid.wrapping_add(1);
+                out.push(SwitchOutput::ToController(Message::lazy(
+                    *xid,
+                    LazyMsg::WheelReport(report),
+                )));
+            }
+            WheelAction::ReportViaPeer { via, msg } => {
+                *xid = xid.wrapping_add(1);
+                out.push(SwitchOutput::ToPeer(
+                    via,
+                    Message::lazy(*xid, LazyMsg::WheelReport(msg)),
+                ));
+            }
+        });
         out.push(SwitchOutput::SetTimer(SwitchTimer::KeepAlive, interval));
-        out
     }
 
-    fn apply_group_assign(&mut self, now_ns: u64, ga: &GroupAssignMsg) -> Vec<SwitchOutput> {
-        let mut out = Vec::new();
+    fn apply_group_assign(
+        &mut self,
+        now_ns: u64,
+        ga: &GroupAssignMsg,
+        out: &mut OutputSink<SwitchOutput>,
+    ) {
         let old_epoch = self.group.as_ref().map(|g| g.epoch);
         let config = GroupConfig::from(ga);
 
@@ -803,7 +842,7 @@ impl EdgeSwitch {
                     let xid = self.next_xid();
                     out.push(SwitchOutput::ToPeer(
                         target,
-                        Message::lazy(xid, LazyMsg::GfibUpdate(gfib_update.clone())),
+                        Message::lazy(xid, LazyMsg::gfib_update(gfib_update.clone())),
                     ));
                 }
                 self.gfib.apply_update(&gfib_update);
@@ -811,20 +850,20 @@ impl EdgeSwitch {
                     let xid = self.next_xid();
                     out.push(SwitchOutput::ToState(Message::lazy(
                         xid,
-                        LazyMsg::LfibSync(sync),
+                        LazyMsg::lfib_sync(sync),
                     )));
                 }
             } else {
                 let xid = self.next_xid();
                 out.push(SwitchOutput::ToPeer(
                     ga.designated,
-                    Message::lazy(xid, LazyMsg::GfibUpdate(gfib_update)),
+                    Message::lazy(xid, LazyMsg::gfib_update(gfib_update)),
                 ));
                 if let Some(sync) = sync {
                     let xid = self.next_xid();
                     out.push(SwitchOutput::ToPeer(
                         ga.designated,
-                        Message::lazy(xid, LazyMsg::LfibSync(sync)),
+                        Message::lazy(xid, LazyMsg::lfib_sync(sync)),
                     ));
                 }
             }
@@ -840,19 +879,14 @@ impl EdgeSwitch {
                 out.push(SwitchOutput::SetTimer(timer, delay));
             }
         }
-        out
     }
 
-    fn absorb_lfib_sync(&mut self, sync: &LfibSyncMsg) -> Vec<SwitchOutput> {
-        // Exact entries are only tracked by the controller; a member uses
-        // the sync to refresh the origin's bloom filter incrementally by
-        // rebuilding from the advertised entries (removals cannot clear
-        // bloom bits, so a full GfibUpdate follows periodically anyway).
-        if !crate::designated::sync_is_relevant(sync, self.current_epoch()) {
-            return Vec::new();
-        }
-        Vec::new()
-    }
+    /// Deliberate no-op: exact entries are only tracked by the
+    /// controller. A member's G-FIB is refreshed by the periodic
+    /// `GfibUpdate` that accompanies every sync (removals cannot clear
+    /// bloom bits, so incremental absorption would buy nothing — the
+    /// full filter push is the refresh).
+    fn absorb_lfib_sync(&mut self, _sync: &LfibSyncMsg) {}
 
     /// Records one flow arrival towards the destination switch when known.
     /// Every first packet counts: the paper's intensity unit is *new flows
@@ -871,33 +905,32 @@ impl EdgeSwitch {
 
     fn tunnel_to(
         &mut self,
-        candidates: Vec<SwitchId>,
+        candidates: &[SwitchId],
         frame: EthernetFrame,
         tenant: TenantId,
-    ) -> Vec<SwitchOutput> {
+        out: &mut OutputSink<SwitchOutput>,
+    ) {
         let epoch = self.current_epoch();
-        candidates
-            .into_iter()
-            .map(|target| {
-                SwitchOutput::Tunnel(
-                    target,
-                    EncapsulatedFrame::new(
-                        EncapHeader::new(
-                            self.id.underlay_ip(),
-                            target.underlay_ip(),
-                            tenant,
-                            epoch,
-                        ),
-                        frame.clone(),
-                    ),
-                )
-            })
-            .collect()
+        for &target in candidates {
+            out.push(SwitchOutput::Tunnel(
+                target,
+                EncapsulatedFrame::new(
+                    EncapHeader::new(self.id.underlay_ip(), target.underlay_ip(), tenant, epoch),
+                    // Arc-backed payload: each copy is a refcount bump.
+                    frame.clone(),
+                ),
+            ));
+        }
     }
 
     /// Broadcast a frame to every group member plus local ports.
-    fn group_broadcast(&mut self, frame: EthernetFrame, tenant: TenantId) -> Vec<SwitchOutput> {
-        self.group_broadcast_except(frame, tenant, self.id)
+    fn group_broadcast(
+        &mut self,
+        frame: EthernetFrame,
+        tenant: TenantId,
+        out: &mut OutputSink<SwitchOutput>,
+    ) {
+        self.group_broadcast_except(frame, tenant, self.id, out)
     }
 
     fn group_broadcast_except(
@@ -905,21 +938,21 @@ impl EdgeSwitch {
         frame: EthernetFrame,
         tenant: TenantId,
         except: SwitchId,
-    ) -> Vec<SwitchOutput> {
-        let members: Vec<SwitchId> = self
-            .group
-            .as_ref()
-            .map(|g| {
+        out: &mut OutputSink<SwitchOutput>,
+    ) {
+        let mut members = std::mem::take(&mut self.scratch_targets);
+        members.clear();
+        if let Some(g) = self.group.as_ref() {
+            members.extend(
                 g.members
                     .iter()
                     .copied()
-                    .filter(|&s| s != self.id && s != except)
-                    .collect()
-            })
-            .unwrap_or_default();
-        let mut out = self.tunnel_to(members, frame.clone(), tenant);
+                    .filter(|&s| s != self.id && s != except),
+            );
+        }
+        self.tunnel_to(&members, frame.clone(), tenant, out);
+        self.scratch_targets = members;
         out.push(SwitchOutput::FloodLocal(frame));
-        out
     }
 
     fn apply_actions(
@@ -929,8 +962,8 @@ impl EdgeSwitch {
         frame: EthernetFrame,
         tenant: TenantId,
         actions: &[Action],
-    ) -> Vec<SwitchOutput> {
-        let mut out = Vec::new();
+        out: &mut OutputSink<SwitchOutput>,
+    ) {
         let mut frame = frame;
         let mut tenant = tenant;
         for action in actions {
@@ -953,7 +986,7 @@ impl EdgeSwitch {
                 Action::StripVlan => {
                     frame.vlan = None;
                 }
-                Action::Drop => return out,
+                Action::Drop => return,
                 Action::Encap { remote, key } => {
                     if let Some(target) = SwitchId::from_underlay_ip(remote) {
                         out.push(SwitchOutput::Tunnel(
@@ -967,6 +1000,5 @@ impl EdgeSwitch {
                 }
             }
         }
-        out
     }
 }

@@ -127,25 +127,25 @@ impl WheelPosition {
     }
 
     /// One keep-alive tick: emit probes to both neighbours and report any
-    /// sources that have gone silent past the miss threshold.
-    pub fn tick(&mut self, now_ns: u64) -> Vec<WheelAction> {
+    /// sources that have gone silent past the miss threshold. Actions are
+    /// handed to the visitor in emission order — the tick fires once per
+    /// interval on *every* switch, so this path must not allocate.
+    pub fn tick_each(&mut self, now_ns: u64, mut f: impl FnMut(WheelAction)) {
         self.seq += 1;
-        let mut out = vec![
-            WheelAction::SendKeepAlive {
-                to: self.prev,
-                msg: KeepAliveMsg {
-                    from: self.me,
-                    seq: self.seq,
-                },
+        f(WheelAction::SendKeepAlive {
+            to: self.prev,
+            msg: KeepAliveMsg {
+                from: self.me,
+                seq: self.seq,
             },
-            WheelAction::SendKeepAlive {
-                to: self.next,
-                msg: KeepAliveMsg {
-                    from: self.me,
-                    seq: self.seq,
-                },
+        });
+        f(WheelAction::SendKeepAlive {
+            to: self.next,
+            msg: KeepAliveMsg {
+                from: self.me,
+                seq: self.seq,
             },
-        ];
+        });
         let deadline = self.interval_ns.saturating_mul(self.miss_threshold as u64);
         let due = |last_heard: u64, reported_at: Option<u64>| {
             now_ns.saturating_sub(last_heard) > deadline
@@ -153,7 +153,7 @@ impl WheelPosition {
         };
         if due(self.last_from_prev_ns, self.reported_prev_at_ns) {
             self.reported_prev_at_ns = Some(now_ns);
-            out.push(WheelAction::Report(WheelReportMsg {
+            f(WheelAction::Report(WheelReportMsg {
                 reporter: self.me,
                 missing: self.prev,
                 loss: WheelLoss::Upstream,
@@ -161,7 +161,7 @@ impl WheelPosition {
         }
         if due(self.last_from_next_ns, self.reported_next_at_ns) {
             self.reported_next_at_ns = Some(now_ns);
-            out.push(WheelAction::Report(WheelReportMsg {
+            f(WheelAction::Report(WheelReportMsg {
                 reporter: self.me,
                 missing: self.next,
                 loss: WheelLoss::Downstream,
@@ -170,7 +170,7 @@ impl WheelPosition {
         if due(self.last_from_controller_ns, self.reported_controller_at_ns) {
             self.reported_controller_at_ns = Some(now_ns);
             // Control link presumed dead: relay via the upstream neighbour.
-            out.push(WheelAction::ReportViaPeer {
+            f(WheelAction::ReportViaPeer {
                 via: self.prev,
                 msg: WheelReportMsg {
                     reporter: self.me,
@@ -179,6 +179,13 @@ impl WheelPosition {
                 },
             });
         }
+    }
+
+    /// [`WheelPosition::tick_each`], collected (test/inspection
+    /// convenience).
+    pub fn tick(&mut self, now_ns: u64) -> Vec<WheelAction> {
+        let mut out = Vec::new();
+        self.tick_each(now_ns, |a| out.push(a));
         out
     }
 }

@@ -7,9 +7,17 @@ use lazyctrl_net::{
 };
 use lazyctrl_proto::{
     Action, FlowMatch, FlowModCommand, FlowModMsg, GroupAssignMsg, LazyMsg, Message, MessageBody,
-    OfMessage, PacketInReason,
+    OfMessage, OutputSink, PacketInReason,
 };
 use lazyctrl_switch::{EdgeSwitch, SwitchOutput, SwitchTimer};
+
+/// Runs one sink-based handler and returns its outputs as a `Vec` (test
+/// convenience mirroring the pre-sink API).
+fn collect(f: impl FnOnce(&mut OutputSink<SwitchOutput>)) -> Vec<SwitchOutput> {
+    let mut sink = OutputSink::new();
+    f(&mut sink);
+    sink.take_buf()
+}
 
 fn host_frame(src: u32, dst: u32, tenant: u16) -> EthernetFrame {
     EthernetFrame::tagged(
@@ -57,8 +65,8 @@ fn group_assign(me_designated: bool) -> GroupAssignMsg {
 
 fn configured_switch(designated: bool) -> EdgeSwitch {
     let mut sw = EdgeSwitch::new(SwitchId::new(1));
-    let msg = Message::lazy(1, LazyMsg::GroupAssign(group_assign(designated)));
-    let _ = sw.handle_control_message(0, &msg);
+    let msg = Message::lazy(1, LazyMsg::group_assign(group_assign(designated)));
+    let _ = collect(|s| sw.handle_control_message(0, &msg, s));
     sw
 }
 
@@ -75,7 +83,7 @@ fn controller_msgs(outputs: &[SwitchOutput]) -> Vec<&Message> {
 #[test]
 fn unassigned_switch_punts_unknowns_like_plain_openflow() {
     let mut sw = EdgeSwitch::new(SwitchId::new(1));
-    let out = sw.handle_local_frame(0, PortNo::new(1), host_frame(10, 20, 1));
+    let out = collect(|s| sw.handle_local_frame(0, PortNo::new(1), host_frame(10, 20, 1), s));
     let msgs = controller_msgs(&out);
     assert_eq!(msgs.len(), 1);
     match &msgs[0].body {
@@ -91,9 +99,9 @@ fn unassigned_switch_punts_unknowns_like_plain_openflow() {
 fn group_assign_installs_state_and_timers() {
     let mut sw = EdgeSwitch::new(SwitchId::new(1));
     // Learn a host first so the assignment triggers an announcement.
-    let _ = sw.handle_local_frame(0, PortNo::new(4), host_frame(10, 11, 1));
-    let msg = Message::lazy(1, LazyMsg::GroupAssign(group_assign(false)));
-    let out = sw.handle_control_message(0, &msg);
+    let _ = collect(|s| sw.handle_local_frame(0, PortNo::new(4), host_frame(10, 11, 1), s));
+    let msg = Message::lazy(1, LazyMsg::group_assign(group_assign(false)));
+    let out = collect(|s| sw.handle_control_message(0, &msg, s));
 
     assert!(sw.group().is_some());
     assert!(!sw.is_designated());
@@ -121,9 +129,9 @@ fn group_assign_installs_state_and_timers() {
 fn local_destination_is_delivered_locally() {
     let mut sw = configured_switch(false);
     // Host 20 attaches locally (we learn it from its own traffic).
-    let _ = sw.handle_local_frame(0, PortNo::new(7), host_frame(20, 99, 1));
+    let _ = collect(|s| sw.handle_local_frame(0, PortNo::new(7), host_frame(20, 99, 1), s));
     // Traffic towards 20 now short-circuits in the data plane.
-    let out = sw.handle_local_frame(1, PortNo::new(1), host_frame(10, 20, 1));
+    let out = collect(|s| sw.handle_local_frame(1, PortNo::new(1), host_frame(10, 20, 1), s));
     assert!(
         matches!(
             out.as_slice(),
@@ -140,8 +148,9 @@ fn gfib_hit_tunnels_with_epoch_key() {
     // Peer S3 advertises host 30.
     let update =
         lazyctrl_switch::build_gfib_update(SwitchId::new(3), 1, vec![HostId::new(30).mac()]);
-    let _ = sw.handle_control_message(0, &Message::lazy(5, LazyMsg::GfibUpdate(update)));
-    let out = sw.handle_local_frame(1, PortNo::new(1), host_frame(10, 30, 1));
+    let msg = Message::lazy(5, LazyMsg::gfib_update(update));
+    let _ = collect(|s| sw.handle_control_message(0, &msg, s));
+    let out = collect(|s| sw.handle_local_frame(1, PortNo::new(1), host_frame(10, 30, 1), s));
     match out.as_slice() {
         [SwitchOutput::Tunnel(target, encap)] => {
             assert_eq!(*target, SwitchId::new(3));
@@ -158,17 +167,18 @@ fn tunnel_delivery_and_false_positive_drop() {
     let mut tx = configured_switch(false);
     let mut rx = EdgeSwitch::new(SwitchId::new(3));
     // rx knows host 30 locally.
-    let _ = rx.handle_local_frame(0, PortNo::new(2), host_frame(30, 99, 1));
+    let _ = collect(|s| rx.handle_local_frame(0, PortNo::new(2), host_frame(30, 99, 1), s));
 
     let update =
         lazyctrl_switch::build_gfib_update(SwitchId::new(3), 1, vec![HostId::new(30).mac()]);
-    let _ = tx.handle_control_message(0, &Message::lazy(5, LazyMsg::GfibUpdate(update)));
-    let out = tx.handle_local_frame(1, PortNo::new(1), host_frame(10, 30, 1));
+    let msg = Message::lazy(5, LazyMsg::gfib_update(update));
+    let _ = collect(|s| tx.handle_control_message(0, &msg, s));
+    let out = collect(|s| tx.handle_local_frame(1, PortNo::new(1), host_frame(10, 30, 1), s));
     let SwitchOutput::Tunnel(_, encap) = &out[0] else {
         panic!("expected tunnel");
     };
     // Delivered at rx.
-    let delivery = rx.handle_tunnel_packet(2, encap.clone());
+    let delivery = collect(|s| rx.handle_tunnel_packet(2, encap.clone(), s));
     assert!(
         matches!(
             delivery.as_slice(),
@@ -179,7 +189,7 @@ fn tunnel_delivery_and_false_positive_drop() {
     // A mis-forwarded copy (host unknown at rx) is silently dropped.
     let mut bogus = encap.clone();
     bogus.inner.dst = HostId::new(12345).mac();
-    let dropped = rx.handle_tunnel_packet(3, bogus);
+    let dropped = collect(|s| rx.handle_tunnel_packet(3, bogus, s));
     assert!(dropped.is_empty(), "false positive must drop: {dropped:?}");
 }
 
@@ -196,7 +206,7 @@ fn false_positive_reporting_is_optional() {
         ),
         host_frame(10, 777, 1),
     );
-    let out = rx.handle_tunnel_packet(0, encap);
+    let out = collect(|s| rx.handle_tunnel_packet(0, encap, s));
     let msgs = controller_msgs(&out);
     assert_eq!(msgs.len(), 1);
     match &msgs[0].body {
@@ -210,8 +220,8 @@ fn false_positive_reporting_is_optional() {
 #[test]
 fn arp_cascade_level_one_floods_locally() {
     let mut sw = configured_switch(false);
-    let _ = sw.handle_local_frame(0, PortNo::new(7), host_frame(20, 99, 1));
-    let out = sw.handle_local_frame(1, PortNo::new(1), arp_request(10, 20, 1));
+    let _ = collect(|s| sw.handle_local_frame(0, PortNo::new(7), host_frame(20, 99, 1), s));
+    let out = collect(|s| sw.handle_local_frame(1, PortNo::new(1), arp_request(10, 20, 1), s));
     assert!(
         matches!(out.as_slice(), [SwitchOutput::FloodLocal(_)]),
         "local target: flood locally only, got {out:?}"
@@ -223,8 +233,9 @@ fn arp_cascade_level_two_tunnels_to_candidates() {
     let mut sw = configured_switch(false);
     let update =
         lazyctrl_switch::build_gfib_update(SwitchId::new(3), 1, vec![HostId::new(30).mac()]);
-    let _ = sw.handle_control_message(0, &Message::lazy(5, LazyMsg::GfibUpdate(update)));
-    let out = sw.handle_local_frame(1, PortNo::new(1), arp_request(10, 30, 1));
+    let msg = Message::lazy(5, LazyMsg::gfib_update(update));
+    let _ = collect(|s| sw.handle_control_message(0, &msg, s));
+    let out = collect(|s| sw.handle_local_frame(1, PortNo::new(1), arp_request(10, 30, 1), s));
     assert!(
         matches!(out.as_slice(), [SwitchOutput::Tunnel(s, _)] if *s == SwitchId::new(3)),
         "got {out:?}"
@@ -234,7 +245,7 @@ fn arp_cascade_level_two_tunnels_to_candidates() {
 #[test]
 fn arp_cascade_level_two_b_asks_designated() {
     let mut sw = configured_switch(false);
-    let out = sw.handle_local_frame(1, PortNo::new(1), arp_request(10, 555, 1));
+    let out = collect(|s| sw.handle_local_frame(1, PortNo::new(1), arp_request(10, 555, 1), s));
     assert!(
         matches!(
             out.as_slice(),
@@ -251,7 +262,7 @@ fn arp_cascade_level_two_b_asks_designated() {
 fn designated_broadcasts_and_escalates() {
     let mut sw = configured_switch(true);
     assert!(sw.is_designated());
-    let out = sw.handle_local_frame(1, PortNo::new(1), arp_request(10, 555, 1));
+    let out = collect(|s| sw.handle_local_frame(1, PortNo::new(1), arp_request(10, 555, 1), s));
     let tunnels = out
         .iter()
         .filter(|o| matches!(o, SwitchOutput::Tunnel(_, _)))
@@ -271,8 +282,8 @@ fn blocked_tenant_arp_never_reaches_controller() {
             block: true,
         },
     );
-    let _ = sw.handle_control_message(0, &block);
-    let out = sw.handle_local_frame(1, PortNo::new(1), arp_request(10, 555, 1));
+    let _ = collect(|s| sw.handle_control_message(0, &block, s));
+    let out = collect(|s| sw.handle_local_frame(1, PortNo::new(1), arp_request(10, 555, 1), s));
     assert!(
         controller_msgs(&out).is_empty(),
         "blocked tenant escalated anyway: {out:?}"
@@ -285,8 +296,8 @@ fn blocked_tenant_arp_never_reaches_controller() {
             block: false,
         },
     );
-    let _ = sw.handle_control_message(2, &unblock);
-    let out = sw.handle_local_frame(3, PortNo::new(1), arp_request(10, 556, 1));
+    let _ = collect(|s| sw.handle_control_message(2, &unblock, s));
+    let out = collect(|s| sw.handle_local_frame(3, PortNo::new(1), arp_request(10, 556, 1), s));
     assert_eq!(controller_msgs(&out).len(), 1);
 }
 
@@ -295,7 +306,7 @@ fn flow_mod_and_stats_round_trip() {
     let mut sw = configured_switch(false);
     let fm = Message::of(
         2,
-        OfMessage::FlowMod(FlowModMsg {
+        OfMessage::flow_mod(FlowModMsg {
             command: FlowModCommand::Add,
             flow_match: FlowMatch::to_dst(HostId::new(40).mac()),
             priority: 10,
@@ -305,14 +316,14 @@ fn flow_mod_and_stats_round_trip() {
             actions: vec![Action::Drop],
         }),
     );
-    let _ = sw.handle_control_message(0, &fm);
+    let _ = collect(|s| sw.handle_control_message(0, &fm, s));
     assert_eq!(sw.flow_table().len(), 1);
     // Matching traffic is dropped by the rule, not punted.
-    let out = sw.handle_local_frame(1, PortNo::new(1), host_frame(10, 40, 1));
+    let out = collect(|s| sw.handle_local_frame(1, PortNo::new(1), host_frame(10, 40, 1), s));
     assert!(out.is_empty(), "rule says drop, got {out:?}");
 
     let stats_req = Message::of(3, OfMessage::StatsRequest);
-    let out = sw.handle_control_message(2, &stats_req);
+    let out = collect(|s| sw.handle_control_message(2, &stats_req, s));
     match &controller_msgs(&out)[0].body {
         MessageBody::Of(OfMessage::StatsReply { flows, .. }) => assert_eq!(*flows, 1),
         other => panic!("expected StatsReply, got {other:?}"),
@@ -322,12 +333,14 @@ fn flow_mod_and_stats_round_trip() {
 #[test]
 fn echo_and_features_replies() {
     let mut sw = EdgeSwitch::new(SwitchId::new(9));
-    let out = sw.handle_control_message(0, &Message::of(4, OfMessage::EchoRequest(vec![1, 2])));
+    let echo = Message::of(4, OfMessage::EchoRequest(vec![1, 2]));
+    let out = collect(|s| sw.handle_control_message(0, &echo, s));
     assert!(matches!(
         &controller_msgs(&out)[0].body,
         MessageBody::Of(OfMessage::EchoReply(d)) if d == &vec![1, 2]
     ));
-    let out = sw.handle_control_message(0, &Message::of(5, OfMessage::FeaturesRequest));
+    let features = Message::of(5, OfMessage::FeaturesRequest);
+    let out = collect(|s| sw.handle_control_message(0, &features, s));
     assert!(matches!(
         &controller_msgs(&out)[0].body,
         MessageBody::Of(OfMessage::FeaturesReply { datapath_id: 9, .. })
@@ -337,8 +350,8 @@ fn echo_and_features_replies() {
 #[test]
 fn peer_sync_timer_reports_state() {
     let mut sw = configured_switch(false);
-    let _ = sw.handle_local_frame(0, PortNo::new(7), host_frame(20, 99, 1));
-    let out = sw.on_timer(1_000_000_000, SwitchTimer::PeerSync);
+    let _ = collect(|s| sw.handle_local_frame(0, PortNo::new(7), host_frame(20, 99, 1), s));
+    let out = collect(|s| sw.on_timer(1_000_000_000, SwitchTimer::PeerSync, s));
     // A non-designated member sends LfibSync + GfibUpdate + StateReport to
     // the designated switch, and re-arms the timer.
     let to_designated = out
@@ -357,8 +370,8 @@ fn peer_sync_timer_reports_state() {
 #[test]
 fn designated_sync_timer_reports_upward() {
     let mut sw = configured_switch(true);
-    let _ = sw.handle_local_frame(0, PortNo::new(7), host_frame(20, 99, 1));
-    let out = sw.on_timer(1_000_000_000, SwitchTimer::PeerSync);
+    let _ = collect(|s| sw.handle_local_frame(0, PortNo::new(7), host_frame(20, 99, 1), s));
+    let out = collect(|s| sw.on_timer(1_000_000_000, SwitchTimer::PeerSync, s));
     let to_state = out
         .iter()
         .filter(|o| matches!(o, SwitchOutput::ToState(_)))
@@ -372,13 +385,11 @@ fn designated_sync_timer_reports_upward() {
 #[test]
 fn keepalive_timer_probes_ring() {
     let mut sw = configured_switch(false);
-    let out = sw.on_timer(500_000_000, SwitchTimer::KeepAlive);
+    let out = collect(|s| sw.on_timer(500_000_000, SwitchTimer::KeepAlive, s));
     let probes: Vec<SwitchId> = out
         .iter()
         .filter_map(|o| match o {
-            SwitchOutput::ToPeer(s, m)
-                if matches!(m.body, MessageBody::Lazy(LazyMsg::KeepAlive(_))) =>
-            {
+            SwitchOutput::ToPeer(s, m) if matches!(m.as_lazy(), Some(LazyMsg::KeepAlive(_))) => {
                 Some(*s)
             }
             _ => None,
@@ -392,12 +403,13 @@ fn stale_epoch_tunnel_drops_after_grace() {
     let mut sw = configured_switch(false);
     sw.epoch_gating = true;
     // Learn a host so delivery would otherwise succeed.
-    let _ = sw.handle_local_frame(0, PortNo::new(2), host_frame(30, 99, 1));
+    let _ = collect(|s| sw.handle_local_frame(0, PortNo::new(2), host_frame(30, 99, 1), s));
 
     // Regroup to epoch 2; epoch 1 stays valid through the grace window.
     let mut ga = group_assign(false);
     ga.epoch = 2;
-    let _ = sw.handle_control_message(1, &Message::lazy(8, LazyMsg::GroupAssign(ga)));
+    let regroup = Message::lazy(8, LazyMsg::group_assign(ga));
+    let _ = collect(|s| sw.handle_control_message(1, &regroup, s));
 
     let encap = |key: u32| {
         lazyctrl_net::EncapsulatedFrame::new(
@@ -411,14 +423,14 @@ fn stale_epoch_tunnel_drops_after_grace() {
         )
     };
     // Old-epoch packet within grace: delivered.
-    let out = sw.handle_tunnel_packet(2, encap(1));
+    let out = collect(|s| sw.handle_tunnel_packet(2, encap(1), s));
     assert!(matches!(out.as_slice(), [SwitchOutput::DeliverLocal(_, _)]));
     // Grace expires.
-    let _ = sw.on_timer(3_000_000_000, SwitchTimer::EpochGrace(1));
-    let out = sw.handle_tunnel_packet(4, encap(1));
+    let _ = collect(|s| sw.on_timer(3_000_000_000, SwitchTimer::EpochGrace(1), s));
+    let out = collect(|s| sw.handle_tunnel_packet(4, encap(1), s));
     assert!(out.is_empty(), "stale epoch must drop: {out:?}");
     // Current epoch still flows.
-    let out = sw.handle_tunnel_packet(5, encap(2));
+    let out = collect(|s| sw.handle_tunnel_packet(5, encap(2), s));
     assert!(matches!(out.as_slice(), [SwitchOutput::DeliverLocal(_, _)]));
 }
 
@@ -431,12 +443,12 @@ fn wheel_report_relay_goes_up_the_control_link() {
         loss: lazyctrl_proto::WheelLoss::Controller,
     };
     let msg = Message::lazy(11, LazyMsg::WheelReport(report));
-    let out = sw.handle_peer_message(0, SwitchId::new(3), &msg);
+    let out = collect(|s| sw.handle_peer_message(0, SwitchId::new(3), &msg, s));
     assert!(
         matches!(
             out.as_slice(),
             [SwitchOutput::ToController(m)]
-                if matches!(m.body, MessageBody::Lazy(LazyMsg::WheelReport(r)) if r == report)
+                if matches!(m.as_lazy(), Some(LazyMsg::WheelReport(r)) if *r == report)
         ),
         "got {out:?}"
     );

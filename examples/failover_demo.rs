@@ -10,7 +10,7 @@ use lazyctrl::controller::{ControllerOutput, LazyConfig, LazyController};
 use lazyctrl::core::{run_built, ScenarioRegistry};
 use lazyctrl::net::SwitchId;
 use lazyctrl::partition::WeightedGraph;
-use lazyctrl::proto::{LazyMsg, Message, MessageBody, WheelLoss, WheelReportMsg};
+use lazyctrl::proto::{LazyMsg, Message, OutputSink, WheelLoss, WheelReportMsg};
 use lazyctrl::switch::wheel::{WheelAction, WheelPosition};
 
 fn main() {
@@ -68,7 +68,9 @@ fn main() {
             ..LazyConfig::default()
         },
     );
-    let _ = controller.bootstrap(0, g);
+    let mut sink = OutputSink::new();
+    controller.bootstrap(0, g, &mut sink);
+    sink.clear();
     let victim = controller
         .grouping()
         .designated_of(0)
@@ -87,8 +89,15 @@ fn main() {
             }),
         )
     };
-    let _ = controller.handle_message(1, SwitchId::new(1), &mk(WheelLoss::Upstream, 1));
-    let out = controller.handle_message(2, SwitchId::new(2), &mk(WheelLoss::Downstream, 2));
+    controller.handle_message(1, SwitchId::new(1), &mk(WheelLoss::Upstream, 1), &mut sink);
+    sink.clear();
+    controller.handle_message(
+        2,
+        SwitchId::new(2),
+        &mk(WheelLoss::Downstream, 2),
+        &mut sink,
+    );
+    let out = sink.take_buf();
 
     println!("controller infers: switch {victim} is down");
     println!(
@@ -97,7 +106,7 @@ fn main() {
     );
     for o in &out {
         if let ControllerOutput::ToSwitch(to, m) = o {
-            if let MessageBody::Lazy(LazyMsg::GroupAssign(ga)) = &m.body {
+            if let Some(LazyMsg::GroupAssign(ga)) = m.as_lazy() {
                 println!(
                     "  → {to}: new group membership {:?}, designated {}",
                     ga.members, ga.designated
@@ -109,12 +118,14 @@ fn main() {
     // The victim reboots and pings the controller: §III-E.3 comeback.
     println!("\n=== 3. Rebooted switch comes back ===");
     let hello = Message::of(9, lazyctrl::proto::OfMessage::Hello);
-    let out = controller.handle_message(60_000_000_000, victim, &hello);
+    let mut sink = OutputSink::new();
+    controller.handle_message(60_000_000_000, victim, &hello, &mut sink);
+    let out = sink.take_buf();
     let resyncs = out
         .iter()
         .filter(|o| {
             matches!(o, ControllerOutput::ToSwitch(_, m)
-                if matches!(m.body, MessageBody::Lazy(LazyMsg::GroupAssign(_))))
+                if matches!(m.as_lazy(), Some(LazyMsg::GroupAssign(_))))
         })
         .count();
     println!("controller resynchronizes the group: {resyncs} GroupAssign messages pushed");

@@ -5,7 +5,7 @@
 use lazyctrl::controller::{ControllerOutput, LazyConfig, LazyController};
 use lazyctrl::net::{GroupId, SwitchId};
 use lazyctrl::partition::WeightedGraph;
-use lazyctrl::proto::{GroupAssignMsg, LazyMsg, Message, MessageBody, WheelLoss, WheelReportMsg};
+use lazyctrl::proto::{GroupAssignMsg, LazyMsg, Message, OutputSink, WheelLoss, WheelReportMsg};
 use lazyctrl::switch::{EdgeSwitch, SwitchOutput, SwitchTimer};
 
 fn ring_of_four() -> Vec<EdgeSwitch> {
@@ -24,7 +24,8 @@ fn ring_of_four() -> Vec<EdgeSwitch> {
             keepalive_interval_ms: 1_000,
             group_size_limit: 4,
         };
-        let _ = sw.handle_control_message(0, &Message::lazy(1, LazyMsg::GroupAssign(ga)));
+        let mut sink = OutputSink::new();
+        sw.handle_control_message(0, &Message::lazy(1, LazyMsg::group_assign(ga)), &mut sink);
     }
     switches
 }
@@ -38,6 +39,7 @@ fn run_keepalive_rounds(
 ) -> Vec<WheelReportMsg> {
     let interval_ns = 1_000_000_000u64;
     let mut reports = Vec::new();
+    let mut sink = OutputSink::new();
     for round in 1..=rounds {
         let now = round * interval_ns;
         // Collect each live switch's keep-alive emissions.
@@ -47,12 +49,13 @@ fn run_keepalive_rounds(
             if dead.contains(&id) {
                 continue;
             }
-            for out in sw.on_timer(now, SwitchTimer::KeepAlive) {
+            sw.on_timer(now, SwitchTimer::KeepAlive, &mut sink);
+            for out in sink.drain() {
                 match out {
                     SwitchOutput::ToPeer(to, msg) => deliveries.push((id, to, msg)),
                     SwitchOutput::ToController(msg) => {
-                        if let MessageBody::Lazy(LazyMsg::WheelReport(r)) = msg.body {
-                            reports.push(r);
+                        if let Some(LazyMsg::WheelReport(r)) = msg.as_lazy() {
+                            reports.push(*r);
                         }
                     }
                     _ => {}
@@ -66,7 +69,8 @@ fn run_keepalive_rounds(
                     seq: round,
                 }),
             );
-            let _ = sw.handle_control_message(now, &ka);
+            sw.handle_control_message(now, &ka, &mut sink);
+            sink.clear();
         }
         // Deliver peer messages to live targets.
         for (from, to, msg) in deliveries {
@@ -74,10 +78,11 @@ fn run_keepalive_rounds(
                 continue;
             }
             let idx = switches.iter().position(|s| s.id() == to).expect("exists");
-            for out in switches[idx].handle_peer_message(now, from, &msg) {
+            switches[idx].handle_peer_message(now, from, &msg, &mut sink);
+            for out in sink.drain() {
                 if let SwitchOutput::ToController(m) = out {
-                    if let MessageBody::Lazy(LazyMsg::WheelReport(r)) = m.body {
-                        reports.push(r);
+                    if let Some(LazyMsg::WheelReport(r)) = m.as_lazy() {
+                        reports.push(*r);
                     }
                 }
             }
@@ -132,7 +137,9 @@ fn controller_reforms_group_around_dead_designated() {
             ..LazyConfig::default()
         },
     );
-    let _ = controller.bootstrap(0, g);
+    let mut sink = OutputSink::new();
+    controller.bootstrap(0, g, &mut sink);
+    sink.clear();
     let victim = controller.grouping().designated_of(0).expect("one group");
 
     let mut switches = ring_of_four();
@@ -140,10 +147,10 @@ fn controller_reforms_group_around_dead_designated() {
     let mut reform_messages = 0;
     for (i, r) in reports.iter().enumerate() {
         let msg = Message::lazy(i as u32 + 10, LazyMsg::WheelReport(*r));
-        let out = controller.handle_message(10_000_000_000 + i as u64, r.reporter, &msg);
-        for o in &out {
+        controller.handle_message(10_000_000_000 + i as u64, r.reporter, &msg, &mut sink);
+        for o in sink.drain() {
             if let ControllerOutput::ToSwitch(_, m) = o {
-                if let MessageBody::Lazy(LazyMsg::GroupAssign(ga)) = &m.body {
+                if let Some(LazyMsg::GroupAssign(ga)) = m.as_lazy() {
                     assert!(!ga.members.contains(&victim));
                     assert_ne!(ga.designated, victim);
                     reform_messages += 1;
