@@ -40,8 +40,9 @@
 use std::time::Instant;
 
 use lazyctrl_bench::{render_table, syn_a_trace, Scale};
-use lazyctrl_core::scenarios::{run_built, ScenarioRegistry};
+use lazyctrl_core::scenarios::{run_built_detailed, ScenarioRegistry};
 use lazyctrl_core::{ControlMode, Experiment, ExperimentConfig, SchedulerKind};
+use lazyctrl_obs::PhaseTimings;
 use lazyctrl_trace::Trace;
 
 /// Pre-PR reference numbers (PR 4 engine: timing wheel with inline
@@ -85,6 +86,10 @@ struct Measurement {
     events: u64,
     flows: u64,
     peak_rss_kb: u64,
+    /// Trace-build vs event-loop vs report-collection wall split (the
+    /// engine's own phase timers; `wall_s` additionally covers trace
+    /// cloning and driver overhead around them).
+    phases: PhaseTimings,
 }
 
 impl Measurement {
@@ -92,10 +97,18 @@ impl Measurement {
         self.events as f64 / self.wall_s
     }
 
+    fn phase_cell(&self) -> String {
+        format!(
+            "{:.2}/{:.2}/{:.2}",
+            self.phases.build_s, self.phases.run_s, self.phases.report_s
+        )
+    }
+
     fn json_line(&self, scale: Scale) -> String {
         format!(
             "{{\"scale\": \"{}\", \"name\": \"{}\", \"wall_s\": {:.3}, \"events\": {}, \
-             \"events_per_sec\": {:.0}, \"flow_setups_per_sec\": {:.0}, \"peak_rss_kb\": {}}}",
+             \"events_per_sec\": {:.0}, \"flow_setups_per_sec\": {:.0}, \"peak_rss_kb\": {}, \
+             \"build_s\": {:.3}, \"run_s\": {:.3}, \"report_s\": {:.3}}}",
             scale.label(),
             self.name,
             self.wall_s,
@@ -103,6 +116,9 @@ impl Measurement {
             self.events_per_sec(),
             self.flows as f64 / self.wall_s,
             self.peak_rss_kb,
+            self.phases.build_s,
+            self.phases.run_s,
+            self.phases.report_s,
         )
     }
 }
@@ -115,13 +131,14 @@ fn run_workload(name: &str, trace: &Trace, arp: bool, kind: SchedulerKind) -> Me
     cfg.emit_arp = arp;
     reset_peak_rss();
     let t0 = Instant::now();
-    let report = Experiment::new(trace.clone(), cfg).run();
+    let detailed = Experiment::new(trace.clone(), cfg).run_detailed();
     Measurement {
         name: name.to_owned(),
         wall_s: t0.elapsed().as_secs_f64(),
-        events: report.events_processed,
-        flows: report.flows_started,
+        events: detailed.report.events_processed,
+        flows: detailed.report.flows_started,
         peak_rss_kb: peak_rss_kb(),
+        phases: detailed.phases,
     }
 }
 
@@ -221,13 +238,14 @@ fn main() {
         let (strace, cfg, plan) = s.build(0xC1);
         reset_peak_rss();
         let t0 = Instant::now();
-        let run = run_built(s, strace, cfg, plan);
+        let (run, detailed) = run_built_detailed(s, strace, cfg, plan);
         measurements.push(Measurement {
             name: format!("scenario:{name}"),
             wall_s: t0.elapsed().as_secs_f64(),
             events: run.report.events_processed,
             flows: run.report.flows_started,
             peak_rss_kb: peak_rss_kb(),
+            phases: detailed.phases,
         });
     }
 
@@ -239,6 +257,7 @@ fn main() {
         rows.push(vec![
             m.name.clone(),
             format!("{:.3}", m.wall_s),
+            m.phase_cell(),
             m.events.to_string(),
             format!("{:.0}", m.events_per_sec()),
             format!("{:.0}", m.flows as f64 / m.wall_s),
@@ -252,6 +271,7 @@ fn main() {
             &[
                 "scenario",
                 "wall (s)",
+                "build/run/report (s)",
                 "events",
                 "events/s",
                 "flow-setups/s",

@@ -2,6 +2,7 @@
 
 use lazyctrl_cluster::DisseminationStrategy;
 use lazyctrl_controller::RegroupTriggers;
+use lazyctrl_obs::ObsConfig;
 use lazyctrl_proto::EventPlan;
 use lazyctrl_sim::{LatencyModel, SchedulerKind};
 use serde::{Deserialize, Serialize};
@@ -104,6 +105,10 @@ pub struct ExperimentConfig {
     /// Worker threads for the SGI merge/split step of incremental
     /// regrouping (`1` = sequential; bit-identical results either way).
     pub sgi_parallelism: usize,
+    /// Observability layer (flight recorder + sampling profiler). Off by
+    /// default; the layer is strictly read-only, so reports are
+    /// bit-identical with it on or off (see `lazyctrl_obs`).
+    pub obs: ObsConfig,
 }
 
 impl ExperimentConfig {
@@ -131,7 +136,14 @@ impl ExperimentConfig {
             plan: EventPlan::new(),
             scheduler: SchedulerKind::default(),
             sgi_parallelism: 1,
+            obs: ObsConfig::default(),
         }
+    }
+
+    /// Attaches an observability configuration (tracing/profiling).
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Selects the event-scheduler backend.

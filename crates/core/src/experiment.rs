@@ -1,7 +1,9 @@
 //! The experiment driver: trace in, report out.
 
+use lazyctrl_obs::{EngineProfile, FlightRecorder, ObsConfig, PhaseTimings, RecorderStats};
 use lazyctrl_sim::{run, EventQueue, SimDuration, SimTime};
 use lazyctrl_trace::Trace;
+use std::time::Instant;
 
 use crate::report::SeriesPoint;
 use crate::world::{DataCenterWorld, Ev};
@@ -61,6 +63,9 @@ impl Experiment {
     /// (enable `record_flow_latencies` in the config to populate it).
     pub fn run_detailed(self) -> DetailedRun {
         let Experiment { trace, cfg } = self;
+        // Three phase walls = four `Instant::now()` calls per run total;
+        // nothing here is per-event, and nothing feeds the report.
+        let t_build = Instant::now();
         let trace_name = trace.name.clone();
         let mode = cfg.mode;
         let horizon = run_horizon(&trace, &cfg);
@@ -90,7 +95,11 @@ impl Experiment {
             queue = sched_queue;
         }
 
+        let t_run = Instant::now();
+        let build_s = (t_run - t_build).as_secs_f64();
         run(&mut world, &mut queue, horizon);
+        let t_report = Instant::now();
+        let run_s = (t_report - t_run).as_secs_f64();
         let events_processed = queue.popped_total();
 
         // ---- Collect ----
@@ -139,7 +148,7 @@ impl Experiment {
             .unwrap_or_default();
         let mean_latency_ms = world
             .metrics
-            .histogram("latency_all_ms")
+            .log2_histogram("latency_all_ms")
             .and_then(|h| h.mean())
             .unwrap_or(0.0);
         let max_gfib_bytes = world
@@ -220,6 +229,16 @@ impl Experiment {
             down_switches,
             cluster,
         };
+        let obs = world.obs.take().map(|o| {
+            let o = *o;
+            ObsSnapshot {
+                config: world.cfg.obs.clone(),
+                stats: o.recorder.stats(),
+                recorder: o.recorder,
+                profile: o.profile,
+            }
+        });
+        let report_s = t_report.elapsed().as_secs_f64();
         DetailedRun {
             report,
             flow_latencies: std::mem::take(&mut world.flow_latencies),
@@ -228,8 +247,28 @@ impl Experiment {
                 .counters()
                 .map(|(k, v)| (k.to_owned(), v))
                 .collect(),
+            phases: PhaseTimings {
+                build_s,
+                run_s,
+                report_s,
+            },
+            obs,
         }
     }
+}
+
+/// The observability state carried out of a finished run (present only
+/// when the config's [`ObsConfig`] was enabled).
+#[derive(Debug, Clone)]
+pub struct ObsSnapshot {
+    /// The observability config the run used.
+    pub config: ObsConfig,
+    /// Flight-recorder occupancy statistics.
+    pub stats: RecorderStats,
+    /// The flight recorder itself (retained tail of the trace).
+    pub recorder: FlightRecorder,
+    /// The sampling dispatch profiler.
+    pub profile: EngineProfile,
 }
 
 /// A report plus the raw per-flow latency log.
@@ -241,6 +280,10 @@ pub struct DetailedRun {
     pub flow_latencies: Vec<((u32, u32, u64), f64)>,
     /// All metric counters at end of run, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// Wall-clock build/run/report phase timings for this run.
+    pub phases: PhaseTimings,
+    /// Flight recorder + profiler state, when observability was enabled.
+    pub obs: Option<ObsSnapshot>,
 }
 
 /// The virtual-time end of a run: the configured horizon, or the trace's

@@ -47,18 +47,21 @@ mod config;
 mod experiment;
 mod report;
 pub mod scenarios;
+pub mod telemetry;
 mod world;
 
 pub use config::{ControlMode, ExperimentConfig};
-pub use experiment::{DetailedRun, Experiment};
+pub use experiment::{DetailedRun, Experiment, ObsSnapshot};
 pub use report::{ClusterReport, ExperimentReport, SeriesPoint};
 pub use scenarios::{
-    run_built, run_scenario, Scenario, ScenarioRegistry, ScenarioRun, ScenarioScale,
-    ScenarioVerdict,
+    run_built, run_built_detailed, run_scenario, Scenario, ScenarioRegistry, ScenarioRun,
+    ScenarioScale, ScenarioVerdict,
 };
+pub use world::{EVENT_KIND_NAMES, EVENT_KIND_SUBSYS};
 
 pub use lazyctrl_cluster::DisseminationStrategy;
 pub use lazyctrl_controller::{BaselineController, LazyController};
+pub use lazyctrl_obs::ObsConfig;
 pub use lazyctrl_proto::{EventPlan, InjectedEvent, ScheduledEvent};
 pub use lazyctrl_sim::SchedulerKind;
 pub use lazyctrl_switch::EdgeSwitch;

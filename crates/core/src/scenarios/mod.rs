@@ -32,6 +32,7 @@ mod faults;
 use lazyctrl_proto::EventPlan;
 use lazyctrl_trace::Trace;
 
+use crate::experiment::DetailedRun;
 use crate::{Experiment, ExperimentConfig, ExperimentReport};
 
 pub use cluster::{
@@ -153,13 +154,73 @@ pub fn run_built(
     cfg: ExperimentConfig,
     plan: EventPlan,
 ) -> ScenarioRun {
-    let report = Experiment::new(trace, cfg.with_plan(plan)).run();
-    let verdict = scenario.check(&report);
-    ScenarioRun {
-        name: scenario.name(),
-        report,
-        verdict,
+    run_built_detailed(scenario, trace, cfg, plan).0
+}
+
+/// Like [`run_built`], but also returns the full [`DetailedRun`] (per-flow
+/// latencies, phase timings, and — when the config enables observability —
+/// the flight recorder and engine profile).
+///
+/// When observability is on with `dump_on_failure` and the verdict fails,
+/// the recorder is dumped automatically to `<dump_dir>/<scenario>.trace.jsonl`
+/// (+ `.chrome.json` + `.telemetry.json`) — the dumps `repro_trace` reads.
+pub fn run_built_detailed(
+    scenario: &dyn Scenario,
+    trace: Trace,
+    cfg: ExperimentConfig,
+    plan: EventPlan,
+) -> (ScenarioRun, DetailedRun) {
+    let detailed = Experiment::new(trace, cfg.with_plan(plan)).run_detailed();
+    let verdict = scenario.check(&detailed.report);
+    if !verdict.passed() {
+        if let Some(obs) = &detailed.obs {
+            if obs.config.dump_on_failure {
+                dump_on_failure(scenario.name(), &detailed);
+            }
+        }
     }
+    (
+        ScenarioRun {
+            name: scenario.name(),
+            report: detailed.report.clone(),
+            verdict,
+        },
+        detailed,
+    )
+}
+
+/// Best-effort flight-recorder dump for a failed verdict. IO failures are
+/// reported to stderr, never propagated: a broken disk must not turn a
+/// scenario failure into a crash.
+fn dump_on_failure(name: &str, detailed: &DetailedRun) {
+    let Some(obs) = &detailed.obs else { return };
+    let dir = std::path::Path::new(&obs.config.dump_dir);
+    let write = |file: String, contents: String| {
+        let path = dir.join(file);
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("obs: failed to write {}: {e}", path.display());
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("obs: failed to create {}: {e}", dir.display());
+        return;
+    }
+    write(
+        format!("{name}.trace.jsonl"),
+        lazyctrl_obs::jsonl_dump(&obs.recorder),
+    );
+    write(
+        format!("{name}.chrome.json"),
+        lazyctrl_obs::chrome_trace_json(&obs.recorder, name),
+    );
+    write(
+        format!("{name}.telemetry.json"),
+        crate::telemetry::telemetry_json(detailed).to_json_pretty(),
+    );
+    eprintln!(
+        "obs: verdict failed; flight recorder dumped to {}/{name}.trace.jsonl",
+        dir.display()
+    );
 }
 
 /// Name-indexed collection of scenarios.

@@ -214,7 +214,7 @@ impl Ord for Key {
 ///   path.
 /// * Payloads live in a **pooled slab**: `schedule` places the event in a
 ///   free slab cell (LIFO reuse, so steady-state traffic recycles the
-///   same cache-hot cells), the wheel moves only 24-byte [`Key`]s, and
+///   same cache-hot cells), the wheel moves only 24-byte `Key`s, and
 ///   `pop` takes the payload back out of its cell. Park, cascade and the
 ///   ready-stage sort therefore never copy event payloads.
 pub struct WheelQueue<E> {

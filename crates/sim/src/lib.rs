@@ -67,5 +67,5 @@ pub use event::{
 };
 pub use latency::{ChannelClass, LatencyModel};
 pub use link::{LinkId, LinkState};
-pub use metrics::{Histogram, MetricsSink, TimeSeries};
+pub use metrics::{Histogram, Log2Histogram, MetricsSink, TimeSeries, LOG2_BUCKETS};
 pub use time::{SimDuration, SimTime};

@@ -6,6 +6,7 @@
 //! forwarding latency per 2-hour bucket (Fig. 9). [`TimeSeries`] produces
 //! exactly those shapes; [`Histogram`] backs the cold-cache latency numbers.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
@@ -107,10 +108,24 @@ impl TimeSeries {
 }
 
 /// A simple exact histogram of f64 samples (stores all samples; fine at
-/// simulation scale).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+/// simulation scale — unbounded-sample hot sites should prefer
+/// [`Log2Histogram`]).
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
 pub struct Histogram {
     samples: Vec<f64>,
+    /// Lazily built sorted copy backing [`Histogram::quantile`]; valid iff
+    /// its length equals `samples.len()` (a fresh `record` invalidates by
+    /// making the lengths differ). Interior mutability keeps `quantile`
+    /// callable through `&self` while repeat calls cost a binary-search
+    /// index instead of a clone + `O(n log n)` sort each.
+    sorted: RefCell<Vec<f64>>,
+}
+
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        // The cache is derived state: identity is the recorded samples.
+        self.samples == other.samples
+    }
 }
 
 impl Histogram {
@@ -127,6 +142,12 @@ impl Histogram {
     pub fn record(&mut self, value: f64) {
         assert!(!value.is_nan(), "cannot record NaN");
         self.samples.push(value);
+        // Cheap invalidation: only clear a cache that exists (repeated
+        // record bursts between quantile calls pay one branch each).
+        let cache = self.sorted.get_mut();
+        if !cache.is_empty() {
+            cache.clear();
+        }
     }
 
     /// Number of samples.
@@ -150,6 +171,10 @@ impl Histogram {
 
     /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank, or `None` when empty.
     ///
+    /// The samples are sorted once on the first call and the sorted copy
+    /// is cached until the next [`Histogram::record`] — a quantile sweep
+    /// (p50/p95/p99/max in one report) sorts once, not four times.
+    ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
@@ -158,15 +183,167 @@ impl Histogram {
         if self.samples.is_empty() {
             return None;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
-        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-        Some(sorted[idx])
+        let mut cache = self.sorted.borrow_mut();
+        if cache.len() != self.samples.len() {
+            cache.clear();
+            cache.extend_from_slice(&self.samples);
+            cache.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+        }
+        let idx = ((cache.len() - 1) as f64 * q).round() as usize;
+        Some(cache[idx])
     }
 
     /// Maximum sample, or `None` when empty.
     pub fn max(&self) -> Option<f64> {
         self.samples.iter().cloned().reduce(f64::max)
+    }
+}
+
+/// Number of buckets in a [`Log2Histogram`] (power-of-two widths covering
+/// `2^-32 .. 2^32`, i.e. sub-nanosecond to decades at millisecond units).
+pub const LOG2_BUCKETS: usize = 64;
+
+/// A fixed-footprint histogram with power-of-two bucket boundaries.
+///
+/// Where [`Histogram`] stores every sample (exact quantiles, `O(n)`
+/// memory), this variant folds each sample into one of [`LOG2_BUCKETS`]
+/// buckets keyed by `floor(log2(value))` — constant memory regardless of
+/// how many samples arrive, which is what unbounded per-event sites (the
+/// 67 M-event paper runs, the engine self-profiler's dispatch timings)
+/// need. The count, sum, min and max are tracked exactly, so
+/// [`Log2Histogram::mean`] is exact; quantiles are bucket-resolution
+/// estimates (within a factor of 2, reported as the bucket's upper edge).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Log2Histogram {
+    buckets: [u64; LOG2_BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: [0; LOG2_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram::default()
+    }
+
+    /// Bucket index for a value: `floor(log2(v))` clamped into the bucket
+    /// range, computed from the float's exponent bits (no `log2` call).
+    fn bucket_of(value: f64) -> usize {
+        if value <= 0.0 {
+            return 0;
+        }
+        // Biased exponent of a positive f64; subnormals collapse to the
+        // lowest bucket, which is where they belong anyway.
+        let exp = ((value.to_bits() >> 52) & 0x7ff) as i64 - 1023;
+        (exp + 32).clamp(0, LOG2_BUCKETS as i64 - 1) as usize
+    }
+
+    /// Upper edge of bucket `i` (`2^(i-31)`): every sample in the bucket
+    /// is ≤ this value (modulo the clamped extremes).
+    fn bucket_upper(i: usize) -> f64 {
+        (2.0f64).powi(i as i32 - 31)
+    }
+
+    /// Records a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN");
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact minimum sample, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum sample, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Estimated `q`-quantile (0 ≤ q ≤ 1) by nearest rank over the bucket
+    /// counts, or `None` when empty. The estimate is the matched bucket's
+    /// upper edge clamped into `[min, max]`, so it is exact at the
+    /// extremes and within a factor of 2 in between.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0,1]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((self.count - 1) as f64 * q).round() as u64;
+        if rank == 0 {
+            return Some(self.min);
+        }
+        if rank == self.count - 1 {
+            return Some(self.max);
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return Some(Self::bucket_upper(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Non-empty buckets as `(bucket_upper_edge, count)`, in value order —
+    /// the export shape telemetry consumers read.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_upper(i), c))
     }
 }
 
@@ -185,6 +362,7 @@ pub struct MetricsSink {
     counters: Vec<(&'static str, u64)>,
     series: BTreeMap<&'static str, TimeSeries>,
     histograms: BTreeMap<&'static str, Histogram>,
+    log2s: BTreeMap<&'static str, Log2Histogram>,
 }
 
 impl MetricsSink {
@@ -241,9 +419,36 @@ impl MetricsSink {
         self.histograms.get(name)
     }
 
+    /// Gets (or creates) a named fixed-bucket log2 histogram — the
+    /// constant-memory variant for sites recording one sample per event
+    /// (see [`Log2Histogram`]).
+    pub fn log2_histogram_mut(&mut self, name: &'static str) -> &mut Log2Histogram {
+        self.log2s.entry(name).or_default()
+    }
+
+    /// Reads a named log2 histogram.
+    pub fn log2_histogram(&self, name: &str) -> Option<&Log2Histogram> {
+        self.log2s.get(name)
+    }
+
     /// All counter names and values, sorted by name.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|&(k, v)| (k, v))
+    }
+
+    /// All named time series, sorted by name.
+    pub fn all_series(&self) -> impl Iterator<Item = (&str, &TimeSeries)> {
+        self.series.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// All named exact histograms, sorted by name.
+    pub fn all_histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// All named log2 histograms, sorted by name.
+    pub fn all_log2_histograms(&self) -> impl Iterator<Item = (&str, &Log2Histogram)> {
+        self.log2s.iter().map(|(&k, v)| (k, v))
     }
 }
 
@@ -311,6 +516,63 @@ mod tests {
     #[should_panic(expected = "cannot record NaN")]
     fn nan_rejected() {
         Histogram::new().record(f64::NAN);
+    }
+
+    /// The sorted cache must invalidate on record: a quantile read
+    /// followed by more samples followed by another read sees the new
+    /// samples.
+    #[test]
+    fn quantile_cache_invalidates_on_record() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        h.record(3.0);
+        assert_eq!(h.quantile(1.0), Some(3.0));
+        h.record(10.0);
+        assert_eq!(h.quantile(1.0), Some(10.0));
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        // Equality ignores the cache: a histogram that has sorted and one
+        // that has not compare equal when their samples agree.
+        let mut fresh = Histogram::new();
+        for v in [1.0, 3.0, 10.0] {
+            fresh.record(v);
+        }
+        assert_eq!(h, fresh);
+    }
+
+    #[test]
+    fn log2_histogram_stats() {
+        let mut h = Log2Histogram::new();
+        for v in [0.5, 1.0, 2.0, 4.0, 1000.0] {
+            h.record(v);
+        }
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.mean(), Some(1007.5 / 5.0));
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(1000.0));
+        assert_eq!(h.sum(), 1007.5);
+        // Extremes are exact; the middle is bucket-resolution.
+        assert_eq!(h.quantile(0.0), Some(0.5));
+        assert_eq!(h.quantile(1.0), Some(1000.0));
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((2.0..=4.0).contains(&p50), "p50 estimate {p50}");
+        assert_eq!(h.nonzero_buckets().map(|(_, c)| c).sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn log2_histogram_handles_edge_values() {
+        let mut h = Log2Histogram::new();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(f64::MAX);
+        h.record(1e-300); // subnormal-adjacent tiny value
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.min(), Some(-3.0));
+        assert_eq!(h.max(), Some(f64::MAX));
+        assert!(h.quantile(0.5).is_some());
+        let empty = Log2Histogram::new();
+        assert_eq!(empty.mean(), None);
+        assert_eq!(empty.quantile(0.5), None);
+        assert_eq!(empty.max(), None);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | [`cluster`] | `lazyctrl-cluster` | sharded multi-controller control plane: ownership, C-LIB replication, failover |
 //! | [`partition`] | `lazyctrl-partition` | multilevel k-way partitioning, Stoer–Wagner, the SGI algorithm, Rubinstein bargaining |
 //! | [`sim`] | `lazyctrl-sim` | deterministic discrete-event kernel, latency model, metrics |
+//! | [`obs`] | `lazyctrl-obs` | flight-recorder tracing, sampling engine profiler, telemetry JSON |
 //! | [`trace`] | `lazyctrl-trace` | real-trace surrogate, Syn-A/B/C generators, intensity matrices |
 //! | [`switch`] | `lazyctrl-switch` | the edge switch: flow table, L-FIB, G-FIB, Fig. 5 forwarding, failure wheel |
 //! | [`controller`] | `lazyctrl-controller` | baseline OpenFlow + LazyCtrl controllers, C-LIB, failover |
@@ -59,6 +60,7 @@ pub use lazyctrl_cluster as cluster;
 pub use lazyctrl_controller as controller;
 pub use lazyctrl_core as core;
 pub use lazyctrl_net as net;
+pub use lazyctrl_obs as obs;
 pub use lazyctrl_partition as partition;
 pub use lazyctrl_proto as proto;
 pub use lazyctrl_sim as sim;
