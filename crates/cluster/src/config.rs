@@ -55,6 +55,14 @@ pub struct ClusterConfig {
     /// anti-entropy replay. A peer further behind than this receives a
     /// full-shard snapshot instead.
     pub delta_log_flushes: usize,
+    /// A member stands for election after this long (ms) without hearing a
+    /// live leader's heartbeat. Must comfortably exceed the heartbeat
+    /// interval plus peer-link latency, or followers will trigger spurious
+    /// elections against a healthy leader.
+    pub election_timeout_ms: u32,
+    /// Per-member stagger added to the election timer (ms × member id), so
+    /// that concurrent timeouts don't produce perpetual split votes.
+    pub election_stagger_ms: u32,
 }
 
 impl Default for ClusterConfig {
@@ -74,6 +82,8 @@ impl Default for ClusterConfig {
             sync_chunk_entries: 2_000,
             relay_buffer_chunks: 1_024,
             delta_log_flushes: 64,
+            election_timeout_ms: 3_000,
+            election_stagger_ms: 150,
         }
     }
 }
@@ -132,6 +142,10 @@ impl ClusterConfig {
         assert!(
             self.delta_log_flushes > 0,
             "delta log must retain at least one flush"
+        );
+        assert!(
+            self.election_timeout_ms > self.heartbeat_interval_ms,
+            "election timeout must exceed the heartbeat interval"
         );
     }
 }

@@ -35,12 +35,18 @@
 
 mod config;
 mod dissemination;
+mod election;
+mod fingerprint;
+mod model;
 mod ownership;
 mod plane;
 mod replica;
 
 pub use config::ClusterConfig;
 pub use dissemination::{Dissemination, DisseminationStrategy, Flood, FlushRoute, KaryTree, Ring};
+pub use election::{ElectionRole, ElectionState};
+pub use fingerprint::{hash_wire_ignoring_xid, Fnv64};
+pub use model::StepModel;
 pub use ownership::OwnershipMap;
 pub use plane::{
     ctrl_pseudo_switch, ClusterControlPlane, ClusterOutput, ClusterTimer, ClusterTimerKind,

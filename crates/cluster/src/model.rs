@@ -1,0 +1,101 @@
+//! The step-model seam between the cluster plane and its drivers.
+//!
+//! Both the discrete-event simulator (`lazyctrl-core`) and the bounded
+//! model checker (`lazyctrl-mc`) drive [`ClusterControlPlane`] through
+//! this one trait, so the transitions the checker exhausts are — by
+//! construction, not by convention — the very same code paths the
+//! simulator executes. The plane is a *pure* state machine behind this
+//! surface: no clocks, no randomness, no global state (a scripted lint
+//! plus a debug-build monotonic-clock assertion enforce it), which is
+//! what makes cloning a state and exploring both branches of a race
+//! meaningful.
+
+use lazyctrl_net::SwitchId;
+use lazyctrl_proto::{Message, OutputSink};
+
+use crate::plane::{ClusterControlPlane, ClusterOutput, ClusterTimer};
+
+/// A deterministic, clonable protocol state machine: the surface the
+/// simulator schedules against and the model checker branches over.
+///
+/// Every method takes the driver's virtual clock `now_ns`; implementors
+/// must be pure functions of `(state, input, now_ns)`. Drivers must feed
+/// a non-decreasing clock.
+pub trait StepModel: Clone {
+    /// Delivers a switch-originated message.
+    fn step_switch(
+        &mut self,
+        now_ns: u64,
+        from: SwitchId,
+        msg: &Message,
+        out: &mut OutputSink<ClusterOutput>,
+    );
+
+    /// Delivers a controller-peer message (`from` is the link-level
+    /// sender).
+    fn step_ctrl(
+        &mut self,
+        now_ns: u64,
+        from: u32,
+        to: u32,
+        msg: &Message,
+        out: &mut OutputSink<ClusterOutput>,
+    );
+
+    /// Fires a timer.
+    fn step_timer(&mut self, now_ns: u64, timer: ClusterTimer, out: &mut OutputSink<ClusterOutput>);
+
+    /// Crashes a member (fault injection).
+    fn step_crash(&mut self, id: u32);
+
+    /// Restarts a crashed member (fault injection).
+    fn step_recover(&mut self, id: u32, out: &mut OutputSink<ClusterOutput>);
+
+    /// Canonical 64-bit hash of the protocol-visible state (see
+    /// [`ClusterControlPlane::state_fingerprint`]).
+    fn fingerprint(&self) -> u64;
+}
+
+impl StepModel for ClusterControlPlane {
+    fn step_switch(
+        &mut self,
+        now_ns: u64,
+        from: SwitchId,
+        msg: &Message,
+        out: &mut OutputSink<ClusterOutput>,
+    ) {
+        self.handle_switch_message(now_ns, from, msg, out);
+    }
+
+    fn step_ctrl(
+        &mut self,
+        now_ns: u64,
+        from: u32,
+        to: u32,
+        msg: &Message,
+        out: &mut OutputSink<ClusterOutput>,
+    ) {
+        self.handle_ctrl_message(now_ns, from, to, msg, out);
+    }
+
+    fn step_timer(
+        &mut self,
+        now_ns: u64,
+        timer: ClusterTimer,
+        out: &mut OutputSink<ClusterOutput>,
+    ) {
+        self.handle_timer(now_ns, timer, out);
+    }
+
+    fn step_crash(&mut self, id: u32) {
+        self.crash(id);
+    }
+
+    fn step_recover(&mut self, id: u32, out: &mut OutputSink<ClusterOutput>) {
+        self.recover(id, out);
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.state_fingerprint()
+    }
+}

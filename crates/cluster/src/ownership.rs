@@ -68,7 +68,9 @@ impl OwnershipMap {
     }
 
     /// Moves `group` to `to`, bumping the epoch. Returns the wire message
-    /// describing the transfer.
+    /// describing the transfer, stamped with the announcing leader's
+    /// election `term` so receivers can discard announcements from a
+    /// deposed leader.
     ///
     /// # Panics
     ///
@@ -78,6 +80,7 @@ impl OwnershipMap {
         group: usize,
         to: u32,
         reason: TransferReason,
+        term: u64,
     ) -> OwnershipTransferMsg {
         let from = *self.owner.get(&group).expect("transfer of unmapped group");
         self.owner.insert(group, to);
@@ -88,6 +91,7 @@ impl OwnershipMap {
             from,
             to,
             reason,
+            term,
         }
     }
 
@@ -128,7 +132,7 @@ mod tests {
     fn transfer_moves_and_bumps_epoch() {
         let mut m = OwnershipMap::new();
         m.assign_round_robin(4, &[0, 1]);
-        let msg = m.transfer(2, 1, TransferReason::Rebalance);
+        let msg = m.transfer(2, 1, TransferReason::Rebalance, 1);
         assert_eq!(msg.from, 0);
         assert_eq!(msg.to, 1);
         assert_eq!(msg.epoch, 2);
@@ -141,7 +145,7 @@ mod tests {
         let mut a = OwnershipMap::new();
         a.assign_round_robin(2, &[0, 1]);
         let mut b = a.clone();
-        let t1 = a.transfer(0, 1, TransferReason::Failover);
+        let t1 = a.transfer(0, 1, TransferReason::Failover, 1);
         assert!(b.apply(&t1));
         assert!(!b.apply(&t1), "replay must not apply twice");
         assert_eq!(b, a);

@@ -54,13 +54,15 @@ use lazyctrl_controller::{
 use lazyctrl_net::{EthernetFrame, MacAddr, SwitchId, TenantId};
 use lazyctrl_partition::WeightedGraph;
 use lazyctrl_proto::{
-    ClusterMsg, CtrlHeartbeatMsg, HostEntry, LazyMsg, LfibEntry, LfibSyncMsg, LookupReplyMsg,
-    LookupRequestMsg, Message, MessageBody, OfMessage, OutputSink, OwnershipTransferMsg,
-    PacketInMsg, PeerSyncMsg, SyncDigestMsg, SyncRelayMsg, TransferReason, WheelLoss,
-    WheelReportMsg,
+    ClusterMsg, CtrlHeartbeatMsg, HostEntry, LazyMsg, LeaderClaimMsg, LfibEntry, LfibSyncMsg,
+    LookupReplyMsg, LookupRequestMsg, Message, MessageBody, OfMessage, OutputSink,
+    OwnershipTransferMsg, PacketInMsg, PeerSyncMsg, SyncDigestMsg, SyncRelayMsg, TransferAckMsg,
+    TransferReason, VoteReplyMsg, VoteRequestMsg, WheelLoss, WheelReportMsg,
 };
 
 use crate::dissemination::{Dissemination, FlushRoute};
+use crate::election::{ElectionRole, ElectionState};
+use crate::fingerprint::{hash_wire_ignoring_xid, Fnv64};
 use crate::{ClusterConfig, OwnershipMap, ReplicaStore};
 
 /// Controllers are mapped into the switch-id space for the reused Table-I
@@ -100,6 +102,9 @@ pub enum ClusterTimerKind {
     RebalanceCheck,
     /// Send an anti-entropy digest to one rotating peer.
     AntiEntropy,
+    /// Stand for election if no live leader has been heard within the
+    /// election timeout (interval is staggered per member).
+    Election,
 }
 
 /// Effects the cluster wants performed by its driver.
@@ -138,7 +143,7 @@ enum CtrlBody<'a> {
 }
 
 /// A host lookup awaiting peer replies.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct PendingLookup {
     /// Peers whose replies are still outstanding. Tracked by id (not a
     /// bare count) so a peer dying mid-lookup can be swept out at
@@ -175,6 +180,7 @@ pub struct SyncTraffic {
 }
 
 /// One cluster member.
+#[derive(Clone)]
 struct ClusterNode {
     id: u32,
     /// Ground truth: a crashed member drops everything (scenario hook).
@@ -218,6 +224,18 @@ struct ClusterNode {
     peer_loads: BTreeMap<u32, f64>,
     /// Table-I inference over the controller ring.
     detector: FailureDetector,
+    /// Term-based election bookkeeping (see [`crate::election`]).
+    election: ElectionState,
+    /// Leader-side: transfers announced but not yet acknowledged by their
+    /// target, keyed by epoch. Retransmitted to the target on every
+    /// heartbeat tick while this member leads — the in-flight-loss
+    /// window's repair path. Entries whose target is later confirmed dead
+    /// are dropped at takeover (its groups move again anyway).
+    unacked_transfers: BTreeMap<u32, OwnershipTransferMsg>,
+    /// Receiver-side: transfer epochs already delivered to this member as
+    /// target. Duplicate announcements (retransmits) re-ack without
+    /// re-seeding.
+    delivered_transfers: BTreeSet<u32>,
     pending_lookups: BTreeMap<MacAddr, PendingLookup>,
     xid: u32,
     /// Bumped on crash; stale timer chains are dropped (see
@@ -300,6 +318,37 @@ pub struct ClusterControlPlane {
     /// to [`ClusterOutput`]s — one allocation for the plane's lifetime
     /// instead of one per handled message.
     ctrl_scratch: OutputSink<ControllerOutput>,
+    /// Debug-build purity guard: the last `now_ns` any step function was
+    /// driven with. The plane is a pure state machine — it never consults
+    /// a clock itself — so its drivers (simulator, model checker) must
+    /// feed it a non-decreasing clock; `note_step` asserts it.
+    #[cfg(debug_assertions)]
+    last_step_ns: u64,
+}
+
+/// Cloning snapshots the full protocol state — what the model checker
+/// branches on. The dissemination strategy is rebuilt from the config
+/// (it is stateless by construction) and the output scratch starts
+/// empty (it is drained within every step, so a snapshot taken between
+/// steps has nothing in flight there).
+impl Clone for ClusterControlPlane {
+    fn clone(&self) -> Self {
+        ClusterControlPlane {
+            cfg: self.cfg.clone(),
+            strategy: self.cfg.dissemination.build(),
+            nodes: self.nodes.clone(),
+            ownership: self.ownership.clone(),
+            group_of_switch: self.group_of_switch.clone(),
+            confirmed_dead: self.confirmed_dead.clone(),
+            group_window: self.group_window.clone(),
+            transfers: self.transfers.clone(),
+            takeovers: self.takeovers.clone(),
+            bootstrapped: self.bootstrapped,
+            ctrl_scratch: OutputSink::new(),
+            #[cfg(debug_assertions)]
+            last_step_ns: self.last_step_ns,
+        }
+    }
 }
 
 impl ClusterControlPlane {
@@ -336,6 +385,9 @@ impl ClusterControlPlane {
                     last_hb_from: BTreeMap::new(),
                     peer_loads: BTreeMap::new(),
                     detector: FailureDetector::new(),
+                    election: ElectionState::bootstrap_consensus(id, 0),
+                    unacked_transfers: BTreeMap::new(),
+                    delivered_transfers: BTreeSet::new(),
                     pending_lookups: BTreeMap::new(),
                     xid: 0,
                     timer_gen: 0,
@@ -355,7 +407,26 @@ impl ClusterControlPlane {
             takeovers: Vec::new(),
             bootstrapped: false,
             ctrl_scratch: OutputSink::new(),
+            #[cfg(debug_assertions)]
+            last_step_ns: 0,
         }
+    }
+
+    /// Debug-build purity guard (see the `last_step_ns` field): asserts
+    /// the driver's clock never runs backwards across step calls.
+    #[inline]
+    fn note_step(&mut self, now_ns: u64) {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                now_ns >= self.last_step_ns,
+                "cluster plane driven backwards in time: {now_ns} < {}",
+                self.last_step_ns
+            );
+            self.last_step_ns = now_ns;
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = now_ns;
     }
 
     // ---- Introspection -------------------------------------------------
@@ -435,6 +506,126 @@ impl ClusterControlPlane {
     /// The label of the dissemination strategy in force.
     pub fn dissemination_label(&self) -> &'static str {
         self.strategy.label()
+    }
+
+    /// A canonical 64-bit fingerprint of the plane's protocol-visible
+    /// state — the model checker's dedup key and the determinism tests'
+    /// cross-run checkpoint.
+    ///
+    /// Covered: per-member crash flag, timer generation, election state,
+    /// C-LIB shard, replica store (hosts, tombstones, progress), flush
+    /// outboxes and tombstone memory, relay outbox and dedup window,
+    /// delta log, anti-entropy rotation, heartbeat observation times and
+    /// peer loads, failure-detector evidence, pending lookups, transfer
+    /// ack ledgers — plus the shared ownership map, confirmed-dead set
+    /// and rebalance window.
+    ///
+    /// Deliberately excluded: transaction-id counters and heartbeat
+    /// sequence numbers (identity, not state — receivers never branch on
+    /// them), traffic/report counters (observers, not behavior), and the
+    /// inner controller's switch-facing machinery beyond the C-LIB (the
+    /// checker drives no switch traffic, and for simulation reports the
+    /// full-report comparison is the backstop).
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.u32(self.ownership.epoch());
+        for (g, owner) in self.ownership.iter() {
+            h.usize(g).u32(owner);
+        }
+        h.usize(self.confirmed_dead.len());
+        for d in &self.confirmed_dead {
+            h.u32(*d);
+        }
+        for (g, c) in &self.group_window {
+            h.usize(*g).u64(*c);
+        }
+        for node in &self.nodes {
+            h.u32(node.id).u8(node.crashed as u8).u32(node.timer_gen);
+            let e = &node.election;
+            h.u64(e.term).u8(match e.role {
+                ElectionRole::Follower => 0,
+                ElectionRole::Candidate => 1,
+                ElectionRole::Leader => 2,
+            });
+            h.opt_u32(e.voted_for).opt_u32(e.known_leader);
+            h.usize(e.votes.len());
+            for v in &e.votes {
+                h.u32(*v);
+            }
+            h.u64(e.last_leader_hb_ns);
+            h.usize(node.ctrl.clib().len());
+            for (mac, loc) in node.ctrl.clib().iter() {
+                h.bytes(&mac.octets());
+                h.u32(loc.switch.0).u16(loc.port.as_u16());
+                h.u16(loc.tenant.as_u16());
+            }
+            node.replica.fingerprint_into(&mut h);
+            h.usize(node.outbox_entries.len());
+            for (mac, entry) in &node.outbox_entries {
+                h.bytes(&mac.octets());
+                h.u32(entry.switch.0).u16(entry.port.as_u16());
+                h.u16(entry.tenant.as_u16());
+            }
+            for (mac, sw) in &node.outbox_removed {
+                h.bytes(&mac.octets()).u32(sw.0);
+            }
+            for (mac, (sw, stamp)) in &node.own_tombstones {
+                h.bytes(&mac.octets()).u32(sw.0).u64(*stamp);
+            }
+            h.u64(node.tomb_stamp).u64(node.sync_seq).u64(node.ae_round);
+            h.usize(node.relay_outbox.len());
+            for sync in &node.relay_outbox {
+                hash_peer_sync(&mut h, sync);
+            }
+            for (origin, keys) in &node.seen_chunks {
+                h.u32(*origin).usize(keys.len());
+                for (seq, chunk) in keys {
+                    h.u64(*seq).u32(*chunk);
+                }
+            }
+            h.usize(node.delta_log.len());
+            for sync in &node.delta_log {
+                hash_peer_sync(&mut h, sync);
+            }
+            for (peer, t) in &node.last_hb_from {
+                h.u32(*peer).u64(*t);
+            }
+            for (peer, load) in &node.peer_loads {
+                h.u32(*peer).u64(load.to_bits());
+            }
+            for (sw, loss, t) in node.detector.observation_state() {
+                h.u32(sw.0)
+                    .u8(match loss {
+                        WheelLoss::Upstream => 0,
+                        WheelLoss::Downstream => 1,
+                        WheelLoss::Controller => 2,
+                    })
+                    .u64(t);
+            }
+            for (sw, t) in node.detector.down_state() {
+                h.u32(sw.0).u64(t);
+            }
+            h.usize(node.pending_lookups.len());
+            for (mac, pending) in &node.pending_lookups {
+                h.bytes(&mac.octets()).usize(pending.waiting_on.len());
+                for w in &pending.waiting_on {
+                    h.u32(*w);
+                }
+                for (from, msg) in &pending.queued {
+                    h.u32(from.0);
+                    hash_wire_ignoring_xid(&mut h, &msg.encode());
+                }
+            }
+            h.usize(node.unacked_transfers.len());
+            for (epoch, t) in &node.unacked_transfers {
+                h.u32(*epoch).u64(t.term).usize(t.group.index());
+                h.u32(t.from).u32(t.to);
+            }
+            for epoch in &node.delivered_transfers {
+                h.u32(*epoch);
+            }
+        }
+        h.finish()
     }
 
     /// Test/bench harness seam: queues a replication delta into a
@@ -537,9 +728,55 @@ impl ClusterControlPlane {
             .collect()
     }
 
-    /// The current leader: the lowest-id functioning member.
+    /// The current leader: the functioning member holding the
+    /// highest-term `Leader` election role, if any. (Ground-truth
+    /// introspection for reports and tests — the protocol itself acts on
+    /// each member's *own* role, never on this global view.)
     pub fn leader(&self) -> Option<u32> {
-        self.live_members().first().copied()
+        self.nodes
+            .iter()
+            .filter(|n| {
+                !n.crashed
+                    && !self.confirmed_dead.contains(&n.id)
+                    && n.election.role == ElectionRole::Leader
+            })
+            .max_by_key(|n| n.election.term)
+            .map(|n| n.id)
+    }
+
+    /// A member's current election term.
+    pub fn election_term(&self, id: u32) -> u64 {
+        self.nodes[id as usize].election.term
+    }
+
+    /// A member's current election role.
+    pub fn election_role(&self, id: u32) -> ElectionRole {
+        self.nodes[id as usize].election.role
+    }
+
+    /// A member's replica per-origin contiguous heads (ascending by
+    /// origin) — what the convergence invariant compares.
+    pub fn replica_heads(&self, id: u32) -> Vec<(u32, u64)> {
+        self.nodes[id as usize].replica.heads()
+    }
+
+    /// Epochs of transfers a member (as leader) has announced but not yet
+    /// seen acknowledged by their target.
+    pub fn unacked_transfer_epochs(&self, id: u32) -> Vec<u32> {
+        self.nodes[id as usize]
+            .unacked_transfers
+            .keys()
+            .copied()
+            .collect()
+    }
+
+    /// Epochs of transfers a member has received as target.
+    pub fn delivered_transfer_epochs(&self, id: u32) -> Vec<u32> {
+        self.nodes[id as usize]
+            .delivered_transfers
+            .iter()
+            .copied()
+            .collect()
     }
 
     /// Ring neighbours `(prev, next)` of `id` among believed-alive members
@@ -588,6 +825,10 @@ impl ClusterControlPlane {
             return;
         }
         node.crashed = false;
+        // A restarted member must not resume a stale leadership claim: it
+        // demotes to follower and re-earns the role through an election if
+        // no live leader is heard within the timeout.
+        node.election.step_down_after_restart();
         let gen = node.timer_gen;
         for (kind, interval_ms) in [
             (
@@ -630,6 +871,7 @@ impl ClusterControlPlane {
                     ClusterTimerKind::AntiEntropy,
                     self.cfg.anti_entropy_interval_ms,
                 ),
+                (ClusterTimerKind::Election, self.election_interval_ms(id)),
             ]
             .into_iter()
             .map(|(kind, interval_ms)| {
@@ -643,6 +885,13 @@ impl ClusterControlPlane {
                 )
             }),
         );
+    }
+
+    /// A member's election-timer interval: the timeout plus the
+    /// id-proportional stagger that keeps concurrent timeouts from
+    /// splitting votes forever.
+    fn election_interval_ms(&self, id: u32) -> u32 {
+        self.cfg.election_timeout_ms + id * self.cfg.election_stagger_ms
     }
 
     // ---- Bootstrap -----------------------------------------------------
@@ -686,12 +935,15 @@ impl ClusterControlPlane {
         let members: Vec<u32> = self.nodes.iter().map(|n| n.id).collect();
         self.ownership.assign_round_robin(num_groups, &members);
         // Peers start "heard from" at bootstrap so silence is measured
-        // from t=0, not from negative infinity.
+        // from t=0, not from negative infinity. The election likewise
+        // starts from agreed consensus (term 1, member 0 leads) — sound
+        // because bootstrap is a synchronous, fault-free step.
         for i in 0..self.nodes.len() {
             let others: Vec<u32> = members.iter().copied().filter(|&m| m != i as u32).collect();
             for o in others {
                 self.nodes[i].last_hb_from.insert(o, now_ns);
             }
+            self.nodes[i].election = ElectionState::bootstrap_consensus(i as u32, now_ns);
         }
 
         for (id, mut outs) in raw {
@@ -715,6 +967,7 @@ impl ClusterControlPlane {
         msg: &Message,
         out: &mut OutputSink<ClusterOutput>,
     ) {
+        self.note_step(now_ns);
         let Some(owner) = self.owner_of_switch(from) else {
             return;
         };
@@ -824,17 +1077,19 @@ impl ClusterControlPlane {
 
     // ---- Controller-to-controller path ---------------------------------
 
-    /// Handles a message arriving on the controller-peer link. (`_from` is
+    /// Handles a message arriving on the controller-peer link. (`from` is
     /// the link-level sender; the protocol carries origins in the message
-    /// bodies, which is what the handlers trust.)
+    /// bodies, which is what the handlers trust — except transfer acks,
+    /// which go back to whoever delivered the announcement.)
     pub fn handle_ctrl_message(
         &mut self,
         now_ns: u64,
-        _from: u32,
+        from: u32,
         to: u32,
         msg: &Message,
         out: &mut OutputSink<ClusterOutput>,
     ) {
+        self.note_step(now_ns);
         if self.nodes[to as usize].crashed {
             return;
         }
@@ -875,6 +1130,12 @@ impl ClusterControlPlane {
                 node.last_hb_from.insert(hb.from, now_ns);
                 node.peer_loads.insert(hb.from, hb.load_rps);
                 node.detector.mark_recovered(ctrl_pseudo_switch(hb.from));
+                node.election.observe_term(hb.term);
+                if hb.leader {
+                    // Only a *leader's* heartbeat suppresses candidacy —
+                    // follower chatter proves nothing about leadership.
+                    node.election.accept_leader(hb.term, hb.from, now_ns);
+                }
                 if came_back {
                     // The member rebooted; future rebalance checks may hand
                     // groups back. Nothing to emit now.
@@ -885,8 +1146,80 @@ impl ClusterControlPlane {
                 // the new owner seeds its C-LIB shard when it *hears* about
                 // the transfer, which is the asynchronous part.
                 if t.to == to {
-                    self.seed_group(to, now_ns, t.group.index(), out);
+                    let node = &mut self.nodes[to as usize];
+                    let first = node.delivered_transfers.insert(t.epoch);
+                    // Always ack — even a duplicate announcement, since
+                    // the *previous ack* may be what was lost. The ack
+                    // goes to the link-level sender (the announcing
+                    // leader, original or retransmitting).
+                    let xid = node.next_xid();
+                    out.push(ClusterOutput::ToCtrl {
+                        from: to,
+                        to: from,
+                        msg: Message::cluster(
+                            xid,
+                            ClusterMsg::TransferAck(TransferAckMsg {
+                                from: to,
+                                epoch: t.epoch,
+                                group: t.group,
+                            }),
+                        ),
+                    });
+                    if first {
+                        self.seed_group(to, now_ns, t.group.index(), out);
+                    }
                 }
+            }
+            CtrlBody::Cluster(ClusterMsg::TransferAck(ack)) => {
+                let node = &mut self.nodes[to as usize];
+                if node
+                    .unacked_transfers
+                    .get(&ack.epoch)
+                    .is_some_and(|t| t.to == ack.from)
+                {
+                    node.unacked_transfers.remove(&ack.epoch);
+                }
+            }
+            CtrlBody::Cluster(ClusterMsg::VoteRequest(req)) => {
+                let node = &mut self.nodes[to as usize];
+                let granted = node.election.grant_vote(req.term, req.candidate);
+                let term = node.election.term;
+                let xid = node.next_xid();
+                out.push(ClusterOutput::ToCtrl {
+                    from: to,
+                    to: req.candidate,
+                    msg: Message::cluster(
+                        xid,
+                        ClusterMsg::VoteReply(VoteReplyMsg {
+                            term,
+                            from: to,
+                            granted,
+                        }),
+                    ),
+                });
+            }
+            CtrlBody::Cluster(ClusterMsg::VoteReply(reply)) => {
+                let cluster_size = self.nodes.len();
+                let node = &mut self.nodes[to as usize];
+                if node.election.observe_term(reply.term) {
+                    // A peer is already in a newer term; this candidacy is
+                    // over (observe_term stepped us down).
+                    return;
+                }
+                if reply.granted
+                    && reply.term == node.election.term
+                    && node.election.role == ElectionRole::Candidate
+                {
+                    node.election.record_grant(reply.from);
+                    if node.election.has_majority(cluster_size) {
+                        self.win_election(to, now_ns, out);
+                    }
+                }
+            }
+            CtrlBody::Cluster(ClusterMsg::LeaderClaim(claim)) => {
+                let node = &mut self.nodes[to as usize];
+                node.election
+                    .accept_leader(claim.term, claim.leader, now_ns);
             }
             CtrlBody::Cluster(ClusterMsg::LookupRequest(req)) => {
                 let node = &mut self.nodes[to as usize];
@@ -970,7 +1303,12 @@ impl ClusterControlPlane {
         if self.confirmed_dead.contains(&dead) {
             return;
         }
-        if self.leader() != Some(at) {
+        // Only a member that *believes itself* leader acts — a distributed
+        // decision, unlike the old lowest-live-id rule which two members
+        // could transiently disagree on. A node elected *after* its
+        // detector latched the death handles it via the takeover sweep in
+        // `win_election` (the detector infers each death exactly once).
+        if self.nodes[at as usize].election.role != ElectionRole::Leader {
             return;
         }
         self.take_over(at, now_ns, dead, out);
@@ -987,6 +1325,11 @@ impl ClusterControlPlane {
         out: &mut OutputSink<ClusterOutput>,
     ) {
         self.confirmed_dead.insert(dead);
+        // Transfers still awaiting the dead member's ack are moot: its
+        // groups are about to move again, to live targets.
+        self.nodes[leader as usize]
+            .unacked_transfers
+            .retain(|_, t| t.to != dead);
         let groups = self.ownership.groups_of(dead);
         // live_members() excludes `dead` now that it is confirmed dead.
         let mut survivors: Vec<u32> = self.live_members();
@@ -1025,10 +1368,19 @@ impl ClusterControlPlane {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.cmp(&b))
         });
+        let term = self.nodes[leader as usize].election.term;
         for (i, &g) in groups.iter().enumerate() {
             let target = survivors[i % survivors.len()];
-            let t = self.ownership.transfer(g, target, TransferReason::Failover);
+            let t = self
+                .ownership
+                .transfer(g, target, TransferReason::Failover, term);
             self.transfers.push(t);
+            if target != leader {
+                // Track until the target acks; heartbeat ticks retransmit.
+                self.nodes[leader as usize]
+                    .unacked_transfers
+                    .insert(t.epoch, t);
+            }
             for &peer in &survivors {
                 if peer == leader {
                     continue;
@@ -1056,6 +1408,7 @@ impl ClusterControlPlane {
         timer: ClusterTimer,
         out: &mut OutputSink<ClusterOutput>,
     ) {
+        self.note_step(now_ns);
         let id = timer.node;
         if self.nodes[id as usize].crashed {
             // A crashed member's timers die with it; `recover` re-arms.
@@ -1076,6 +1429,100 @@ impl ClusterControlPlane {
             ClusterTimerKind::Heartbeat => self.heartbeat(id, now_ns, timer, out),
             ClusterTimerKind::RebalanceCheck => self.rebalance_check(id, now_ns, timer, out),
             ClusterTimerKind::AntiEntropy => self.anti_entropy(id, timer, out),
+            ClusterTimerKind::Election => self.election_timer(id, now_ns, timer, out),
+        }
+    }
+
+    /// Election timeout: if no live leader has been heard within the
+    /// timeout, open a new term and solicit votes. The timer runs
+    /// perpetually on every member (like the other cluster timers) and
+    /// no-ops while leadership is healthy.
+    fn election_timer(
+        &mut self,
+        id: u32,
+        now_ns: u64,
+        timer: ClusterTimer,
+        out: &mut OutputSink<ClusterOutput>,
+    ) {
+        out.push(self.rearm(timer, self.election_interval_ms(id)));
+        let timeout_ns = self.cfg.election_timeout_ms as u64 * 1_000_000;
+        let cluster_size = self.nodes.len();
+        let node = &mut self.nodes[id as usize];
+        if node.election.role == ElectionRole::Leader {
+            return;
+        }
+        if now_ns.saturating_sub(node.election.last_leader_hb_ns) < timeout_ns {
+            return;
+        }
+        node.election.start_candidacy(id);
+        let term = node.election.term;
+        if node.election.has_majority(cluster_size) {
+            // Single-member cluster: own vote is a majority.
+            self.win_election(id, now_ns, out);
+            return;
+        }
+        let peers: Vec<u32> = self
+            .nodes
+            .iter()
+            .filter(|n| n.id != id && !self.confirmed_dead.contains(&n.id))
+            .map(|n| n.id)
+            .collect();
+        for peer in peers {
+            let xid = self.nodes[id as usize].next_xid();
+            out.push(ClusterOutput::ToCtrl {
+                from: id,
+                to: peer,
+                msg: Message::cluster(
+                    xid,
+                    ClusterMsg::VoteRequest(VoteRequestMsg {
+                        term,
+                        candidate: id,
+                    }),
+                ),
+            });
+        }
+    }
+
+    /// A candidate reached majority: assume leadership, announce the
+    /// claim, then sweep the detector for deaths this member latched
+    /// *before* becoming leader. The detector infers each death exactly
+    /// once ([`FailureDetector::observe`] latches), so without the sweep
+    /// a death inferred while this member was a follower would never be
+    /// taken over by anyone.
+    fn win_election(&mut self, id: u32, now_ns: u64, out: &mut OutputSink<ClusterOutput>) {
+        let term = {
+            let node = &mut self.nodes[id as usize];
+            node.election.become_leader(id);
+            node.election.last_leader_hb_ns = now_ns;
+            node.election.term
+        };
+        let peers: Vec<u32> = self
+            .nodes
+            .iter()
+            .filter(|n| n.id != id && !self.confirmed_dead.contains(&n.id))
+            .map(|n| n.id)
+            .collect();
+        for peer in peers {
+            let xid = self.nodes[id as usize].next_xid();
+            out.push(ClusterOutput::ToCtrl {
+                from: id,
+                to: peer,
+                msg: Message::cluster(
+                    xid,
+                    ClusterMsg::LeaderClaim(LeaderClaimMsg { term, leader: id }),
+                ),
+            });
+        }
+        let latched: Vec<u32> = self.nodes[id as usize]
+            .detector
+            .down_switches()
+            .into_iter()
+            .filter(|p| p.0 & CTRL_PSEUDO_BASE == CTRL_PSEUDO_BASE)
+            .map(|p| p.0 & !CTRL_PSEUDO_BASE)
+            .filter(|d| *d != id && !self.confirmed_dead.contains(d))
+            .collect();
+        for dead in latched {
+            self.take_over(id, now_ns, dead, out);
         }
     }
 
@@ -1201,8 +1648,12 @@ impl ClusterControlPlane {
 
     /// Absorbs a relay bundle at `at`: applies every chunk not seen
     /// before, queues survivors for the next overlay hop per the strategy,
-    /// and — on a tree down-path edge — re-fans the bundle to the
-    /// children immediately.
+    /// and — on a tree down-path edge — re-fans the *fresh* chunks to the
+    /// children immediately. Chunks already in the dedup window (including
+    /// this member's own chunks completing a lap) are not re-fanned: a
+    /// duplicated bundle would otherwise multiply down the subtree, and
+    /// every extra copy costs a wire message even though receivers dedup —
+    /// the at-most-once forwarding property the model checker verifies.
     fn absorb_relay(
         &mut self,
         at: u32,
@@ -1211,31 +1662,44 @@ impl ClusterControlPlane {
     ) {
         let alive = self.believed_alive();
         let cap = self.cfg.relay_buffer_chunks;
+        let mut fresh_chunks: Vec<PeerSyncMsg> = Vec::new();
         {
             let node = &mut self.nodes[at as usize];
             for sync in &bundle.syncs {
-                if sync.origin == at {
-                    // Own chunk completing a lap (tree down-path); the
-                    // overlay may still need it forwarded below.
-                    continue;
-                }
-                if !node.note_seen(sync) {
+                #[cfg(not(feature = "mc-mutations"))]
+                let fresh = node.note_seen(sync);
+                // Deliberate protocol mutation for checker self-tests:
+                // treat every chunk as fresh, reintroducing the
+                // duplicate-refan bug the dedup window exists to prevent.
+                #[cfg(feature = "mc-mutations")]
+                let fresh = {
+                    let _ = node.note_seen(sync);
+                    true
+                };
+                if !fresh {
                     node.traffic.duplicate_drops += 1;
                     continue;
                 }
-                node.replica.apply(sync);
-                node.traffic.relay_applies += 1;
-                if self.strategy.should_queue_relay(at, sync.origin, &alive) {
-                    node.queue_relay(sync.clone(), cap);
+                if sync.origin != at {
+                    // Foreign chunk: absorb it. (An own chunk completing a
+                    // lap is already applied locally — only its forwarding
+                    // freshness matters.)
+                    node.replica.apply(sync);
+                    node.traffic.relay_applies += 1;
+                    if self.strategy.should_queue_relay(at, sync.origin, &alive) {
+                        node.queue_relay(sync.clone(), cap);
+                    }
                 }
+                fresh_chunks.push(sync.clone());
             }
         }
-        // Tree down-path: push the same bundle to the children right away
-        // (the dedup window on each receiver makes re-fanning safe).
-        let children = self.strategy.immediate_relay(at, bundle.from, &alive);
-        for child in children {
-            let o = self.send_bundle(at, child, bundle.syncs.clone());
-            out.push(o);
+        // Tree down-path: push the fresh chunks to the children right away.
+        if !fresh_chunks.is_empty() {
+            let children = self.strategy.immediate_relay(at, bundle.from, &alive);
+            for child in children {
+                let o = self.send_bundle(at, child, fresh_chunks.clone());
+                out.push(o);
+            }
         }
     }
 
@@ -1400,6 +1864,8 @@ impl ClusterControlPlane {
         {
             let node = &mut self.nodes[id as usize];
             node.hb_seq += 1;
+            let term = node.election.term;
+            let is_leader = node.election.role == ElectionRole::Leader;
             for &peer in &peers {
                 let xid = node.next_xid();
                 out.push(ClusterOutput::ToCtrl {
@@ -1412,9 +1878,28 @@ impl ClusterControlPlane {
                             seq: node.hb_seq,
                             load_rps: load,
                             owned_groups: owned,
+                            term,
+                            leader: is_leader,
                         }),
                     ),
                 });
+            }
+            if is_leader {
+                // Repair the transfer in-flight-loss window: re-announce
+                // every unacked transfer to its target. (Targets already
+                // confirmed dead were pruned at takeover; an undetected
+                // crash just means the retransmit vanishes and the next
+                // tick retries.)
+                let resend: Vec<OwnershipTransferMsg> =
+                    node.unacked_transfers.values().copied().collect();
+                for t in resend {
+                    let xid = self.nodes[id as usize].next_xid();
+                    out.push(ClusterOutput::ToCtrl {
+                        from: id,
+                        to: t.to,
+                        msg: Message::cluster(xid, ClusterMsg::OwnershipTransfer(t)),
+                    });
+                }
             }
         }
         // Silence detection on the ring: the reporter's position relative
@@ -1472,7 +1957,7 @@ impl ClusterControlPlane {
         out: &mut OutputSink<ClusterOutput>,
     ) {
         out.push(self.rearm(timer, self.cfg.rebalance_check_interval_ms));
-        if self.leader() != Some(id) {
+        if self.nodes[id as usize].election.role != ElectionRole::Leader {
             // The window is plane-global shared state; only the leader may
             // drain it, or phase-shifted non-leader timers (e.g. after a
             // leader restart) would wipe samples before the leader reads
@@ -1529,10 +2014,14 @@ impl ClusterControlPlane {
         let Some((_, group)) = pick else {
             return;
         };
+        let term = self.nodes[id as usize].election.term;
         let t = self
             .ownership
-            .transfer(group, cool, TransferReason::Rebalance);
+            .transfer(group, cool, TransferReason::Rebalance, term);
         self.transfers.push(t);
+        if cool != id {
+            self.nodes[id as usize].unacked_transfers.insert(t.epoch, t);
+        }
         for &peer in &live {
             if peer == id {
                 continue;
@@ -1658,6 +2147,22 @@ impl ClusterControlPlane {
         let mut buf = self.ctrl_scratch.take_buf();
         self.convert_outputs(id, &mut buf, filter_owned, out);
         self.ctrl_scratch.put_back(buf);
+    }
+}
+
+/// Folds one peer-sync chunk into a state fingerprint.
+fn hash_peer_sync(h: &mut Fnv64, s: &PeerSyncMsg) {
+    h.u32(s.origin).u64(s.seq).u32(s.chunk).u8(s.summary as u8);
+    h.usize(s.entries.len());
+    for e in &s.entries {
+        h.bytes(&e.mac.octets());
+        h.u32(e.switch.0)
+            .u16(e.port.as_u16())
+            .u16(e.tenant.as_u16());
+    }
+    h.usize(s.removed.len());
+    for (mac, sw) in &s.removed {
+        h.bytes(&mac.octets()).u32(sw.0);
     }
 }
 

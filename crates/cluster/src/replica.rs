@@ -175,6 +175,34 @@ impl ReplicaStore {
             .unwrap_or_default()
     }
 
+    /// Folds the full replica contents into a state fingerprint: hosts
+    /// with their attribution, tombstones, and per-origin progress. All
+    /// backing collections are `BTreeMap`/`BTreeSet`, so iteration order
+    /// is canonical. The eviction stamp counters are included — they feed
+    /// eviction order, which is observable state.
+    pub(crate) fn fingerprint_into(&self, h: &mut crate::fingerprint::Fnv64) {
+        h.usize(self.hosts.len());
+        for (mac, (entry, origin, seq)) in &self.hosts {
+            h.bytes(&mac.octets());
+            h.u32(entry.switch.0).u16(entry.port.as_u16());
+            h.u16(entry.tenant.as_u16());
+            h.u32(*origin).u64(*seq);
+        }
+        h.usize(self.tombstones.len());
+        for (mac, t) in &self.tombstones {
+            h.bytes(&mac.octets());
+            h.u32(t.switch.0).u32(t.origin).u64(t.seq).u64(t.stamp);
+        }
+        h.u64(self.tomb_stamp);
+        for (origin, p) in &self.progress {
+            h.u32(*origin).u64(p.seen_through);
+            h.usize(p.pending.len());
+            for s in &p.pending {
+                h.u64(*s);
+            }
+        }
+    }
+
     /// Absorbs one peer sync: entries overwrite, withdrawals remove only
     /// while the stored location still matches the withdrawing switch —
     /// the same stale-removal rule as the C-LIB: a migration's fresh learn

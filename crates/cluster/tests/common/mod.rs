@@ -152,6 +152,44 @@ impl MiniNet {
     pub fn count(&self, kind: &str) -> u64 {
         self.delivered.get(kind).copied().unwrap_or(0)
     }
+
+    // ---- Adversarial schedule controls ---------------------------------
+    //
+    // The mc_regressions tests replay counterexample-shaped schedules by
+    // hand: pull a specific in-flight message out of the queue, then drop
+    // it, reorder it, or deliver it twice.
+
+    /// Removes and returns the earliest in-flight ctrl-peer message of
+    /// `kind` (an adversarial drop; re-inject it with [`MiniNet::deliver`]
+    /// to model reordering or duplication instead).
+    pub fn steal(&mut self, kind: &str) -> Option<(u32, u32, Message)> {
+        let key = self.queue.iter().find_map(|(&k, ev)| match ev {
+            Ev::Ctrl { msg, .. } if kind_of(msg) == kind => Some(k),
+            _ => None,
+        })?;
+        match self.queue.remove(&key) {
+            Some(Ev::Ctrl { from, to, msg }) => Some((from, to, msg)),
+            _ => unreachable!("key was just found"),
+        }
+    }
+
+    /// Count of ctrl-peer messages of `kind` currently in flight.
+    pub fn queued(&self, kind: &str) -> usize {
+        self.queue
+            .values()
+            .filter(|ev| matches!(ev, Ev::Ctrl { msg, .. } if kind_of(msg) == kind))
+            .count()
+    }
+
+    /// Delivers a ctrl-peer message to the plane immediately (bypassing
+    /// the queue — used to replay stolen messages, duplicates included).
+    pub fn deliver(&mut self, from: u32, to: u32, msg: &Message) {
+        *self.delivered.entry(kind_of(msg)).or_insert(0) += 1;
+        let mut sink = OutputSink::new();
+        self.plane
+            .handle_ctrl_message(self.now, from, to, msg, &mut sink);
+        self.dispatch(sink.take_buf());
+    }
 }
 
 fn kind_of(msg: &Message) -> &'static str {
@@ -162,8 +200,12 @@ fn kind_of(msg: &Message) -> &'static str {
             ClusterMsg::SyncDigest(_) => "sync_digest",
             ClusterMsg::Heartbeat(_) => "heartbeat",
             ClusterMsg::OwnershipTransfer(_) => "ownership_transfer",
+            ClusterMsg::TransferAck(_) => "transfer_ack",
             ClusterMsg::LookupRequest(_) => "lookup_request",
             ClusterMsg::LookupReply(_) => "lookup_reply",
+            ClusterMsg::VoteRequest(_) => "vote_request",
+            ClusterMsg::VoteReply(_) => "vote_reply",
+            ClusterMsg::LeaderClaim(_) => "leader_claim",
         },
         MessageBody::Lazy(_) => "lazy",
         MessageBody::Of(_) => "of",

@@ -151,6 +151,24 @@ impl FailureDetector {
         self.down.keys().copied().collect()
     }
 
+    /// Deterministic snapshot of the correlation window: every
+    /// (missing switch, loss kind, observation time) triple currently
+    /// retained. Exposed so state-hashing layers can fold the detector's
+    /// pending evidence into a fingerprint.
+    pub fn observation_state(&self) -> Vec<(SwitchId, WheelLoss, u64)> {
+        self.observations
+            .iter()
+            .flat_map(|(sw, losses)| losses.iter().map(|(l, t)| (*sw, *l, *t)))
+            .collect()
+    }
+
+    /// Deterministic snapshot of the believed-down set with the time each
+    /// entry latched. Companion to [`observation_state`](Self::observation_state)
+    /// for state hashing.
+    pub fn down_state(&self) -> Vec<(SwitchId, u64)> {
+        self.down.iter().map(|(sw, t)| (*sw, *t)).collect()
+    }
+
     /// The §III-E recovery plan for an inferred failure.
     ///
     /// `ring_prev` is the failed switch's upstream neighbour;

@@ -88,7 +88,7 @@ impl Default for LazyConfig {
 }
 
 /// The hybrid controller.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LazyController {
     cfg: LazyConfig,
     switches: Vec<SwitchId>,

@@ -207,6 +207,8 @@ impl Experiment {
                 switch_groups: (0..world.trace.topology.num_switches)
                     .map(|s| plane.group_of_switch(lazyctrl_net::SwitchId::new(s as u32)))
                     .collect(),
+                state_fingerprint: plane.state_fingerprint(),
+                fingerprint_checkpoints: world.cluster_fingerprints.clone(),
             }
         });
 

@@ -94,6 +94,14 @@ pub struct ClusterReport {
     pub failover_groups: Vec<usize>,
     /// Final switch → group mapping (frozen at bootstrap in cluster runs).
     pub switch_groups: Vec<Option<usize>>,
+    /// Canonical fingerprint of the plane's protocol state at end of run
+    /// (see `ClusterControlPlane::state_fingerprint`): one number that
+    /// must agree bit-for-bit between deterministic replays.
+    pub state_fingerprint: u64,
+    /// Fingerprints captured at each injected controller crash/recovery,
+    /// in schedule order — determinism tests compare these to localize a
+    /// divergence to the first differing checkpoint.
+    pub fingerprint_checkpoints: Vec<u64>,
 }
 
 impl ClusterReport {

@@ -4,7 +4,7 @@
 use std::collections::HashSet;
 
 use lazyctrl_cluster::{
-    ctrl_pseudo_switch, ClusterConfig, ClusterControlPlane, ClusterOutput, ClusterTimer,
+    ctrl_pseudo_switch, ClusterConfig, ClusterControlPlane, ClusterOutput, ClusterTimer, StepModel,
 };
 use lazyctrl_controller::{
     BaselineController, ControllerOutput, ControllerTimer, LazyConfig, LazyController,
@@ -303,6 +303,11 @@ pub(crate) struct DataCenterWorld {
     switch_sink: OutputSink<SwitchOutput>,
     ctrl_sink: OutputSink<ControllerOutput>,
     cluster_sink: OutputSink<ClusterOutput>,
+    /// Cluster state fingerprints captured at every injected controller
+    /// crash/recovery (the schedule-sensitive moments). Reported as
+    /// checkpoints so determinism tests can localize a divergence to the
+    /// first checkpoint that differs instead of diffing whole reports.
+    pub(crate) cluster_fingerprints: Vec<u64>,
     /// Flight recorder + profiler, present only when `cfg.obs.enabled`.
     /// Strictly read-only observers: nothing here may touch the RNG,
     /// scheduling, or any quantity that feeds the report.
@@ -419,6 +424,7 @@ impl DataCenterWorld {
             switch_sink: boot_sink,
             ctrl_sink: OutputSink::new(),
             cluster_sink: OutputSink::new(),
+            cluster_fingerprints: Vec::new(),
             obs,
         }
     }
@@ -865,12 +871,14 @@ impl DataCenterWorld {
             InjectedEvent::CrashController(id) => {
                 self.metrics.count("controller_crashes", 1);
                 if let AnyController::Cluster(plane) = &mut self.controller {
-                    plane.crash(id);
+                    plane.step_crash(id);
+                    self.cluster_fingerprints.push(plane.fingerprint());
                 }
             }
             InjectedEvent::RecoverController(id) => {
                 if let AnyController::Cluster(plane) = &mut self.controller {
-                    plane.recover(id, &mut self.cluster_sink);
+                    plane.step_recover(id, &mut self.cluster_sink);
+                    self.cluster_fingerprints.push(plane.fingerprint());
                 }
                 self.dispatch_cluster_outputs(now, sched);
             }
@@ -1209,12 +1217,7 @@ impl DataCenterWorld {
                         self.track_regroups(now);
                     }
                     AnyController::Cluster(plane) => {
-                        plane.handle_switch_message(
-                            now.as_nanos(),
-                            from,
-                            &msg,
-                            &mut self.cluster_sink,
-                        );
+                        plane.step_switch(now.as_nanos(), from, &msg, &mut self.cluster_sink);
                         self.dispatch_cluster_outputs(now, sched);
                     }
                 }
@@ -1253,19 +1256,13 @@ impl DataCenterWorld {
                     _ => {}
                 }
                 if let AnyController::Cluster(plane) = &mut self.controller {
-                    plane.handle_ctrl_message(
-                        now.as_nanos(),
-                        from,
-                        to,
-                        &msg,
-                        &mut self.cluster_sink,
-                    );
+                    plane.step_ctrl(now.as_nanos(), from, to, &msg, &mut self.cluster_sink);
                 }
                 self.dispatch_cluster_outputs(now, sched);
             }
             Ev::ClusterTimer(timer) => {
                 if let AnyController::Cluster(plane) = &mut self.controller {
-                    plane.handle_timer(now.as_nanos(), timer, &mut self.cluster_sink);
+                    plane.step_timer(now.as_nanos(), timer, &mut self.cluster_sink);
                 }
                 self.dispatch_cluster_outputs(now, sched);
             }

@@ -5,7 +5,40 @@
 //! strategy, so the relay overlays cannot silently break determinism.
 
 use lazyctrl_core::scenarios::{run_built, run_scenario, ScenarioRegistry};
-use lazyctrl_core::DisseminationStrategy;
+use lazyctrl_core::{DisseminationStrategy, ExperimentReport};
+
+/// Compares the cluster fingerprint checkpoints of two same-seed runs
+/// *before* the full reports, so a determinism break is localized to the
+/// first crash/recovery checkpoint where the protocol state diverged —
+/// far more actionable than a whole-report diff.
+fn assert_fingerprints_agree(name: &str, label: &str, a: &ExperimentReport, b: &ExperimentReport) {
+    let (Some(ca), Some(cb)) = (&a.cluster, &b.cluster) else {
+        return;
+    };
+    assert_eq!(
+        ca.fingerprint_checkpoints.len(),
+        cb.fingerprint_checkpoints.len(),
+        "{name} [{label}]: runs took different numbers of crash/recovery checkpoints"
+    );
+    for (i, (fa, fb)) in ca
+        .fingerprint_checkpoints
+        .iter()
+        .zip(&cb.fingerprint_checkpoints)
+        .enumerate()
+    {
+        assert_eq!(
+            fa,
+            fb,
+            "{name} [{label}]: cluster state diverged at checkpoint {i} \
+             (of {}): {fa:#018x} vs {fb:#018x}",
+            ca.fingerprint_checkpoints.len()
+        );
+    }
+    assert_eq!(
+        ca.state_fingerprint, cb.state_fingerprint,
+        "{name} [{label}]: end-of-run cluster fingerprints diverged"
+    );
+}
 
 /// Builds (without running) every scenario and validates the inputs.
 #[test]
@@ -32,6 +65,7 @@ fn assert_passes_deterministically(name: &str) {
         a.verdict.failures
     );
     let b = run_scenario(s, 0xC1);
+    assert_fingerprints_agree(name, "same-seed", &a.report, &b.report);
     assert_eq!(a.report, b.report, "{name}: same-seed reports diverged");
     assert_eq!(a.verdict, b.verdict, "{name}: same-seed verdicts diverged");
 }
@@ -98,6 +132,7 @@ fn assert_deterministic_under_every_strategy(name: &str) {
         };
         let a = run_once();
         let b = run_once();
+        assert_fingerprints_agree(name, strategy.label(), &a.report, &b.report);
         assert_eq!(
             a.report,
             b.report,
@@ -158,6 +193,7 @@ fn assert_identical_across_schedulers(name: &str) {
         "{name} failed on the wheel: {:?}",
         wheel.verdict.failures
     );
+    assert_fingerprints_agree(name, "wheel-vs-heap", &wheel.report, &heap.report);
     assert_eq!(
         wheel.report, heap.report,
         "{name}: wheel and heap reports diverged"
@@ -192,6 +228,7 @@ fn assert_identical_across_sgi_parallelism(name: &str) {
     };
     let serial = run_with(1);
     let parallel = run_with(4);
+    assert_fingerprints_agree(name, "sgi-parallelism", &serial.report, &parallel.report);
     assert_eq!(
         serial.report, parallel.report,
         "{name}: SGI parallelism changed the report"

@@ -1,0 +1,115 @@
+//! Event enumeration: what the adversary (the network and the fault
+//! injector) can do next in a given state.
+
+use lazyctrl_cluster::{hash_wire_ignoring_xid, Fnv64};
+
+use crate::state::McState;
+
+/// One adversarial choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McEvent {
+    /// Deliver in-flight message `pending[i]`.
+    Deliver(usize),
+    /// Drop in-flight message `pending[i]` (consumes drop budget).
+    Drop(usize),
+    /// Deliver a copy of `pending[i]`, leaving the original in flight
+    /// (consumes duplicate budget).
+    Duplicate(usize),
+    /// Fire the earliest-due armed timer, advancing the clock to it.
+    FireTimer,
+    /// Crash a functioning member (consumes crash budget).
+    Crash(u32),
+    /// Restart a crashed member.
+    Recover(u32),
+}
+
+/// How much damage the adversary may do along one schedule. Bounding the
+/// budget is what keeps exhaustive exploration finite *and* matches the
+/// fairness assumptions the liveness invariants need (a network that
+/// drops everything forever converges on nothing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultBudget {
+    /// Message drops available.
+    pub drops: u32,
+    /// Message duplications available.
+    pub dups: u32,
+    /// Member crashes available.
+    pub crashes: u32,
+}
+
+impl FaultBudget {
+    /// No faults: pure reordering exploration.
+    pub fn none() -> FaultBudget {
+        FaultBudget {
+            drops: 0,
+            dups: 0,
+            crashes: 0,
+        }
+    }
+}
+
+/// Enumerates the events enabled in `state` under `budget`, in a fixed
+/// deterministic order.
+///
+/// Symmetry reduction: two in-flight messages that are bit-identical on
+/// the same link (xid blinded) lead to identical successor states, so
+/// only the first enumerates Deliver/Drop/Duplicate branches.
+pub fn enabled_events(state: &McState, budget: FaultBudget, max_pending: usize) -> Vec<McEvent> {
+    let mut events = Vec::new();
+    let mut seen_wires: Vec<u64> = Vec::new();
+    let mut distinct: Vec<usize> = Vec::new();
+    for (i, p) in state.pending.iter().enumerate() {
+        let mut h = Fnv64::new();
+        h.u32(p.from).u32(p.to);
+        hash_wire_ignoring_xid(&mut h, &p.msg.encode());
+        let w = h.finish();
+        if !seen_wires.contains(&w) {
+            seen_wires.push(w);
+            distinct.push(i);
+        }
+    }
+    for &i in &distinct {
+        events.push(McEvent::Deliver(i));
+    }
+    if budget.drops > 0 {
+        for &i in &distinct {
+            events.push(McEvent::Drop(i));
+        }
+    }
+    if budget.dups > 0 && state.pending.len() < max_pending {
+        for &i in &distinct {
+            events.push(McEvent::Duplicate(i));
+        }
+    }
+    if !state.timers.is_empty() {
+        events.push(McEvent::FireTimer);
+    }
+    let members = state.plane.num_controllers() as u32;
+    if budget.crashes > 0 {
+        // Never crash the last functioning member: with nobody left to
+        // act, every invariant holds vacuously and the subtree is noise.
+        if state.functioning().len() > 1 {
+            for id in 0..members {
+                if !state.plane.is_crashed(id) {
+                    events.push(McEvent::Crash(id));
+                }
+            }
+        }
+    }
+    for id in 0..members {
+        if state.plane.is_crashed(id) {
+            events.push(McEvent::Recover(id));
+        }
+    }
+    events
+}
+
+/// Deducts the cost of `ev` from `budget`.
+pub fn spend(budget: &mut FaultBudget, ev: McEvent) {
+    match ev {
+        McEvent::Drop(_) => budget.drops -= 1,
+        McEvent::Duplicate(_) => budget.dups -= 1,
+        McEvent::Crash(_) => budget.crashes -= 1,
+        McEvent::Deliver(_) | McEvent::FireTimer | McEvent::Recover(_) => {}
+    }
+}

@@ -1,0 +1,233 @@
+//! The checker's world state: a cluster plane plus its network.
+//!
+//! The plane itself is pure; everything nondeterministic about a real
+//! deployment — which in-flight message arrives next, whether it arrives
+//! at all, when a timer interleaves — lives here, reified as explicit
+//! state the checker can clone and branch on.
+
+use lazyctrl_cluster::{
+    hash_wire_ignoring_xid, ClusterConfig, ClusterControlPlane, ClusterOutput, ClusterTimer, Fnv64,
+    StepModel,
+};
+use lazyctrl_net::{MacAddr, PortNo, SwitchId, TenantId};
+use lazyctrl_partition::WeightedGraph;
+use lazyctrl_proto::{HostEntry, Message, OutputSink};
+
+use crate::event::McEvent;
+
+/// A controller-peer message in flight.
+#[derive(Debug, Clone)]
+pub struct PendingMsg {
+    /// Link-level sender.
+    pub from: u32,
+    /// Destination member.
+    pub to: u32,
+    /// The message.
+    pub msg: Message,
+}
+
+/// One state in the exploration: the plane, the in-flight messages, the
+/// armed timers, and the logical clock.
+///
+/// The clock only advances when a timer fires (to its due time), so
+/// message deliveries branch freely *between* timer ticks — the network
+/// can reorder anything that is concurrently in flight, which is exactly
+/// the asynchrony assumption of the protocols under test.
+#[derive(Clone)]
+pub struct McState {
+    /// The cluster plane (all members).
+    pub plane: ClusterControlPlane,
+    /// Controller-peer messages in flight, in emission order.
+    pub pending: Vec<PendingMsg>,
+    /// Armed timers: `(absolute due ns, timer)`.
+    pub timers: Vec<(u64, ClusterTimer)>,
+    /// The logical clock (ns).
+    pub now_ns: u64,
+}
+
+impl std::fmt::Debug for McState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The plane is a deliberately opaque state machine; identify the
+        // state by its canonical hash instead of dumping internals.
+        f.debug_struct("McState")
+            .field("fingerprint", &format_args!("{:#018x}", self.fingerprint()))
+            .field("pending", &self.pending.len())
+            .field("timers", &self.timers.len())
+            .field("now_ns", &self.now_ns)
+            .finish()
+    }
+}
+
+impl McState {
+    /// Builds and bootstraps a cluster of `cfg.num_controllers` members
+    /// over `groups` disjoint 3-switch cliques (the same topology the
+    /// plane integration tests use), absorbing the bootstrap outputs.
+    pub fn bootstrap(groups: usize, cfg: ClusterConfig) -> McState {
+        let mut g = WeightedGraph::new(groups * 3);
+        for c in 0..groups {
+            let base = c * 3;
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    g.add_edge(base + i, base + j, 10.0);
+                }
+            }
+        }
+        let mut plane = ClusterControlPlane::new(groups * 3, cfg);
+        let mut sink = OutputSink::new();
+        plane.bootstrap(0, g, &mut sink);
+        let mut state = McState {
+            plane,
+            pending: Vec::new(),
+            timers: Vec::new(),
+            now_ns: 0,
+        };
+        state.absorb(sink.take_buf());
+        state
+    }
+
+    /// Seeds replication work: member `origin` learns one host, to be
+    /// flushed onto the dissemination overlay at its next flush tick.
+    pub fn seed_host(&mut self, origin: u32, host: u64) {
+        self.plane.enqueue_delta(
+            origin,
+            vec![HostEntry {
+                mac: MacAddr::for_host(host),
+                switch: SwitchId::new(0),
+                port: PortNo::new(1),
+                tenant: TenantId::new(1),
+            }],
+            vec![],
+        );
+    }
+
+    /// Files a step's outputs: peer messages into the in-flight set,
+    /// timers into the armed set. Switch-bound messages are discarded —
+    /// the checker models the controller fabric, not the data plane.
+    fn absorb(&mut self, outs: Vec<ClusterOutput>) {
+        for out in outs {
+            match out {
+                ClusterOutput::ToCtrl { from, to, msg } => {
+                    self.pending.push(PendingMsg { from, to, msg });
+                }
+                ClusterOutput::SetTimer(timer, delay_ns) => {
+                    self.timers.push((self.now_ns + delay_ns, timer));
+                }
+                ClusterOutput::ToSwitch { .. } => {}
+            }
+        }
+    }
+
+    /// Deterministic pre-roll: fires every timer due by `t_ns` without
+    /// delivering any of the messages they emit. Exploration then starts
+    /// from a frontier with real traffic in flight — the first heartbeat
+    /// and flush round — instead of spending its depth budget replaying
+    /// the forced quiet prefix where nothing can interleave. Keep `t_ns`
+    /// well inside the failure-detection window: the pre-roll withholds
+    /// heartbeats too.
+    pub fn advance_to(&mut self, t_ns: u64) {
+        while let Some(i) = self.min_timer() {
+            if self.timers[i].0 > t_ns {
+                break;
+            }
+            self.apply(McEvent::FireTimer);
+        }
+        self.now_ns = self.now_ns.max(t_ns);
+    }
+
+    /// Index of the earliest-due armed timer (ties broken by node id,
+    /// then arm order) — the only timer [`McEvent::FireTimer`] fires,
+    /// which is what keeps the logical clock deterministic per schedule.
+    pub fn min_timer(&self) -> Option<usize> {
+        (0..self.timers.len()).min_by_key(|&i| (self.timers[i].0, self.timers[i].1.node, i))
+    }
+
+    /// Applies one event, returning the outputs the step produced (the
+    /// checker feeds them to the ghost ledgers). Panics on an event that
+    /// is not enabled in this state — callers must choose from the
+    /// checker's enabled-event enumeration.
+    pub fn apply(&mut self, ev: McEvent) -> Vec<ClusterOutput> {
+        let mut sink = OutputSink::new();
+        match ev {
+            McEvent::Deliver(i) => {
+                let m = self.pending.remove(i);
+                self.plane
+                    .step_ctrl(self.now_ns, m.from, m.to, &m.msg, &mut sink);
+            }
+            McEvent::Drop(i) => {
+                self.pending.remove(i);
+            }
+            McEvent::Duplicate(i) => {
+                let m = self.pending[i].clone();
+                self.plane
+                    .step_ctrl(self.now_ns, m.from, m.to, &m.msg, &mut sink);
+            }
+            McEvent::FireTimer => {
+                let i = self.min_timer().expect("FireTimer enabled without timers");
+                let (due, timer) = self.timers.remove(i);
+                self.now_ns = self.now_ns.max(due);
+                self.plane.step_timer(self.now_ns, timer, &mut sink);
+            }
+            McEvent::Crash(id) => {
+                self.plane.step_crash(id);
+                // The member's armed timers are now stale-generation
+                // no-ops; pruning them is behavior-preserving and keeps
+                // them from bloating the state space.
+                self.timers.retain(|(_, t)| t.node != id);
+            }
+            McEvent::Recover(id) => {
+                self.plane.step_recover(id, &mut sink);
+            }
+        }
+        let outs = sink.take_buf();
+        self.absorb(outs.clone());
+        outs
+    }
+
+    /// Canonical fingerprint of this state: the plane's protocol-state
+    /// hash plus the in-flight message multiset (wire bytes, xid
+    /// blinded), the armed-timer multiset, and the clock. Two schedules
+    /// reaching the same fingerprint are indistinguishable to every
+    /// future step, so the checker explores from one of them only.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.u64(self.plane.fingerprint());
+        h.u64(self.now_ns);
+        // In-flight messages as a multiset: delivery order is the
+        // checker's choice, not part of the state's identity.
+        let mut wires: Vec<u64> = self
+            .pending
+            .iter()
+            .map(|p| {
+                let mut hm = Fnv64::new();
+                hm.u32(p.from).u32(p.to);
+                hash_wire_ignoring_xid(&mut hm, &p.msg.encode());
+                hm.finish()
+            })
+            .collect();
+        wires.sort_unstable();
+        h.usize(wires.len());
+        for w in wires {
+            h.u64(w);
+        }
+        // Armed timers, canonically ordered. The kind's Debug form is a
+        // stable, total description of the variant.
+        let mut arms: Vec<(u64, u32, String, u32)> = self
+            .timers
+            .iter()
+            .map(|&(due, t)| (due, t.node, format!("{:?}", t.kind), t.gen))
+            .collect();
+        arms.sort();
+        h.usize(arms.len());
+        for (due, node, kind, gen) in arms {
+            h.u64(due).u32(node).bytes(kind.as_bytes()).u32(gen);
+        }
+        h.finish()
+    }
+
+    /// Number of functioning (non-crashed) members.
+    pub fn functioning(&self) -> Vec<u32> {
+        (0..self.plane.num_controllers() as u32)
+            .filter(|&id| !self.plane.is_crashed(id))
+            .collect()
+    }
+}

@@ -35,6 +35,10 @@ const SUB_LOOKUP_REQUEST: u16 = 4;
 const SUB_LOOKUP_REPLY: u16 = 5;
 const SUB_SYNC_DIGEST: u16 = 6;
 const SUB_SYNC_RELAY: u16 = 7;
+const SUB_VOTE_REQUEST: u16 = 8;
+const SUB_VOTE_REPLY: u16 = 9;
+const SUB_LEADER_CLAIM: u16 = 10;
+const SUB_TRANSFER_ACK: u16 = 11;
 
 /// One replicated C-LIB entry: a host and the edge switch it lives behind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -298,11 +302,15 @@ impl TransferReason {
 }
 
 /// Moves ownership of one switch group between controllers. Carries the
-/// ownership-map epoch so stale transfers are rejected.
+/// ownership-map epoch so stale transfers are rejected, and the leader
+/// term under which the transfer was initiated so a deposed leader's
+/// in-flight announcements are recognizable as stale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct OwnershipTransferMsg {
     /// Ownership-map epoch after this transfer applies.
     pub epoch: u32,
+    /// Leader term under which the transfer was initiated.
+    pub term: u64,
     /// The group changing hands.
     pub group: GroupId,
     /// Previous owner.
@@ -311,6 +319,52 @@ pub struct OwnershipTransferMsg {
     pub to: u32,
     /// Why the transfer happened.
     pub reason: TransferReason,
+}
+
+/// Acknowledges receipt of an [`OwnershipTransferMsg`] by the new owner.
+/// The initiating leader retransmits unacked transfers on its heartbeat
+/// tick, closing the in-flight-loss window where a dropped announcement
+/// would leave the new owner unaware of (and unseeded for) its group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TransferAckMsg {
+    /// The acknowledging member (the transfer's `to`).
+    pub from: u32,
+    /// The acknowledged transfer's epoch.
+    pub epoch: u32,
+    /// The acknowledged transfer's group.
+    pub group: GroupId,
+}
+
+/// Requests a vote for `candidate` in `term` (term-based leader
+/// election, Raft-style: a member grants at most one vote per term, so
+/// two candidates can never both assemble a majority for the same term).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VoteRequestMsg {
+    /// The term the candidate is standing for.
+    pub term: u64,
+    /// The candidate (also the link-level sender).
+    pub candidate: u32,
+}
+
+/// Reply to a [`VoteRequestMsg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VoteReplyMsg {
+    /// The voter's current term (the candidate steps down if it trails).
+    pub term: u64,
+    /// The voting member.
+    pub from: u32,
+    /// Whether the vote was granted.
+    pub granted: bool,
+}
+
+/// A candidate that assembled a majority announces itself leader of
+/// `term`. Receivers at an older term adopt it immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LeaderClaimMsg {
+    /// The claimed term.
+    pub term: u64,
+    /// The new leader.
+    pub leader: u32,
 }
 
 /// Controller-ring keep-alive, the cluster analogue of the switch wheel's
@@ -322,6 +376,12 @@ pub struct CtrlHeartbeatMsg {
     pub from: u32,
     /// Monotonic sequence number.
     pub seq: u64,
+    /// The sender's current election term.
+    pub term: u64,
+    /// True when the sender believes itself the leader of `term` — the
+    /// leadership keep-alive that lets recovered members relearn who
+    /// leads without a dedicated message.
+    pub leader: bool,
     /// Sender's request rate over its meter window (requests/sec).
     pub load_rps: f64,
     /// Number of groups the sender currently owns.
@@ -368,6 +428,14 @@ pub enum ClusterMsg {
     /// Bundled deltas on a ring/tree dissemination edge (boxed: bulk
     /// payload, flush cadence).
     SyncRelay(Box<SyncRelayMsg>),
+    /// Election: a candidate requests a vote.
+    VoteRequest(VoteRequestMsg),
+    /// Election: a member answers a vote request.
+    VoteReply(VoteReplyMsg),
+    /// Election: a majority winner announces its term.
+    LeaderClaim(LeaderClaimMsg),
+    /// Ownership-handoff acknowledgement (stops leader retransmits).
+    TransferAck(TransferAckMsg),
 }
 
 impl ClusterMsg {
@@ -395,6 +463,7 @@ impl ClusterMsg {
             ClusterMsg::OwnershipTransfer(m) => {
                 buf.put_u16(SUB_OWNERSHIP_TRANSFER);
                 buf.put_u32(m.epoch);
+                buf.put_u64(m.term);
                 buf.put_u32(m.group.0);
                 buf.put_u32(m.from);
                 buf.put_u32(m.to);
@@ -404,6 +473,8 @@ impl ClusterMsg {
                 buf.put_u16(SUB_CTRL_HEARTBEAT);
                 buf.put_u32(m.from);
                 buf.put_u64(m.seq);
+                buf.put_u64(m.term);
+                buf.put_u8(u8::from(m.leader));
                 buf.put_u64(m.load_rps.to_bits());
                 buf.put_u32(m.owned_groups);
             }
@@ -441,6 +512,28 @@ impl ClusterMsg {
                     s.encode_fields(buf);
                 }
             }
+            ClusterMsg::VoteRequest(m) => {
+                buf.put_u16(SUB_VOTE_REQUEST);
+                buf.put_u64(m.term);
+                buf.put_u32(m.candidate);
+            }
+            ClusterMsg::VoteReply(m) => {
+                buf.put_u16(SUB_VOTE_REPLY);
+                buf.put_u64(m.term);
+                buf.put_u32(m.from);
+                buf.put_u8(u8::from(m.granted));
+            }
+            ClusterMsg::LeaderClaim(m) => {
+                buf.put_u16(SUB_LEADER_CLAIM);
+                buf.put_u64(m.term);
+                buf.put_u32(m.leader);
+            }
+            ClusterMsg::TransferAck(m) => {
+                buf.put_u16(SUB_TRANSFER_ACK);
+                buf.put_u32(m.from);
+                buf.put_u32(m.epoch);
+                buf.put_u32(m.group.0);
+            }
         }
     }
 
@@ -451,17 +544,35 @@ impl ClusterMsg {
             SUB_PEER_SYNC => ClusterMsg::peer_sync(PeerSyncMsg::decode_fields(&mut r)?),
             SUB_OWNERSHIP_TRANSFER => ClusterMsg::OwnershipTransfer(OwnershipTransferMsg {
                 epoch: r.u32()?,
+                term: r.u64()?,
                 group: GroupId::new(r.u32()?),
                 from: r.u32()?,
                 to: r.u32()?,
                 reason: TransferReason::from_u8(r.u8()?)?,
             }),
-            SUB_CTRL_HEARTBEAT => ClusterMsg::Heartbeat(CtrlHeartbeatMsg {
-                from: r.u32()?,
-                seq: r.u64()?,
-                load_rps: r.f64()?,
-                owned_groups: r.u32()?,
-            }),
+            SUB_CTRL_HEARTBEAT => {
+                let from = r.u32()?;
+                let seq = r.u64()?;
+                let term = r.u64()?;
+                let leader = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(ProtoError::InvalidField {
+                            field: "heartbeat.leader",
+                            value: other as u64,
+                        })
+                    }
+                };
+                ClusterMsg::Heartbeat(CtrlHeartbeatMsg {
+                    from,
+                    seq,
+                    term,
+                    leader,
+                    load_rps: r.f64()?,
+                    owned_groups: r.u32()?,
+                })
+            }
             SUB_LOOKUP_REQUEST => ClusterMsg::LookupRequest(LookupRequestMsg {
                 from: r.u32()?,
                 mac: MacAddr::new(r.array()?),
@@ -507,6 +618,38 @@ impl ClusterMsg {
                 }
                 ClusterMsg::sync_relay(SyncRelayMsg { from, syncs })
             }
+            SUB_VOTE_REQUEST => ClusterMsg::VoteRequest(VoteRequestMsg {
+                term: r.u64()?,
+                candidate: r.u32()?,
+            }),
+            SUB_VOTE_REPLY => {
+                let term = r.u64()?;
+                let from = r.u32()?;
+                let granted = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(ProtoError::InvalidField {
+                            field: "vote_reply.granted",
+                            value: other as u64,
+                        })
+                    }
+                };
+                ClusterMsg::VoteReply(VoteReplyMsg {
+                    term,
+                    from,
+                    granted,
+                })
+            }
+            SUB_LEADER_CLAIM => ClusterMsg::LeaderClaim(LeaderClaimMsg {
+                term: r.u64()?,
+                leader: r.u32()?,
+            }),
+            SUB_TRANSFER_ACK => ClusterMsg::TransferAck(TransferAckMsg {
+                from: r.u32()?,
+                epoch: r.u32()?,
+                group: GroupId::new(r.u32()?),
+            }),
             other => return Err(ProtoError::UnknownLazySubtype(other)),
         };
         if r.remaining() != 0 {
@@ -619,6 +762,7 @@ mod tests {
     fn ownership_transfer_round_trips() {
         round_trip(ClusterMsg::OwnershipTransfer(OwnershipTransferMsg {
             epoch: 7,
+            term: 1,
             group: GroupId::new(3),
             from: 0,
             to: 2,
@@ -626,6 +770,7 @@ mod tests {
         }));
         round_trip(ClusterMsg::OwnershipTransfer(OwnershipTransferMsg {
             epoch: 8,
+            term: u64::MAX,
             group: GroupId::new(1),
             from: 2,
             to: 1,
@@ -638,9 +783,69 @@ mod tests {
         round_trip(ClusterMsg::Heartbeat(CtrlHeartbeatMsg {
             from: 3,
             seq: u64::MAX,
+            term: 12,
+            leader: true,
             load_rps: 1234.5,
             owned_groups: 9,
         }));
+        round_trip(ClusterMsg::Heartbeat(CtrlHeartbeatMsg {
+            from: 0,
+            seq: 1,
+            term: 1,
+            leader: false,
+            load_rps: 0.0,
+            owned_groups: 0,
+        }));
+    }
+
+    #[test]
+    fn election_messages_round_trip() {
+        round_trip(ClusterMsg::VoteRequest(VoteRequestMsg {
+            term: 3,
+            candidate: 2,
+        }));
+        round_trip(ClusterMsg::VoteReply(VoteReplyMsg {
+            term: 3,
+            from: 1,
+            granted: true,
+        }));
+        round_trip(ClusterMsg::VoteReply(VoteReplyMsg {
+            term: 4,
+            from: 0,
+            granted: false,
+        }));
+        round_trip(ClusterMsg::LeaderClaim(LeaderClaimMsg {
+            term: u64::MAX,
+            leader: 7,
+        }));
+    }
+
+    #[test]
+    fn transfer_ack_round_trips() {
+        round_trip(ClusterMsg::TransferAck(TransferAckMsg {
+            from: 2,
+            epoch: 19,
+            group: GroupId::new(4),
+        }));
+    }
+
+    #[test]
+    fn bad_vote_flag_rejected() {
+        let mut body = Vec::new();
+        ClusterMsg::VoteReply(VoteReplyMsg {
+            term: 1,
+            from: 0,
+            granted: false,
+        })
+        .encode_body(&mut body);
+        *body.last_mut().unwrap() = 7;
+        assert!(matches!(
+            ClusterMsg::decode_body(&body).unwrap_err(),
+            ProtoError::InvalidField {
+                field: "vote_reply.granted",
+                ..
+            }
+        ));
     }
 
     #[test]

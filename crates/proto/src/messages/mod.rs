@@ -6,8 +6,9 @@ mod lazy;
 mod of;
 
 pub use cluster::{
-    ClusterMsg, CtrlHeartbeatMsg, HostEntry, LookupReplyMsg, LookupRequestMsg,
-    OwnershipTransferMsg, PeerSyncMsg, SyncDigestMsg, SyncRelayMsg, TransferReason,
+    ClusterMsg, CtrlHeartbeatMsg, HostEntry, LeaderClaimMsg, LookupReplyMsg, LookupRequestMsg,
+    OwnershipTransferMsg, PeerSyncMsg, SyncDigestMsg, SyncRelayMsg, TransferAckMsg, TransferReason,
+    VoteReplyMsg, VoteRequestMsg,
 };
 pub use lazy::{
     BargainMsg, GfibUpdateMsg, GroupAssignMsg, KeepAliveMsg, LazyMsg, LfibEntry, LfibSyncMsg,

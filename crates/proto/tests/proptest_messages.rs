@@ -288,31 +288,43 @@ fn arb_cluster() -> impl Strategy<Value = ClusterMsg> {
             any::<u32>(),
             any::<u32>(),
             any::<u32>(),
+            any::<u64>(),
             prop_oneof![
                 Just(TransferReason::Rebalance),
                 Just(TransferReason::Failover)
             ]
         )
             .prop_map(
-                |(epoch, g, from, to, reason)| ClusterMsg::OwnershipTransfer(
+                |(epoch, g, from, to, term, reason)| ClusterMsg::OwnershipTransfer(
                     OwnershipTransferMsg {
                         epoch,
                         group: GroupId::new(g),
                         from,
                         to,
+                        term,
                         reason
                     }
                 )
             ),
-        // Heartbeat with load piggyback.
-        (any::<u32>(), any::<u64>(), any::<f64>(), any::<u32>()).prop_map(
-            |(from, seq, load_rps, owned_groups)| ClusterMsg::Heartbeat(CtrlHeartbeatMsg {
-                from,
-                seq,
-                load_rps,
-                owned_groups
-            })
-        ),
+        // Heartbeat with load piggyback and leader/term advertisement.
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<f64>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<bool>()
+        )
+            .prop_map(|(from, seq, load_rps, owned_groups, term, leader)| {
+                ClusterMsg::Heartbeat(CtrlHeartbeatMsg {
+                    from,
+                    seq,
+                    load_rps,
+                    owned_groups,
+                    term,
+                    leader,
+                })
+            }),
         // Host lookups (replica-miss fallback).
         (any::<u32>(), arb_mac())
             .prop_map(|(from, mac)| ClusterMsg::LookupRequest(LookupRequestMsg { from, mac })),

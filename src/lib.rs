@@ -59,6 +59,7 @@ pub use lazyctrl_bloom as bloom;
 pub use lazyctrl_cluster as cluster;
 pub use lazyctrl_controller as controller;
 pub use lazyctrl_core as core;
+pub use lazyctrl_mc as mc;
 pub use lazyctrl_net as net;
 pub use lazyctrl_obs as obs;
 pub use lazyctrl_partition as partition;
