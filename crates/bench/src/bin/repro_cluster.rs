@@ -91,7 +91,7 @@ fn main() -> ExitCode {
     // ring/tree bundles aggregate. Time-boxed via the run horizon.
     let (members, group_limit_big, flush_ms, horizon) = match scale {
         Scale::Quick => (4usize, group_limit.min(8), 10_000u32, 2.0f64),
-        Scale::Paper => (16, (trace.topology.num_switches / 24).max(4), 20_000, 4.0),
+        Scale::Paper | Scale::X10 => (16, (trace.topology.num_switches / 24).max(4), 20_000, 4.0),
     };
     println!("dissemination strategies at {members} controllers (horizon {horizon} h):");
     let mut rows = Vec::new();

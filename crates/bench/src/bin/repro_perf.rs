@@ -12,6 +12,10 @@
 //!   quick scale runs the ⅛ topology. Also run on the retained heap
 //!   scheduler (`…_heap`) so the artifact records the backend delta.
 //! * `steady_state` — same trace without ARP emission (warm-path mix).
+//! * `flow_setup_throughput_w1` / `_wN` — the same headline workload on
+//!   the sharded multi-core engine at 1 and N worker threads (only with
+//!   `--workers N`); the two reports are asserted bit-identical before
+//!   either row is recorded.
 //! * `scenario:<name>` — wall-clock of three registry scenarios.
 //!
 //! The JSON carries the **pre-PR baseline** for the headline workloads —
@@ -27,6 +31,7 @@
 //! ```sh
 //! cargo run --release -p lazyctrl-bench --bin repro_perf            # writes ./BENCH_perf.json
 //! cargo run --release -p lazyctrl-bench --bin repro_perf -- \
+//!     --workers 4 \
 //!     --out /tmp/BENCH_perf.json --check BENCH_perf.json           # CI: fail on >25% regression
 //! ```
 //!
@@ -86,6 +91,8 @@ struct Measurement {
     events: u64,
     flows: u64,
     peak_rss_kb: u64,
+    /// Worker threads on the sharded engine; 0 = the sequential engine.
+    workers: u64,
     /// Trace-build vs event-loop vs report-collection wall split (the
     /// engine's own phase timers; `wall_s` additionally covers trace
     /// cloning and driver overhead around them).
@@ -106,11 +113,12 @@ impl Measurement {
 
     fn json_line(&self, scale: Scale) -> String {
         format!(
-            "{{\"scale\": \"{}\", \"name\": \"{}\", \"wall_s\": {:.3}, \"events\": {}, \
-             \"events_per_sec\": {:.0}, \"flow_setups_per_sec\": {:.0}, \"peak_rss_kb\": {}, \
-             \"build_s\": {:.3}, \"run_s\": {:.3}, \"report_s\": {:.3}}}",
+            "{{\"scale\": \"{}\", \"name\": \"{}\", \"workers\": {}, \"wall_s\": {:.3}, \
+             \"events\": {}, \"events_per_sec\": {:.0}, \"flow_setups_per_sec\": {:.0}, \
+             \"peak_rss_kb\": {}, \"build_s\": {:.3}, \"run_s\": {:.3}, \"report_s\": {:.3}}}",
             scale.label(),
             self.name,
+            self.workers,
             self.wall_s,
             self.events,
             self.events_per_sec(),
@@ -123,23 +131,43 @@ impl Measurement {
     }
 }
 
-fn run_workload(name: &str, trace: &Trace, arp: bool, kind: SchedulerKind) -> Measurement {
+/// Runs one workload and returns the measurement plus the full report
+/// (the worker-count rows compare reports for bit-identity). Peak RSS is
+/// recorded as 0 when per-scenario reset is unsupported (`rss_ok` false):
+/// a monotone process-wide high-water mark is garbage per row, and a 0
+/// sample is never gated downstream.
+fn run_workload(
+    name: &str,
+    trace: &Trace,
+    arp: bool,
+    kind: SchedulerKind,
+    workers: Option<usize>,
+    rss_ok: bool,
+) -> (Measurement, lazyctrl_core::ExperimentReport) {
     let mut cfg = ExperimentConfig::new(ControlMode::LazyStatic)
         .with_group_size_limit(46)
         .with_seed(7)
         .with_scheduler(kind);
     cfg.emit_arp = arp;
-    reset_peak_rss();
+    cfg.workers = workers;
+    if workers.is_some() {
+        cfg.shard_window_us = Some(SHARD_WINDOW_US);
+    }
+    if rss_ok {
+        reset_peak_rss();
+    }
     let t0 = Instant::now();
     let detailed = Experiment::new(trace.clone(), cfg).run_detailed();
-    Measurement {
+    let m = Measurement {
         name: name.to_owned(),
         wall_s: t0.elapsed().as_secs_f64(),
         events: detailed.report.events_processed,
         flows: detailed.report.flows_started,
-        peak_rss_kb: peak_rss_kb(),
+        peak_rss_kb: if rss_ok { peak_rss_kb() } else { 0 },
+        workers: workers.map_or(0, |w| w as u64),
         phases: detailed.phases,
-    }
+    };
+    (m, detailed.report)
 }
 
 /// One committed baseline row (parsed from a file this binary wrote).
@@ -149,6 +177,9 @@ struct BaselineRow {
     events_per_sec: f64,
     wall_s: f64,
     peak_rss_kb: u64,
+    /// Worker threads the committed row was measured with (0 = sequential
+    /// engine; absent in pre-worker baselines, parsed as 0).
+    workers: u64,
 }
 
 /// Extracts the scenario rows from a baseline file written by this binary
@@ -172,6 +203,9 @@ fn parse_baseline(text: &str) -> Vec<BaselineRow> {
                 peak_rss_kb: field(l, "peak_rss_kb")
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(0),
+                workers: field(l, "workers")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0),
             })
         })
         .collect()
@@ -182,6 +216,15 @@ fn parse_baseline(text: &str) -> Vec<BaselineRow> {
 /// check (the heap scheduler is the stable reference implementation, so
 /// its throughput moves with hardware, not with hot-path work).
 const CALIBRATOR: &str = "flow_setup_throughput_heap";
+
+/// Synchronization window (µs of virtual time) for the sharded worker
+/// rows. The default window (the lookahead floor, ~114 µs) reproduces
+/// sequential timing exactly but yields epochs too small to parallelize;
+/// the bench rows run in throughput mode with a wide window instead —
+/// cross-partition arrivals are deterministically bumped to epoch
+/// boundaries, which is the documented accuracy/throughput trade
+/// (reports remain bit-identical across worker counts either way).
+const SHARD_WINDOW_US: u64 = 1_000_000;
 
 /// Committed entries faster than this are dominated by scheduler noise
 /// and are reported but never gated.
@@ -195,11 +238,21 @@ const RSS_NOISE_FLOOR_KB: u64 = 16_384;
 fn main() {
     let mut out_path = String::from("BENCH_perf.json");
     let mut check_path: Option<String> = None;
+    let mut workers_flag: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--check" => check_path = Some(args.next().expect("--check needs a path")),
+            "--workers" => {
+                let n: usize = args
+                    .next()
+                    .expect("--workers needs a count")
+                    .parse()
+                    .expect("--workers needs a number");
+                assert!(n > 0, "--workers must be positive");
+                workers_flag = Some(n);
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -210,6 +263,15 @@ fn main() {
     let scale = Scale::from_env();
     println!("lazyctrl repro_perf (scale: {})\n", scale.label());
 
+    // Probe per-scenario RSS sampling once up front; when the reset is
+    // unsupported (non-Linux, restricted procfs) every row carries 0 and
+    // the RSS gate below is skipped — a monotone process-wide high-water
+    // mark compared against per-scenario baselines is worse than nothing.
+    let rss_ok = reset_peak_rss();
+    if !rss_ok {
+        println!("warning: peak-RSS reset unsupported; RSS columns carry 0 and the RSS gate is skipped\n");
+    }
+
     let trace = syn_a_trace(scale);
     println!(
         "Syn-A: {} switches, {} hosts, {} flows\n",
@@ -219,15 +281,63 @@ fn main() {
     );
 
     let mut measurements = vec![
-        run_workload("flow_setup_throughput", &trace, true, SchedulerKind::Wheel),
+        run_workload(
+            "flow_setup_throughput",
+            &trace,
+            true,
+            SchedulerKind::Wheel,
+            None,
+            rss_ok,
+        )
+        .0,
         run_workload(
             "flow_setup_throughput_heap",
             &trace,
             true,
             SchedulerKind::Heap,
-        ),
-        run_workload("steady_state", &trace, false, SchedulerKind::Wheel),
+            None,
+            rss_ok,
+        )
+        .0,
+        run_workload(
+            "steady_state",
+            &trace,
+            false,
+            SchedulerKind::Wheel,
+            None,
+            rss_ok,
+        )
+        .0,
     ];
+
+    // Sharded-engine rows: the same headline workload at 1 and N worker
+    // threads. The reports must be bit-identical — the shard layout is
+    // fixed by configuration, so worker count may only change wall clock.
+    if let Some(n) = workers_flag {
+        let (w1, report1) = run_workload(
+            "flow_setup_throughput_w1",
+            &trace,
+            true,
+            SchedulerKind::Wheel,
+            Some(1),
+            rss_ok,
+        );
+        let (wn, report_n) = run_workload(
+            &format!("flow_setup_throughput_w{n}"),
+            &trace,
+            true,
+            SchedulerKind::Wheel,
+            Some(n),
+            rss_ok,
+        );
+        assert_eq!(
+            report1, report_n,
+            "sharded reports diverged between 1 and {n} workers"
+        );
+        println!("workers: reports bit-identical at 1 vs {n} workers\n");
+        measurements.push(w1);
+        measurements.push(wn);
+    }
 
     // Registry scenarios, wall-timed (verdicts are repro_scenario's job).
     // Peak RSS is reset before each scenario (see `reset_peak_rss`), so
@@ -236,7 +346,9 @@ fn main() {
     for name in ["cold_cache", "crash_under_load", "peer_sync_storm"] {
         let s = registry.get(name).expect("built-in scenario");
         let (strace, cfg, plan) = s.build(0xC1);
-        reset_peak_rss();
+        if rss_ok {
+            reset_peak_rss();
+        }
         let t0 = Instant::now();
         let (run, detailed) = run_built_detailed(s, strace, cfg, plan);
         measurements.push(Measurement {
@@ -244,7 +356,8 @@ fn main() {
             wall_s: t0.elapsed().as_secs_f64(),
             events: run.report.events_processed,
             flows: run.report.flows_started,
-            peak_rss_kb: peak_rss_kb(),
+            peak_rss_kb: if rss_ok { peak_rss_kb() } else { 0 },
+            workers: 0,
             phases: detailed.phases,
         });
     }
@@ -342,11 +455,17 @@ fn main() {
             })
             .unwrap_or(1.0);
         println!("hardware calibration ({CALIBRATOR}): {calibration:.2}x committed");
-        let rss_sampling_works = reset_peak_rss();
+        let rss_sampling_works = rss_ok;
         let mut failures = 0;
         for base in rows {
             if base.scale != scale.label() || base.events_per_sec <= 0.0 || base.name == CALIBRATOR
             {
+                continue;
+            }
+            // Committed worker rows only exist when the run was invoked
+            // with --workers; without the flag they are absent by design,
+            // not renamed — don't fire the MISSING tripwire for them.
+            if base.workers > 0 && workers_flag.is_none() {
                 continue;
             }
             let gated = base.wall_s >= MIN_GATED_WALL_S;

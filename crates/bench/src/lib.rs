@@ -7,7 +7,10 @@
 //!   (40–340 switches, 10⁵-ish flows); minutes end to end;
 //! * `paper` — the paper's full topology sizes (272 switches / 6509 hosts
 //!   for the real trace, 2713 / 65090 for Syn-A/B/C); slower but the same
-//!   code path.
+//!   code path;
+//! * `x10` — 10× the paper's synthetic topology (~27k switches / ~650k
+//!   hosts, flow count unchanged): the multi-core stress tier for the
+//!   sharded engine.
 //!
 //! Absolute numbers scale with flow counts; the *shapes* the paper reports
 //! (orderings, ratios, crossovers) are the reproduction target — see
@@ -28,13 +31,18 @@ pub enum Scale {
     Quick,
     /// The paper's topology sizes.
     Paper,
+    /// 10× the paper's synthetic topology (~27k switches, ~650k hosts) —
+    /// the multi-core stress tier. Flow count stays at the paper's 500k,
+    /// so the tier scales topology state, not trace length.
+    X10,
 }
 
 impl Scale {
-    /// Reads `LAZYCTRL_SCALE` (`quick`/`paper`); defaults to quick.
+    /// Reads `LAZYCTRL_SCALE` (`quick`/`paper`/`x10`); defaults to quick.
     pub fn from_env() -> Scale {
         match std::env::var("LAZYCTRL_SCALE").as_deref() {
             Ok("paper") => Scale::Paper,
+            Ok("x10") => Scale::X10,
             _ => Scale::Quick,
         }
     }
@@ -44,11 +52,14 @@ impl Scale {
         match self {
             Scale::Quick => "quick",
             Scale::Paper => "paper",
+            Scale::X10 => "x10",
         }
     }
 }
 
-/// The "real" trace surrogate at the chosen scale.
+/// The "real" trace surrogate at the chosen scale. The ×10 tier only
+/// exists for the synthetic family (the real trace is pinned to the
+/// paper's measured topology), so `X10` falls back to paper here.
 pub fn real_trace(scale: Scale) -> Trace {
     let cfg = match scale {
         Scale::Quick => {
@@ -56,7 +67,7 @@ pub fn real_trace(scale: Scale) -> Trace {
             cfg.num_flows = 120_000;
             cfg
         }
-        Scale::Paper => RealTraceConfig::default(),
+        Scale::Paper | Scale::X10 => RealTraceConfig::default(),
     };
     generate_real(&cfg)
 }
@@ -72,6 +83,7 @@ pub fn syn_a_trace(scale: Scale) -> Trace {
     let cfg = match scale {
         Scale::Quick => SyntheticConfig::syn_a().scaled_down(8),
         Scale::Paper => SyntheticConfig::syn_a(),
+        Scale::X10 => SyntheticConfig::syn_a().scaled_up(10),
     };
     generate_syn(&cfg)
 }
@@ -88,6 +100,7 @@ pub fn synthetic_traces(scale: Scale) -> Vec<Trace> {
         let cfg = match scale {
             Scale::Quick => cfg.scaled_down(8),
             Scale::Paper => cfg,
+            Scale::X10 => cfg.scaled_up(10),
         };
         generate_syn(&cfg)
     })
@@ -138,6 +151,17 @@ mod tests {
         }
         assert_eq!(Scale::Quick.label(), "quick");
         assert_eq!(Scale::Paper.label(), "paper");
+        assert_eq!(Scale::X10.label(), "x10");
+    }
+
+    #[test]
+    fn scaled_up_grows_topology_but_not_flows() {
+        let base = SyntheticConfig::syn_a();
+        let big = SyntheticConfig::syn_a().scaled_up(10);
+        assert_eq!(big.tenants.num_switches, base.tenants.num_switches * 10);
+        assert_eq!(big.tenants.num_hosts, base.tenants.num_hosts * 10);
+        assert_eq!(big.hot_pairs, base.hot_pairs * 10);
+        assert_eq!(big.num_flows, base.num_flows);
     }
 
     #[test]

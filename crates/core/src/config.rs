@@ -109,6 +109,26 @@ pub struct ExperimentConfig {
     /// default; the layer is strictly read-only, so reports are
     /// bit-identical with it on or off (see `lazyctrl_obs`).
     pub obs: ObsConfig,
+    /// Worker threads for the sharded simulation engine. `None` (the
+    /// default) runs the original single-threaded engine; `Some(n)` — n
+    /// included `Some(1)` — runs the conservative sharded engine with
+    /// `n` workers. Sharded reports are bit-identical across worker
+    /// counts (for a fixed shard count and window) but are a *different*
+    /// deterministic run than the single-threaded engine: the world is
+    /// split into partitions with independent RNG streams (see
+    /// DESIGN.md §10).
+    pub workers: Option<usize>,
+    /// Partition count for the sharded engine (`None` = default 16,
+    /// capped at the switch count). Results depend on this number, so it
+    /// is deliberately decoupled from `workers`: changing the thread
+    /// count never changes reports.
+    pub shards: Option<usize>,
+    /// Synchronization window for the sharded engine, in microseconds.
+    /// `None` (the default) uses the model's cross-partition lookahead
+    /// floor, which keeps event timing exact; larger values trade
+    /// cross-partition timing precision for fewer synchronization rounds
+    /// (a throughput knob for perf runs).
+    pub shard_window_us: Option<u64>,
 }
 
 impl ExperimentConfig {
@@ -137,6 +157,9 @@ impl ExperimentConfig {
             scheduler: SchedulerKind::default(),
             sgi_parallelism: 1,
             obs: ObsConfig::default(),
+            workers: None,
+            shards: None,
+            shard_window_us: None,
         }
     }
 
@@ -200,6 +223,25 @@ impl ExperimentConfig {
         self
     }
 
+    /// Runs the sharded engine with `n` worker threads.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = Some(n);
+        self
+    }
+
+    /// Sets the sharded engine's partition count.
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.shards = Some(n);
+        self
+    }
+
+    /// Sets the sharded engine's synchronization window (µs). Values
+    /// above the lookahead floor relax cross-partition event timing.
+    pub fn with_shard_window_us(mut self, us: u64) -> Self {
+        self.shard_window_us = Some(us);
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
@@ -231,6 +273,21 @@ impl ExperimentConfig {
             assert!(ms > 0, "cluster flush interval must be positive");
         }
         assert!(self.sgi_parallelism > 0, "sgi_parallelism must be positive");
+        if let Some(w) = self.workers {
+            assert!(w > 0, "workers must be positive");
+        }
+        if let Some(s) = self.shards {
+            assert!(
+                s > 0 && s < usize::from(u16::MAX),
+                "shards must be in 1..65535"
+            );
+        }
+        if self.workers.is_none() {
+            assert!(
+                self.shards.is_none() && self.shard_window_us.is_none(),
+                "shards/shard_window_us require the sharded engine (set workers)"
+            );
+        }
         self.plan.validate();
         if self.cluster_controllers.is_none() {
             assert!(

@@ -97,10 +97,19 @@ impl Experiment {
 
         let t_run = Instant::now();
         let build_s = (t_run - t_build).as_secs_f64();
-        run(&mut world, &mut queue, horizon);
+        let (mut world, events_processed) = match world.cfg.workers {
+            Some(workers) => {
+                let r = crate::shard::run_sharded_experiment(world, queue, horizon, workers);
+                (r.world, r.events_processed)
+            }
+            None => {
+                run(&mut world, &mut queue, horizon);
+                let popped = queue.popped_total();
+                (world, popped)
+            }
+        };
         let t_report = Instant::now();
         let run_s = (t_report - t_run).as_secs_f64();
-        let events_processed = queue.popped_total();
 
         // ---- Collect ----
         let bucket_hours = world.cfg.bucket_hours;
@@ -154,6 +163,7 @@ impl Experiment {
         let max_gfib_bytes = world
             .switches
             .iter()
+            .flatten()
             .map(|s| s.gfib().storage_bytes() as u64)
             .max()
             .unwrap_or(0);

@@ -47,6 +47,7 @@ mod config;
 mod experiment;
 mod report;
 pub mod scenarios;
+mod shard;
 pub mod telemetry;
 mod world;
 

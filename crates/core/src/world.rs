@@ -269,11 +269,35 @@ impl AnyController {
     }
 }
 
+/// Partition context for the sharded engine (`cfg.workers`): present only
+/// on worlds produced by [`DataCenterWorld::split`]. Partition 0 is the
+/// *hub* — it owns the entire control plane plus its share of switches;
+/// partitions 1.. own switches only. The owner map is a placement
+/// function over switch IDs, fixed for the whole run (migrations and
+/// regroups do not re-shard; see the forwarding checks in
+/// `dispatch_event`).
+pub(crate) struct PartitionCtx {
+    /// This partition's index (0 = hub).
+    pub(crate) id: u16,
+    /// `owner[switch] = partition index` for every switch.
+    pub(crate) owner: std::sync::Arc<Vec<u16>>,
+    /// Cross-partition sends staged during the current event; drained
+    /// into the shard executor's outbox after each handler.
+    pub(crate) staged: Vec<(u16, SimTime, Ev)>,
+    /// RNG used while applying *global* (injected) events. Identically
+    /// seeded on every partition and only ever advanced by globals —
+    /// which all partitions apply in lockstep — so replicated draws
+    /// (migration targets, burst pairs) agree everywhere by construction.
+    pub(crate) global_rng: StdRng,
+}
+
 /// The composed simulation state.
 pub(crate) struct DataCenterWorld {
     pub(crate) cfg: ExperimentConfig,
     pub(crate) trace: Trace,
-    pub(crate) switches: Vec<EdgeSwitch>,
+    /// Slot per switch; `None` for switches owned by another partition
+    /// (always all `Some` on the single-threaded path and after merge).
+    pub(crate) switches: Vec<Option<EdgeSwitch>>,
     pub(crate) controller: AnyController,
     pub(crate) links: LinkState,
     latency: LatencyModel,
@@ -312,6 +336,9 @@ pub(crate) struct DataCenterWorld {
     /// Strictly read-only observers: nothing here may touch the RNG,
     /// scheduling, or any quantity that feeds the report.
     pub(crate) obs: Option<Box<WorldObs>>,
+    /// Sharded-engine partition context; `None` on the single-threaded
+    /// path, where every routing helper degenerates to a local schedule.
+    pub(crate) part: Option<Box<PartitionCtx>>,
 }
 
 impl DataCenterWorld {
@@ -409,7 +436,7 @@ impl DataCenterWorld {
             latency: std::mem::take(&mut cfg.latency),
             cfg,
             trace,
-            switches,
+            switches: switches.into_iter().map(Some).collect(),
             controller,
             links: LinkState::new(),
             metrics: MetricsSink::new(),
@@ -426,6 +453,7 @@ impl DataCenterWorld {
             cluster_sink: OutputSink::new(),
             cluster_fingerprints: Vec::new(),
             obs,
+            part: None,
         }
     }
 
@@ -542,7 +570,7 @@ impl DataCenterWorld {
                             );
                         }
                         let delay = self.latency.sample(ChannelClass::Control, &mut self.rng);
-                        sched.schedule_in(now, delay, Ev::MsgToController { from, msg });
+                        self.route_to_hub(now, delay, Ev::MsgToController { from, msg }, sched);
                     }
                 }
                 SwitchOutput::ToState(msg) => {
@@ -559,7 +587,7 @@ impl DataCenterWorld {
                             );
                         }
                         let delay = self.latency.sample(ChannelClass::State, &mut self.rng);
-                        sched.schedule_in(now, delay, Ev::MsgToController { from, msg });
+                        self.route_to_hub(now, delay, Ev::MsgToController { from, msg }, sched);
                     }
                 }
                 SwitchOutput::ToPeer(to, msg) => {
@@ -576,7 +604,13 @@ impl DataCenterWorld {
                             );
                         }
                         let delay = self.latency.sample(ChannelClass::Peer, &mut self.rng);
-                        sched.schedule_in(now, delay, Ev::MsgToSwitch { to, from, msg });
+                        self.route_to_switch(
+                            now,
+                            delay,
+                            to,
+                            Ev::MsgToSwitch { to, from, msg },
+                            sched,
+                        );
                     }
                 }
                 SwitchOutput::Tunnel(to, packet) => {
@@ -593,7 +627,13 @@ impl DataCenterWorld {
                             );
                         }
                         let delay = self.latency.sample(ChannelClass::Data, &mut self.rng);
-                        sched.schedule_in(now, delay, Ev::TunnelArrive { to, packet });
+                        self.route_to_switch(
+                            now,
+                            delay,
+                            to,
+                            Ev::TunnelArrive { to, packet },
+                            sched,
+                        );
                     }
                 }
                 SwitchOutput::DeliverLocal(_port, frame) => {
@@ -705,14 +745,16 @@ impl DataCenterWorld {
         let at = self.trace.topology.switch_of(dst_host);
         let port = self.port_of(dst_host);
         self.note_emission(emit, &response);
-        sched.schedule_in(
+        self.route_to_switch(
             now,
             SimDuration::from_micros(200),
+            at,
             Ev::LocalFrame {
                 switch: at,
                 port,
                 frame: response,
             },
+            sched,
         );
     }
 
@@ -738,14 +780,16 @@ impl DataCenterWorld {
                         }
                         let delay =
                             service + self.latency.sample(ChannelClass::Control, &mut self.rng);
-                        sched.schedule_in(
+                        self.route_to_switch(
                             now,
                             delay,
+                            to,
                             Ev::MsgToSwitch {
                                 to,
                                 from: SwitchId::CONTROLLER,
                                 msg,
                             },
+                            sched,
                         );
                     }
                 }
@@ -787,14 +831,16 @@ impl DataCenterWorld {
                         }
                         let delay =
                             service + self.latency.sample(ChannelClass::Control, &mut self.rng);
-                        sched.schedule_in(
+                        self.route_to_switch(
                             now,
                             delay,
+                            to,
                             Ev::MsgToSwitch {
                                 to,
                                 from: SwitchId::CONTROLLER,
                                 msg,
                             },
+                            sched,
                         );
                     }
                 }
@@ -849,7 +895,13 @@ impl DataCenterWorld {
         event: InjectedEvent,
         sched: &mut Scheduler<'_, Ev>,
     ) {
-        if let Some(obs) = &mut self.obs {
+        // Under the sharded engine this runs on *every* partition (with
+        // the replicated global RNG swapped in — see `handle_global`).
+        // Shared state (topology, links, latency) mutates identically
+        // everywhere; run-wide effects (counters, traces, fingerprints)
+        // are gated to the hub; per-switch effects to the owner.
+        let hub = self.is_hub();
+        if let Some(obs) = self.obs.as_mut().filter(|_| hub) {
             let (kind, a, b) = match &event {
                 InjectedEvent::CrashController(id) => (tk::CRASH_CONTROLLER, *id, 0),
                 InjectedEvent::RecoverController(id) => (tk::RECOVER_CONTROLLER, *id, 0),
@@ -869,7 +921,9 @@ impl DataCenterWorld {
         }
         match event {
             InjectedEvent::CrashController(id) => {
-                self.metrics.count("controller_crashes", 1);
+                if hub {
+                    self.metrics.count("controller_crashes", 1);
+                }
                 if let AnyController::Cluster(plane) = &mut self.controller {
                     plane.step_crash(id);
                     self.cluster_fingerprints.push(plane.fingerprint());
@@ -883,7 +937,9 @@ impl DataCenterWorld {
                 self.dispatch_cluster_outputs(now, sched);
             }
             InjectedEvent::CrashSwitch(s) => {
-                self.metrics.count("switch_crashes", 1);
+                if hub {
+                    self.metrics.count("switch_crashes", 1);
+                }
                 self.links.set_node_down(s.0, true);
             }
             InjectedEvent::RecoverSwitch(s) => {
@@ -900,23 +956,33 @@ impl DataCenterWorld {
                     }
                 }
                 // §III-E.3 comeback: the rebooted switch pings the
-                // controller, which resynchronizes its group state.
+                // controller, which resynchronizes its group state. The
+                // latency draw is unconditional (every partition's
+                // replicated RNG must advance in lockstep); only the
+                // switch's owner emits the ping.
                 let delay = self.latency.sample(ChannelClass::Control, &mut self.rng);
-                sched.schedule_in(
-                    now,
-                    delay,
-                    Ev::MsgToController {
-                        from: s,
-                        msg: Message::of(0, lazyctrl_proto::OfMessage::Hello),
-                    },
-                );
+                if self.owns_switch(s.0) {
+                    self.route_to_hub(
+                        now,
+                        delay,
+                        Ev::MsgToController {
+                            from: s,
+                            msg: Message::of(0, lazyctrl_proto::OfMessage::Hello),
+                        },
+                        sched,
+                    );
+                }
             }
             InjectedEvent::LinkDegrade { class, factor } => {
-                self.metrics.count("link_degrades", 1);
+                if hub {
+                    self.metrics.count("link_degrades", 1);
+                }
                 self.latency.degrade(class, factor);
             }
             InjectedEvent::LinkLoss { class, loss } => {
-                self.metrics.count("link_loss_changes", 1);
+                if hub {
+                    self.metrics.count("link_loss_changes", 1);
+                }
                 self.links.set_class_loss(class, loss);
             }
             InjectedEvent::MigrateHosts { batch } => {
@@ -965,19 +1031,24 @@ impl DataCenterWorld {
             let port = PortNo::new(self.next_port[new.index()]);
             self.next_port[new.index()] += 1;
             self.host_port[host.index()] = port;
-            self.metrics.count("host_migrations", 1);
+            if self.is_hub() {
+                self.metrics.count("host_migrations", 1);
+            }
             // The re-plugged host announces itself from its new switch;
-            // migrations in one batch land a millisecond apart.
-            let frame = gratuitous_announcement(host, self.trace.topology.tenant_of(host));
-            sched.schedule_in(
-                now,
-                SimDuration::from_millis(1 + k as u64),
-                Ev::LocalFrame {
-                    switch: new,
-                    port,
-                    frame,
-                },
-            );
+            // migrations in one batch land a millisecond apart. Only the
+            // new switch's owner emits the (strictly local) announcement.
+            if self.owns_switch(new.0) {
+                let frame = gratuitous_announcement(host, self.trace.topology.tenant_of(host));
+                sched.schedule_in(
+                    now,
+                    SimDuration::from_millis(1 + k as u64),
+                    Ev::LocalFrame {
+                        switch: new,
+                        port,
+                        frame,
+                    },
+                );
+            }
         }
     }
 
@@ -992,11 +1063,15 @@ impl DataCenterWorld {
         let spacing = SimDuration::from_nanos(SimDuration::from_secs(60).as_nanos() / n);
         let mut offset = SimDuration::ZERO;
         for _ in 0..n {
+            // Draws are unconditional (lockstep RNG); each arrival is
+            // scheduled only by the partition owning its ingress switch.
             let src = HostId::new(self.rng.gen_range(0..num_hosts));
             let hop = 1 + self.rng.gen_range(0..num_hosts - 1);
             let dst = HostId::new((src.0 + hop) % num_hosts);
             offset += spacing;
-            sched.schedule_in(now, offset, Ev::SyntheticFlow { src, dst });
+            if self.owns_switch(self.trace.topology.switch_of(src).0) {
+                sched.schedule_in(now, offset, Ev::SyntheticFlow { src, dst });
+            }
         }
     }
 
@@ -1042,12 +1117,10 @@ impl DataCenterWorld {
                 EtherType::ARP,
                 arp.encode(),
             );
-            self.switches[at.index()].handle_local_frame(
-                now.as_nanos(),
-                port,
-                arp_frame,
-                &mut self.switch_sink,
-            );
+            self.switches[at.index()]
+                .as_mut()
+                .expect("flow starts at an owned switch")
+                .handle_local_frame(now.as_nanos(), port, arp_frame, &mut self.switch_sink);
             self.dispatch_switch_outputs(now, at, sched);
             // The data packet follows shortly after resolution.
             let emit = now + SimDuration::from_millis(1);
@@ -1065,12 +1138,10 @@ impl DataCenterWorld {
         } else {
             let frame = self.frame_for_flow(src, dst, now.as_nanos());
             self.note_emission(now, &frame);
-            self.switches[at.index()].handle_local_frame(
-                now.as_nanos(),
-                port,
-                frame,
-                &mut self.switch_sink,
-            );
+            self.switches[at.index()]
+                .as_mut()
+                .expect("flow starts at an owned switch")
+                .handle_local_frame(now.as_nanos(), port, frame, &mut self.switch_sink);
             self.dispatch_switch_outputs(now, at, sched);
         }
     }
@@ -1098,6 +1169,204 @@ impl DataCenterWorld {
             }
         }
     }
+
+    /// True when this partition owns switch `s` (always true on the
+    /// single-threaded path).
+    #[inline]
+    fn owns_switch(&self, s: u32) -> bool {
+        self.part
+            .as_ref()
+            .is_none_or(|p| p.owner[s as usize] == p.id)
+    }
+
+    /// True on the hub partition — the one holding the control plane and
+    /// run-wide counters (always true on the single-threaded path).
+    /// Inside a *global* event handler this gates everything that must
+    /// happen exactly once per run rather than once per partition.
+    #[inline]
+    fn is_hub(&self) -> bool {
+        self.part.as_ref().is_none_or(|p| p.id == 0)
+    }
+
+    /// Schedules `ev` for switch `to`'s partition: locally when owned,
+    /// otherwise staged for the cross-partition exchange.
+    fn route_to_switch(
+        &mut self,
+        now: SimTime,
+        delay: SimDuration,
+        to: SwitchId,
+        ev: Ev,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
+        match &mut self.part {
+            Some(p) if p.owner[to.index()] != p.id => {
+                p.staged.push((p.owner[to.index()], now + delay, ev));
+            }
+            _ => sched.schedule_in(now, delay, ev),
+        }
+    }
+
+    /// Schedules `ev` for the hub (controller/cluster) partition.
+    fn route_to_hub(
+        &mut self,
+        now: SimTime,
+        delay: SimDuration,
+        ev: Ev,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
+        match &mut self.part {
+            Some(p) if p.id != 0 => p.staged.push((0, now + delay, ev)),
+            _ => sched.schedule_in(now, delay, ev),
+        }
+    }
+
+    /// Swaps the partition's global-event RNG into place (and back): see
+    /// [`PartitionCtx::global_rng`]. No-op on the single-threaded path.
+    fn swap_global_rng(&mut self) {
+        if let Some(p) = &mut self.part {
+            std::mem::swap(&mut self.rng, &mut p.global_rng);
+        }
+    }
+
+    /// Applies one global (injected) event under the replicated RNG. The
+    /// shard executor calls this on *every* partition at the event's
+    /// barrier; effect gating (`is_hub`/`owns_switch`) inside
+    /// `apply_injected` keeps run-wide effects single-shot while shared
+    /// state (topology, links, latency) mutates identically everywhere.
+    pub(crate) fn handle_global(
+        &mut self,
+        now: SimTime,
+        event: &InjectedEvent,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
+        self.swap_global_rng();
+        self.apply_injected(now, *event, sched);
+        self.swap_global_rng();
+    }
+
+    /// The minimum cross-partition delivery latency — the sharded
+    /// engine's default (timing-exact) synchronization window. CtrlPeer
+    /// is excluded: controller-to-controller traffic never leaves the
+    /// hub partition.
+    pub(crate) fn lookahead_floor(&self) -> SimDuration {
+        self.latency.lookahead_floor(&[
+            ChannelClass::Data,
+            ChannelClass::Control,
+            ChannelClass::State,
+            ChannelClass::Peer,
+        ])
+    }
+
+    /// Splits this world into `nparts` partition worlds along `owner`
+    /// (`owner[switch] = partition`). Partition 0 — the hub — keeps the
+    /// whole control plane, the run RNG, metrics and observability;
+    /// partitions 1.. get fresh per-partition state, deterministically
+    /// derived RNG streams, and their owned switches. Shared read-mostly
+    /// state (topology, links, latency) is replicated and kept identical
+    /// by the lockstep global-event protocol.
+    pub(crate) fn split(
+        mut self,
+        owner: std::sync::Arc<Vec<u16>>,
+        nparts: u16,
+    ) -> Vec<DataCenterWorld> {
+        assert!(nparts >= 1, "need at least the hub partition");
+        assert_eq!(owner.len(), self.switches.len(), "owner map size mismatch");
+        let global_seed = self.cfg.seed ^ 0x610ba1;
+        let mut parts: Vec<DataCenterWorld> = Vec::with_capacity(nparts as usize);
+        for p in 1..nparts {
+            let cfg = self.cfg.clone();
+            let obs = cfg.obs.enabled.then(|| {
+                Box::new(WorldObs {
+                    recorder: FlightRecorder::new(cfg.obs.ring_capacity),
+                    profile: EngineProfile::new(
+                        EVENT_KIND_NAMES.len(),
+                        EVENT_KIND_SUBSYS.to_vec(),
+                        cfg.obs.profile_sample_every,
+                    ),
+                })
+            });
+            parts.push(DataCenterWorld {
+                // A distinct, seed-derived stream per partition (golden
+                // ratio stride): which jitter samples a message draws
+                // depends on the partition layout, not on thread timing,
+                // so any fixed layout is deterministic at every worker
+                // count.
+                rng: StdRng::seed_from_u64(
+                    cfg.seed ^ 0x57a7e ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(p) + 1),
+                ),
+                latency: self.latency.clone(),
+                trace: self.trace.clone(),
+                switches: (0..self.switches.len()).map(|_| None).collect(),
+                // Placeholder: shard partitions never dispatch to a
+                // controller (controller-bound traffic routes to the hub).
+                controller: AnyController::Baseline(BaselineController::new(Vec::new())),
+                links: self.links.clone(),
+                metrics: MetricsSink::new(),
+                host_port: self.host_port.clone(),
+                next_port: self.next_port.clone(),
+                seen_pairs: HashSet::new(),
+                responded: HashSet::new(),
+                workload_bucket: self.workload_bucket,
+                severed_timers: std::collections::BTreeSet::new(),
+                last_updates_applied: 0,
+                flow_latencies: Vec::new(),
+                switch_sink: OutputSink::new(),
+                ctrl_sink: OutputSink::new(),
+                cluster_sink: OutputSink::new(),
+                cluster_fingerprints: Vec::new(),
+                obs,
+                part: Some(Box::new(PartitionCtx {
+                    id: p,
+                    owner: owner.clone(),
+                    staged: Vec::new(),
+                    global_rng: StdRng::seed_from_u64(global_seed),
+                })),
+                cfg,
+            });
+        }
+        // Hand each shard its switches; the hub keeps the remainder.
+        for (s, slot) in self.switches.iter_mut().enumerate() {
+            let o = owner[s];
+            if o != 0 {
+                parts[usize::from(o) - 1].switches[s] = slot.take();
+            }
+        }
+        self.part = Some(Box::new(PartitionCtx {
+            id: 0,
+            owner,
+            staged: Vec::new(),
+            global_rng: StdRng::seed_from_u64(global_seed),
+        }));
+        parts.insert(0, self);
+        parts
+    }
+
+    /// Reassembles one world from the partitions a sharded run produced:
+    /// the hub absorbs every shard's switches, metrics, flow latencies
+    /// and observability (in partition order, so the merge is
+    /// deterministic). Report collection then runs unchanged.
+    pub(crate) fn merge_partitions(parts: Vec<DataCenterWorld>) -> DataCenterWorld {
+        let mut iter = parts.into_iter();
+        let mut hub = iter.next().expect("hub partition");
+        for mut shard in iter {
+            for (slot, taken) in hub.switches.iter_mut().zip(shard.switches.iter_mut()) {
+                if taken.is_some() {
+                    debug_assert!(slot.is_none(), "switch owned by two partitions");
+                    *slot = taken.take();
+                }
+            }
+            hub.metrics.merge(&shard.metrics);
+            // Concatenated in partition order (not globally time-sorted):
+            // deterministic, and downstream consumers aggregate anyway.
+            hub.flow_latencies.append(&mut shard.flow_latencies);
+            if let (Some(hobs), Some(sobs)) = (hub.obs.as_deref_mut(), shard.obs.as_deref()) {
+                hobs.profile.merge(&sobs.profile);
+                hobs.recorder.merge(&sobs.recorder);
+            }
+        }
+        hub.part = None;
+        hub
+    }
 }
 
 /// Builds the gratuitous announcement frame a host sends at boot.
@@ -1119,6 +1388,20 @@ impl DataCenterWorld {
         match event {
             Ev::FlowArrival(i) => {
                 let flow = self.trace.flows[i];
+                // The partition map places arrivals by the source host's
+                // switch *at split time*; a later migration can move the
+                // host, so re-resolve and forward to the current owner.
+                let ingress = self.trace.topology.switch_of(flow.src);
+                if !self.owns_switch(ingress.0) {
+                    self.route_to_switch(
+                        now,
+                        SimDuration::ZERO,
+                        ingress,
+                        Ev::FlowArrival(i),
+                        sched,
+                    );
+                    return;
+                }
                 self.metrics.count("flows_started", 1);
                 self.start_flow(now, flow.src, flow.dst, sched);
             }
@@ -1130,12 +1413,10 @@ impl DataCenterWorld {
                 if !self.links.is_node_up(switch.0) {
                     return;
                 }
-                self.switches[switch.index()].handle_local_frame(
-                    now.as_nanos(),
-                    port,
-                    frame,
-                    &mut self.switch_sink,
-                );
+                self.switches[switch.index()]
+                    .as_mut()
+                    .expect("local frame routed to its owner")
+                    .handle_local_frame(now.as_nanos(), port, frame, &mut self.switch_sink);
                 self.dispatch_switch_outputs(now, switch, sched);
             }
             Ev::TunnelArrive { to, packet } => {
@@ -1143,11 +1424,10 @@ impl DataCenterWorld {
                     return;
                 }
                 let is_flood = packet.inner.is_flood();
-                self.switches[to.index()].handle_tunnel_packet(
-                    now.as_nanos(),
-                    packet,
-                    &mut self.switch_sink,
-                );
+                self.switches[to.index()]
+                    .as_mut()
+                    .expect("tunnel routed to its owner")
+                    .handle_tunnel_packet(now.as_nanos(), packet, &mut self.switch_sink);
                 if self.switch_sink.is_empty() && !is_flood {
                     self.metrics.count("tunnel_drops", 1);
                 }
@@ -1171,7 +1451,9 @@ impl DataCenterWorld {
                         }
                     }
                 }
-                let sw = &mut self.switches[to.index()];
+                let sw = self.switches[to.index()]
+                    .as_mut()
+                    .expect("control message routed to its owner");
                 if from == SwitchId::CONTROLLER {
                     sw.handle_control_message(now.as_nanos(), &msg, &mut self.switch_sink);
                 } else {
@@ -1268,6 +1550,19 @@ impl DataCenterWorld {
             }
             Ev::Injected(event) => self.apply_injected(now, event, sched),
             Ev::SyntheticFlow { src, dst } => {
+                // Same owner re-resolution as `FlowArrival`: a migration
+                // may have moved the source host since scheduling.
+                let ingress = self.trace.topology.switch_of(src);
+                if !self.owns_switch(ingress.0) {
+                    self.route_to_switch(
+                        now,
+                        SimDuration::ZERO,
+                        ingress,
+                        Ev::SyntheticFlow { src, dst },
+                        sched,
+                    );
+                    return;
+                }
                 self.metrics.count("flows_started", 1);
                 self.metrics.count("burst_flows", 1);
                 self.start_flow(now, src, dst, sched);
@@ -1287,11 +1582,10 @@ impl DataCenterWorld {
                     self.severed_timers.insert((switch.0, timer));
                     return;
                 }
-                self.switches[switch.index()].on_timer(
-                    now.as_nanos(),
-                    timer,
-                    &mut self.switch_sink,
-                );
+                self.switches[switch.index()]
+                    .as_mut()
+                    .expect("timer routed to its owner")
+                    .on_timer(now.as_nanos(), timer, &mut self.switch_sink);
                 self.dispatch_switch_outputs(now, switch, sched);
             }
             Ev::ControllerTimer(timer) => {

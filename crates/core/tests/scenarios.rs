@@ -251,6 +251,49 @@ fn peer_sync_storm_is_identical_across_sgi_parallelism() {
     assert_identical_across_sgi_parallelism("peer_sync_storm");
 }
 
+/// Runs one scenario on the sharded engine at 1, 4 and 8 workers: the
+/// reports must be bit-identical, because the shard layout (and thus every
+/// partition's event stream) is fixed by configuration — worker threads
+/// only change which core drains which partition, never the results.
+fn assert_identical_across_workers(name: &str) {
+    let reg = ScenarioRegistry::builtin();
+    let s = reg.get(name).unwrap_or_else(|| panic!("{name} registered"));
+    let run_with = |n: usize| {
+        let (trace, cfg, plan) = s.build(0xC1);
+        run_built(s, trace, cfg.with_workers(n), plan)
+    };
+    let one = run_with(1);
+    let four = run_with(4);
+    let eight = run_with(8);
+    assert_fingerprints_agree(name, "workers-1-vs-4", &one.report, &four.report);
+    assert_fingerprints_agree(name, "workers-1-vs-8", &one.report, &eight.report);
+    assert_eq!(
+        one.report, four.report,
+        "{name}: worker count 4 changed the report"
+    );
+    assert_eq!(
+        one.report, eight.report,
+        "{name}: worker count 8 changed the report"
+    );
+    assert_eq!(one.verdict, four.verdict);
+    assert_eq!(one.verdict, eight.verdict);
+}
+
+#[test]
+fn cold_cache_is_identical_across_workers() {
+    assert_identical_across_workers("cold_cache");
+}
+
+#[test]
+fn crash_under_load_is_identical_across_workers() {
+    assert_identical_across_workers("crash_under_load");
+}
+
+#[test]
+fn peer_sync_storm_is_identical_across_workers() {
+    assert_identical_across_workers("peer_sync_storm");
+}
+
 /// Dynamic-mode regrouping actually exercises the parallel merge/split
 /// path (the static scenarios freeze their grouping), so this is the
 /// end-to-end proof that worker count does not leak into results.

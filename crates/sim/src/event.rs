@@ -194,6 +194,17 @@ impl Ord for Key {
     }
 }
 
+/// Converts a slab length to a `u32` cell index, refusing to wrap: keys
+/// store cell indices in 32 bits, so a slab past `u32::MAX` live cells
+/// would silently alias earlier cells and corrupt the queue. More than
+/// 4 billion *pending* events means something upstream is broken anyway,
+/// so this is a loud invariant, not a capacity to engineer around.
+#[inline]
+fn slab_index(len: usize) -> u32 {
+    u32::try_from(len)
+        .unwrap_or_else(|_| panic!("wheel payload slab exceeded u32 capacity ({len} live cells)"))
+}
+
 /// A deterministic hierarchical timing wheel.
 ///
 /// Invariants (see `DESIGN.md` for the full argument):
@@ -304,7 +315,7 @@ impl<E> WheelQueue<E> {
                 idx
             }
             None => {
-                let idx = self.payloads.len() as u32;
+                let idx = slab_index(self.payloads.len());
                 self.payloads.push(Some(event));
                 idx
             }
@@ -854,6 +865,24 @@ mod tests {
             "steady-state churn grew the slab to {} cells",
             q.payloads.len()
         );
+    }
+
+    /// Regression for the slab-index truncation bug: growing the slab past
+    /// `u32::MAX` cells must panic instead of wrapping the index (which
+    /// would alias cell 0 and corrupt the queue silently). The boundary is
+    /// checked on the conversion helper directly — allocating 4 billion
+    /// real cells in a test is not an option.
+    #[test]
+    fn slab_index_is_exact_up_to_u32_max() {
+        assert_eq!(slab_index(0), 0);
+        assert_eq!(slab_index(u32::MAX as usize), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded u32 capacity")]
+    #[cfg(target_pointer_width = "64")]
+    fn slab_index_past_u32_panics_instead_of_wrapping() {
+        let _ = slab_index(u32::MAX as usize + 1);
     }
 
     #[test]

@@ -60,6 +60,7 @@ mod event;
 mod latency;
 mod link;
 mod metrics;
+mod shard;
 mod time;
 
 pub use event::{
@@ -68,4 +69,5 @@ pub use event::{
 pub use latency::{ChannelClass, LatencyModel};
 pub use link::{LinkId, LinkState};
 pub use metrics::{Histogram, Log2Histogram, MetricsSink, TimeSeries, LOG2_BUCKETS};
+pub use shard::{run_sharded, Outbox, ShardOpts, ShardStats, ShardWorld};
 pub use time::{SimDuration, SimTime};
