@@ -27,11 +27,16 @@
 //! (`eff = max(at, H)`): the destination has already simulated past its
 //! nominal time. When `window` does not exceed the minimum
 //! cross-partition latency (the [`LatencyModel::lookahead_floor`]), no
-//! send can ever land inside the window that emitted it, so **no bump
-//! ever happens and event timing is exact**. Larger windows trade
-//! cross-partition timing precision for fewer synchronization rounds;
-//! [`ShardStats::bumped_events`] reports exactly how many arrivals were
-//! deferred.
+//! *latency-delayed* send can ever land inside the window that emitted
+//! it, so no bump happens and event timing is exact — with one intended
+//! exception: a world may forward an event it no longer owns with zero
+//! delay (ownership re-resolution after a migration, see
+//! `DataCenterWorld::dispatch_event`). Such a forward always lands below
+//! the floor and is deferred to the horizon, deterministically, so the
+//! forwarded event fires up to one window late even at the floor.
+//! Larger windows additionally trade cross-partition timing precision
+//! for fewer synchronization rounds; [`ShardStats::bumped_events`]
+//! reports exactly how many arrivals were deferred (forwards included).
 //!
 //! Global events (fault injections and other whole-world mutations) are
 //! applied at a barrier of their own: the coordinator applies each one to
@@ -98,7 +103,8 @@ impl<E> Outbox<E> {
     /// Stages `event` for partition `dst` at nominal time `at`. If `at`
     /// falls before the epoch horizon the coordinator defers it to the
     /// horizon (see the module docs); with a window at or below the
-    /// lookahead floor that never happens.
+    /// lookahead floor that only happens to zero-delay ownership
+    /// forwards, never to latency-delayed sends.
     pub fn send(&mut self, dst: usize, at: SimTime, event: E) {
         self.sends.push((dst, at, event));
     }
@@ -139,8 +145,10 @@ pub struct ShardStats {
     /// Cross-partition events exchanged through outboxes.
     pub cross_events: u64,
     /// Cross-partition events deferred to an epoch horizon because their
-    /// nominal arrival fell inside the window that emitted them. Always 0
-    /// when the window is at or below the lookahead floor.
+    /// nominal arrival fell inside the window that emitted them. At or
+    /// below the lookahead floor only zero-delay ownership forwards are
+    /// counted here (see the module docs), so a nonzero value at the
+    /// floor measures migration forwarding, not window tuning.
     pub bumped_events: u64,
     /// Global events applied (each counts once, not once per partition).
     pub globals_applied: u64,
@@ -298,6 +306,14 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// Determinism: the outcome is a pure function of the inputs, the
 /// partition count, and `opts.window` — `opts.workers` affects wall
 /// clock only, never results.
+///
+/// Tie-breaking against globals deliberately differs from the
+/// sequential engine: when a global and an ordinary event share a
+/// timestamp, **the global wins** (it is applied before any partition
+/// may simulate that instant), whereas [`run`](crate::run) orders the
+/// two by queue-insertion sequence. The divergence only surfaces on
+/// exact timestamp collisions and is deterministic; it is the price of
+/// applying globals at a clean all-partition barrier.
 ///
 /// # Panics
 ///
