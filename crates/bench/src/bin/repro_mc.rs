@@ -12,6 +12,12 @@
 //! 2. **Guided, 5 members** — seeded random walks with a two-crash
 //!    budget, deep enough to cross detection, election, and handoff
 //!    windows. Must find zero violations.
+//! 3. **Guided partition, 3 members** — seeded random walks whose fault
+//!    budget includes a partition start and a heal (isolating any one
+//!    member), alongside a drop, a duplicate, and a crash. Settling
+//!    heals before the terminal invariants run, so this phase checks
+//!    both split behavior (no double leader, no double apply) and
+//!    post-heal convergence. Must find zero violations.
 //!
 //! Compiled with `--features mc-mutations`, the phases invert into a
 //! self-test: the cluster crate's deliberate relay-dedup bypass is
@@ -101,7 +107,7 @@ fn run_phase(phase: &str, state: &McState, cfg: &CheckerConfig) -> Result<(), St
                         "{phase}: replay reproduces the violation ({})\n\
                          {phase}: fault-plan skeleton: {} injected event(s)\n",
                         v.invariant,
-                        cx.fault_plan().len()
+                        cx.fault_plan(state.plane.num_controllers()).len()
                     );
                     Ok(())
                 }
@@ -136,6 +142,7 @@ fn main() -> ExitCode {
             drops: 1,
             dups: 1,
             crashes: 1,
+            ..FaultBudget::none()
         },
         max_pending: 14,
         settle_horizon_ns: 45 * SEC,
@@ -160,6 +167,7 @@ fn main() -> ExitCode {
             drops: 2,
             dups: 2,
             crashes: 2,
+            ..FaultBudget::none()
         },
         max_pending: 24,
         settle_horizon_ns: 45 * SEC,
@@ -168,6 +176,34 @@ fn main() -> ExitCode {
     };
     let state5 = initial_state(5);
     if let Err(e) = run_phase("guided-5", &state5, &guided) {
+        failures.push(e);
+    }
+
+    // Phase 3: guided walks on 3 members with a partition in the fault
+    // model — any one member may be severed from its peers mid-schedule
+    // and healed later (or left cut until settling heals it). Depth
+    // crosses the detection deadline and the leader-lease window, so
+    // isolated-leader demotion and majority takeover both happen inside
+    // explored schedules, not only during settling.
+    let partitioned = CheckerConfig {
+        mode: Mode::RandomWalk {
+            walks: 500,
+            depth: 240,
+            seed: 0xBADCA57,
+        },
+        budget: FaultBudget {
+            drops: 1,
+            dups: 1,
+            crashes: 1,
+            partitions: 1,
+            heals: 1,
+        },
+        max_pending: 24,
+        settle_horizon_ns: 45 * SEC,
+        settle_every: 16,
+        ..CheckerConfig::default()
+    };
+    if let Err(e) = run_phase("guided-partition-3", &state3, &partitioned) {
         failures.push(e);
     }
 

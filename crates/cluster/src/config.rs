@@ -63,6 +63,32 @@ pub struct ClusterConfig {
     /// Per-member stagger added to the election timer (ms × member id), so
     /// that concurrent timeouts don't produce perpetual split votes.
     pub election_stagger_ms: u32,
+    /// Leader lease window (ms): a leader that has not heard heartbeats
+    /// from a strict majority of the *static* cluster within this window
+    /// steps down to read-only — it keeps serving cached lookups but
+    /// stops confirming deaths and minting ownership transfers. This is
+    /// the split-brain guard for network partitions: on the minority
+    /// side the detector sees exactly the cross-cut silence a real crash
+    /// would produce, and without the lease it would "take over" groups
+    /// it can no longer speak for. Must exceed the heartbeat interval
+    /// and should stay below the failure-confirmation deadline
+    /// (`heartbeat_miss_factor × heartbeat_interval_ms`) so the
+    /// step-down lands before any cross-partition death is confirmed.
+    pub leader_lease_ms: u32,
+    /// Deadline (ms) for a synchronous peer lookup round. An expired
+    /// lookup retries against the next outstanding replica with
+    /// exponential backoff instead of hanging on a dead or partitioned
+    /// peer forever.
+    pub lookup_timeout_ms: u32,
+    /// Retry rounds a pending lookup gets after its first deadline
+    /// expires. Once spent, the queued switch messages replay through
+    /// the inner controller's scoped-ARP relay fallback.
+    pub lookup_max_retries: u32,
+    /// Cap, in heartbeat intervals, on the exponential backoff between
+    /// retransmissions of an unacked ownership transfer. Keeps a long
+    /// partition from flooding the heal with a retransmit per tick
+    /// while still bounding the repair latency.
+    pub transfer_retransmit_backoff_cap: u32,
 }
 
 impl Default for ClusterConfig {
@@ -84,6 +110,10 @@ impl Default for ClusterConfig {
             delta_log_flushes: 64,
             election_timeout_ms: 3_000,
             election_stagger_ms: 150,
+            leader_lease_ms: 2_500,
+            lookup_timeout_ms: 2_000,
+            lookup_max_retries: 2,
+            transfer_retransmit_backoff_cap: 8,
         }
     }
 }
@@ -147,6 +177,18 @@ impl ClusterConfig {
             self.election_timeout_ms > self.heartbeat_interval_ms,
             "election timeout must exceed the heartbeat interval"
         );
+        assert!(
+            self.leader_lease_ms > self.heartbeat_interval_ms,
+            "leader lease must exceed the heartbeat interval"
+        );
+        assert!(
+            self.lookup_timeout_ms > 0,
+            "lookup timeout must be positive"
+        );
+        assert!(
+            self.transfer_retransmit_backoff_cap > 0,
+            "transfer retransmit backoff cap must be positive"
+        );
     }
 }
 
@@ -194,6 +236,27 @@ mod tests {
     #[should_panic(expected = "at least one controller")]
     fn zero_controllers_rejected() {
         ClusterConfig::with_controllers(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "leader lease")]
+    fn short_leader_lease_rejected() {
+        let c = ClusterConfig {
+            leader_lease_ms: 1_000,
+            heartbeat_interval_ms: 1_000,
+            ..ClusterConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "lookup timeout")]
+    fn zero_lookup_timeout_rejected() {
+        let c = ClusterConfig {
+            lookup_timeout_ms: 0,
+            ..ClusterConfig::default()
+        };
+        c.validate();
     }
 
     #[test]

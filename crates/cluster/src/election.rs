@@ -148,6 +148,17 @@ impl ElectionState {
         true
     }
 
+    /// Lease-loss demotion: a leader that can no longer prove contact
+    /// with a voting majority relinquishes the role without touching the
+    /// term or the per-term vote (granting twice in one term would break
+    /// safety). `last_leader_hb_ns` stays stale, so once majority
+    /// contact resumes the ordinary election machinery takes over.
+    pub fn relinquish_leadership(&mut self) {
+        self.role = ElectionRole::Follower;
+        self.votes.clear();
+        self.known_leader = None;
+    }
+
     /// Post-restart demotion: a recovered member must re-earn leadership
     /// through an election rather than resume a stale claim. The per-term
     /// vote is kept (granting twice in one term would break safety), and
@@ -222,6 +233,17 @@ mod tests {
         assert_eq!(s.role, ElectionRole::Leader);
         assert!(s.accept_leader(3, 0, 9), "a newer-term claim always wins");
         assert_eq!(s.known_leader, Some(0));
+    }
+
+    #[test]
+    fn lease_loss_demotes_within_the_same_term() {
+        let mut s = ElectionState::bootstrap_consensus(0, 0);
+        assert_eq!(s.role, ElectionRole::Leader);
+        s.relinquish_leadership();
+        assert_eq!(s.role, ElectionRole::Follower);
+        assert_eq!(s.term, 1, "relinquishing must not open a new term");
+        assert_eq!(s.voted_for, Some(0), "per-term vote survives");
+        assert!(!s.grant_vote(1, 2), "so a same-term rival is still refused");
     }
 
     #[test]

@@ -151,6 +151,25 @@ struct PendingLookup {
     waiting_on: BTreeSet<u32>,
     /// Switch messages queued until the lookup resolves: `(from, msg)`.
     queued: Vec<(SwitchId, Message)>,
+    /// Virtual time after which the current round counts as timed out. A
+    /// partitioned peer never replies, so without this deadline a lookup
+    /// (and every flow setup queued on it) would wedge until takeover.
+    deadline_ns: u64,
+    /// Expired rounds so far; bounded by
+    /// [`ClusterConfig::lookup_max_retries`](crate::ClusterConfig).
+    retries: u32,
+}
+
+/// A leader-announced ownership transfer awaiting its target's ack, with
+/// capped-exponential retransmit pacing — a long partition must not
+/// flood the heal with one retransmit per heartbeat tick.
+#[derive(Debug, Clone, Copy)]
+struct UnackedTransfer {
+    msg: OwnershipTransferMsg,
+    /// Retransmissions so far (0 = only the original announcement).
+    attempts: u32,
+    /// Virtual time at which the next retransmit is due.
+    next_retry_ns: u64,
 }
 
 /// Per-member peer-sync traffic accounting (what `ClusterReport` exposes
@@ -227,16 +246,23 @@ struct ClusterNode {
     /// Term-based election bookkeeping (see [`crate::election`]).
     election: ElectionState,
     /// Leader-side: transfers announced but not yet acknowledged by their
-    /// target, keyed by epoch. Retransmitted to the target on every
-    /// heartbeat tick while this member leads — the in-flight-loss
-    /// window's repair path. Entries whose target is later confirmed dead
-    /// are dropped at takeover (its groups move again anyway).
-    unacked_transfers: BTreeMap<u32, OwnershipTransferMsg>,
+    /// target, keyed by epoch. Retransmitted to the target on heartbeat
+    /// ticks with capped exponential backoff while this member leads —
+    /// the in-flight-loss window's repair path. Entries whose target is
+    /// later confirmed dead are dropped at takeover (its groups move
+    /// again anyway).
+    unacked_transfers: BTreeMap<u32, UnackedTransfer>,
     /// Receiver-side: transfer epochs already delivered to this member as
     /// target. Duplicate announcements (retransmits) re-ack without
     /// re-seeding.
     delivered_transfers: BTreeSet<u32>,
     pending_lookups: BTreeMap<MacAddr, PendingLookup>,
+    /// Partition degradation: set when this member, as leader, lost its
+    /// majority lease. A read-only member keeps serving cached lookups
+    /// from its C-LIB and replica but mints no transfers, confirms no
+    /// deaths, starts no candidacies, and fans out no new peer lookups —
+    /// until majority contact (or an accepted leader claim) clears it.
+    read_only: bool,
     xid: u32,
     /// Bumped on crash; stale timer chains are dropped (see
     /// [`ClusterTimer::gen`]).
@@ -244,6 +270,14 @@ struct ClusterNode {
     /// Switch-originated messages this member handled (the sharded
     /// workload quantity `repro_cluster` reports).
     requests_handled: u64,
+    /// Ownership-transfer retransmissions sent (observer counter).
+    transfer_retransmits: u64,
+    /// Peer-lookup rounds that expired at their deadline (observer
+    /// counter).
+    lookup_timeouts: u64,
+    /// Times this member stepped down to read-only on lease loss
+    /// (observer counter).
+    lease_step_downs: u64,
 }
 
 /// How many recent flush sequences the relay dedup remembers per origin.
@@ -311,6 +345,15 @@ pub struct ClusterControlPlane {
     group_window: BTreeMap<usize, u64>,
     /// Every ownership transfer initiated, in order.
     transfers: Vec<OwnershipTransferMsg>,
+    /// Election-safety monitor: first leader observed per term. The plane
+    /// holds every member, so this is cross-member ground truth; a second,
+    /// different leader in an already-claimed term bumps
+    /// [`double_leader_events`](Self::double_leader_events). Observer
+    /// only — excluded from the state fingerprint like the counters.
+    term_leaders: BTreeMap<u64, u32>,
+    /// Times two distinct members led the same term (must stay zero; the
+    /// partition scenarios assert it).
+    double_leader_events: u64,
     /// Takeovers executed: `(dead member, groups moved)`.
     takeovers: Vec<(u32, usize)>,
     bootstrapped: bool,
@@ -342,6 +385,8 @@ impl Clone for ClusterControlPlane {
             confirmed_dead: self.confirmed_dead.clone(),
             group_window: self.group_window.clone(),
             transfers: self.transfers.clone(),
+            term_leaders: self.term_leaders.clone(),
+            double_leader_events: self.double_leader_events,
             takeovers: self.takeovers.clone(),
             bootstrapped: self.bootstrapped,
             ctrl_scratch: OutputSink::new(),
@@ -389,9 +434,13 @@ impl ClusterControlPlane {
                     unacked_transfers: BTreeMap::new(),
                     delivered_transfers: BTreeSet::new(),
                     pending_lookups: BTreeMap::new(),
+                    read_only: false,
                     xid: 0,
                     timer_gen: 0,
                     requests_handled: 0,
+                    transfer_retransmits: 0,
+                    lookup_timeouts: 0,
+                    lease_step_downs: 0,
                 }
             })
             .collect();
@@ -404,6 +453,9 @@ impl ClusterControlPlane {
             confirmed_dead: BTreeSet::new(),
             group_window: BTreeMap::new(),
             transfers: Vec::new(),
+            // Bootstrap is a synchronous consensus on (term 1, member 0).
+            term_leaders: BTreeMap::from([(1, 0)]),
+            double_leader_events: 0,
             takeovers: Vec::new(),
             bootstrapped: false,
             ctrl_scratch: OutputSink::new(),
@@ -512,7 +564,8 @@ impl ClusterControlPlane {
     /// state — the model checker's dedup key and the determinism tests'
     /// cross-run checkpoint.
     ///
-    /// Covered: per-member crash flag, timer generation, election state,
+    /// Covered: per-member crash and read-only flags, timer generation,
+    /// election state,
     /// C-LIB shard, replica store (hosts, tombstones, progress), flush
     /// outboxes and tombstone memory, relay outbox and dedup window,
     /// delta log, anti-entropy rotation, heartbeat observation times and
@@ -540,7 +593,10 @@ impl ClusterControlPlane {
             h.usize(*g).u64(*c);
         }
         for node in &self.nodes {
-            h.u32(node.id).u8(node.crashed as u8).u32(node.timer_gen);
+            h.u32(node.id)
+                .u8(node.crashed as u8)
+                .u8(node.read_only as u8)
+                .u32(node.timer_gen);
             let e = &node.election;
             h.u64(e.term).u8(match e.role {
                 ElectionRole::Follower => 0,
@@ -608,6 +664,7 @@ impl ClusterControlPlane {
             h.usize(node.pending_lookups.len());
             for (mac, pending) in &node.pending_lookups {
                 h.bytes(&mac.octets()).usize(pending.waiting_on.len());
+                h.u64(pending.deadline_ns).u32(pending.retries);
                 for w in &pending.waiting_on {
                     h.u32(*w);
                 }
@@ -617,9 +674,10 @@ impl ClusterControlPlane {
                 }
             }
             h.usize(node.unacked_transfers.len());
-            for (epoch, t) in &node.unacked_transfers {
-                h.u32(*epoch).u64(t.term).usize(t.group.index());
-                h.u32(t.from).u32(t.to);
+            for (epoch, u) in &node.unacked_transfers {
+                h.u32(*epoch).u64(u.msg.term).usize(u.msg.group.index());
+                h.u32(u.msg.from).u32(u.msg.to);
+                h.u32(u.attempts).u64(u.next_retry_ns);
             }
             for epoch in &node.delivered_transfers {
                 h.u32(*epoch);
@@ -779,6 +837,73 @@ impl ClusterControlPlane {
             .collect()
     }
 
+    /// True while a member is in read-only partition degradation (lost
+    /// its majority lease as leader and has not regained quorum contact).
+    pub fn is_read_only(&self, id: u32) -> bool {
+        self.nodes[id as usize].read_only
+    }
+
+    /// Ownership-transfer retransmissions a member has sent.
+    pub fn transfer_retransmits(&self, id: u32) -> u64 {
+        self.nodes[id as usize].transfer_retransmits
+    }
+
+    /// Peer-lookup rounds that expired at their deadline on a member.
+    pub fn lookup_timeouts(&self, id: u32) -> u64 {
+        self.nodes[id as usize].lookup_timeouts
+    }
+
+    /// Times a member stepped down to read-only on lease loss.
+    pub fn lease_step_downs(&self, id: u32) -> u64 {
+        self.nodes[id as usize].lease_step_downs
+    }
+
+    /// Election-safety monitor: times two distinct members led the same
+    /// term. Cross-member ground truth (the plane holds every member);
+    /// any nonzero value is a split-brain.
+    pub fn double_leader_events(&self) -> u64 {
+        self.double_leader_events
+    }
+
+    /// Whether `id` has heard heartbeats from a strict majority of the
+    /// *static* cluster (itself included) within the leader-lease
+    /// window — the evidence a leader needs to keep minting transfers
+    /// and confirming deaths. Static size, not live membership: letting
+    /// confirmed-dead members shrink the denominator is exactly how a
+    /// minority island talks itself into a quorum.
+    fn holds_lease(&self, id: u32, now_ns: u64) -> bool {
+        // A two-member cluster has no minority/majority distinction: a
+        // strict majority is both members, so demanding peer heartbeats
+        // would turn any single peer crash into a permanent failover
+        // deadlock. Election safety is unaffected — winning a vote still
+        // needs both members — so the lease degenerates to always-held.
+        if self.nodes.len() <= 2 {
+            return true;
+        }
+        let lease_ns = self.cfg.leader_lease_ms as u64 * 1_000_000;
+        let recent = self.nodes[id as usize]
+            .last_hb_from
+            .iter()
+            .filter(|&(&p, &t)| p != id && now_ns.saturating_sub(t) <= lease_ns)
+            .count();
+        (recent + 1) * 2 > self.nodes.len()
+    }
+
+    /// Minority-side degradation: relinquish leadership (same term) and
+    /// enter read-only mode. Cached lookups keep being served; transfers,
+    /// death confirmations, candidacies and new lookup fan-outs stop
+    /// until majority contact resumes.
+    fn step_down_read_only(&mut self, id: u32) {
+        let node = &mut self.nodes[id as usize];
+        if node.election.role == ElectionRole::Leader {
+            node.election.relinquish_leadership();
+        }
+        if !node.read_only {
+            node.read_only = true;
+            node.lease_step_downs += 1;
+        }
+    }
+
     /// Ring neighbours `(prev, next)` of `id` among believed-alive members
     /// (crashed-but-undetected members still occupy their slot, exactly
     /// like a freshly dead switch on the wheel).
@@ -827,8 +952,10 @@ impl ClusterControlPlane {
         node.crashed = false;
         // A restarted member must not resume a stale leadership claim: it
         // demotes to follower and re-earns the role through an election if
-        // no live leader is heard within the timeout.
+        // no live leader is heard within the timeout. Any pre-crash
+        // read-only degradation is moot for a follower.
         node.election.step_down_after_restart();
+        node.read_only = false;
         let gen = node.timer_gen;
         for (kind, interval_ms) in [
             (
@@ -967,10 +1094,29 @@ impl ClusterControlPlane {
         msg: &Message,
         out: &mut OutputSink<ClusterOutput>,
     ) {
-        self.note_step(now_ns);
         let Some(owner) = self.owner_of_switch(from) else {
+            self.note_step(now_ns);
             return;
         };
+        self.handle_switch_message_at(now_ns, owner, from, msg, out);
+    }
+
+    /// Handles a switch message at an explicit member, bypassing the
+    /// ownership route. This is the re-homing entry point: a driver whose
+    /// network model says the owner is unreachable from the switch can,
+    /// after its detection deadline, steer the traffic to a stand-in
+    /// member. The stand-in serves from its replica and caches exactly as
+    /// an owner would — ownership itself does not move, so when the
+    /// partition heals the switch simply routes home again.
+    pub fn handle_switch_message_at(
+        &mut self,
+        now_ns: u64,
+        owner: u32,
+        from: SwitchId,
+        msg: &Message,
+        out: &mut OutputSink<ClusterOutput>,
+    ) {
+        self.note_step(now_ns);
         if self.nodes[owner as usize].crashed {
             return;
         }
@@ -994,7 +1140,13 @@ impl ClusterControlPlane {
                 .into_iter()
                 .filter(|&p| p != owner)
                 .collect();
-            if self.cfg.enable_lookup && !peers.is_empty() {
+            // A read-only (minority-partitioned) member serves from its
+            // caches only: a lookup fan-out would just wedge on peers it
+            // cannot reach, so the queued message goes straight to the
+            // inner controller's scoped-ARP relay fallback instead.
+            if self.cfg.enable_lookup && !peers.is_empty() && !self.nodes[owner as usize].read_only
+            {
+                let lookup_timeout_ns = self.cfg.lookup_timeout_ms as u64 * 1_000_000;
                 let node = &mut self.nodes[owner as usize];
                 let pending = node.pending_lookups.entry(dst).or_default();
                 pending.queued.push((from, msg.clone()));
@@ -1003,6 +1155,8 @@ impl ClusterControlPlane {
                     return;
                 }
                 pending.waiting_on = peers.iter().copied().collect();
+                pending.deadline_ns = now_ns + lookup_timeout_ns;
+                pending.retries = 0;
                 for p in peers {
                     let xid = self.nodes[owner as usize].next_xid();
                     out.push(ClusterOutput::ToCtrl {
@@ -1134,7 +1288,16 @@ impl ClusterControlPlane {
                 if hb.leader {
                     // Only a *leader's* heartbeat suppresses candidacy —
                     // follower chatter proves nothing about leadership.
-                    node.election.accept_leader(hb.term, hb.from, now_ns);
+                    if node.election.accept_leader(hb.term, hb.from, now_ns) {
+                        // Following a live leader ends read-only
+                        // degradation: the cluster is functioning again.
+                        node.read_only = false;
+                    }
+                }
+                if self.nodes[to as usize].read_only && self.holds_lease(to, now_ns) {
+                    // The partition healed from this side's perspective:
+                    // a majority is heartbeating again.
+                    self.nodes[to as usize].read_only = false;
                 }
                 if came_back {
                     // The member rebooted; future rebalance checks may hand
@@ -1175,7 +1338,7 @@ impl ClusterControlPlane {
                 if node
                     .unacked_transfers
                     .get(&ack.epoch)
-                    .is_some_and(|t| t.to == ack.from)
+                    .is_some_and(|u| u.msg.to == ack.from)
                 {
                     node.unacked_transfers.remove(&ack.epoch);
                 }
@@ -1218,8 +1381,12 @@ impl ClusterControlPlane {
             }
             CtrlBody::Cluster(ClusterMsg::LeaderClaim(claim)) => {
                 let node = &mut self.nodes[to as usize];
-                node.election
-                    .accept_leader(claim.term, claim.leader, now_ns);
+                if node
+                    .election
+                    .accept_leader(claim.term, claim.leader, now_ns)
+                {
+                    node.read_only = false;
+                }
             }
             CtrlBody::Cluster(ClusterMsg::LookupRequest(req)) => {
                 let node = &mut self.nodes[to as usize];
@@ -1283,6 +1450,55 @@ impl ClusterControlPlane {
         }
     }
 
+    /// Deadline sweep for pending peer lookups (runs on the heartbeat
+    /// tick): an expired round counts as a timeout and retries against
+    /// the next-best outstanding replica with exponential backoff; once
+    /// the retry budget is spent the lookup is abandoned and its queued
+    /// switch messages replay through the inner controller's scoped-ARP
+    /// relay fallback — a dead or partitioned peer must not strand a
+    /// flow setup forever.
+    fn expire_lookups(&mut self, id: u32, now_ns: u64, out: &mut OutputSink<ClusterOutput>) {
+        if self.nodes[id as usize].pending_lookups.is_empty() {
+            return;
+        }
+        let timeout_ns = self.cfg.lookup_timeout_ms as u64 * 1_000_000;
+        let max_retries = self.cfg.lookup_max_retries;
+        let expired: Vec<MacAddr> = self.nodes[id as usize]
+            .pending_lookups
+            .iter()
+            .filter(|(_, p)| !p.waiting_on.is_empty() && now_ns >= p.deadline_ns)
+            .map(|(&mac, _)| mac)
+            .collect();
+        for mac in expired {
+            let node = &mut self.nodes[id as usize];
+            node.lookup_timeouts += 1;
+            let pending = node.pending_lookups.get_mut(&mac).expect("just listed");
+            if pending.retries >= max_retries {
+                let queued = std::mem::take(&mut pending.queued);
+                node.pending_lookups.remove(&mac);
+                for (from, msg) in queued {
+                    self.process_at(id, now_ns, from, &msg, out);
+                }
+                continue;
+            }
+            pending.retries += 1;
+            let retries = pending.retries;
+            // Next-best replica: the lowest-id peer still outstanding
+            // (the ones that answered are gone from the set already).
+            let target = *pending.waiting_on.iter().next().expect("set is non-empty");
+            pending.deadline_ns = now_ns + timeout_ns * (1u64 << retries.min(16));
+            let xid = node.next_xid();
+            out.push(ClusterOutput::ToCtrl {
+                from: id,
+                to: target,
+                msg: Message::cluster(
+                    xid,
+                    ClusterMsg::LookupRequest(LookupRequestMsg { from: id, mac }),
+                ),
+            });
+        }
+    }
+
     /// Feeds one controller-ring loss observation into a member's Table-I
     /// detector; a both-directions inference triggers takeover if this
     /// member is the leader.
@@ -1311,6 +1527,18 @@ impl ClusterControlPlane {
         if self.nodes[at as usize].election.role != ElectionRole::Leader {
             return;
         }
+        // Partition guard: a leader without a live majority lease must
+        // not confirm deaths — on the minority side of a partition its
+        // detector sees exactly the cross-cut silence a real crash would
+        // produce, and a takeover here is how split-brain ownership is
+        // minted. Degrade to read-only instead; the majority side (which
+        // still holds quorum) runs the takeover. The death stays latched
+        // in this member's detector, so if it is ever legitimately
+        // re-elected, the `win_election` sweep revisits it.
+        if !self.holds_lease(at, now_ns) {
+            self.step_down_read_only(at);
+            return;
+        }
         self.take_over(at, now_ns, dead, out);
     }
 
@@ -1329,7 +1557,7 @@ impl ClusterControlPlane {
         // groups are about to move again, to live targets.
         self.nodes[leader as usize]
             .unacked_transfers
-            .retain(|_, t| t.to != dead);
+            .retain(|_, u| u.msg.to != dead);
         let groups = self.ownership.groups_of(dead);
         // live_members() excludes `dead` now that it is confirmed dead.
         let mut survivors: Vec<u32> = self.live_members();
@@ -1376,10 +1604,17 @@ impl ClusterControlPlane {
                 .transfer(g, target, TransferReason::Failover, term);
             self.transfers.push(t);
             if target != leader {
-                // Track until the target acks; heartbeat ticks retransmit.
-                self.nodes[leader as usize]
-                    .unacked_transfers
-                    .insert(t.epoch, t);
+                // Track until the target acks; heartbeat ticks retransmit
+                // with capped exponential backoff.
+                let hb_ns = self.cfg.heartbeat_interval_ms as u64 * 1_000_000;
+                self.nodes[leader as usize].unacked_transfers.insert(
+                    t.epoch,
+                    UnackedTransfer {
+                        msg: t,
+                        attempts: 0,
+                        next_retry_ns: now_ns + hb_ns,
+                    },
+                );
             }
             for &peer in &survivors {
                 if peer == leader {
@@ -1451,6 +1686,12 @@ impl ClusterControlPlane {
         if node.election.role == ElectionRole::Leader {
             return;
         }
+        if node.read_only {
+            // A read-only ex-leader knows it cannot reach a majority;
+            // spinning terms from the minority island would only disrupt
+            // the healed cluster later. Quorum contact clears the flag.
+            return;
+        }
         if now_ns.saturating_sub(node.election.last_leader_hb_ns) < timeout_ns {
             return;
         }
@@ -1494,8 +1735,18 @@ impl ClusterControlPlane {
             let node = &mut self.nodes[id as usize];
             node.election.become_leader(id);
             node.election.last_leader_hb_ns = now_ns;
+            // A fresh majority of votes is quorum evidence in itself.
+            node.read_only = false;
             node.election.term
         };
+        // Election-safety monitor: a term may crown at most one leader.
+        match self.term_leaders.get(&term) {
+            Some(&prev) if prev != id => self.double_leader_events += 1,
+            Some(_) => {}
+            None => {
+                self.term_leaders.insert(term, id);
+            }
+        }
         let peers: Vec<u32> = self
             .nodes
             .iter()
@@ -1845,7 +2096,10 @@ impl ClusterControlPlane {
     }
 
     /// Sends ring heartbeats (to every live peer, loads piggybacked) and
-    /// reports silent ring neighbours via Table-I wheel reports.
+    /// reports silent ring neighbours via Table-I wheel reports. The
+    /// heartbeat tick is also the plane's periodic sweep: leader-lease
+    /// maintenance (step down to read-only on majority silence, readmit
+    /// on quorum contact) and pending-lookup deadlines ride it.
     fn heartbeat(
         &mut self,
         id: u32,
@@ -1853,6 +2107,16 @@ impl ClusterControlPlane {
         timer: ClusterTimer,
         out: &mut OutputSink<ClusterOutput>,
     ) {
+        self.expire_lookups(id, now_ns, out);
+        if self.nodes[id as usize].read_only {
+            if self.holds_lease(id, now_ns) {
+                self.nodes[id as usize].read_only = false;
+            }
+        } else if self.nodes[id as usize].election.role == ElectionRole::Leader
+            && !self.holds_lease(id, now_ns)
+        {
+            self.step_down_read_only(id);
+        }
         let peers: Vec<u32> = self
             .nodes
             .iter()
@@ -1886,12 +2150,25 @@ impl ClusterControlPlane {
             }
             if is_leader {
                 // Repair the transfer in-flight-loss window: re-announce
-                // every unacked transfer to its target. (Targets already
-                // confirmed dead were pruned at takeover; an undetected
-                // crash just means the retransmit vanishes and the next
-                // tick retries.)
-                let resend: Vec<OwnershipTransferMsg> =
-                    node.unacked_transfers.values().copied().collect();
+                // unacked transfers that are due, with capped exponential
+                // backoff (1, 2, 4, … heartbeat intervals up to the cap) —
+                // a long partition must not flood the heal with one
+                // retransmit per tick. (Targets already confirmed dead
+                // were pruned at takeover; an undetected crash just means
+                // the retransmit vanishes and a later tick retries.)
+                let hb_ns = self.cfg.heartbeat_interval_ms as u64 * 1_000_000;
+                let cap = self.cfg.transfer_retransmit_backoff_cap as u64;
+                let mut resend: Vec<OwnershipTransferMsg> = Vec::new();
+                for u in node.unacked_transfers.values_mut() {
+                    if now_ns < u.next_retry_ns {
+                        continue;
+                    }
+                    u.attempts += 1;
+                    let backoff = 1u64.checked_shl(u.attempts).unwrap_or(u64::MAX).min(cap);
+                    u.next_retry_ns = now_ns + backoff * hb_ns;
+                    resend.push(u.msg);
+                }
+                node.transfer_retransmits += resend.len() as u64;
                 for t in resend {
                     let xid = self.nodes[id as usize].next_xid();
                     out.push(ClusterOutput::ToCtrl {
@@ -1964,6 +2241,12 @@ impl ClusterControlPlane {
             // them.
             return;
         }
+        if !self.holds_lease(id, now_ns) {
+            // Rebalance decisions are minted state; a leader without a
+            // majority lease degrades instead.
+            self.step_down_read_only(id);
+            return;
+        }
         let live = self.live_members();
         let window = std::mem::take(&mut self.group_window);
         if live.len() < 2 {
@@ -2020,7 +2303,15 @@ impl ClusterControlPlane {
             .transfer(group, cool, TransferReason::Rebalance, term);
         self.transfers.push(t);
         if cool != id {
-            self.nodes[id as usize].unacked_transfers.insert(t.epoch, t);
+            let hb_ns = self.cfg.heartbeat_interval_ms as u64 * 1_000_000;
+            self.nodes[id as usize].unacked_transfers.insert(
+                t.epoch,
+                UnackedTransfer {
+                    msg: t,
+                    attempts: 0,
+                    next_retry_ns: now_ns + hb_ns,
+                },
+            );
         }
         for &peer in &live {
             if peer == id {

@@ -31,6 +31,12 @@ pub struct MiniNet {
     now: u64,
     /// Messages delivered on the ctrl-peer fabric, by kind.
     pub delivered: BTreeMap<&'static str, u64>,
+    /// Active partition: listed islands are mutually severed, members
+    /// not listed anywhere keep full reachability (the simulator's
+    /// `LinkState` rule). Empty means the fabric is whole.
+    partition: Vec<Vec<u32>>,
+    /// Ctrl-peer messages destroyed by the partition gate.
+    pub partition_drops: u64,
 }
 
 /// A weighted graph of `groups` disjoint cliques of `size` switches —
@@ -75,6 +81,8 @@ impl MiniNet {
             seq: 0,
             now: 0,
             delivered: BTreeMap::new(),
+            partition: Vec::new(),
+            partition_drops: 0,
         };
         net.dispatch(sink.take_buf());
         net
@@ -83,6 +91,28 @@ impl MiniNet {
     /// Current virtual time (ns).
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Severs the fabric into `groups` islands: ctrl-peer messages
+    /// between members of *different* listed islands are destroyed at
+    /// delivery time (in-flight traffic included). Replaces any
+    /// previous partition.
+    pub fn set_partition(&mut self, groups: &[Vec<u32>]) {
+        self.partition = groups.to_vec();
+    }
+
+    /// Restores full reachability.
+    pub fn heal_partition(&mut self) {
+        self.partition.clear();
+    }
+
+    /// True if an active partition severs the `a`↔`b` member pair.
+    fn severed(&self, a: u32, b: u32) -> bool {
+        let island = |m: u32| self.partition.iter().position(|g| g.contains(&m));
+        match (island(a), island(b)) {
+            (Some(x), Some(y)) => x != y,
+            _ => false,
+        }
     }
 
     fn push(&mut self, at: u64, ev: Ev) {
@@ -117,6 +147,10 @@ impl MiniNet {
             let mut sink = OutputSink::new();
             match ev {
                 Ev::Ctrl { from, to, msg } => {
+                    if self.severed(from, to) {
+                        self.partition_drops += 1;
+                        continue;
+                    }
                     *self.delivered.entry(kind_of(&msg)).or_insert(0) += 1;
                     self.plane
                         .handle_ctrl_message(self.now, from, to, &msg, &mut sink);

@@ -48,6 +48,20 @@ impl Experiment {
                     (id as usize) < controllers,
                     "plan event `{e}` references controller {id} but the cluster has {controllers}"
                 ),
+                lazyctrl_proto::InjectedEvent::PartitionNetwork { ref groups } => {
+                    for &node in groups.iter().flatten() {
+                        let ok = (node as usize) < num_switches
+                            || lazyctrl_cluster::ctrl_pseudo_switch(0).0 <= node
+                                && ((node & !lazyctrl_cluster::ctrl_pseudo_switch(0).0) as usize)
+                                    < controllers;
+                        assert!(
+                            ok,
+                            "plan event `{e}` partitions node {node}, which is neither a \
+                             switch (< {num_switches}) nor a controller pseudo-id \
+                             (cluster has {controllers})"
+                        );
+                    }
+                }
                 _ => {}
             }
         }
@@ -82,7 +96,7 @@ impl Experiment {
         // plans are sorted, so insertion order here equals plan order and
         // same-timestamp events keep their scheduled sequence.
         for e in cfg.plan.events() {
-            queue.schedule(e.at, Ev::Injected(e.event));
+            queue.schedule(e.at, Ev::Injected(e.event.clone()));
         }
 
         let mut world = DataCenterWorld::new(trace, cfg);
@@ -217,6 +231,12 @@ impl Experiment {
                 switch_groups: (0..world.trace.topology.num_switches)
                     .map(|s| plane.group_of_switch(lazyctrl_net::SwitchId::new(s as u32)))
                     .collect(),
+                transfer_retransmits: (0..n as u32)
+                    .map(|i| plane.transfer_retransmits(i))
+                    .collect(),
+                lookup_timeouts: (0..n as u32).map(|i| plane.lookup_timeouts(i)).collect(),
+                lease_step_downs: (0..n as u32).map(|i| plane.lease_step_downs(i)).collect(),
+                double_leader_events: plane.double_leader_events(),
                 state_fingerprint: plane.state_fingerprint(),
                 fingerprint_checkpoints: world.cluster_fingerprints.clone(),
             }

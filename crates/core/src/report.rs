@@ -94,6 +94,22 @@ pub struct ClusterReport {
     pub failover_groups: Vec<usize>,
     /// Final switch → group mapping (frozen at bootstrap in cluster runs).
     pub switch_groups: Vec<Option<usize>>,
+    /// Ownership-transfer retransmissions per controller (unacked
+    /// announcements re-sent under the capped backoff; nonzero means the
+    /// first announcement was lost to a crash window or partition).
+    pub transfer_retransmits: Vec<u64>,
+    /// Expired synchronous-lookup deadlines per controller (each expiry
+    /// either retried against the next replica or fell back to the
+    /// scoped-ARP relay path).
+    pub lookup_timeouts: Vec<u64>,
+    /// Lease step-downs per controller: times a leader lost heartbeat
+    /// contact with a voting majority and demoted itself to read-only
+    /// (the split-brain guard firing).
+    pub lease_step_downs: Vec<u64>,
+    /// Times two distinct members led the same election term (cross-member
+    /// ground truth from the plane's safety monitor). Must be zero; the
+    /// partition scenarios fail on any other value.
+    pub double_leader_events: u64,
     /// Canonical fingerprint of the plane's protocol state at end of run
     /// (see `ClusterControlPlane::state_fingerprint`): one number that
     /// must agree bit-for-bit between deterministic replays.

@@ -28,6 +28,7 @@
 mod cluster;
 mod cold_cache;
 mod faults;
+mod partition;
 
 use lazyctrl_proto::EventPlan;
 use lazyctrl_trace::Trace;
@@ -41,6 +42,9 @@ pub use cluster::{
 };
 pub use cold_cache::{cold_cache, ColdCache, ColdCacheReport};
 pub use faults::{DegradedControlNet, HostMigrationStorm, SwitchFailure, TrafficBurstScenario};
+pub use partition::{
+    PartitionCtrlIsland, PartitionFlapping, PartitionSplit, PartitionSwitchOrphan,
+};
 
 /// Scenario testbed sizing, from the `LAZYCTRL_SCALE` environment
 /// variable. `ci` (the default, also used for unset/`quick`) keeps every
@@ -247,6 +251,10 @@ impl ScenarioRegistry {
         reg.register(Box::new(faults::DegradedControlNet));
         reg.register(Box::new(faults::HostMigrationStorm));
         reg.register(Box::new(faults::TrafficBurstScenario));
+        reg.register(Box::new(partition::PartitionSplit));
+        reg.register(Box::new(partition::PartitionCtrlIsland));
+        reg.register(Box::new(partition::PartitionSwitchOrphan));
+        reg.register(Box::new(partition::PartitionFlapping));
         reg
     }
 

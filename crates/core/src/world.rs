@@ -291,6 +291,41 @@ pub(crate) struct PartitionCtx {
     pub(crate) global_rng: StdRng,
 }
 
+/// Per-switch controller re-homing state (hub only, cluster mode).
+///
+/// A switch cannot observe network reachability directly — it observes
+/// silence. This models the detection lag: the first blocked message
+/// starts a timer, messages during the detection window are lost, and
+/// once the deadline passes the switch steers its controller traffic to
+/// a reachable stand-in member. While re-homed it periodically re-probes
+/// its true owner with jittered exponential backoff, so a healed fabric
+/// is rejoined without a thundering herd of simultaneous returns.
+#[derive(Debug, Clone, Copy)]
+struct RehomeState {
+    /// When the owner first became unreachable for this switch (ns).
+    blocked_since_ns: u64,
+    /// Stand-in member carrying the traffic, once detection fired.
+    standin: Option<u32>,
+    /// Next owner re-probe time (ns); before it, a re-homed switch keeps
+    /// using the stand-in even if the owner is reachable again.
+    next_probe_ns: u64,
+    /// Failed owner probes since re-homing (drives the backoff).
+    attempts: u32,
+}
+
+/// Where a switch's controller-bound message lands under the current
+/// reachability map (cluster mode; decided at the hub, which owns both
+/// the ownership map and the re-homing state).
+enum CtrlRoute {
+    /// Normal path: the plane routes by group ownership.
+    Owner,
+    /// Owner unreachable and no stand-in available (or detection still
+    /// pending): the message is lost in the partition.
+    Lost,
+    /// Re-homed: deliver at this stand-in member.
+    Standin(u32),
+}
+
 /// The composed simulation state.
 pub(crate) struct DataCenterWorld {
     pub(crate) cfg: ExperimentConfig,
@@ -332,6 +367,9 @@ pub(crate) struct DataCenterWorld {
     /// checkpoints so determinism tests can localize a divergence to the
     /// first checkpoint that differs instead of diffing whole reports.
     pub(crate) cluster_fingerprints: Vec<u64>,
+    /// Controller re-homing state per switch (see [`RehomeState`]).
+    /// Populated only at the hub, where controller-bound traffic lands.
+    rehome: std::collections::BTreeMap<u32, RehomeState>,
     /// Flight recorder + profiler, present only when `cfg.obs.enabled`.
     /// Strictly read-only observers: nothing here may touch the RNG,
     /// scheduling, or any quantity that feeds the report.
@@ -452,6 +490,7 @@ impl DataCenterWorld {
             ctrl_sink: OutputSink::new(),
             cluster_sink: OutputSink::new(),
             cluster_fingerprints: Vec::new(),
+            rehome: std::collections::BTreeMap::new(),
             obs,
             part: None,
         }
@@ -817,7 +856,12 @@ impl DataCenterWorld {
                     };
                     let service =
                         SimDuration::from_nanos(plane.service_time_ns(from, now.as_nanos()));
-                    let link = LinkId::new(SwitchId::CONTROLLER.0, to.0, ChannelClass::Control);
+                    // The sending *member's* pseudo-id, not the CONTROLLER
+                    // sentinel: a partition that cuts this member off from
+                    // the switch must also cut its FlowMods, or the
+                    // minority side would keep programming switches it can
+                    // no longer hear.
+                    let link = LinkId::new(ctrl_pseudo_switch(from).0, to.0, ChannelClass::Control);
                     if self.links.delivers(link, &mut self.rng) {
                         if let Some(obs) = &mut self.obs {
                             obs.recorder.record(
@@ -883,6 +927,113 @@ impl DataCenterWorld {
         self.cluster_sink.put_back(buf);
     }
 
+    /// Decides where a switch's controller-bound message lands under the
+    /// current reachability map (cluster mode; see [`RehomeState`] for
+    /// the detection/return model). Pure link-state consultation — no
+    /// RNG is drawn, so the hub-only call site cannot desynchronize the
+    /// sharded engine's replicated streams.
+    fn cluster_route(&mut self, now: SimTime, from: SwitchId) -> CtrlRoute {
+        let Some(plane) = self.controller.cluster() else {
+            return CtrlRoute::Owner;
+        };
+        // Fast path: fabric whole and no switch still re-homed.
+        if !self.links.partitioned() && self.rehome.is_empty() {
+            return CtrlRoute::Owner;
+        }
+        let Some(owner) = plane.owner_of_switch(from) else {
+            return CtrlRoute::Owner;
+        };
+        let now_ns = now.as_nanos();
+        let cfg = plane.config();
+        // The switch-side detection deadline mirrors the cluster's own
+        // failure detector (Table-I): miss_factor silent heartbeats.
+        let deadline_ns =
+            u64::from(cfg.heartbeat_miss_factor) * u64::from(cfg.heartbeat_interval_ms) * 1_000_000;
+        let n = plane.num_controllers() as u32;
+        let reachable_member =
+            |links: &LinkState, m: u32| links.reachable(from.0, ctrl_pseudo_switch(m).0);
+        let pick = |links: &LinkState, plane: &ClusterControlPlane| -> Option<u32> {
+            (0..n)
+                .filter(|&m| m != owner && !plane.is_crashed(m))
+                .find(|&m| reachable_member(links, m))
+        };
+
+        if reachable_member(&self.links, owner) {
+            let Some(entry) = self.rehome.get(&from.0) else {
+                return CtrlRoute::Owner;
+            };
+            let Some(standin) = entry.standin else {
+                // Blip shorter than the detection window; forget it.
+                self.rehome.remove(&from.0);
+                return CtrlRoute::Owner;
+            };
+            // A re-homed switch only discovers the heal at its next
+            // jitter-staggered probe (or when its stand-in dies under it)
+            // — never all at once across the fabric.
+            if now_ns >= entry.next_probe_ns
+                || plane.is_crashed(standin)
+                || !reachable_member(&self.links, standin)
+            {
+                self.rehome.remove(&from.0);
+                self.metrics.count("switch_rehome_returns", 1);
+                return CtrlRoute::Owner;
+            }
+            return CtrlRoute::Standin(standin);
+        }
+
+        let entry = self.rehome.entry(from.0).or_insert(RehomeState {
+            blocked_since_ns: now_ns,
+            standin: None,
+            next_probe_ns: 0,
+            attempts: 0,
+        });
+        if entry.standin.is_none() {
+            if now_ns.saturating_sub(entry.blocked_since_ns) < deadline_ns {
+                // Detection window: the switch still trusts its owner, so
+                // the message is lost in the partition.
+                self.metrics.count("ctrl_unreachable_drops", 1);
+                return CtrlRoute::Lost;
+            }
+            let Some(m) = pick(&self.links, plane) else {
+                self.metrics.count("ctrl_unreachable_drops", 1);
+                return CtrlRoute::Lost;
+            };
+            entry.standin = Some(m);
+            entry.attempts = 0;
+            entry.next_probe_ns = now_ns
+                .saturating_add(deadline_ns)
+                .saturating_add(rehome_jitter_ns(self.cfg.seed, from.0, 0, deadline_ns / 2));
+            self.metrics.count("switch_rehomes", 1);
+            return CtrlRoute::Standin(m);
+        }
+        // Re-homed and due for a probe: the owner is still dark, so the
+        // probe fails and the backoff doubles (capped), with fresh jitter.
+        if now_ns >= entry.next_probe_ns {
+            entry.attempts = entry.attempts.saturating_add(1);
+            let backoff = deadline_ns.saturating_mul(1u64 << entry.attempts.min(5));
+            entry.next_probe_ns = now_ns
+                .saturating_add(backoff)
+                .saturating_add(rehome_jitter_ns(
+                    self.cfg.seed,
+                    from.0,
+                    entry.attempts,
+                    backoff / 2,
+                ));
+        }
+        let standin = entry.standin.expect("checked above");
+        if !plane.is_crashed(standin) && reachable_member(&self.links, standin) {
+            return CtrlRoute::Standin(standin);
+        }
+        // Stand-in lost too; fail over to the next reachable member.
+        let Some(m) = pick(&self.links, plane) else {
+            self.metrics.count("ctrl_unreachable_drops", 1);
+            return CtrlRoute::Lost;
+        };
+        self.rehome.get_mut(&from.0).expect("present").standin = Some(m);
+        self.metrics.count("switch_rehomes", 1);
+        CtrlRoute::Standin(m)
+    }
+
     /// Applies one event from the experiment's fault-injection plan.
     ///
     /// Every effect flows through state the simulation already models —
@@ -919,6 +1070,10 @@ impl DataCenterWorld {
                 InjectedEvent::TrafficBurst { scale } => {
                     (tk::TRAFFIC_BURST, (*scale * 1000.0) as u32, 0)
                 }
+                InjectedEvent::PartitionNetwork { groups } => {
+                    (tk::PARTITION_NETWORK, groups.len() as u32, 0)
+                }
+                InjectedEvent::HealPartition => (tk::HEAL_PARTITION, 0, 0),
             };
             obs.recorder
                 .record(now.as_nanos(), 0, kind, ts::WORLD, a, b);
@@ -1004,6 +1159,21 @@ impl DataCenterWorld {
             }
             InjectedEvent::TrafficBurst { scale } => {
                 self.traffic_burst(now, scale, sched);
+            }
+            InjectedEvent::PartitionNetwork { groups } => {
+                if hub {
+                    self.metrics.count("network_partitions", 1);
+                }
+                // Reachability is a pure link-state mutation, identical
+                // on every partition and drawing no randomness — the
+                // lockstep RNG invariant holds trivially.
+                self.links.set_partition(&groups);
+            }
+            InjectedEvent::HealPartition => {
+                if hub {
+                    self.metrics.count("partition_heals", 1);
+                }
+                self.links.heal_partition();
             }
         }
     }
@@ -1254,7 +1424,7 @@ impl DataCenterWorld {
         sched: &mut Scheduler<'_, Ev>,
     ) {
         self.swap_global_rng();
-        self.apply_injected(now, *event, sched);
+        self.apply_injected(now, event.clone(), sched);
         self.swap_global_rng();
     }
 
@@ -1328,6 +1498,7 @@ impl DataCenterWorld {
                 ctrl_sink: OutputSink::new(),
                 cluster_sink: OutputSink::new(),
                 cluster_fingerprints: Vec::new(),
+                rehome: std::collections::BTreeMap::new(),
                 obs,
                 part: Some(Box::new(PartitionCtx {
                     id: p,
@@ -1381,6 +1552,21 @@ impl DataCenterWorld {
         hub.part = None;
         hub
     }
+}
+
+/// Deterministic per-switch probe jitter (splitmix64 of seed, switch and
+/// attempt, reduced into `window_ns`). Hash-derived rather than drawn
+/// from the run RNG so re-homing perturbs no other sampling stream —
+/// bit-identical runs across worker counts come for free.
+fn rehome_jitter_ns(seed: u64, switch: u32, attempts: u32, window_ns: u64) -> u64 {
+    if window_ns == 0 {
+        return 0;
+    }
+    let mut x = seed ^ (u64::from(switch) << 32) ^ u64::from(attempts);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x % window_ns
 }
 
 /// Builds the gratuitous announcement frame a host sends at boot.
@@ -1517,9 +1703,36 @@ impl DataCenterWorld {
                         self.dispatch_controller_outputs(now, sched);
                         self.track_regroups(now);
                     }
-                    AnyController::Cluster(plane) => {
-                        plane.step_switch(now.as_nanos(), from, &msg, &mut self.cluster_sink);
-                        self.dispatch_cluster_outputs(now, sched);
+                    AnyController::Cluster(_) => {
+                        let route = self.cluster_route(now, from);
+                        let AnyController::Cluster(plane) = &mut self.controller else {
+                            unreachable!("matched Cluster above");
+                        };
+                        match route {
+                            CtrlRoute::Owner => {
+                                plane.step_switch(
+                                    now.as_nanos(),
+                                    from,
+                                    &msg,
+                                    &mut self.cluster_sink,
+                                );
+                                self.dispatch_cluster_outputs(now, sched);
+                            }
+                            CtrlRoute::Standin(m) => {
+                                plane.handle_switch_message_at(
+                                    now.as_nanos(),
+                                    m,
+                                    from,
+                                    &msg,
+                                    &mut self.cluster_sink,
+                                );
+                                self.dispatch_cluster_outputs(now, sched);
+                            }
+                            // Owner unreachable, detection pending (or no
+                            // stand-in exists): the message dies in the
+                            // partition.
+                            CtrlRoute::Lost => {}
+                        }
                     }
                 }
             }

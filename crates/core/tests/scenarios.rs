@@ -115,6 +115,26 @@ fn peer_sync_storm_passes_deterministically() {
     assert_passes_deterministically("peer_sync_storm");
 }
 
+#[test]
+fn partition_split_passes_deterministically() {
+    assert_passes_deterministically("partition_split");
+}
+
+#[test]
+fn partition_ctrl_island_passes_deterministically() {
+    assert_passes_deterministically("partition_ctrl_island");
+}
+
+#[test]
+fn partition_switch_orphan_passes_deterministically() {
+    assert_passes_deterministically("partition_switch_orphan");
+}
+
+#[test]
+fn partition_flapping_passes_deterministically() {
+    assert_passes_deterministically("partition_flapping");
+}
+
 /// The cluster scenarios must produce bit-identical reports at a fixed
 /// seed under each dissemination strategy — crash/recovery interleaved
 /// with relay circulation and anti-entropy included.
@@ -216,6 +236,11 @@ fn peer_sync_storm_is_identical_across_schedulers() {
     assert_identical_across_schedulers("peer_sync_storm");
 }
 
+#[test]
+fn partition_split_is_identical_across_schedulers() {
+    assert_identical_across_schedulers("partition_split");
+}
+
 /// Runs one scenario with the parallel SGI merge/split at 4 workers vs
 /// the sequential default: bit-identical reports, because the re-splits
 /// are pure per-pair functions applied in deterministic order.
@@ -292,6 +317,19 @@ fn crash_under_load_is_identical_across_workers() {
 #[test]
 fn peer_sync_storm_is_identical_across_workers() {
     assert_identical_across_workers("peer_sync_storm");
+}
+
+/// Partition events mutate shared link state on every shard in lockstep
+/// and re-homing decisions are hub-local hash-jittered (no RNG), so a
+/// split fabric must not cost any worker-count determinism.
+#[test]
+fn partition_split_is_identical_across_workers() {
+    assert_identical_across_workers("partition_split");
+}
+
+#[test]
+fn partition_ctrl_island_is_identical_across_workers() {
+    assert_identical_across_workers("partition_ctrl_island");
 }
 
 /// Dynamic-mode regrouping actually exercises the parallel merge/split

@@ -21,6 +21,15 @@ pub enum McEvent {
     Crash(u32),
     /// Restart a crashed member.
     Recover(u32),
+    /// Sever member `m` from every peer (consumes partition budget). On
+    /// a fabric of members only, every two-way cut is "isolate one
+    /// member" up to symmetry, so this single shape covers the clean
+    /// split and the leader-island cut alike. In-flight messages across
+    /// the cut are destroyed, and messages sent across it while the
+    /// partition stands never enter the in-flight set.
+    Partition(u32),
+    /// Restore full reachability (consumes heal budget).
+    Heal,
 }
 
 /// How much damage the adversary may do along one schedule. Bounding the
@@ -35,6 +44,14 @@ pub struct FaultBudget {
     pub dups: u32,
     /// Member crashes available.
     pub crashes: u32,
+    /// Partition starts available (each isolates one member from every
+    /// peer until healed).
+    pub partitions: u32,
+    /// Partition heals available. Liveness does not depend on the
+    /// adversary spending these: [`crate::settle`] heals unconditionally
+    /// before the terminal invariants are checked — the standard
+    /// "partitions eventually heal" fairness assumption.
+    pub heals: u32,
 }
 
 impl FaultBudget {
@@ -44,6 +61,8 @@ impl FaultBudget {
             drops: 0,
             dups: 0,
             crashes: 0,
+            partitions: 0,
+            heals: 0,
         }
     }
 }
@@ -101,6 +120,19 @@ pub fn enabled_events(state: &McState, budget: FaultBudget, max_pending: usize) 
             events.push(McEvent::Recover(id));
         }
     }
+    // One partition at a time: a second cut before the heal would only
+    // re-partition an already-severed fabric, and keeping the partition
+    // state a single island bound keeps the space small.
+    if budget.partitions > 0 && state.partition.is_none() && state.functioning().len() > 1 {
+        for id in 0..members {
+            if !state.plane.is_crashed(id) {
+                events.push(McEvent::Partition(id));
+            }
+        }
+    }
+    if budget.heals > 0 && state.partition.is_some() {
+        events.push(McEvent::Heal);
+    }
     events
 }
 
@@ -110,6 +142,8 @@ pub fn spend(budget: &mut FaultBudget, ev: McEvent) {
         McEvent::Drop(_) => budget.drops -= 1,
         McEvent::Duplicate(_) => budget.dups -= 1,
         McEvent::Crash(_) => budget.crashes -= 1,
+        McEvent::Partition(_) => budget.partitions -= 1,
+        McEvent::Heal => budget.heals -= 1,
         McEvent::Deliver(_) | McEvent::FireTimer | McEvent::Recover(_) => {}
     }
 }

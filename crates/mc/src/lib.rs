@@ -6,7 +6,8 @@
 //! of `(state, input, now)`. This crate exploits that purity to explore
 //! the protocol's reachable state space mechanically — every reordering,
 //! drop, and duplication of in-flight controller-peer messages, plus
-//! member crashes and recoveries within a fault budget — and checks
+//! member crashes, recoveries, and network partitions (isolating any
+//! one member until a heal) within a fault budget — and checks
 //! invariant predicates in every state it reaches:
 //!
 //! 1. **No double apply** — no member ever applies more replicated delta

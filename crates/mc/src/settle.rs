@@ -13,8 +13,16 @@ use crate::state::McState;
 
 /// Runs `state` fault-free for `horizon_ns` of virtual time and returns
 /// the settled copy. The input state is not modified.
+///
+/// An active partition is healed first: the liveness invariants assume
+/// partitions eventually heal (a permanently split cluster can neither
+/// converge nor keep a quorum leader, by design, not by bug), so the
+/// terminal check always judges the *post-heal* behavior.
 pub fn settle(state: &McState, horizon_ns: u64) -> McState {
     let mut s = state.clone();
+    if s.partition.is_some() {
+        s.apply(McEvent::Heal);
+    }
     let end = s.now_ns.saturating_add(horizon_ns);
     loop {
         if !s.pending.is_empty() {

@@ -43,6 +43,11 @@ pub struct McState {
     pub timers: Vec<(u64, ClusterTimer)>,
     /// The logical clock (ns).
     pub now_ns: u64,
+    /// Active network partition: `Some(m)` means member `m` is severed
+    /// from every peer (see [`McEvent::Partition`]). Messages across the
+    /// cut are discarded at emission, mirroring the simulator's
+    /// link-state gate.
+    pub partition: Option<u32>,
 }
 
 impl std::fmt::Debug for McState {
@@ -80,6 +85,7 @@ impl McState {
             pending: Vec::new(),
             timers: Vec::new(),
             now_ns: 0,
+            partition: None,
         };
         state.absorb(sink.take_buf());
         state
@@ -100,13 +106,27 @@ impl McState {
         );
     }
 
+    /// True if an active partition severs the `a`↔`b` pair.
+    fn severed(&self, a: u32, b: u32) -> bool {
+        match self.partition {
+            Some(p) => (a == p) != (b == p),
+            None => false,
+        }
+    }
+
     /// Files a step's outputs: peer messages into the in-flight set,
     /// timers into the armed set. Switch-bound messages are discarded —
     /// the checker models the controller fabric, not the data plane.
+    /// Messages across an active partition cut are discarded too: the
+    /// pending set only ever holds deliverable traffic, so the event
+    /// enumeration needs no reachability filter.
     fn absorb(&mut self, outs: Vec<ClusterOutput>) {
         for out in outs {
             match out {
                 ClusterOutput::ToCtrl { from, to, msg } => {
+                    if self.severed(from, to) {
+                        continue;
+                    }
                     self.pending.push(PendingMsg { from, to, msg });
                 }
                 ClusterOutput::SetTimer(timer, delay_ns) => {
@@ -177,6 +197,16 @@ impl McState {
             McEvent::Recover(id) => {
                 self.plane.step_recover(id, &mut sink);
             }
+            McEvent::Partition(id) => {
+                self.partition = Some(id);
+                // The cut destroys in-flight traffic across it (the
+                // adversary already had its chance to deliver first —
+                // DFS explores those orders as separate schedules).
+                self.pending.retain(|p| (p.from == id) == (p.to == id));
+            }
+            McEvent::Heal => {
+                self.partition = None;
+            }
         }
         let outs = sink.take_buf();
         self.absorb(outs.clone());
@@ -192,6 +222,10 @@ impl McState {
         let mut h = Fnv64::new();
         h.u64(self.plane.fingerprint());
         h.u64(self.now_ns);
+        match self.partition {
+            Some(p) => h.u32(1).u32(p),
+            None => h.u32(0),
+        };
         // In-flight messages as a multiset: delivery order is the
         // checker's choice, not part of the state's identity.
         let mut wires: Vec<u64> = self

@@ -60,6 +60,8 @@ pub fn label_event(state: &McState, ev: McEvent) -> String {
         },
         McEvent::Crash(id) => format!("crash member {id}"),
         McEvent::Recover(id) => format!("recover member {id}"),
+        McEvent::Partition(id) => format!("partition: isolate member {id}"),
+        McEvent::Heal => "heal partition".to_owned(),
     }
 }
 
@@ -106,16 +108,27 @@ impl Counterexample {
         None
     }
 
-    /// Exports the schedule's crash/recovery skeleton as an
-    /// [`EventPlan`], so the counterexample's fault pattern can be
-    /// re-driven through the full discrete-event simulator (message
-    /// reorderings are the simulator's own to make).
-    pub fn fault_plan(&self) -> EventPlan {
+    /// Exports the schedule's fault skeleton — crashes, recoveries,
+    /// partitions, heals — as an [`EventPlan`], so the counterexample's
+    /// fault pattern can be re-driven through the full discrete-event
+    /// simulator (message reorderings are the simulator's own to make).
+    /// `members` is the cluster size, needed to render an isolate-one
+    /// partition as the simulator's explicit two-island cut over
+    /// controller pseudo-node ids.
+    pub fn fault_plan(&self, members: usize) -> EventPlan {
+        let ctrl = |m: u32| lazyctrl_cluster::ctrl_pseudo_switch(m).0;
         let mut plan = EventPlan::new();
         for step in &self.steps {
             let injected = match step.event {
                 McEvent::Crash(id) => InjectedEvent::CrashController(id),
                 McEvent::Recover(id) => InjectedEvent::RecoverController(id),
+                McEvent::Partition(id) => InjectedEvent::PartitionNetwork {
+                    groups: vec![
+                        vec![ctrl(id)],
+                        (0..members as u32).filter(|&m| m != id).map(ctrl).collect(),
+                    ],
+                },
+                McEvent::Heal => InjectedEvent::HealPartition,
                 _ => continue,
             };
             plan.schedule(SimTime::from_nanos(step.now_ns), injected);

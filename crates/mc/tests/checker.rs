@@ -78,6 +78,7 @@ fn faulty_walks_hold_invariants() {
             drops: 2,
             dups: 2,
             crashes: 2,
+            ..FaultBudget::none()
         },
         max_pending: 24,
         settle_every: 16,
@@ -86,6 +87,60 @@ fn faulty_walks_hold_invariants() {
     let outcome = check(&initial(4), &cfg);
     assert!(outcome.passed(), "violation: {:?}", outcome.violation);
     assert!(outcome.stats.settled > 0, "no walk was terminally checked");
+}
+
+/// Random walks with a partition in the fault model: any member may be
+/// severed from its peers (and healed, or left cut until settling heals
+/// it) alongside drops, duplicates, and a crash. Split-brain safety
+/// must hold throughout, and the post-heal settled state must converge.
+#[test]
+#[cfg_attr(feature = "mc-mutations", ignore = "mutation inverts the invariants")]
+fn partitioned_walks_hold_invariants() {
+    let cfg = CheckerConfig {
+        mode: Mode::RandomWalk {
+            walks: 100,
+            depth: 200,
+            seed: 11,
+        },
+        budget: FaultBudget {
+            drops: 1,
+            dups: 1,
+            crashes: 1,
+            partitions: 1,
+            heals: 1,
+        },
+        max_pending: 24,
+        settle_every: 8,
+        ..CheckerConfig::default()
+    };
+    let outcome = check(&initial(3), &cfg);
+    assert!(outcome.passed(), "violation: {:?}", outcome.violation);
+    assert!(outcome.stats.settled > 0, "no walk was terminally checked");
+}
+
+/// Exhaustive exploration from an *already partitioned* state: the
+/// isolated member is the bootstrap leader, so every schedule runs the
+/// lease machinery against reordered in-island traffic. Heal is in
+/// budget; settling heals regardless.
+#[test]
+#[cfg_attr(feature = "mc-mutations", ignore = "mutation inverts the invariants")]
+fn exhaustive_from_partitioned_leader_holds_invariants() {
+    let cfg = CheckerConfig {
+        mode: Mode::Exhaustive,
+        max_depth: 7,
+        max_states: 150_000,
+        budget: FaultBudget {
+            heals: 1,
+            ..FaultBudget::none()
+        },
+        settle_every: 64,
+        ..CheckerConfig::default()
+    };
+    let mut state = initial(3);
+    state.apply(lazyctrl_mc::McEvent::Partition(0));
+    let outcome = check(&state, &cfg);
+    assert!(outcome.passed(), "violation: {:?}", outcome.violation);
+    assert!(outcome.stats.settled > 0, "no leaf was terminally checked");
 }
 
 /// With the relay-dedup bypass compiled in, a duplicated relay bundle
@@ -102,6 +157,7 @@ fn checker_catches_the_dedup_bypass() {
             drops: 0,
             dups: 1,
             crashes: 0,
+            ..FaultBudget::none()
         },
         settle_every: 0, // safety hunt only
         ..CheckerConfig::default()

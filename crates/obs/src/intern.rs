@@ -75,9 +75,13 @@ pub mod kind {
     pub const REGROUP: u16 = 21;
     /// A frame left through an inter-switch tunnel.
     pub const TUNNEL_SENT: u16 = 22;
+    /// Injected fault: network partitioned into islands (`a` = group count).
+    pub const PARTITION_NETWORK: u16 = 23;
+    /// Injected repair: all partition islands healed.
+    pub const HEAL_PARTITION: u16 = 24;
 
     /// Display names, indexed by kind ID.
-    pub const NAMES: [&str; 23] = [
+    pub const NAMES: [&str; 25] = [
         "event_pop",
         "flow_start",
         "frame_delivered",
@@ -101,6 +105,8 @@ pub mod kind {
         "traffic_burst",
         "regroup",
         "tunnel_sent",
+        "partition_network",
+        "heal_partition",
     ];
 
     /// Name for a kind ID (`"?"` if out of range).

@@ -36,13 +36,19 @@ const TAG_LINK_DEGRADE: u8 = 5;
 const TAG_LINK_LOSS: u8 = 6;
 const TAG_MIGRATE_HOSTS: u8 = 7;
 const TAG_TRAFFIC_BURST: u8 = 8;
+const TAG_PARTITION_NETWORK: u8 = 9;
+const TAG_HEAL_PARTITION: u8 = 10;
+
+/// Upper bound on partition islands per event (wire sanity limit; the
+/// count rides in one byte).
+pub const MAX_PARTITION_GROUPS: usize = 16;
 
 /// Smallest wire footprint of one scheduled event: 8-byte timestamp plus
 /// a 1-byte tag (used to bound decode-side allocation).
 const MIN_EVENT_WIRE_LEN: usize = 9;
 
 /// One fault or workload perturbation the driver can inject mid-run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum InjectedEvent {
     /// Kill cluster member `id` (cluster runs only): it stops processing
     /// and emitting, its heartbeats cease, and the Table-I detector on the
@@ -87,6 +93,23 @@ pub enum InjectedEvent {
         /// Burst size as a multiple of the host count (> 0).
         scale: f64,
     },
+    /// Partition the network: nodes listed in *different* groups can no
+    /// longer exchange messages (in either direction, on any channel
+    /// class); nodes inside the same group, and nodes listed in no group
+    /// at all, stay mutually reachable. Group members are simulation node
+    /// ids — switch ids, or controller pseudo-switch ids for cluster
+    /// members — so one event can sever controller↔controller,
+    /// controller↔switch, or both, along different boundaries.
+    ///
+    /// Injecting a new partition replaces any partition already in force
+    /// (the network re-splits; it does not accumulate cuts).
+    PartitionNetwork {
+        /// The isolated islands, each a list of node ids.
+        groups: Vec<Vec<u32>>,
+    },
+    /// Heal the active network partition: full reachability returns
+    /// (modulo crashed nodes and per-class loss, which are orthogonal).
+    HealPartition,
 }
 
 impl InjectedEvent {
@@ -105,6 +128,23 @@ impl InjectedEvent {
     /// Panics on non-finite or out-of-range parameters.
     pub fn validate(&self) {
         match *self {
+            InjectedEvent::PartitionNetwork { ref groups } => {
+                assert!(
+                    !groups.is_empty() && groups.len() <= MAX_PARTITION_GROUPS,
+                    "partition must list 1..={MAX_PARTITION_GROUPS} groups, got {}",
+                    groups.len()
+                );
+                let mut seen = std::collections::BTreeSet::new();
+                for g in groups {
+                    assert!(!g.is_empty(), "partition group must not be empty");
+                    for &node in g {
+                        assert!(
+                            seen.insert(node),
+                            "node {node} appears in more than one partition group"
+                        );
+                    }
+                }
+            }
             InjectedEvent::LinkDegrade { factor, .. } => {
                 assert!(
                     factor.is_finite() && factor > 0.0,
@@ -129,7 +169,8 @@ impl InjectedEvent {
             InjectedEvent::CrashController(_)
             | InjectedEvent::RecoverController(_)
             | InjectedEvent::CrashSwitch(_)
-            | InjectedEvent::RecoverSwitch(_) => {}
+            | InjectedEvent::RecoverSwitch(_)
+            | InjectedEvent::HealPartition => {}
         }
     }
 
@@ -169,6 +210,19 @@ impl InjectedEvent {
                 buf.put_u8(TAG_TRAFFIC_BURST);
                 buf.put_u64(scale.to_bits());
             }
+            InjectedEvent::PartitionNetwork { ref groups } => {
+                buf.put_u8(TAG_PARTITION_NETWORK);
+                buf.put_u8(groups.len() as u8);
+                for g in groups {
+                    buf.put_u32(g.len() as u32);
+                    for &node in g {
+                        buf.put_u32(node);
+                    }
+                }
+            }
+            InjectedEvent::HealPartition => {
+                buf.put_u8(TAG_HEAL_PARTITION);
+            }
         }
     }
 
@@ -188,6 +242,34 @@ impl InjectedEvent {
             },
             TAG_MIGRATE_HOSTS => InjectedEvent::MigrateHosts { batch: r.u32()? },
             TAG_TRAFFIC_BURST => InjectedEvent::TrafficBurst { scale: r.f64()? },
+            TAG_PARTITION_NETWORK => {
+                let count = r.u8()? as usize;
+                if count == 0 || count > MAX_PARTITION_GROUPS {
+                    return Err(ProtoError::InvalidField {
+                        field: "partition group count",
+                        value: count as u64,
+                    });
+                }
+                let mut groups = Vec::with_capacity(count);
+                for _ in 0..count {
+                    // Each member costs 4 wire bytes; bound the claimed
+                    // length by what the buffer can still hold.
+                    let len = r.count_prefix(4)?;
+                    if len == 0 {
+                        return Err(ProtoError::InvalidField {
+                            field: "partition group size",
+                            value: 0,
+                        });
+                    }
+                    let mut group = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        group.push(r.u32()?);
+                    }
+                    groups.push(group);
+                }
+                InjectedEvent::PartitionNetwork { groups }
+            }
+            TAG_HEAL_PARTITION => InjectedEvent::HealPartition,
             tag => {
                 return Err(ProtoError::InvalidField {
                     field: "plan event tag",
@@ -213,6 +295,14 @@ impl fmt::Display for InjectedEvent {
             }
             InjectedEvent::MigrateHosts { batch } => write!(f, "migrate {batch} hosts"),
             InjectedEvent::TrafficBurst { scale } => write!(f, "traffic burst ×{scale} hosts"),
+            InjectedEvent::PartitionNetwork { ref groups } => {
+                write!(f, "partition network into {} island(s):", groups.len())?;
+                for g in groups {
+                    write!(f, " [{} node(s)]", g.len())?;
+                }
+                Ok(())
+            }
+            InjectedEvent::HealPartition => write!(f, "heal network partition"),
         }
     }
 }
@@ -244,7 +334,7 @@ fn decode_class(raw: u8) -> Result<ChannelClass> {
 }
 
 /// One event with its injection time.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScheduledEvent {
     /// Virtual time of injection.
     pub at: SimTime,
@@ -342,6 +432,17 @@ impl EventPlan {
     /// Schedules a traffic burst at `hours`.
     pub fn traffic_burst(self, hours: f64, scale: f64) -> Self {
         self.at_hours(hours, InjectedEvent::TrafficBurst { scale })
+    }
+
+    /// Schedules a network partition into the given islands at `hours`
+    /// (see [`InjectedEvent::PartitionNetwork`] for the semantics).
+    pub fn partition_network(self, hours: f64, groups: Vec<Vec<u32>>) -> Self {
+        self.at_hours(hours, InjectedEvent::PartitionNetwork { groups })
+    }
+
+    /// Schedules the heal of the active partition at `hours`.
+    pub fn heal_partition(self, hours: f64) -> Self {
+        self.at_hours(hours, InjectedEvent::HealPartition)
     }
 
     /// True if any scheduled event requires a controller cluster.
@@ -444,10 +545,62 @@ mod tests {
             .degrade_links(0.5, ChannelClass::Control, 10.0)
             .link_loss(0.6, ChannelClass::Peer, 0.25)
             .migrate_hosts(1.1, 16)
-            .traffic_burst(1.2, 2.5);
+            .traffic_burst(1.2, 2.5)
+            .partition_network(1.3, vec![vec![0, 1, 2], vec![0xC000_0003]])
+            .heal_partition(1.7);
         let bytes = plan.encode();
         let back = EventPlan::decode(&bytes).expect("well-formed plan");
         assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn partition_round_trips_and_validates() {
+        let plan = EventPlan::new()
+            .partition_network(0.5, vec![vec![7], vec![8, 9]])
+            .heal_partition(0.9);
+        plan.validate();
+        assert_eq!(EventPlan::decode(&plan.encode()).unwrap(), plan);
+        assert!(!plan.requires_cluster());
+        let shown = plan.events()[0].to_string();
+        assert!(
+            shown.contains("partition network into 2 island(s)"),
+            "{shown}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one partition group")]
+    fn validate_rejects_overlapping_partition_groups() {
+        EventPlan::new()
+            .partition_network(0.5, vec![vec![1, 2], vec![2, 3]])
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn validate_rejects_empty_partition_group() {
+        EventPlan::new()
+            .partition_network(0.5, vec![vec![1], vec![]])
+            .validate();
+    }
+
+    #[test]
+    fn partition_decode_rejects_malformed() {
+        // Zero groups.
+        let mut bytes = vec![PLAN_VERSION];
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        bytes.extend_from_slice(&0u64.to_be_bytes());
+        bytes.push(TAG_PARTITION_NETWORK);
+        bytes.push(0);
+        assert!(EventPlan::decode(&bytes).is_err());
+        // Group length bomb: claims 2^31 members with 4 bytes left.
+        let mut bytes = vec![PLAN_VERSION];
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        bytes.extend_from_slice(&0u64.to_be_bytes());
+        bytes.push(TAG_PARTITION_NETWORK);
+        bytes.push(1);
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(EventPlan::decode(&bytes).is_err());
     }
 
     #[test]

@@ -35,7 +35,28 @@ fn arb_event() -> impl Strategy<Value = InjectedEvent> {
         (1u32..10_000).prop_map(|s| InjectedEvent::TrafficBurst {
             scale: s as f64 / 100.0,
         }),
+        arb_partition_groups().prop_map(|groups| InjectedEvent::PartitionNetwork { groups }),
+        Just(InjectedEvent::HealPartition),
     ]
+}
+
+/// Disjoint, non-empty partition islands over arbitrary node ids
+/// (including controller-pseudo-range ids) — the shape `validate`
+/// accepts.
+fn arb_partition_groups() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    (
+        proptest::collection::btree_set(any::<u32>(), 1..12),
+        1usize..5,
+    )
+        .prop_map(|(nodes, want)| {
+            let nodes: Vec<u32> = nodes.into_iter().collect();
+            let count = want.min(nodes.len());
+            let mut groups = vec![Vec::new(); count];
+            for (i, node) in nodes.into_iter().enumerate() {
+                groups[i % count].push(node);
+            }
+            groups
+        })
 }
 
 fn arb_plan() -> impl Strategy<Value = EventPlan> {

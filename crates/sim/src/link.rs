@@ -5,12 +5,74 @@
 //! take individual logical links up/down and to inject probabilistic loss,
 //! so those inference rules can be exercised.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::ChannelClass;
+
+/// Side marker for nodes listed in no partition island: they remain
+/// reachable from every side.
+const UNLISTED_SIDE: u16 = u16::MAX;
+
+/// The active network partition: a side assignment per listed node.
+///
+/// Nodes listed in different islands cannot exchange messages in either
+/// direction; a node listed in no island reaches (and is reached by)
+/// everyone. The per-delivery check is an array read for dense node ids
+/// and a `BTreeMap` probe only for the reserved high-id range (the
+/// cluster's controller pseudo-switches), and it consumes no randomness —
+/// partitioned drops are deterministic, unlike probabilistic loss.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct PartitionMap {
+    /// Side per dense node id (`UNLISTED_SIDE` = not in any island).
+    dense: Vec<u16>,
+    /// Sides for node ids ≥ [`DENSE_NODE_LIMIT`].
+    high: BTreeMap<u32, u16>,
+}
+
+impl PartitionMap {
+    fn from_groups(groups: &[Vec<u32>]) -> Self {
+        let mut map = PartitionMap::default();
+        for (side, group) in groups.iter().enumerate() {
+            for &node in group {
+                if node < DENSE_NODE_LIMIT {
+                    let i = node as usize;
+                    if i >= map.dense.len() {
+                        map.dense.resize(i + 1, UNLISTED_SIDE);
+                    }
+                    map.dense[i] = side as u16;
+                } else {
+                    map.high.insert(node, side as u16);
+                }
+            }
+        }
+        map
+    }
+
+    #[inline]
+    fn side_of(&self, node: u32) -> u16 {
+        let i = node as usize;
+        if i < self.dense.len() {
+            self.dense[i]
+        } else if node >= DENSE_NODE_LIMIT {
+            self.high.get(&node).copied().unwrap_or(UNLISTED_SIDE)
+        } else {
+            UNLISTED_SIDE
+        }
+    }
+
+    #[inline]
+    fn reachable(&self, a: u32, b: u32) -> bool {
+        let sa = self.side_of(a);
+        if sa == UNLISTED_SIDE {
+            return true;
+        }
+        let sb = self.side_of(b);
+        sb == UNLISTED_SIDE || sa == sb
+    }
+}
 
 /// Node ids below this are tracked in a dense `Vec<bool>`; ids at or
 /// above it (the controller sentinel `u32::MAX` and the cluster's
@@ -70,6 +132,9 @@ pub struct LinkState {
     /// Down nodes with ids ≥ [`DENSE_NODE_LIMIT`] (reserved sentinel ids);
     /// empty in practice.
     node_down_high: BTreeSet<u32>,
+    /// The network partition in force, if any. `None` (the norm) keeps
+    /// the delivery fast path to a single branch.
+    partition: Option<PartitionMap>,
 }
 
 impl LinkState {
@@ -147,11 +212,41 @@ impl LinkState {
         self.class_loss[class.index()]
     }
 
-    /// True if the link is administratively up and both endpoints are up.
+    /// Splits the network into the given islands, replacing any partition
+    /// already in force (see [`LinkState::reachable`] for the semantics).
+    pub fn set_partition(&mut self, groups: &[Vec<u32>]) {
+        self.partition = Some(PartitionMap::from_groups(groups));
+    }
+
+    /// Heals the active partition; full reachability returns.
+    pub fn heal_partition(&mut self) {
+        self.partition = None;
+    }
+
+    /// True if a partition is currently in force.
+    pub fn partitioned(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    /// True if nodes `a` and `b` can currently exchange messages as far
+    /// as the partition state is concerned: no partition active, the two
+    /// nodes sit in the same island, or at least one of them is listed in
+    /// no island. Orthogonal to node up/down and loss.
+    #[inline]
+    pub fn reachable(&self, a: u32, b: u32) -> bool {
+        match &self.partition {
+            None => true,
+            Some(p) => p.reachable(a, b),
+        }
+    }
+
+    /// True if the link is administratively up, both endpoints are up,
+    /// and no partition separates them.
     pub fn is_up(&self, link: LinkId) -> bool {
         (self.down.is_empty() || !self.down.get(&link).copied().unwrap_or(false))
             && self.is_node_up(link.from)
             && self.is_node_up(link.to)
+            && self.reachable(link.from, link.to)
     }
 
     /// True if the node is up.
@@ -282,6 +377,54 @@ mod tests {
     fn invalid_loss_panics() {
         let mut s = LinkState::new();
         s.set_loss(l(1, 2), 1.5);
+    }
+
+    #[test]
+    fn partition_severs_cross_island_pairs_only() {
+        let mut s = LinkState::new();
+        let ctrl = 0xC000_0001u32; // high-range pseudo id
+        s.set_partition(&[vec![1, 2], vec![3, ctrl]]);
+        assert!(s.partitioned());
+        // Same island: fine, both directions.
+        assert!(s.is_up(l(1, 2)));
+        assert!(s.is_up(LinkId::new(3, ctrl, ChannelClass::Control)));
+        // Cross island: severed, both directions, every class.
+        assert!(!s.is_up(l(1, 3)));
+        assert!(!s.is_up(l(3, 1)));
+        assert!(!s.is_up(LinkId::new(1, ctrl, ChannelClass::Control)));
+        // Unlisted nodes reach everyone.
+        assert!(s.is_up(l(1, 9)));
+        assert!(s.is_up(l(9, 3)));
+        assert!(s.is_up(LinkId::new(9, ctrl, ChannelClass::Control)));
+        // Partition drops consume no randomness.
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(!s.delivers(l(1, 3), &mut rng));
+        let mut fresh = StdRng::seed_from_u64(5);
+        assert_eq!(rng.gen::<u64>(), fresh.gen::<u64>());
+        s.heal_partition();
+        assert!(!s.partitioned());
+        assert!(s.is_up(l(1, 3)));
+    }
+
+    #[test]
+    fn new_partition_replaces_old() {
+        let mut s = LinkState::new();
+        s.set_partition(&[vec![1], vec![2]]);
+        assert!(!s.is_up(l(1, 2)));
+        s.set_partition(&[vec![1, 2], vec![3]]);
+        assert!(s.is_up(l(1, 2)));
+        assert!(!s.is_up(l(2, 3)));
+    }
+
+    #[test]
+    fn partition_composes_with_node_down_and_loss() {
+        let mut s = LinkState::new();
+        s.set_partition(&[vec![1, 2], vec![3]]);
+        s.set_node_down(2, true);
+        assert!(!s.is_up(l(1, 2)), "down node loses intra-island links too");
+        s.set_class_loss(ChannelClass::Peer, 1.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(!s.delivers(l(1, 9), &mut rng), "loss still applies");
     }
 
     #[test]
