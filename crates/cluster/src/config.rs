@@ -89,6 +89,29 @@ pub struct ClusterConfig {
     /// partition from flooding the heal with a retransmit per tick
     /// while still bounding the repair latency.
     pub transfer_retransmit_backoff_cap: u32,
+    /// Bounded-ingress queue depth per member, in slots. `0` (the
+    /// default) disables the bound entirely: every switch message is
+    /// admitted and no overload state is tracked, preserving bit-exact
+    /// reports for pre-existing scenarios. When positive, each admitted
+    /// message charges [`ingress_cost_ns`](Self::ingress_cost_ns) to a
+    /// leaky bucket that drains in real (virtual) time; work is shed by
+    /// priority class once the bucket crosses its class threshold —
+    /// flow setups first (at `slots`), lookups next (at `1.5 × slots`),
+    /// ownership/sync after (at `2 × slots`). Heartbeats, elections and
+    /// liveness reports are never shed.
+    pub ingress_queue_slots: usize,
+    /// Virtual service time charged per admitted switch message (ns)
+    /// when the ingress queue is bounded. `slots × cost` is the bucket
+    /// capacity in nanoseconds — the backlog a member tolerates before
+    /// shedding its lowest class.
+    pub ingress_cost_ns: u64,
+    /// Minimum gap (ms) between ECN-style [`CongestionNotice`] pressure
+    /// signals a member sends back to a switch whose flow setup it shed.
+    /// Rate-limits the signalling so a storm of shed setups does not
+    /// itself become a reverse-path storm.
+    ///
+    /// [`CongestionNotice`]: lazyctrl_proto::CongestionNoticeMsg
+    pub congestion_notice_interval_ms: u32,
 }
 
 impl Default for ClusterConfig {
@@ -114,6 +137,9 @@ impl Default for ClusterConfig {
             lookup_timeout_ms: 2_000,
             lookup_max_retries: 2,
             transfer_retransmit_backoff_cap: 8,
+            ingress_queue_slots: 0,
+            ingress_cost_ns: 20_000,
+            congestion_notice_interval_ms: 100,
         }
     }
 }
@@ -189,6 +215,16 @@ impl ClusterConfig {
             self.transfer_retransmit_backoff_cap > 0,
             "transfer retransmit backoff cap must be positive"
         );
+        if self.ingress_queue_slots > 0 {
+            assert!(
+                self.ingress_cost_ns > 0,
+                "ingress cost must be positive when the ingress queue is bounded"
+            );
+            assert!(
+                self.congestion_notice_interval_ms > 0,
+                "congestion notice interval must be positive when the ingress queue is bounded"
+            );
+        }
     }
 }
 
@@ -254,6 +290,41 @@ mod tests {
     fn zero_lookup_timeout_rejected() {
         let c = ClusterConfig {
             lookup_timeout_ms: 0,
+            ..ClusterConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn unbounded_ingress_skips_ingress_checks() {
+        // slots == 0 disables the queue; the dependent knobs may then be
+        // zero without tripping validation.
+        let c = ClusterConfig {
+            ingress_queue_slots: 0,
+            ingress_cost_ns: 0,
+            congestion_notice_interval_ms: 0,
+            ..ClusterConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "ingress cost")]
+    fn zero_ingress_cost_rejected_when_bounded() {
+        let c = ClusterConfig {
+            ingress_queue_slots: 64,
+            ingress_cost_ns: 0,
+            ..ClusterConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "congestion notice interval")]
+    fn zero_notice_interval_rejected_when_bounded() {
+        let c = ClusterConfig {
+            ingress_queue_slots: 64,
+            congestion_notice_interval_ms: 0,
             ..ClusterConfig::default()
         };
         c.validate();

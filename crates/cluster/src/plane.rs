@@ -54,10 +54,11 @@ use lazyctrl_controller::{
 use lazyctrl_net::{EthernetFrame, MacAddr, SwitchId, TenantId};
 use lazyctrl_partition::WeightedGraph;
 use lazyctrl_proto::{
-    ClusterMsg, CtrlHeartbeatMsg, HostEntry, LazyMsg, LeaderClaimMsg, LfibEntry, LfibSyncMsg,
-    LookupReplyMsg, LookupRequestMsg, Message, MessageBody, OfMessage, OutputSink,
-    OwnershipTransferMsg, PacketInMsg, PeerSyncMsg, SyncDigestMsg, SyncRelayMsg, TransferAckMsg,
-    TransferReason, VoteReplyMsg, VoteRequestMsg, WheelLoss, WheelReportMsg,
+    ClusterMsg, CongestionNoticeMsg, CtrlHeartbeatMsg, HostEntry, LazyMsg, LeaderClaimMsg,
+    LfibEntry, LfibSyncMsg, LookupReplyMsg, LookupRequestMsg, Message, MessageBody, MsgPriority,
+    OfMessage, OutputSink, OwnershipTransferMsg, PacketInMsg, PeerSyncMsg, SyncDigestMsg,
+    SyncRelayMsg, TransferAckMsg, TransferReason, VoteReplyMsg, VoteRequestMsg, WheelLoss,
+    WheelReportMsg,
 };
 
 use crate::dissemination::{Dissemination, FlushRoute};
@@ -278,6 +279,26 @@ struct ClusterNode {
     /// Times this member stepped down to read-only on lease loss
     /// (observer counter).
     lease_step_downs: u64,
+    /// Bounded-ingress leaky bucket: virtual backlog (ns) still queued
+    /// at this member. Behavior state — whether the *next* message is
+    /// shed depends on it — so it is fingerprinted. Stays zero when the
+    /// queue is unbounded (`ingress_queue_slots == 0`).
+    ingress_queued_ns: u64,
+    /// Virtual time the bucket last drained (behavior state).
+    ingress_last_ns: u64,
+    /// Virtual time of the last `CongestionNotice` sent (behavior
+    /// state: it gates whether the next shed emits a signal).
+    last_congestion_notice_ns: u64,
+    /// Messages shed by priority class (observer counters, indexed by
+    /// [`MsgPriority::index`]). The `Critical` slot is structurally
+    /// zero — critical traffic is never shed — and scenario verdicts
+    /// pin that.
+    ingress_shed: [u64; MsgPriority::COUNT],
+    /// Peak ingress queue depth observed, in slots (observer counter).
+    queue_highwater: u64,
+    /// ECN-style pressure notices emitted to switches (observer
+    /// counter).
+    congestion_signals: u64,
 }
 
 /// How many recent flush sequences the relay dedup remembers per origin.
@@ -441,6 +462,12 @@ impl ClusterControlPlane {
                     transfer_retransmits: 0,
                     lookup_timeouts: 0,
                     lease_step_downs: 0,
+                    ingress_queued_ns: 0,
+                    ingress_last_ns: 0,
+                    last_congestion_notice_ns: 0,
+                    ingress_shed: [0; MsgPriority::COUNT],
+                    queue_highwater: 0,
+                    congestion_signals: 0,
                 }
             })
             .collect();
@@ -682,6 +709,13 @@ impl ClusterControlPlane {
             for epoch in &node.delivered_transfers {
                 h.u32(*epoch);
             }
+            // Ingress-bucket behavior state: whether the next message is
+            // shed (and whether a shed signals) depends on these three.
+            // The shed/highwater/signal *counters* are observers and stay
+            // excluded, like the traffic counters above.
+            h.u64(node.ingress_queued_ns)
+                .u64(node.ingress_last_ns)
+                .u64(node.last_congestion_notice_ns);
         }
         h.finish()
     }
@@ -856,6 +890,34 @@ impl ClusterControlPlane {
     /// Times a member stepped down to read-only on lease loss.
     pub fn lease_step_downs(&self, id: u32) -> u64 {
         self.nodes[id as usize].lease_step_downs
+    }
+
+    /// Flow setups (PacketIns) a member's bounded ingress queue shed.
+    /// Always zero when the queue is unbounded (the default).
+    pub fn setups_shed(&self, id: u32) -> u64 {
+        self.nodes[id as usize].ingress_shed[MsgPriority::FlowSetup.index()]
+    }
+
+    /// Lookup-class messages a member's bounded ingress queue shed.
+    pub fn lookups_shed(&self, id: u32) -> u64 {
+        self.nodes[id as usize].ingress_shed[MsgPriority::Lookup.index()]
+    }
+
+    /// Critical-class (heartbeat / election / liveness) messages shed.
+    /// Structurally always zero — critical traffic is never shed — and
+    /// exposed so scenario verdicts can pin exactly that.
+    pub fn critical_sheds(&self, id: u32) -> u64 {
+        self.nodes[id as usize].ingress_shed[MsgPriority::Critical.index()]
+    }
+
+    /// Peak ingress-queue depth (slots) observed at a member.
+    pub fn queue_highwater(&self, id: u32) -> u64 {
+        self.nodes[id as usize].queue_highwater
+    }
+
+    /// ECN-style congestion notices a member emitted toward switches.
+    pub fn congestion_signals(&self, id: u32) -> u64 {
+        self.nodes[id as usize].congestion_signals
     }
 
     /// Election-safety monitor: times two distinct members led the same
@@ -1101,6 +1163,78 @@ impl ClusterControlPlane {
         self.handle_switch_message_at(now_ns, owner, from, msg, out);
     }
 
+    /// Bounded-ingress admission: drains the member's leaky bucket to
+    /// `now_ns`, then either admits the message (charging its virtual
+    /// service cost) or sheds it by priority class. Critical traffic —
+    /// keepalives, liveness reports, anything election-bearing — is
+    /// always admitted; flow setups shed first (at `slots`), lookups
+    /// next (`1.5 × slots`), ownership/sync last (`2 × slots`).
+    /// Shedding a flow setup emits a rate-limited ECN-style
+    /// [`CongestionNoticeMsg`] back to the offending switch so it paces
+    /// its PacketIn-driven setups. The whole path is closed-form in
+    /// virtual time — no RNG draws — so replicated-RNG lockstep and
+    /// bit-exact worker-count determinism hold by construction.
+    ///
+    /// Returns true when the message was admitted. A no-op returning
+    /// true when the queue is unbounded (`ingress_queue_slots == 0`,
+    /// the default), which keeps pre-existing reports bit-identical.
+    fn admit_ingress(
+        &mut self,
+        now_ns: u64,
+        owner: u32,
+        from: SwitchId,
+        msg: &Message,
+        out: &mut OutputSink<ClusterOutput>,
+    ) -> bool {
+        let slots = self.cfg.ingress_queue_slots as u64;
+        if slots == 0 {
+            return true;
+        }
+        let cost = self.cfg.ingress_cost_ns;
+        let node = &mut self.nodes[owner as usize];
+        let elapsed = now_ns.saturating_sub(node.ingress_last_ns);
+        node.ingress_queued_ns = node.ingress_queued_ns.saturating_sub(elapsed);
+        node.ingress_last_ns = now_ns;
+        let prio = msg.priority();
+        // Per-class high-water marks: the lower the class, the earlier it
+        // sheds as backlog builds — the degradation ladder.
+        let cap_ns = match prio {
+            MsgPriority::Critical => u64::MAX,
+            MsgPriority::OwnershipSync => slots.saturating_mul(2).saturating_mul(cost),
+            MsgPriority::Lookup => slots.saturating_mul(3).saturating_mul(cost) / 2,
+            MsgPriority::FlowSetup => slots.saturating_mul(cost),
+        };
+        if prio != MsgPriority::Critical && node.ingress_queued_ns.saturating_add(cost) > cap_ns {
+            node.ingress_shed[prio.index()] += 1;
+            if prio == MsgPriority::FlowSetup {
+                let gap_ns = self.cfg.congestion_notice_interval_ms as u64 * 1_000_000;
+                if node.last_congestion_notice_ns == 0
+                    || now_ns.saturating_sub(node.last_congestion_notice_ns) >= gap_ns
+                {
+                    node.last_congestion_notice_ns = now_ns;
+                    node.congestion_signals += 1;
+                    // Pressure level: how many times over the flow-setup
+                    // mark the backlog sits — the switch applies that many
+                    // extra backoff doublings (capped on its side).
+                    let level = (node.ingress_queued_ns / cap_ns.max(1)).clamp(1, 6) as u8;
+                    let xid = node.next_xid();
+                    out.push(ClusterOutput::ToSwitch {
+                        from: owner,
+                        to: from,
+                        msg: Message::lazy(
+                            xid,
+                            LazyMsg::CongestionNotice(CongestionNoticeMsg { from: owner, level }),
+                        ),
+                    });
+                }
+            }
+            return false;
+        }
+        node.ingress_queued_ns = node.ingress_queued_ns.saturating_add(cost);
+        node.queue_highwater = node.queue_highwater.max(node.ingress_queued_ns / cost);
+        true
+    }
+
     /// Handles a switch message at an explicit member, bypassing the
     /// ownership route. This is the re-homing entry point: a driver whose
     /// network model says the owner is unreachable from the switch can,
@@ -1118,6 +1252,9 @@ impl ClusterControlPlane {
     ) {
         self.note_step(now_ns);
         if self.nodes[owner as usize].crashed {
+            return;
+        }
+        if !self.admit_ingress(now_ns, owner, from, msg, out) {
             return;
         }
         if let Some(g) = self.group_of_switch(from) {

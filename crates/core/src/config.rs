@@ -4,7 +4,7 @@ use lazyctrl_cluster::DisseminationStrategy;
 use lazyctrl_controller::RegroupTriggers;
 use lazyctrl_obs::ObsConfig;
 use lazyctrl_proto::EventPlan;
-use lazyctrl_sim::{LatencyModel, SchedulerKind};
+use lazyctrl_sim::{BandwidthModel, LatencyModel, SchedulerKind};
 use serde::{Deserialize, Serialize};
 
 /// Which control plane runs the data center.
@@ -61,6 +61,13 @@ pub struct ExperimentConfig {
     pub responses: bool,
     /// Latency model for all four channel classes.
     pub latency: LatencyModel,
+    /// Per-class link bandwidth model. Unmodeled (the default) prices no
+    /// serialization or queueing delay and adds no per-message work, so
+    /// pre-existing reports stay bit-identical. Capping a class makes
+    /// every message on it pay a closed-form fair-share delay computed
+    /// from its wire size and the link's in-flight backlog — no RNG
+    /// draws, so scheduler/worker determinism holds by construction.
+    pub bandwidth: BandwidthModel,
     /// Regrouping triggers (dynamic mode only).
     pub triggers: RegroupTriggers,
     /// Report G-FIB false positives to the controller for corrective rules.
@@ -93,6 +100,17 @@ pub struct ExperimentConfig {
     /// O(1) messages per delta — at the price of replica staleness (the
     /// synchronous lookup fallback covers the gap).
     pub cluster_flush_interval_ms: Option<u32>,
+    /// Bounded prioritized ingress queues on cluster members: `Some(n)`
+    /// gives each member an `n`-slot leaky bucket that sheds work by
+    /// priority class under overload — flow setups first, lookups next,
+    /// ownership/sync last; heartbeats and elections never — and emits
+    /// ECN-style pressure notices toward the shedding switch. `None`
+    /// (the default) keeps admission unbounded and reports bit-identical
+    /// to earlier versions. Requires a cluster.
+    pub cluster_ingress_slots: Option<usize>,
+    /// Virtual per-message service cost (ns) charged to the ingress
+    /// bucket; `None` uses the cluster default (20 µs).
+    pub cluster_ingress_cost_ns: Option<u64>,
     /// Fault/workload events injected during the run (controller and
     /// switch crashes, link degradation, host migration, traffic bursts —
     /// see [`EventPlan`]). Empty by default: nothing is injected.
@@ -143,6 +161,7 @@ impl ExperimentConfig {
             emit_arp: false,
             responses: true,
             latency: LatencyModel::default(),
+            bandwidth: BandwidthModel::unmodeled(),
             triggers: RegroupTriggers::default(),
             report_false_positives: true,
             preload: true,
@@ -153,6 +172,8 @@ impl ExperimentConfig {
             cluster_controllers: None,
             cluster_dissemination: DisseminationStrategy::default(),
             cluster_flush_interval_ms: None,
+            cluster_ingress_slots: None,
+            cluster_ingress_cost_ns: None,
             plan: EventPlan::new(),
             scheduler: SchedulerKind::default(),
             sgi_parallelism: 1,
@@ -223,6 +244,24 @@ impl ExperimentConfig {
         self
     }
 
+    /// Replaces the link bandwidth model.
+    pub fn with_bandwidth(mut self, bandwidth: BandwidthModel) -> Self {
+        self.bandwidth = bandwidth;
+        self
+    }
+
+    /// Bounds every cluster member's ingress queue at `slots` slots.
+    pub fn with_ingress_slots(mut self, slots: usize) -> Self {
+        self.cluster_ingress_slots = Some(slots);
+        self
+    }
+
+    /// Sets the virtual per-message ingress service cost (ns).
+    pub fn with_ingress_cost_ns(mut self, cost_ns: u64) -> Self {
+        self.cluster_ingress_cost_ns = Some(cost_ns);
+        self
+    }
+
     /// Runs the sharded engine with `n` worker threads.
     pub fn with_workers(mut self, n: usize) -> Self {
         self.workers = Some(n);
@@ -271,6 +310,16 @@ impl ExperimentConfig {
         }
         if let Some(ms) = self.cluster_flush_interval_ms {
             assert!(ms > 0, "cluster flush interval must be positive");
+        }
+        if let Some(slots) = self.cluster_ingress_slots {
+            assert!(slots > 0, "ingress queue needs at least one slot");
+            assert!(
+                self.cluster_controllers.is_some(),
+                "bounded ingress queues require a cluster"
+            );
+        }
+        if let Some(cost) = self.cluster_ingress_cost_ns {
+            assert!(cost > 0, "ingress cost must be positive");
         }
         assert!(self.sgi_parallelism > 0, "sgi_parallelism must be positive");
         if let Some(w) = self.workers {
@@ -343,6 +392,38 @@ mod tests {
         ExperimentConfig::new(ControlMode::LazyStatic)
             .with_plan(EventPlan::new().crash_switch(1.0, lazyctrl_net::SwitchId::new(2)))
             .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "require a cluster")]
+    fn ingress_slots_need_a_cluster() {
+        ExperimentConfig::new(ControlMode::LazyStatic)
+            .with_ingress_slots(64)
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_ingress_slots_rejected() {
+        ExperimentConfig::new(ControlMode::LazyStatic)
+            .with_cluster(2)
+            .with_ingress_slots(0)
+            .validate();
+    }
+
+    #[test]
+    fn bandwidth_and_ingress_thread_through() {
+        use lazyctrl_sim::ChannelClass;
+        let cfg = ExperimentConfig::new(ControlMode::LazyStatic)
+            .with_cluster(2)
+            .with_bandwidth(
+                BandwidthModel::unmodeled().with_capacity(ChannelClass::Control, 10_000_000),
+            )
+            .with_ingress_slots(64)
+            .with_ingress_cost_ns(50_000);
+        cfg.validate();
+        assert!(cfg.bandwidth.class_enabled(ChannelClass::Control));
+        assert_eq!(cfg.cluster_ingress_slots, Some(64));
     }
 
     #[test]

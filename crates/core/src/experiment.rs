@@ -169,11 +169,10 @@ impl Experiment {
                     .collect()
             })
             .unwrap_or_default();
-        let mean_latency_ms = world
-            .metrics
-            .log2_histogram("latency_all_ms")
-            .and_then(|h| h.mean())
-            .unwrap_or(0.0);
+        let lat_hist = world.metrics.log2_histogram("latency_all_ms");
+        let mean_latency_ms = lat_hist.and_then(|h| h.mean()).unwrap_or(0.0);
+        let p99_latency_ms = lat_hist.and_then(|h| h.quantile(0.99)).unwrap_or(0.0);
+        let p999_latency_ms = lat_hist.and_then(|h| h.quantile(0.999)).unwrap_or(0.0);
         let max_gfib_bytes = world
             .switches
             .iter()
@@ -236,6 +235,9 @@ impl Experiment {
                     .collect(),
                 lookup_timeouts: (0..n as u32).map(|i| plane.lookup_timeouts(i)).collect(),
                 lease_step_downs: (0..n as u32).map(|i| plane.lease_step_downs(i)).collect(),
+                setups_shed: (0..n as u32).map(|i| plane.setups_shed(i)).collect(),
+                queue_highwater: (0..n as u32).map(|i| plane.queue_highwater(i)).collect(),
+                congestion_signals: (0..n as u32).map(|i| plane.congestion_signals(i)).collect(),
                 double_leader_events: plane.double_leader_events(),
                 state_fingerprint: plane.state_fingerprint(),
                 fingerprint_checkpoints: world.cluster_fingerprints.clone(),
@@ -255,6 +257,8 @@ impl Experiment {
             delivered_flows: world.metrics.counter("delivered_flows"),
             events_processed,
             mean_latency_ms,
+            p99_latency_ms,
+            p999_latency_ms,
             final_winter,
             max_gfib_bytes,
             num_groups,

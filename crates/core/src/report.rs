@@ -38,6 +38,12 @@ pub struct ExperimentReport {
     pub events_processed: u64,
     /// Overall mean first-packet latency (ms).
     pub mean_latency_ms: f64,
+    /// 99th-percentile first-packet latency (ms), from the log2 latency
+    /// histogram (upper bucket edge — a conservative estimate).
+    pub p99_latency_ms: f64,
+    /// 99.9th-percentile first-packet latency (ms) — the tail the
+    /// congestion scenarios bound.
+    pub p999_latency_ms: f64,
     /// Final normalized inter-group intensity (lazy modes).
     pub final_winter: Option<f64>,
     /// Largest per-switch G-FIB footprint at end of run (bytes).
@@ -106,6 +112,16 @@ pub struct ClusterReport {
     /// contact with a voting majority and demoted itself to read-only
     /// (the split-brain guard firing).
     pub lease_step_downs: Vec<u64>,
+    /// Flow-setup requests (`PacketIn`s) shed per controller by the
+    /// bounded ingress queue. Zero whenever the queue is unbounded or the
+    /// offered load stays under the drain rate.
+    pub setups_shed: Vec<u64>,
+    /// High-water mark of each controller's ingress queue, in admission
+    /// slots (peak `queued_ns / cost_ns`).
+    pub queue_highwater: Vec<u64>,
+    /// ECN-style `CongestionNotice` messages sent per controller (rate
+    /// limited, so this counts notice intervals under pressure, not sheds).
+    pub congestion_signals: Vec<u64>,
     /// Times two distinct members led the same election term (cross-member
     /// ground truth from the plane's safety monitor). Must be zero; the
     /// partition scenarios fail on any other value.
@@ -135,6 +151,16 @@ impl ClusterReport {
     /// Total peer-sync wire bytes across the cluster.
     pub fn peer_sync_bytes_total(&self) -> u64 {
         self.peer_sync_bytes.iter().sum()
+    }
+
+    /// Total flow-setup requests shed across the cluster.
+    pub fn setups_shed_total(&self) -> u64 {
+        self.setups_shed.iter().sum()
+    }
+
+    /// Total congestion notices sent across the cluster.
+    pub fn congestion_signals_total(&self) -> u64 {
+        self.congestion_signals.iter().sum()
     }
 
     /// Peer-sync wire messages per originated delta chunk — the
@@ -204,6 +230,8 @@ mod tests {
             delivered_flows: 0,
             events_processed: 0,
             mean_latency_ms: 0.0,
+            p99_latency_ms: 0.0,
+            p999_latency_ms: 0.0,
             final_winter: None,
             max_gfib_bytes: 0,
             num_groups: None,

@@ -27,6 +27,7 @@
 
 mod cluster;
 mod cold_cache;
+mod congestion;
 mod faults;
 mod partition;
 
@@ -41,6 +42,7 @@ pub use cluster::{
     CrashUnderLoad, PeerSyncStorm, ShardRebalance,
 };
 pub use cold_cache::{cold_cache, ColdCache, ColdCacheReport};
+pub use congestion::{ControllerIncast, ElephantPeerSync, FlowSetupStorm};
 pub use faults::{DegradedControlNet, HostMigrationStorm, SwitchFailure, TrafficBurstScenario};
 pub use partition::{
     PartitionCtrlIsland, PartitionFlapping, PartitionSplit, PartitionSwitchOrphan,
@@ -255,6 +257,9 @@ impl ScenarioRegistry {
         reg.register(Box::new(partition::PartitionCtrlIsland));
         reg.register(Box::new(partition::PartitionSwitchOrphan));
         reg.register(Box::new(partition::PartitionFlapping));
+        reg.register(Box::new(congestion::FlowSetupStorm));
+        reg.register(Box::new(congestion::ControllerIncast));
+        reg.register(Box::new(congestion::ElephantPeerSync));
         reg
     }
 

@@ -49,6 +49,8 @@ pub fn telemetry_json(run: &DetailedRun) -> Value {
                 ("delivered_flows", num(r.delivered_flows as f64)),
                 ("events_processed", num(r.events_processed as f64)),
                 ("mean_latency_ms", num(r.mean_latency_ms)),
+                ("p99_latency_ms", num(r.p99_latency_ms)),
+                ("p999_latency_ms", num(r.p999_latency_ms)),
                 ("max_gfib_bytes", num(r.max_gfib_bytes as f64)),
                 (
                     "num_groups",
@@ -99,6 +101,15 @@ pub fn telemetry_json(run: &DetailedRun) -> Value {
                 ("rebalance_transfers", num(c.rebalance_transfers as f64)),
                 ("failover_transfers", num(c.failover_transfers as f64)),
                 ("ctrl_peer_messages", num(c.ctrl_peer_messages as f64)),
+                ("setups_shed", nums_u64(c.setups_shed.iter().copied())),
+                (
+                    "queue_highwater",
+                    nums_u64(c.queue_highwater.iter().copied()),
+                ),
+                (
+                    "congestion_signals",
+                    nums_u64(c.congestion_signals.iter().copied()),
+                ),
                 (
                     "confirmed_dead",
                     nums_u64(c.confirmed_dead.iter().map(|&d| d as u64)),

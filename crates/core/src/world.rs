@@ -20,8 +20,8 @@ use lazyctrl_obs::{
 };
 use lazyctrl_proto::{InjectedEvent, LazyMsg, Message, OfMessage, OutputSink};
 use lazyctrl_sim::{
-    ChannelClass, LatencyModel, LinkId, LinkState, MetricsSink, Scheduler, SimDuration, SimTime,
-    World,
+    BandwidthModel, ChannelClass, LatencyModel, LinkId, LinkState, MetricsSink, Scheduler,
+    SimDuration, SimTime, World,
 };
 use lazyctrl_switch::{EdgeSwitch, SwitchOutput, SwitchTimer};
 use lazyctrl_trace::Trace;
@@ -215,6 +215,9 @@ fn to_controller_kind(msg: &Message) -> u16 {
 
 /// Trace-record kind for a message headed to a switch.
 fn to_switch_kind(msg: &Message) -> u16 {
+    if let Some(lazyctrl_proto::LazyMsg::CongestionNotice(_)) = msg.as_lazy() {
+        return tk::CONGESTION_NOTICE;
+    }
     match msg.as_of() {
         Some(OfMessage::FlowMod(_)) => tk::FLOW_MOD_SENT,
         Some(OfMessage::PacketOut(_)) => tk::PACKET_OUT_SENT,
@@ -336,6 +339,12 @@ pub(crate) struct DataCenterWorld {
     pub(crate) controller: AnyController,
     pub(crate) links: LinkState,
     latency: LatencyModel,
+    /// Fair-share bandwidth model pricing *load* on capacitated links
+    /// (serialization + queueing, closed-form, zero RNG). Cloned into
+    /// every partition at `split` — sound because each directed link's
+    /// sender dispatches in exactly one partition, so its watermark is
+    /// only ever touched there.
+    bandwidth: BandwidthModel,
     rng: StdRng,
     pub(crate) metrics: MetricsSink,
     /// Port of each host on its switch.
@@ -448,6 +457,12 @@ impl DataCenterWorld {
                             cluster_cfg.anti_entropy_interval_ms =
                                 cluster_cfg.anti_entropy_interval_ms.max(2 * ms);
                         }
+                        if let Some(slots) = cfg.cluster_ingress_slots {
+                            cluster_cfg.ingress_queue_slots = slots;
+                        }
+                        if let Some(cost) = cfg.cluster_ingress_cost_ns {
+                            cluster_cfg.ingress_cost_ns = cost;
+                        }
                         AnyController::Cluster(Box::new(ClusterControlPlane::new(n, cluster_cfg)))
                     }
                     None => AnyController::Lazy(Box::new(LazyController::new(ids, lazy_cfg))),
@@ -472,6 +487,9 @@ impl DataCenterWorld {
             // config instead of being cloned; the config copy is not read
             // again after world construction.
             latency: std::mem::take(&mut cfg.latency),
+            // Same move-out as the latency model: the live (per-link
+            // watermark) copy is the world's, not the config's.
+            bandwidth: std::mem::take(&mut cfg.bandwidth),
             cfg,
             trace,
             switches: switches.into_iter().map(Some).collect(),
@@ -608,7 +626,10 @@ impl DataCenterWorld {
                                 0,
                             );
                         }
-                        let delay = self.latency.sample(ChannelClass::Control, &mut self.rng);
+                        let mut delay = self.latency.sample(ChannelClass::Control, &mut self.rng);
+                        if self.bandwidth.class_enabled(ChannelClass::Control) {
+                            delay += self.bandwidth.delay(link, msg.wire_len() as u64, now);
+                        }
                         self.route_to_hub(now, delay, Ev::MsgToController { from, msg }, sched);
                     }
                 }
@@ -625,7 +646,10 @@ impl DataCenterWorld {
                                 1,
                             );
                         }
-                        let delay = self.latency.sample(ChannelClass::State, &mut self.rng);
+                        let mut delay = self.latency.sample(ChannelClass::State, &mut self.rng);
+                        if self.bandwidth.class_enabled(ChannelClass::State) {
+                            delay += self.bandwidth.delay(link, msg.wire_len() as u64, now);
+                        }
                         self.route_to_hub(now, delay, Ev::MsgToController { from, msg }, sched);
                     }
                 }
@@ -642,7 +666,10 @@ impl DataCenterWorld {
                                 to.0,
                             );
                         }
-                        let delay = self.latency.sample(ChannelClass::Peer, &mut self.rng);
+                        let mut delay = self.latency.sample(ChannelClass::Peer, &mut self.rng);
+                        if self.bandwidth.class_enabled(ChannelClass::Peer) {
+                            delay += self.bandwidth.delay(link, msg.wire_len() as u64, now);
+                        }
                         self.route_to_switch(
                             now,
                             delay,
@@ -665,7 +692,10 @@ impl DataCenterWorld {
                                 to.0,
                             );
                         }
-                        let delay = self.latency.sample(ChannelClass::Data, &mut self.rng);
+                        let mut delay = self.latency.sample(ChannelClass::Data, &mut self.rng);
+                        if self.bandwidth.class_enabled(ChannelClass::Data) {
+                            delay += self.bandwidth.delay(link, packet.wire_len() as u64, now);
+                        }
                         self.route_to_switch(
                             now,
                             delay,
@@ -817,8 +847,11 @@ impl DataCenterWorld {
                                 0,
                             );
                         }
-                        let delay =
+                        let mut delay =
                             service + self.latency.sample(ChannelClass::Control, &mut self.rng);
+                        if self.bandwidth.class_enabled(ChannelClass::Control) {
+                            delay += self.bandwidth.delay(link, msg.wire_len() as u64, now);
+                        }
                         self.route_to_switch(
                             now,
                             delay,
@@ -873,8 +906,11 @@ impl DataCenterWorld {
                                 from,
                             );
                         }
-                        let delay =
+                        let mut delay =
                             service + self.latency.sample(ChannelClass::Control, &mut self.rng);
+                        if self.bandwidth.class_enabled(ChannelClass::Control) {
+                            delay += self.bandwidth.delay(link, msg.wire_len() as u64, now);
+                        }
                         self.route_to_switch(
                             now,
                             delay,
@@ -910,8 +946,11 @@ impl DataCenterWorld {
                                 to,
                             );
                         }
-                        let delay =
+                        let mut delay =
                             service + self.latency.sample(ChannelClass::CtrlPeer, &mut self.rng);
+                        if self.bandwidth.class_enabled(ChannelClass::CtrlPeer) {
+                            delay += self.bandwidth.delay(link, msg.wire_len() as u64, now);
+                        }
                         sched.schedule_in(now, delay, Ev::CtrlPeerMsg { from, to, msg });
                     }
                 }
@@ -1479,6 +1518,7 @@ impl DataCenterWorld {
                     cfg.seed ^ 0x57a7e ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(p) + 1),
                 ),
                 latency: self.latency.clone(),
+                bandwidth: self.bandwidth.clone(),
                 trace: self.trace.clone(),
                 switches: (0..self.switches.len()).map(|_| None).collect(),
                 // Placeholder: shard partitions never dispatch to a

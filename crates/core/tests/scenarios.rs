@@ -135,6 +135,21 @@ fn partition_flapping_passes_deterministically() {
     assert_passes_deterministically("partition_flapping");
 }
 
+#[test]
+fn flow_setup_storm_passes_deterministically() {
+    assert_passes_deterministically("flow_setup_storm");
+}
+
+#[test]
+fn controller_incast_passes_deterministically() {
+    assert_passes_deterministically("controller_incast");
+}
+
+#[test]
+fn elephant_peer_sync_passes_deterministically() {
+    assert_passes_deterministically("elephant_peer_sync");
+}
+
 /// The cluster scenarios must produce bit-identical reports at a fixed
 /// seed under each dissemination strategy — crash/recovery interleaved
 /// with relay circulation and anti-entropy included.
@@ -241,6 +256,24 @@ fn partition_split_is_identical_across_schedulers() {
     assert_identical_across_schedulers("partition_split");
 }
 
+/// The bandwidth model and the ingress shed/pace machinery are pure
+/// functions of virtual time (no RNG draws), so overload scenarios keep
+/// the scheduler-backend equivalence intact.
+#[test]
+fn flow_setup_storm_is_identical_across_schedulers() {
+    assert_identical_across_schedulers("flow_setup_storm");
+}
+
+#[test]
+fn controller_incast_is_identical_across_schedulers() {
+    assert_identical_across_schedulers("controller_incast");
+}
+
+#[test]
+fn elephant_peer_sync_is_identical_across_schedulers() {
+    assert_identical_across_schedulers("elephant_peer_sync");
+}
+
 /// Runs one scenario with the parallel SGI merge/split at 4 workers vs
 /// the sequential default: bit-identical reports, because the re-splits
 /// are pure per-pair functions applied in deterministic order.
@@ -330,6 +363,25 @@ fn partition_split_is_identical_across_workers() {
 #[test]
 fn partition_ctrl_island_is_identical_across_workers() {
     assert_identical_across_workers("partition_ctrl_island");
+}
+
+/// Per-link bandwidth watermarks are cloned into every shard but each
+/// directed link's sender dispatches in exactly one partition, and the
+/// ingress buckets live on the hub — so congestion scenarios must be
+/// worker-count invariant like everything else.
+#[test]
+fn flow_setup_storm_is_identical_across_workers() {
+    assert_identical_across_workers("flow_setup_storm");
+}
+
+#[test]
+fn controller_incast_is_identical_across_workers() {
+    assert_identical_across_workers("controller_incast");
+}
+
+#[test]
+fn elephant_peer_sync_is_identical_across_workers() {
+    assert_identical_across_workers("elephant_peer_sync");
 }
 
 /// Dynamic-mode regrouping actually exercises the parallel merge/split

@@ -122,6 +122,12 @@ impl EncapsulatedFrame {
         EncapsulatedFrame { header, inner }
     }
 
+    /// Exact serialized size: outer header plus inner frame. What the
+    /// bandwidth model charges for a tunnelled packet, without encoding.
+    pub fn wire_len(&self) -> usize {
+        ENCAP_HEADER_LEN + self.inner.wire_len()
+    }
+
     /// Serializes outer header followed by the inner frame.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(ENCAP_HEADER_LEN + self.inner.wire_len());
@@ -174,6 +180,7 @@ mod tests {
     fn round_trip() {
         let pkt = EncapsulatedFrame::new(header(), inner());
         let wire = pkt.encode();
+        assert_eq!(wire.len(), pkt.wire_len());
         assert_eq!(EncapsulatedFrame::decode(&wire).unwrap(), pkt);
     }
 

@@ -79,9 +79,12 @@ pub mod kind {
     pub const PARTITION_NETWORK: u16 = 23;
     /// Injected repair: all partition islands healed.
     pub const HEAL_PARTITION: u16 = 24;
+    /// A controller sent an ECN-style congestion notice to a switch
+    /// (`a` = target switch, `b` = sending member).
+    pub const CONGESTION_NOTICE: u16 = 25;
 
     /// Display names, indexed by kind ID.
-    pub const NAMES: [&str; 25] = [
+    pub const NAMES: [&str; 26] = [
         "event_pop",
         "flow_start",
         "frame_delivered",
@@ -107,6 +110,7 @@ pub mod kind {
         "tunnel_sent",
         "partition_network",
         "heal_partition",
+        "congestion_notice",
     ];
 
     /// Name for a kind ID (`"?"` if out of range).

@@ -55,12 +55,12 @@ pub use error::ProtoError;
 pub use flow_match::FlowMatch;
 pub use header::{MsgType, OFP_HEADER_LEN, PROTO_VERSION};
 pub use messages::{
-    BargainMsg, ClusterMsg, CtrlHeartbeatMsg, EchoKind, ErrorCode, FlowModCommand, FlowModMsg,
-    GfibUpdateMsg, GroupAssignMsg, HostEntry, KeepAliveMsg, LazyMsg, LeaderClaimMsg, LfibEntry,
-    LfibSyncMsg, LookupReplyMsg, LookupRequestMsg, Message, MessageBody, OfMessage,
-    OwnershipTransferMsg, PacketInMsg, PacketInReason, PacketOutMsg, PeerSyncMsg, StateReportMsg,
-    SwitchStats, SyncDigestMsg, SyncRelayMsg, TransferAckMsg, TransferReason, VoteReplyMsg,
-    VoteRequestMsg, WheelLoss, WheelReportMsg, WHEEL_MISS_THRESHOLD,
+    BargainMsg, ClusterMsg, CongestionNoticeMsg, CtrlHeartbeatMsg, EchoKind, ErrorCode,
+    FlowModCommand, FlowModMsg, GfibUpdateMsg, GroupAssignMsg, HostEntry, KeepAliveMsg, LazyMsg,
+    LeaderClaimMsg, LfibEntry, LfibSyncMsg, LookupReplyMsg, LookupRequestMsg, Message, MessageBody,
+    MsgPriority, OfMessage, OwnershipTransferMsg, PacketInMsg, PacketInReason, PacketOutMsg,
+    PeerSyncMsg, StateReportMsg, SwitchStats, SyncDigestMsg, SyncRelayMsg, TransferAckMsg,
+    TransferReason, VoteReplyMsg, VoteRequestMsg, WheelLoss, WheelReportMsg, WHEEL_MISS_THRESHOLD,
 };
 pub use plan::{EventPlan, InjectedEvent, ScheduledEvent};
 pub use sink::OutputSink;

@@ -454,6 +454,31 @@ impl ClusterMsg {
         ClusterMsg::SyncRelay(Box::new(m))
     }
 
+    /// Exact encoded body size (bytes after the common header), without
+    /// paying for an encode (see `LazyMsg::wire_body_len`). Unlike
+    /// [`SyncRelayMsg::wire_len`] (traffic accounting, 2 bytes high per
+    /// bundled sync), this is exact — the nested syncs' subtype bytes are
+    /// subtracted back out.
+    pub(crate) fn wire_body_len(&self) -> usize {
+        match self {
+            ClusterMsg::PeerSync(m) => m.wire_len(),
+            ClusterMsg::OwnershipTransfer(_) => 2 + 4 + 8 + 4 + 4 + 4 + 1,
+            ClusterMsg::Heartbeat(_) => 2 + 4 + 8 + 8 + 1 + 8 + 4,
+            ClusterMsg::LookupRequest(_) => 2 + 4 + 6,
+            ClusterMsg::LookupReply(m) => {
+                2 + 4 + 6 + 1 + m.location.map_or(0, |_| HostEntry::WIRE_LEN)
+            }
+            ClusterMsg::SyncDigest(m) => 2 + 4 + 4 + m.heads.len() * 12,
+            ClusterMsg::SyncRelay(m) => {
+                2 + 4 + 4 + m.syncs.iter().map(|s| s.wire_len() - 2).sum::<usize>()
+            }
+            ClusterMsg::VoteRequest(_) => 2 + 8 + 4,
+            ClusterMsg::VoteReply(_) => 2 + 8 + 4 + 1,
+            ClusterMsg::LeaderClaim(_) => 2 + 8 + 4,
+            ClusterMsg::TransferAck(_) => 2 + 4 + 4 + 4,
+        }
+    }
+
     pub(crate) fn encode_body<B: BufMut>(&self, buf: &mut B) {
         match self {
             ClusterMsg::PeerSync(m) => {

@@ -21,6 +21,7 @@ const SUB_KEEP_ALIVE: u16 = 5;
 const SUB_BARGAIN: u16 = 6;
 const SUB_BLOCK_ARP: u16 = 7;
 const SUB_WHEEL_REPORT: u16 = 8;
+const SUB_CONGESTION_NOTICE: u16 = 9;
 
 /// One L-FIB entry: a host known to live behind a switch port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -266,6 +267,19 @@ pub struct WheelReportMsg {
     pub loss: WheelLoss,
 }
 
+/// ECN-style controller back-pressure notification: the controller's
+/// ingress queue crossed its high-water mark and flow-setup work is being
+/// shed, so switches should pace their PacketIn-driven setups. Tiny and
+/// unreliable by design — a lost notice merely delays pacing one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CongestionNoticeMsg {
+    /// The overloaded controller (cluster member index).
+    pub from: u32,
+    /// Overload severity in backoff doublings the switch should apply on
+    /// top of its current pacing state (capped switch-side).
+    pub level: u8,
+}
+
 /// The LazyCtrl extension message family.
 ///
 /// The bulk configuration/sync payloads are boxed so the enum's inline
@@ -298,6 +312,8 @@ pub enum LazyMsg {
     },
     /// Keep-alive loss observation for Table I failure inference.
     WheelReport(WheelReportMsg),
+    /// Controller overload back-pressure: pace PacketIn-driven setups.
+    CongestionNotice(CongestionNoticeMsg),
 }
 
 impl LazyMsg {
@@ -319,6 +335,30 @@ impl LazyMsg {
     /// Wraps (and boxes) a state report.
     pub fn state_report(m: StateReportMsg) -> Self {
         LazyMsg::StateReport(Box::new(m))
+    }
+
+    /// Exact encoded body size (bytes after the common header), without
+    /// paying for an encode — the bandwidth model prices every message by
+    /// its wire size, so this must stay in lockstep with
+    /// [`encode_body`](Self::encode_body) (pinned by a round-trip test).
+    pub(crate) fn wire_body_len(&self) -> usize {
+        match self {
+            LazyMsg::GroupAssign(m) => {
+                2 + 4 + 4 + 4 + 4 * m.members.len() + 4 + 4 + 4 * m.backups.len() + 4 * 5
+            }
+            LazyMsg::LfibSync(m) => {
+                2 + 4 + 4 + 4 + m.entries.len() * LfibEntry::WIRE_LEN + 4 + m.removed.len() * 6
+            }
+            LazyMsg::GfibUpdate(m) => 2 + 4 + 4 + 1 + 4 + 4 + 4 + m.bits.len(),
+            LazyMsg::StateReport(m) => {
+                2 + 4 + 4 + 4 + m.intensity.len() * 16 + 4 + m.stats.len() * 36
+            }
+            LazyMsg::KeepAlive(_) => 2 + 4 + 8,
+            LazyMsg::Bargain(_) => 2 + 4 + 1 + 4 + 1,
+            LazyMsg::BlockArp { .. } => 2 + 2 + 1,
+            LazyMsg::WheelReport(_) => 2 + 4 + 4 + 1,
+            LazyMsg::CongestionNotice(_) => 2 + 4 + 1,
+        }
     }
 
     pub(crate) fn encode_body<B: BufMut>(&self, buf: &mut B) {
@@ -406,6 +446,11 @@ impl LazyMsg {
                 buf.put_u32(m.reporter.0);
                 buf.put_u32(m.missing.0);
                 buf.put_u8(m.loss.to_u8());
+            }
+            LazyMsg::CongestionNotice(m) => {
+                buf.put_u16(SUB_CONGESTION_NOTICE);
+                buf.put_u32(m.from);
+                buf.put_u8(m.level);
             }
         }
     }
@@ -543,6 +588,10 @@ impl LazyMsg {
                 missing: SwitchId::new(r.u32()?),
                 loss: WheelLoss::from_u8(r.u8()?)?,
             }),
+            SUB_CONGESTION_NOTICE => LazyMsg::CongestionNotice(CongestionNoticeMsg {
+                from: r.u32()?,
+                level: r.u8()?,
+            }),
             other => return Err(ProtoError::UnknownLazySubtype(other)),
         };
         if r.remaining() != 0 {
@@ -648,6 +697,18 @@ mod tests {
             tenant: TenantId::new(44),
             block: true,
         });
+    }
+
+    #[test]
+    fn congestion_notice_round_trips() {
+        round_trip(LazyMsg::CongestionNotice(CongestionNoticeMsg {
+            from: 3,
+            level: 2,
+        }));
+        round_trip(LazyMsg::CongestionNotice(CongestionNoticeMsg {
+            from: u32::MAX,
+            level: u8::MAX,
+        }));
     }
 
     #[test]

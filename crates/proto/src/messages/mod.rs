@@ -11,8 +11,9 @@ pub use cluster::{
     VoteReplyMsg, VoteRequestMsg,
 };
 pub use lazy::{
-    BargainMsg, GfibUpdateMsg, GroupAssignMsg, KeepAliveMsg, LazyMsg, LfibEntry, LfibSyncMsg,
-    StateReportMsg, SwitchStats, WheelLoss, WheelReportMsg, WHEEL_MISS_THRESHOLD,
+    BargainMsg, CongestionNoticeMsg, GfibUpdateMsg, GroupAssignMsg, KeepAliveMsg, LazyMsg,
+    LfibEntry, LfibSyncMsg, StateReportMsg, SwitchStats, WheelLoss, WheelReportMsg,
+    WHEEL_MISS_THRESHOLD,
 };
 pub use of::{
     EchoKind, ErrorCode, FlowModCommand, FlowModMsg, OfMessage, PacketInMsg, PacketInReason,
@@ -47,6 +48,41 @@ pub struct Message {
     pub xid: u32,
     /// The payload.
     pub body: MessageBody,
+}
+
+/// Ingress priority class of a control message at a controller, highest
+/// first. The bounded ingress queues shed the *lowest* classes first when
+/// overloaded; [`MsgPriority::Critical`] traffic (failure detection and
+/// elections) is never shed — overload must not look like death.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MsgPriority {
+    /// Keep-alives, wheel reports, controller heartbeats and election
+    /// traffic. Never shed: shedding these would turn overload into
+    /// spurious failovers.
+    Critical,
+    /// Ownership transfers, replication syncs, configuration pushes —
+    /// state the cluster must eventually converge on.
+    OwnershipSync,
+    /// Synchronous host lookups (a shed lookup retries under its own
+    /// deadline machinery).
+    Lookup,
+    /// PacketIn-driven flow setups — the elastic load, first to shed.
+    FlowSetup,
+}
+
+impl MsgPriority {
+    /// Number of priority classes (for dense per-class tables).
+    pub const COUNT: usize = 4;
+
+    /// Dense index of this class in `0..COUNT`, highest priority first.
+    pub const fn index(self) -> usize {
+        match self {
+            MsgPriority::Critical => 0,
+            MsgPriority::OwnershipSync => 1,
+            MsgPriority::Lookup => 2,
+            MsgPriority::FlowSetup => 3,
+        }
+    }
 }
 
 /// Either a standard OpenFlow-style message or a LazyCtrl extension.
@@ -126,6 +162,42 @@ impl Message {
             MessageBody::Of(m) => m.msg_type(),
             MessageBody::Lazy(_) => MsgType::Lazy,
             MessageBody::Cluster(_) => MsgType::Cluster,
+        }
+    }
+
+    /// Exact encoded size of this message on the wire (header + body),
+    /// without paying for an encode. The bandwidth model prices every
+    /// dispatched message by this; it must equal `self.encode().len()`
+    /// (pinned by a test over every variant).
+    pub fn wire_len(&self) -> usize {
+        OFP_HEADER_LEN
+            + match &self.body {
+                MessageBody::Of(m) => m.wire_body_len(),
+                MessageBody::Lazy(m) => m.wire_body_len(),
+                MessageBody::Cluster(m) => m.wire_body_len(),
+            }
+    }
+
+    /// The controller-ingress priority class of this message (see
+    /// [`MsgPriority`] for the shedding ladder).
+    pub fn priority(&self) -> MsgPriority {
+        match &self.body {
+            MessageBody::Of(OfMessage::PacketIn(_)) => MsgPriority::FlowSetup,
+            MessageBody::Lazy(LazyMsg::KeepAlive(_) | LazyMsg::WheelReport(_)) => {
+                MsgPriority::Critical
+            }
+            MessageBody::Cluster(
+                ClusterMsg::Heartbeat(_)
+                | ClusterMsg::VoteRequest(_)
+                | ClusterMsg::VoteReply(_)
+                | ClusterMsg::LeaderClaim(_),
+            ) => MsgPriority::Critical,
+            MessageBody::Cluster(ClusterMsg::LookupRequest(_) | ClusterMsg::LookupReply(_)) => {
+                MsgPriority::Lookup
+            }
+            // Ownership transfers, replication syncs, configuration
+            // pushes, and the miscellaneous OpenFlow plumbing.
+            _ => MsgPriority::OwnershipSync,
         }
     }
 
@@ -307,6 +379,303 @@ mod tests {
             }),
         );
         assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    /// One representative `Message` per wire variant, fat payloads
+    /// populated so every length term is exercised.
+    fn every_variant() -> Vec<Message> {
+        use crate::{Action, FlowMatch};
+        let entry = HostEntry {
+            mac: MacAddr::for_host(10),
+            switch: SwitchId::new(3),
+            port: PortNo::new(2),
+            tenant: TenantId::new(5),
+        };
+        let sync = PeerSyncMsg {
+            origin: 1,
+            seq: 42,
+            chunk: 3,
+            summary: false,
+            entries: vec![entry, entry],
+            removed: vec![(MacAddr::for_host(55), SwitchId::new(3))],
+        };
+        vec![
+            Message::of(1, OfMessage::Hello),
+            Message::of(2, OfMessage::FeaturesRequest),
+            Message::of(3, OfMessage::StatsRequest),
+            Message::of(
+                4,
+                OfMessage::Error {
+                    code: ErrorCode::StaleEpoch,
+                    data: vec![1, 2, 3],
+                },
+            ),
+            Message::of(5, OfMessage::EchoRequest(vec![7; 9])),
+            Message::of(6, OfMessage::EchoReply(vec![])),
+            Message::of(
+                7,
+                OfMessage::FeaturesReply {
+                    datapath_id: 0xabcd,
+                    n_ports: 48,
+                },
+            ),
+            Message::of(
+                8,
+                OfMessage::PacketIn(PacketInMsg {
+                    buffer_id: 42,
+                    in_port: PortNo::new(3),
+                    reason: PacketInReason::NoMatch,
+                    data: vec![1, 2, 3, 4].into(),
+                }),
+            ),
+            Message::of(
+                9,
+                OfMessage::PacketOut(PacketOutMsg {
+                    buffer_id: u32::MAX,
+                    in_port: PortNo::NONE,
+                    actions: vec![Action::Output(PortNo::FLOOD)],
+                    data: vec![9; 60].into(),
+                }),
+            ),
+            Message::of(
+                10,
+                OfMessage::flow_mod(FlowModMsg {
+                    command: FlowModCommand::Add,
+                    flow_match: FlowMatch::for_pair(MacAddr::for_host(1), MacAddr::for_host(2)),
+                    priority: 100,
+                    idle_timeout: 30,
+                    hard_timeout: 0,
+                    cookie: 0xfeed,
+                    actions: vec![
+                        Action::SetVlan(TenantId::new(7)),
+                        Action::Output(PortNo::new(2)),
+                    ],
+                }),
+            ),
+            Message::of(
+                11,
+                OfMessage::StatsReply {
+                    packets: 1 << 40,
+                    flows: 1000,
+                    packet_ins: 77,
+                },
+            ),
+            Message::lazy(
+                12,
+                LazyMsg::group_assign(GroupAssignMsg {
+                    group: lazyctrl_net::GroupId::new(2),
+                    epoch: 9,
+                    members: vec![SwitchId::new(1), SwitchId::new(5), SwitchId::new(9)],
+                    designated: SwitchId::new(5),
+                    backups: vec![SwitchId::new(9)],
+                    ring_prev: SwitchId::new(9),
+                    ring_next: SwitchId::new(5),
+                    sync_interval_ms: 1000,
+                    keepalive_interval_ms: 500,
+                    group_size_limit: 46,
+                }),
+            ),
+            Message::lazy(
+                13,
+                LazyMsg::lfib_sync(LfibSyncMsg {
+                    origin: SwitchId::new(3),
+                    epoch: 1,
+                    entries: vec![LfibEntry {
+                        mac: MacAddr::for_host(100),
+                        tenant: TenantId::new(7),
+                        port: PortNo::new(4),
+                    }],
+                    removed: vec![MacAddr::for_host(55), MacAddr::for_host(56)],
+                }),
+            ),
+            Message::lazy(
+                14,
+                LazyMsg::gfib_update(GfibUpdateMsg {
+                    origin: SwitchId::new(12),
+                    epoch: 3,
+                    num_hashes: 4,
+                    m_bits: 2000,
+                    entries: 128,
+                    bits: vec![0xaa; 256],
+                }),
+            ),
+            Message::lazy(
+                15,
+                LazyMsg::state_report(StateReportMsg {
+                    group: lazyctrl_net::GroupId::new(1),
+                    epoch: 2,
+                    intensity: vec![(SwitchId::new(1), SwitchId::new(2), 12.5)],
+                    stats: vec![(SwitchId::new(1), SwitchStats::default())],
+                }),
+            ),
+            Message::lazy(
+                16,
+                LazyMsg::KeepAlive(KeepAliveMsg {
+                    from: SwitchId::new(1),
+                    seq: 9,
+                }),
+            ),
+            Message::lazy(
+                17,
+                LazyMsg::Bargain(BargainMsg {
+                    round: 3,
+                    from_controller: true,
+                    proposed_limit: 300,
+                    accept: false,
+                }),
+            ),
+            Message::lazy(
+                18,
+                LazyMsg::BlockArp {
+                    tenant: TenantId::new(44),
+                    block: true,
+                },
+            ),
+            Message::lazy(
+                19,
+                LazyMsg::WheelReport(WheelReportMsg {
+                    reporter: SwitchId::new(1),
+                    missing: SwitchId::new(2),
+                    loss: WheelLoss::Upstream,
+                }),
+            ),
+            Message::lazy(
+                20,
+                LazyMsg::CongestionNotice(CongestionNoticeMsg { from: 3, level: 2 }),
+            ),
+            Message::cluster(21, ClusterMsg::peer_sync(sync.clone())),
+            Message::cluster(
+                22,
+                ClusterMsg::OwnershipTransfer(OwnershipTransferMsg {
+                    epoch: 4,
+                    term: 2,
+                    group: lazyctrl_net::GroupId::new(7),
+                    from: 0,
+                    to: 1,
+                    reason: TransferReason::Failover,
+                }),
+            ),
+            Message::cluster(
+                23,
+                ClusterMsg::Heartbeat(CtrlHeartbeatMsg {
+                    from: 0,
+                    seq: 11,
+                    term: 2,
+                    leader: true,
+                    load_rps: 12.5,
+                    owned_groups: 3,
+                }),
+            ),
+            Message::cluster(
+                24,
+                ClusterMsg::LookupRequest(LookupRequestMsg {
+                    from: 4,
+                    mac: MacAddr::for_host(5),
+                }),
+            ),
+            Message::cluster(
+                25,
+                ClusterMsg::LookupReply(LookupReplyMsg {
+                    from: 4,
+                    mac: MacAddr::for_host(5),
+                    location: Some(entry),
+                }),
+            ),
+            Message::cluster(
+                26,
+                ClusterMsg::LookupReply(LookupReplyMsg {
+                    from: 4,
+                    mac: MacAddr::for_host(5),
+                    location: None,
+                }),
+            ),
+            Message::cluster(
+                27,
+                ClusterMsg::sync_digest(SyncDigestMsg {
+                    from: 2,
+                    heads: vec![(0, 17), (1, 0)],
+                }),
+            ),
+            Message::cluster(
+                28,
+                ClusterMsg::sync_relay(SyncRelayMsg {
+                    from: 1,
+                    syncs: vec![sync.clone(), sync],
+                }),
+            ),
+            Message::cluster(
+                29,
+                ClusterMsg::VoteRequest(VoteRequestMsg {
+                    term: 3,
+                    candidate: 1,
+                }),
+            ),
+            Message::cluster(
+                30,
+                ClusterMsg::VoteReply(VoteReplyMsg {
+                    term: 3,
+                    from: 2,
+                    granted: true,
+                }),
+            ),
+            Message::cluster(
+                31,
+                ClusterMsg::LeaderClaim(LeaderClaimMsg { term: 3, leader: 1 }),
+            ),
+            Message::cluster(
+                32,
+                ClusterMsg::TransferAck(TransferAckMsg {
+                    from: 1,
+                    epoch: 4,
+                    group: lazyctrl_net::GroupId::new(7),
+                }),
+            ),
+        ]
+    }
+
+    /// `wire_len` must be *exact* for every variant — the bandwidth model
+    /// prices messages by it, so a drifting estimate would silently skew
+    /// congestion results.
+    #[test]
+    fn wire_len_matches_encoded_size() {
+        for m in every_variant() {
+            assert_eq!(
+                m.wire_len(),
+                m.encode().len(),
+                "wire_len out of lockstep with encode for {:?}",
+                m.body
+            );
+        }
+    }
+
+    /// The shedding ladder: failure detection/elections are Critical,
+    /// PacketIns are FlowSetup, lookups sit between, everything else is
+    /// OwnershipSync.
+    #[test]
+    fn priority_ladder_is_total_and_correct() {
+        assert!(MsgPriority::Critical < MsgPriority::OwnershipSync);
+        assert!(MsgPriority::OwnershipSync < MsgPriority::Lookup);
+        assert!(MsgPriority::Lookup < MsgPriority::FlowSetup);
+        for m in every_variant() {
+            let p = m.priority();
+            match &m.body {
+                MessageBody::Of(OfMessage::PacketIn(_)) => {
+                    assert_eq!(p, MsgPriority::FlowSetup)
+                }
+                MessageBody::Lazy(LazyMsg::KeepAlive(_) | LazyMsg::WheelReport(_))
+                | MessageBody::Cluster(
+                    ClusterMsg::Heartbeat(_)
+                    | ClusterMsg::VoteRequest(_)
+                    | ClusterMsg::VoteReply(_)
+                    | ClusterMsg::LeaderClaim(_),
+                ) => assert_eq!(p, MsgPriority::Critical),
+                MessageBody::Cluster(ClusterMsg::LookupRequest(_) | ClusterMsg::LookupReply(_)) => {
+                    assert_eq!(p, MsgPriority::Lookup)
+                }
+                _ => assert_eq!(p, MsgPriority::OwnershipSync),
+            }
+            assert!(p.index() < MsgPriority::COUNT);
+        }
     }
 
     #[test]

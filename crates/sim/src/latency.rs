@@ -28,6 +28,15 @@ impl ChannelClass {
     /// Number of channel classes (for dense per-class tables).
     pub const COUNT: usize = 5;
 
+    /// Every channel class, in dense-index order.
+    pub const ALL: [ChannelClass; Self::COUNT] = [
+        ChannelClass::Data,
+        ChannelClass::Control,
+        ChannelClass::State,
+        ChannelClass::Peer,
+        ChannelClass::CtrlPeer,
+    ];
+
     /// Dense index of this class in `0..COUNT`.
     pub const fn index(self) -> usize {
         match self {
@@ -104,8 +113,12 @@ impl LatencyModel {
     ///
     /// # Panics
     ///
-    /// Panics on NaN or negative factors.
+    /// Panics on NaN, infinite, zero or negative factors.
     pub fn degrade(&mut self, class: ChannelClass, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "degrade factor {factor} must be finite and positive"
+        );
         let slot = match class {
             ChannelClass::Data => &mut self.data,
             ChannelClass::Control => &mut self.control,
@@ -260,6 +273,24 @@ mod tests {
             }
         }
         assert_eq!(m.lookahead_floor(&[]), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and positive")]
+    fn degrade_rejects_nan() {
+        LatencyModel::default().degrade(ChannelClass::Control, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and positive")]
+    fn degrade_rejects_negative() {
+        LatencyModel::default().degrade(ChannelClass::Control, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and positive")]
+    fn degrade_rejects_infinite() {
+        LatencyModel::default().degrade(ChannelClass::Control, f64::INFINITY);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * [`LatencyModel`] — per-channel-class delivery latencies (data path,
 //!   control link, state link, peer link) with optional deterministic
 //!   jitter;
+//! * [`BandwidthModel`] — per-class link capacities pricing *load*:
+//!   closed-form serialization + queueing delay from message size and
+//!   per-link backlog, with no RNG draws;
 //! * [`LinkState`] — administrative up/down and loss injection per logical
 //!   link, the substrate for the failover experiments (§III-E);
 //! * [`MetricsSink`] — counters, time-bucketed series (the paper's per-2h
@@ -56,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bandwidth;
 mod event;
 mod latency;
 mod link;
@@ -63,6 +67,7 @@ mod metrics;
 mod shard;
 mod time;
 
+pub use bandwidth::BandwidthModel;
 pub use event::{
     run, run_until_idle, EventQueue, HeapQueue, Scheduler, SchedulerKind, WheelQueue, World,
 };

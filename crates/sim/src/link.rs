@@ -180,10 +180,12 @@ impl LinkState {
     ///
     /// # Panics
     ///
-    /// Panics unless `p` is in `[0, 1]`.
+    /// Panics unless `p` is finite and in `[0, 1]` (NaN is rejected
+    /// explicitly — a NaN probability would silently disable loss in
+    /// comparisons downstream).
     pub fn set_loss(&mut self, link: LinkId, p: f64) {
         assert!(
-            (0.0..=1.0).contains(&p),
+            p.is_finite() && (0.0..=1.0).contains(&p),
             "loss probability {p} out of [0,1]"
         );
         if p == 0.0 {
@@ -198,10 +200,10 @@ impl LinkState {
     ///
     /// # Panics
     ///
-    /// Panics unless `p` is in `[0, 1]`.
+    /// Panics unless `p` is finite and in `[0, 1]` (NaN rejected).
     pub fn set_class_loss(&mut self, class: ChannelClass, p: f64) {
         assert!(
-            (0.0..=1.0).contains(&p),
+            p.is_finite() && (0.0..=1.0).contains(&p),
             "loss probability {p} out of [0,1]"
         );
         self.class_loss[class.index()] = p;
@@ -377,6 +379,34 @@ mod tests {
     fn invalid_loss_panics() {
         let mut s = LinkState::new();
         s.set_loss(l(1, 2), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn nan_loss_panics() {
+        let mut s = LinkState::new();
+        s.set_loss(l(1, 2), f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn negative_loss_panics() {
+        let mut s = LinkState::new();
+        s.set_loss(l(1, 2), -0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn nan_class_loss_panics() {
+        let mut s = LinkState::new();
+        s.set_class_loss(ChannelClass::Control, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn out_of_range_class_loss_panics() {
+        let mut s = LinkState::new();
+        s.set_class_loss(ChannelClass::Control, 2.0);
     }
 
     #[test]

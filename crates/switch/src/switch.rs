@@ -13,7 +13,7 @@
 //! `DESIGN.md` §7, "Output sinks and message layout"). Output order is
 //! push order — identical to the order the old `Vec` returns carried.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 
 use lazyctrl_net::{
     ArpOp, EncapHeader, EncapsulatedFrame, EthernetFrame, GroupId, HostId, MacAddr, Packet, PortNo,
@@ -38,6 +38,37 @@ const EPOCH_GRACE_NS: u64 = 10_000_000_000;
 /// send; without periodic gratuitous ARP a quiet VM must not be forgotten,
 /// so the default is a full day (VM removal is signalled explicitly).
 const DEFAULT_LFIB_MAX_IDLE_NS: u64 = 86_400_000_000_000; // 24 h
+
+/// Base congestion-pace window. One controller pressure notice defers
+/// NoMatch punts for at least this long; repeated pressure doubles it up
+/// to [`PACE_MAX_DOUBLINGS`].
+const PACE_BASE_NS: u64 = 5_000_000; // 5 ms
+
+/// Cap on pace-window doublings (5 ms × 2⁶ = 320 ms worst case).
+const PACE_MAX_DOUBLINGS: u32 = 6;
+
+/// Most NoMatch punts a pacing switch defers; overflow drops the oldest
+/// (the host retries, exactly as a dropped PacketIn on a real control
+/// channel would).
+const PACE_BUFFER_CAP: usize = 64;
+
+/// Deterministic pace jitter: a splitmix64-style hash of the switch id
+/// and backoff depth folded into `[0, window_ns)`. De-synchronizes the
+/// pace windows of switches that heard the same pressure notice in the
+/// same tick — the thundering herd at window close — without drawing
+/// from any RNG stream (replicated-RNG lockstep must hold).
+fn pace_jitter_ns(switch: SwitchId, attempts: u32, window_ns: u64) -> u64 {
+    if window_ns == 0 {
+        return 0;
+    }
+    let mut x = ((switch.0 as u64) << 32) ^ (attempts as u64) ^ 0x9E37_79B9_7F4A_7C15;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x % window_ns
+}
 
 /// Group membership parameters installed by a `GroupAssign`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,6 +114,11 @@ pub enum SwitchTimer {
     LfibAge,
     /// One-shot: stop accepting the given superseded epoch.
     EpochGrace(u32),
+    /// One-shot: the congestion-pace window closed — flush deferred
+    /// NoMatch punts and decay the backoff. Unlike `KeepAlive`/
+    /// `PeerSync` this must keep firing on a switch whose control link
+    /// is dark, or deferred setups would wedge until the link heals.
+    PaceFlush,
 }
 
 /// Effects the switch wants performed.
@@ -137,6 +173,20 @@ pub struct EdgeSwitch {
     pub datapath_learning: bool,
     /// L-FIB entries idle longer than this age out.
     pub lfib_max_idle_ns: u64,
+    /// Congestion pacing: virtual time until which NoMatch punts are
+    /// deferred (an ECN-style `CongestionNotice` from the controller
+    /// opens/extends the window under capped exponential backoff).
+    pace_until_ns: u64,
+    /// Current backoff depth in doublings; ratchets up on pressure,
+    /// unwinds one step per closed window.
+    pace_attempts: u32,
+    /// NoMatch punts deferred while pacing, flushed at window close.
+    /// Bounded by [`PACE_BUFFER_CAP`].
+    paced_punts: VecDeque<Message>,
+    /// Total punts ever deferred (observer counter).
+    punts_paced: u64,
+    /// Deferred punts dropped on buffer overflow (observer counter).
+    pace_drops: u64,
     xid: u32,
     packets_processed: u64,
     packet_ins_sent: u64,
@@ -173,6 +223,11 @@ impl EdgeSwitch {
             epoch_gating: false,
             datapath_learning: true,
             lfib_max_idle_ns: DEFAULT_LFIB_MAX_IDLE_NS,
+            pace_until_ns: 0,
+            pace_attempts: 0,
+            paced_punts: VecDeque::new(),
+            punts_paced: 0,
+            pace_drops: 0,
             xid: 0,
             packets_processed: 0,
             packet_ins_sent: 0,
@@ -222,6 +277,26 @@ impl EdgeSwitch {
         self.packet_ins_sent
     }
 
+    /// True while NoMatch punts are deferred under congestion pacing.
+    pub fn is_pacing(&self, now_ns: u64) -> bool {
+        now_ns < self.pace_until_ns
+    }
+
+    /// Current congestion-backoff depth, in window doublings.
+    pub fn pace_attempts(&self) -> u32 {
+        self.pace_attempts
+    }
+
+    /// NoMatch punts deferred by congestion pacing so far.
+    pub fn punts_paced(&self) -> u64 {
+        self.punts_paced
+    }
+
+    /// Deferred punts dropped on pace-buffer overflow.
+    pub fn pace_drops(&self) -> u64 {
+        self.pace_drops
+    }
+
     fn next_xid(&mut self) -> u32 {
         self.xid = self.xid.wrapping_add(1);
         self.xid
@@ -252,6 +327,31 @@ impl EdgeSwitch {
                 data: data.into(),
             }),
         )
+    }
+
+    /// Builds a `NoMatch` punt and either sends it or, while the switch
+    /// is pacing under controller congestion pressure, defers it to the
+    /// bounded pace buffer (flushed when the window closes; overflow
+    /// drops the oldest). Only flow setups route through here —
+    /// keepalives, wheel reports and corrective reports are never paced.
+    fn punt_no_match(
+        &mut self,
+        now_ns: u64,
+        in_port: PortNo,
+        data: impl Into<bytes::Bytes>,
+        out: &mut OutputSink<SwitchOutput>,
+    ) {
+        let msg = self.packet_in(PacketInReason::NoMatch, in_port, data);
+        if now_ns < self.pace_until_ns {
+            self.punts_paced += 1;
+            self.paced_punts.push_back(msg);
+            while self.paced_punts.len() > PACE_BUFFER_CAP {
+                self.paced_punts.pop_front();
+                self.pace_drops += 1;
+            }
+        } else {
+            out.push(SwitchOutput::ToController(msg));
+        }
     }
 
     /// Handles a plain frame arriving from a directly attached host.
@@ -340,8 +440,7 @@ impl EdgeSwitch {
             self.group_broadcast(frame.clone(), tenant, out);
             if !self.blocked_arp.contains(&tenant) {
                 self.adv.record_punt();
-                let msg = self.packet_in(PacketInReason::NoMatch, in_port, frame.encode());
-                out.push(SwitchOutput::ToController(msg));
+                self.punt_no_match(now_ns, in_port, frame.encode(), out);
             }
             return;
         }
@@ -350,8 +449,7 @@ impl EdgeSwitch {
             return;
         }
         self.adv.record_punt();
-        let msg = self.packet_in(PacketInReason::NoMatch, in_port, frame.encode());
-        out.push(SwitchOutput::ToController(msg));
+        self.punt_no_match(now_ns, in_port, frame.encode(), out);
     }
 
     /// Fig. 5 for non-ARP plain packets.
@@ -419,8 +517,7 @@ impl EdgeSwitch {
             ForwardingDecision::PuntToController => {
                 self.adv.record_punt();
                 self.note_flow(now_ns, frame.src, frame.dst, None);
-                let msg = self.packet_in(PacketInReason::NoMatch, in_port, frame.encode());
-                out.push(SwitchOutput::ToController(msg));
+                self.punt_no_match(now_ns, in_port, frame.encode(), out);
             }
             ForwardingDecision::Drop(_) => {}
         }
@@ -546,6 +643,24 @@ impl EdgeSwitch {
                     // it here too keeps small setups simple.
                     self.absorb_lfib_sync(sync);
                 }
+                LazyMsg::CongestionNotice(cn) => {
+                    // ECN-style pressure from an overloaded controller:
+                    // deepen the pace window under capped exponential
+                    // backoff (the notice's level adds extra doublings)
+                    // with deterministic hash jitter, and defer NoMatch
+                    // punts until it closes. Keepalives and wheel reports
+                    // keep flowing — liveness outranks flow setup.
+                    self.pace_attempts =
+                        (self.pace_attempts + 1 + cn.level as u32).min(PACE_MAX_DOUBLINGS);
+                    let window = PACE_BASE_NS << self.pace_attempts;
+                    let until =
+                        now_ns + window + pace_jitter_ns(self.id, self.pace_attempts, window / 4);
+                    self.pace_until_ns = self.pace_until_ns.max(until);
+                    let t = SwitchTimer::PaceFlush;
+                    if self.armed_timers.insert(t) {
+                        out.push(SwitchOutput::SetTimer(t, self.pace_until_ns - now_ns));
+                    }
+                }
                 _ => {}
             },
             // Controller-to-controller traffic never terminates on a switch.
@@ -621,9 +736,7 @@ impl EdgeSwitch {
                     self.group_broadcast_except(frame.clone(), tenant, from, out);
                     // Escalate to the controller (level iii) unless blocked.
                     if !self.blocked_arp.contains(&tenant) {
-                        let msg =
-                            self.packet_in(PacketInReason::NoMatch, po.in_port, frame.encode());
-                        out.push(SwitchOutput::ToController(msg));
+                        self.punt_no_match(now_ns, po.in_port, frame.encode(), out);
                     }
                 }
             }
@@ -651,6 +764,27 @@ impl EdgeSwitch {
             SwitchTimer::EpochGrace(epoch) => {
                 self.accepted_epochs.remove(&epoch);
                 self.armed_timers.remove(&SwitchTimer::EpochGrace(epoch));
+            }
+            SwitchTimer::PaceFlush => {
+                self.armed_timers.remove(&SwitchTimer::PaceFlush);
+                if now_ns < self.pace_until_ns {
+                    // Fresh pressure extended the window after this timer
+                    // was armed; sleep out the remainder.
+                    if self.armed_timers.insert(SwitchTimer::PaceFlush) {
+                        out.push(SwitchOutput::SetTimer(
+                            SwitchTimer::PaceFlush,
+                            self.pace_until_ns - now_ns,
+                        ));
+                    }
+                    return;
+                }
+                // Window closed: release deferred setups and unwind one
+                // backoff step — repeated pressure ratchets up, quiet
+                // periods decay back down.
+                self.pace_attempts = self.pace_attempts.saturating_sub(1);
+                while let Some(msg) = self.paced_punts.pop_front() {
+                    out.push(SwitchOutput::ToController(msg));
+                }
             }
         }
     }

@@ -453,3 +453,94 @@ fn wheel_report_relay_goes_up_the_control_link() {
         "got {out:?}"
     );
 }
+
+#[test]
+fn congestion_notice_paces_punts_and_flushes_at_window_close() {
+    let mut sw = EdgeSwitch::new(SwitchId::new(1));
+    // Pressure notice from the controller opens a pace window.
+    let cn = Message::lazy(
+        7,
+        LazyMsg::CongestionNotice(lazyctrl_proto::CongestionNoticeMsg { from: 0, level: 1 }),
+    );
+    let out = collect(|s| sw.handle_control_message(1_000, &cn, s));
+    assert!(sw.is_pacing(2_000));
+    let flush_delay = out
+        .iter()
+        .find_map(|o| match o {
+            SwitchOutput::SetTimer(SwitchTimer::PaceFlush, d) => Some(*d),
+            _ => None,
+        })
+        .expect("pressure must arm a PaceFlush timer");
+
+    // An unknown destination now defers its punt instead of sending it.
+    let out = collect(|s| sw.handle_local_frame(2_000, PortNo::new(1), host_frame(10, 20, 1), s));
+    assert!(
+        controller_msgs(&out).is_empty(),
+        "paced punt leaked: {out:?}"
+    );
+    assert_eq!(sw.punts_paced(), 1);
+
+    // Window close releases the deferred setup and decays the backoff.
+    let depth = sw.pace_attempts();
+    let out = collect(|s| sw.on_timer(1_000 + flush_delay, SwitchTimer::PaceFlush, s));
+    let msgs = controller_msgs(&out);
+    assert_eq!(msgs.len(), 1, "flush must release the deferred punt");
+    assert!(matches!(
+        &msgs[0].body,
+        MessageBody::Of(OfMessage::PacketIn(pi)) if pi.reason == PacketInReason::NoMatch
+    ));
+    assert_eq!(sw.pace_attempts(), depth - 1);
+    assert!(!sw.is_pacing(1_000 + flush_delay));
+}
+
+#[test]
+fn pacing_never_defers_keepalives_or_wheel_reports() {
+    let mut sw = configured_switch(false);
+    let cn = Message::lazy(
+        8,
+        LazyMsg::CongestionNotice(lazyctrl_proto::CongestionNoticeMsg { from: 0, level: 6 }),
+    );
+    let _ = collect(|s| sw.handle_control_message(0, &cn, s));
+    assert!(sw.is_pacing(1_000_000));
+
+    // Keep-alive tick still emits its peer keepalives while paced.
+    let out = collect(|s| sw.on_timer(500_000_000, SwitchTimer::KeepAlive, s));
+    assert!(
+        out.iter().any(|o| matches!(
+            o,
+            SwitchOutput::ToPeer(_, m) if matches!(m.as_lazy(), Some(LazyMsg::KeepAlive(_)))
+        )),
+        "keepalives must not pace: {out:?}"
+    );
+
+    // A relayed wheel report still goes straight up the control link.
+    let report = lazyctrl_proto::WheelReportMsg {
+        reporter: SwitchId::new(3),
+        missing: SwitchId::new(3),
+        loss: lazyctrl_proto::WheelLoss::Controller,
+    };
+    let msg = Message::lazy(12, LazyMsg::WheelReport(report));
+    let out = collect(|s| sw.handle_peer_message(1_000, SwitchId::new(3), &msg, s));
+    assert!(
+        matches!(out.as_slice(), [SwitchOutput::ToController(_)]),
+        "wheel report must not pace: {out:?}"
+    );
+}
+
+#[test]
+fn pace_buffer_overflow_drops_oldest() {
+    let mut sw = EdgeSwitch::new(SwitchId::new(1));
+    let cn = Message::lazy(
+        9,
+        LazyMsg::CongestionNotice(lazyctrl_proto::CongestionNoticeMsg { from: 0, level: 6 }),
+    );
+    let _ = collect(|s| sw.handle_control_message(0, &cn, s));
+    for i in 0..100u32 {
+        let out =
+            collect(|s| sw.handle_local_frame(1_000, PortNo::new(1), host_frame(10, 20 + i, 1), s));
+        assert!(controller_msgs(&out).is_empty());
+    }
+    assert_eq!(sw.punts_paced(), 100);
+    assert!(sw.pace_drops() > 0, "overflow must drop the oldest punts");
+    assert_eq!(sw.punts_paced() - sw.pace_drops(), 64);
+}
